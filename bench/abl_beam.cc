@@ -1,0 +1,41 @@
+// Ablation (DESIGN.md §4.4): AnsHeu beam width k = 1..8 — quality/latency
+// trade-off — plus AnsHeu vs AnsHeuB (picky vs random operator selection) at
+// matched beam widths.
+
+#include "bench_common.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+int main() {
+  BenchEnv env;
+  Header("abl_beam", "beam width and operator-selection ablation");
+
+  Graph g = GenerateGraph(DbpediaLike(env.scale));
+  auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
+  ExperimentRunner runner(g, std::move(cases));
+  ChaseOptions base = DefaultChase();
+
+  double k1_cl = 0, k8_cl = 0, k1_time = 0, k8_time = 0;
+  for (size_t beam : {1u, 2u, 4u, 8u}) {
+    AlgoSummary picky = runner.Run(MakeAnsHeu(base, beam));
+    PrintRow("abl_beam", "picky", "k=" + std::to_string(beam), picky);
+    AlgoSummary random = runner.Run(MakeAnsHeuB(base, beam));
+    PrintRow("abl_beam", "random", "k=" + std::to_string(beam), random);
+    if (beam == 1) {
+      k1_cl = picky.closeness.Mean();
+      k1_time = picky.seconds.Mean();
+    }
+    if (beam == 8) {
+      k8_cl = picky.closeness.Mean();
+      k8_time = picky.seconds.Mean();
+    }
+  }
+
+  std::printf("#AGG closeness k=1: %.4f -> k=8: %.4f; time k=1: %.4fs -> "
+              "k=8: %.4fs\n",
+              k1_cl, k8_cl, k1_time, k8_time);
+  Shape(k8_cl + 1e-9 >= k1_cl, "wider beams do not lose closeness");
+  Shape(k8_time >= k1_time, "wider beams cost more time");
+  return 0;
+}

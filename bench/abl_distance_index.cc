@@ -1,0 +1,63 @@
+// Ablation (beyond the paper, DESIGN.md §4.5): pruned landmark labeling vs
+// bounded-BFS distance queries — the "fast distance index [2]" all
+// algorithms consult. google-benchmark microbenchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+#include "graph/distance_index.h"
+
+namespace wqe {
+namespace {
+
+const Graph& SharedGraph() {
+  static Graph* g = new Graph(GenerateGraph(ImdbLike(0.25)));
+  return *g;
+}
+
+void BM_DistancePll(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  DistanceIndex index(g);
+  Rng rng(7);
+  const uint32_t cap = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    const NodeId v = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    benchmark::DoNotOptimize(index.Distance(u, v, cap));
+  }
+  state.SetLabel(index.indexed() ? "pll" : "fallback");
+}
+BENCHMARK(BM_DistancePll)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_DistanceBfs(benchmark::State& state) {
+  const Graph& g = SharedGraph();
+  DistanceIndex::Options opts;
+  opts.use_pll = false;
+  DistanceIndex index(g, opts);
+  Rng rng(7);
+  const uint32_t cap = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    const NodeId v = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    benchmark::DoNotOptimize(index.Distance(u, v, cap));
+  }
+}
+BENCHMARK(BM_DistanceBfs)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_PllConstruction(benchmark::State& state) {
+  const double scale = static_cast<double>(state.range(0)) / 100.0;
+  Graph g = GenerateGraph(ImdbLike(scale));
+  for (auto _ : state) {
+    DistanceIndex index(g);
+    benchmark::DoNotOptimize(index.LabelEntries());
+  }
+  state.SetComplexityN(static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_PllConstruction)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wqe
+
+BENCHMARK_MAIN();

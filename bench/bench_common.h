@@ -1,0 +1,75 @@
+#ifndef WQE_BENCH_BENCH_COMMON_H_
+#define WQE_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the figure-reproduction binaries. Each binary
+// regenerates one figure of the paper's evaluation (§7 / Appendix C),
+// printing one CSV-ish row per (series, x) pair via PrintRow plus a final
+// "#SHAPE" line asserting the qualitative relationship the paper reports.
+//
+// Environment knobs (defaults keep the full suite to minutes on a laptop):
+//   WQE_SCALE    graph scale factor applied to the dataset presets (0.25)
+//   WQE_QUERIES  why-questions per configuration (8)
+//   WQE_SEED     workload seed (1)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+#include "workload/suite.h"
+
+namespace wqe::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : static_cast<size_t>(std::atoll(v));
+}
+
+struct BenchEnv {
+  double scale = EnvDouble("WQE_SCALE", 0.25);
+  size_t queries = EnvSize("WQE_QUERIES", 8);
+  uint64_t seed = EnvSize("WQE_SEED", 1);
+};
+
+/// Default §7 protocol options.
+inline WhyFactoryOptions DefaultFactory(uint64_t seed) {
+  WhyFactoryOptions opts;
+  opts.query.num_edges = 3;
+  opts.query.max_literals = 3;
+  opts.disturb.num_ops = 3;
+  opts.max_tuples = 10;
+  opts.seed = seed;
+  return opts;
+}
+
+inline ChaseOptions DefaultChase() {
+  ChaseOptions opts;
+  opts.budget = 3;
+  opts.beam = 2;
+  opts.max_steps = 4000;
+  opts.time_limit_seconds = 5.0;  // per-question safety valve (re-armed)
+  return opts;
+}
+
+/// Prints the figure header.
+inline void Header(const char* fig, const char* what) {
+  std::printf("# %s: %s\n", fig, what);
+  std::printf("# columns: bench,series,x,metrics...\n");
+  std::fflush(stdout);
+}
+
+/// Prints the qualitative-shape assertion line: PASS/FAIL plus description.
+inline void Shape(bool ok, const std::string& description) {
+  std::printf("#SHAPE %s: %s\n", ok ? "PASS" : "FAIL", description.c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace wqe::bench
+
+#endif  // WQE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,62 @@
+// Fig 10(a): efficiency of answering Why-questions — mean time per question
+// for AnsHeu / AnsW / AnsWnc / AnsWb / FMAnsW on all four datasets, plus the
+// §7 aggregate speedup claims (AnsW vs FMAnsW / AnsWb / AnsWnc, and the
+// AnsHeu speed/quality trade-off).
+
+#include "bench_common.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+int main() {
+  BenchEnv env;
+  Header("fig10a", "Why-question efficiency per dataset and algorithm");
+
+  ChaseOptions base = DefaultChase();
+  Aggregate answ_time, answnc_time, answb_time, fm_time, heu_time;
+  Aggregate answ_cl, heu_cl;
+
+  for (const GraphSpec& spec : AllDatasets(env.scale)) {
+    Graph g = GenerateGraph(spec);
+    auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
+    ExperimentRunner runner(g, std::move(cases));
+
+    for (const AlgoSpec& algo : StandardAlgos(base)) {
+      AlgoSummary s = runner.Run(algo);
+      PrintRow("fig10a", spec.name, algo.name, s);
+      if (algo.name == "AnsW") {
+        answ_time.Add(s.seconds.Mean());
+        answ_cl.Add(s.closeness.Mean());
+      } else if (algo.name == "AnsWnc") {
+        answnc_time.Add(s.seconds.Mean());
+      } else if (algo.name == "AnsWb") {
+        answb_time.Add(s.seconds.Mean());
+      } else if (algo.name == "FMAnsW") {
+        fm_time.Add(s.seconds.Mean());
+      } else {
+        heu_time.Add(s.seconds.Mean());
+        heu_cl.Add(s.closeness.Mean());
+      }
+    }
+  }
+
+  const double answ = answ_time.Mean();
+  std::printf(
+      "#AGG AnsW=%.3fs AnsWnc=%.3fs AnsWb=%.3fs FMAnsW=%.3fs AnsHeu=%.3fs | "
+      "speedup(AnsW vs AnsWnc)=%.2fx (AnsW vs AnsWb)=%.2fx (AnsW vs "
+      "FMAnsW)=%.2fx (AnsHeu vs AnsW)=%.2fx\n",
+      answ, answnc_time.Mean(), answb_time.Mean(), fm_time.Mean(),
+      heu_time.Mean(), answnc_time.Mean() / answ, answb_time.Mean() / answ,
+      fm_time.Mean() / answ, answ / heu_time.Mean());
+
+  // Paper shape: optimizations help (AnsW <= AnsWnc <= AnsWb) and the
+  // heuristic converges fastest.
+  Shape(answ <= answnc_time.Mean() * 1.15 &&
+            answnc_time.Mean() <= answb_time.Mean() * 1.15,
+        "AnsW <= AnsWnc <= AnsWb (caching + pruning reduce time)");
+  Shape(heu_time.Mean() <= answ,
+        "AnsHeu is the fastest configuration (no backtracking)");
+  Shape(heu_cl.Mean() <= answ_cl.Mean() + 1e-9,
+        "AnsHeu trades answer quality for speed (closeness <= AnsW's)");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig 10(c): time vs query size |E_Q| = 1..6 on DBpedia-like (B = 3). All
+// algorithms slow on larger queries; AnsW / AnsHeu are the least sensitive.
+
+#include "bench_common.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+int main() {
+  BenchEnv env;
+  Header("fig10c", "time vs |E_Q| (dbpedia_like)");
+
+  Graph g = GenerateGraph(DbpediaLike(env.scale));
+  ChaseOptions base = DefaultChase();
+
+  Aggregate answ_small, answ_large, answb_small, answb_large;
+  for (size_t edges = 1; edges <= 6; ++edges) {
+    WhyFactoryOptions factory = DefaultFactory(env.seed);
+    factory.query.num_edges = edges;
+    auto cases = MakeBenchCases(g, env.queries, factory);
+    if (cases.empty()) continue;
+    ExperimentRunner runner(g, std::move(cases));
+    for (AlgoSpec algo :
+         {MakeAnsHeu(base, 2), MakeAnsW(base), MakeAnsWb(base)}) {
+      AlgoSummary s = runner.Run(algo);
+      PrintRow("fig10c", algo.name, std::to_string(edges), s);
+      if (algo.name == "AnsW") {
+        (edges <= 2 ? answ_small : answ_large).Add(s.seconds.Mean());
+      } else if (algo.name == "AnsWb") {
+        (edges <= 2 ? answb_small : answb_large).Add(s.seconds.Mean());
+      }
+    }
+  }
+
+  Shape(answ_large.Mean() >= answ_small.Mean() * 0.8,
+        "larger queries cost more time to verify");
+  const double answ_sensitivity = answ_large.Mean() / std::max(answ_small.Mean(), 1e-9);
+  const double answb_sensitivity =
+      answb_large.Mean() / std::max(answb_small.Mean(), 1e-9);
+  std::printf("#AGG sensitivity AnsW=%.2fx AnsWb=%.2fx (small->large |E_Q|)\n",
+              answ_sensitivity, answb_sensitivity);
+  Shape(answ_sensitivity <= answb_sensitivity * 1.5,
+        "AnsW is less sensitive to |E_Q| than AnsWb (star views)");
+  return 0;
+}

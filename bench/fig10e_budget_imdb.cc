@@ -1,0 +1,33 @@
+// Fig 10(e): time vs cost budget B = 1..5 on IMDB-like (same protocol as
+// Fig 10(d) on the second dataset).
+
+#include "bench_common.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+int main() {
+  BenchEnv env;
+  Header("fig10e", "time vs budget B (imdb_like)");
+
+  Graph g = GenerateGraph(ImdbLike(env.scale));
+  auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
+  ExperimentRunner runner(g, std::move(cases));
+
+  double answ_b1 = 0, answ_b5 = 0;
+  for (int budget = 1; budget <= 5; ++budget) {
+    ChaseOptions base = DefaultChase();
+    base.budget = budget;
+    for (AlgoSpec algo : {MakeAnsHeu(base, 2), MakeAnsW(base), MakeAnsWb(base)}) {
+      AlgoSummary s = runner.Run(algo);
+      PrintRow("fig10e", algo.name, "B=" + std::to_string(budget), s);
+      if (algo.name == "AnsW") {
+        if (budget == 1) answ_b1 = s.seconds.Mean();
+        if (budget == 5) answ_b5 = s.seconds.Mean();
+      }
+    }
+  }
+  Shape(answ_b5 >= answ_b1,
+        "time grows with budget on imdb_like as well");
+  return 0;
+}

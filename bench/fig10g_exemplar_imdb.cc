@@ -1,0 +1,37 @@
+// Fig 10(g): time vs exemplar size |T| = 5..25 on IMDB-like (companion to
+// Fig 10(f)).
+
+#include "bench_common.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+int main() {
+  BenchEnv env;
+  Header("fig10g", "time vs |T| (imdb_like)");
+
+  Graph g = GenerateGraph(ImdbLike(env.scale));
+  ChaseOptions base = DefaultChase();
+
+  double answ_small = 0, answ_large = 0;
+  for (size_t tuples : {5u, 10u, 15u, 20u, 25u}) {
+    WhyFactoryOptions factory = DefaultFactory(env.seed);
+    factory.max_tuples = tuples;
+    factory.query.min_answers = 4;
+    factory.query.max_answers = 400;
+    auto cases = MakeBenchCases(g, env.queries, factory);
+    if (cases.empty()) continue;
+    ExperimentRunner runner(g, std::move(cases));
+    for (AlgoSpec algo : {MakeAnsHeu(base, 2), MakeAnsW(base)}) {
+      AlgoSummary s = runner.Run(algo);
+      PrintRow("fig10g", algo.name, "T=" + std::to_string(tuples), s);
+      if (algo.name == "AnsW") {
+        if (tuples == 5) answ_small = s.seconds.Mean();
+        if (tuples == 25) answ_large = s.seconds.Mean();
+      }
+    }
+  }
+  Shape(answ_large >= answ_small * 0.8,
+        "AnsW needs more time with more exemplar tuples");
+  return 0;
+}

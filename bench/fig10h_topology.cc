@@ -1,0 +1,44 @@
+// Fig 10(h): time vs query topology (star / chain=tree-ish / cyclic) on
+// DBpedia-like. Star queries decompose to a single star view; trees and
+// cyclic queries decompose to more stars and join longer.
+
+#include "bench_common.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+int main() {
+  BenchEnv env;
+  Header("fig10h", "time vs query topology (dbpedia_like)");
+
+  Graph g = GenerateGraph(DbpediaLike(env.scale));
+  ChaseOptions base = DefaultChase();
+
+  double star_time = 0, tree_time = 0, cyclic_time = 0;
+  for (QueryShape shape :
+       {QueryShape::kStar, QueryShape::kTree, QueryShape::kCyclic}) {
+    WhyFactoryOptions factory = DefaultFactory(env.seed);
+    factory.query.shape = shape;
+    factory.query.num_edges = 3;
+    factory.query.max_tries = 600;
+    auto cases = MakeBenchCases(g, env.queries, factory);
+    if (cases.empty()) {
+      std::printf("fig10h,AnsW,%s,skipped=no-cases\n", QueryShapeName(shape));
+      continue;
+    }
+    ExperimentRunner runner(g, std::move(cases));
+    AlgoSummary s = runner.Run(MakeAnsW(base));
+    PrintRow("fig10h", "AnsW", QueryShapeName(shape), s);
+    if (shape == QueryShape::kStar) star_time = s.seconds.Mean();
+    if (shape == QueryShape::kTree) tree_time = s.seconds.Mean();
+    if (shape == QueryShape::kCyclic) cyclic_time = s.seconds.Mean();
+    AlgoSummary h = runner.Run(MakeAnsHeu(base, 2));
+    PrintRow("fig10h", h.name, QueryShapeName(shape), h);
+  }
+
+  std::printf("#AGG star=%.3fs tree=%.3fs cyclic=%.3fs\n", star_time,
+              tree_time, cyclic_time);
+  Shape(star_time <= std::max(tree_time, cyclic_time) * 1.15,
+        "star queries answer fastest (single star view; fewer joins)");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig 10(i): effectiveness — relative closeness δ (answer Jaccard against
+// the ground truth, see §7 Exp-2) per algorithm and dataset, with AnsHeu
+// swept over beam sizes 1..5. AnsW achieves the maximum; AnsHeu improves
+// with beam width.
+
+#include "bench_common.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+int main() {
+  BenchEnv env;
+  Header("fig10i", "relative closeness per dataset / algorithm / beam");
+
+  ChaseOptions base = DefaultChase();
+  Aggregate answ_delta, beam1_delta, beam5_delta, fm_delta;
+  Aggregate answ_cl, beam5_cl, fm_cl;
+
+  for (const GraphSpec& spec : AllDatasets(env.scale)) {
+    Graph g = GenerateGraph(spec);
+    auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
+    ExperimentRunner runner(g, std::move(cases));
+
+    AlgoSummary sw = runner.Run(MakeAnsW(base));
+    PrintRow("fig10i", spec.name, "AnsW", sw);
+    answ_delta.Add(sw.delta.Mean());
+    answ_cl.Add(sw.closeness.Mean());
+
+    AlgoSummary sf = runner.Run(MakeFMAnsW(base));
+    PrintRow("fig10i", spec.name, "FMAnsW", sf);
+    fm_delta.Add(sf.delta.Mean());
+    fm_cl.Add(sf.closeness.Mean());
+
+    for (size_t beam : {1u, 2u, 3u, 5u}) {
+      AlgoSummary sh = runner.Run(MakeAnsHeu(base, beam));
+      PrintRow("fig10i", spec.name, sh.name, sh);
+      if (beam == 1) beam1_delta.Add(sh.delta.Mean());
+      if (beam == 5) {
+        beam5_delta.Add(sh.delta.Mean());
+        beam5_cl.Add(sh.closeness.Mean());
+      }
+    }
+  }
+
+  std::printf("#AGG delta AnsW=%.3f AnsHeu(k=1)=%.3f AnsHeu(k=5)=%.3f "
+              "FMAnsW=%.3f | closeness AnsW=%.4f AnsHeu(k=5)=%.4f "
+              "FMAnsW=%.4f\n",
+              answ_delta.Mean(), beam1_delta.Mean(), beam5_delta.Mean(),
+              fm_delta.Mean(), answ_cl.Mean(), beam5_cl.Mean(), fm_cl.Mean());
+  // Two halves of the paper's claim: (1) within the Q-Chase operator
+  // universe the exact search dominates the beam on the measure it
+  // optimizes (guaranteed); (2) against the mining baseline, AnsW recovers
+  // the ground truth at least as well (δ, the figure's own metric).
+  Shape(answ_cl.Mean() + 1e-9 >= beam5_cl.Mean(),
+        "AnsW achieves at least AnsHeu's answer closeness");
+  Shape(answ_delta.Mean() + 1e-9 >= fm_delta.Mean(),
+        "AnsW recovers the ground truth at least as well as FMAnsW");
+  Shape(beam5_delta.Mean() + 0.05 >= beam1_delta.Mean(),
+        "wider beams do not hurt AnsHeu's closeness");
+  return 0;
+}

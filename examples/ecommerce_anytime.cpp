@@ -1,0 +1,65 @@
+// Anytime search under interactive latency budgets (§5.1, Exp-3) on a
+// WatDiv-like e-commerce graph: the same Why-question answered by AnsW with
+// progressively longer deadlines, and by the tunable AnsHeu beam, showing
+// the quality/latency trade-off a search UI would expose.
+
+#include <cstdio>
+
+#include "chase/ans_heu.h"
+#include "chase/answ.h"
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+#include "workload/why_factory.h"
+
+using namespace wqe;
+
+int main() {
+  Graph g = GenerateGraph(WatDivLike(0.3));
+  std::printf("WatDiv-like graph: %zu nodes, %zu edges\n\n", g.num_nodes(),
+              g.num_edges());
+
+  // Build one Why-question with the standard protocol.
+  WhyFactoryOptions factory;
+  factory.query.num_edges = 2;
+  factory.disturb.num_ops = 3;
+  factory.seed = 1;
+  auto cases = MakeBenchCases(g, 1, factory);
+  if (cases.empty()) {
+    std::printf("no case generated (unlucky seed) — nothing to demo\n");
+    return 0;
+  }
+  const BenchCase& c = cases.front();
+  std::printf("Query:\n%s\n", c.question.query.ToString(g.schema()).c_str());
+  std::printf("Exemplar tuples: %zu; ground-truth answer: %zu entities\n\n",
+              c.question.exemplar.tuples().size(), c.gt_answer.size());
+
+  std::printf("%-28s %-12s %-10s %-8s\n", "configuration", "closeness",
+              "cost", "steps");
+  for (double deadline : {0.02, 0.1, 0.5, 2.0}) {
+    ChaseOptions opts;
+    opts.budget = 3;
+    opts.deadline = Deadline::After(deadline);
+    ChaseResult r = AnsW(g, c.question, opts);
+    std::printf("AnsW, deadline %5.0f ms      %-12.4f %-10.2f %llu\n",
+                deadline * 1000, r.best().closeness, r.best().cost,
+                static_cast<unsigned long long>(r.stats.steps));
+  }
+  for (size_t beam : {1u, 2u, 4u}) {
+    ChaseOptions opts;
+    opts.budget = 3;
+    opts.beam = beam;
+    ChaseResult r = AnsHeu(g, c.question, opts);
+    std::printf("AnsHeu, beam %zu              %-12.4f %-10.2f %llu\n", beam,
+                r.best().closeness, r.best().cost,
+                static_cast<unsigned long long>(r.stats.steps));
+  }
+
+  ChaseOptions exact;
+  exact.budget = 3;
+  ChaseResult full = AnsW(g, c.question, exact);
+  std::printf("AnsW, no deadline           %-12.4f %-10.2f %llu\n",
+              full.best().closeness, full.best().cost,
+              static_cast<unsigned long long>(full.stats.steps));
+  std::printf("\nTheoretical optimum cl* = %.4f\n", full.cl_star);
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "chase/ans_heu.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace wqe {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+ChaseResult AnsHeuWithContext(ChaseContext& ctx) {
+  const ChaseOptions& opts = ctx.options();
+  const size_t beam = std::max<size_t>(opts.beam, 1);
+  Timer timer;
+  ChaseResult result;
+  result.cl_star = ctx.cl_star();
+
+  Rng rng(opts.seed);
+  Rng* random_ops = opts.random_ops ? &rng : nullptr;
+
+  std::vector<WhyAnswer> answers;
+  auto offer = [&](const EvalResult& eval) {
+    if (!eval.satisfies_exemplar) return;
+    const std::string fp = eval.query.Fingerprint();
+    for (const WhyAnswer& a : answers) {
+      if (a.rewrite.Fingerprint() == fp) return;
+    }
+    WhyAnswer a;
+    a.rewrite = eval.query;
+    a.ops = eval.ops;
+    a.cost = eval.cost;
+    a.matches = eval.matches;
+    a.closeness = eval.cl;
+    a.satisfies_exemplar = true;
+    const double old_best = answers.empty() ? -1e18 : answers.front().closeness;
+    answers.push_back(std::move(a));
+    std::stable_sort(answers.begin(), answers.end(),
+                     [](const WhyAnswer& x, const WhyAnswer& y) {
+                       return x.closeness > y.closeness;
+                     });
+    if (answers.size() > std::max<size_t>(opts.top_k, 1)) {
+      answers.resize(std::max<size_t>(opts.top_k, 1));
+    }
+    if (!answers.empty() && answers.front().closeness > old_best + kEps) {
+      result.trace.push_back({timer.ElapsedSeconds(), answers.front().closeness,
+                              answers.front().matches});
+    }
+  };
+
+  std::unordered_set<std::string> visited;
+  std::vector<std::shared_ptr<ChaseNode>> front;
+  auto root = std::make_shared<ChaseNode>();
+  root->eval = ctx.root();
+  visited.insert(root->eval->query.Fingerprint());
+  offer(*root->eval);
+  front.push_back(std::move(root));
+
+  while (!front.empty() && ctx.stats().steps < opts.max_steps &&
+         !opts.deadline.Expired()) {
+    std::vector<std::shared_ptr<ChaseNode>> children;
+    const double best_cl = answers.empty() ? -1e18 : answers.front().closeness;
+
+    for (auto& node : front) {
+      GenerateOps(ctx, *node, best_cl, /*per_class_cap=*/beam, random_ops);
+      while (const ScoredOp* scored = node->Poll()) {
+        if (opts.deadline.Expired()) break;
+        ++ctx.stats().steps;
+        PatternQuery next_query = node->eval->query;
+        if (!Apply(scored->op, &next_query, opts.max_bound)) continue;
+        const std::string fp = next_query.Fingerprint();
+        if (!visited.insert(fp).second) continue;
+        OpSequence next_ops = node->eval->ops;
+        next_ops.Append(scored->op);
+        auto eval = ctx.Evaluate(next_query, std::move(next_ops));
+        offer(*eval);
+        auto child = std::make_shared<ChaseNode>();
+        child->eval = std::move(eval);
+        children.push_back(std::move(child));
+      }
+    }
+
+    // Beam eviction: keep the k most promising children. Rank by the cl⁺
+    // upper bound first — greedy eviction on raw closeness alone would
+    // discard relax-phase nodes (which trade immediate closeness for
+    // reachable relevant candidates) in favor of myopic refinements.
+    std::stable_sort(children.begin(), children.end(),
+                     [](const std::shared_ptr<ChaseNode>& a,
+                        const std::shared_ptr<ChaseNode>& b) {
+                       if (a->eval->cl_plus != b->eval->cl_plus) {
+                         return a->eval->cl_plus > b->eval->cl_plus;
+                       }
+                       return a->eval->cl > b->eval->cl;
+                     });
+    if (children.size() > beam) children.resize(beam);
+    front = std::move(children);
+  }
+
+  result.answers = std::move(answers);
+  if (result.answers.empty()) {
+    WhyAnswer a;
+    a.rewrite = ctx.root()->query;
+    a.ops = ctx.root()->ops;
+    a.cost = 0;
+    a.matches = ctx.root()->matches;
+    a.closeness = ctx.root()->cl;
+    a.satisfies_exemplar = ctx.root()->satisfies_exemplar;
+    result.answers.push_back(std::move(a));
+  }
+  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  result.stats = ctx.stats();
+  return result;
+}
+
+ChaseResult AnsHeu(const Graph& g, const WhyQuestion& w,
+                   const ChaseOptions& opts) {
+  ChaseContext ctx(g, w, opts);
+  return AnsHeuWithContext(ctx);
+}
+
+}  // namespace wqe

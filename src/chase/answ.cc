@@ -1,0 +1,194 @@
+#include "chase/answ.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace wqe {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<ChaseNode>& a,
+                  const std::shared_ptr<ChaseNode>& b) const {
+    // Max-heap on closeness; cl⁺ breaks ties toward more promising subtrees.
+    if (a->eval->cl != b->eval->cl) return a->eval->cl < b->eval->cl;
+    return a->eval->cl_plus < b->eval->cl_plus;
+  }
+};
+
+// Maintains the top-k answers (§6.2), deduplicated by rewrite fingerprint.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(std::max<size_t>(k, 1)) {}
+
+  /// Returns true when the best answer improved.
+  bool Offer(const EvalResult& eval) {
+    if (!eval.satisfies_exemplar) return false;
+    const std::string fp = eval.query.Fingerprint();
+    for (WhyAnswer& a : answers_) {
+      if (a.rewrite.Fingerprint() == fp) {
+        if (eval.cost < a.cost - kEps) {
+          a.ops = eval.ops;
+          a.cost = eval.cost;
+        }
+        return false;
+      }
+    }
+    WhyAnswer a;
+    a.rewrite = eval.query;
+    a.ops = eval.ops;
+    a.cost = eval.cost;
+    a.matches = eval.matches;
+    a.closeness = eval.cl;
+    a.satisfies_exemplar = true;
+    const double old_best = answers_.empty() ? -1e18 : answers_.front().closeness;
+    answers_.push_back(std::move(a));
+    std::stable_sort(answers_.begin(), answers_.end(),
+                     [](const WhyAnswer& x, const WhyAnswer& y) {
+                       if (x.closeness != y.closeness) {
+                         return x.closeness > y.closeness;
+                       }
+                       return x.cost < y.cost;
+                     });
+    if (answers_.size() > k_) answers_.resize(k_);
+    return !answers_.empty() && answers_.front().closeness > old_best + kEps;
+  }
+
+  /// cl(Q*_k): the pruning threshold — the k-th best closeness, or -inf
+  /// while fewer than k answers are known.
+  double PruneThreshold() const {
+    if (answers_.size() < k_) return -1e18;
+    return answers_.back().closeness;
+  }
+
+  double BestCloseness() const {
+    return answers_.empty() ? -1e18 : answers_.front().closeness;
+  }
+
+  const std::vector<NodeId>& BestMatches() const {
+    static const std::vector<NodeId> kEmpty;
+    return answers_.empty() ? kEmpty : answers_.front().matches;
+  }
+
+  std::vector<WhyAnswer> Take() { return std::move(answers_); }
+
+ private:
+  size_t k_;
+  std::vector<WhyAnswer> answers_;
+};
+
+}  // namespace
+
+ChaseResult AnsWWithContext(ChaseContext& ctx) {
+  const ChaseOptions& opts = ctx.options();
+  Timer timer;
+  ChaseResult result;
+  result.cl_star = ctx.cl_star();
+
+  TopK topk(opts.top_k);
+  Rng rng(opts.seed);
+  Rng* random_ops = opts.random_ops ? &rng : nullptr;
+
+  std::priority_queue<std::shared_ptr<ChaseNode>,
+                      std::vector<std::shared_ptr<ChaseNode>>, NodeOrder>
+      frontier;
+  // Cheapest cost at which each rewrite was reached; a revisit at equal or
+  // higher cost explores a subset of the cheaper visit's subtree.
+  std::unordered_map<std::string, double> visited;
+
+  auto root = std::make_shared<ChaseNode>();
+  root->eval = ctx.root();
+  visited[root->eval->query.Fingerprint()] = root->eval->cost;
+  if (topk.Offer(*root->eval)) {
+    result.trace.push_back(
+        {timer.ElapsedSeconds(), topk.BestCloseness(), topk.BestMatches()});
+  }
+  frontier.push(root);
+
+  bool optimal = false;
+  while (!frontier.empty() && ctx.stats().steps < opts.max_steps &&
+         !opts.deadline.Expired()) {
+    auto node = frontier.top();  // peek (line 5)
+    if (!node->ops_generated) {
+      GenerateOps(ctx, *node, topk.PruneThreshold(), /*per_class_cap=*/0,
+                  random_ops);
+    }
+    const ScoredOp* scored = node->Poll();  // NextOp (line 6)
+    if (scored == nullptr) {
+      frontier.pop();  // backtrack (line 7)
+      continue;
+    }
+    ++ctx.stats().steps;
+
+    // Simulate one Q-Chase step (line 8): Q' = Q ⊕ o.
+    PatternQuery next_query = node->eval->query;
+    if (!Apply(scored->op, &next_query, opts.max_bound)) continue;
+    OpSequence next_ops = node->eval->ops;
+    next_ops.Append(scored->op);
+
+    const std::string fp = next_query.Fingerprint();
+    const double next_cost = node->eval->cost + scored->cost;
+    if (opts.dedup_rewrites) {
+      auto seen = visited.find(fp);
+      if (seen != visited.end() && seen->second <= next_cost + kEps) continue;
+      visited[fp] = next_cost;
+    }
+
+    auto eval = ctx.Evaluate(next_query, std::move(next_ops));
+
+    // Prune (line 9, Lemma 5.5(2)): once refining, cl can only drop below
+    // cl⁺; a subtree whose bound cannot beat the incumbent is dead.
+    if (opts.use_pruning && eval->refined &&
+        eval->cl_plus <= topk.PruneThreshold() + kEps) {
+      ++ctx.stats().pruned;
+      continue;
+    }
+
+    if (topk.Offer(*eval)) {  // lines 10-12
+      result.trace.push_back(
+        {timer.ElapsedSeconds(), topk.BestCloseness(), topk.BestMatches()});
+    }
+
+    // Theoretical-optimal early termination (line 13).
+    if (opts.use_pruning && topk.BestCloseness() >= ctx.cl_star() - kEps &&
+        opts.top_k == 1) {
+      optimal = true;
+      break;
+    }
+
+    auto child = std::make_shared<ChaseNode>();
+    child->eval = std::move(eval);
+    frontier.push(std::move(child));  // line 14
+  }
+
+  result.answers = topk.Take();
+  if (result.answers.empty()) {
+    // Always report the original query as the (non-satisfying) fallback so
+    // callers can measure its closeness.
+    WhyAnswer a;
+    a.rewrite = ctx.root()->query;
+    a.ops = ctx.root()->ops;
+    a.cost = 0;
+    a.matches = ctx.root()->matches;
+    a.closeness = ctx.root()->cl;
+    a.satisfies_exemplar = ctx.root()->satisfies_exemplar;
+    result.answers.push_back(std::move(a));
+  }
+  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  ctx.stats().reached_theoretical_optimal = optimal;
+  result.stats = ctx.stats();
+  return result;
+}
+
+ChaseResult AnsW(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts) {
+  ChaseContext ctx(g, w, opts);
+  return AnsWWithContext(ctx);
+}
+
+}  // namespace wqe

@@ -1,0 +1,209 @@
+#include "chase/answe.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/timer.h"
+
+namespace wqe {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Parent of each active node in the BFS tree of the pattern rooted at the
+// focus (kNoQNode for the focus itself), plus the connecting edge index.
+struct PatternTree {
+  std::vector<QNodeId> parent;
+  std::vector<int> parent_edge;
+};
+
+PatternTree BuildTree(const PatternQuery& q) {
+  PatternTree tree;
+  tree.parent.assign(q.num_nodes(), kNoQNode);
+  tree.parent_edge.assign(q.num_nodes(), -1);
+  std::vector<bool> seen(q.num_nodes(), false);
+  std::vector<QNodeId> queue = {q.focus()};
+  seen[q.focus()] = true;
+  const auto active_edges = q.ActiveEdges();
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const QNodeId u = queue[head];
+    for (size_t ei : active_edges) {
+      const QueryEdge& e = q.edge(ei);
+      QNodeId other = kNoQNode;
+      if (e.from == u) other = e.to;
+      if (e.to == u) other = e.from;
+      if (other == kNoQNode || seen[other]) continue;
+      seen[other] = true;
+      tree.parent[other] = u;
+      tree.parent_edge[other] = static_cast<int>(ei);
+      queue.push_back(other);
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+ChaseResult AnsWEWithContext(ChaseContext& ctx) {
+  Timer timer;
+  const ChaseOptions& opts = ctx.options();
+  const Graph& g = ctx.graph();
+  ChaseResult result;
+  result.cl_star = ctx.cl_star();
+
+  auto root = ctx.root();
+  const PatternQuery& q = root->query;
+  const QNodeId focus = q.focus();
+  const PatternTree tree = BuildTree(q);
+  BoundedBfs bfs(g);
+
+  struct Repair {
+    NodeId candidate;
+    double cost;
+    std::vector<Op> ops;
+  };
+  std::vector<Repair> repairs;
+
+  // Every relevant candidate (all rep nodes are non-matches for a Why-Empty
+  // question) gets its failed atomic conditions diagnosed.
+  std::vector<NodeId> rcs = root->rel.rc;
+  if (rcs.size() > opts.max_diagnosed_nodes) rcs.resize(opts.max_diagnosed_nodes);
+
+  for (NodeId v : rcs) {
+    Repair repair;
+    repair.candidate = v;
+    repair.cost = 0;
+    std::map<std::string, bool> dedup;
+    std::vector<bool> detached(q.num_nodes(), false);
+
+    auto add_op = [&](Op op) {
+      const std::string key = std::to_string(static_cast<int>(op.kind)) + "/" +
+                              std::to_string(op.u) + "/" + std::to_string(op.v) +
+                              "/" + std::to_string(op.lit.attr) + "/" +
+                              std::to_string(static_cast<int>(op.lit.op));
+      if (dedup.count(key)) return;
+      dedup[key] = true;
+      repair.cost += ctx.OpCostOf(op);
+      repair.ops.push_back(std::move(op));
+    };
+
+    // Fragment type (1): literals at the focus.
+    for (const Literal& lit : q.node(focus).literals) {
+      if (lit.Matches(g, v)) continue;
+      Op op;
+      op.kind = OpKind::kRmL;
+      op.u = focus;
+      op.lit = lit;
+      add_op(std::move(op));
+    }
+
+    // Fragment types (2) and (3): one anchored edge per non-focus node plus
+    // per-literal copies. Process in BFS order so detachment propagates.
+    for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+      if (u == focus || tree.parent_edge[u] < 0) continue;
+      if (detached[tree.parent[u]] || detached[u]) {
+        detached[u] = true;
+        continue;
+      }
+      const uint32_t qd = q.QueryDistance(focus, u);
+      if (qd == PatternQuery::kNoQueryDist) continue;
+
+      bool label_reachable = false;
+      std::vector<NodeId> reachable_labeled;
+      bfs.Undirected(v, qd, [&](NodeId w, uint32_t) {
+        if (w == v) return;
+        const QueryNode& qn = q.node(u);
+        if (qn.label == kWildcardSymbol || g.label(w) == qn.label) {
+          label_reachable = true;
+          reachable_labeled.push_back(w);
+        }
+      });
+
+      if (!label_reachable) {
+        // Atomic condition "u is reachable" fails: cut u's anchor edge
+        // (detaching its whole subtree).
+        const QueryEdge& e = q.edge(static_cast<size_t>(tree.parent_edge[u]));
+        Op op;
+        op.kind = OpKind::kRmE;
+        op.u = e.from;
+        op.v = e.to;
+        op.bound = e.bound;
+        add_op(std::move(op));
+        detached[u] = true;
+        continue;
+      }
+      // Per-literal fragments of u.
+      for (const Literal& lit : q.node(u).literals) {
+        bool satisfied = false;
+        for (NodeId w : reachable_labeled) {
+          if (lit.Matches(g, w)) {
+            satisfied = true;
+            break;
+          }
+        }
+        if (satisfied) continue;
+        Op op;
+        op.kind = OpKind::kRmL;
+        op.u = u;
+        op.lit = lit;
+        add_op(std::move(op));
+      }
+    }
+
+    if (repair.cost <= opts.budget + kEps) repairs.push_back(std::move(repair));
+  }
+
+  std::stable_sort(repairs.begin(), repairs.end(),
+                   [](const Repair& a, const Repair& b) { return a.cost < b.cost; });
+
+  // Verify repairs cheapest-first; the first whose rewrite actually gains a
+  // relevant match is the answer.
+  constexpr size_t kMaxVerify = 20;
+  std::shared_ptr<EvalResult> best;
+  for (size_t i = 0; i < repairs.size() && i < kMaxVerify; ++i) {
+    PatternQuery rewritten = q;
+    OpSequence ops;
+    bool applied = true;
+    for (const Op& op : repairs[i].ops) {
+      if (!Apply(op, &rewritten, opts.max_bound)) {
+        applied = false;
+        break;
+      }
+      ops.Append(op);
+    }
+    if (!applied) continue;
+    ++ctx.stats().steps;
+    auto eval = ctx.Evaluate(rewritten, std::move(ops));
+    if (!eval->rel.rm.empty()) {
+      best = eval;
+      break;
+    }
+  }
+
+  WhyAnswer a;
+  if (best != nullptr) {
+    a.rewrite = best->query;
+    a.ops = best->ops;
+    a.cost = best->cost;
+    a.matches = best->matches;
+    a.closeness = best->cl;
+    a.satisfies_exemplar = best->satisfies_exemplar;
+  } else {
+    a.rewrite = root->query;
+    a.matches = root->matches;
+    a.closeness = root->cl;
+    a.satisfies_exemplar = root->satisfies_exemplar;
+  }
+  result.answers.push_back(std::move(a));
+  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  result.stats = ctx.stats();
+  return result;
+}
+
+ChaseResult AnsWE(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts) {
+  ChaseContext ctx(g, w, opts);
+  return AnsWEWithContext(ctx);
+}
+
+}  // namespace wqe

@@ -1,0 +1,167 @@
+#include "chase/apx_whym.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/timer.h"
+
+namespace wqe {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr size_t kMaxSeeds = 64;
+
+// SeedRf (Appendix C): local picky refinements plus AddE operators to fresh
+// pattern nodes labeled like nodes in the B-hop neighborhood of RM matches.
+std::vector<ScoredOp> SeedRf(ChaseContext& ctx, const EvalResult& root) {
+  std::vector<ScoredOp> seeds = GenerateRefineOps(ctx, root);
+
+  const Graph& g = ctx.graph();
+  const uint32_t hops =
+      std::min<uint32_t>(ctx.options().max_bound,
+                         static_cast<uint32_t>(ctx.options().budget));
+  std::vector<NodeId> rm = root.rel.rm;
+  if (rm.size() > ctx.options().max_diagnosed_nodes) {
+    rm.resize(ctx.options().max_diagnosed_nodes);
+  }
+  if (!rm.empty() && hops >= 2) {
+    BoundedBfs bfs(g);
+    // Labels reachable within d hops from *every* RM match, per distance.
+    std::map<std::pair<LabelId, uint32_t>, size_t> counts;
+    for (NodeId v : rm) {
+      std::set<std::pair<LabelId, uint32_t>> seen;
+      bfs.Forward(v, hops, [&](NodeId w, uint32_t d) {
+        if (d == 0) return;
+        seen.insert({g.label(w), d});
+      });
+      for (const auto& key : seen) ++counts[key];
+    }
+    for (const auto& [key, count] : counts) {
+      const auto [label, d] = key;
+      if (d < 2 || count < rm.size()) continue;  // 1-hop handled by GenRf
+      // Picky only if some IM match lacks this label within d hops.
+      std::vector<NodeId> im_removed;
+      for (NodeId v : root.rel.im) {
+        bool has = false;
+        bfs.Forward(v, d, [&](NodeId w, uint32_t dd) {
+          if (dd > 0 && g.label(w) == label) has = true;
+        });
+        if (!has) im_removed.push_back(v);
+      }
+      if (im_removed.empty()) continue;
+      ScoredOp so;
+      so.op.kind = OpKind::kAddE;
+      so.op.u = root.query.focus();
+      so.op.creates_node = true;
+      so.op.new_node_label = label;
+      so.op.new_bound = d;
+      so.cost = ctx.OpCostOf(so.op);
+      so.support = std::move(im_removed);
+      so.pickiness = static_cast<double>(so.support.size());
+      seeds.push_back(std::move(so));
+    }
+  }
+
+  std::stable_sort(seeds.begin(), seeds.end(),
+                   [](const ScoredOp& a, const ScoredOp& b) {
+                     return a.pickiness > b.pickiness;
+                   });
+  if (seeds.size() > kMaxSeeds) seeds.resize(kMaxSeeds);
+  return seeds;
+}
+
+}  // namespace
+
+ChaseResult ApxWhyMWithContext(ChaseContext& ctx) {
+  Timer timer;
+  const ChaseOptions& opts = ctx.options();
+  ChaseResult result;
+  result.cl_star = ctx.cl_star();
+
+  auto root = ctx.root();
+  std::vector<ScoredOp> seeds = SeedRf(ctx, *root);
+
+  auto make_answer = [&](const EvalResult& eval) {
+    WhyAnswer a;
+    a.rewrite = eval.query;
+    a.ops = eval.ops;
+    a.cost = eval.cost;
+    a.matches = eval.matches;
+    a.closeness = eval.cl;
+    a.satisfies_exemplar = eval.satisfies_exemplar;
+    return a;
+  };
+
+  // Best answer seen anywhere in the procedure. A Why-Many answer must keep
+  // Q'(G) ⊨ ℰ; satisfying rewrites take precedence, with the best-closeness
+  // non-satisfying rewrite as a diagnostic fallback.
+  std::shared_ptr<EvalResult> best_sat = root->satisfies_exemplar ? root : nullptr;
+  std::shared_ptr<EvalResult> best_any = root;
+  auto consider = [&](const std::shared_ptr<EvalResult>& eval) {
+    if (eval->cl > best_any->cl + kEps) best_any = eval;
+    if (eval->satisfies_exemplar &&
+        (best_sat == nullptr || eval->cl > best_sat->cl + kEps)) {
+      best_sat = eval;
+    }
+  };
+  consider(root);
+
+  // O_2: best single operator (lines 3, 9 of Fig 9).
+  for (const ScoredOp& so : seeds) {
+    if (so.cost > opts.budget + kEps) continue;
+    PatternQuery q = root->query;
+    if (!Apply(so.op, &q, opts.max_bound)) continue;
+    OpSequence ops;
+    ops.Append(so.op);
+    ++ctx.stats().steps;
+    consider(ctx.Evaluate(q, std::move(ops)));
+  }
+
+  // O_1: greedy marginal-gain-per-cost selection (lines 4-8).
+  std::vector<bool> used(seeds.size(), false);
+  auto cur = root;
+  double spent = 0;
+  while (true) {
+    int best_i = -1;
+    double best_ratio = 0;
+    std::shared_ptr<EvalResult> best_eval;
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      if (used[i]) continue;
+      if (spent + seeds[i].cost > opts.budget + kEps) continue;
+      PatternQuery q = cur->query;
+      if (!Apply(seeds[i].op, &q, opts.max_bound)) continue;
+      OpSequence ops = cur->ops;
+      ops.Append(seeds[i].op);
+      ++ctx.stats().steps;
+      auto eval = ctx.Evaluate(q, std::move(ops));
+      const double ratio = (eval->cl - cur->cl) / seeds[i].cost;
+      if (best_i < 0 || ratio > best_ratio + kEps) {
+        best_i = static_cast<int>(i);
+        best_ratio = ratio;
+        best_eval = eval;
+      }
+    }
+    if (best_i < 0 || best_ratio <= 0) break;
+    used[static_cast<size_t>(best_i)] = true;
+    spent += seeds[static_cast<size_t>(best_i)].cost;
+    cur = best_eval;
+    consider(cur);
+    if (opts.deadline.Expired()) break;
+  }
+
+  result.answers.push_back(
+      make_answer(best_sat != nullptr ? *best_sat : *best_any));
+  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  result.stats = ctx.stats();
+  return result;
+}
+
+ChaseResult ApxWhyM(const Graph& g, const WhyQuestion& w,
+                    const ChaseOptions& opts) {
+  ChaseContext ctx(g, w, opts);
+  return ApxWhyMWithContext(ctx);
+}
+
+}  // namespace wqe

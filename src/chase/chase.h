@@ -1,0 +1,64 @@
+#ifndef WQE_CHASE_CHASE_H_
+#define WQE_CHASE_CHASE_H_
+
+#include <optional>
+#include <vector>
+
+#include "chase/next_op.h"
+
+namespace wqe {
+
+/// A chase state (Q_i, ℰ_i) (§4): the rewrite so far plus the *accumulated*
+/// sub-exemplar — the tuple patterns and constraint literals already
+/// enforced by the sequence. ℰ_0 = (∅, ∅); a terminal valid sequence whose
+/// answer satisfies the full ℰ is an answer to the Why-question
+/// (Theorem 4.3).
+struct ChaseState {
+  PatternQuery query;
+  OpSequence ops;
+  double cost = 0;
+  std::vector<NodeId> matches;
+  std::vector<bool> tuples_enforced;       // 𝒯_i membership per tuple index
+  std::vector<bool> constraints_enforced;  // C_i membership per literal index
+};
+
+/// Formal Q-Chase step semantics. This class exists to make the paper's
+/// characterization executable — AnsW simulates it without materializing
+/// states; tests validate the two against each other.
+class QChase {
+ public:
+  explicit QChase(ChaseContext& ctx) : ctx_(ctx) {}
+
+  /// The root (Q_0, ℰ_0).
+  ChaseState Initial();
+
+  /// Applies one Q-Chase step with operator `op` (may be ∅), enforcing the
+  /// §4 rules: relaxations grow matches / 𝒯 / C; refinements shrink them.
+  /// Returns nullopt when the step is invalid — `op` inapplicable, or
+  /// Q_{i+1}(G) ⊭ ℰ_{i+1}.
+  std::optional<ChaseState> Step(const ChaseState& state, const Op& op);
+
+  /// Terminal test: no applicable generated operator keeps the sequence
+  /// valid within the budget.
+  bool IsTerminal(const ChaseState& state);
+
+ private:
+  bool AnswerSatisfiesAccumulated(const ChaseState& state) const;
+
+  ChaseContext& ctx_;
+};
+
+/// Reference search: exhaustively enumerates canonical normal-form chase
+/// sequences over the generated operator universe (pruning disabled),
+/// returning the best closeness among answers. Exponential — tests only.
+struct ExhaustiveResult {
+  double best_closeness = -1e18;
+  bool found = false;
+  size_t sequences_explored = 0;
+};
+
+ExhaustiveResult ExhaustiveChase(ChaseContext& ctx, size_t max_depth);
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_CHASE_H_

@@ -1,0 +1,42 @@
+#ifndef WQE_CHASE_DIFFERENTIAL_H_
+#define WQE_CHASE_DIFFERENTIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/eval.h"
+
+namespace wqe {
+
+/// One row ⟨e, o, V_d⟩ of the differential table (§5.4 "Generating
+/// Explanations"): the operator applied at a chase step together with the
+/// focus matches it gained or removed and their relevance.
+struct DifferentialEntry {
+  Op op;
+  std::vector<std::pair<NodeId, Relevance>> gained;
+  std::vector<std::pair<NodeId, Relevance>> lost;
+};
+
+/// Lineage of a query rewrite: which operator is responsible for each answer
+/// change. Rendered as the human-readable explanation the user study (Exp-5)
+/// relies on ("P3 becomes a relevant match due to the removal of e").
+class DifferentialTable {
+ public:
+  void Append(DifferentialEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<DifferentialEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  std::string ToString(const Graph& g) const;
+
+ private:
+  std::vector<DifferentialEntry> entries_;
+};
+
+/// Replays `ops` from the original query, diffing answers step by step
+/// (evaluations are memoized in the context, so replay is cheap).
+DifferentialTable BuildDifferentialTable(ChaseContext& ctx, const OpSequence& ops);
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_DIFFERENTIAL_H_

@@ -1,0 +1,91 @@
+#include "chase/eval.h"
+
+#include <algorithm>
+
+namespace wqe {
+
+GraphIndexes::GraphIndexes(const Graph& g)
+    : adom(g), diameter(EstimateDiameter(g)), dist(g) {}
+
+ChaseContext::ChaseContext(const Graph& g, const WhyQuestion& w,
+                           const ChaseOptions& opts)
+    : ChaseContext(g, nullptr, nullptr, w, opts) {}
+
+ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
+                           const WhyQuestion& w, const ChaseOptions& opts)
+    : ChaseContext(g, indexes, nullptr, w, opts) {}
+
+ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
+                           ViewCache* shared_cache, const WhyQuestion& w,
+                           const ChaseOptions& opts)
+    : g_(g),
+      w_(w),
+      opts_(opts),
+      owned_indexes_(indexes == nullptr ? std::make_unique<GraphIndexes>(g)
+                                        : nullptr),
+      indexes_(indexes == nullptr ? owned_indexes_.get() : indexes),
+      closeness_(g, indexes_->adom, opts.closeness),
+      cache_(),
+      active_cache_(shared_cache == nullptr ? &cache_ : shared_cache),
+      star_matcher_(g, &indexes_->dist,
+                    opts.use_cache ? active_cache_ : nullptr) {
+  if (opts_.time_limit_seconds > 0) {
+    opts_.deadline = Deadline::After(opts_.time_limit_seconds);
+  }
+  // V_{u_o}: the label class of the original focus (all nodes any rewrite's
+  // focus could match).
+  const LabelId focus_label = w_.query.node(w_.query.focus()).label;
+  if (focus_label == kWildcardSymbol) {
+    universe_.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) universe_[v] = v;
+  } else {
+    universe_ = g.NodesWithLabel(focus_label);
+  }
+
+  rep_ = ComputeRep(closeness_, w_.exemplar, universe_);
+  cl_star_ = TheoreticalOptimal(rep_, universe_.size());
+
+  root_ = Evaluate(w_.query, OpSequence());
+}
+
+std::shared_ptr<EvalResult> ChaseContext::Evaluate(const PatternQuery& q,
+                                                   OpSequence ops) {
+  auto result = std::make_shared<EvalResult>();
+  result->query = q;
+  result->cost = SeqCost(ops);
+  for (const Op& op : ops.ops()) {
+    if (op.is_refine()) result->refined = true;
+  }
+  result->ops = std::move(ops);
+
+  const std::string fp = q.Fingerprint();
+  auto memo = opts_.use_memo ? match_memo_.find(fp) : match_memo_.end();
+  if (opts_.use_memo && memo != match_memo_.end()) {
+    ++stats_.memo_hits;
+    result->matches = memo->second;
+  } else {
+    ++stats_.evaluations;
+    // Verify exemplar-close candidates first (TA-style ordering, §5.2).
+    std::function<double(NodeId)> priority = [this](NodeId v) {
+      return rep_.ClosenessOf(v);
+    };
+    auto eval = star_matcher_.Evaluate(q, &priority);
+    result->matches = std::move(eval.matches);
+    if (opts_.use_memo) match_memo_.emplace(fp, result->matches);
+  }
+
+  result->rel = Classify(universe_, result->matches, rep_);
+  result->cl = result->rel.AnswerCloseness(opts_.closeness.lambda);
+  result->cl_plus = result->rel.UpperBound();
+
+  // Q(G) ⊨ ℰ: the answer set itself must satisfy every tuple pattern and
+  // constraint. Re-running the Lemma 2.2 procedure over the (small) match
+  // set decides this exactly.
+  if (!result->matches.empty()) {
+    RepResult over_answer = ComputeRep(closeness_, w_.exemplar, result->matches);
+    result->satisfies_exemplar = over_answer.nontrivial;
+  }
+  return result;
+}
+
+}  // namespace wqe

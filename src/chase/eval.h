@@ -1,0 +1,144 @@
+#ifndef WQE_CHASE_EVAL_H_
+#define WQE_CHASE_EVAL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/why.h"
+#include "exemplar/relevance.h"
+#include "exemplar/rep.h"
+#include "graph/adom.h"
+#include "graph/diameter.h"
+#include "graph/distance_index.h"
+#include "match/star_matcher.h"
+#include "query/op_sequence.h"
+
+namespace wqe {
+
+/// Everything known about one chase node (Q_i, ℰ_i): the rewrite, how it was
+/// derived, its answer, relevance classification, and closeness scores.
+struct EvalResult {
+  PatternQuery query;
+  OpSequence ops;   // Q = Q_0 ⊕ ops
+  double cost = 0;  // c(ops)
+
+  std::vector<NodeId> matches;  // Q(G)
+  RelevanceSets rel;
+  double cl = 0;       // cl(Q(G), ℰ)
+  double cl_plus = 0;  // cl⁺(Q, ℰ) upper bound (§5.4)
+
+  /// True when Q(G) ⊨ ℰ — i.e. the rewrite is an *answer* to the
+  /// Why-question (Theorem 4.3), not just an intermediate chase node.
+  bool satisfies_exemplar = false;
+
+  bool refined = false;  // ops contains at least one refinement operator
+};
+
+/// Aggregate counters for the efficiency experiments.
+struct ChaseStats {
+  uint64_t steps = 0;             // simulated Q-Chase steps
+  uint64_t evaluations = 0;       // rewrites evaluated against G
+  uint64_t memo_hits = 0;         // rewrites recognized via fingerprint
+  uint64_t ops_generated = 0;     // picky operators produced
+  uint64_t pruned = 0;            // chase nodes pruned by §5.4
+  double elapsed_seconds = 0;
+  bool reached_theoretical_optimal = false;
+};
+
+/// Question-independent, graph-level indexes: active domains (cost-model
+/// normalizers), the effective diameter, and the distance index of [2].
+/// Build once per graph and share across Why-questions — the experimental
+/// setup of §7 prebuilds these for every algorithm.
+struct GraphIndexes {
+  explicit GraphIndexes(const Graph& g);
+
+  ActiveDomains adom;
+  uint32_t diameter;
+  DistanceIndex dist;
+};
+
+/// Shared evaluation context for one Why-question: graph-side indexes
+/// (owned or borrowed), the exemplar representation rep(ℰ, V), the focus
+/// universe V_{u_o}, the star-view evaluator with its cache, and a
+/// fingerprint memo so each distinct rewrite is evaluated once.
+///
+/// V_{u_o} is fixed to the *label class* of the original focus — the
+/// candidate superset shared by every rewrite (operators never change
+/// labels) — so closeness values are comparable across chase nodes, matching
+/// the one-time initialization of AnsW line 1.
+class ChaseContext {
+ public:
+  /// Owns freshly-built graph indexes (convenient one-shot use).
+  ChaseContext(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts);
+
+  /// Borrows prebuilt indexes (batch experiments; `indexes` must outlive
+  /// the context).
+  ChaseContext(const Graph& g, GraphIndexes* indexes, const WhyQuestion& w,
+               const ChaseOptions& opts);
+
+  /// Additionally shares an external star-view cache across questions —
+  /// star tables depend only on the graph and star signature, so an
+  /// exploratory session (Fig 3) carries one cache through all its
+  /// Why-questions. Both pointers must outlive the context; `shared_cache`
+  /// may be null.
+  ChaseContext(const Graph& g, GraphIndexes* indexes, ViewCache* shared_cache,
+               const WhyQuestion& w, const ChaseOptions& opts);
+
+  /// Evaluates a rewrite: answer, relevance, closeness. Matches are memoized
+  /// by query fingerprint; `ops` and its cost are recorded per call.
+  std::shared_ptr<EvalResult> Evaluate(const PatternQuery& q, OpSequence ops);
+
+  /// The evaluated original query Q_0 (chase root).
+  const std::shared_ptr<EvalResult>& root() const { return root_; }
+
+  // Question-level precomputation.
+  const RepResult& rep() const { return rep_; }
+  double cl_star() const { return cl_star_; }
+  const std::vector<NodeId>& focus_universe() const { return universe_; }
+
+  double OpCostOf(const Op& op) const {
+    return OpCost(op, indexes_->adom, indexes_->diameter);
+  }
+  double SeqCost(const OpSequence& seq) const {
+    return seq.Cost(indexes_->adom, indexes_->diameter);
+  }
+
+  // Components.
+  const Graph& graph() const { return g_; }
+  const WhyQuestion& question() const { return w_; }
+  const ChaseOptions& options() const { return opts_; }
+  const ActiveDomains& adom() const { return indexes_->adom; }
+  uint32_t diameter() const { return indexes_->diameter; }
+  DistanceIndex& dist() { return indexes_->dist; }
+  const ClosenessEvaluator& closeness() const { return closeness_; }
+  StarMatcher& star_matcher() { return star_matcher_; }
+  ViewCache* cache() { return opts_.use_cache ? active_cache_ : nullptr; }
+
+  ChaseStats& stats() { return stats_; }
+
+ private:
+  const Graph& g_;
+  WhyQuestion w_;
+  ChaseOptions opts_;
+
+  std::unique_ptr<GraphIndexes> owned_indexes_;
+  GraphIndexes* indexes_;
+  ClosenessEvaluator closeness_;
+  ViewCache cache_;            // used when no shared cache is supplied
+  ViewCache* active_cache_;    // &cache_ or the shared one
+  StarMatcher star_matcher_;
+
+  std::vector<NodeId> universe_;  // V_{u_o}
+  RepResult rep_;
+  double cl_star_ = 0;
+
+  std::shared_ptr<EvalResult> root_;
+  std::unordered_map<std::string, std::vector<NodeId>> match_memo_;
+  ChaseStats stats_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_EVAL_H_

@@ -1,0 +1,222 @@
+#include "chase/fm_answ.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/timer.h"
+
+namespace wqe {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr size_t kMaxFeatures = 32;
+constexpr size_t kMaxEvaluations = 2500;
+constexpr size_t kMaxMinedNodes = 300;
+constexpr size_t kBeamPerLevel = 40;  // apriori survivors expanded per level
+
+struct Feature {
+  Op op;
+};
+
+// A mined candidate pattern: a star query assembled from features, with its
+// support evaluated against G (the expensive part of pattern mining: support
+// counting *is* query evaluation).
+struct MinedCandidate {
+  std::vector<size_t> feature_ids;
+  PatternQuery query;
+  OpSequence ops;
+  double cost = 0;
+  std::vector<NodeId> matches;
+  double cl = 0;
+  bool satisfies = false;
+};
+
+}  // namespace
+
+ChaseResult FMAnsWWithContext(ChaseContext& ctx) {
+  Timer timer;
+  const ChaseOptions& opts = ctx.options();
+  const Graph& g = ctx.graph();
+  ChaseResult result;
+  result.cl_star = ctx.cl_star();
+
+  auto root = ctx.root();
+  // The baseline reformulates the *original* query: mined frequent features
+  // are grafted onto (or removed from) Q's focus, the [21] approach of
+  // refining/diversifying the user query rather than synthesizing one.
+  const PatternQuery& base_query = ctx.question().query;
+  const QNodeId focus = base_query.focus();
+  // The baseline evaluates from scratch with the plain matcher: no star
+  // views, no caches, no memo (those are this paper's contributions; the
+  // reformulation baseline of [21] has none of them).
+  Matcher matcher(g, &ctx.dist());
+
+  // ---- Candidate features: attribute values and adjacent labels seen
+  // around V_{u_o}, biased toward the exemplar-relevant nodes.
+  std::vector<NodeId> mined = ctx.rep().nodes;
+  for (NodeId v : ctx.focus_universe()) {
+    if (mined.size() >= kMaxMinedNodes) break;
+    if (!ctx.rep().Contains(v)) mined.push_back(v);
+  }
+
+  std::map<std::pair<AttrId, Value>, double> value_counts;
+  std::map<LabelId, double> label_counts;
+  for (NodeId v : mined) {
+    const double weight = ctx.rep().Contains(v) ? 2.0 : 1.0;
+    for (const AttrPair& pair : g.attrs(v)) {
+      value_counts[{pair.attr, pair.value}] += weight;
+    }
+    std::set<LabelId> seen;
+    for (NodeId w : g.out(v)) seen.insert(g.label(w));
+    for (LabelId l : seen) label_counts[l] += weight;
+  }
+
+  std::vector<std::pair<double, Feature>> ranked;
+  for (const auto& [key, count] : value_counts) {
+    Feature f;
+    f.op.kind = OpKind::kAddL;
+    f.op.u = focus;
+    f.op.lit = {key.first, CmpOp::kEq, key.second};
+    ranked.push_back({count, std::move(f)});
+  }
+  for (const auto& [label, count] : label_counts) {
+    Feature f;
+    f.op.kind = OpKind::kAddE;
+    f.op.u = focus;
+    f.op.creates_node = true;
+    f.op.new_node_label = label;
+    f.op.new_bound = 1;
+    ranked.push_back({count, std::move(f)});
+  }
+  // Removal features: dropping any literal the original query carries is a
+  // reformulation step too (the "too few answers" direction of [21]).
+  for (QNodeId u : base_query.ActiveNodes()) {
+    for (const Literal& lit : base_query.node(u).literals) {
+      Feature f;
+      f.op.kind = OpKind::kRmL;
+      f.op.u = u;
+      f.op.lit = lit;
+      ranked.push_back({1e18, std::move(f)});  // always kept
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<Feature> features;
+  for (auto& [count, f] : ranked) {
+    if (features.size() >= kMaxFeatures) break;
+    features.push_back(std::move(f));
+  }
+
+  size_t evaluations = 0;
+  auto evaluate = [&](std::vector<size_t> ids) -> std::optional<MinedCandidate> {
+    MinedCandidate cand;
+    cand.feature_ids = std::move(ids);
+    cand.query = base_query;
+    for (size_t i : cand.feature_ids) {
+      cand.cost += ctx.OpCostOf(features[i].op);
+      if (cand.cost > opts.budget + kEps ||
+          !Apply(features[i].op, &cand.query, opts.max_bound)) {
+        return std::nullopt;
+      }
+      cand.ops.Append(features[i].op);
+    }
+    ++evaluations;
+    ++ctx.stats().steps;
+    // Support counting: full evaluation against G.
+    cand.matches = matcher.Answer(cand.query);
+    RelevanceSets rel = Classify(ctx.focus_universe(), cand.matches, ctx.rep());
+    cand.cl = rel.AnswerCloseness(opts.closeness.lambda);
+    if (!cand.matches.empty()) {
+      cand.satisfies = ComputeRep(ctx.closeness(), ctx.question().exemplar,
+                                  cand.matches)
+                           .nontrivial;
+    }
+    return cand;
+  };
+
+  MinedCandidate best_any;
+  best_any.query = root->query;
+  best_any.matches = root->matches;
+  best_any.cl = root->cl;
+  best_any.satisfies = root->satisfies_exemplar;
+  std::optional<MinedCandidate> best_sat;
+  if (best_any.satisfies) best_sat = best_any;
+
+  auto consider = [&](const MinedCandidate& cand) {
+    if (cand.cl > best_any.cl + kEps) best_any = cand;
+    if (cand.satisfies &&
+        (!best_sat.has_value() || cand.cl > best_sat->cl + kEps)) {
+      best_sat = cand;
+    }
+  };
+
+  // ---- Apriori-style level-wise mining: level-k patterns extend frequent
+  // level-(k-1) patterns by one feature; support of each candidate pattern
+  // is counted by evaluating it.
+  std::vector<MinedCandidate> frontier;
+  std::set<std::vector<size_t>> enumerated;
+  const size_t max_level =
+      std::max<size_t>(1, static_cast<size_t>(opts.budget));
+  for (size_t i = 0; i < features.size(); ++i) {
+    if (evaluations >= kMaxEvaluations || opts.deadline.Expired()) break;
+    auto cand = evaluate({i});
+    if (!cand.has_value()) continue;
+    enumerated.insert(cand->feature_ids);
+    consider(*cand);
+    // No apriori support pruning: removal features break anti-monotonicity
+    // (an empty pattern can regain matches when a literal is dropped), so
+    // every applicable pattern stays expandable.
+    frontier.push_back(std::move(*cand));
+  }
+
+  for (size_t level = 2; level <= max_level; ++level) {
+    if (evaluations >= kMaxEvaluations || opts.deadline.Expired()) break;
+    std::stable_sort(frontier.begin(), frontier.end(),
+                     [](const MinedCandidate& a, const MinedCandidate& b) {
+                       return a.cl > b.cl;
+                     });
+    if (frontier.size() > kBeamPerLevel) frontier.resize(kBeamPerLevel);
+    std::vector<MinedCandidate> next;
+    for (const MinedCandidate& parent : frontier) {
+      for (size_t i = 0; i < features.size(); ++i) {
+        if (evaluations >= kMaxEvaluations || opts.deadline.Expired()) break;
+        if (std::find(parent.feature_ids.begin(), parent.feature_ids.end(), i) !=
+            parent.feature_ids.end()) {
+          continue;
+        }
+        std::vector<size_t> ids = parent.feature_ids;
+        ids.push_back(i);
+        std::sort(ids.begin(), ids.end());
+        if (!enumerated.insert(ids).second) continue;
+        auto cand = evaluate(std::move(ids));
+        if (!cand.has_value()) continue;
+        consider(*cand);
+        next.push_back(std::move(*cand));
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  const MinedCandidate& chosen = best_sat.has_value() ? *best_sat : best_any;
+  WhyAnswer a;
+  a.rewrite = chosen.query;
+  a.ops = chosen.ops;
+  a.cost = chosen.cost;
+  a.matches = chosen.matches;
+  a.closeness = chosen.cl;
+  a.satisfies_exemplar = chosen.satisfies;
+  result.answers.push_back(std::move(a));
+  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  result.stats = ctx.stats();
+  return result;
+}
+
+ChaseResult FMAnsW(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts) {
+  ChaseContext ctx(g, w, opts);
+  return FMAnsWWithContext(ctx);
+}
+
+}  // namespace wqe

@@ -1,0 +1,216 @@
+#include "chase/multi_focus.h"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace wqe {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Joint view of one rewrite across all foci.
+struct JointEval {
+  PatternQuery query;  // focus() field irrelevant
+  OpSequence ops;
+  double cost = 0;
+  std::vector<std::shared_ptr<EvalResult>> per_focus;
+  double total_cl = 0;
+  double total_cl_plus = 0;
+  bool satisfies_all = false;
+  bool refined = false;
+};
+
+struct JointNode {
+  std::shared_ptr<JointEval> eval;
+  bool ops_generated = false;
+  std::vector<ScoredOp> queue;
+  size_t next_index = 0;
+
+  const ScoredOp* Poll() {
+    if (next_index >= queue.size()) return nullptr;
+    return &queue[next_index++];
+  }
+};
+
+struct JointOrder {
+  bool operator()(const std::shared_ptr<JointNode>& a,
+                  const std::shared_ptr<JointNode>& b) const {
+    if (a->eval->total_cl != b->eval->total_cl) {
+      return a->eval->total_cl < b->eval->total_cl;
+    }
+    return a->eval->total_cl_plus < b->eval->total_cl_plus;
+  }
+};
+
+}  // namespace
+
+MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
+                                const ChaseOptions& opts) {
+  Timer timer;
+  MultiFocusResult result;
+  if (w.foci.empty() || w.foci.size() != w.exemplars.size()) return result;
+
+  // One context per focus, sharing the graph-level indexes. Each context's
+  // question carries the query re-focused on its u_i.
+  GraphIndexes indexes(g);
+  std::vector<std::unique_ptr<ChaseContext>> contexts;
+  for (size_t i = 0; i < w.foci.size(); ++i) {
+    WhyQuestion per{w.query, w.exemplars[i]};
+    per.query.SetFocus(w.foci[i]);
+    contexts.push_back(
+        std::make_unique<ChaseContext>(g, &indexes, per, opts));
+    result.cl_star_total += contexts.back()->cl_star();
+  }
+  const ChaseOptions& options = contexts.front()->options();  // deadline armed
+
+  auto evaluate = [&](const PatternQuery& q,
+                      const OpSequence& ops) -> std::shared_ptr<JointEval> {
+    auto joint = std::make_shared<JointEval>();
+    joint->query = q;
+    joint->ops = ops;
+    joint->cost = contexts.front()->SeqCost(ops);
+    joint->satisfies_all = true;
+    for (const Op& op : ops.ops()) {
+      if (op.is_refine()) joint->refined = true;
+    }
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      PatternQuery focused = q;
+      focused.SetFocus(w.foci[i]);
+      auto eval = contexts[i]->Evaluate(focused, ops);
+      joint->total_cl += eval->cl;
+      joint->total_cl_plus += eval->cl_plus;
+      joint->satisfies_all &= eval->satisfies_exemplar;
+      joint->per_focus.push_back(std::move(eval));
+    }
+    return joint;
+  };
+
+  auto generate = [&](JointNode& node, double best_cl) {
+    node.ops_generated = true;
+    node.queue.clear();
+    node.next_index = 0;
+    (void)best_cl;
+    std::vector<ScoredOp> pooled;
+    for (size_t i = 0; i < contexts.size(); ++i) {
+      ChaseNode per;
+      per.eval = node.eval->per_focus[i];
+      GenerateOps(*contexts[i], per, /*best_cl=*/-1e18, /*per_class_cap=*/0,
+                  nullptr);
+      pooled.insert(pooled.end(), per.queue.begin(), per.queue.end());
+    }
+    std::stable_sort(pooled.begin(), pooled.end(),
+                     [](const ScoredOp& a, const ScoredOp& b) {
+                       return a.pickiness > b.pickiness;
+                     });
+    node.queue = std::move(pooled);
+  };
+
+  std::priority_queue<std::shared_ptr<JointNode>,
+                      std::vector<std::shared_ptr<JointNode>>, JointOrder>
+      frontier;
+  std::unordered_map<std::string, double> visited;
+
+  auto root_node = std::make_shared<JointNode>();
+  root_node->eval = evaluate(w.query, OpSequence());
+  visited[root_node->eval->query.Fingerprint()] = 0;
+
+  std::vector<MultiFocusAnswer> answers;
+  auto offer = [&](const JointEval& joint) {
+    if (!joint.satisfies_all) return;
+    const std::string fp = joint.query.Fingerprint();
+    for (const MultiFocusAnswer& a : answers) {
+      if (a.rewrite.Fingerprint() == fp) return;
+    }
+    MultiFocusAnswer a;
+    a.rewrite = joint.query;
+    a.ops = joint.ops;
+    a.cost = joint.cost;
+    a.total_closeness = joint.total_cl;
+    for (const auto& eval : joint.per_focus) {
+      a.matches_per_focus.push_back(eval->matches);
+      a.closeness_per_focus.push_back(eval->cl);
+    }
+    a.satisfies_all = true;
+    answers.push_back(std::move(a));
+    std::stable_sort(answers.begin(), answers.end(),
+                     [](const MultiFocusAnswer& x, const MultiFocusAnswer& y) {
+                       return x.total_closeness > y.total_closeness;
+                     });
+    if (answers.size() > std::max<size_t>(opts.top_k, 1)) {
+      answers.resize(std::max<size_t>(opts.top_k, 1));
+    }
+  };
+  offer(*root_node->eval);
+  frontier.push(root_node);
+
+  size_t steps = 0;
+  while (!frontier.empty() && steps < opts.max_steps &&
+         !options.deadline.Expired()) {
+    auto node = frontier.top();
+    if (!node->ops_generated) {
+      generate(*node, answers.empty() ? -1e18 : answers.front().total_closeness);
+    }
+    const ScoredOp* scored = node->Poll();
+    if (scored == nullptr) {
+      frontier.pop();
+      continue;
+    }
+    ++steps;
+
+    PatternQuery next_query = node->eval->query;
+    if (!Apply(scored->op, &next_query, opts.max_bound)) continue;
+    const std::string fp = next_query.Fingerprint();
+    const double next_cost = node->eval->cost + scored->cost;
+    if (next_cost > opts.budget + kEps) continue;
+    auto seen = visited.find(fp);
+    if (seen != visited.end() && seen->second <= next_cost + kEps) continue;
+    visited[fp] = next_cost;
+
+    OpSequence next_ops = node->eval->ops;
+    next_ops.Append(scored->op);
+    auto joint = evaluate(next_query, next_ops);
+
+    // Joint pruning: the summed bound is a valid upper bound on any
+    // refinement descendant's summed closeness (Lemma 5.5 per focus).
+    const double prune_threshold =
+        answers.size() >= std::max<size_t>(opts.top_k, 1)
+            ? answers.back().total_closeness
+            : -1e18;
+    if (opts.use_pruning && joint->refined &&
+        joint->total_cl_plus <= prune_threshold + kEps) {
+      continue;
+    }
+    offer(*joint);
+
+    auto child = std::make_shared<JointNode>();
+    child->eval = std::move(joint);
+    frontier.push(std::move(child));
+  }
+
+  result.answers = std::move(answers);
+  if (result.answers.empty()) {
+    MultiFocusAnswer a;
+    a.rewrite = root_node->eval->query;
+    a.total_closeness = root_node->eval->total_cl;
+    for (const auto& eval : root_node->eval->per_focus) {
+      a.matches_per_focus.push_back(eval->matches);
+      a.closeness_per_focus.push_back(eval->cl);
+    }
+    a.satisfies_all = root_node->eval->satisfies_all;
+    result.answers.push_back(std::move(a));
+  }
+  result.stats.steps = steps;
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  for (const auto& ctx : contexts) {
+    result.stats.evaluations += ctx->stats().evaluations;
+    result.stats.ops_generated += ctx->stats().ops_generated;
+  }
+  return result;
+}
+
+}  // namespace wqe

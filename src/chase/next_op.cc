@@ -1,0 +1,80 @@
+#include "chase/next_op.h"
+
+#include <algorithm>
+#include <map>
+
+namespace wqe {
+
+namespace {
+
+constexpr double kBudgetEpsilon = 1e-9;
+
+void CapPerClass(std::vector<ScoredOp>& ops, size_t cap) {
+  if (cap == 0) return;
+  std::map<OpKind, size_t> counts;
+  std::vector<ScoredOp> kept;
+  kept.reserve(ops.size());
+  for (ScoredOp& so : ops) {  // ops already sorted by pickiness desc
+    if (++counts[so.op.kind] <= cap) kept.push_back(std::move(so));
+  }
+  ops = std::move(kept);
+}
+
+}  // namespace
+
+void GenerateOps(ChaseContext& ctx, ChaseNode& node, double best_cl,
+                 size_t per_class_cap, Rng* rng) {
+  node.ops_generated = true;
+  node.queue.clear();
+  node.next_index = 0;
+
+  const EvalResult& cur = *node.eval;
+  const ChaseOptions& opts = ctx.options();
+  const double remaining = opts.budget - cur.cost;
+  if (remaining < 1.0 - kBudgetEpsilon) return;  // every operator costs >= 1
+
+  const bool pruning = opts.use_pruning;
+
+  // RefineCond: refinement can only help by removing irrelevant matches,
+  // and (with pruning) only if the upper bound beats the incumbent.
+  const bool refine_cond =
+      !cur.rel.im.empty() && (!pruning || cur.cl_plus > best_cl + kBudgetEpsilon);
+  // RelaxCond: a canonical normal-form sequence never relaxes after it has
+  // refined; with pruning, relaxation must still be able to grow cl⁺.
+  const bool relax_cond =
+      !cur.refined &&
+      (!pruning || cur.cl_plus < ctx.cl_star() - kBudgetEpsilon);
+
+  std::vector<ScoredOp> ops;
+  if (refine_cond) {
+    auto refine = GenerateRefineOps(ctx, cur);
+    ops.insert(ops.end(), std::make_move_iterator(refine.begin()),
+               std::make_move_iterator(refine.end()));
+  }
+  if (relax_cond) {
+    auto relax = GenerateRelaxOps(ctx, cur);
+    ops.insert(ops.end(), std::make_move_iterator(relax.begin()),
+               std::make_move_iterator(relax.end()));
+  }
+
+  // Budget feasibility.
+  ops.erase(std::remove_if(ops.begin(), ops.end(),
+                           [&](const ScoredOp& so) {
+                             return cur.cost + so.cost >
+                                    opts.budget + kBudgetEpsilon;
+                           }),
+            ops.end());
+
+  if (rng != nullptr) {
+    rng->Shuffle(ops);
+  } else {
+    std::stable_sort(ops.begin(), ops.end(),
+                     [](const ScoredOp& a, const ScoredOp& b) {
+                       return a.pickiness > b.pickiness;
+                     });
+  }
+  CapPerClass(ops, per_class_cap);
+  node.queue = std::move(ops);
+}
+
+}  // namespace wqe

@@ -1,0 +1,48 @@
+#ifndef WQE_CHASE_NEXT_OP_H_
+#define WQE_CHASE_NEXT_OP_H_
+
+#include <memory>
+#include <vector>
+
+#include "chase/picky_refine.h"
+#include "chase/picky_relax.h"
+#include "common/rng.h"
+
+namespace wqe {
+
+/// One node of the simulated Q-Chase tree: an evaluated rewrite plus its
+/// secondary queue Q.O of applicable picky operators, ranked by pickiness
+/// (Fig 7). The queue is generated lazily on first visit and drained by
+/// successive NextOp polls; an exhausted queue triggers backtracking in AnsW.
+struct ChaseNode {
+  std::shared_ptr<EvalResult> eval;
+  bool ops_generated = false;
+  std::vector<ScoredOp> queue;  // sorted by pickiness descending
+  size_t next_index = 0;
+
+  bool exhausted() const { return ops_generated && next_index >= queue.size(); }
+
+  /// Polls the next best operator, or nullptr when drained (the ∅ return of
+  /// procedure NextOp, line 7 of AnsW: backtrack).
+  const ScoredOp* Poll() {
+    if (next_index >= queue.size()) return nullptr;
+    return &queue[next_index++];
+  }
+};
+
+/// Procedure NextOp's generation half (Fig 7): fills node.queue according to
+/// the normal-form conditions of §5.4 —
+///   RefineCond: IM(Q) ≠ ∅ and (pruning on) cl⁺(Q) > cl(Q*);
+///   RelaxCond:  Q not yet refined and (pruning on) cl⁺(Q) < cl*;
+/// filters operators that would exceed the budget, and ranks by pickiness.
+///
+/// `best_cl` is the closeness of the incumbent rewrite Q* (for top-k, the
+/// k-th best). `per_class_cap` > 0 keeps only the top-k operators of each
+/// class (AnsHeu). `rng` non-null replaces the picky ranking with a random
+/// shuffle (the AnsHeuB ablation).
+void GenerateOps(ChaseContext& ctx, ChaseNode& node, double best_cl,
+                 size_t per_class_cap, Rng* rng);
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_NEXT_OP_H_

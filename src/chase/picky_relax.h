@@ -1,0 +1,33 @@
+#ifndef WQE_CHASE_PICKY_RELAX_H_
+#define WQE_CHASE_PICKY_RELAX_H_
+
+#include <vector>
+
+#include "chase/eval.h"
+
+namespace wqe {
+
+/// An atomic operator with its pickiness score (§5.3) and unit cost.
+struct ScoredOp {
+  Op op;
+  /// p(o) for relaxations (Lemma 5.2 gain overestimate) or p'(o) for
+  /// refinements.
+  double pickiness = 0;
+  double cost = 0;
+  /// R̄C(o) (relax) or ĪM(o) (refine): the focus nodes this operator may
+  /// gain or remove — consumed by the differential table and by ApxWhyM's
+  /// coverage sets.
+  std::vector<NodeId> support;
+};
+
+/// GenRx (§5.3 + Appendix B): generates picky relaxation operators for the
+/// chase node `cur`. Each relevant candidate (RC) is diagnosed against the
+/// query's picky edges — literals at the focus, edges adjacent to the focus,
+/// and two-edge paths beyond them — and the failures are turned into RmL /
+/// RxL (adom-discretized) / RxE (bound-minimal) / RmE operators whose
+/// support records which RC nodes they may convert into matches.
+std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur);
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_PICKY_RELAX_H_

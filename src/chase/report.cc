@@ -1,0 +1,114 @@
+#include "chase/report.h"
+
+#include <sstream>
+
+namespace wqe {
+
+std::string ChaseReport::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ChaseReport::ToJson(ChaseContext& ctx, const ChaseResult& result,
+                                bool with_lineage) {
+  const Graph& g = ctx.graph();
+  const Schema& schema = g.schema();
+  std::ostringstream out;
+
+  auto node_array = [&](const std::vector<NodeId>& nodes) {
+    std::ostringstream arr;
+    arr << '[';
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) arr << ',';
+      arr << "{\"id\":" << nodes[i] << ",\"name\":\""
+          << Escape(g.name(nodes[i])) << "\"}";
+    }
+    arr << ']';
+    return arr.str();
+  };
+
+  out << "{\n";
+  out << "  \"cl_star\": " << ctx.cl_star() << ",\n";
+  out << "  \"rep_size\": " << ctx.rep().nodes.size() << ",\n";
+  out << "  \"candidates\": " << ctx.focus_universe().size() << ",\n";
+  out << "  \"original_closeness\": " << ctx.root()->cl << ",\n";
+  out << "  \"stats\": {\"steps\": " << result.stats.steps
+      << ", \"evaluations\": " << result.stats.evaluations
+      << ", \"pruned\": " << result.stats.pruned
+      << ", \"elapsed_seconds\": " << result.stats.elapsed_seconds << "},\n";
+
+  out << "  \"answers\": [\n";
+  for (size_t i = 0; i < result.answers.size(); ++i) {
+    const WhyAnswer& a = result.answers[i];
+    out << "    {\n";
+    out << "      \"rank\": " << (i + 1) << ",\n";
+    out << "      \"closeness\": " << a.closeness << ",\n";
+    out << "      \"cost\": " << a.cost << ",\n";
+    out << "      \"satisfies_exemplar\": "
+        << (a.satisfies_exemplar ? "true" : "false") << ",\n";
+    out << "      \"query\": \"" << Escape(a.rewrite.ToString(schema)) << "\",\n";
+    out << "      \"operators\": [";
+    for (size_t o = 0; o < a.ops.size(); ++o) {
+      if (o > 0) out << ',';
+      out << '"' << Escape(a.ops.ops()[o].ToString(schema)) << '"';
+    }
+    out << "],\n";
+    out << "      \"matches\": " << node_array(a.matches);
+    if (with_lineage) {
+      DifferentialTable table = BuildDifferentialTable(ctx, a.ops);
+      out << ",\n      \"lineage\": [";
+      for (size_t e = 0; e < table.entries().size(); ++e) {
+        const DifferentialEntry& entry = table.entries()[e];
+        if (e > 0) out << ',';
+        out << "{\"operator\":\"" << Escape(entry.op.ToString(schema))
+            << "\",\"gained\":[";
+        for (size_t k = 0; k < entry.gained.size(); ++k) {
+          if (k > 0) out << ',';
+          out << "{\"id\":" << entry.gained[k].first << ",\"relevance\":\""
+              << RelevanceName(entry.gained[k].second) << "\"}";
+        }
+        out << "],\"lost\":[";
+        for (size_t k = 0; k < entry.lost.size(); ++k) {
+          if (k > 0) out << ',';
+          out << "{\"id\":" << entry.lost[k].first << ",\"relevance\":\""
+              << RelevanceName(entry.lost[k].second) << "\"}";
+        }
+        out << "]}";
+      }
+      out << "]";
+    }
+    out << "\n    }" << (i + 1 < result.answers.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace wqe

@@ -1,0 +1,29 @@
+#ifndef WQE_CHASE_REPORT_H_
+#define WQE_CHASE_REPORT_H_
+
+#include <string>
+
+#include "chase/answ.h"
+#include "chase/differential.h"
+
+namespace wqe {
+
+/// Machine-readable rendering of chase results, for piping the CLI's output
+/// into downstream tooling. Produces a self-contained JSON document: the
+/// question's key figures (cl*, |rep|), every returned rewrite (query text,
+/// operators, matches, closeness, cost), and optionally per-operator lineage.
+class ChaseReport {
+ public:
+  /// Serializes `result` (produced against `ctx`) as JSON. When
+  /// `with_lineage` is set, each answer carries its differential table
+  /// (replayed through the context's memoized evaluations — cheap).
+  static std::string ToJson(ChaseContext& ctx, const ChaseResult& result,
+                            bool with_lineage = false);
+
+  /// Escapes a string for embedding in JSON output.
+  static std::string Escape(const std::string& s);
+};
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_REPORT_H_

@@ -1,0 +1,59 @@
+#include "chase/session.h"
+
+namespace wqe {
+
+namespace {
+
+void Accumulate(ChaseStats& total, const ChaseStats& delta) {
+  total.steps += delta.steps;
+  total.evaluations += delta.evaluations;
+  total.memo_hits += delta.memo_hits;
+  total.ops_generated += delta.ops_generated;
+  total.pruned += delta.pruned;
+  total.elapsed_seconds += delta.elapsed_seconds;
+}
+
+}  // namespace
+
+ExploratorySession::ExploratorySession(const Graph& g, ChaseOptions defaults)
+    : g_(g), defaults_(defaults), indexes_(g) {}
+
+const std::vector<NodeId>& ExploratorySession::Issue(const PatternQuery& q) {
+  // A context with an empty exemplar evaluates the query through the shared
+  // cache; the exemplar arrives with the first Ask.
+  WhyQuestion w{q, Exemplar()};
+  current_ =
+      std::make_unique<ChaseContext>(g_, &indexes_, &cache_, w, defaults_);
+  return current_->root()->matches;
+}
+
+ChaseResult ExploratorySession::Ask(const Exemplar& exemplar) {
+  ChaseResult empty;
+  if (!has_query()) return empty;
+  WhyQuestion w{current_->question().query, exemplar};
+  current_ =
+      std::make_unique<ChaseContext>(g_, &indexes_, &cache_, w, defaults_);
+  ChaseResult result = AnsWWithContext(*current_);
+  Accumulate(total_stats_, current_->stats());
+  return result;
+}
+
+ChaseResult ExploratorySession::AskByExamples(std::span<const NodeId> examples) {
+  return Ask(Exemplar::FromEntities(g_, examples));
+}
+
+void ExploratorySession::Accept(const WhyAnswer& answer) {
+  if (!has_query()) return;
+  // The accepted rewrite becomes the current query; the exemplar is kept so
+  // follow-up Explain calls stay meaningful until the next Ask.
+  WhyQuestion w{answer.rewrite, current_->question().exemplar};
+  current_ =
+      std::make_unique<ChaseContext>(g_, &indexes_, &cache_, w, defaults_);
+}
+
+std::string ExploratorySession::Explain(const WhyAnswer& answer) {
+  if (!has_query()) return "";
+  return BuildDifferentialTable(*current_, answer.ops).ToString(g_);
+}
+
+}  // namespace wqe

@@ -1,0 +1,82 @@
+#ifndef WQE_CHASE_WHY_H_
+#define WQE_CHASE_WHY_H_
+
+#include <cstdint>
+
+#include "common/timer.h"
+#include "exemplar/closeness.h"
+#include "exemplar/exemplar.h"
+#include "query/query.h"
+
+namespace wqe {
+
+/// A Why-question W = (Q(u_o), ℰ) (§2.2): the original query plus the
+/// exemplar describing the desired answers.
+struct WhyQuestion {
+  PatternQuery query;
+  Exemplar exemplar;
+};
+
+/// Tunables for all Q-Chase algorithms. Defaults follow the paper's
+/// experimental setup (§7): budget B = 3, edge bounds capped at b_m = 3.
+struct ChaseOptions {
+  /// Query-updating cost budget B.
+  double budget = 3.0;
+
+  /// Maximum edge bound b_m.
+  uint32_t max_bound = 3;
+
+  /// θ / λ of the closeness measure.
+  ClosenessConfig closeness;
+
+  /// Star-view caching (§5.2). Off = the AnsWnc ablation.
+  bool use_cache = true;
+
+  /// Fingerprint memoization of evaluated rewrites. This is caching too, so
+  /// the AnsWnc / AnsWb ablations disable it together with the view cache.
+  bool use_memo = true;
+
+  /// The §5.4 pruning strategies: RefineCond/RelaxCond phase gating plus
+  /// subtree pruning and cl* early termination. Off = the AnsWb ablation
+  /// (which also implies use_cache = false in the paper's setup).
+  bool use_pruning = true;
+
+  /// Recognize rewrites already reached by another operator order. The
+  /// naive AnsWb baseline turns this off and enumerates the raw Q-Chase
+  /// tree, where equal rewrites reached by different sequences are distinct
+  /// nodes (bounded by max_steps).
+  bool dedup_rewrites = true;
+
+  /// Beam width for AnsHeu; ignored by AnsW.
+  size_t beam = 2;
+
+  /// AnsHeuB: replace picky ranking by seeded random operator selection.
+  bool random_ops = false;
+  uint64_t seed = 42;
+
+  /// Number of rewrites to report (top-k query suggestion, §6.2).
+  size_t top_k = 1;
+
+  /// Valuation witnesses sampled per focus match when generating refinement
+  /// operators (bounds GenRf's work on dense graphs).
+  size_t max_witnesses = 4;
+
+  /// Caps on focus matches inspected by operator generation.
+  size_t max_diagnosed_nodes = 64;
+
+  /// Safety valve on simulated Q-Chase steps.
+  size_t max_steps = 200000;
+
+  /// Wall-clock budget; default never expires. AnsW is anytime: it returns
+  /// the best rewrite found when the deadline fires.
+  Deadline deadline;
+
+  /// Per-question time limit in seconds (0 = none). Unlike `deadline`
+  /// (an absolute expiry), this is re-armed when a ChaseContext is created,
+  /// so one options object can drive a whole batch of questions.
+  double time_limit_seconds = 0;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_WHY_H_

@@ -1,0 +1,194 @@
+#include "chase/why_not.h"
+
+#include <sstream>
+
+#include "graph/bfs.h"
+#include "match/candidates.h"
+
+namespace wqe {
+
+namespace {
+
+// BFS tree of the active pattern rooted at the focus (parent edge per node).
+struct PatternTree {
+  std::vector<QNodeId> parent;
+  std::vector<int> parent_edge;
+};
+
+PatternTree BuildTree(const PatternQuery& q) {
+  PatternTree tree;
+  tree.parent.assign(q.num_nodes(), kNoQNode);
+  tree.parent_edge.assign(q.num_nodes(), -1);
+  std::vector<bool> seen(q.num_nodes(), false);
+  std::vector<QNodeId> queue = {q.focus()};
+  seen[q.focus()] = true;
+  const auto active_edges = q.ActiveEdges();
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const QNodeId u = queue[head];
+    for (size_t ei : active_edges) {
+      const QueryEdge& e = q.edge(ei);
+      QNodeId other = kNoQNode;
+      if (e.from == u) other = e.to;
+      if (e.to == u) other = e.from;
+      if (other == kNoQNode || seen[other]) continue;
+      seen[other] = true;
+      tree.parent[other] = u;
+      tree.parent_edge[other] = static_cast<int>(ei);
+      queue.push_back(other);
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+WhyNotReport ExplainWhyNot(ChaseContext& ctx, NodeId entity) {
+  const Graph& g = ctx.graph();
+  const PatternQuery& q = ctx.root()->query;
+  const QNodeId focus = q.focus();
+  const Schema& schema = g.schema();
+
+  WhyNotReport report;
+  report.entity = entity;
+  if (std::binary_search(ctx.root()->matches.begin(),
+                         ctx.root()->matches.end(), entity)) {
+    report.is_match = true;
+    return report;
+  }
+
+  BoundedBfs bfs(g);
+  const PatternTree tree = BuildTree(q);
+  std::vector<bool> detached(q.num_nodes(), false);
+
+  auto add_failure = [&](std::string condition, Op repair) {
+    WhyNotReport::FailedCondition f;
+    f.condition = std::move(condition);
+    f.cost = ctx.OpCostOf(repair);
+    f.repair = repair;
+    report.repair_cost += f.cost;
+    report.repair.Append(std::move(repair));
+    report.failures.push_back(std::move(f));
+  };
+
+  // Label mismatch is not repairable by removal operators; report it as a
+  // terminal condition.
+  const QueryNode& fq = q.node(focus);
+  if (fq.label != kWildcardSymbol && g.label(entity) != fq.label) {
+    WhyNotReport::FailedCondition f;
+    f.condition = "entity label '" + schema.LabelName(g.label(entity)) +
+                  "' differs from the focus label '" +
+                  schema.LabelName(fq.label) + "' (not repairable)";
+    report.failures.push_back(std::move(f));
+    return report;
+  }
+
+  // Fragment type (1): literals at the focus.
+  for (const Literal& lit : fq.literals) {
+    if (lit.Matches(g, entity)) continue;
+    Op op;
+    op.kind = OpKind::kRmL;
+    op.u = focus;
+    op.lit = lit;
+    add_failure("u" + std::to_string(focus) + ": " + lit.ToString(schema),
+                std::move(op));
+  }
+
+  // Fragment types (2)/(3): per non-focus node, label reachability at the
+  // pattern distance, then per-literal satisfiability among the reachable.
+  for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+    if (u == focus || tree.parent_edge[u] < 0) continue;
+    if (detached[tree.parent[u]] || detached[u]) {
+      detached[u] = true;
+      continue;
+    }
+    const uint32_t qd = q.QueryDistance(focus, u);
+    if (qd == PatternQuery::kNoQueryDist) continue;
+
+    std::vector<NodeId> reachable_labeled;
+    bfs.Undirected(entity, qd, [&](NodeId w, uint32_t) {
+      if (w == entity) return;
+      const QueryNode& qn = q.node(u);
+      if (qn.label == kWildcardSymbol || g.label(w) == qn.label) {
+        reachable_labeled.push_back(w);
+      }
+    });
+
+    const std::string node_desc =
+        "u" + std::to_string(u) + " (" +
+        (q.node(u).label == kWildcardSymbol ? "any"
+                                            : schema.LabelName(q.node(u).label)) +
+        ")";
+    if (reachable_labeled.empty()) {
+      const QueryEdge& e = q.edge(static_cast<size_t>(tree.parent_edge[u]));
+      Op op;
+      op.kind = OpKind::kRmE;
+      op.u = e.from;
+      op.v = e.to;
+      op.bound = e.bound;
+      add_failure(node_desc + " unreachable within " + std::to_string(qd) +
+                      " hops",
+                  std::move(op));
+      detached[u] = true;
+      continue;
+    }
+    for (const Literal& lit : q.node(u).literals) {
+      bool satisfied = false;
+      for (NodeId w : reachable_labeled) {
+        if (lit.Matches(g, w)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      Op op;
+      op.kind = OpKind::kRmL;
+      op.u = u;
+      op.lit = lit;
+      add_failure(node_desc + ": no reachable node satisfies " +
+                      lit.ToString(schema),
+                  std::move(op));
+    }
+  }
+
+  // Verify the repair: the entity must match the repaired query.
+  if (!report.repair.empty()) {
+    PatternQuery repaired = q;
+    if (report.repair.ApplyAll(&repaired, ctx.options().max_bound)) {
+      report.repair_verified =
+          ctx.star_matcher().matcher().IsMatch(repaired, entity);
+    }
+  }
+  return report;
+}
+
+std::string WhyNotReport::ToString(const Graph& g) const {
+  std::ostringstream out;
+  const std::string name =
+      g.name(entity).empty() ? "#" + std::to_string(entity) : g.name(entity);
+  if (is_match) {
+    out << name << " already matches the query.\n";
+    return out.str();
+  }
+  if (failures.empty()) {
+    out << name
+        << " fails no atomic condition individually; its absence stems from "
+           "joint constraints (injectivity or combined bounds).\n";
+    return out.str();
+  }
+  out << name << " is not a match because:\n";
+  for (const FailedCondition& f : failures) {
+    out << "  - " << f.condition;
+    if (!f.repair.is_noop()) {
+      out << "  [repair: " << f.repair.ToString(g.schema()) << ", cost "
+          << f.cost << "]";
+    }
+    out << "\n";
+  }
+  if (!repair.empty()) {
+    out << "Total repair cost " << repair_cost << "; repair "
+        << (repair_verified ? "verified" : "NOT sufficient alone") << ".\n";
+  }
+  return out.str();
+}
+
+}  // namespace wqe

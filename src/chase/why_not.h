@@ -1,0 +1,45 @@
+#ifndef WQE_CHASE_WHY_NOT_H_
+#define WQE_CHASE_WHY_NOT_H_
+
+#include <string>
+
+#include "chase/eval.h"
+
+namespace wqe {
+
+/// Diagnosis of a single entity's absence from Q(G) — the "Why-Not" half of
+/// the unified workflow (§1), answered without exemplars: which atomic
+/// conditions of Q the entity fails (the Lemma 6.2 fragments), the removal
+/// operator repairing each, and the cheapest repair that would admit it.
+struct WhyNotReport {
+  NodeId entity = kInvalidNode;
+
+  /// True when the entity already matches (nothing to explain).
+  bool is_match = false;
+
+  struct FailedCondition {
+    /// Human-readable atomic condition, e.g. "u0: price >= 840" or
+    /// "u3 (Sensor) unreachable within 2 hops".
+    std::string condition;
+    /// The removal operator repairing it.
+    Op repair;
+    double cost = 0;
+  };
+  std::vector<FailedCondition> failures;
+
+  /// Total cost of removing every failed condition, and whether that repair
+  /// verified (the entity matches the repaired query).
+  double repair_cost = 0;
+  bool repair_verified = false;
+  OpSequence repair;
+
+  std::string ToString(const Graph& g) const;
+};
+
+/// Diagnoses why `entity` is not in the answer of the context's query.
+/// Runs in O(|Q| · |V|) — the per-candidate slice of AnsWE.
+WhyNotReport ExplainWhyNot(ChaseContext& ctx, NodeId entity);
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_WHY_NOT_H_

@@ -1,0 +1,4 @@
+#include "common/interner.h"
+
+// Header-only today; this translation unit anchors the target and leaves room
+// for a future arena-backed implementation without touching the interface.

@@ -1,0 +1,55 @@
+#ifndef WQE_COMMON_INTERNER_H_
+#define WQE_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wqe {
+
+/// Dense integer id assigned to an interned string. Zero is reserved for the
+/// empty string, which doubles as the wildcard label '⊥' in pattern queries.
+using SymbolId = uint32_t;
+
+/// Reserved id for the empty / wildcard symbol.
+inline constexpr SymbolId kWildcardSymbol = 0;
+
+/// Bidirectional string <-> dense-id map. Ids are assigned in insertion order
+/// starting at 0 (the empty string is pre-interned at id 0). Not thread-safe;
+/// graphs are built single-threaded and frozen before queries run.
+class Interner {
+ public:
+  Interner() { Intern(""); }
+
+  /// Returns the id for `s`, interning it on first sight.
+  SymbolId Intern(std::string_view s) {
+    auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    SymbolId id = static_cast<SymbolId>(strings_.size());
+    strings_.emplace_back(s);
+    ids_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `s` or `kWildcardSymbol` if never interned.
+  SymbolId Lookup(std::string_view s) const {
+    auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? kWildcardSymbol : it->second;
+  }
+
+  bool Contains(std::string_view s) const { return ids_.count(std::string(s)) > 0; }
+
+  const std::string& Name(SymbolId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_COMMON_INTERNER_H_

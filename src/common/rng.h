@@ -1,0 +1,64 @@
+#ifndef WQE_COMMON_RNG_H_
+#define WQE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace wqe {
+
+/// Seeded deterministic PRNG used by the synthetic-data generators and the
+/// workload harness, so every experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Int(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    return static_cast<size_t>(Int(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double Double(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  /// Samples an index proportionally to `weights` (all non-negative, not all
+  /// zero). Linear scan; weight vectors here are tiny (label distributions).
+  size_t Weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = Double(0, total);
+    double acc = 0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_COMMON_RNG_H_

@@ -1,0 +1,79 @@
+#ifndef WQE_COMMON_STATUS_H_
+#define WQE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace wqe {
+
+/// Lightweight error-code carrier used across public API boundaries instead of
+/// exceptions. Mirrors the minimal subset of arrow::Status / rocksdb::Status
+/// this library needs: OK, InvalidArgument, NotFound, and OutOfRange.
+class Status {
+ public:
+  enum class Code { kOk, kInvalidArgument, kNotFound, kOutOfRange };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    switch (code_) {
+      case Code::kOk:
+        return "OK";
+      case Code::kInvalidArgument:
+        return "InvalidArgument: " + message_;
+      case Code::kNotFound:
+        return "NotFound: " + message_;
+      case Code::kOutOfRange:
+        return "OutOfRange: " + message_;
+    }
+    return "Unknown";
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Value-or-error result. `ok()` guards access to `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK Status keeps call sites
+  /// terse: `return some_value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_COMMON_STATUS_H_

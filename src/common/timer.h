@@ -1,0 +1,52 @@
+#ifndef WQE_COMMON_TIMER_H_
+#define WQE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace wqe {
+
+/// Monotonic stopwatch for measuring algorithm phases.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Wall-clock budget for anytime algorithms. A default-constructed Deadline
+/// never expires.
+class Deadline {
+ public:
+  Deadline() : has_limit_(false) {}
+
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.has_limit_ = true;
+    d.expiry_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  bool Expired() const {
+    return has_limit_ && std::chrono::steady_clock::now() >= expiry_;
+  }
+
+ private:
+  bool has_limit_;
+  std::chrono::steady_clock::time_point expiry_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_COMMON_TIMER_H_

@@ -1,0 +1,34 @@
+#include "exemplar/closeness.h"
+
+#include <algorithm>
+
+#include "exemplar/similarity.h"
+
+namespace wqe {
+
+double ClosenessEvaluator::ClNodeTuple(NodeId v, const TuplePattern& t) const {
+  if (t.num_cells() == 0) return 1.0;
+  double total = 0;
+  for (const PatternCell& cell : t.cells()) {
+    if (!cell.is_constant()) {
+      total += 1.0;
+      continue;
+    }
+    const Value* val = g_.attr(v, cell.attr);
+    if (val == nullptr) continue;  // contributes 0
+    total += ValueSimilarity(*val, cell.constant, adom_.Range(cell.attr),
+                             g_.schema().strings());
+  }
+  return total / static_cast<double>(t.num_cells());
+}
+
+double ClosenessEvaluator::ClNodeExemplar(NodeId v, const Exemplar& e) const {
+  double best = 0;
+  for (const TuplePattern& t : e.tuples()) {
+    const double cl = ClNodeTuple(v, t);
+    if (cl >= config_.theta) best = std::max(best, cl);
+  }
+  return best;
+}
+
+}  // namespace wqe

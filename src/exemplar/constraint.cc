@@ -1,0 +1,19 @@
+#include "exemplar/constraint.h"
+
+#include <sstream>
+
+namespace wqe {
+
+std::string ConstraintLiteral::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  out << "t" << lhs.tuple << "." << schema.AttrName(lhs.attr) << " "
+      << CmpOpName(op) << " ";
+  if (kind == Kind::kVarVar) {
+    out << "t" << rhs.tuple << "." << schema.AttrName(rhs.attr);
+  } else {
+    out << schema.ValueToString(constant);
+  }
+  return out.str();
+}
+
+}  // namespace wqe

@@ -1,0 +1,60 @@
+#ifndef WQE_EXEMPLAR_CONSTRAINT_H_
+#define WQE_EXEMPLAR_CONSTRAINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/schema.h"
+#include "query/literal.h"
+
+namespace wqe {
+
+/// Reference to variable x_{i,j}: attribute `attr` of tuple pattern `tuple`.
+struct VarRef {
+  uint32_t tuple = 0;
+  AttrId attr = 0;
+
+  friend bool operator==(const VarRef& a, const VarRef& b) {
+    return a.tuple == b.tuple && a.attr == b.attr;
+  }
+};
+
+/// One conjunct of C (§2.2): either a variable literal x op x' or a constant
+/// literal x op c. Satisfaction over a node set V_C follows the paper:
+///  - x = x'       : every pair (v ~ t, v' ~ t') agrees on the two attributes;
+///  - x op x' (<,>): every v ~ t has a witness v' ~ t' with v.A op v'.A'
+///                   and vice versa;
+///  - x op c       : every v ~ t satisfies v.A op c.
+struct ConstraintLiteral {
+  enum class Kind : uint8_t { kVarVar, kVarConst };
+
+  Kind kind = Kind::kVarConst;
+  VarRef lhs;
+  CmpOp op = CmpOp::kEq;
+  VarRef rhs;      // kVarVar only
+  Value constant;  // kVarConst only
+
+  static ConstraintLiteral VarVar(VarRef lhs, CmpOp op, VarRef rhs) {
+    ConstraintLiteral c;
+    c.kind = Kind::kVarVar;
+    c.lhs = lhs;
+    c.op = op;
+    c.rhs = rhs;
+    return c;
+  }
+
+  static ConstraintLiteral VarConst(VarRef lhs, CmpOp op, Value constant) {
+    ConstraintLiteral c;
+    c.kind = Kind::kVarConst;
+    c.lhs = lhs;
+    c.op = op;
+    c.constant = constant;
+    return c;
+  }
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_EXEMPLAR_CONSTRAINT_H_

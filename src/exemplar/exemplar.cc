@@ -1,0 +1,28 @@
+#include "exemplar/exemplar.h"
+
+#include <sstream>
+
+namespace wqe {
+
+Exemplar Exemplar::FromEntities(const Graph& g, std::span<const NodeId> entities) {
+  Exemplar e;
+  for (NodeId v : entities) {
+    e.AddTuple(TuplePattern::FromNode(g, v));
+  }
+  return e;
+}
+
+std::string Exemplar::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  out << "Exemplar {\n";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    out << "  t" << i << " = " << tuples_[i].ToString(schema) << "\n";
+  }
+  for (const ConstraintLiteral& c : constraints_) {
+    out << "  where " << c.ToString(schema) << "\n";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace wqe

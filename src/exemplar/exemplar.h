@@ -1,0 +1,47 @@
+#ifndef WQE_EXEMPLAR_EXEMPLAR_H_
+#define WQE_EXEMPLAR_EXEMPLAR_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exemplar/constraint.h"
+#include "exemplar/tuple_pattern.h"
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// Exemplar ℰ = (𝒯, C) (§2.2): a table of tuple patterns plus an optional
+/// conjunction of constraint literals over the patterns' variables.
+class Exemplar {
+ public:
+  Exemplar() = default;
+
+  /// Adds a tuple pattern; returns its index (the i in x_{i,j}).
+  uint32_t AddTuple(TuplePattern t) {
+    tuples_.push_back(std::move(t));
+    return static_cast<uint32_t>(tuples_.size() - 1);
+  }
+
+  void AddConstraint(ConstraintLiteral c) { constraints_.push_back(std::move(c)); }
+
+  const std::vector<TuplePattern>& tuples() const { return tuples_; }
+  const std::vector<ConstraintLiteral>& constraints() const { return constraints_; }
+
+  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return tuples_.size() + constraints_.size(); }
+
+  /// "Designate entities from G" construction (§2.2 Remarks): one
+  /// fully-constant tuple pattern per entity, no constraints.
+  static Exemplar FromEntities(const Graph& g, std::span<const NodeId> entities);
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<TuplePattern> tuples_;
+  std::vector<ConstraintLiteral> constraints_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_EXEMPLAR_EXEMPLAR_H_

@@ -1,0 +1,57 @@
+#include "exemplar/relevance.h"
+
+namespace wqe {
+
+const char* RelevanceName(Relevance r) {
+  switch (r) {
+    case Relevance::kRM:
+      return "RM";
+    case Relevance::kIM:
+      return "IM";
+    case Relevance::kRC:
+      return "RC";
+    case Relevance::kIC:
+      return "IC";
+  }
+  return "?";
+}
+
+Relevance RelevanceSets::StatusOf(NodeId v) const {
+  const bool is_match = match_set.count(v) > 0;
+  const bool is_rep = rep_set.count(v) > 0;
+  if (is_match) return is_rep ? Relevance::kRM : Relevance::kIM;
+  return is_rep ? Relevance::kRC : Relevance::kIC;
+}
+
+RelevanceSets Classify(std::span<const NodeId> candidates,
+                       std::span<const NodeId> matches, const RepResult& rep) {
+  RelevanceSets sets;
+  sets.num_candidates = candidates.size();
+  sets.match_set.insert(matches.begin(), matches.end());
+  sets.rep_set.insert(rep.nodes.begin(), rep.nodes.end());
+
+  for (NodeId v : candidates) {
+    const bool is_match = sets.match_set.count(v) > 0;
+    const bool is_rep = sets.rep_set.count(v) > 0;
+    if (is_match && is_rep) {
+      sets.rm.push_back(v);
+      sets.rm_closeness_sum += rep.ClosenessOf(v);
+    } else if (is_match) {
+      sets.im.push_back(v);
+    } else if (is_rep) {
+      sets.rc.push_back(v);
+    } else {
+      sets.ic.push_back(v);
+    }
+  }
+  return sets;
+}
+
+double TheoreticalOptimal(const RepResult& rep, size_t num_candidates) {
+  if (num_candidates == 0) return 0;
+  double total = 0;
+  for (double cl : rep.closeness) total += cl;
+  return total / static_cast<double>(num_candidates);
+}
+
+}  // namespace wqe

@@ -1,0 +1,55 @@
+#ifndef WQE_EXEMPLAR_REP_H_
+#define WQE_EXEMPLAR_REP_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "exemplar/closeness.h"
+#include "exemplar/exemplar.h"
+
+namespace wqe {
+
+/// The representation rep(ℰ, V) of an exemplar in a node universe
+/// (Lemma 2.2): the maximal node set satisfying every tuple pattern and
+/// every constraint literal.
+struct RepResult {
+  /// Members of rep(ℰ, V), sorted ascending.
+  std::vector<NodeId> nodes;
+
+  /// cl(v, ℰ) for each member (parallel to `nodes`).
+  std::vector<double> closeness;
+
+  /// Surviving (node, tuple) match pairs: per tuple index, the sorted nodes
+  /// still playing the v ~ t_i role after constraint enforcement.
+  std::vector<std::vector<NodeId>> per_tuple;
+
+  /// ℰ is nontrivial iff rep(ℰ, V) ≠ ∅, which requires every tuple pattern
+  /// to retain at least one match.
+  bool nontrivial = false;
+
+  bool Contains(NodeId v) const;
+  /// cl(v, ℰ) for a member, 0 otherwise.
+  double ClosenessOf(NodeId v) const;
+
+ private:
+  friend RepResult ComputeRep(const ClosenessEvaluator&, const Exemplar&,
+                              std::span<const NodeId>);
+  std::unordered_map<NodeId, double> index_;
+};
+
+/// Computes rep(ℰ, universe) by the Lemma 2.2 procedure: per-tuple vsim
+/// candidate sets, then a fixpoint that enforces C:
+///  - constant literals filter their tuple's matches directly;
+///  - '=' variable literals keep the largest value-agreement group;
+///  - ordered variable literals run a two-sided semi-join reduction until
+///    every surviving match has a witness on the other side.
+/// If any tuple's match set empties, rep is ∅ (ℰ is trivial/unsatisfiable
+/// over this universe). The universe is typically V_{u_o}, the focus
+/// candidates — the only nodes whose relevance the measures of §3 consult.
+RepResult ComputeRep(const ClosenessEvaluator& closeness, const Exemplar& e,
+                     std::span<const NodeId> universe);
+
+}  // namespace wqe
+
+#endif  // WQE_EXEMPLAR_REP_H_

@@ -1,0 +1,44 @@
+#include "exemplar/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace wqe {
+
+double NumSimilarity(double a, double b, double range) {
+  if (range <= 0) return a == b ? 1.0 : 0.0;
+  const double sim = 1.0 - std::abs(a - b) / range;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+double StrSimilarity(const std::string& a, const std::string& b) {
+  if (a == b) return 1.0;
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0.0;
+  // Two-row Levenshtein.
+  std::vector<size_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  const double dist = static_cast<double>(prev[m]);
+  return 1.0 - dist / static_cast<double>(std::max(n, m));
+}
+
+double ValueSimilarity(const Value& v, const Value& c, double range,
+                       const Interner& strings) {
+  if (v.is_num() && c.is_num()) return NumSimilarity(v.num(), c.num(), range);
+  if (v.is_str() && c.is_str()) {
+    if (v.str() == c.str()) return 1.0;
+    return StrSimilarity(strings.Name(v.str()), strings.Name(c.str()));
+  }
+  return 0.0;
+}
+
+}  // namespace wqe

@@ -1,0 +1,31 @@
+#ifndef WQE_EXEMPLAR_SIMILARITY_H_
+#define WQE_EXEMPLAR_SIMILARITY_H_
+
+#include <string>
+
+#include "graph/adom.h"
+#include "graph/schema.h"
+#include "graph/value.h"
+
+namespace wqe {
+
+/// Attribute-level similarity scores cl(v.A, t.A) ∈ [0, 1] used by the
+/// closeness measure (§3): "a similarity score computed by established
+/// metrics". Numeric values use range-normalized distance; categorical
+/// values use exact match backed off to normalized Levenshtein similarity of
+/// the underlying strings.
+
+/// 1 − |a − b| / range, clamped to [0, 1].
+double NumSimilarity(double a, double b, double range);
+
+/// 1 − edit_distance(a, b) / max(|a|, |b|); 1.0 for two empty strings.
+double StrSimilarity(const std::string& a, const std::string& b);
+
+/// Dispatch on kinds: numeric-numeric, string-string (by interned id first,
+/// Levenshtein on miss), 0 for mixed kinds or nulls.
+double ValueSimilarity(const Value& v, const Value& c, double range,
+                       const Interner& strings);
+
+}  // namespace wqe
+
+#endif  // WQE_EXEMPLAR_SIMILARITY_H_

@@ -1,0 +1,66 @@
+#include "exemplar/tuple_pattern.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wqe {
+
+namespace {
+
+std::vector<PatternCell>::iterator LowerBound(std::vector<PatternCell>& cells,
+                                              AttrId attr) {
+  return std::lower_bound(
+      cells.begin(), cells.end(), attr,
+      [](const PatternCell& c, AttrId a) { return c.attr < a; });
+}
+
+}  // namespace
+
+void TuplePattern::SetConstant(AttrId attr, Value v) {
+  auto it = LowerBound(cells_, attr);
+  if (it != cells_.end() && it->attr == attr) {
+    it->constant = v;
+  } else {
+    cells_.insert(it, {attr, v});
+  }
+}
+
+void TuplePattern::SetWildcard(AttrId attr) {
+  auto it = LowerBound(cells_, attr);
+  if (it != cells_.end() && it->attr == attr) {
+    it->constant = Value::Null();
+  } else {
+    cells_.insert(it, {attr, Value::Null()});
+  }
+}
+
+const PatternCell* TuplePattern::Find(AttrId attr) const {
+  auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), attr,
+      [](const PatternCell& c, AttrId a) { return c.attr < a; });
+  if (it != cells_.end() && it->attr == attr) return &*it;
+  return nullptr;
+}
+
+TuplePattern TuplePattern::FromNode(const Graph& g, NodeId v) {
+  TuplePattern t;
+  for (const AttrPair& pair : g.attrs(v)) {
+    t.SetConstant(pair.attr, pair.value);
+  }
+  return t;
+}
+
+std::string TuplePattern::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  out << "<";
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << schema.AttrName(cells_[i].attr) << "=";
+    out << (cells_[i].is_constant() ? schema.ValueToString(cells_[i].constant)
+                                    : std::string("_"));
+  }
+  out << ">";
+  return out.str();
+}
+
+}  // namespace wqe

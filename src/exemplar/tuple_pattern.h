@@ -1,0 +1,54 @@
+#ifndef WQE_EXEMPLAR_TUPLE_PATTERN_H_
+#define WQE_EXEMPLAR_TUPLE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// One cell of a tuple pattern t_i (§2.2): a constant c, or a wildcard '_'.
+/// Variables x_{i,j} are represented implicitly: a constraint literal that
+/// references (tuple, attribute) treats that cell as a variable; an
+/// unreferenced non-constant cell behaves exactly like '_' (both score 1 in
+/// cl(v,t), and neither restricts vsim).
+struct PatternCell {
+  AttrId attr = 0;
+  Value constant;  // Null() encodes '_' / variable.
+
+  bool is_constant() const { return !constant.is_null(); }
+};
+
+/// Tuple pattern t ∈ 𝒯: a sparse row over the attribute set 𝒜. Attributes
+/// not mentioned are wildcards. 𝒜(t) — the attributes cl(v,t) averages over —
+/// is the set of mentioned attributes.
+class TuplePattern {
+ public:
+  TuplePattern() = default;
+
+  /// Sets cell `attr` to a constant (overwrites).
+  void SetConstant(AttrId attr, Value v);
+
+  /// Marks `attr` as present-but-unconstrained ('_' or variable).
+  void SetWildcard(AttrId attr);
+
+  /// Cell for `attr`, or nullptr if the attribute is not mentioned.
+  const PatternCell* Find(AttrId attr) const;
+
+  const std::vector<PatternCell>& cells() const { return cells_; }
+  size_t num_cells() const { return cells_.size(); }
+
+  /// Builds a fully-constant tuple pattern from an entity of G — the
+  /// "directly designated as a set of entities from G" usage (§2.2 Remarks).
+  static TuplePattern FromNode(const Graph& g, NodeId v);
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<PatternCell> cells_;  // sorted by attr
+};
+
+}  // namespace wqe
+
+#endif  // WQE_EXEMPLAR_TUPLE_PATTERN_H_

@@ -1,0 +1,91 @@
+#ifndef WQE_GEN_CONFIG_H_
+#define WQE_GEN_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wqe {
+
+/// Schema of one node attribute in a synthetic graph.
+struct AttrSpec {
+  std::string name;
+
+  bool numeric = true;
+  double min = 0;
+  double max = 100;
+  /// Round sampled numeric values to integers (prices, years, ...).
+  bool integral = false;
+
+  /// Categorical domain: explicit vocabulary, or `auto_domain` generated
+  /// values "<name>_<i>" when the vocabulary is empty.
+  std::vector<std::string> vocab;
+  size_t auto_domain = 0;
+
+  /// Probability a node of this label carries the attribute.
+  double presence = 1.0;
+
+  static AttrSpec Numeric(std::string name, double min, double max,
+                          bool integral = false, double presence = 1.0) {
+    AttrSpec a;
+    a.name = std::move(name);
+    a.numeric = true;
+    a.min = min;
+    a.max = max;
+    a.integral = integral;
+    a.presence = presence;
+    return a;
+  }
+
+  static AttrSpec Categorical(std::string name, size_t domain,
+                              double presence = 1.0) {
+    AttrSpec a;
+    a.name = std::move(name);
+    a.numeric = false;
+    a.auto_domain = domain;
+    a.presence = presence;
+    return a;
+  }
+};
+
+/// One node-label stratum.
+struct LabelSpec {
+  std::string name;
+  double weight = 1.0;  // share of nodes
+  std::vector<AttrSpec> attrs;
+};
+
+/// One edge-type rule: edges sampled from a `from` node to a `to` node.
+struct EdgeRule {
+  std::string from_label;
+  std::string to_label;
+  double weight = 1.0;  // share of edges
+  std::string edge_label;
+};
+
+/// Full recipe for a synthetic attributed graph. The generators mimic the
+/// shape statistics of the paper's datasets (label cardinality, attributes
+/// per node, heavy-tailed degrees) at laptop scale.
+struct GraphSpec {
+  std::string name;
+  size_t num_nodes = 10000;
+  size_t num_edges = 40000;
+  std::vector<LabelSpec> labels;
+  std::vector<EdgeRule> edges;
+  /// Probability an edge target is drawn preferentially (proportional to
+  /// current in-degree) rather than uniformly — yields heavy-tailed degrees.
+  double preferential = 0.6;
+  uint64_t seed = 1;
+
+  /// Returns a copy with node / edge counts multiplied by `factor`.
+  GraphSpec Scaled(double factor) const {
+    GraphSpec s = *this;
+    s.num_nodes = static_cast<size_t>(static_cast<double>(num_nodes) * factor);
+    s.num_edges = static_cast<size_t>(static_cast<double>(num_edges) * factor);
+    return s;
+  }
+};
+
+}  // namespace wqe
+
+#endif  // WQE_GEN_CONFIG_H_

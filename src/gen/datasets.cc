@@ -1,0 +1,215 @@
+#include "gen/datasets.h"
+
+#include "common/rng.h"
+
+namespace wqe {
+
+namespace {
+
+// DBpedia carries hundreds of entity types; the stand-in generates a
+// moderate label count with seeded per-label attribute schemas drawn from a
+// shared pool, reproducing the "many labels, ~9 attrs each" shape.
+constexpr int kDbpediaLabels = 24;
+constexpr int kDbpediaAttrPool = 40;
+
+}  // namespace
+
+GraphSpec DbpediaLike(double scale, uint64_t seed) {
+  GraphSpec spec;
+  spec.name = "dbpedia_like";
+  spec.num_nodes = 20000;
+  spec.num_edges = 62000;
+  spec.preferential = 0.7;
+  spec.seed = seed;
+
+  Rng rng(seed);
+  std::vector<std::string> pool;
+  for (int i = 0; i < kDbpediaAttrPool; ++i) {
+    pool.push_back("attr" + std::to_string(i));
+  }
+
+  for (int l = 0; l < kDbpediaLabels; ++l) {
+    LabelSpec label;
+    label.name = "Type" + std::to_string(l);
+    // Heavy-tailed label sizes, like real KB type distributions.
+    label.weight = 1.0 / static_cast<double>(l + 1);
+    const int num_attrs = static_cast<int>(rng.Int(6, 11));
+    for (int a = 0; a < num_attrs; ++a) {
+      const std::string& name = pool[rng.Index(pool.size())];
+      if (rng.Chance(0.6)) {
+        const double lo = rng.Double(0, 500);
+        label.attrs.push_back(AttrSpec::Numeric(
+            name, lo, lo + rng.Double(50, 1000), rng.Chance(0.5), 0.9));
+      } else {
+        label.attrs.push_back(
+            AttrSpec::Categorical(name, static_cast<size_t>(rng.Int(4, 20)), 0.9));
+      }
+    }
+    spec.labels.push_back(std::move(label));
+  }
+  // Random heterogeneous link structure.
+  for (int e = 0; e < 60; ++e) {
+    EdgeRule rule;
+    rule.from_label = "Type" + std::to_string(rng.Index(kDbpediaLabels));
+    rule.to_label = "Type" + std::to_string(rng.Index(kDbpediaLabels));
+    rule.weight = rng.Double(0.2, 2.0);
+    rule.edge_label = "rel" + std::to_string(e % 20);
+    spec.edges.push_back(std::move(rule));
+  }
+  return spec.Scaled(scale);
+}
+
+GraphSpec ImdbLike(double scale, uint64_t seed) {
+  GraphSpec spec;
+  spec.name = "imdb_like";
+  spec.num_nodes = 17000;
+  spec.num_edges = 52000;
+  spec.preferential = 0.65;
+  spec.seed = seed;
+
+  LabelSpec movie;
+  movie.name = "Movie";
+  movie.weight = 4;
+  movie.attrs = {
+      AttrSpec::Numeric("rating", 1, 10, false),
+      AttrSpec::Numeric("year", 1930, 2018, true),
+      AttrSpec::Numeric("runtime", 60, 240, true),
+      AttrSpec::Numeric("votes", 10, 2000000, true),
+      AttrSpec::Categorical("language", 12),
+      AttrSpec::Categorical("country", 20),
+  };
+  LabelSpec person;
+  person.name = "Person";
+  person.weight = 4;
+  person.attrs = {
+      AttrSpec::Numeric("born", 1900, 2000, true),
+      AttrSpec::Categorical("profession", 6),
+      AttrSpec::Numeric("films", 1, 120, true),
+  };
+  LabelSpec genre;
+  genre.name = "Genre";
+  genre.weight = 0.1;
+  genre.attrs = {AttrSpec::Categorical("family", 5)};
+  LabelSpec company;
+  company.name = "Company";
+  company.weight = 1;
+  company.attrs = {
+      AttrSpec::Numeric("founded", 1900, 2015, true),
+      AttrSpec::Categorical("kind", 4),
+  };
+  spec.labels = {movie, person, genre, company};
+  spec.edges = {
+      {"Person", "Movie", 5, "acted_in"}, {"Person", "Movie", 1.5, "directed"},
+      {"Movie", "Genre", 2, "has_genre"}, {"Company", "Movie", 1.2, "produced"},
+      {"Movie", "Movie", 0.6, "related"}, {"Person", "Person", 0.6, "worked_with"},
+  };
+  return spec.Scaled(scale);
+}
+
+GraphSpec OffshoreLike(double scale, uint64_t seed) {
+  GraphSpec spec;
+  spec.name = "offshore_like";
+  spec.num_nodes = 8000;
+  spec.num_edges = 34000;
+  spec.preferential = 0.75;
+  spec.seed = seed;
+
+  LabelSpec entity;
+  entity.name = "Entity";
+  entity.weight = 4;
+  entity.attrs = {
+      AttrSpec::Numeric("incorporated", 1975, 2015, true),
+      AttrSpec::Numeric("inactive", 1980, 2016, true, 0.5),
+      AttrSpec::Categorical("jurisdiction", 25),
+      AttrSpec::Categorical("status", 5),
+  };
+  LabelSpec officer;
+  officer.name = "Officer";
+  officer.weight = 3;
+  officer.attrs = {
+      AttrSpec::Categorical("country", 30),
+      AttrSpec::Numeric("linked_entities", 1, 200, true),
+  };
+  LabelSpec intermediary;
+  intermediary.name = "Intermediary";
+  intermediary.weight = 1;
+  intermediary.attrs = {
+      AttrSpec::Categorical("country", 30),
+      AttrSpec::Numeric("clients", 1, 500, true),
+  };
+  LabelSpec address;
+  address.name = "Address";
+  address.weight = 2;
+  address.attrs = {AttrSpec::Categorical("country", 30)};
+  spec.labels = {entity, officer, intermediary, address};
+  spec.edges = {
+      {"Officer", "Entity", 5, "officer_of"},
+      {"Intermediary", "Entity", 2, "intermediary_of"},
+      {"Entity", "Address", 2, "registered_at"},
+      {"Officer", "Address", 1, "registered_at"},
+      {"Entity", "Entity", 0.8, "related"},
+  };
+  return spec.Scaled(scale);
+}
+
+GraphSpec WatDivLike(double scale, uint64_t seed) {
+  GraphSpec spec;
+  spec.name = "watdiv_like";
+  spec.num_nodes = 6000;
+  spec.num_edges = 70000;
+  spec.preferential = 0.6;
+  spec.seed = seed;
+
+  LabelSpec product;
+  product.name = "Product";
+  product.weight = 3;
+  product.attrs = {
+      AttrSpec::Numeric("price", 5, 2000, true),
+      AttrSpec::Numeric("stock", 0, 500, true),
+      AttrSpec::Categorical("category", 15),
+      AttrSpec::Numeric("rating", 1, 5, false),
+  };
+  LabelSpec retailer;
+  retailer.name = "Retailer";
+  retailer.weight = 0.5;
+  retailer.attrs = {
+      AttrSpec::Categorical("country", 10),
+      AttrSpec::Numeric("discount", 0, 50, true),
+  };
+  LabelSpec user;
+  user.name = "User";
+  user.weight = 3;
+  user.attrs = {
+      AttrSpec::Numeric("age", 16, 90, true),
+      AttrSpec::Categorical("gender", 2),
+  };
+  LabelSpec purchase;
+  purchase.name = "Purchase";
+  purchase.weight = 3;
+  purchase.attrs = {
+      AttrSpec::Numeric("date", 2010, 2018, true),
+      AttrSpec::Numeric("total", 5, 5000, true),
+  };
+  LabelSpec review;
+  review.name = "Review";
+  review.weight = 1.5;
+  review.attrs = {
+      AttrSpec::Numeric("stars", 1, 5, true),
+      AttrSpec::Numeric("helpful", 0, 300, true),
+  };
+  spec.labels = {product, retailer, user, purchase, review};
+  spec.edges = {
+      {"User", "Purchase", 4, "made"},      {"Purchase", "Product", 4, "includes"},
+      {"Retailer", "Product", 2, "sells"},  {"User", "Review", 2, "wrote"},
+      {"Review", "Product", 2, "reviews"},  {"User", "User", 0.5, "follows"},
+      {"Product", "Product", 1, "also_bought"},
+  };
+  return spec.Scaled(scale);
+}
+
+std::vector<GraphSpec> AllDatasets(double scale) {
+  return {DbpediaLike(scale), ImdbLike(scale), OffshoreLike(scale),
+          WatDivLike(scale)};
+}
+
+}  // namespace wqe

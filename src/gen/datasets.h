@@ -1,0 +1,35 @@
+#ifndef WQE_GEN_DATASETS_H_
+#define WQE_GEN_DATASETS_H_
+
+#include "gen/config.h"
+
+namespace wqe {
+
+/// Laptop-scale stand-ins for the paper's evaluation datasets (§7). Each
+/// preset mimics the corresponding dataset's *shape*: relative label
+/// cardinality, attributes per node, density, and attribute-domain mix.
+/// Absolute sizes are scaled down ~250× (see DESIGN.md); Scaled(f) sweeps
+/// size for the scalability experiment.
+
+/// DBpedia-like: many labels (knowledge-base heterogeneity), ~9 attrs/node,
+/// sparse (|E| ≈ 3|V|).
+GraphSpec DbpediaLike(double scale = 1.0, uint64_t seed = 11);
+
+/// IMDB-like: few labels (Movie/Person/Genre/Company), ~6 attrs on movies,
+/// |E| ≈ 3|V|.
+GraphSpec ImdbLike(double scale = 1.0, uint64_t seed = 13);
+
+/// Offshore-Leaks-like: entity/officer/intermediary/address/jurisdiction,
+/// ~4 attrs, |E| ≈ 4.3|V|, 40 years of date-valued attributes.
+GraphSpec OffshoreLike(double scale = 1.0, uint64_t seed = 17);
+
+/// WatDiv-like: dense e-commerce benchmark shape (|E| ≈ 17|V|), products /
+/// retailers / purchases / users / reviews.
+GraphSpec WatDivLike(double scale = 1.0, uint64_t seed = 19);
+
+/// All four presets, for dataset-sweep experiments.
+std::vector<GraphSpec> AllDatasets(double scale = 1.0);
+
+}  // namespace wqe
+
+#endif  // WQE_GEN_DATASETS_H_

@@ -1,0 +1,108 @@
+#include "gen/product_demo.h"
+
+namespace wqe {
+
+ProductDemo::ProductDemo() {
+  Graph& g = graph_;
+
+  auto phone = [&](const char* name, double display, double storage,
+                   double price, double ram) {
+    NodeId v = g.AddNode("Cellphone", name);
+    g.SetNum(v, "display", display);
+    g.SetNum(v, "storage", storage);
+    g.SetNum(v, "price", price);
+    g.SetNum(v, "ram", ram);
+    return v;
+  };
+
+  // Six cellphones: P1/P2/P5 match the original query; P3/P4 are the
+  // missing relevant entities; P6 is irrelevant filler so |V_{u_o}| = 6.
+  phones_.push_back(phone("P1 S9+", 6.2, 64, 840, 4));
+  phones_.push_back(phone("P2 Note8", 6.3, 64, 950, 6));
+  phones_.push_back(phone("P3 S9+", 6.2, 128, 790, 4));
+  phones_.push_back(phone("P4 Note8", 6.3, 64, 795, 6));
+  phones_.push_back(phone("P5 S8+", 6.2, 128, 840, 4));
+  phones_.push_back(phone("P6 J7", 5.8, 32, 700, 3));
+
+  samsung_ = g.AddNode("Brand", "Samsung");
+  g.SetStr(samsung_, "name", "Samsung");
+
+  att_ = g.AddNode("Carrier", "AT&T");
+  g.SetStr(att_, "name", "ATT");
+  g.SetNum(att_, "discount", 10);
+  sprint_ = g.AddNode("Carrier", "Sprint");
+  g.SetStr(sprint_, "name", "Sprint");
+  g.SetNum(sprint_, "discount", 25);
+
+  watch_ = g.AddNode("Accessory", "GearS3");
+  sensor_ = g.AddNode("Sensor", "HeartRate");
+  g.SetStr(sensor_, "type", "wearable");
+
+  const LabelId brand_edge = g.schema().InternEdgeLabel("brand");
+  const LabelId carrier_edge = g.schema().InternEdgeLabel("sold_by");
+  const LabelId has_edge = g.schema().InternEdgeLabel("has");
+
+  for (NodeId p : phones_) g.AddEdge(p, samsung_, brand_edge);
+
+  g.AddEdge(phones_[0], att_, carrier_edge);     // P1 -> AT&T
+  g.AddEdge(phones_[1], att_, carrier_edge);     // P2 -> AT&T
+  g.AddEdge(phones_[2], sprint_, carrier_edge);  // P3 -> Sprint
+  g.AddEdge(phones_[3], sprint_, carrier_edge);  // P4 -> Sprint
+  g.AddEdge(phones_[4], sprint_, carrier_edge);  // P5 -> Sprint
+  g.AddEdge(phones_[5], att_, carrier_edge);     // P6 -> AT&T
+
+  // Sensors: P1 reaches the sensor through the watch (2 hops), P2/P5
+  // directly (1 hop), P4 through the watch; P3 and P6 have none.
+  g.AddEdge(phones_[0], watch_, has_edge);
+  g.AddEdge(watch_, sensor_, has_edge);
+  g.AddEdge(phones_[1], sensor_, has_edge);
+  g.AddEdge(phones_[3], watch_, has_edge);
+  g.AddEdge(phones_[4], sensor_, has_edge);
+
+  g.Finalize();
+}
+
+PatternQuery ProductDemo::Query() const {
+  const Schema& schema = graph_.schema();
+  PatternQuery q;
+  const QNodeId cell = q.AddNode(schema.LookupLabel("Cellphone"));
+  const QNodeId brand = q.AddNode(schema.LookupLabel("Brand"));
+  const QNodeId carrier = q.AddNode(schema.LookupLabel("Carrier"));
+  const QNodeId sensor = q.AddNode(schema.LookupLabel("Sensor"));
+  q.SetFocus(cell);
+  q.AddLiteral(cell, {schema.LookupAttr("price"), CmpOp::kGe, Value::Num(840)});
+  q.AddLiteral(brand,
+               {schema.LookupAttr("name"), CmpOp::kEq,
+                Value::Str(schema.strings().Lookup("Samsung"))});
+  q.AddEdge(cell, brand, 1);
+  q.AddEdge(cell, carrier, 1);
+  q.AddEdge(cell, sensor, 2);
+  return q;
+}
+
+Exemplar ProductDemo::MakeExemplar() const {
+  const Schema& schema = graph_.schema();
+  const AttrId display = schema.LookupAttr("display");
+  const AttrId storage = schema.LookupAttr("storage");
+  const AttrId price = schema.LookupAttr("price");
+
+  Exemplar e;
+  TuplePattern t1;  // <6.2, x1, _>
+  t1.SetConstant(display, Value::Num(6.2));
+  t1.SetWildcard(storage);
+  t1.SetWildcard(price);
+  TuplePattern t2;  // <6.3, x2, x3>
+  t2.SetConstant(display, Value::Num(6.3));
+  t2.SetWildcard(storage);
+  t2.SetWildcard(price);
+  const uint32_t i1 = e.AddTuple(std::move(t1));
+  const uint32_t i2 = e.AddTuple(std::move(t2));
+  // c1: t2.price < 800; c2: t1.storage > t2.storage.
+  e.AddConstraint(
+      ConstraintLiteral::VarConst({i2, price}, CmpOp::kLt, Value::Num(800)));
+  e.AddConstraint(
+      ConstraintLiteral::VarVar({i1, storage}, CmpOp::kGt, {i2, storage}));
+  return e;
+}
+
+}  // namespace wqe

@@ -1,0 +1,48 @@
+#ifndef WQE_GEN_PRODUCT_DEMO_H_
+#define WQE_GEN_PRODUCT_DEMO_H_
+
+#include "chase/why.h"
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// The running example of the paper (Fig 1/2): a product knowledge graph of
+/// Samsung cellphones, carriers, a brand node, and sensors, plus the query
+/// "cellphones priced >= 840 with a Samsung brand, a carrier, and a sensor
+/// within two hops" and the exemplar of Example 2.3.
+///
+/// Ground truth: Q(G) = {P1, P2, P5}; rep(ℰ, V) = {P3, P4, P5}; the optimal
+/// rewrite applies AddL(Carrier.discount = 25), RmE((Cellphone, Sensor)),
+/// and a price relaxation, reaching cl* = 1/2 (|V_{u_o}| = 6).
+class ProductDemo {
+ public:
+  ProductDemo();
+
+  const Graph& graph() const { return graph_; }
+
+  /// The original query Q of Fig 1.
+  PatternQuery Query() const;
+
+  /// The exemplar ℰ = (𝒯, C) of Example 2.3:
+  ///   t1 = <display 6.2, storage x1, _>, t2 = <display 6.3, storage x2,
+  ///   price x3>, C = { x3 < 800, x1 > x2 }.
+  Exemplar MakeExemplar() const;
+
+  WhyQuestion Question() const { return {Query(), MakeExemplar()}; }
+
+  // Named node handles for tests.
+  NodeId p(int i) const { return phones_[static_cast<size_t>(i - 1)]; }
+  NodeId samsung() const { return samsung_; }
+  NodeId att() const { return att_; }
+  NodeId sprint() const { return sprint_; }
+  NodeId sensor() const { return sensor_; }
+
+ private:
+  Graph graph_;
+  std::vector<NodeId> phones_;
+  NodeId samsung_, att_, sprint_, watch_, sensor_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_GEN_PRODUCT_DEMO_H_

@@ -1,0 +1,105 @@
+#include "gen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace wqe {
+
+namespace {
+
+std::string AutoVocabValue(const AttrSpec& attr, size_t i) {
+  return attr.name + "_" + std::to_string(i);
+}
+
+}  // namespace
+
+Graph GenerateGraph(const GraphSpec& spec) {
+  Graph g;
+  Rng rng(spec.seed);
+
+  // ---- Nodes, stratified by label weight.
+  std::vector<double> weights;
+  weights.reserve(spec.labels.size());
+  for (const LabelSpec& l : spec.labels) weights.push_back(l.weight);
+
+  std::vector<std::vector<NodeId>> by_label(spec.labels.size());
+  std::vector<LabelId> label_ids;
+  label_ids.reserve(spec.labels.size());
+  for (const LabelSpec& l : spec.labels) {
+    label_ids.push_back(g.schema().InternLabel(l.name));
+  }
+
+  for (size_t i = 0; i < spec.num_nodes; ++i) {
+    const size_t li = rng.Weighted(weights);
+    const LabelSpec& lspec = spec.labels[li];
+    const NodeId v =
+        g.AddNode(label_ids[li], lspec.name + "#" + std::to_string(i));
+    by_label[li].push_back(v);
+    for (const AttrSpec& attr : lspec.attrs) {
+      if (attr.presence < 1.0 && !rng.Chance(attr.presence)) continue;
+      const AttrId aid = g.schema().InternAttr(attr.name);
+      if (attr.numeric) {
+        double val = rng.Double(attr.min, attr.max);
+        if (attr.integral) val = std::floor(val);
+        g.SetAttr(v, aid, Value::Num(val));
+      } else if (!attr.vocab.empty()) {
+        g.SetAttr(v, aid, g.schema().InternStr(attr.vocab[rng.Index(attr.vocab.size())]));
+      } else if (attr.auto_domain > 0) {
+        g.SetAttr(v, aid,
+                  g.schema().InternStr(
+                      AutoVocabValue(attr, rng.Index(attr.auto_domain))));
+      }
+    }
+  }
+
+  // ---- Edges per rule, preferential attachment on targets.
+  std::unordered_map<std::string, size_t> label_index;
+  for (size_t i = 0; i < spec.labels.size(); ++i) {
+    label_index[spec.labels[i].name] = i;
+  }
+  std::vector<double> rule_weights;
+  rule_weights.reserve(spec.edges.size());
+  for (const EdgeRule& r : spec.edges) rule_weights.push_back(r.weight);
+
+  // Per label: multiset of nodes already used as targets (preferential pool).
+  std::vector<std::vector<NodeId>> target_pool(spec.labels.size());
+
+  size_t placed = 0, attempts = 0;
+  const size_t max_attempts = spec.num_edges * 4 + 64;
+  while (placed < spec.num_edges && attempts < max_attempts &&
+         !spec.edges.empty()) {
+    ++attempts;
+    const EdgeRule& rule = spec.edges[rng.Weighted(rule_weights)];
+    auto fit = label_index.find(rule.from_label);
+    auto tit = label_index.find(rule.to_label);
+    if (fit == label_index.end() || tit == label_index.end()) continue;
+    const auto& sources = by_label[fit->second];
+    const auto& targets = by_label[tit->second];
+    if (sources.empty() || targets.empty()) continue;
+
+    const NodeId from = sources[rng.Index(sources.size())];
+    auto& pool = target_pool[tit->second];
+    NodeId to;
+    if (!pool.empty() && rng.Chance(spec.preferential)) {
+      to = pool[rng.Index(pool.size())];
+    } else {
+      to = targets[rng.Index(targets.size())];
+    }
+    if (from == to) continue;
+    const LabelId elabel = rule.edge_label.empty()
+                               ? kWildcardSymbol
+                               : g.schema().InternEdgeLabel(rule.edge_label);
+    g.AddEdge(from, to, elabel);
+    pool.push_back(to);
+    ++placed;
+  }
+
+  g.Finalize();
+  return g;
+}
+
+}  // namespace wqe

@@ -1,0 +1,16 @@
+#ifndef WQE_GEN_SYNTHETIC_H_
+#define WQE_GEN_SYNTHETIC_H_
+
+#include "gen/config.h"
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// Builds a finalized attributed graph from a spec: label-stratified nodes
+/// with sampled attribute tuples, and edges drawn per rule with optional
+/// preferential attachment on targets. Deterministic in spec.seed.
+Graph GenerateGraph(const GraphSpec& spec);
+
+}  // namespace wqe
+
+#endif  // WQE_GEN_SYNTHETIC_H_

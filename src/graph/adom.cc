@@ -1,0 +1,71 @@
+#include "graph/adom.h"
+
+#include <algorithm>
+
+namespace wqe {
+
+ActiveDomains::ActiveDomains(const Graph& g) {
+  const size_t num_attrs = g.schema().num_attrs();
+  num_values_.resize(num_attrs);
+  str_values_.resize(num_attrs);
+  ranges_.assign(num_attrs, kMinRange);
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AttrPair& pair : g.attrs(v)) {
+      if (pair.attr >= num_attrs) continue;
+      if (pair.value.is_num()) {
+        num_values_[pair.attr].push_back(pair.value.num());
+      } else if (pair.value.is_str()) {
+        str_values_[pair.attr].push_back(pair.value.str());
+      }
+    }
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    auto& nums = num_values_[a];
+    std::sort(nums.begin(), nums.end());
+    nums.erase(std::unique(nums.begin(), nums.end()), nums.end());
+    auto& strs = str_values_[a];
+    std::sort(strs.begin(), strs.end());
+    strs.erase(std::unique(strs.begin(), strs.end()), strs.end());
+    if (!nums.empty()) {
+      ranges_[a] = std::max(kMinRange, nums.back() - nums.front());
+    }
+  }
+}
+
+const std::vector<double>& ActiveDomains::NumValues(AttrId a) const {
+  if (a >= num_values_.size()) return empty_num_;
+  return num_values_[a];
+}
+
+const std::vector<SymbolId>& ActiveDomains::StrValues(AttrId a) const {
+  if (a >= str_values_.size()) return empty_str_;
+  return str_values_[a];
+}
+
+double ActiveDomains::Range(AttrId a) const {
+  if (a >= ranges_.size()) return kMinRange;
+  return ranges_[a];
+}
+
+size_t ActiveDomains::DomainSize(AttrId a) const {
+  return NumValues(a).size() + StrValues(a).size();
+}
+
+bool ActiveDomains::LargestBelow(const std::vector<double>& sorted, double c,
+                                 double* out) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), c);
+  if (it == sorted.begin()) return false;
+  *out = *(it - 1);
+  return true;
+}
+
+bool ActiveDomains::SmallestAbove(const std::vector<double>& sorted, double c,
+                                  double* out) {
+  auto it = std::upper_bound(sorted.begin(), sorted.end(), c);
+  if (it == sorted.end()) return false;
+  *out = *it;
+  return true;
+}
+
+}  // namespace wqe

@@ -1,0 +1,51 @@
+#ifndef WQE_GRAPH_ADOM_H_
+#define WQE_GRAPH_ADOM_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// Active domains adom(A, G) (§2.1): for every attribute A, the finite set of
+/// values it takes in G. Used by the cost model (range(A) normalizes RxL/RfL
+/// costs, Table 1) and by picky-operator generation (adom discretization,
+/// §5.3). Built once per graph after Finalize().
+class ActiveDomains {
+ public:
+  explicit ActiveDomains(const Graph& g);
+
+  /// Sorted distinct numeric values of attribute `a` in G (empty for purely
+  /// categorical attributes).
+  const std::vector<double>& NumValues(AttrId a) const;
+
+  /// Distinct categorical (string) values of attribute `a`, sorted by id.
+  const std::vector<SymbolId>& StrValues(AttrId a) const;
+
+  /// range(A) = max − min over numeric values; at least kMinRange so the
+  /// Table 1 cost normalizer |c'−c| / range(A) never divides by zero.
+  double Range(AttrId a) const;
+
+  /// Number of distinct values (numeric + categorical) of `a`.
+  size_t DomainSize(AttrId a) const;
+
+  /// Largest numeric value of `a` strictly below `c`, if any.
+  /// Implements the "largest value a in adom with a < c" rule of GenRx.
+  static bool LargestBelow(const std::vector<double>& sorted, double c, double* out);
+
+  /// Smallest numeric value of `a` strictly above `c`, if any.
+  static bool SmallestAbove(const std::vector<double>& sorted, double c, double* out);
+
+  static constexpr double kMinRange = 1e-9;
+
+ private:
+  std::vector<std::vector<double>> num_values_;
+  std::vector<std::vector<SymbolId>> str_values_;
+  std::vector<double> ranges_;
+  std::vector<double> empty_num_;
+  std::vector<SymbolId> empty_str_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_GRAPH_ADOM_H_

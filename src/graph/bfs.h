@@ -1,0 +1,59 @@
+#ifndef WQE_GRAPH_BFS_H_
+#define WQE_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// "Unreachable within the hop cap" sentinel distance.
+inline constexpr uint32_t kInfDist = static_cast<uint32_t>(-1);
+
+/// Reusable bounded breadth-first searcher over a frozen graph. Holds
+/// epoch-stamped scratch arrays so repeated queries allocate nothing.
+/// Distances follow edge direction (the valuation semantics of §2.1 use the
+/// directed shortest path from h(u) to h(u')). Not thread-safe; create one
+/// per thread.
+class BoundedBfs {
+ public:
+  explicit BoundedBfs(const Graph& g);
+
+  /// Directed distance from u to v, or kInfDist if it exceeds `cap`.
+  /// Bidirectional expansion keeps frontiers small on hub-heavy graphs.
+  uint32_t Distance(NodeId u, NodeId v, uint32_t cap);
+
+  /// Visits every node w with dist(src, w) <= cap (following out-edges),
+  /// invoking fn(w, dist). Includes src at distance 0.
+  void Forward(NodeId src, uint32_t cap,
+               const std::function<void(NodeId, uint32_t)>& fn);
+
+  /// Visits every node w with dist(w, src) <= cap (following in-edges).
+  void Backward(NodeId src, uint32_t cap,
+                const std::function<void(NodeId, uint32_t)>& fn);
+
+  /// Visits every node within `cap` hops of src ignoring edge direction
+  /// (used for star-view augmented edges, whose label is an undirected
+  /// pattern distance).
+  void Undirected(NodeId src, uint32_t cap,
+                  const std::function<void(NodeId, uint32_t)>& fn);
+
+  const Graph& graph() const { return g_; }
+
+ private:
+  template <bool kForward>
+  void Sweep(NodeId src, uint32_t cap,
+             const std::function<void(NodeId, uint32_t)>& fn);
+
+  const Graph& g_;
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> mark_fwd_, dist_fwd_;
+  std::vector<uint32_t> mark_bwd_, dist_bwd_;
+  std::vector<NodeId> queue_fwd_, queue_bwd_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_GRAPH_BFS_H_

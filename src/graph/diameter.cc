@@ -1,0 +1,57 @@
+#include "graph/diameter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/bfs.h"
+
+namespace wqe {
+
+namespace {
+
+// Undirected BFS from src; returns (farthest node, its distance).
+std::pair<NodeId, uint32_t> FarthestUndirected(const Graph& g, NodeId src,
+                                               std::vector<uint32_t>& dist,
+                                               std::vector<NodeId>& queue) {
+  std::fill(dist.begin(), dist.end(), kInfDist);
+  queue.clear();
+  queue.push_back(src);
+  dist[src] = 0;
+  NodeId far = src;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const NodeId x = queue[head];
+    if (dist[x] > dist[far]) far = x;
+    for (auto neighbors : {g.out(x), g.in(x)}) {
+      for (NodeId y : neighbors) {
+        if (dist[y] == kInfDist) {
+          dist[y] = dist[x] + 1;
+          queue.push_back(y);
+        }
+      }
+    }
+  }
+  return {far, dist[far]};
+}
+
+}  // namespace
+
+uint32_t EstimateDiameter(const Graph& g, int sweeps, uint64_t seed) {
+  if (g.num_nodes() == 0) return 1;
+  Rng rng(seed);
+  std::vector<uint32_t> dist(g.num_nodes());
+  std::vector<NodeId> queue;
+  queue.reserve(g.num_nodes());
+
+  uint32_t best = 1;
+  for (int s = 0; s < sweeps; ++s) {
+    const NodeId start = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    auto [far, d1] = FarthestUndirected(g, start, dist, queue);
+    auto [far2, d2] = FarthestUndirected(g, far, dist, queue);
+    (void)far2;
+    best = std::max({best, d1, d2});
+  }
+  return best;
+}
+
+}  // namespace wqe

@@ -1,0 +1,19 @@
+#ifndef WQE_GRAPH_DIAMETER_H_
+#define WQE_GRAPH_DIAMETER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// Estimates the diameter D(G) used by the Table 1 cost model to normalize
+/// edge-bound updates (RmE/RxE/RfE/AddE costs carry a b / D(G) term).
+/// Uses the double-sweep lower-bound heuristic over the undirected view of G
+/// (exact on trees, a tight lower bound in practice), repeated from `sweeps`
+/// random starts. Always returns at least 1.
+uint32_t EstimateDiameter(const Graph& g, int sweeps = 4, uint64_t seed = 7);
+
+}  // namespace wqe
+
+#endif  // WQE_GRAPH_DIAMETER_H_

@@ -1,0 +1,97 @@
+#include "graph/distance_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wqe {
+
+DistanceIndex::DistanceIndex(const Graph& g, Options opts) : g_(g), bfs_(g) {
+  if (opts.use_pll && g.num_nodes() > 0 && g.num_nodes() <= opts.pll_max_nodes) {
+    Build();
+    indexed_ = true;
+  }
+}
+
+void DistanceIndex::Build() {
+  const size_t n = g_.num_nodes();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  std::sort(order_.begin(), order_.end(), [&](NodeId a, NodeId b) {
+    return g_.degree(a) != g_.degree(b) ? g_.degree(a) > g_.degree(b) : a < b;
+  });
+
+  label_out_.assign(n, {});
+  label_in_.assign(n, {});
+
+  std::vector<uint32_t> dist(n, kInfDist);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+
+  for (uint32_t rank = 0; rank < n; ++rank) {
+    const NodeId hub = order_[rank];
+
+    // Forward pruned BFS: hub → w fills label_in_[w] so future queries
+    // Distance(x, w) can route through hub.
+    auto sweep = [&](bool forward) {
+      queue.clear();
+      queue.push_back(hub);
+      dist[hub] = 0;
+      for (size_t head = 0; head < queue.size(); ++head) {
+        const NodeId w = queue[head];
+        const uint32_t d = dist[w];
+        // Prune: an earlier (higher-degree) hub already certifies a path of
+        // length <= d, so labeling w through this hub adds nothing.
+        const uint32_t known = forward ? QueryLabels(hub, w) : QueryLabels(w, hub);
+        if (known <= d) continue;
+        (forward ? label_in_[w] : label_out_[w]).push_back({rank, d});
+        for (NodeId y : forward ? g_.out(w) : g_.in(w)) {
+          if (dist[y] == kInfDist) {
+            dist[y] = d + 1;
+            queue.push_back(y);
+          }
+        }
+      }
+      for (NodeId w : queue) dist[w] = kInfDist;
+    };
+    sweep(/*forward=*/true);
+    sweep(/*forward=*/false);
+  }
+}
+
+uint32_t DistanceIndex::QueryLabels(NodeId u, NodeId v) const {
+  const auto& out = label_out_[u];
+  const auto& in = label_in_[v];
+  uint32_t best = kInfDist;
+  size_t i = 0, j = 0;
+  while (i < out.size() && j < in.size()) {
+    if (out[i].hub_rank == in[j].hub_rank) {
+      const uint32_t d = out[i].dist + in[j].dist;
+      best = std::min(best, d);
+      ++i;
+      ++j;
+    } else if (out[i].hub_rank < in[j].hub_rank) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+uint32_t DistanceIndex::Distance(NodeId u, NodeId v, uint32_t cap) {
+  if (u == v) return 0;
+  if (indexed_) {
+    const uint32_t d = QueryLabels(u, v);
+    return d <= cap ? d : kInfDist;
+  }
+  return bfs_.Distance(u, v, cap);
+}
+
+size_t DistanceIndex::LabelEntries() const {
+  size_t total = 0;
+  for (const auto& l : label_out_) total += l.size();
+  for (const auto& l : label_in_) total += l.size();
+  return total;
+}
+
+}  // namespace wqe

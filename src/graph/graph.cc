@@ -1,0 +1,92 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wqe {
+
+NodeId Graph::AddNode(LabelId label, std::string_view name) {
+  assert(!finalized_);
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  names_.emplace_back(name);
+  attrs_.emplace_back();
+  return id;
+}
+
+void Graph::SetAttr(NodeId v, AttrId a, Value value) {
+  assert(v < labels_.size());
+  auto& tuple = attrs_[v];
+  for (auto& pair : tuple) {
+    if (pair.attr == a) {
+      pair.value = value;
+      return;
+    }
+  }
+  tuple.push_back({a, value});
+  if (finalized_) {
+    std::sort(tuple.begin(), tuple.end(),
+              [](const AttrPair& x, const AttrPair& y) { return x.attr < y.attr; });
+  }
+}
+
+void Graph::AddEdge(NodeId from, NodeId to, LabelId elabel) {
+  assert(!finalized_);
+  assert(from < labels_.size() && to < labels_.size());
+  edge_from_.push_back(from);
+  edge_to_.push_back(to);
+  edge_labels_.push_back(elabel);
+}
+
+void Graph::Finalize() {
+  if (finalized_) return;
+  const size_t n = labels_.size();
+  const size_t m = edge_to_.size();
+
+  for (auto& tuple : attrs_) {
+    std::sort(tuple.begin(), tuple.end(),
+              [](const AttrPair& x, const AttrPair& y) { return x.attr < y.attr; });
+  }
+
+  // Counting sort into CSR, both directions.
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    ++out_offsets_[edge_from_[i] + 1];
+    ++in_offsets_[edge_to_[i] + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  adj_out_.resize(m);
+  adj_in_.resize(m);
+  std::vector<uint64_t> out_cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (size_t i = 0; i < m; ++i) {
+    adj_out_[out_cursor[edge_from_[i]]++] = edge_to_[i];
+    adj_in_[in_cursor[edge_to_[i]]++] = edge_from_[i];
+  }
+
+  by_label_.assign(schema_.num_labels(), {});
+  for (NodeId v = 0; v < n; ++v) by_label_[labels_[v]].push_back(v);
+
+  finalized_ = true;
+}
+
+const std::vector<NodeId>& Graph::NodesWithLabel(LabelId label) const {
+  assert(finalized_);
+  if (label >= by_label_.size()) return empty_label_bucket_;
+  return by_label_[label];
+}
+
+const Value* Graph::attr(NodeId v, AttrId a) const {
+  const auto& tuple = attrs_[v];
+  auto it = std::lower_bound(
+      tuple.begin(), tuple.end(), a,
+      [](const AttrPair& pair, AttrId key) { return pair.attr < key; });
+  if (it != tuple.end() && it->attr == a) return &it->value;
+  return nullptr;
+}
+
+}  // namespace wqe

@@ -1,0 +1,141 @@
+#ifndef WQE_GRAPH_GRAPH_H_
+#define WQE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/schema.h"
+#include "graph/value.h"
+
+namespace wqe {
+
+/// Dense node identifier.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// One attribute-value pair of a node tuple f_A(v). Tuples are stored sorted
+/// by attribute id so lookups are binary searches.
+struct AttrPair {
+  AttrId attr;
+  Value value;
+};
+
+/// Directed attributed graph G = (V, E, L, f_A) (§2.1). Built incrementally
+/// (AddNode / SetAttr / AddEdge) and then frozen by Finalize(), which packs
+/// adjacency into CSR form and builds the label index. All read accessors
+/// require a finalized graph; mutation after Finalize() is a programming
+/// error and is checked in debug builds.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Graphs own large CSR arrays; copying one is almost always a bug.
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // -------- Construction --------
+
+  /// Adds a node with the given label and optional display name (e.g. "P1").
+  NodeId AddNode(LabelId label, std::string_view name = "");
+
+  /// Sets (or overwrites) attribute `a` of node `v`.
+  void SetAttr(NodeId v, AttrId a, Value value);
+
+  /// Adds a directed edge. `elabel` is a display label; matching semantics
+  /// (§2.1) constrain only path lengths, not edge labels.
+  void AddEdge(NodeId from, NodeId to, LabelId elabel = kWildcardSymbol);
+
+  /// Freezes the graph: sorts attribute tuples, packs CSR adjacency, and
+  /// builds the nodes-by-label index. Idempotent.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // -------- Topology --------
+
+  size_t num_nodes() const { return labels_.size(); }
+  size_t num_edges() const { return edge_to_.size(); }
+
+  LabelId label(NodeId v) const { return labels_[v]; }
+  const std::string& name(NodeId v) const { return names_[v]; }
+
+  /// Out-neighbors of v (CSR slice). Requires finalized().
+  std::span<const NodeId> out(NodeId v) const {
+    return {adj_out_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// In-neighbors of v (CSR slice). Requires finalized().
+  std::span<const NodeId> in(NodeId v) const {
+    return {adj_in_.data() + in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t out_degree(NodeId v) const { return out_offsets_[v + 1] - out_offsets_[v]; }
+  size_t in_degree(NodeId v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+  size_t degree(NodeId v) const { return out_degree(v) + in_degree(v); }
+
+  /// All nodes carrying `label`. Requires finalized().
+  const std::vector<NodeId>& NodesWithLabel(LabelId label) const;
+
+  // -------- Attributes --------
+
+  /// Sorted attribute tuple f_A(v).
+  std::span<const AttrPair> attrs(NodeId v) const {
+    return {attrs_[v].data(), attrs_[v].size()};
+  }
+
+  /// Pointer to the value of attribute `a` on node `v`, or nullptr if the
+  /// node does not carry that attribute.
+  const Value* attr(NodeId v, AttrId a) const;
+
+  // -------- Schema --------
+
+  Schema& schema() { return schema_; }
+  const Schema& schema() const { return schema_; }
+
+  // Convenience wrappers for building graphs in tests and examples.
+  NodeId AddNode(std::string_view label, std::string_view name = "") {
+    return AddNode(schema_.InternLabel(label), name);
+  }
+  void SetNum(NodeId v, std::string_view attr, double num) {
+    SetAttr(v, schema_.InternAttr(attr), Value::Num(num));
+  }
+  void SetStr(NodeId v, std::string_view attr, std::string_view s) {
+    SetAttr(v, schema_.InternAttr(attr), schema_.InternStr(s));
+  }
+
+ private:
+  Schema schema_;
+  bool finalized_ = false;
+
+  std::vector<LabelId> labels_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<AttrPair>> attrs_;
+
+  // Edge staging (pre-finalize) retained afterwards for serialization.
+  std::vector<NodeId> edge_from_;
+  std::vector<NodeId> edge_to_;
+  std::vector<LabelId> edge_labels_;
+
+  // CSR adjacency (post-finalize).
+  std::vector<uint64_t> out_offsets_;
+  std::vector<NodeId> adj_out_;
+  std::vector<uint64_t> in_offsets_;
+  std::vector<NodeId> adj_in_;
+
+  // Nodes grouped by label.
+  std::vector<std::vector<NodeId>> by_label_;
+  std::vector<NodeId> empty_label_bucket_;
+
+  friend class GraphIo;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_GRAPH_GRAPH_H_

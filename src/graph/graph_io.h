@@ -1,0 +1,32 @@
+#ifndef WQE_GRAPH_GRAPH_IO_H_
+#define WQE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// Tab-separated text serialization for attributed graphs. The format is
+/// line-oriented and diff-friendly:
+///
+///   wqe-graph v1
+///   node <id> <label> [<name>]
+///   attr <node-id> <attr-name> (num <number> | str <string>)
+///   edge <from-id> <to-id> [<edge-label>]
+///
+/// Node ids in the file must be 0..N-1 in order of `node` lines. Loaded
+/// graphs come back finalized.
+class GraphIo {
+ public:
+  static std::string ToString(const Graph& g);
+  static Result<Graph> FromString(const std::string& text);
+
+  static Status Save(const Graph& g, const std::string& path);
+  static Result<Graph> Load(const std::string& path);
+};
+
+}  // namespace wqe
+
+#endif  // WQE_GRAPH_GRAPH_IO_H_

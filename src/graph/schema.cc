@@ -1,0 +1,3 @@
+#include "graph/schema.h"
+
+// Header-only; anchors the translation unit.

@@ -1,0 +1,61 @@
+#ifndef WQE_GRAPH_SCHEMA_H_
+#define WQE_GRAPH_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/interner.h"
+#include "graph/value.h"
+
+namespace wqe {
+
+/// Node / edge label id. kWildcardSymbol (0) is the '⊥' label that matches
+/// any node in a pattern query (§2.1).
+using LabelId = SymbolId;
+
+/// Attribute name id, drawn from the finite attribute set 𝒜.
+using AttrId = SymbolId;
+
+/// Symbol tables shared by a graph and every query / exemplar evaluated
+/// against it: node labels, edge labels, attribute names, and categorical
+/// string values. Queries built against graph G must use G's schema so that
+/// interned ids agree.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Labels.
+  LabelId InternLabel(std::string_view s) { return labels_.Intern(s); }
+  LabelId LookupLabel(std::string_view s) const { return labels_.Lookup(s); }
+  const std::string& LabelName(LabelId id) const { return labels_.Name(id); }
+  size_t num_labels() const { return labels_.size(); }
+
+  // Edge labels.
+  LabelId InternEdgeLabel(std::string_view s) { return edge_labels_.Intern(s); }
+  const std::string& EdgeLabelName(LabelId id) const { return edge_labels_.Name(id); }
+
+  // Attribute names.
+  AttrId InternAttr(std::string_view s) { return attrs_.Intern(s); }
+  AttrId LookupAttr(std::string_view s) const { return attrs_.Lookup(s); }
+  bool HasAttr(std::string_view s) const { return attrs_.Contains(s); }
+  const std::string& AttrName(AttrId id) const { return attrs_.Name(id); }
+  size_t num_attrs() const { return attrs_.size(); }
+
+  // Categorical string values.
+  Value InternStr(std::string_view s) { return Value::Str(strings_.Intern(s)); }
+  const std::string& StrName(SymbolId id) const { return strings_.Name(id); }
+  const Interner& strings() const { return strings_; }
+
+  /// Renders a value using this schema's string table.
+  std::string ValueToString(const Value& v) const { return v.ToString(strings_); }
+
+ private:
+  Interner labels_;
+  Interner edge_labels_;
+  Interner attrs_;
+  Interner strings_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_GRAPH_SCHEMA_H_

@@ -1,0 +1,80 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wqe {
+
+GraphStats ComputeStats(const Graph& g) {
+  GraphStats stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+
+  std::vector<size_t> label_counts(g.schema().num_labels(), 0);
+  std::vector<bool> attr_seen(g.schema().num_attrs(), false);
+  std::vector<size_t> out_degrees;
+  out_degrees.reserve(g.num_nodes());
+  size_t total_attrs = 0;
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ++label_counts[g.label(v)];
+    total_attrs += g.attrs(v).size();
+    for (const AttrPair& pair : g.attrs(v)) {
+      if (pair.attr < attr_seen.size()) attr_seen[pair.attr] = true;
+    }
+    out_degrees.push_back(g.out_degree(v));
+    stats.max_out_degree = std::max(stats.max_out_degree, g.out_degree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, g.in_degree(v));
+    if (g.degree(v) == 0) ++stats.isolated_nodes;
+  }
+
+  for (LabelId l = 0; l < label_counts.size(); ++l) {
+    if (label_counts[l] == 0) continue;
+    ++stats.num_labels;
+    stats.label_histogram.push_back({g.schema().LabelName(l), label_counts[l]});
+  }
+  std::stable_sort(stats.label_histogram.begin(), stats.label_histogram.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  for (bool seen : attr_seen) {
+    if (seen) ++stats.num_attrs;
+  }
+  if (stats.num_nodes > 0) {
+    stats.avg_attrs_per_node =
+        static_cast<double>(total_attrs) / static_cast<double>(stats.num_nodes);
+    stats.avg_out_degree =
+        static_cast<double>(stats.num_edges) / static_cast<double>(stats.num_nodes);
+  }
+
+  std::sort(out_degrees.begin(), out_degrees.end());
+  if (!out_degrees.empty()) {
+    for (int decile = 0; decile <= 10; ++decile) {
+      const size_t idx = std::min(
+          out_degrees.size() - 1,
+          static_cast<size_t>(decile) * (out_degrees.size() - 1) / 10);
+      stats.out_degree_deciles.push_back(out_degrees[idx]);
+    }
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream out;
+  out << "nodes=" << num_nodes << " edges=" << num_edges
+      << " labels=" << num_labels << " attrs=" << num_attrs
+      << " attrs/node=" << avg_attrs_per_node
+      << " avg-out-degree=" << avg_out_degree
+      << " max-in=" << max_in_degree << " max-out=" << max_out_degree
+      << " isolated=" << isolated_nodes << "\n";
+  out << "labels:";
+  for (size_t i = 0; i < label_histogram.size() && i < 10; ++i) {
+    out << ' ' << label_histogram[i].first << '=' << label_histogram[i].second;
+  }
+  if (label_histogram.size() > 10) out << " ...";
+  out << "\nout-degree deciles:";
+  for (size_t d : out_degree_deciles) out << ' ' << d;
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace wqe

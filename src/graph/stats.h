@@ -1,0 +1,40 @@
+#ifndef WQE_GRAPH_STATS_H_
+#define WQE_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// Summary statistics of an attributed graph — the shape figures the
+/// dataset substitutes are calibrated against (DESIGN.md §1): label
+/// cardinalities, attribute coverage, and the degree distribution.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;     // labels with at least one node
+  size_t num_attrs = 0;      // attributes with at least one value
+  double avg_attrs_per_node = 0;
+  double avg_out_degree = 0;
+  size_t max_in_degree = 0;
+  size_t max_out_degree = 0;
+  size_t isolated_nodes = 0;
+
+  /// Label histogram, largest first: (label name, node count).
+  std::vector<std::pair<std::string, size_t>> label_histogram;
+
+  /// Degree-decile out-degree values: deciles[i] is the out-degree at the
+  /// i*10th percentile (0th..100th, 11 entries) — a compact heavy-tail
+  /// fingerprint.
+  std::vector<size_t> out_degree_deciles;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeStats(const Graph& g);
+
+}  // namespace wqe
+
+#endif  // WQE_GRAPH_STATS_H_

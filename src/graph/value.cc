@@ -1,0 +1,29 @@
+#include "graph/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wqe {
+
+std::string Value::ToString(const Interner& strings) const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kNum: {
+      // Integral doubles print without a decimal point ("840", not "840.0").
+      if (num_ == std::floor(num_) && std::abs(num_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(num_));
+        return buf;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", num_);
+      return buf;
+    }
+    case Kind::kStr:
+      return strings.Name(str_);
+  }
+  return "?";
+}
+
+}  // namespace wqe

@@ -1,0 +1,90 @@
+#ifndef WQE_GRAPH_VALUE_H_
+#define WQE_GRAPH_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/interner.h"
+
+namespace wqe {
+
+/// Attribute value attached to a graph node. The paper's data model (§2.1)
+/// assigns each node a tuple of attribute-value pairs; values are either
+/// numeric (prices, display sizes, years, ...) or categorical strings
+/// (brands, genres, ...). Categorical payloads are interned SymbolIds so a
+/// Value is a 16-byte POD and tuples stay cache-friendly.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull, kNum, kStr };
+
+  Value() : kind_(Kind::kNull), num_(0), str_(kWildcardSymbol) {}
+
+  static Value Null() { return Value(); }
+  static Value Num(double v) {
+    Value x;
+    x.kind_ = Kind::kNum;
+    x.num_ = v;
+    return x;
+  }
+  static Value Str(SymbolId s) {
+    Value x;
+    x.kind_ = Kind::kStr;
+    x.str_ = s;
+    return x;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_num() const { return kind_ == Kind::kNum; }
+  bool is_str() const { return kind_ == Kind::kStr; }
+
+  /// Numeric payload; only meaningful when is_num().
+  double num() const { return num_; }
+  /// Interned categorical payload; only meaningful when is_str().
+  SymbolId str() const { return str_; }
+
+  /// Structural equality: same kind and same payload.
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    switch (a.kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kNum:
+        return a.num_ == b.num_;
+      case Kind::kStr:
+        return a.str_ == b.str_;
+    }
+    return false;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Total order used for sorting active domains: nulls < numbers < strings;
+  /// numbers order numerically, strings order by interned id (deterministic,
+  /// not lexicographic — categorical domains are unordered in the paper's
+  /// model, so only determinism matters).
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    switch (a.kind_) {
+      case Kind::kNull:
+        return false;
+      case Kind::kNum:
+        return a.num_ < b.num_;
+      case Kind::kStr:
+        return a.str_ < b.str_;
+    }
+    return false;
+  }
+
+  /// Renders the value for logs and the text graph format. Categorical
+  /// payloads need the interner that produced them.
+  std::string ToString(const Interner& strings) const;
+
+ private:
+  Kind kind_;
+  double num_;
+  SymbolId str_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_GRAPH_VALUE_H_

@@ -1,0 +1,40 @@
+#include "match/candidates.h"
+
+namespace wqe {
+
+bool IsCandidate(const Graph& g, const PatternQuery& q, QNodeId u, NodeId v) {
+  const QueryNode& qn = q.node(u);
+  if (qn.label != kWildcardSymbol && g.label(v) != qn.label) return false;
+  for (const Literal& lit : qn.literals) {
+    if (!lit.Matches(g, v)) return false;
+  }
+  return true;
+}
+
+std::vector<NodeId> ComputeCandidates(const Graph& g, const PatternQuery& q,
+                                      QNodeId u) {
+  std::vector<NodeId> out;
+  const QueryNode& qn = q.node(u);
+  if (qn.label == kWildcardSymbol) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (IsCandidate(g, q, u, v)) out.push_back(v);
+    }
+    return out;
+  }
+  for (NodeId v : g.NodesWithLabel(qn.label)) {
+    if (IsCandidate(g, q, u, v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::vector<NodeId>> AllCandidates(const Graph& g,
+                                               const PatternQuery& q) {
+  std::vector<std::vector<NodeId>> out(q.num_nodes());
+  const auto mask = q.ActiveMask();
+  for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+    if (mask[u]) out[u] = ComputeCandidates(g, q, u);
+  }
+  return out;
+}
+
+}  // namespace wqe

@@ -1,0 +1,177 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+
+namespace wqe {
+
+Matcher::Matcher(const Graph& g, DistanceIndex* dist)
+    : g_(g), dist_(dist), bfs_(g) {}
+
+std::vector<Matcher::PlanStep> Matcher::BuildPlan(const PatternQuery& q) const {
+  const auto mask = q.ActiveMask();
+  std::vector<bool> placed(q.num_nodes(), false);
+  placed[q.focus()] = true;
+
+  std::vector<PlanStep> plan;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Find an unplaced active node adjacent to a placed one; among its edges
+    // into the placed set, anchor on the smallest bound (smallest ball).
+    for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+      if (placed[u] || !mask[u]) continue;
+      PlanStep step;
+      step.node = u;
+      step.anchor = kNoQNode;
+      for (const QueryEdge& e : q.edges()) {
+        QNodeId other = kNoQNode;
+        bool outgoing_from_anchor = false;
+        if (e.from == u && placed[e.to]) {
+          other = e.to;
+          outgoing_from_anchor = false;  // edge u -> other
+        } else if (e.to == u && placed[e.from]) {
+          other = e.from;
+          outgoing_from_anchor = true;  // edge other -> u
+        } else {
+          continue;
+        }
+        if (step.anchor == kNoQNode || e.bound < step.anchor_bound) {
+          if (step.anchor != kNoQNode) {
+            // Demote the previous anchor to a distance check.
+            step.checks.push_back(
+                {step.anchor, step.anchor_bound, !step.anchor_outgoing});
+          }
+          step.anchor = other;
+          step.anchor_bound = e.bound;
+          step.anchor_outgoing = outgoing_from_anchor;
+        } else {
+          // Check semantics: `outgoing` means pattern edge node -> other.
+          step.checks.push_back({other, e.bound, !outgoing_from_anchor});
+        }
+      }
+      if (step.anchor == kNoQNode) continue;
+      placed[u] = true;
+      plan.push_back(std::move(step));
+      progress = true;
+    }
+  }
+  return plan;
+}
+
+bool Matcher::Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,
+                     size_t depth, std::vector<NodeId>& assign,
+                     std::vector<bool>& /*used*/, size_t limit, size_t& emitted,
+                     const std::vector<const std::vector<NodeId>*>* allowed,
+                     const std::function<bool(const std::vector<NodeId>&)>& cb) {
+  if (depth == plan.size()) {
+    ++emitted;
+    const bool keep_going = cb(assign);
+    return keep_going && emitted < limit;
+  }
+  const PlanStep& step = plan[depth];
+  const NodeId anchor_match = assign[step.anchor];
+
+  // Candidates of step.node inside the bounded ball around the anchor match.
+  std::vector<NodeId> ball;
+  auto collect = [&](NodeId w, uint32_t) {
+    if (w != anchor_match) ball.push_back(w);
+  };
+  if (step.anchor_outgoing) {
+    bfs_.Forward(anchor_match, step.anchor_bound, collect);
+  } else {
+    bfs_.Backward(anchor_match, step.anchor_bound, collect);
+  }
+
+  for (NodeId v : ball) {
+    ++stats_.node_expansions;
+    if (!IsCandidate(g_, q, step.node, v)) continue;
+    if (allowed != nullptr && (*allowed)[step.node] != nullptr) {
+      const auto& ok = *(*allowed)[step.node];
+      if (!std::binary_search(ok.begin(), ok.end(), v)) continue;
+    }
+    // Injectivity.
+    bool clash = false;
+    for (NodeId a : assign) {
+      if (a == v) {
+        clash = true;
+        break;
+      }
+    }
+    if (clash) continue;
+    // Remaining edge constraints to already-assigned nodes.
+    bool ok = true;
+    for (const PlanStep::Check& check : step.checks) {
+      const NodeId other_match = assign[check.other];
+      const uint32_t d = check.outgoing
+                             ? dist_->Distance(v, other_match, check.bound)
+                             : dist_->Distance(other_match, v, check.bound);
+      if (d == kInfDist) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    assign[step.node] = v;
+    std::vector<bool> unused;
+    const bool keep_going =
+        Extend(q, plan, depth + 1, assign, unused, limit, emitted, allowed, cb);
+    assign[step.node] = kInvalidNode;
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+void Matcher::Valuations(
+    const PatternQuery& q, NodeId focus_match, size_t limit,
+    const std::function<bool(const std::vector<NodeId>&)>& cb) {
+  ++stats_.focus_verifications;
+  if (!IsCandidate(g_, q, q.focus(), focus_match)) return;
+  const auto plan = BuildPlan(q);
+  std::vector<NodeId> assign(q.num_nodes(), kInvalidNode);
+  assign[q.focus()] = focus_match;
+  std::vector<bool> unused;
+  size_t emitted = 0;
+  Extend(q, plan, 0, assign, unused, limit, emitted, nullptr, cb);
+}
+
+bool Matcher::IsMatch(const PatternQuery& q, NodeId v) {
+  bool found = false;
+  Valuations(q, v, 1, [&](const std::vector<NodeId>&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+bool Matcher::IsMatchRestricted(
+    const PatternQuery& q, NodeId v,
+    const std::vector<const std::vector<NodeId>*>& allowed) {
+  ++stats_.focus_verifications;
+  if (!IsCandidate(g_, q, q.focus(), v)) return false;
+  if (allowed[q.focus()] != nullptr) {
+    const auto& ok = *allowed[q.focus()];
+    if (!std::binary_search(ok.begin(), ok.end(), v)) return false;
+  }
+  const auto plan = BuildPlan(q);
+  std::vector<NodeId> assign(q.num_nodes(), kInvalidNode);
+  assign[q.focus()] = v;
+  std::vector<bool> unused;
+  size_t emitted = 0;
+  bool found = false;
+  Extend(q, plan, 0, assign, unused, 1, emitted, &allowed,
+         [&](const std::vector<NodeId>&) {
+           found = true;
+           return false;
+         });
+  return found;
+}
+
+std::vector<NodeId> Matcher::Answer(const PatternQuery& q) {
+  std::vector<NodeId> out;
+  for (NodeId v : ComputeCandidates(g_, q, q.focus())) {
+    if (IsMatch(q, v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace wqe

@@ -1,0 +1,89 @@
+#ifndef WQE_MATCH_MATCHER_H_
+#define WQE_MATCH_MATCHER_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "graph/distance_index.h"
+#include "graph/graph.h"
+#include "match/candidates.h"
+#include "query/query.h"
+
+namespace wqe {
+
+/// Counters exposed for the efficiency experiments.
+struct MatchStats {
+  uint64_t focus_verifications = 0;  // focus candidates tested
+  uint64_t node_expansions = 0;      // backtracking states visited
+};
+
+/// Exact evaluator for pattern queries under the extended P-homomorphism
+/// semantics of §2.1: an injective valuation h maps query nodes to
+/// candidates with dist(h(u), h(u')) <= L_Q(e) for every pattern edge
+/// e = (u, u'). Subgraph isomorphism is the b_m = 1 special case.
+///
+/// The search assigns active query nodes in BFS order from the focus; each
+/// new node draws its candidates from the bounded ball around an
+/// already-assigned pattern neighbor, then checks every other assigned
+/// neighbor through the distance index.
+class Matcher {
+ public:
+  Matcher(const Graph& g, DistanceIndex* dist);
+
+  /// The answer Q(G): all matches of the focus u_o.
+  std::vector<NodeId> Answer(const PatternQuery& q);
+
+  /// Whether some valuation maps the focus to `v`.
+  bool IsMatch(const PatternQuery& q, NodeId v);
+
+  /// Like IsMatch, but restricts every query node u to `allowed[u]` when
+  /// that set is non-null — the hook star-view pruning uses.
+  bool IsMatchRestricted(
+      const PatternQuery& q, NodeId v,
+      const std::vector<const std::vector<NodeId>*>& allowed);
+
+  /// Enumerates complete valuations with h(focus) = focus_match, invoking
+  /// `cb` with the assignment (indexed by QNodeId; kInvalidNode on inactive
+  /// nodes). Stops when cb returns false or `limit` valuations were emitted.
+  void Valuations(const PatternQuery& q, NodeId focus_match, size_t limit,
+                  const std::function<bool(const std::vector<NodeId>&)>& cb);
+
+  MatchStats& stats() { return stats_; }
+  const Graph& graph() const { return g_; }
+  DistanceIndex& dist() { return *dist_; }
+
+ private:
+  struct PlanStep {
+    QNodeId node;          // query node to assign
+    QNodeId anchor;        // already-assigned neighbor to expand from
+    uint32_t anchor_bound;  // bound of the anchor edge
+    bool anchor_outgoing;   // true: edge anchor -> node; false: node -> anchor
+    // Other edges from `node` to already-assigned nodes (checked via dist).
+    struct Check {
+      QNodeId other;
+      uint32_t bound;
+      bool outgoing;  // true: edge node -> other
+    };
+    std::vector<Check> checks;
+  };
+
+  /// Builds the BFS assignment plan for the active pattern. Returns false if
+  /// the focus is inactive (cannot happen: focus defines activity).
+  std::vector<PlanStep> BuildPlan(const PatternQuery& q) const;
+
+  bool Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,
+              size_t depth, std::vector<NodeId>& assign,
+              std::vector<bool>& used_query_nodes, size_t limit, size_t& emitted,
+              const std::vector<const std::vector<NodeId>*>* allowed,
+              const std::function<bool(const std::vector<NodeId>&)>& cb);
+
+  const Graph& g_;
+  DistanceIndex* dist_;
+  BoundedBfs bfs_;
+  MatchStats stats_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_MATCH_MATCHER_H_

@@ -1,0 +1,157 @@
+#include "match/star.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wqe {
+
+namespace {
+
+void AppendNodeSignature(const PatternQuery& q, QNodeId u, std::ostringstream& out) {
+  const QueryNode& n = q.node(u);
+  out << 'L' << n.label << '(';
+  std::vector<std::string> lits;
+  for (const Literal& l : n.literals) {
+    std::string key = std::to_string(l.attr) + "#" +
+                      std::to_string(static_cast<int>(l.op)) + "#";
+    if (l.constant.is_null()) {
+      key += "_";
+    } else if (l.constant.is_num()) {
+      key += std::to_string(l.constant.num());
+    } else {
+      key += "s" + std::to_string(l.constant.str());
+    }
+    lits.push_back(std::move(key));
+  }
+  std::sort(lits.begin(), lits.end());
+  for (const auto& l : lits) out << l << ',';
+  out << ')';
+}
+
+}  // namespace
+
+namespace {
+
+// Canonical key of one spoke: direction, bound, endpoint signature, and
+// whether the endpoint is the focus. DecomposeStars sorts spokes by this
+// key, so signature-equal stars (possibly from different rewrites with
+// different node ids) agree on spoke *order* — star tables are addressed by
+// spoke index, which makes this ordering load-bearing for cache reuse.
+std::string SpokeKey(const PatternQuery& q, const StarSpoke& s) {
+  std::ostringstream sk;
+  sk << (s.outgoing ? '>' : '<') << s.bound << ':';
+  AppendNodeSignature(q, s.other, sk);
+  if (s.other == q.focus()) sk << "*";
+  return sk.str();
+}
+
+}  // namespace
+
+std::string StarQuery::Signature(const PatternQuery& q) const {
+  std::ostringstream out;
+  out << "c:";
+  AppendNodeSignature(q, center, out);
+  for (const StarSpoke& s : spokes) out << '|' << SpokeKey(q, s);
+  if (!contains_focus) {
+    out << "|aug" << aug_bound << ':';
+    AppendNodeSignature(q, q.focus(), out);
+  } else if (center == q.focus()) {
+    out << "|cf";
+  }
+  return out.str();
+}
+
+std::vector<StarQuery> DecomposeStars(const PatternQuery& q) {
+  const auto mask = q.ActiveMask();
+  const auto active_edges = q.ActiveEdges();
+
+  std::vector<StarQuery> stars;
+  std::vector<bool> edge_covered(q.edges().size(), false);
+  std::vector<bool> node_covered(q.num_nodes(), false);
+
+  auto uncovered_degree = [&](QNodeId u) {
+    size_t deg = 0;
+    for (size_t i : active_edges) {
+      if (edge_covered[i]) continue;
+      if (q.edge(i).from == u || q.edge(i).to == u) ++deg;
+    }
+    return deg;
+  };
+
+  size_t remaining = 0;
+  for (size_t i : active_edges) {
+    (void)i;
+    ++remaining;
+  }
+
+  while (remaining > 0) {
+    // Greedy center: most uncovered incident edges; tie-break toward the
+    // focus (a focus-centered star tracks relevance directly).
+    QNodeId best = kNoQNode;
+    size_t best_deg = 0;
+    for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+      if (!mask[u]) continue;
+      const size_t deg = uncovered_degree(u);
+      if (deg > best_deg || (deg == best_deg && deg > 0 && u == q.focus())) {
+        best = u;
+        best_deg = deg;
+      }
+    }
+    if (best == kNoQNode || best_deg == 0) break;
+
+    StarQuery star;
+    star.center = best;
+    node_covered[best] = true;
+    // Include every incident active edge (covered or not): the star is the
+    // full neighborhood-induced subgraph of its center (§2.3).
+    for (size_t i : active_edges) {
+      const QueryEdge& e = q.edge(i);
+      QNodeId other = kNoQNode;
+      bool outgoing = true;
+      if (e.from == best) {
+        other = e.to;
+        outgoing = true;
+      } else if (e.to == best) {
+        other = e.from;
+        outgoing = false;
+      } else {
+        continue;
+      }
+      if (!edge_covered[i]) {
+        edge_covered[i] = true;
+        --remaining;
+      }
+      node_covered[other] = true;
+      star.spokes.push_back({other, e.bound, outgoing});
+    }
+    // Canonical spoke order (see SpokeKey): signature-equal stars must agree
+    // on spoke indices for the view cache to be index-addressable.
+    std::stable_sort(star.spokes.begin(), star.spokes.end(),
+                     [&](const StarSpoke& a, const StarSpoke& b) {
+                       return SpokeKey(q, a) < SpokeKey(q, b);
+                     });
+    star.focus_spoke = -1;
+    for (size_t s = 0; s < star.spokes.size(); ++s) {
+      if (star.spokes[s].other == q.focus()) {
+        star.focus_spoke = static_cast<int>(s);
+      }
+    }
+    star.contains_focus = (best == q.focus()) || star.focus_spoke >= 0;
+    if (!star.contains_focus) {
+      star.aug_bound = q.QueryDistance(best, q.focus());
+      if (star.aug_bound == PatternQuery::kNoQueryDist) star.aug_bound = 0;
+    }
+    stars.push_back(std::move(star));
+  }
+
+  if (stars.empty()) {
+    // Edge-free pattern: one spokeless star at the focus.
+    StarQuery star;
+    star.center = q.focus();
+    star.contains_focus = true;
+    stars.push_back(std::move(star));
+  }
+  return stars;
+}
+
+}  // namespace wqe

@@ -1,0 +1,52 @@
+#ifndef WQE_MATCH_STAR_H_
+#define WQE_MATCH_STAR_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace wqe {
+
+/// One spoke of a star query: the pattern edge between the center and
+/// `other`, kept with its direction and bound.
+struct StarSpoke {
+  QNodeId other = 0;
+  uint32_t bound = 1;
+  bool outgoing = true;  // true: center -> other; false: other -> center
+};
+
+/// Star query Q_i of a star view Q.S (§2.3): the subgraph of Q induced by a
+/// center u_i and its neighbors, plus — when the focus is not already in the
+/// star — an "augmented" edge (u_i, u_o) labeled with the pattern distance
+/// between center and focus. The augmented edge keeps every star anchored to
+/// the focus so star tables can track answer relevance.
+struct StarQuery {
+  QNodeId center = 0;
+  std::vector<StarSpoke> spokes;
+
+  /// Spoke index holding the focus, or -1 when the focus is the center or
+  /// only reachable via the augmented edge.
+  int focus_spoke = -1;
+
+  /// True when the focus is the center or one of the spokes.
+  bool contains_focus = false;
+
+  /// Augmented-edge label (pattern distance center <-> focus); only
+  /// meaningful when !contains_focus.
+  uint32_t aug_bound = 0;
+
+  /// Cache key: identical signatures over the same graph materialize to
+  /// identical star tables. Encodes center/spoke labels, literals, bounds,
+  /// directions, and the augmented bound.
+  std::string Signature(const PatternQuery& q) const;
+};
+
+/// Decomposes the active pattern into a star view covering every active node
+/// and edge (greedy max-uncovered-degree center selection). A pattern whose
+/// focus has no edges yields one spokeless star at the focus.
+std::vector<StarQuery> DecomposeStars(const PatternQuery& q);
+
+}  // namespace wqe
+
+#endif  // WQE_MATCH_STAR_H_

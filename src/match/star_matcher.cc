@@ -1,0 +1,91 @@
+#include "match/star_matcher.h"
+
+#include <algorithm>
+
+namespace wqe {
+
+namespace {
+
+// Sorted-vector intersection into `into` (which may start empty = universe).
+void IntersectInto(std::optional<std::vector<NodeId>>& into,
+                   const std::vector<NodeId>& other) {
+  if (!into.has_value()) {
+    into = other;
+    return;
+  }
+  std::vector<NodeId> merged;
+  std::set_intersection(into->begin(), into->end(), other.begin(), other.end(),
+                        std::back_inserter(merged));
+  *into = std::move(merged);
+}
+
+}  // namespace
+
+StarMatcher::StarMatcher(const Graph& g, DistanceIndex* dist, ViewCache* cache)
+    : g_(g), matcher_(g, dist), materializer_(g), cache_(cache) {}
+
+StarMatcher::Evaluation StarMatcher::Evaluate(
+    const PatternQuery& q, const std::function<double(NodeId)>* priority) {
+  ++stats_.evaluations;
+  Evaluation eval;
+  eval.stars = DecomposeStars(q);
+
+  for (const StarQuery& star : eval.stars) {
+    std::shared_ptr<const StarTable> table;
+    if (cache_ != nullptr) {
+      table = cache_->Get(star.Signature(q));
+      if (table != nullptr) ++stats_.cache_hits;
+    }
+    if (table == nullptr) {
+      table = materializer_.Materialize(q, star);
+      ++stats_.tables_built;
+      if (cache_ != nullptr) cache_->Put(star.Signature(q), table);
+    }
+    eval.tables.push_back(std::move(table));
+  }
+
+  // Per-node pruned candidate sets: intersection of occurrences across all
+  // stars that constrain the node. Node ids come from the *current* query's
+  // stars (eval.stars[i]); the cached table only supplies role-addressed
+  // data — its own star() may stem from a different rewrite.
+  std::vector<std::optional<std::vector<NodeId>>> allowed_sets(q.num_nodes());
+  for (size_t i = 0; i < eval.tables.size(); ++i) {
+    const StarQuery& star = eval.stars[i];
+    const StarTable& table = *eval.tables[i];
+    IntersectInto(allowed_sets[star.center], table.center_occurrences());
+    for (size_t s = 0; s < star.spokes.size(); ++s) {
+      IntersectInto(allowed_sets[star.spokes[s].other],
+                    table.spoke_occurrences(s));
+    }
+    IntersectInto(allowed_sets[q.focus()], table.focus_occurrences());
+  }
+
+  std::vector<const std::vector<NodeId>*> allowed(q.num_nodes(), nullptr);
+  for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+    if (allowed_sets[u].has_value()) allowed[u] = &*allowed_sets[u];
+  }
+
+  std::vector<NodeId> candidates;
+  if (allowed[q.focus()] != nullptr) {
+    candidates = *allowed[q.focus()];
+  } else {
+    candidates = ComputeCandidates(g_, q, q.focus());
+  }
+  stats_.focus_candidates += candidates.size();
+
+  if (priority != nullptr) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](NodeId a, NodeId b) {
+                       return (*priority)(a) > (*priority)(b);
+                     });
+  }
+
+  for (NodeId v : candidates) {
+    ++stats_.focus_verified;
+    if (matcher_.IsMatchRestricted(q, v, allowed)) eval.matches.push_back(v);
+  }
+  std::sort(eval.matches.begin(), eval.matches.end());
+  return eval;
+}
+
+}  // namespace wqe

@@ -1,0 +1,62 @@
+#ifndef WQE_MATCH_STAR_MATCHER_H_
+#define WQE_MATCH_STAR_MATCHER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "match/matcher.h"
+#include "match/star.h"
+#include "match/star_table.h"
+#include "match/view_cache.h"
+
+namespace wqe {
+
+/// Counters for the optimization experiments.
+struct StarEvalStats {
+  uint64_t evaluations = 0;
+  uint64_t tables_built = 0;
+  uint64_t cache_hits = 0;
+  uint64_t focus_candidates = 0;  // before star pruning
+  uint64_t focus_verified = 0;    // after star pruning
+};
+
+/// Star-view evaluation of Q(G) (procedure Match, §5.2):
+///   1. decompose Q into a star view Q.S,
+///   2. materialize (or fetch from the cache) each star table,
+///   3. prune the focus candidates to the intersection of the stars' focus
+///      occurrences, and every other query node likewise,
+///   4. verify surviving candidates with the exact matcher, most-promising
+///      first when a priority is supplied (the TA-style ordering — each
+///      candidate's verification stops at its first witness valuation).
+class StarMatcher {
+ public:
+  /// `cache` may be null (the AnsWnc / AnsWb ablations).
+  StarMatcher(const Graph& g, DistanceIndex* dist, ViewCache* cache);
+
+  struct Evaluation {
+    std::vector<NodeId> matches;  // Q(G), sorted ascending
+    std::vector<StarQuery> stars;
+    std::vector<std::shared_ptr<const StarTable>> tables;  // parallel to stars
+  };
+
+  /// Evaluates Q(G). `priority` (optional) orders candidate verification
+  /// descending — pass cl(v, ℰ) to verify exemplar-close candidates first.
+  Evaluation Evaluate(const PatternQuery& q,
+                      const std::function<double(NodeId)>* priority = nullptr);
+
+  StarEvalStats& stats() { return stats_; }
+  Matcher& matcher() { return matcher_; }
+
+ private:
+  const Graph& g_;
+  Matcher matcher_;
+  StarMaterializer materializer_;
+  ViewCache* cache_;
+  StarEvalStats stats_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_MATCH_STAR_MATCHER_H_

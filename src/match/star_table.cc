@@ -1,0 +1,100 @@
+#include "match/star_table.h"
+
+#include <algorithm>
+
+#include "match/candidates.h"
+
+namespace wqe {
+
+const StarRow* StarTable::RowOfCenter(NodeId v) const {
+  auto it = row_of_center_.find(v);
+  return it == row_of_center_.end() ? nullptr : &rows_[it->second];
+}
+
+std::shared_ptr<const StarTable> StarMaterializer::Materialize(
+    const PatternQuery& q, const StarQuery& star) {
+  auto table = std::make_shared<StarTable>(star, q.focus());
+
+  std::vector<NodeId> centers = ComputeCandidates(g_, q, star.center);
+  for (NodeId c : centers) {
+    StarRow row;
+    row.center = c;
+    row.spoke_matches.resize(star.spokes.size());
+    bool viable = true;
+
+    for (size_t s = 0; s < star.spokes.size() && viable; ++s) {
+      const StarSpoke& spoke = star.spokes[s];
+      auto& cell = row.spoke_matches[s];
+      auto collect = [&](NodeId w, uint32_t d) {
+        if (w == c) return;
+        if (IsCandidate(g_, q, spoke.other, w)) cell.push_back({w, d});
+      };
+      if (spoke.outgoing) {
+        bfs_.Forward(c, spoke.bound, collect);
+      } else {
+        bfs_.Backward(c, spoke.bound, collect);
+      }
+      if (cell.empty()) viable = false;
+    }
+    if (!viable) continue;
+
+    if (!star.contains_focus && star.aug_bound > 0) {
+      auto collect = [&](NodeId w, uint32_t d) {
+        if (IsCandidate(g_, q, q.focus(), w)) row.focus_matches.push_back({w, d});
+      };
+      bfs_.Undirected(c, star.aug_bound, collect);
+      if (row.focus_matches.empty()) continue;
+    }
+
+    table->row_of_center_.emplace(c, table->rows_.size());
+    table->entry_count_ += 1 + row.focus_matches.size();
+    for (const auto& cell : row.spoke_matches) table->entry_count_ += cell.size();
+    table->rows_.push_back(std::move(row));
+  }
+
+  // Occurrence sets per role (center, spoke index): tables must not refer
+  // to query node ids, which vary across the rewrites sharing this table.
+  auto sorted_unique = [](std::vector<NodeId> nodes) {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    return nodes;
+  };
+
+  {
+    std::vector<NodeId> centers_seen;
+    centers_seen.reserve(table->rows_.size());
+    for (const StarRow& row : table->rows_) centers_seen.push_back(row.center);
+    table->center_occ_ = sorted_unique(std::move(centers_seen));
+  }
+  table->spoke_occ_.resize(star.spokes.size());
+  for (size_t s = 0; s < star.spokes.size(); ++s) {
+    std::vector<NodeId> seen;
+    for (const StarRow& row : table->rows_) {
+      for (const SpokeMatch& m : row.spoke_matches[s]) seen.push_back(m.node);
+    }
+    table->spoke_occ_[s] = sorted_unique(std::move(seen));
+  }
+
+  // Focus occurrences: center itself, the focus spoke, or augmented matches.
+  std::vector<NodeId> focus_seen;
+  if (star.center == q.focus()) {
+    for (const StarRow& row : table->rows_) focus_seen.push_back(row.center);
+  } else if (star.focus_spoke >= 0) {
+    const size_t s = static_cast<size_t>(star.focus_spoke);
+    for (const StarRow& row : table->rows_) {
+      for (const SpokeMatch& m : row.spoke_matches[s]) focus_seen.push_back(m.node);
+    }
+  } else {
+    for (const StarRow& row : table->rows_) {
+      for (const SpokeMatch& m : row.focus_matches) focus_seen.push_back(m.node);
+    }
+  }
+  std::sort(focus_seen.begin(), focus_seen.end());
+  focus_seen.erase(std::unique(focus_seen.begin(), focus_seen.end()),
+                   focus_seen.end());
+  table->focus_occ_ = std::move(focus_seen);
+
+  return table;
+}
+
+}  // namespace wqe

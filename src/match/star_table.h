@@ -1,0 +1,95 @@
+#ifndef WQE_MATCH_STAR_TABLE_H_
+#define WQE_MATCH_STAR_TABLE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "match/star.h"
+
+namespace wqe {
+
+/// One (node, distance) entry in a star-table cell.
+struct SpokeMatch {
+  NodeId node;
+  uint32_t dist;
+};
+
+/// One row of a star table T_i(G) (§2.3): the j-th match of the center plus,
+/// per spoke, the set of (match, distance) pairs of that spoke's node inside
+/// the center match's bounded neighborhood.
+struct StarRow {
+  NodeId center;
+  std::vector<std::vector<SpokeMatch>> spoke_matches;  // parallel to spokes
+  /// Focus matches via the augmented edge; empty when the star already
+  /// contains the focus (center or spoke).
+  std::vector<SpokeMatch> focus_matches;
+};
+
+/// Materialized star view T_i(G): the compact encoding of Q_i's matches.
+/// Relevance of focus occurrences (the v.stat flag of §2.3) is kept by the
+/// evaluation layer's RelevanceSets — tables themselves are relevance-free so
+/// the view cache can share them across chase steps that only reclassify.
+class StarTable {
+ public:
+  StarTable(StarQuery star, QNodeId focus) : star_(std::move(star)), focus_(focus) {}
+
+  const StarQuery& star() const { return star_; }
+  const std::vector<StarRow>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// All nodes seen in the focus position across rows (sorted, unique).
+  /// Star-view evaluation intersects these across stars to prune V_{u_o}.
+  const std::vector<NodeId>& focus_occurrences() const { return focus_occ_; }
+
+  /// All center matches (sorted, unique). Tables are addressed by *role*
+  /// (center / spoke index / focus), never by query node id: the view cache
+  /// shares tables across rewrites whose node ids differ but whose star
+  /// signatures — which fix the canonical spoke order — agree.
+  const std::vector<NodeId>& center_occurrences() const { return center_occ_; }
+
+  /// All matches seen by spoke `s` (sorted, unique).
+  const std::vector<NodeId>& spoke_occurrences(size_t s) const {
+    return spoke_occ_[s];
+  }
+
+  /// Row whose center match is `v`, or nullptr.
+  const StarRow* RowOfCenter(NodeId v) const;
+
+  /// Approximate memory footprint in entries (cache accounting).
+  size_t EntryCount() const { return entry_count_; }
+
+ private:
+  friend class StarMaterializer;
+
+  StarQuery star_;
+  QNodeId focus_;
+  std::vector<StarRow> rows_;
+  std::unordered_map<NodeId, size_t> row_of_center_;
+  std::vector<NodeId> focus_occ_;
+  std::vector<NodeId> center_occ_;
+  std::vector<std::vector<NodeId>> spoke_occ_;  // parallel to star_.spokes
+  size_t entry_count_ = 0;
+};
+
+/// Builds star tables against a fixed graph. Holds BFS scratch; not
+/// thread-safe.
+class StarMaterializer {
+ public:
+  explicit StarMaterializer(const Graph& g) : g_(g), bfs_(g) {}
+
+  /// Materializes T_i(G) for `star` of query `q`: one row per center match
+  /// (center candidates whose every spoke has at least one match and, for
+  /// focus-augmented stars, at least one focus candidate in range).
+  std::shared_ptr<const StarTable> Materialize(const PatternQuery& q,
+                                               const StarQuery& star);
+
+ private:
+  const Graph& g_;
+  BoundedBfs bfs_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_MATCH_STAR_TABLE_H_

@@ -1,0 +1,69 @@
+#include "match/view_cache.h"
+
+#include <cmath>
+
+namespace wqe {
+
+double ViewCache::DecayedScore(const Entry& e) const {
+  const double age = static_cast<double>(tick_ - e.last_tick);
+  return e.score * std::pow(options_.decay, age);
+}
+
+std::shared_ptr<const StarTable> ViewCache::Get(const std::string& signature) {
+  ++tick_;
+  auto it = entries_.find(signature);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  Entry& e = it->second;
+  e.score = DecayedScore(e) + 1.0;
+  e.last_tick = tick_;
+  return e.table;
+}
+
+void ViewCache::Put(const std::string& signature,
+                    std::shared_ptr<const StarTable> table) {
+  ++tick_;
+  auto it = entries_.find(signature);
+  if (it != entries_.end()) {
+    total_entries_ -= it->second.table->EntryCount();
+    it->second.table = std::move(table);
+    total_entries_ += it->second.table->EntryCount();
+    it->second.score = DecayedScore(it->second) + 1.0;
+    it->second.last_tick = tick_;
+    EvictIfNeeded();
+    return;
+  }
+  Entry e;
+  e.table = std::move(table);
+  e.score = 1.0;
+  e.last_tick = tick_;
+  total_entries_ += e.table->EntryCount();
+  entries_.emplace(signature, std::move(e));
+  EvictIfNeeded();
+}
+
+void ViewCache::EvictIfNeeded() {
+  while (total_entries_ > options_.max_entries && entries_.size() > 1) {
+    auto victim = entries_.begin();
+    double victim_score = DecayedScore(victim->second);
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      const double s = DecayedScore(it->second);
+      if (s < victim_score) {
+        victim = it;
+        victim_score = s;
+      }
+    }
+    total_entries_ -= victim->second.table->EntryCount();
+    entries_.erase(victim);
+  }
+}
+
+void ViewCache::Clear() {
+  entries_.clear();
+  total_entries_ = 0;
+}
+
+}  // namespace wqe

@@ -1,0 +1,63 @@
+#ifndef WQE_MATCH_VIEW_CACHE_H_
+#define WQE_MATCH_VIEW_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "match/star_table.h"
+
+namespace wqe {
+
+/// Global cache 𝒱 of materialized star views (§5.2 "Caching the Stars").
+/// Q-Chase produces highly similar queries; rewrites that leave a star
+/// untouched re-use its table instead of re-evaluating. Replacement follows
+/// the paper: a per-view hit counter incremented on use and decayed by a
+/// time factor, with least-hit eviction when over capacity.
+class ViewCache {
+ public:
+  struct Options {
+    /// Capacity in table entries (Σ EntryCount), not table count, so one
+    /// huge wildcard star cannot masquerade as a single small unit.
+    size_t max_entries = 4u << 20;
+    /// Multiplicative decay applied per tick since last use.
+    double decay = 0.95;
+  };
+
+  ViewCache() : ViewCache(Options()) {}
+  explicit ViewCache(Options options) : options_(options) {}
+
+  /// Looks up a table by signature; bumps its (decayed) hit score.
+  std::shared_ptr<const StarTable> Get(const std::string& signature);
+
+  /// Inserts a table, evicting least-hit entries if over capacity.
+  void Put(const std::string& signature, std::shared_ptr<const StarTable> table);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t entry_count() const { return total_entries_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const StarTable> table;
+    double score = 0;
+    uint64_t last_tick = 0;
+  };
+
+  double DecayedScore(const Entry& e) const;
+  void EvictIfNeeded();
+
+  Options options_;
+  std::unordered_map<std::string, Entry> entries_;
+  size_t total_entries_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_MATCH_VIEW_CACHE_H_

@@ -1,0 +1,56 @@
+#include "query/literal.h"
+
+namespace wqe {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+bool EvalCmp(const Value& lhs, CmpOp op, const Value& rhs) {
+  if (lhs.is_num() && rhs.is_num()) {
+    const double a = lhs.num(), b = rhs.num();
+    switch (op) {
+      case CmpOp::kLt:
+        return a < b;
+      case CmpOp::kLe:
+        return a <= b;
+      case CmpOp::kEq:
+        return a == b;
+      case CmpOp::kGe:
+        return a >= b;
+      case CmpOp::kGt:
+        return a > b;
+    }
+  }
+  if (lhs.is_str() && rhs.is_str()) {
+    return op == CmpOp::kEq && lhs.str() == rhs.str();
+  }
+  return false;
+}
+
+std::string Literal::ToString(const Schema& schema) const {
+  std::string s = schema.AttrName(attr);
+  if (is_wildcard()) {
+    s += " exists";
+    return s;
+  }
+  s += ' ';
+  s += CmpOpName(op);
+  s += ' ';
+  s += schema.ValueToString(constant);
+  return s;
+}
+
+}  // namespace wqe

@@ -1,0 +1,129 @@
+#include "query/op_sequence.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wqe {
+
+namespace {
+
+// Identity of the query element an operator touches, for cancel-out checks:
+// literal ops key on (node, attribute); edge ops key on (from, to).
+struct TouchKey {
+  bool is_edge;
+  uint32_t a;
+  uint32_t b;
+
+  friend bool operator==(const TouchKey& x, const TouchKey& y) {
+    return x.is_edge == y.is_edge && x.a == y.a && x.b == y.b;
+  }
+};
+
+TouchKey KeyOf(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kRmL:
+    case OpKind::kRxL:
+    case OpKind::kRfL:
+    case OpKind::kAddL:
+      return {false, op.u, op.lit.attr};
+    default:
+      return {true, op.u, op.v};
+  }
+}
+
+// Application order within a phase, from the Lemma 4.1 constructive proof:
+// relax RxL < RxE < RmL < RmE (modify before remove, so every modification
+// target still exists); refine AddE < AddL < RfE < RfL (create before
+// constrain, so every refinement target exists).
+int PhaseRank(OpKind k) {
+  switch (k) {
+    case OpKind::kRxL:
+      return 0;
+    case OpKind::kRxE:
+      return 1;
+    case OpKind::kRmL:
+      return 2;
+    case OpKind::kRmE:
+      return 3;
+    case OpKind::kAddE:
+      return 0;
+    case OpKind::kAddL:
+      return 1;
+    case OpKind::kRfE:
+      return 2;
+    case OpKind::kRfL:
+      return 3;
+    case OpKind::kNoOp:
+      return 4;
+  }
+  return 4;
+}
+
+}  // namespace
+
+double OpSequence::Cost(const ActiveDomains& adom, uint32_t diameter) const {
+  double total = 0;
+  for (const Op& op : ops_) total += OpCost(op, adom, diameter);
+  return total;
+}
+
+bool OpSequence::IsCanonical() const {
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].is_noop()) continue;
+    for (size_t j = i + 1; j < ops_.size(); ++j) {
+      if (ops_[j].is_noop()) continue;
+      if (!(KeyOf(ops_[i]) == KeyOf(ops_[j]))) continue;
+      if (ops_[i].is_relax() != ops_[j].is_relax()) return false;
+    }
+  }
+  return true;
+}
+
+OpSequence OpSequence::NormalForm() const {
+  std::vector<Op> relax, refine;
+  for (const Op& op : ops_) {
+    if (op.is_noop()) continue;
+    (op.is_relax() ? relax : refine).push_back(op);
+  }
+  std::stable_sort(relax.begin(), relax.end(), [](const Op& a, const Op& b) {
+    return PhaseRank(a.kind) < PhaseRank(b.kind);
+  });
+  std::stable_sort(refine.begin(), refine.end(), [](const Op& a, const Op& b) {
+    return PhaseRank(a.kind) < PhaseRank(b.kind);
+  });
+  std::vector<Op> out;
+  out.reserve(relax.size() + refine.size());
+  out.insert(out.end(), relax.begin(), relax.end());
+  out.insert(out.end(), refine.begin(), refine.end());
+  return OpSequence(std::move(out));
+}
+
+bool OpSequence::IsNormalForm() const {
+  bool seen_refine = false;
+  for (const Op& op : ops_) {
+    if (op.is_noop()) continue;
+    if (op.is_refine()) seen_refine = true;
+    if (op.is_relax() && seen_refine) return false;
+  }
+  return true;
+}
+
+bool OpSequence::ApplyAll(PatternQuery* q, uint32_t max_bound) const {
+  for (const Op& op : ops_) {
+    if (!Apply(op, q, max_bound)) return false;
+  }
+  return true;
+}
+
+std::string OpSequence::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << ops_[i].ToString(schema);
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace wqe

@@ -1,0 +1,54 @@
+#ifndef WQE_QUERY_OP_SEQUENCE_H_
+#define WQE_QUERY_OP_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ops.h"
+
+namespace wqe {
+
+/// A finite sequence of atomic operators O = {o_1, ..., o_m} applied to a
+/// query (Q' = Q ⊕ O, §2.2), with the Lemma 4.1 machinery: canonicality
+/// (no cancel-out pairs) and the normal-form transform (all relaxations
+/// before all refinements, each phase ordered so applicability is preserved).
+class OpSequence {
+ public:
+  OpSequence() = default;
+  explicit OpSequence(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+  void Append(const Op& op) { ops_.push_back(op); }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Total updating cost c(O) = Σ c(o) (§3).
+  double Cost(const ActiveDomains& adom, uint32_t diameter) const;
+
+  /// Canonicality (§4): no literal (node, attribute) or edge (u, v) is both
+  /// relaxed/removed by one operator and refined/added by another. Such
+  /// pairs "cancel out" and the sequence can be shortened.
+  bool IsCanonical() const;
+
+  /// Equivalent normal form (Lemma 4.1): the relax-only prefix ordered
+  /// RxL, RxE, RmL, RmE followed by the refine-only suffix ordered
+  /// AddE, AddL, RfE, RfL (stable within each class). Requires IsCanonical().
+  OpSequence NormalForm() const;
+
+  /// True when relaxations precede all refinements.
+  bool IsNormalForm() const;
+
+  /// Applies all operators in order. Returns false at the first
+  /// inapplicable operator (leaving q partially rewritten).
+  bool ApplyAll(PatternQuery* q, uint32_t max_bound) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace wqe
+
+#endif  // WQE_QUERY_OP_SEQUENCE_H_

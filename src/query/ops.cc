@@ -1,0 +1,240 @@
+#include "query/ops.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace wqe {
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kNoOp:
+      return "NoOp";
+    case OpKind::kRmL:
+      return "RmL";
+    case OpKind::kRmE:
+      return "RmE";
+    case OpKind::kRxL:
+      return "RxL";
+    case OpKind::kRxE:
+      return "RxE";
+    case OpKind::kAddL:
+      return "AddL";
+    case OpKind::kAddE:
+      return "AddE";
+    case OpKind::kRfL:
+      return "RfL";
+    case OpKind::kRfE:
+      return "RfE";
+  }
+  return "?";
+}
+
+bool IsRelax(OpKind k) {
+  return k == OpKind::kRmL || k == OpKind::kRmE || k == OpKind::kRxL ||
+         k == OpKind::kRxE;
+}
+
+bool IsRefine(OpKind k) {
+  return k == OpKind::kAddL || k == OpKind::kAddE || k == OpKind::kRfL ||
+         k == OpKind::kRfE;
+}
+
+std::string Op::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  out << OpKindName(kind);
+  switch (kind) {
+    case OpKind::kNoOp:
+      break;
+    case OpKind::kRmL:
+    case OpKind::kAddL:
+      out << "(u" << u << "." << lit.ToString(schema) << ")";
+      break;
+    case OpKind::kRxL:
+    case OpKind::kRfL:
+      out << "(u" << u << "." << lit.ToString(schema) << " -> "
+          << new_lit.ToString(schema) << ")";
+      break;
+    case OpKind::kRmE:
+      out << "((u" << u << ",u" << v << "))";
+      break;
+    case OpKind::kRxE:
+    case OpKind::kRfE:
+      out << "((u" << u << ",u" << v << "), " << bound << " -> " << new_bound
+          << ")";
+      break;
+    case OpKind::kAddE:
+      if (creates_node) {
+        out << "((u" << u << ", new "
+            << (new_node_label == kWildcardSymbol
+                    ? "⊥"
+                    : schema.LabelName(new_node_label))
+            << "), " << new_bound << ")";
+      } else {
+        out << "((u" << u << ",u" << v << "), " << new_bound << ")";
+      }
+      break;
+  }
+  return out.str();
+}
+
+double OpCost(const Op& op, const ActiveDomains& adom, uint32_t diameter) {
+  const double d = std::max<uint32_t>(diameter, 1);
+  switch (op.kind) {
+    case OpKind::kNoOp:
+      return 0.0;
+    case OpKind::kRmL:
+    case OpKind::kAddL:
+      return 1.0;
+    case OpKind::kRmE:
+      return 1.0 + static_cast<double>(op.bound) / d;
+    case OpKind::kAddE:
+      return 1.0 + static_cast<double>(op.new_bound) / d;
+    case OpKind::kRxE:
+    case OpKind::kRfE:
+      return 1.0 +
+             std::abs(static_cast<double>(op.bound) -
+                      static_cast<double>(op.new_bound)) /
+                 d;
+    case OpKind::kRxL:
+    case OpKind::kRfL: {
+      // Wildcard endpoints (refining "A exists" to a concrete constant, or
+      // the categorical case where constants are incomparable) contribute no
+      // relative-difference term: unit cost.
+      if (op.lit.is_wildcard() || op.new_lit.is_wildcard()) return 1.0;
+      if (!op.lit.constant.is_num() || !op.new_lit.constant.is_num()) return 1.0;
+      const double range = adom.Range(op.lit.attr);
+      const double delta =
+          std::abs(op.new_lit.constant.num() - op.lit.constant.num());
+      return 1.0 + std::min(1.0, delta / range);
+    }
+  }
+  return 1.0;
+}
+
+namespace {
+
+// Is `next` a strict relaxation of `prev` (same attribute, same operator,
+// weaker constant)?
+bool StrictlyWeaker(const Literal& prev, const Literal& next) {
+  if (prev.attr != next.attr) return false;
+  if (!prev.constant.is_num() || !next.constant.is_num()) return false;
+  if (prev.op == CmpOp::kEq) {
+    // "= c" widens to a one-sided range still containing c (GenRx rule for
+    // equality literals, §5.3).
+    if (next.op == CmpOp::kGe) return next.constant.num() <= prev.constant.num();
+    if (next.op == CmpOp::kLe) return next.constant.num() >= prev.constant.num();
+    return false;
+  }
+  if (prev.op != next.op) return false;
+  switch (prev.op) {
+    case CmpOp::kGe:
+    case CmpOp::kGt:
+      return next.constant.num() < prev.constant.num();
+    case CmpOp::kLe:
+    case CmpOp::kLt:
+      return next.constant.num() > prev.constant.num();
+    case CmpOp::kEq:
+      return false;
+  }
+  return false;
+}
+
+// Is `next` a strict refinement of `prev`?
+bool StrictlyStronger(const Literal& prev, const Literal& next) {
+  if (prev.attr != next.attr) return false;
+  // Resolving a wildcard "A exists" to any concrete constant refines it
+  // (Appendix B, RfL rule 1).
+  if (prev.constant.is_null() && !next.constant.is_null()) return true;
+  if (prev.op != next.op) return false;
+  if (!prev.constant.is_num() || !next.constant.is_num()) return false;
+  switch (prev.op) {
+    case CmpOp::kGe:
+    case CmpOp::kGt:
+      return next.constant.num() > prev.constant.num();
+    case CmpOp::kLe:
+    case CmpOp::kLt:
+      return next.constant.num() < prev.constant.num();
+    case CmpOp::kEq:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Applicable(const Op& op, const PatternQuery& q, uint32_t max_bound) {
+  const size_t n = q.num_nodes();
+  switch (op.kind) {
+    case OpKind::kNoOp:
+      return true;
+    case OpKind::kRmL:
+      return op.u < n && q.FindLiteral(op.u, op.lit) >= 0;
+    case OpKind::kRxL:
+      return op.u < n && q.FindLiteral(op.u, op.lit) >= 0 &&
+             StrictlyWeaker(op.lit, op.new_lit);
+    case OpKind::kRfL:
+      return op.u < n && q.FindLiteral(op.u, op.lit) >= 0 &&
+             StrictlyStronger(op.lit, op.new_lit);
+    case OpKind::kAddL:
+      if (op.u >= n) return false;
+      // Reject duplicates on (attr, op): the rewrite must differ from Q, and
+      // two bounds on the same attribute with the same operator are either
+      // redundant or contradictory — RxL/RfL cover constant changes.
+      return q.FindLiteral(op.u, op.lit.attr, op.lit.op) < 0;
+    case OpKind::kRmE:
+      return op.u < n && op.v < n && q.FindEdge(op.u, op.v) >= 0;
+    case OpKind::kRxE: {
+      if (op.u >= n || op.v >= n) return false;
+      int e = q.FindEdge(op.u, op.v);
+      return e >= 0 && op.new_bound > q.edge(e).bound && op.new_bound <= max_bound;
+    }
+    case OpKind::kRfE: {
+      if (op.u >= n || op.v >= n) return false;
+      int e = q.FindEdge(op.u, op.v);
+      return e >= 0 && op.new_bound >= 1 && op.new_bound < q.edge(e).bound;
+    }
+    case OpKind::kAddE:
+      if (op.u >= n) return false;
+      if (op.new_bound < 1 || op.new_bound > max_bound) return false;
+      if (op.creates_node) return true;
+      return op.v < n && op.u != op.v && !q.HasEdgeEitherDirection(op.u, op.v);
+  }
+  return false;
+}
+
+bool Apply(const Op& op, PatternQuery* q, uint32_t max_bound) {
+  if (!Applicable(op, *q, max_bound)) return false;
+  switch (op.kind) {
+    case OpKind::kNoOp:
+      return true;
+    case OpKind::kRmL:
+      q->RemoveLiteralAt(op.u, static_cast<size_t>(q->FindLiteral(op.u, op.lit)));
+      return true;
+    case OpKind::kRxL:
+    case OpKind::kRfL: {
+      int i = q->FindLiteral(op.u, op.lit);
+      q->node(op.u).literals[static_cast<size_t>(i)] = op.new_lit;
+      return true;
+    }
+    case OpKind::kAddL:
+      q->AddLiteral(op.u, op.lit);
+      return true;
+    case OpKind::kRmE:
+      q->RemoveEdgeAt(static_cast<size_t>(q->FindEdge(op.u, op.v)));
+      return true;
+    case OpKind::kRxE:
+    case OpKind::kRfE: {
+      int e = q->FindEdge(op.u, op.v);
+      q->edge(static_cast<size_t>(e)).bound = op.new_bound;
+      return true;
+    }
+    case OpKind::kAddE: {
+      QNodeId target = op.v;
+      if (op.creates_node) target = q->AddNode(op.new_node_label);
+      return q->AddEdge(op.u, target, op.new_bound);
+    }
+  }
+  return false;
+}
+
+}  // namespace wqe

@@ -1,0 +1,72 @@
+#ifndef WQE_QUERY_OPS_H_
+#define WQE_QUERY_OPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/adom.h"
+#include "query/query.h"
+
+namespace wqe {
+
+/// The eight atomic operator classes of Table 1 plus the empty operator ∅
+/// used when formalizing Q-Chase steps (§2.2, §4).
+enum class OpKind : uint8_t {
+  kNoOp,  // ∅
+  // Relaxation operators.
+  kRmL,  // remove literal l ∈ F_Q(u)
+  kRmE,  // remove edge e with bound b
+  kRxL,  // relax literal constant c -> c'
+  kRxE,  // relax edge bound b -> b' (b' > b, b' <= b_m)
+  // Refinement operators.
+  kAddL,  // add literal l to F_Q(u)
+  kAddE,  // add edge with bound b (possibly to a fresh pattern node)
+  kRfL,   // refine literal constant c -> c'
+  kRfE,   // refine edge bound b -> b' (b' < b)
+};
+
+const char* OpKindName(OpKind k);
+
+bool IsRelax(OpKind k);
+bool IsRefine(OpKind k);
+
+/// One atomic operator instance. Field usage by kind:
+///   kRmL / kAddL:  u, lit
+///   kRxL / kRfL:   u, lit (the existing literal), new_lit (its replacement)
+///   kRmE:          u, v (the edge endpoints; bound is informational)
+///   kRxE / kRfE:   u, v, bound (old), new_bound
+///   kAddE:         u, v, new_bound; if creates_node, v is ignored and a new
+///                  pattern node labeled new_node_label is appended.
+struct Op {
+  OpKind kind = OpKind::kNoOp;
+  QNodeId u = 0;
+  QNodeId v = 0;
+  Literal lit;
+  Literal new_lit;
+  uint32_t bound = 1;
+  uint32_t new_bound = 1;
+  LabelId new_node_label = kWildcardSymbol;
+  bool creates_node = false;
+
+  bool is_noop() const { return kind == OpKind::kNoOp; }
+  bool is_relax() const { return IsRelax(kind); }
+  bool is_refine() const { return IsRefine(kind); }
+
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Unit cost c(o) ∈ [1, 2] (Table 1): 1 for every operator, plus the relative
+/// magnitude of the change — |c'−c| / range(A) for literal modifications and
+/// bound-related terms normalized by the graph diameter for edge operators.
+double OpCost(const Op& op, const ActiveDomains& adom, uint32_t diameter);
+
+/// Whether o is applicable to q (§2.2): Q ⊕ {o} is a pattern query and
+/// differs from Q. `max_bound` is the global edge-bound cap b_m.
+bool Applicable(const Op& op, const PatternQuery& q, uint32_t max_bound);
+
+/// Applies `op` to `q`. Returns false (leaving q untouched) if inapplicable.
+bool Apply(const Op& op, PatternQuery* q, uint32_t max_bound);
+
+}  // namespace wqe
+
+#endif  // WQE_QUERY_OPS_H_

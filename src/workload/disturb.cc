@@ -1,0 +1,140 @@
+#include "workload/disturb.h"
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wqe {
+
+namespace {
+
+// All disturbance candidates applicable to the current query, split by type.
+void CollectCandidates(const Graph& g, const ActiveDomains& adom,
+                       const PatternQuery& q, const DisturbOptions& opts,
+                       Rng& rng, std::vector<Op>* relax, std::vector<Op>* refine) {
+  for (QNodeId u : q.ActiveNodes()) {
+    for (const Literal& lit : q.node(u).literals) {
+      // RmL always applies.
+      {
+        Op op;
+        op.kind = OpKind::kRmL;
+        op.u = u;
+        op.lit = lit;
+        relax->push_back(std::move(op));
+      }
+      if (lit.constant.is_num()) {
+        const double delta = adom.Range(lit.attr) * rng.Double(0.05, 0.3);
+        const double c = lit.constant.num();
+        if (lit.op == CmpOp::kGe || lit.op == CmpOp::kGt) {
+          Op rx;
+          rx.kind = OpKind::kRxL;
+          rx.u = u;
+          rx.lit = lit;
+          rx.new_lit = {lit.attr, lit.op, Value::Num(c - delta)};
+          relax->push_back(std::move(rx));
+          Op rf;
+          rf.kind = OpKind::kRfL;
+          rf.u = u;
+          rf.lit = lit;
+          rf.new_lit = {lit.attr, lit.op, Value::Num(c + delta)};
+          refine->push_back(std::move(rf));
+        } else if (lit.op == CmpOp::kLe || lit.op == CmpOp::kLt) {
+          Op rx;
+          rx.kind = OpKind::kRxL;
+          rx.u = u;
+          rx.lit = lit;
+          rx.new_lit = {lit.attr, lit.op, Value::Num(c + delta)};
+          relax->push_back(std::move(rx));
+          Op rf;
+          rf.kind = OpKind::kRfL;
+          rf.u = u;
+          rf.lit = lit;
+          rf.new_lit = {lit.attr, lit.op, Value::Num(c - delta)};
+          refine->push_back(std::move(rf));
+        }
+      }
+    }
+
+    // AddL refinement: constrain an attribute this node's label carries.
+    const auto& with_label = g.NodesWithLabel(q.node(u).label);
+    if (!with_label.empty()) {
+      const NodeId sample = with_label[rng.Index(with_label.size())];
+      const auto attrs = g.attrs(sample);
+      if (!attrs.empty()) {
+        const AttrPair& pair = attrs[rng.Index(attrs.size())];
+        bool constrained = false;
+        for (const Literal& l : q.node(u).literals) {
+          if (l.attr == pair.attr) constrained = true;
+        }
+        if (!constrained) {
+          Op op;
+          op.kind = OpKind::kAddL;
+          op.u = u;
+          if (pair.value.is_num()) {
+            op.lit = {pair.attr, rng.Chance(0.5) ? CmpOp::kGe : CmpOp::kLe,
+                      pair.value};
+          } else {
+            op.lit = {pair.attr, CmpOp::kEq, pair.value};
+          }
+          refine->push_back(std::move(op));
+        }
+      }
+    }
+  }
+
+  const auto active_edges = q.ActiveEdges();
+  for (size_t ei : active_edges) {
+    const QueryEdge& e = q.edge(ei);
+    if (e.bound > 1) {
+      Op rf;
+      rf.kind = OpKind::kRfE;
+      rf.u = e.from;
+      rf.v = e.to;
+      rf.bound = e.bound;
+      rf.new_bound = e.bound - 1;
+      refine->push_back(std::move(rf));
+    }
+    if (e.bound < opts.max_bound) {
+      Op rx;
+      rx.kind = OpKind::kRxE;
+      rx.u = e.from;
+      rx.v = e.to;
+      rx.bound = e.bound;
+      rx.new_bound = e.bound + 1;
+      relax->push_back(std::move(rx));
+    }
+    if (active_edges.size() > 1) {
+      Op rm;
+      rm.kind = OpKind::kRmE;
+      rm.u = e.from;
+      rm.v = e.to;
+      rm.bound = e.bound;
+      relax->push_back(std::move(rm));
+    }
+  }
+}
+
+}  // namespace
+
+Disturbed DisturbQuery(const Graph& g, const ActiveDomains& adom,
+                       const PatternQuery& ground_truth,
+                       const DisturbOptions& opts) {
+  Rng rng(opts.seed);
+  Disturbed out;
+  out.query = ground_truth;
+
+  for (size_t i = 0; i < opts.num_ops; ++i) {
+    std::vector<Op> relax, refine;
+    CollectCandidates(g, adom, out.query, opts, rng, &relax, &refine);
+    const bool prefer_refine = rng.Chance(opts.refine_prob);
+    std::vector<Op>* pool = prefer_refine ? &refine : &relax;
+    if (pool->empty()) pool = prefer_refine ? &relax : &refine;
+    if (pool->empty()) break;
+    const Op op = (*pool)[rng.Index(pool->size())];
+    if (!Apply(op, &out.query, opts.max_bound)) continue;
+    out.injected.Append(op);
+  }
+  return out;
+}
+
+}  // namespace wqe

@@ -1,0 +1,34 @@
+#ifndef WQE_WORKLOAD_DISTURB_H_
+#define WQE_WORKLOAD_DISTURB_H_
+
+#include "graph/adom.h"
+#include "query/op_sequence.h"
+
+namespace wqe {
+
+/// Options for the §7 ground-truth protocol: "we 'disturb' Q* by injecting
+/// up to `max_ops` atomic operators to create a query Q".
+struct DisturbOptions {
+  size_t num_ops = 3;  // operators to inject (paper: up to 5)
+  uint32_t max_bound = 3;
+  /// Mix of injected operator kinds; refinements create Why-Not questions
+  /// (missing answers), relaxations create Why questions (unexpected ones).
+  double refine_prob = 0.6;
+  uint64_t seed = 7;
+};
+
+/// Injects random applicable atomic operators into `q`, returning the
+/// disturbed query and the injected sequence. Fewer than num_ops operators
+/// may apply when the query runs out of rewritable parts.
+struct Disturbed {
+  PatternQuery query;
+  OpSequence injected;
+};
+
+Disturbed DisturbQuery(const Graph& g, const ActiveDomains& adom,
+                       const PatternQuery& ground_truth,
+                       const DisturbOptions& opts);
+
+}  // namespace wqe
+
+#endif  // WQE_WORKLOAD_DISTURB_H_

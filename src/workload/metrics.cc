@@ -1,0 +1,50 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wqe {
+
+double AnswerJaccard(std::span<const NodeId> a, std::span<const NodeId> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double Precision(std::span<const NodeId> answer, std::span<const NodeId> relevant) {
+  if (answer.empty()) return 0.0;
+  size_t hits = 0;
+  for (NodeId v : answer) {
+    if (std::binary_search(relevant.begin(), relevant.end(), v)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(answer.size());
+}
+
+double NDCG(std::span<const double> gains, size_t k) {
+  const size_t n = std::min(k, gains.size());
+  double dcg = 0;
+  for (size_t i = 0; i < n; ++i) {
+    dcg += gains[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  std::vector<double> ideal(gains.begin(), gains.end());
+  std::sort(ideal.begin(), ideal.end(), std::greater<>());
+  double idcg = 0;
+  for (size_t i = 0; i < std::min(k, ideal.size()); ++i) {
+    idcg += ideal[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg == 0 ? 0.0 : dcg / idcg;
+}
+
+}  // namespace wqe

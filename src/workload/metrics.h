@@ -1,0 +1,46 @@
+#ifndef WQE_WORKLOAD_METRICS_H_
+#define WQE_WORKLOAD_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wqe {
+
+/// Jaccard coefficient |A ∩ B| / |A ∪ B| of two sorted answer sets. The
+/// paper's relative closeness δ(Q', Q*) "degrades to the Jaccard coefficient
+/// of the answers" when Q* is the ground truth (Exp-2), so the benches
+/// report this directly.
+double AnswerJaccard(std::span<const NodeId> a, std::span<const NodeId> b);
+
+/// Precision of `answer` against the `relevant` set (Exp-5).
+double Precision(std::span<const NodeId> answer, std::span<const NodeId> relevant);
+
+/// Normalized discounted cumulative gain at k: `gains` are the graded
+/// relevances of the returned ranking, top first (Exp-5's nDCG_3).
+double NDCG(std::span<const double> gains, size_t k);
+
+/// Streaming mean/min/max aggregate for timing series.
+struct Aggregate {
+  size_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  void Add(double x) {
+    if (count == 0) {
+      min = max = x;
+    } else {
+      if (x < min) min = x;
+      if (x > max) max = x;
+    }
+    ++count;
+    sum += x;
+  }
+  double Mean() const { return count == 0 ? 0 : sum / static_cast<double>(count); }
+};
+
+}  // namespace wqe
+
+#endif  // WQE_WORKLOAD_METRICS_H_

@@ -1,0 +1,169 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "match/matcher.h"
+
+namespace wqe {
+
+namespace {
+
+// Grows a witness subgraph of `g` and mirrors it as a pattern query.
+// Returns false when the witness cannot be extended to the requested size.
+struct WitnessBuild {
+  PatternQuery query;
+  std::vector<NodeId> witness;  // parallel to query nodes
+};
+
+bool GrowWitness(const Graph& g, const QueryGenOptions& opts, Rng& rng,
+                 NodeId seed_node, WitnessBuild* out) {
+  out->query = PatternQuery();
+  out->witness.clear();
+  out->query.AddNode(g.label(seed_node));
+  out->witness.push_back(seed_node);
+
+  const QueryShape shape = opts.shape.value_or(QueryShape::kTree);
+  const size_t tree_edges =
+      opts.shape == QueryShape::kCyclic ? opts.num_edges - 1 : opts.num_edges;
+
+  for (size_t i = 0; i < tree_edges; ++i) {
+    // Anchor choice drives the shape: star always extends the hub, chain the
+    // most recent node, tree a random one.
+    size_t anchor;
+    switch (shape) {
+      case QueryShape::kStar:
+        anchor = 0;
+        break;
+      case QueryShape::kChain:
+        anchor = out->witness.size() - 1;
+        break;
+      default:
+        anchor = rng.Index(out->witness.size());
+    }
+    const NodeId w = out->witness[anchor];
+
+    // Random incident edge to a node not yet in the witness (injectivity).
+    std::vector<std::pair<NodeId, bool>> options;  // (neighbor, outgoing)
+    for (NodeId x : g.out(w)) options.push_back({x, true});
+    for (NodeId x : g.in(w)) options.push_back({x, false});
+    rng.Shuffle(options);
+    NodeId chosen = kInvalidNode;
+    bool outgoing = true;
+    for (const auto& [x, is_out] : options) {
+      if (std::find(out->witness.begin(), out->witness.end(), x) !=
+          out->witness.end()) {
+        continue;
+      }
+      chosen = x;
+      outgoing = is_out;
+      break;
+    }
+    if (chosen == kInvalidNode) return false;
+
+    const QNodeId qn = out->query.AddNode(g.label(chosen));
+    const uint32_t bound =
+        static_cast<uint32_t>(rng.Int(1, static_cast<int64_t>(opts.max_bound)));
+    if (outgoing) {
+      out->query.AddEdge(static_cast<QNodeId>(anchor), qn, bound);
+    } else {
+      out->query.AddEdge(qn, static_cast<QNodeId>(anchor), bound);
+    }
+    out->witness.push_back(chosen);
+  }
+
+  if (opts.shape == QueryShape::kCyclic) {
+    // Close a cycle with an existing graph edge between witness nodes.
+    for (size_t a = 0; a < out->witness.size(); ++a) {
+      for (size_t b = 0; b < out->witness.size(); ++b) {
+        if (a == b) continue;
+        const QNodeId qa = static_cast<QNodeId>(a), qb = static_cast<QNodeId>(b);
+        if (out->query.HasEdgeEitherDirection(qa, qb)) continue;
+        const auto outs = g.out(out->witness[a]);
+        if (std::find(outs.begin(), outs.end(), out->witness[b]) != outs.end()) {
+          out->query.AddEdge(qa, qb, 1);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+void AddLiterals(const Graph& g, const QueryGenOptions& opts, Rng& rng,
+                 WitnessBuild* build) {
+  for (QNodeId u = 0; u < build->query.num_nodes(); ++u) {
+    const NodeId w = build->witness[u];
+    auto attrs = g.attrs(w);
+    if (attrs.empty()) continue;
+    const size_t count = rng.Index(opts.max_literals + 1);
+    for (size_t i = 0; i < count; ++i) {
+      const AttrPair& pair = attrs[rng.Index(attrs.size())];
+      if (build->query.FindLiteral(u, pair.attr, CmpOp::kGe) >= 0 ||
+          build->query.FindLiteral(u, pair.attr, CmpOp::kLe) >= 0 ||
+          build->query.FindLiteral(u, pair.attr, CmpOp::kEq) >= 0) {
+        continue;
+      }
+      if (pair.value.is_num() && rng.Chance(opts.numeric_literal_prob)) {
+        // A range literal the witness satisfies, with slack so the ground
+        // truth keeps a plural answer.
+        const double v = pair.value.num();
+        const double slack = (std::abs(v) + 1.0) * rng.Double(0.0, 0.35);
+        if (rng.Chance(0.5)) {
+          build->query.AddLiteral(u, {pair.attr, CmpOp::kGe, Value::Num(v - slack)});
+        } else {
+          build->query.AddLiteral(u, {pair.attr, CmpOp::kLe, Value::Num(v + slack)});
+        }
+      } else if (pair.value.is_str()) {
+        build->query.AddLiteral(u, {pair.attr, CmpOp::kEq, pair.value});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<PatternQuery> GenerateGroundTruthQuery(const Graph& g,
+                                                     const QueryGenOptions& opts) {
+  DistanceIndex dist(g);
+  Matcher matcher(g, &dist);
+  return GenerateGroundTruthQuery(g, matcher, opts);
+}
+
+std::optional<PatternQuery> GenerateGroundTruthQuery(const Graph& g,
+                                                     Matcher& matcher,
+                                                     const QueryGenOptions& opts) {
+  if (g.num_nodes() == 0) return std::nullopt;
+  Rng rng(opts.seed);
+
+  for (size_t attempt = 0; attempt < opts.max_tries; ++attempt) {
+    const NodeId seed_node = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    if (g.degree(seed_node) == 0 && opts.num_edges > 0) continue;
+
+    WitnessBuild build;
+    if (!GrowWitness(g, opts, rng, seed_node, &build)) continue;
+    AddLiterals(g, opts, rng, &build);
+
+    // Random focus (§7), except shapes that define one: star = hub,
+    // chain = an endpoint.
+    QNodeId focus;
+    if (opts.shape == QueryShape::kStar) {
+      focus = 0;
+    } else if (opts.shape == QueryShape::kChain) {
+      focus = 0;
+    } else {
+      focus = static_cast<QNodeId>(rng.Index(build.query.num_nodes()));
+    }
+    build.query.SetFocus(focus);
+
+    const auto answer = matcher.Answer(build.query);
+    if (answer.size() < opts.min_answers || answer.size() > opts.max_answers) {
+      continue;
+    }
+    return build.query;
+  }
+  return std::nullopt;
+}
+
+}  // namespace wqe

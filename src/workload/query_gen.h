@@ -1,0 +1,42 @@
+#ifndef WQE_WORKLOAD_QUERY_GEN_H_
+#define WQE_WORKLOAD_QUERY_GEN_H_
+
+#include <optional>
+
+#include "graph/graph.h"
+#include "query/query.h"
+
+namespace wqe {
+
+/// Options for template-driven ground-truth query generation (§7): queries
+/// are grown from a witness subgraph sampled from G, so each has at least
+/// one isomorphic answer by construction.
+struct QueryGenOptions {
+  size_t num_edges = 3;          // |E_Q|
+  size_t max_literals = 3;       // predicates per node (≤ 3, as in DBPSB)
+  std::optional<QueryShape> shape;  // force star / chain / tree / cyclic
+  uint32_t max_bound = 2;        // edge bounds sampled in [1, max_bound]
+  double numeric_literal_prob = 0.7;
+  /// Minimum / maximum answer size of the generated ground truth; queries
+  /// outside the window are rejected and regenerated.
+  size_t min_answers = 2;
+  size_t max_answers = 200;
+  size_t max_tries = 200;
+  uint64_t seed = 99;
+};
+
+class Matcher;
+
+/// Generates a ground-truth query Q* with a non-empty answer, or nullopt if
+/// `max_tries` witness samples all failed (pathological specs only).
+/// The Matcher& overload reuses the caller's matcher (and its distance
+/// index) — preferred when generating many queries over one graph.
+std::optional<PatternQuery> GenerateGroundTruthQuery(const Graph& g,
+                                                     const QueryGenOptions& opts);
+std::optional<PatternQuery> GenerateGroundTruthQuery(const Graph& g,
+                                                     Matcher& matcher,
+                                                     const QueryGenOptions& opts);
+
+}  // namespace wqe
+
+#endif  // WQE_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,82 @@
+#ifndef WQE_WORKLOAD_SUITE_H_
+#define WQE_WORKLOAD_SUITE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chase/answ.h"
+#include "workload/metrics.h"
+#include "workload/why_factory.h"
+
+namespace wqe {
+
+/// An algorithm under test: the paper's named configurations map to
+/// (context-consuming function, options) pairs — see StandardAlgos(). The
+/// runner prebuilds the graph-level indexes (as §7 does) and hands each
+/// case a fresh ChaseContext.
+struct AlgoSpec {
+  std::string name;
+  std::function<ChaseResult(ChaseContext&)> fn;
+  ChaseOptions opts;
+};
+
+/// Per-case measurement.
+struct CaseOutcome {
+  double seconds = 0;
+  double delta = 0;      // answer Jaccard against the ground truth (Exp-2)
+  double closeness = 0;  // cl(Q'(G), ℰ)
+  bool satisfied = false;
+  size_t im_before = 0;  // |IM| of the disturbed query
+  size_t im_after = 0;   // |IM| of the suggested rewrite (Fig 12(b))
+};
+
+/// Aggregated results of one algorithm over a case set.
+struct AlgoSummary {
+  std::string name;
+  Aggregate seconds;
+  Aggregate delta;
+  Aggregate closeness;
+  Aggregate im_reduction;  // (im_before - im_after) / max(im_before, 1)
+  size_t satisfied = 0;
+  size_t cases = 0;
+};
+
+/// Runs algorithms over shared benchmark cases and aggregates the series the
+/// paper's figures plot.
+class ExperimentRunner {
+ public:
+  ExperimentRunner(const Graph& g, std::vector<BenchCase> cases);
+
+  AlgoSummary Run(const AlgoSpec& algo) const;
+
+  const std::vector<BenchCase>& cases() const { return cases_; }
+  const Graph& graph() const { return g_; }
+
+ private:
+  const Graph& g_;
+  std::vector<BenchCase> cases_;
+  std::unique_ptr<GraphIndexes> indexes_;
+};
+
+/// The §7 algorithm roster: AnsW, AnsWnc, AnsWb, AnsHeu (beam k), AnsHeuB,
+/// FMAnsW — with the ablation toggles set per the paper.
+std::vector<AlgoSpec> StandardAlgos(const ChaseOptions& base);
+
+/// Named single specs.
+AlgoSpec MakeAnsW(const ChaseOptions& base);
+AlgoSpec MakeAnsWnc(const ChaseOptions& base);
+AlgoSpec MakeAnsWb(const ChaseOptions& base);
+AlgoSpec MakeAnsHeu(const ChaseOptions& base, size_t beam);
+AlgoSpec MakeAnsHeuB(const ChaseOptions& base, size_t beam);
+AlgoSpec MakeFMAnsW(const ChaseOptions& base);
+AlgoSpec MakeApxWhyM(const ChaseOptions& base);
+AlgoSpec MakeAnsWE(const ChaseOptions& base);
+
+/// Prints one CSV-ish series row: "<bench>,<series>,<x>,<metric>=<value>...".
+void PrintRow(const std::string& bench, const std::string& series,
+              const std::string& x, const AlgoSummary& s);
+
+}  // namespace wqe
+
+#endif  // WQE_WORKLOAD_SUITE_H_

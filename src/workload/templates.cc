@@ -1,0 +1,89 @@
+#include "workload/templates.h"
+
+#include "common/rng.h"
+#include "match/matcher.h"
+
+namespace wqe {
+
+std::vector<QueryTemplate> DbpsbTemplates() {
+  std::vector<QueryTemplate> out;
+  // 27 single-edge / small star templates (the log-dominant class).
+  for (int i = 0; i < 14; ++i) {
+    out.push_back({QueryShape::kStar, 1, static_cast<size_t>(1 + i % 3), 2});
+  }
+  for (int i = 0; i < 13; ++i) {
+    out.push_back({QueryShape::kStar, static_cast<size_t>(2 + i % 2),
+                   static_cast<size_t>(1 + i % 3), 2});
+  }
+  // 7 larger stars.
+  for (int i = 0; i < 7; ++i) {
+    out.push_back({QueryShape::kStar, static_cast<size_t>(3 + i % 3), 2, 2});
+  }
+  // Thin tail: 4 chains/trees, 2 cyclic.
+  out.push_back({QueryShape::kChain, 3, 2, 2});
+  out.push_back({QueryShape::kChain, 4, 2, 2});
+  out.push_back({QueryShape::kTree, 3, 2, 2});
+  out.push_back({QueryShape::kTree, 4, 2, 2});
+  out.push_back({QueryShape::kCyclic, 3, 2, 2});
+  out.push_back({QueryShape::kCyclic, 4, 2, 2});
+  return out;  // 40 templates
+}
+
+std::vector<QueryTemplate> WatDivTemplates() {
+  std::vector<QueryTemplate> out;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back({QueryShape::kStar, static_cast<size_t>(1 + i % 4), 2, 2});
+  }
+  for (int i = 0; i < 6; ++i) {
+    out.push_back({QueryShape::kChain, static_cast<size_t>(2 + i % 3), 2, 2});
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back({QueryShape::kTree, static_cast<size_t>(3 + i % 2), 2, 2});
+  }
+  out.push_back({QueryShape::kCyclic, 3, 2, 2});
+  out.push_back({QueryShape::kCyclic, 4, 2, 2});
+  return out;  // 20 templates
+}
+
+std::optional<PatternQuery> InstantiateTemplate(const Graph& g, Matcher& matcher,
+                                                const QueryTemplate& tpl,
+                                                uint64_t seed) {
+  QueryGenOptions opts;
+  opts.shape = tpl.shape;
+  opts.num_edges = tpl.num_edges;
+  opts.max_literals = tpl.max_literals;
+  opts.max_bound = tpl.max_bound;
+  opts.seed = seed;
+  opts.min_answers = 1;
+  return GenerateGroundTruthQuery(g, matcher, opts);
+}
+
+std::vector<PatternQuery> InstantiateWorkload(
+    const Graph& g, const std::vector<QueryTemplate>& templates, size_t n,
+    uint64_t seed) {
+  std::vector<PatternQuery> out;
+  if (templates.empty()) return out;
+  DistanceIndex dist(g);
+  Matcher matcher(g, &dist);
+  // Shuffle the template order so small workloads still sample the whole
+  // mix instead of the list's (log-dominance-ordered) prefix.
+  std::vector<QueryTemplate> order = templates;
+  Rng rng(seed);
+  rng.Shuffle(order);
+  size_t failures = 0;
+  size_t i = 0;
+  while (out.size() < n && failures < n * 10 + 40) {
+    const QueryTemplate& tpl = order[i % order.size()];
+    auto q = InstantiateTemplate(g, matcher, tpl,
+                                 seed * 1000003ull + i * 7919ull + 1);
+    ++i;
+    if (q.has_value()) {
+      out.push_back(std::move(*q));
+    } else {
+      ++failures;
+    }
+  }
+  return out;
+}
+
+}  // namespace wqe

@@ -1,0 +1,45 @@
+#ifndef WQE_WORKLOAD_TEMPLATES_H_
+#define WQE_WORKLOAD_TEMPLATES_H_
+
+#include <optional>
+#include <vector>
+
+#include "workload/query_gen.h"
+
+namespace wqe {
+
+/// A query template in the style of the DBPSB / WatDiv benchmarks (§7):
+/// a shape class, size, and predicate budget, instantiated against a graph
+/// by assigning labels from the focus candidates and sampling literals.
+struct QueryTemplate {
+  QueryShape shape = QueryShape::kStar;
+  size_t num_edges = 1;
+  size_t max_literals = 3;
+  uint32_t max_bound = 2;
+};
+
+/// The 40-template mix used for DBpedia-like workloads, weighted by the
+/// published query-log statistics the paper cites [8]: real SPARQL
+/// workloads are dominated by single-triple and small star queries (99.7%
+/// of DBpedia/SWDF logged queries are star-shaped; 67% of DBpedia's carry a
+/// single triple pattern), with a thin tail of chains, trees, and cycles.
+std::vector<QueryTemplate> DbpsbTemplates();
+
+/// The 20-template WatDiv-style mix: denser, more chains/snowflakes.
+std::vector<QueryTemplate> WatDivTemplates();
+
+/// Instantiates one template against G (non-empty answer guaranteed as in
+/// GenerateGroundTruthQuery). Returns nullopt when no witness fits.
+std::optional<PatternQuery> InstantiateTemplate(const Graph& g, Matcher& matcher,
+                                                const QueryTemplate& tpl,
+                                                uint64_t seed);
+
+/// Draws `n` ground-truth queries from the template mix (round-robin over
+/// templates, fresh seeds), mirroring the paper's benchmark instantiation.
+std::vector<PatternQuery> InstantiateWorkload(
+    const Graph& g, const std::vector<QueryTemplate>& templates, size_t n,
+    uint64_t seed);
+
+}  // namespace wqe
+
+#endif  // WQE_WORKLOAD_TEMPLATES_H_

@@ -1,0 +1,129 @@
+#include "workload/why_factory.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "match/matcher.h"
+
+namespace wqe {
+
+namespace {
+
+std::vector<NodeId> SetDiff(const std::vector<NodeId>& a,
+                            const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::optional<BenchCase> MakeBenchCase(const Graph& g, Matcher& matcher,
+                                       const ActiveDomains& adom,
+                                       const WhyFactoryOptions& opts) {
+  auto gt = GenerateGroundTruthQuery(g, matcher, opts.query);
+  if (!gt.has_value()) return std::nullopt;
+
+  BenchCase c;
+  c.ground_truth = std::move(*gt);
+  c.gt_answer = matcher.Answer(c.ground_truth);
+  if (c.gt_answer.empty()) return std::nullopt;
+
+  Disturbed disturbed = DisturbQuery(g, adom, c.ground_truth, opts.disturb);
+  c.injected = std::move(disturbed.injected);
+  c.q_answer = matcher.Answer(disturbed.query);
+
+  // 𝒯 = Q*(G) \ Q(G); fall back to Q*(G) when the disturbance only grew the
+  // answer (a pure Why question about unexpected matches).
+  std::vector<NodeId> missing = SetDiff(c.gt_answer, c.q_answer);
+  if (missing.empty()) missing = c.gt_answer;
+  if (missing.size() > opts.max_tuples) missing.resize(opts.max_tuples);
+
+  c.question.query = std::move(disturbed.query);
+  c.question.exemplar = Exemplar::FromEntities(g, missing);
+  return c;
+}
+
+std::vector<BenchCase> MakeBenchCases(const Graph& g, size_t n,
+                                      const WhyFactoryOptions& opts) {
+  DistanceIndex dist(g);
+  Matcher matcher(g, &dist);
+  ActiveDomains adom(g);
+
+  std::vector<BenchCase> cases;
+  uint64_t seed = opts.seed;
+  size_t failures = 0;
+  while (cases.size() < n && failures < n * 10 + 20) {
+    WhyFactoryOptions derived = opts;
+    derived.query.seed = seed * 2654435761u + 1;
+    derived.disturb.seed = seed * 40503u + 7;
+    ++seed;
+    auto c = MakeBenchCase(g, matcher, adom, derived);
+    if (c.has_value()) {
+      cases.push_back(std::move(*c));
+    } else {
+      ++failures;
+    }
+  }
+  return cases;
+}
+
+std::optional<BenchCase> MakeWhyEmptyCase(const Graph& g, Matcher& matcher,
+                                          const ActiveDomains& adom,
+                                          const WhyFactoryOptions& opts) {
+  auto gt = GenerateGroundTruthQuery(g, matcher, opts.query);
+  if (!gt.has_value()) return std::nullopt;
+
+  BenchCase c;
+  c.ground_truth = std::move(*gt);
+  c.gt_answer = matcher.Answer(c.ground_truth);
+  if (c.gt_answer.empty()) return std::nullopt;
+
+  // Refine until the answer empties (bounded retries with harsher seeds).
+  DisturbOptions harden = opts.disturb;
+  harden.refine_prob = 1.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Disturbed disturbed = DisturbQuery(g, adom, c.ground_truth, harden);
+    auto answer = matcher.Answer(disturbed.query);
+    if (!answer.empty()) {
+      harden.seed = harden.seed * 6364136223846793005ull + 1442695040888963407ull;
+      harden.num_ops += 1;
+      continue;
+    }
+    c.injected = std::move(disturbed.injected);
+    c.q_answer = std::move(answer);
+    std::vector<NodeId> desired = c.gt_answer;
+    if (desired.size() > opts.max_tuples) desired.resize(opts.max_tuples);
+    c.question.query = std::move(disturbed.query);
+    c.question.exemplar = Exemplar::FromEntities(g, desired);
+    return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<BenchCase> MakeWhyEmptyCases(const Graph& g, size_t n,
+                                         const WhyFactoryOptions& opts) {
+  DistanceIndex dist(g);
+  Matcher matcher(g, &dist);
+  ActiveDomains adom(g);
+
+  std::vector<BenchCase> cases;
+  uint64_t seed = opts.seed;
+  size_t failures = 0;
+  while (cases.size() < n && failures < n * 10 + 20) {
+    WhyFactoryOptions derived = opts;
+    derived.query.seed = seed * 2654435761u + 11;
+    derived.disturb.seed = seed * 40503u + 13;
+    ++seed;
+    auto c = MakeWhyEmptyCase(g, matcher, adom, derived);
+    if (c.has_value()) {
+      cases.push_back(std::move(*c));
+    } else {
+      ++failures;
+    }
+  }
+  return cases;
+}
+
+}  // namespace wqe

@@ -1,0 +1,53 @@
+#ifndef WQE_WORKLOAD_WHY_FACTORY_H_
+#define WQE_WORKLOAD_WHY_FACTORY_H_
+
+#include <optional>
+
+#include "chase/why.h"
+#include "workload/disturb.h"
+#include "workload/query_gen.h"
+
+namespace wqe {
+
+/// One benchmark case, following the §7 protocol: a ground-truth query Q*
+/// from the benchmark generator, a disturbed query Q, and the Why-question
+/// W(Q(u_o), ℰ) with 𝒯 = Q*(G) \ Q(G) (falling back to a sample of Q*(G)
+/// when the disturbance only relaxed) and C = ∅.
+struct BenchCase {
+  PatternQuery ground_truth;
+  std::vector<NodeId> gt_answer;  // Q*(G)
+  WhyQuestion question;           // (Q, ℰ)
+  std::vector<NodeId> q_answer;   // Q(G)
+  OpSequence injected;
+};
+
+struct WhyFactoryOptions {
+  QueryGenOptions query;
+  DisturbOptions disturb;
+  /// Cap on |𝒯| (the paper varies 5..25).
+  size_t max_tuples = 10;
+  uint64_t seed = 123;
+};
+
+/// Builds one case; nullopt when ground-truth generation failed or the
+/// exemplar would be trivial.
+std::optional<BenchCase> MakeBenchCase(const Graph& g, Matcher& matcher,
+                                       const ActiveDomains& adom,
+                                       const WhyFactoryOptions& opts);
+
+/// Builds `n` cases with sequential derived seeds (skipping failures).
+std::vector<BenchCase> MakeBenchCases(const Graph& g, size_t n,
+                                      const WhyFactoryOptions& opts);
+
+/// Builds a Why-Empty case: a query disturbed with refinements until its
+/// answer is empty, with ℰ designating the ground-truth answers.
+std::optional<BenchCase> MakeWhyEmptyCase(const Graph& g, Matcher& matcher,
+                                          const ActiveDomains& adom,
+                                          const WhyFactoryOptions& opts);
+
+std::vector<BenchCase> MakeWhyEmptyCases(const Graph& g, size_t n,
+                                         const WhyFactoryOptions& opts);
+
+}  // namespace wqe
+
+#endif  // WQE_WORKLOAD_WHY_FACTORY_H_

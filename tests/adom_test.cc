@@ -1,0 +1,83 @@
+#include "graph/adom.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+Graph PriceGraph() {
+  Graph g;
+  for (double p : {840.0, 950.0, 790.0, 795.0, 840.0, 700.0}) {
+    NodeId v = g.AddNode("Phone");
+    g.SetNum(v, "price", p);
+  }
+  NodeId c = g.AddNode("Carrier");
+  g.SetStr(c, "name", "Sprint");
+  NodeId c2 = g.AddNode("Carrier");
+  g.SetStr(c2, "name", "ATT");
+  g.Finalize();
+  return g;
+}
+
+TEST(AdomTest, DistinctSortedNumericValues) {
+  Graph g = PriceGraph();
+  ActiveDomains adom(g);
+  const AttrId price = g.schema().LookupAttr("price");
+  const auto& vals = adom.NumValues(price);
+  ASSERT_EQ(vals.size(), 5u);  // 840 deduplicated
+  EXPECT_DOUBLE_EQ(vals.front(), 700);
+  EXPECT_DOUBLE_EQ(vals.back(), 950);
+}
+
+TEST(AdomTest, RangeIsMaxMinusMin) {
+  Graph g = PriceGraph();
+  ActiveDomains adom(g);
+  EXPECT_DOUBLE_EQ(adom.Range(g.schema().LookupAttr("price")), 250);
+}
+
+TEST(AdomTest, CategoricalValues) {
+  Graph g = PriceGraph();
+  ActiveDomains adom(g);
+  const AttrId name = g.schema().LookupAttr("name");
+  EXPECT_EQ(adom.StrValues(name).size(), 2u);
+  EXPECT_EQ(adom.DomainSize(name), 2u);
+}
+
+TEST(AdomTest, UnknownAttrHasMinRange) {
+  Graph g = PriceGraph();
+  ActiveDomains adom(g);
+  EXPECT_DOUBLE_EQ(adom.Range(9999), ActiveDomains::kMinRange);
+  EXPECT_TRUE(adom.NumValues(9999).empty());
+}
+
+TEST(AdomTest, LargestBelow) {
+  std::vector<double> vals = {700, 790, 795, 840, 950};
+  double out = 0;
+  EXPECT_TRUE(ActiveDomains::LargestBelow(vals, 840, &out));
+  EXPECT_DOUBLE_EQ(out, 795);
+  EXPECT_TRUE(ActiveDomains::LargestBelow(vals, 10000, &out));
+  EXPECT_DOUBLE_EQ(out, 950);
+  EXPECT_FALSE(ActiveDomains::LargestBelow(vals, 700, &out));
+}
+
+TEST(AdomTest, SmallestAbove) {
+  std::vector<double> vals = {700, 790, 795, 840, 950};
+  double out = 0;
+  EXPECT_TRUE(ActiveDomains::SmallestAbove(vals, 795, &out));
+  EXPECT_DOUBLE_EQ(out, 840);
+  EXPECT_TRUE(ActiveDomains::SmallestAbove(vals, 0, &out));
+  EXPECT_DOUBLE_EQ(out, 700);
+  EXPECT_FALSE(ActiveDomains::SmallestAbove(vals, 950, &out));
+}
+
+TEST(AdomTest, SingleValueAttributeHasMinRangeNotZero) {
+  Graph g;
+  NodeId v = g.AddNode("A");
+  g.SetNum(v, "k", 5);
+  g.Finalize();
+  ActiveDomains adom(g);
+  EXPECT_GT(adom.Range(g.schema().LookupAttr("k")), 0);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,116 @@
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace wqe {
+namespace {
+
+// a -> b -> c -> d, a -> d shortcut via e: a -> e, e -> d.
+Graph ChainGraph() {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddNode("N");
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(0, 4);
+  g.AddEdge(4, 3);
+  g.Finalize();
+  return g;
+}
+
+TEST(BfsTest, DistanceSelfIsZero) {
+  Graph g = ChainGraph();
+  BoundedBfs bfs(g);
+  EXPECT_EQ(bfs.Distance(0, 0, 0), 0u);
+}
+
+TEST(BfsTest, DirectedDistance) {
+  Graph g = ChainGraph();
+  BoundedBfs bfs(g);
+  EXPECT_EQ(bfs.Distance(0, 3, 5), 2u);  // via node 4
+  EXPECT_EQ(bfs.Distance(0, 2, 5), 2u);
+  EXPECT_EQ(bfs.Distance(3, 0, 5), kInfDist);  // no reverse path
+}
+
+TEST(BfsTest, CapRespected) {
+  Graph g = ChainGraph();
+  BoundedBfs bfs(g);
+  EXPECT_EQ(bfs.Distance(0, 3, 1), kInfDist);
+  EXPECT_EQ(bfs.Distance(0, 3, 2), 2u);
+}
+
+TEST(BfsTest, ForwardVisitsBall) {
+  Graph g = ChainGraph();
+  BoundedBfs bfs(g);
+  std::map<NodeId, uint32_t> seen;
+  bfs.Forward(0, 1, [&](NodeId v, uint32_t d) { seen[v] = d; });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 0u);
+  EXPECT_EQ(seen[1], 1u);
+  EXPECT_EQ(seen[4], 1u);
+}
+
+TEST(BfsTest, BackwardVisitsPredecessors) {
+  Graph g = ChainGraph();
+  BoundedBfs bfs(g);
+  std::map<NodeId, uint32_t> seen;
+  bfs.Backward(3, 1, [&](NodeId v, uint32_t d) { seen[v] = d; });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[2], 1u);
+  EXPECT_EQ(seen[4], 1u);
+}
+
+TEST(BfsTest, UndirectedIgnoresDirection) {
+  Graph g = ChainGraph();
+  BoundedBfs bfs(g);
+  std::map<NodeId, uint32_t> seen;
+  bfs.Undirected(3, 1, [&](NodeId v, uint32_t d) { seen[v] = d; });
+  EXPECT_EQ(seen.size(), 3u);  // 3 itself, 2 and 4 (in-neighbors)
+}
+
+TEST(BfsTest, RepeatedQueriesAreIndependent) {
+  Graph g = ChainGraph();
+  BoundedBfs bfs(g);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(bfs.Distance(0, 3, 5), 2u);
+    EXPECT_EQ(bfs.Distance(1, 3, 5), 2u);
+    EXPECT_EQ(bfs.Distance(3, 1, 5), kInfDist);
+  }
+}
+
+// Property: bidirectional bounded distance equals naive forward BFS on
+// random graphs, for all caps.
+TEST(BfsTest, MatchesNaiveBfsOnRandomGraphs) {
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g;
+    const size_t n = 30;
+    for (size_t i = 0; i < n; ++i) g.AddNode("N");
+    for (size_t e = 0; e < 70; ++e) {
+      NodeId a = static_cast<NodeId>(rng.Index(n));
+      NodeId b = static_cast<NodeId>(rng.Index(n));
+      if (a != b) g.AddEdge(a, b);
+    }
+    g.Finalize();
+    BoundedBfs bfs(g);
+
+    // Naive distances via Forward sweep.
+    for (int probe = 0; probe < 20; ++probe) {
+      NodeId s = static_cast<NodeId>(rng.Index(n));
+      NodeId t = static_cast<NodeId>(rng.Index(n));
+      uint32_t cap = static_cast<uint32_t>(rng.Int(0, 6));
+      std::map<NodeId, uint32_t> dist;
+      bfs.Forward(s, cap, [&](NodeId v, uint32_t d) { dist[v] = d; });
+      const uint32_t expected = dist.count(t) ? dist[t] : kInfDist;
+      EXPECT_EQ(bfs.Distance(s, t, cap), expected)
+          << "s=" << s << " t=" << t << " cap=" << cap;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,66 @@
+#include "match/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+TEST(CandidatesTest, LabelAndLiteralFiltering) {
+  ProductDemo demo;
+  const Graph& g = demo.graph();
+  PatternQuery q = demo.Query();
+
+  // Focus: Cellphone with price >= 840 -> P1, P2, P5.
+  auto focus_cands = ComputeCandidates(g, q, q.focus());
+  EXPECT_EQ(focus_cands.size(), 3u);
+  for (NodeId v : focus_cands) {
+    EXPECT_TRUE(IsCandidate(g, q, q.focus(), v));
+  }
+
+  // Carrier node (no literals): both carriers.
+  auto carrier_cands = ComputeCandidates(g, q, 2);
+  EXPECT_EQ(carrier_cands.size(), 2u);
+}
+
+TEST(CandidatesTest, WildcardLabelMatchesEverything) {
+  ProductDemo demo;
+  PatternQuery q;
+  QNodeId u = q.AddNode(kWildcardSymbol);
+  q.SetFocus(u);
+  auto cands = ComputeCandidates(demo.graph(), q, u);
+  EXPECT_EQ(cands.size(), demo.graph().num_nodes());
+}
+
+TEST(CandidatesTest, WildcardLabelWithLiteral) {
+  ProductDemo demo;
+  const Graph& g = demo.graph();
+  PatternQuery q;
+  QNodeId u = q.AddNode(kWildcardSymbol);
+  q.SetFocus(u);
+  q.AddLiteral(u, {g.schema().LookupAttr("discount"), CmpOp::kGe, Value::Num(20)});
+  auto cands = ComputeCandidates(g, q, u);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0], demo.sprint());
+}
+
+TEST(CandidatesTest, AllCandidatesSkipsInactiveNodes) {
+  ProductDemo demo;
+  PatternQuery q = demo.Query();
+  // Disconnect the sensor node.
+  q.RemoveEdgeAt(static_cast<size_t>(q.FindEdge(q.focus(), 3)));
+  auto all = AllCandidates(demo.graph(), q);
+  EXPECT_FALSE(all[0].empty());
+  EXPECT_TRUE(all[3].empty());  // inactive
+}
+
+TEST(CandidatesTest, CandidatesAreSorted) {
+  ProductDemo demo;
+  PatternQuery q = demo.Query();
+  auto cands = ComputeCandidates(demo.graph(), q, q.focus());
+  EXPECT_TRUE(std::is_sorted(cands.begin(), cands.end()));
+}
+
+}  // namespace
+}  // namespace wqe

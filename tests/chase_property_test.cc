@@ -1,0 +1,120 @@
+// Cross-cutting property sweeps over randomized workloads: normal-form
+// equivalence (Lemma 4.1), AnsW answer invariants (Theorem 4.3 obligations),
+// and closeness-measure sanity on every dataset preset.
+
+#include <gtest/gtest.h>
+
+#include "chase/answ.h"
+#include "common/rng.h"
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+#include "workload/disturb.h"
+#include "workload/why_factory.h"
+
+namespace wqe {
+namespace {
+
+// ---- Lemma 4.1: a canonical operator sequence and its normal form rewrite
+// a query identically. Random sequences are drawn via the disturber (whose
+// outputs are applicable by construction) and filtered to canonical ones.
+
+class NormalFormPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalFormPropertyTest, CanonicalSequenceEqualsItsNormalForm) {
+  Graph g = GenerateGraph(ImdbLike(0.03, 100 + static_cast<uint64_t>(GetParam())));
+  ActiveDomains adom(g);
+  DistanceIndex dist(g);
+  Matcher matcher(g, &dist);
+
+  size_t checked = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    QueryGenOptions qopts;
+    qopts.seed = seed * 13 + static_cast<uint64_t>(GetParam());
+    qopts.num_edges = 2 + seed % 3;
+    auto gt = GenerateGroundTruthQuery(g, matcher, qopts);
+    if (!gt.has_value()) continue;
+
+    DisturbOptions dopts;
+    dopts.seed = seed * 31;
+    dopts.num_ops = 4;
+    Disturbed d = DisturbQuery(g, adom, *gt, dopts);
+    if (d.injected.empty() || !d.injected.IsCanonical()) continue;
+    ++checked;
+
+    PatternQuery via_sequence = *gt;
+    ASSERT_TRUE(d.injected.ApplyAll(&via_sequence, dopts.max_bound));
+    PatternQuery via_normal_form = *gt;
+    OpSequence normal = d.injected.NormalForm();
+    ASSERT_TRUE(normal.IsNormalForm());
+    ASSERT_TRUE(normal.ApplyAll(&via_normal_form, dopts.max_bound))
+        << normal.ToString(g.schema());
+    EXPECT_EQ(via_sequence.Fingerprint(), via_normal_form.Fingerprint())
+        << "seq: " << d.injected.ToString(g.schema());
+
+    // Equal rewrites have equal answers.
+    EXPECT_EQ(matcher.Answer(via_sequence), matcher.Answer(via_normal_form));
+  }
+  EXPECT_GT(checked, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalFormPropertyTest, ::testing::Values(1, 2, 3));
+
+// ---- AnsW answer obligations on randomized Why-questions, across all four
+// dataset presets: every reported answer satisfies ℰ (or is the explicit
+// original-query fallback), stays within budget, carries a canonical
+// normal-form sequence, and its closeness never exceeds cl*.
+
+class AnsWInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnsWInvariantTest, ReportedAnswersAreValid) {
+  const auto specs = AllDatasets(0.02);
+  const GraphSpec& spec = specs[static_cast<size_t>(GetParam()) % specs.size()];
+  Graph g = GenerateGraph(spec);
+
+  WhyFactoryOptions opts;
+  opts.query.num_edges = 2;
+  opts.disturb.num_ops = 2;
+  opts.seed = 500 + static_cast<uint64_t>(GetParam());
+  auto cases = MakeBenchCases(g, 3, opts);
+
+  ChaseOptions chase;
+  chase.budget = 3;
+  chase.top_k = 3;
+  chase.max_steps = 1500;
+
+  for (const BenchCase& c : cases) {
+    ChaseContext ctx(g, c.question, chase);
+    ChaseResult r = AnsWWithContext(ctx);
+    ASSERT_TRUE(r.found());
+    for (size_t i = 0; i < r.answers.size(); ++i) {
+      const WhyAnswer& a = r.answers[i];
+      EXPECT_LE(a.cost, chase.budget + 1e-9);
+      EXPECT_TRUE(a.ops.IsNormalForm());
+      EXPECT_TRUE(a.ops.IsCanonical());
+      EXPECT_LE(a.closeness, r.cl_star + 1e-9);
+      // The non-satisfying fallback only ever appears alone at rank 1.
+      if (!a.satisfies_exemplar) {
+        EXPECT_EQ(r.answers.size(), 1u);
+        EXPECT_TRUE(a.ops.empty());
+      }
+      // Replaying the operators from the original query reproduces the
+      // reported rewrite and its answer.
+      PatternQuery replay = c.question.query;
+      ASSERT_TRUE(a.ops.ApplyAll(&replay, chase.max_bound));
+      EXPECT_EQ(replay.Fingerprint(), a.rewrite.Fingerprint());
+      auto eval = ctx.Evaluate(replay, a.ops);
+      EXPECT_EQ(eval->matches, a.matches);
+      EXPECT_NEAR(eval->cl, a.closeness, 1e-9);
+    }
+    // Ranked by closeness.
+    for (size_t i = 1; i < r.answers.size(); ++i) {
+      EXPECT_GE(r.answers[i - 1].closeness + 1e-12, r.answers[i].closeness);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, AnsWInvariantTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,70 @@
+#include "exemplar/closeness.h"
+
+#include <gtest/gtest.h>
+
+#include "exemplar/similarity.h"
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class ClosenessFixture : public ::testing::Test {
+ protected:
+  ClosenessFixture()
+      : adom_(demo_.graph()), eval_(demo_.graph(), adom_) {}
+
+  ProductDemo demo_;
+  ActiveDomains adom_;
+  ClosenessEvaluator eval_;
+};
+
+TEST_F(ClosenessFixture, WildcardAndVariableCellsScoreOne) {
+  // t1 = <display 6.2, storage _, price _>: P3 matches display exactly.
+  const Exemplar e = demo_.MakeExemplar();
+  const TuplePattern& t1 = e.tuples()[0];
+  EXPECT_DOUBLE_EQ(eval_.ClNodeTuple(demo_.p(3), t1), 1.0);
+  EXPECT_DOUBLE_EQ(eval_.ClNodeTuple(demo_.p(1), t1), 1.0);
+}
+
+TEST_F(ClosenessFixture, ConstantMismatchLowersScore) {
+  const Exemplar e = demo_.MakeExemplar();
+  const TuplePattern& t1 = e.tuples()[0];  // display 6.2
+  // P2 has display 6.3: similarity = 1 - 0.1/range(display).
+  const double range = adom_.Range(demo_.graph().schema().LookupAttr("display"));
+  const double expected = (NumSimilarity(6.3, 6.2, range) + 1.0 + 1.0) / 3.0;
+  EXPECT_NEAR(eval_.ClNodeTuple(demo_.p(2), t1), expected, 1e-12);
+  EXPECT_LT(eval_.ClNodeTuple(demo_.p(2), t1), 1.0);
+}
+
+TEST_F(ClosenessFixture, MissingAttributeScoresZeroForThatCell) {
+  TuplePattern t;
+  t.SetConstant(/*attr=*/9999, Value::Num(1));  // attribute no node carries
+  EXPECT_DOUBLE_EQ(eval_.ClNodeTuple(demo_.p(1), t), 0.0);
+}
+
+TEST_F(ClosenessFixture, EmptyTupleScoresOne) {
+  TuplePattern t;
+  EXPECT_DOUBLE_EQ(eval_.ClNodeTuple(demo_.p(1), t), 1.0);
+}
+
+TEST_F(ClosenessFixture, VsimThresholdGates) {
+  const Exemplar e = demo_.MakeExemplar();
+  EXPECT_TRUE(eval_.Vsim(demo_.p(3), e.tuples()[0]));
+  EXPECT_FALSE(eval_.Vsim(demo_.p(2), e.tuples()[0]));  // display differs
+
+  ClosenessConfig loose;
+  loose.theta = 0.9;
+  ClosenessEvaluator relaxed(demo_.graph(), adom_, loose);
+  EXPECT_TRUE(relaxed.Vsim(demo_.p(2), e.tuples()[0]));
+}
+
+TEST_F(ClosenessFixture, ClNodeExemplarTakesBestMatchingTuple) {
+  const Exemplar e = demo_.MakeExemplar();
+  EXPECT_DOUBLE_EQ(eval_.ClNodeExemplar(demo_.p(3), e), 1.0);  // matches t1
+  EXPECT_DOUBLE_EQ(eval_.ClNodeExemplar(demo_.p(4), e), 1.0);  // matches t2
+  // P6 (display 5.8) matches neither tuple at θ = 1.
+  EXPECT_DOUBLE_EQ(eval_.ClNodeExemplar(demo_.p(6), e), 0.0);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace wqe {
+namespace {
+
+// ---- Status / Result.
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesCarryMessages) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_NE(s.ToString().find("bad input"), std::string::npos);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+
+  Result<int> err = Status::NotFound("missing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ---- Rng.
+
+TEST(RngTest, DeterministicInSeed) {
+  Rng a(7), b(7), c(8);
+  bool all_equal = true, any_diff_c = false;
+  for (int i = 0; i < 50; ++i) {
+    const int64_t x = a.Int(0, 1000000);
+    if (x != b.Int(0, 1000000)) all_equal = false;
+    if (x != c.Int(0, 1000000)) any_diff_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(RngTest, IntInclusiveBounds) {
+  Rng rng(1);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const int64_t x = rng.Int(3, 5);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 5);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values occur
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(2);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Weighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+// ---- Timer / Deadline.
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(t.ElapsedMillis(), 4.0);
+  t.Reset();
+  EXPECT_LT(t.ElapsedMillis(), 4.0);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, ExpiresAfterDuration) {
+  Deadline d = Deadline::After(0.0);
+  EXPECT_TRUE(d.Expired());
+  Deadline later = Deadline::After(60.0);
+  EXPECT_FALSE(later.Expired());
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,49 @@
+#include "graph/diameter.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+TEST(DiameterTest, PathGraphExact) {
+  Graph g;
+  for (int i = 0; i < 8; ++i) g.AddNode("N");
+  for (int i = 0; i < 7; ++i) g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  g.Finalize();
+  // Double sweep is exact on trees.
+  EXPECT_EQ(EstimateDiameter(g), 7u);
+}
+
+TEST(DiameterTest, StarGraph) {
+  Graph g;
+  g.AddNode("Hub");
+  for (int i = 1; i <= 6; ++i) {
+    g.AddNode("Leaf");
+    g.AddEdge(0, static_cast<NodeId>(i));
+  }
+  g.Finalize();
+  EXPECT_EQ(EstimateDiameter(g), 2u);
+}
+
+TEST(DiameterTest, AtLeastOneForEmptyAndSingleton) {
+  Graph empty;
+  empty.Finalize();
+  EXPECT_GE(EstimateDiameter(empty), 1u);
+  Graph single;
+  single.AddNode("N");
+  single.Finalize();
+  EXPECT_GE(EstimateDiameter(single), 1u);
+}
+
+TEST(DiameterTest, IgnoresEdgeDirection) {
+  // Directed chain 0 <- 1 <- 2: undirected diameter 2.
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("N");
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 1);
+  g.Finalize();
+  EXPECT_EQ(EstimateDiameter(g), 2u);
+}
+
+}  // namespace
+}  // namespace wqe

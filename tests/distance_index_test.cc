@@ -1,0 +1,96 @@
+#include "graph/distance_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace wqe {
+namespace {
+
+Graph RandomGraph(uint64_t seed, size_t n, size_t m) {
+  Rng rng(seed);
+  Graph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode("N");
+  for (size_t e = 0; e < m; ++e) {
+    NodeId a = static_cast<NodeId>(rng.Index(n));
+    NodeId b = static_cast<NodeId>(rng.Index(n));
+    if (a != b) g.AddEdge(a, b);
+  }
+  g.Finalize();
+  return g;
+}
+
+TEST(DistanceIndexTest, BuildsForSmallGraphs) {
+  Graph g = RandomGraph(1, 50, 120);
+  DistanceIndex index(g);
+  EXPECT_TRUE(index.indexed());
+  EXPECT_GT(index.LabelEntries(), 0u);
+}
+
+TEST(DistanceIndexTest, FallsBackAboveThreshold) {
+  Graph g = RandomGraph(2, 50, 120);
+  DistanceIndex::Options opts;
+  opts.pll_max_nodes = 10;
+  DistanceIndex index(g, opts);
+  EXPECT_FALSE(index.indexed());
+  // Still answers queries.
+  EXPECT_EQ(index.Distance(0, 0, 3), 0u);
+}
+
+TEST(DistanceIndexTest, DisabledViaOptions) {
+  Graph g = RandomGraph(3, 20, 40);
+  DistanceIndex::Options opts;
+  opts.use_pll = false;
+  DistanceIndex index(g, opts);
+  EXPECT_FALSE(index.indexed());
+}
+
+// Property sweep: PLL distances equal BFS distances on random graphs of
+// several densities.
+class DistanceIndexParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceIndexParamTest, AgreesWithBfs) {
+  const int density = GetParam();
+  Graph g = RandomGraph(100 + static_cast<uint64_t>(density), 60,
+                        static_cast<size_t>(60 * density));
+  DistanceIndex pll(g);
+  ASSERT_TRUE(pll.indexed());
+  BoundedBfs bfs(g);
+  Rng rng(7);
+  for (int probe = 0; probe < 200; ++probe) {
+    const NodeId s = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.Index(g.num_nodes()));
+    const uint32_t cap = static_cast<uint32_t>(rng.Int(0, 8));
+    EXPECT_EQ(pll.Distance(s, t, cap), bfs.Distance(s, t, cap))
+        << "s=" << s << " t=" << t << " cap=" << cap << " density=" << density;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DistanceIndexParamTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(DistanceIndexTest, DirectedAsymmetry) {
+  Graph g;
+  g.AddNode("N");
+  g.AddNode("N");
+  g.AddEdge(0, 1);
+  g.Finalize();
+  DistanceIndex index(g);
+  EXPECT_EQ(index.Distance(0, 1, 3), 1u);
+  EXPECT_EQ(index.Distance(1, 0, 3), kInfDist);
+}
+
+TEST(DistanceIndexTest, CapCutsOffLongPaths) {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddNode("N");
+  for (int i = 0; i < 5; ++i) g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  g.Finalize();
+  DistanceIndex index(g);
+  EXPECT_EQ(index.Distance(0, 5, 5), 5u);
+  EXPECT_EQ(index.Distance(0, 5, 4), kInfDist);
+}
+
+}  // namespace
+}  // namespace wqe

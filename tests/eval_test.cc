@@ -1,0 +1,185 @@
+#include "chase/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/next_op.h"
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class EvalFixture : public ::testing::Test {
+ protected:
+  EvalFixture() {
+    opts_.budget = 4;
+    ctx_ = std::make_unique<ChaseContext>(demo_.graph(), demo_.Question(), opts_);
+  }
+
+  ProductDemo demo_;
+  ChaseOptions opts_;
+  std::unique_ptr<ChaseContext> ctx_;
+};
+
+TEST_F(EvalFixture, RootEvaluatesOriginalQuery) {
+  const auto& root = ctx_->root();
+  EXPECT_EQ(root->matches.size(), 3u);
+  EXPECT_DOUBLE_EQ(root->cost, 0.0);
+  EXPECT_FALSE(root->refined);
+  EXPECT_TRUE(root->ops.empty());
+}
+
+TEST_F(EvalFixture, UniverseIsFocusLabelClass) {
+  EXPECT_EQ(ctx_->focus_universe().size(), 6u);  // six cellphones
+}
+
+TEST_F(EvalFixture, RepAndClStarMatchPaperExample) {
+  EXPECT_EQ(ctx_->rep().nodes.size(), 3u);
+  EXPECT_NEAR(ctx_->cl_star(), 0.5, 1e-9);
+}
+
+TEST_F(EvalFixture, RootClosenessMatchesHandComputation) {
+  // RM = {P5} (cl 1), IM = {P1, P2}: (1 - 2) / 6.
+  EXPECT_NEAR(ctx_->root()->cl, -1.0 / 6.0, 1e-9);
+  EXPECT_NEAR(ctx_->root()->cl_plus, 1.0 / 6.0, 1e-9);
+  EXPECT_FALSE(ctx_->root()->satisfies_exemplar);
+}
+
+TEST_F(EvalFixture, MemoizationAvoidsReEvaluation) {
+  const uint64_t evals_before = ctx_->stats().evaluations;
+  ctx_->Evaluate(ctx_->root()->query, OpSequence());
+  EXPECT_EQ(ctx_->stats().evaluations, evals_before);
+  EXPECT_GT(ctx_->stats().memo_hits, 0u);
+}
+
+TEST_F(EvalFixture, MemoDisabledReEvaluates) {
+  ChaseOptions no_memo = opts_;
+  no_memo.use_memo = false;
+  ChaseContext ctx(demo_.graph(), demo_.Question(), no_memo);
+  const uint64_t evals_before = ctx.stats().evaluations;
+  ctx.Evaluate(ctx.root()->query, OpSequence());
+  EXPECT_EQ(ctx.stats().evaluations, evals_before + 1);
+}
+
+TEST_F(EvalFixture, CostComputedFromOps) {
+  const Schema& schema = demo_.graph().schema();
+  PatternQuery q = ctx_->root()->query;
+  Op rml;
+  rml.kind = OpKind::kRmL;
+  rml.u = 0;
+  rml.lit = {schema.LookupAttr("price"), CmpOp::kGe, Value::Num(840)};
+  ASSERT_TRUE(Apply(rml, &q, opts_.max_bound));
+  OpSequence ops;
+  ops.Append(rml);
+  auto eval = ctx_->Evaluate(q, ops);
+  EXPECT_NEAR(eval->cost, 1.0, 1e-9);
+  EXPECT_FALSE(eval->refined);
+}
+
+TEST_F(EvalFixture, RefinedFlagSetByRefinementOps) {
+  const Schema& schema = demo_.graph().schema();
+  PatternQuery q = ctx_->root()->query;
+  Op addl;
+  addl.kind = OpKind::kAddL;
+  addl.u = 2;
+  addl.lit = {schema.LookupAttr("discount"), CmpOp::kEq, Value::Num(25)};
+  ASSERT_TRUE(Apply(addl, &q, opts_.max_bound));
+  OpSequence ops;
+  ops.Append(addl);
+  EXPECT_TRUE(ctx_->Evaluate(q, ops)->refined);
+}
+
+TEST_F(EvalFixture, BorrowedIndexesShareAcrossContexts) {
+  GraphIndexes indexes(demo_.graph());
+  ChaseContext a(demo_.graph(), &indexes, demo_.Question(), opts_);
+  ChaseContext b(demo_.graph(), &indexes, demo_.Question(), opts_);
+  EXPECT_EQ(&a.adom(), &b.adom());
+  EXPECT_EQ(a.diameter(), b.diameter());
+  EXPECT_EQ(a.root()->matches, b.root()->matches);
+}
+
+TEST_F(EvalFixture, TimeLimitArmsFreshDeadlinePerContext) {
+  ChaseOptions limited = opts_;
+  limited.time_limit_seconds = 60.0;
+  ChaseContext ctx(demo_.graph(), demo_.Question(), limited);
+  EXPECT_FALSE(ctx.options().deadline.Expired());
+}
+
+// ---- NextOp condition gating (Fig 7 / §5.4).
+
+TEST_F(EvalFixture, NextOpGeneratesBothPhasesAtRoot) {
+  ChaseNode node;
+  node.eval = ctx_->root();
+  GenerateOps(*ctx_, node, /*best_cl=*/-1e18, 0, nullptr);
+  bool has_relax = false, has_refine = false;
+  while (const ScoredOp* so = node.Poll()) {
+    has_relax |= so->op.is_relax();
+    has_refine |= so->op.is_refine();
+  }
+  EXPECT_TRUE(has_relax);   // RelaxCond: cl+ < cl*, not refined
+  EXPECT_TRUE(has_refine);  // RefineCond: IM nonempty
+}
+
+TEST_F(EvalFixture, RefinedNodeNeverRelaxes) {
+  const Schema& schema = demo_.graph().schema();
+  PatternQuery q = ctx_->root()->query;
+  Op addl;
+  addl.kind = OpKind::kAddL;
+  addl.u = 0;
+  addl.lit = {schema.LookupAttr("ram"), CmpOp::kGe, Value::Num(4)};
+  ASSERT_TRUE(Apply(addl, &q, opts_.max_bound));
+  OpSequence ops;
+  ops.Append(addl);
+  auto eval = ctx_->Evaluate(q, ops);
+  ASSERT_TRUE(eval->refined);
+
+  ChaseNode node;
+  node.eval = eval;
+  GenerateOps(*ctx_, node, /*best_cl=*/-1e18, 0, nullptr);
+  while (const ScoredOp* so = node.Poll()) {
+    EXPECT_TRUE(so->op.is_refine()) << so->op.ToString(schema);
+  }
+}
+
+TEST_F(EvalFixture, RefineCondBlockedWhenBoundCannotBeat) {
+  // With pruning on and an incumbent at the node's cl+, refinement ops are
+  // not generated.
+  ChaseNode node;
+  node.eval = ctx_->root();
+  GenerateOps(*ctx_, node, /*best_cl=*/ctx_->root()->cl_plus, 0, nullptr);
+  while (const ScoredOp* so = node.Poll()) {
+    EXPECT_TRUE(so->op.is_relax());
+  }
+}
+
+TEST_F(EvalFixture, BudgetFiltersExpensiveOps) {
+  ChaseOptions tiny = opts_;
+  tiny.budget = 0.5;  // below every unit cost
+  ChaseContext ctx(demo_.graph(), demo_.Question(), tiny);
+  ChaseNode node;
+  node.eval = ctx.root();
+  GenerateOps(ctx, node, -1e18, 0, nullptr);
+  EXPECT_TRUE(node.exhausted());
+}
+
+TEST_F(EvalFixture, PerClassCapLimitsOpsPerKind) {
+  ChaseNode node;
+  node.eval = ctx_->root();
+  GenerateOps(*ctx_, node, -1e18, /*per_class_cap=*/1, nullptr);
+  std::map<OpKind, int> counts;
+  while (const ScoredOp* so = node.Poll()) ++counts[so->op.kind];
+  for (const auto& [kind, count] : counts) {
+    EXPECT_LE(count, 1) << OpKindName(kind);
+  }
+}
+
+TEST_F(EvalFixture, QueueSortedByPickiness) {
+  ChaseNode node;
+  node.eval = ctx_->root();
+  GenerateOps(*ctx_, node, -1e18, 0, nullptr);
+  for (size_t i = 1; i < node.queue.size(); ++i) {
+    EXPECT_GE(node.queue[i - 1].pickiness + 1e-12, node.queue[i].pickiness);
+  }
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,97 @@
+#include "exemplar/exemplar_text.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+TEST(ExemplarTextTest, RoundTripPaperExemplar) {
+  ProductDemo demo;
+  Schema schema = demo.graph().schema();
+  const Exemplar e = demo.MakeExemplar();
+  const std::string text = ExemplarText::ToText(e, schema);
+  auto parsed = ExemplarText::Parse(text, &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Exemplar& p = parsed.value();
+  ASSERT_EQ(p.tuples().size(), 2u);
+  ASSERT_EQ(p.constraints().size(), 2u);
+  EXPECT_EQ(ExemplarText::ToText(p, schema), text);
+}
+
+TEST(ExemplarTextTest, ParsesExampleTwoThreeSyntax) {
+  Schema schema;
+  const std::string text =
+      "wqe-exemplar v1\n"
+      "tuple display=6.2 storage=? price=?\n"
+      "tuple display=6.3 storage=? price=?\n"
+      "where t1.price < 800\n"
+      "where t0.storage > t1.storage\n";
+  auto parsed = ExemplarText::Parse(text, &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Exemplar& e = parsed.value();
+  const AttrId display = schema.LookupAttr("display");
+  ASSERT_NE(e.tuples()[0].Find(display), nullptr);
+  EXPECT_DOUBLE_EQ(e.tuples()[0].Find(display)->constant.num(), 6.2);
+  EXPECT_FALSE(e.tuples()[0].Find(schema.LookupAttr("storage"))->is_constant());
+
+  EXPECT_EQ(e.constraints()[0].kind, ConstraintLiteral::Kind::kVarConst);
+  EXPECT_EQ(e.constraints()[0].lhs.tuple, 1u);
+  EXPECT_EQ(e.constraints()[0].op, CmpOp::kLt);
+  EXPECT_EQ(e.constraints()[1].kind, ConstraintLiteral::Kind::kVarVar);
+  EXPECT_EQ(e.constraints()[1].rhs.tuple, 1u);
+}
+
+TEST(ExemplarTextTest, CategoricalCells) {
+  Schema schema;
+  const std::string text =
+      "wqe-exemplar v1\n"
+      "tuple brand=str:Samsung price=700\n"
+      "where t0.brand = str:Samsung\n";
+  auto parsed = ExemplarText::Parse(text, &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const AttrId brand = schema.LookupAttr("brand");
+  EXPECT_TRUE(parsed.value().tuples()[0].Find(brand)->constant.is_str());
+  EXPECT_TRUE(parsed.value().constraints()[0].constant.is_str());
+}
+
+TEST(ExemplarTextTest, RejectsMissingHeader) {
+  Schema schema;
+  EXPECT_FALSE(ExemplarText::Parse("tuple a=1\n", &schema).ok());
+}
+
+TEST(ExemplarTextTest, RejectsUnknownTupleReference) {
+  Schema schema;
+  const std::string text =
+      "wqe-exemplar v1\ntuple a=1\nwhere t5.a < 3\n";
+  EXPECT_FALSE(ExemplarText::Parse(text, &schema).ok());
+}
+
+TEST(ExemplarTextTest, RejectsBadCell) {
+  Schema schema;
+  EXPECT_FALSE(
+      ExemplarText::Parse("wqe-exemplar v1\ntuple a=notanumber\n", &schema).ok());
+  EXPECT_FALSE(ExemplarText::Parse("wqe-exemplar v1\ntuple =5\n", &schema).ok());
+}
+
+TEST(ExemplarTextTest, RejectsEmptyExemplar) {
+  Schema schema;
+  EXPECT_FALSE(ExemplarText::Parse("wqe-exemplar v1\n", &schema).ok());
+}
+
+TEST(ExemplarTextTest, RejectsBadOperator) {
+  Schema schema;
+  const std::string text = "wqe-exemplar v1\ntuple a=1\nwhere t0.a != 3\n";
+  EXPECT_FALSE(ExemplarText::Parse(text, &schema).ok());
+}
+
+TEST(ExemplarTextTest, SkipsComments) {
+  Schema schema;
+  const std::string text =
+      "wqe-exemplar v1\n# desired phones\ntuple a=1\n\nwhere t0.a >= 1\n";
+  EXPECT_TRUE(ExemplarText::Parse(text, &schema).ok());
+}
+
+}  // namespace
+}  // namespace wqe

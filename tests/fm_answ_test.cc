@@ -1,0 +1,60 @@
+#include "chase/fm_answ.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/answ.h"
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+TEST(FMAnsWTest, ProducesAnAnswerOnDemo) {
+  ProductDemo demo;
+  ChaseOptions opts;
+  opts.budget = 4;
+  ChaseResult r = FMAnsW(demo.graph(), demo.Question(), opts);
+  ASSERT_TRUE(r.found());
+  EXPECT_GE(r.best().closeness, 0.0);
+}
+
+TEST(FMAnsWTest, NeverBeatsAnsW) {
+  ProductDemo demo;
+  ChaseOptions opts;
+  opts.budget = 4;
+  const double exact =
+      AnsW(demo.graph(), demo.Question(), opts).best().closeness;
+  const double baseline =
+      FMAnsW(demo.graph(), demo.Question(), opts).best().closeness;
+  EXPECT_LE(baseline, exact + 1e-9);
+}
+
+TEST(FMAnsWTest, MinedQueryIsFocusStar) {
+  ProductDemo demo;
+  ChaseOptions opts;
+  opts.budget = 4;
+  ChaseResult r = FMAnsW(demo.graph(), demo.Question(), opts);
+  const PatternQuery& q = r.best().rewrite;
+  // Suggested rewrites are stars around the focus (or the original query).
+  const QueryShape shape = q.Shape();
+  EXPECT_TRUE(shape == QueryShape::kStar || shape == QueryShape::kChain)
+      << QueryShapeName(shape);
+}
+
+TEST(FMAnsWTest, RespectsBudget) {
+  ProductDemo demo;
+  ChaseOptions opts;
+  opts.budget = 2;
+  ChaseResult r = FMAnsW(demo.graph(), demo.Question(), opts);
+  EXPECT_LE(r.best().cost, 2.0 + 1e-9);
+}
+
+TEST(FMAnsWTest, StepsReflectEnumerationEffort) {
+  ProductDemo demo;
+  ChaseOptions opts;
+  opts.budget = 4;
+  ChaseResult r = FMAnsW(demo.graph(), demo.Question(), opts);
+  EXPECT_GT(r.stats.steps, 0u);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,82 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesStructure) {
+  ProductDemo demo;
+  const std::string text = GraphIo::ToString(demo.graph());
+  auto loaded = GraphIo::FromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& g = loaded.value();
+  EXPECT_EQ(g.num_nodes(), demo.graph().num_nodes());
+  EXPECT_EQ(g.num_edges(), demo.graph().num_edges());
+  // Attribute round trip.
+  const AttrId price = g.schema().LookupAttr("price");
+  ASSERT_NE(g.attr(demo.p(1), price), nullptr);
+  EXPECT_DOUBLE_EQ(g.attr(demo.p(1), price)->num(), 840);
+  EXPECT_EQ(g.name(demo.p(1)), "P1 S9+");
+}
+
+TEST(GraphIoTest, RejectsMissingHeader) {
+  auto r = GraphIo::FromString("node\t0\tA\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RejectsNonSequentialNodeIds) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t5\tA\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsEdgeToUnknownNode) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nedge\t0\t7\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsBadAttrValue) {
+  auto r = GraphIo::FromString(
+      "wqe-graph v1\nnode\t0\tA\nattr\t0\tx\tnum\tnot-a-number\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  auto r = GraphIo::FromString(
+      "wqe-graph v1\n# comment\n\nnode\t0\tA\nnode\t1\tB\nedge\t0\t1\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_nodes(), 2u);
+  EXPECT_EQ(r.value().num_edges(), 1u);
+}
+
+TEST(GraphIoTest, SaveAndLoadFile) {
+  ProductDemo demo;
+  const std::string path = ::testing::TempDir() + "/wqe_graph_io_test.graph";
+  ASSERT_TRUE(GraphIo::Save(demo.graph(), path).ok());
+  auto loaded = GraphIo::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), demo.graph().num_nodes());
+}
+
+TEST(GraphIoTest, LoadMissingFileIsNotFound) {
+  auto r = GraphIo::Load("/nonexistent/path/to/graph");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(GraphIoTest, EdgeLabelsRoundTrip) {
+  Graph g;
+  g.AddNode("A");
+  g.AddNode("B");
+  g.AddEdge(0, 1, g.schema().InternEdgeLabel("likes"));
+  g.Finalize();
+  auto r = GraphIo::FromString(GraphIo::ToString(g));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+Graph SmallGraph() {
+  Graph g;
+  NodeId a = g.AddNode("A", "a");
+  NodeId b = g.AddNode("B", "b");
+  NodeId c = g.AddNode("A", "c");
+  g.SetNum(a, "x", 1);
+  g.SetNum(b, "x", 2);
+  g.SetStr(c, "color", "red");
+  g.AddEdge(a, b);
+  g.AddEdge(b, c);
+  g.AddEdge(a, c);
+  g.Finalize();
+  return g;
+}
+
+TEST(GraphTest, CountsNodesAndEdges) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphTest, CsrAdjacency) {
+  Graph g = SmallGraph();
+  auto out0 = g.out(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(g.out(1).size(), 1u);
+  EXPECT_EQ(g.out(2).size(), 0u);
+  EXPECT_EQ(g.in(2).size(), 2u);
+  EXPECT_EQ(g.in(0).size(), 0u);
+}
+
+TEST(GraphTest, DegreeSumsBothDirections) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(GraphTest, LabelIndex) {
+  Graph g = SmallGraph();
+  const LabelId a_label = g.schema().LookupLabel("A");
+  const auto& nodes = g.NodesWithLabel(a_label);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], 0u);
+  EXPECT_EQ(nodes[1], 2u);
+}
+
+TEST(GraphTest, UnknownLabelBucketIsEmpty) {
+  Graph g = SmallGraph();
+  EXPECT_TRUE(g.NodesWithLabel(9999).empty());
+}
+
+TEST(GraphTest, AttrLookup) {
+  Graph g = SmallGraph();
+  const AttrId x = g.schema().LookupAttr("x");
+  ASSERT_NE(g.attr(0, x), nullptr);
+  EXPECT_DOUBLE_EQ(g.attr(0, x)->num(), 1);
+  EXPECT_EQ(g.attr(2, x), nullptr);  // node c has no "x"
+}
+
+TEST(GraphTest, SetAttrOverwrites) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  g.SetNum(a, "x", 1);
+  g.SetNum(a, "x", 9);
+  g.Finalize();
+  const AttrId x = g.schema().LookupAttr("x");
+  EXPECT_DOUBLE_EQ(g.attr(a, x)->num(), 9);
+  EXPECT_EQ(g.attrs(a).size(), 1u);
+}
+
+TEST(GraphTest, AttrsAreSortedAfterFinalize) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  g.SetNum(a, "zzz", 1);
+  g.SetNum(a, "aaa", 2);
+  g.SetNum(a, "mmm", 3);
+  g.Finalize();
+  auto attrs = g.attrs(a);
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_LT(attrs[0].attr, attrs[1].attr);
+  EXPECT_LT(attrs[1].attr, attrs[2].attr);
+}
+
+TEST(GraphTest, NamesPreserved) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.name(0), "a");
+  EXPECT_EQ(g.name(1), "b");
+}
+
+TEST(GraphTest, FinalizeIsIdempotent) {
+  Graph g = SmallGraph();
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,54 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+TEST(InternerTest, EmptyStringIsWildcardZero) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern(""), kWildcardSymbol);
+  EXPECT_EQ(interner.Lookup(""), kWildcardSymbol);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, AssignsSequentialIds) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("a"), 1u);
+  EXPECT_EQ(interner.Intern("b"), 2u);
+  EXPECT_EQ(interner.Intern("c"), 3u);
+}
+
+TEST(InternerTest, InternIsIdempotent) {
+  Interner interner;
+  const SymbolId a = interner.Intern("alpha");
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, NameRoundTrips) {
+  Interner interner;
+  const SymbolId id = interner.Intern("Cellphone");
+  EXPECT_EQ(interner.Name(id), "Cellphone");
+}
+
+TEST(InternerTest, LookupMissingReturnsWildcard) {
+  Interner interner;
+  EXPECT_EQ(interner.Lookup("never-seen"), kWildcardSymbol);
+  EXPECT_FALSE(interner.Contains("never-seen"));
+}
+
+TEST(InternerTest, ManySymbolsStayDistinct) {
+  Interner interner;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(interner.Intern("sym" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(interner.Name(ids[static_cast<size_t>(i)]), "sym" + std::to_string(i));
+    EXPECT_EQ(interner.Lookup("sym" + std::to_string(i)), ids[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,144 @@
+// Property suite: the production Matcher and the star-view StarMatcher agree
+// with a brute-force enumeration oracle on random small graphs and random
+// queries — including wildcard labels, multi-bound edges, cycles, and
+// literal predicates.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "match/star_matcher.h"
+#include "reference_matcher.h"
+
+namespace wqe {
+namespace {
+
+Graph RandomAttributedGraph(Rng& rng, size_t n, size_t m, int num_labels) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = g.AddNode("L" + std::to_string(rng.Index(static_cast<size_t>(num_labels))));
+    g.SetNum(v, "x", static_cast<double>(rng.Int(0, 9)));
+    if (rng.Chance(0.6)) {
+      g.SetNum(v, "y", static_cast<double>(rng.Int(0, 4)));
+    }
+    if (rng.Chance(0.4)) {
+      g.SetStr(v, "c", rng.Chance(0.5) ? "red" : "blue");
+    }
+  }
+  for (size_t e = 0; e < m; ++e) {
+    NodeId a = static_cast<NodeId>(rng.Index(n));
+    NodeId b = static_cast<NodeId>(rng.Index(n));
+    if (a != b) g.AddEdge(a, b);
+  }
+  g.Finalize();
+  return g;
+}
+
+PatternQuery RandomQuery(Rng& rng, Graph& g, size_t max_nodes) {
+  PatternQuery q;
+  const size_t num_nodes = 1 + rng.Index(max_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    // Wildcard labels with probability 1/4.
+    LabelId label = kWildcardSymbol;
+    if (!rng.Chance(0.25)) {
+      label = g.schema().LookupLabel("L" + std::to_string(rng.Index(3)));
+    }
+    q.AddNode(label);
+    // Random literal on x.
+    if (rng.Chance(0.5)) {
+      const CmpOp op = static_cast<CmpOp>(rng.Int(0, 4));
+      q.AddLiteral(static_cast<QNodeId>(i),
+                   {g.schema().LookupAttr("x"), op,
+                    Value::Num(static_cast<double>(rng.Int(0, 9)))});
+    }
+  }
+  // Random connected-ish edges: spanning tree + extras.
+  for (size_t i = 1; i < num_nodes; ++i) {
+    const QNodeId parent = static_cast<QNodeId>(rng.Index(i));
+    const uint32_t bound = static_cast<uint32_t>(rng.Int(1, 3));
+    if (rng.Chance(0.5)) {
+      q.AddEdge(parent, static_cast<QNodeId>(i), bound);
+    } else {
+      q.AddEdge(static_cast<QNodeId>(i), parent, bound);
+    }
+  }
+  for (int extra = 0; extra < 1; ++extra) {
+    if (num_nodes < 3 || !rng.Chance(0.4)) break;
+    const QNodeId a = static_cast<QNodeId>(rng.Index(num_nodes));
+    const QNodeId b = static_cast<QNodeId>(rng.Index(num_nodes));
+    if (a != b && !q.HasEdgeEitherDirection(a, b)) {
+      q.AddEdge(a, b, static_cast<uint32_t>(rng.Int(1, 2)));
+    }
+  }
+  q.SetFocus(static_cast<QNodeId>(rng.Index(num_nodes)));
+  return q;
+}
+
+class MatcherPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherPropertyTest, MatcherAgreesWithBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 5);
+  for (int trial = 0; trial < 15; ++trial) {
+    Graph g = RandomAttributedGraph(rng, 14, 30, 3);
+    ReferenceMatcher reference(g);
+    DistanceIndex dist(g);
+    Matcher matcher(g, &dist);
+    for (int probe = 0; probe < 6; ++probe) {
+      PatternQuery q = RandomQuery(rng, g, 4);
+      EXPECT_EQ(matcher.Answer(q), reference.Answer(q))
+          << "trial " << trial << " probe " << probe << "\n"
+          << q.ToString(g.schema());
+    }
+  }
+}
+
+TEST_P(MatcherPropertyTest, StarMatcherAgreesWithBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomAttributedGraph(rng, 14, 30, 3);
+    ReferenceMatcher reference(g);
+    DistanceIndex dist(g);
+    ViewCache cache;
+    StarMatcher sm(g, &dist, &cache);
+    for (int probe = 0; probe < 6; ++probe) {
+      PatternQuery q = RandomQuery(rng, g, 4);
+      EXPECT_EQ(sm.Evaluate(q).matches, reference.Answer(q))
+          << "trial " << trial << " probe " << probe << "\n"
+          << q.ToString(g.schema());
+    }
+  }
+}
+
+TEST_P(MatcherPropertyTest, CachedStarMatcherStaysCorrectAcrossRewrites) {
+  // Evaluate a query, mutate it (rewrites share star signatures across
+  // different node orders), and check the cached evaluation stays exact.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomAttributedGraph(rng, 14, 30, 3);
+    ReferenceMatcher reference(g);
+    DistanceIndex dist(g);
+    ViewCache cache;
+    StarMatcher sm(g, &dist, &cache);
+    PatternQuery q = RandomQuery(rng, g, 4);
+    for (int step = 0; step < 5; ++step) {
+      EXPECT_EQ(sm.Evaluate(q).matches, reference.Answer(q))
+          << q.ToString(g.schema());
+      // Random small mutation.
+      if (!q.node(q.focus()).literals.empty() && rng.Chance(0.5)) {
+        q.RemoveLiteralAt(q.focus(), 0);
+      } else if (q.num_edges() > 0 && rng.Chance(0.3)) {
+        q.edge(rng.Index(q.num_edges())).bound =
+            static_cast<uint32_t>(rng.Int(1, 3));
+      } else {
+        q.AddLiteral(static_cast<QNodeId>(rng.Index(q.num_nodes())),
+                     {g.schema().LookupAttr("x"), CmpOp::kGe,
+                      Value::Num(static_cast<double>(rng.Int(0, 5)))});
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace wqe

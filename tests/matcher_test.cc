@@ -1,0 +1,149 @@
+#include "match/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class MatcherFixture : public ::testing::Test {
+ protected:
+  MatcherFixture() : dist_(demo_.graph()), matcher_(demo_.graph(), &dist_) {}
+
+  ProductDemo demo_;
+  DistanceIndex dist_;
+  Matcher matcher_;
+};
+
+// Example 2.1: Q(Cellphone, G) = {P1, P2, P5}.
+TEST_F(MatcherFixture, PaperExampleAnswer) {
+  auto answer = matcher_.Answer(demo_.Query());
+  std::vector<NodeId> expected = {demo_.p(1), demo_.p(2), demo_.p(5)};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(answer, expected);
+}
+
+TEST_F(MatcherFixture, EdgeToPathMatching) {
+  // P1 reaches the sensor only through the watch: bound 2 admits it,
+  // bound 1 (subgraph-isomorphism semantics) does not.
+  PatternQuery q = demo_.Query();
+  EXPECT_TRUE(matcher_.IsMatch(q, demo_.p(1)));
+  const int e = q.FindEdge(q.focus(), 3);
+  ASSERT_GE(e, 0);
+  q.edge(static_cast<size_t>(e)).bound = 1;
+  EXPECT_FALSE(matcher_.IsMatch(q, demo_.p(1)));
+  EXPECT_TRUE(matcher_.IsMatch(q, demo_.p(2)));  // direct sensor edge
+}
+
+TEST_F(MatcherFixture, FocusLiteralGatesMatch) {
+  PatternQuery q = demo_.Query();
+  EXPECT_FALSE(matcher_.IsMatch(q, demo_.p(3)));  // price 790 < 840
+  EXPECT_FALSE(matcher_.IsMatch(q, demo_.p(4)));
+}
+
+TEST_F(MatcherFixture, InjectivityEnforced) {
+  // Two query nodes with the same label must map to distinct graph nodes:
+  // a phone with two distinct carriers does not exist.
+  const Graph& g = demo_.graph();
+  PatternQuery q;
+  QNodeId cell = q.AddNode(g.schema().LookupLabel("Cellphone"));
+  QNodeId c1 = q.AddNode(g.schema().LookupLabel("Carrier"));
+  QNodeId c2 = q.AddNode(g.schema().LookupLabel("Carrier"));
+  q.SetFocus(cell);
+  q.AddEdge(cell, c1, 1);
+  q.AddEdge(cell, c2, 1);
+  EXPECT_TRUE(matcher_.Answer(q).empty());
+}
+
+TEST_F(MatcherFixture, SingleNodeQueryAnswersAreCandidates) {
+  const Graph& g = demo_.graph();
+  PatternQuery q;
+  QNodeId cell = q.AddNode(g.schema().LookupLabel("Cellphone"));
+  q.SetFocus(cell);
+  EXPECT_EQ(matcher_.Answer(q).size(), 6u);
+}
+
+TEST_F(MatcherFixture, ValuationsEnumerateAssignments) {
+  PatternQuery q = demo_.Query();
+  size_t count = 0;
+  matcher_.Valuations(q, demo_.p(1), 10, [&](const std::vector<NodeId>& assign) {
+    ++count;
+    EXPECT_EQ(assign[q.focus()], demo_.p(1));
+    EXPECT_EQ(assign[1], demo_.samsung());
+    EXPECT_EQ(assign[2], demo_.att());
+    EXPECT_EQ(assign[3], demo_.sensor());
+    return true;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(MatcherFixture, ValuationsRespectLimit) {
+  const Graph& g = demo_.graph();
+  PatternQuery q;
+  QNodeId cell = q.AddNode(g.schema().LookupLabel("Cellphone"));
+  QNodeId any = q.AddNode(kWildcardSymbol);
+  q.SetFocus(cell);
+  q.AddEdge(cell, any, 2);
+  size_t count = 0;
+  matcher_.Valuations(q, demo_.p(1), 2,
+                      [&](const std::vector<NodeId>&) {
+                        ++count;
+                        return true;
+                      });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(MatcherFixture, CallbackCanAbort) {
+  const Graph& g = demo_.graph();
+  PatternQuery q;
+  QNodeId cell = q.AddNode(g.schema().LookupLabel("Cellphone"));
+  QNodeId any = q.AddNode(kWildcardSymbol);
+  q.SetFocus(cell);
+  q.AddEdge(cell, any, 2);
+  size_t count = 0;
+  matcher_.Valuations(q, demo_.p(1), 100,
+                      [&](const std::vector<NodeId>&) {
+                        ++count;
+                        return false;
+                      });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(MatcherFixture, RestrictedMatchHonorsAllowedSets) {
+  PatternQuery q = demo_.Query();
+  std::vector<const std::vector<NodeId>*> allowed(q.num_nodes(), nullptr);
+  // Restrict the carrier node to Sprint only: P1 (AT&T) no longer matches.
+  std::vector<NodeId> sprint_only = {demo_.sprint()};
+  allowed[2] = &sprint_only;
+  EXPECT_FALSE(matcher_.IsMatchRestricted(q, demo_.p(1), allowed));
+  EXPECT_TRUE(matcher_.IsMatchRestricted(q, demo_.p(5), allowed));
+}
+
+TEST_F(MatcherFixture, DirectionMatters) {
+  const Graph& g = demo_.graph();
+  PatternQuery q;
+  QNodeId carrier = q.AddNode(g.schema().LookupLabel("Carrier"));
+  QNodeId cell = q.AddNode(g.schema().LookupLabel("Cellphone"));
+  q.SetFocus(carrier);
+  // Edge carrier -> cell does not exist in G (phones point at carriers).
+  q.AddEdge(carrier, cell, 1);
+  EXPECT_TRUE(matcher_.Answer(q).empty());
+  // Reversed: every carrier with an in-edge from a phone matches.
+  PatternQuery q2;
+  QNodeId carrier2 = q2.AddNode(g.schema().LookupLabel("Carrier"));
+  QNodeId cell2 = q2.AddNode(g.schema().LookupLabel("Cellphone"));
+  q2.SetFocus(carrier2);
+  q2.AddEdge(cell2, carrier2, 1);
+  EXPECT_EQ(q2.FindEdge(cell2, carrier2), 0);
+  EXPECT_EQ(matcher_.Answer(q2).size(), 2u);
+}
+
+TEST_F(MatcherFixture, StatsAccumulate) {
+  matcher_.Answer(demo_.Query());
+  EXPECT_GT(matcher_.stats().focus_verifications, 0u);
+  EXPECT_GT(matcher_.stats().node_expansions, 0u);
+}
+
+}  // namespace
+}  // namespace wqe

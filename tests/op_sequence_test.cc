@@ -1,0 +1,173 @@
+#include "query/op_sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+constexpr uint32_t kMaxBound = 3;
+
+Op RmL(QNodeId u, AttrId attr, double c) {
+  Op op;
+  op.kind = OpKind::kRmL;
+  op.u = u;
+  op.lit = {attr, CmpOp::kGe, Value::Num(c)};
+  return op;
+}
+
+Op AddL(QNodeId u, AttrId attr, double c) {
+  Op op;
+  op.kind = OpKind::kAddL;
+  op.u = u;
+  op.lit = {attr, CmpOp::kGe, Value::Num(c)};
+  return op;
+}
+
+Op RxE(QNodeId a, QNodeId b, uint32_t from, uint32_t to) {
+  Op op;
+  op.kind = OpKind::kRxE;
+  op.u = a;
+  op.v = b;
+  op.bound = from;
+  op.new_bound = to;
+  return op;
+}
+
+Op RmE(QNodeId a, QNodeId b) {
+  Op op;
+  op.kind = OpKind::kRmE;
+  op.u = a;
+  op.v = b;
+  return op;
+}
+
+TEST(OpSequenceTest, CanonicalWhenNoCancelOut) {
+  OpSequence seq({RmL(0, 1, 5), AddL(0, 2, 3), RxE(0, 1, 1, 2)});
+  EXPECT_TRUE(seq.IsCanonical());
+}
+
+TEST(OpSequenceTest, CancelOutOnSameLiteralDetected) {
+  // Remove then re-add a literal on the same (node, attribute): o6/o7 of
+  // Example 4.2.
+  OpSequence seq({RmL(0, 1, 5), AddL(0, 1, 5)});
+  EXPECT_FALSE(seq.IsCanonical());
+}
+
+TEST(OpSequenceTest, CancelOutOnSameEdgeDetected) {
+  Op rfe;
+  rfe.kind = OpKind::kRfE;
+  rfe.u = 0;
+  rfe.v = 1;
+  rfe.bound = 2;
+  rfe.new_bound = 1;
+  OpSequence seq({RxE(0, 1, 1, 2), rfe});
+  EXPECT_FALSE(seq.IsCanonical());
+}
+
+TEST(OpSequenceTest, DifferentNodesDoNotConflict) {
+  OpSequence seq({RmL(0, 1, 5), AddL(1, 1, 5)});
+  EXPECT_TRUE(seq.IsCanonical());
+}
+
+TEST(OpSequenceTest, NormalFormPutsRelaxationsFirst) {
+  OpSequence seq({AddL(0, 2, 3), RmL(0, 1, 5), RxE(0, 1, 1, 2)});
+  EXPECT_FALSE(seq.IsNormalForm());
+  OpSequence normal = seq.NormalForm();
+  EXPECT_TRUE(normal.IsNormalForm());
+  ASSERT_EQ(normal.size(), 3u);
+  EXPECT_TRUE(normal.ops()[0].is_relax());
+  EXPECT_TRUE(normal.ops()[1].is_relax());
+  EXPECT_TRUE(normal.ops()[2].is_refine());
+}
+
+TEST(OpSequenceTest, NormalFormPhaseOrdering) {
+  // Relax phase: RxL < RxE < RmL < RmE; refine: AddE < AddL < RfE < RfL.
+  Op rxl;
+  rxl.kind = OpKind::kRxL;
+  rxl.u = 0;
+  rxl.lit = {1, CmpOp::kGe, Value::Num(5)};
+  rxl.new_lit = {1, CmpOp::kGe, Value::Num(4)};
+  Op adde;
+  adde.kind = OpKind::kAddE;
+  adde.u = 0;
+  adde.v = 2;
+  adde.new_bound = 1;
+  Op rfl;
+  rfl.kind = OpKind::kRfL;
+  rfl.u = 1;
+  rfl.lit = {2, CmpOp::kLe, Value::Num(9)};
+  rfl.new_lit = {2, CmpOp::kLe, Value::Num(7)};
+
+  OpSequence seq({rfl, RmE(0, 1), adde, rxl});
+  OpSequence normal = seq.NormalForm();
+  ASSERT_EQ(normal.size(), 4u);
+  EXPECT_EQ(normal.ops()[0].kind, OpKind::kRxL);
+  EXPECT_EQ(normal.ops()[1].kind, OpKind::kRmE);
+  EXPECT_EQ(normal.ops()[2].kind, OpKind::kAddE);
+  EXPECT_EQ(normal.ops()[3].kind, OpKind::kRfL);
+}
+
+// Lemma 4.1 property: a canonical sequence and its normal form produce the
+// same rewrite.
+TEST(OpSequenceTest, NormalFormIsEquivalentRewrite) {
+  PatternQuery base;
+  QNodeId f = base.AddNode(1);
+  QNodeId a = base.AddNode(2);
+  QNodeId b = base.AddNode(3);
+  base.SetFocus(f);
+  base.AddEdge(f, a, 1);
+  base.AddEdge(f, b, 2);
+  base.AddLiteral(f, {10, CmpOp::kGe, Value::Num(100)});
+  base.AddLiteral(a, {11, CmpOp::kLe, Value::Num(50)});
+
+  // Mixed canonical sequence: refine then relax then refine.
+  Op rfe;
+  rfe.kind = OpKind::kRfE;
+  rfe.u = f;
+  rfe.v = b;
+  rfe.bound = 2;
+  rfe.new_bound = 1;
+  OpSequence mixed({AddL(f, 12, 7), RmL(f, 10, 100), rfe});
+  ASSERT_TRUE(mixed.IsCanonical());
+
+  PatternQuery q1 = base;
+  ASSERT_TRUE(mixed.ApplyAll(&q1, kMaxBound));
+  PatternQuery q2 = base;
+  ASSERT_TRUE(mixed.NormalForm().ApplyAll(&q2, kMaxBound));
+  EXPECT_EQ(q1.Fingerprint(), q2.Fingerprint());
+}
+
+TEST(OpSequenceTest, CostSumsOperatorCosts) {
+  Graph g;
+  NodeId v = g.AddNode("N");
+  g.SetNum(v, "x", 0);
+  NodeId w = g.AddNode("N");
+  g.SetNum(w, "x", 100);
+  g.Finalize();
+  ActiveDomains adom(g);
+  const AttrId x = g.schema().LookupAttr("x");
+
+  OpSequence seq({RmL(0, x, 5), AddL(0, x, 3)});
+  EXPECT_DOUBLE_EQ(seq.Cost(adom, 4), 2.0);
+
+  OpSequence with_edge({RmL(0, x, 5), RmE(0, 1)});
+  // RmE carries bound 1 by default: 1 + 1/4.
+  EXPECT_DOUBLE_EQ(with_edge.Cost(adom, 4), 2.25);
+}
+
+TEST(OpSequenceTest, ApplyAllStopsOnInapplicable) {
+  PatternQuery q;
+  QNodeId f = q.AddNode(1);
+  q.SetFocus(f);
+  OpSequence seq({RmL(f, 1, 5)});  // literal not present
+  EXPECT_FALSE(seq.ApplyAll(&q, kMaxBound));
+}
+
+TEST(OpSequenceTest, NoOpsAreDroppedFromNormalForm) {
+  OpSequence seq({Op{}, RmL(0, 1, 5), Op{}});
+  OpSequence normal = seq.NormalForm();
+  EXPECT_EQ(normal.size(), 1u);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,255 @@
+#include "query/ops.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+constexpr uint32_t kMaxBound = 3;
+
+struct OpsFixture : public ::testing::Test {
+  void SetUp() override {
+    // Graph supplies active domains for the cost model: price in [700, 950].
+    for (double p : {700.0, 790.0, 840.0, 950.0}) {
+      NodeId v = g.AddNode("Phone");
+      g.SetNum(v, "price", p);
+    }
+    g.Finalize();
+    adom = std::make_unique<ActiveDomains>(g);
+    price = g.schema().LookupAttr("price");
+
+    focus = q.AddNode(g.schema().LookupLabel("Phone"));
+    other = q.AddNode(g.schema().InternLabel("Carrier"));
+    q.SetFocus(focus);
+    q.AddEdge(focus, other, 2);
+    q.AddLiteral(focus, {price, CmpOp::kGe, Value::Num(840)});
+  }
+
+  Graph g;
+  std::unique_ptr<ActiveDomains> adom;
+  AttrId price;
+  PatternQuery q;
+  QNodeId focus, other;
+};
+
+TEST_F(OpsFixture, RmLApplicability) {
+  Op op;
+  op.kind = OpKind::kRmL;
+  op.u = focus;
+  op.lit = {price, CmpOp::kGe, Value::Num(840)};
+  EXPECT_TRUE(Applicable(op, q, kMaxBound));
+  op.lit.constant = Value::Num(999);  // not present
+  EXPECT_FALSE(Applicable(op, q, kMaxBound));
+}
+
+TEST_F(OpsFixture, RmLApplyRemovesLiteral) {
+  Op op;
+  op.kind = OpKind::kRmL;
+  op.u = focus;
+  op.lit = {price, CmpOp::kGe, Value::Num(840)};
+  ASSERT_TRUE(Apply(op, &q, kMaxBound));
+  EXPECT_TRUE(q.node(focus).literals.empty());
+  EXPECT_FALSE(Apply(op, &q, kMaxBound));  // no longer applicable
+}
+
+TEST_F(OpsFixture, RxLMustStrictlyWeaken) {
+  Op op;
+  op.kind = OpKind::kRxL;
+  op.u = focus;
+  op.lit = {price, CmpOp::kGe, Value::Num(840)};
+  op.new_lit = {price, CmpOp::kGe, Value::Num(790)};
+  EXPECT_TRUE(Applicable(op, q, kMaxBound));
+  op.new_lit.constant = Value::Num(840);  // not strictly weaker
+  EXPECT_FALSE(Applicable(op, q, kMaxBound));
+  op.new_lit.constant = Value::Num(900);  // stronger
+  EXPECT_FALSE(Applicable(op, q, kMaxBound));
+}
+
+TEST_F(OpsFixture, RxLFromEqualityWidensToRange) {
+  q.node(focus).literals[0] = {price, CmpOp::kEq, Value::Num(840)};
+  Op op;
+  op.kind = OpKind::kRxL;
+  op.u = focus;
+  op.lit = {price, CmpOp::kEq, Value::Num(840)};
+  op.new_lit = {price, CmpOp::kGe, Value::Num(790)};
+  EXPECT_TRUE(Applicable(op, q, kMaxBound));
+  ASSERT_TRUE(Apply(op, &q, kMaxBound));
+  EXPECT_EQ(q.node(focus).literals[0].op, CmpOp::kGe);
+}
+
+TEST_F(OpsFixture, RfLMustStrictlyStrengthen) {
+  Op op;
+  op.kind = OpKind::kRfL;
+  op.u = focus;
+  op.lit = {price, CmpOp::kGe, Value::Num(840)};
+  op.new_lit = {price, CmpOp::kGe, Value::Num(900)};
+  EXPECT_TRUE(Applicable(op, q, kMaxBound));
+  op.new_lit.constant = Value::Num(800);
+  EXPECT_FALSE(Applicable(op, q, kMaxBound));
+}
+
+TEST_F(OpsFixture, RfLResolvesWildcard) {
+  q.AddLiteral(other, {price, CmpOp::kGe, Value::Null()});
+  Op op;
+  op.kind = OpKind::kRfL;
+  op.u = other;
+  op.lit = {price, CmpOp::kGe, Value::Null()};
+  op.new_lit = {price, CmpOp::kGe, Value::Num(100)};
+  EXPECT_TRUE(Applicable(op, q, kMaxBound));
+}
+
+TEST_F(OpsFixture, AddLRejectsDuplicateAttrOpPairs) {
+  Op op;
+  op.kind = OpKind::kAddL;
+  op.u = focus;
+  op.lit = {price, CmpOp::kGe, Value::Num(700)};
+  EXPECT_FALSE(Applicable(op, q, kMaxBound));  // >= on price already present
+  op.lit.op = CmpOp::kLe;
+  EXPECT_TRUE(Applicable(op, q, kMaxBound));
+  ASSERT_TRUE(Apply(op, &q, kMaxBound));
+  EXPECT_EQ(q.node(focus).literals.size(), 2u);
+}
+
+TEST_F(OpsFixture, RmEAndReAddingViaAddE) {
+  Op rm;
+  rm.kind = OpKind::kRmE;
+  rm.u = focus;
+  rm.v = other;
+  ASSERT_TRUE(Apply(rm, &q, kMaxBound));
+  EXPECT_EQ(q.num_edges(), 0u);
+  EXPECT_EQ(q.ActiveNodes().size(), 1u);  // `other` became inactive
+
+  Op add;
+  add.kind = OpKind::kAddE;
+  add.u = focus;
+  add.v = other;
+  add.new_bound = 2;
+  ASSERT_TRUE(Apply(add, &q, kMaxBound));
+  EXPECT_EQ(q.ActiveNodes().size(), 2u);
+}
+
+TEST_F(OpsFixture, AddECreatesNewNode) {
+  Op add;
+  add.kind = OpKind::kAddE;
+  add.u = focus;
+  add.creates_node = true;
+  add.new_node_label = g.schema().InternLabel("Sensor");
+  add.new_bound = 1;
+  const size_t before = q.num_nodes();
+  ASSERT_TRUE(Apply(add, &q, kMaxBound));
+  EXPECT_EQ(q.num_nodes(), before + 1);
+  EXPECT_EQ(q.node(static_cast<QNodeId>(before)).label,
+            g.schema().LookupLabel("Sensor"));
+}
+
+TEST_F(OpsFixture, RxERespectsMaxBound) {
+  Op op;
+  op.kind = OpKind::kRxE;
+  op.u = focus;
+  op.v = other;
+  op.bound = 2;
+  op.new_bound = 3;
+  EXPECT_TRUE(Applicable(op, q, kMaxBound));
+  op.new_bound = 4;  // above b_m
+  EXPECT_FALSE(Applicable(op, q, kMaxBound));
+  op.new_bound = 2;  // not a relaxation
+  EXPECT_FALSE(Applicable(op, q, kMaxBound));
+}
+
+TEST_F(OpsFixture, RfELowersBound) {
+  Op op;
+  op.kind = OpKind::kRfE;
+  op.u = focus;
+  op.v = other;
+  op.bound = 2;
+  op.new_bound = 1;
+  ASSERT_TRUE(Apply(op, &q, kMaxBound));
+  EXPECT_EQ(q.edge(0).bound, 1u);
+  EXPECT_FALSE(Applicable(op, q, kMaxBound));  // cannot go below 1
+}
+
+// ---- Cost model (Table 1 / Example 3.1 analogue). range(price) = 250,
+// diameter fixed at 6 for the checks below.
+
+TEST_F(OpsFixture, CostModelUnitCosts) {
+  const uint32_t diameter = 6;
+  Op rml;
+  rml.kind = OpKind::kRmL;
+  rml.u = focus;
+  rml.lit = {price, CmpOp::kGe, Value::Num(840)};
+  EXPECT_DOUBLE_EQ(OpCost(rml, *adom, diameter), 1.0);
+
+  Op addl = rml;
+  addl.kind = OpKind::kAddL;
+  EXPECT_DOUBLE_EQ(OpCost(addl, *adom, diameter), 1.0);
+}
+
+TEST_F(OpsFixture, CostModelEdgeOps) {
+  const uint32_t diameter = 6;
+  Op rme;
+  rme.kind = OpKind::kRmE;
+  rme.bound = 2;
+  EXPECT_DOUBLE_EQ(OpCost(rme, *adom, diameter), 1.0 + 2.0 / 6.0);
+
+  Op rxe;
+  rxe.kind = OpKind::kRxE;
+  rxe.bound = 1;
+  rxe.new_bound = 3;
+  EXPECT_DOUBLE_EQ(OpCost(rxe, *adom, diameter), 1.0 + 2.0 / 6.0);
+}
+
+TEST_F(OpsFixture, CostModelLiteralRelaxNormalizedByRange) {
+  Op rxl;
+  rxl.kind = OpKind::kRxL;
+  rxl.u = focus;
+  rxl.lit = {price, CmpOp::kGe, Value::Num(840)};
+  rxl.new_lit = {price, CmpOp::kGe, Value::Num(790)};
+  // 1 + 50 / 250 = 1.2.
+  EXPECT_DOUBLE_EQ(OpCost(rxl, *adom, 6), 1.2);
+}
+
+TEST_F(OpsFixture, CostsAlwaysWithinOneAndTwo) {
+  Op rxl;
+  rxl.kind = OpKind::kRxL;
+  rxl.u = focus;
+  rxl.lit = {price, CmpOp::kGe, Value::Num(840)};
+  rxl.new_lit = {price, CmpOp::kGe, Value::Num(-100000)};  // huge delta
+  const double c = OpCost(rxl, *adom, 6);
+  EXPECT_GE(c, 1.0);
+  EXPECT_LE(c, 2.0);
+}
+
+TEST_F(OpsFixture, NoOpHasZeroCostAndIsAlwaysApplicable) {
+  Op noop;
+  EXPECT_TRUE(noop.is_noop());
+  EXPECT_DOUBLE_EQ(OpCost(noop, *adom, 6), 0.0);
+  EXPECT_TRUE(Applicable(noop, q, kMaxBound));
+}
+
+TEST_F(OpsFixture, RelaxRefineClassification) {
+  EXPECT_TRUE(IsRelax(OpKind::kRmL));
+  EXPECT_TRUE(IsRelax(OpKind::kRmE));
+  EXPECT_TRUE(IsRelax(OpKind::kRxL));
+  EXPECT_TRUE(IsRelax(OpKind::kRxE));
+  EXPECT_TRUE(IsRefine(OpKind::kAddL));
+  EXPECT_TRUE(IsRefine(OpKind::kAddE));
+  EXPECT_TRUE(IsRefine(OpKind::kRfL));
+  EXPECT_TRUE(IsRefine(OpKind::kRfE));
+  EXPECT_FALSE(IsRelax(OpKind::kNoOp));
+  EXPECT_FALSE(IsRefine(OpKind::kNoOp));
+}
+
+TEST_F(OpsFixture, ToStringIsInformative) {
+  Op op;
+  op.kind = OpKind::kRxL;
+  op.u = focus;
+  op.lit = {price, CmpOp::kGe, Value::Num(840)};
+  op.new_lit = {price, CmpOp::kGe, Value::Num(790)};
+  const std::string s = op.ToString(g.schema());
+  EXPECT_NE(s.find("RxL"), std::string::npos);
+  EXPECT_NE(s.find("840"), std::string::npos);
+  EXPECT_NE(s.find("790"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wqe

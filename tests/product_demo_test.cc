@@ -1,0 +1,66 @@
+#include "gen/product_demo.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/diameter.h"
+
+namespace wqe {
+namespace {
+
+TEST(ProductDemoTest, GraphShape) {
+  ProductDemo demo;
+  const Graph& g = demo.graph();
+  EXPECT_EQ(g.NodesWithLabel(g.schema().LookupLabel("Cellphone")).size(), 6u);
+  EXPECT_EQ(g.NodesWithLabel(g.schema().LookupLabel("Carrier")).size(), 2u);
+  EXPECT_TRUE(g.finalized());
+}
+
+TEST(ProductDemoTest, PhoneAttributesMatchPaper) {
+  ProductDemo demo;
+  const Graph& g = demo.graph();
+  const AttrId display = g.schema().LookupAttr("display");
+  const AttrId price = g.schema().LookupAttr("price");
+  EXPECT_DOUBLE_EQ(g.attr(demo.p(1), display)->num(), 6.2);
+  EXPECT_DOUBLE_EQ(g.attr(demo.p(2), display)->num(), 6.3);
+  EXPECT_DOUBLE_EQ(g.attr(demo.p(3), price)->num(), 790);
+  EXPECT_LT(g.attr(demo.p(4), price)->num(), 800);  // satisfies c1
+}
+
+TEST(ProductDemoTest, CarrierDiscounts) {
+  ProductDemo demo;
+  const Graph& g = demo.graph();
+  const AttrId discount = g.schema().LookupAttr("discount");
+  EXPECT_DOUBLE_EQ(g.attr(demo.sprint(), discount)->num(), 25);
+  EXPECT_DOUBLE_EQ(g.attr(demo.att(), discount)->num(), 10);
+}
+
+TEST(ProductDemoTest, QueryStructure) {
+  ProductDemo demo;
+  PatternQuery q = demo.Query();
+  EXPECT_EQ(q.num_nodes(), 4u);
+  EXPECT_EQ(q.num_edges(), 3u);
+  EXPECT_EQ(q.focus(), 0u);
+  EXPECT_EQ(q.Shape(), QueryShape::kStar);
+  const int sensor_edge = q.FindEdge(q.focus(), 3);
+  ASSERT_GE(sensor_edge, 0);
+  EXPECT_EQ(q.edge(static_cast<size_t>(sensor_edge)).bound, 2u);
+}
+
+TEST(ProductDemoTest, ExemplarStructure) {
+  ProductDemo demo;
+  Exemplar e = demo.MakeExemplar();
+  EXPECT_EQ(e.tuples().size(), 2u);
+  EXPECT_EQ(e.constraints().size(), 2u);
+  EXPECT_EQ(e.constraints()[0].kind, ConstraintLiteral::Kind::kVarConst);
+  EXPECT_EQ(e.constraints()[1].kind, ConstraintLiteral::Kind::kVarVar);
+}
+
+TEST(ProductDemoTest, DiameterIsSmall) {
+  ProductDemo demo;
+  const uint32_t d = EstimateDiameter(demo.graph());
+  EXPECT_GE(d, 2u);
+  EXPECT_LE(d, 6u);
+}
+
+}  // namespace
+}  // namespace wqe

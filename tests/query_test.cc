@@ -1,0 +1,148 @@
+#include "query/query.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+PatternQuery StarQuery4() {
+  PatternQuery q;
+  QNodeId hub = q.AddNode(1);
+  QNodeId a = q.AddNode(2);
+  QNodeId b = q.AddNode(3);
+  QNodeId c = q.AddNode(4);
+  q.SetFocus(hub);
+  q.AddEdge(hub, a, 1);
+  q.AddEdge(hub, b, 2);
+  q.AddEdge(c, hub, 1);
+  return q;
+}
+
+TEST(QueryTest, AddEdgeRejectsDuplicatesAndSelfLoops) {
+  PatternQuery q;
+  QNodeId a = q.AddNode(1);
+  QNodeId b = q.AddNode(2);
+  EXPECT_TRUE(q.AddEdge(a, b, 1));
+  EXPECT_FALSE(q.AddEdge(a, b, 2));  // duplicate ordered pair
+  EXPECT_TRUE(q.AddEdge(b, a, 1));   // reverse direction is distinct
+  EXPECT_FALSE(q.AddEdge(a, a, 1));  // self loop
+}
+
+TEST(QueryTest, FindEdgeAndLiteral) {
+  PatternQuery q = StarQuery4();
+  EXPECT_GE(q.FindEdge(0, 1), 0);
+  EXPECT_EQ(q.FindEdge(1, 0), -1);
+  Literal lit{7, CmpOp::kGe, Value::Num(1)};
+  q.AddLiteral(0, lit);
+  EXPECT_EQ(q.FindLiteral(0, lit), 0);
+  EXPECT_EQ(q.FindLiteral(0, 7, CmpOp::kGe), 0);
+  EXPECT_EQ(q.FindLiteral(0, 7, CmpOp::kLe), -1);
+}
+
+TEST(QueryTest, ActiveNodesFollowFocusComponent) {
+  PatternQuery q = StarQuery4();
+  EXPECT_EQ(q.ActiveNodes().size(), 4u);
+  // Orphan a node by removing its only edge.
+  q.RemoveEdgeAt(static_cast<size_t>(q.FindEdge(0, 1)));
+  auto active = q.ActiveNodes();
+  EXPECT_EQ(active.size(), 3u);
+  EXPECT_EQ(q.ActiveEdges().size(), 2u);
+  // Node 1 still exists (stable ids) but is inactive.
+  EXPECT_EQ(q.num_nodes(), 4u);
+}
+
+TEST(QueryTest, SizeCountsNodesLiteralsEdges) {
+  PatternQuery q = StarQuery4();
+  q.AddLiteral(0, {7, CmpOp::kGe, Value::Num(1)});
+  // 4 nodes + 1 literal + 3 edges.
+  EXPECT_EQ(q.Size(), 8u);
+}
+
+TEST(QueryTest, QueryDistanceSumsBounds) {
+  PatternQuery q = StarQuery4();
+  EXPECT_EQ(q.QueryDistance(1, 2), 3u);  // 1 -> hub (1) -> b (2)
+  EXPECT_EQ(q.QueryDistance(0, 0), 0u);
+  PatternQuery disconnected;
+  disconnected.AddNode(1);
+  disconnected.AddNode(2);
+  EXPECT_EQ(disconnected.QueryDistance(0, 1), PatternQuery::kNoQueryDist);
+}
+
+TEST(QueryTest, ShapeClassification) {
+  PatternQuery star = StarQuery4();
+  EXPECT_EQ(star.Shape(), QueryShape::kStar);
+
+  // A 3-node path is a star (its middle node covers both edges); a 4-node
+  // path is the smallest proper chain.
+  PatternQuery path3;
+  path3.AddNode(1);
+  path3.AddNode(2);
+  path3.AddNode(3);
+  path3.SetFocus(0);
+  path3.AddEdge(0, 1, 1);
+  path3.AddEdge(1, 2, 1);
+  EXPECT_EQ(path3.Shape(), QueryShape::kStar);
+
+  PatternQuery chain;
+  for (int i = 0; i < 4; ++i) chain.AddNode(static_cast<LabelId>(i + 1));
+  chain.SetFocus(0);
+  chain.AddEdge(0, 1, 1);
+  chain.AddEdge(1, 2, 1);
+  chain.AddEdge(2, 3, 1);
+  EXPECT_EQ(chain.Shape(), QueryShape::kChain);
+
+  PatternQuery tree = StarQuery4();
+  QNodeId extra = tree.AddNode(5);
+  QNodeId extra2 = tree.AddNode(6);
+  tree.AddEdge(1, extra, 1);
+  tree.AddEdge(1, extra2, 1);
+  EXPECT_EQ(tree.Shape(), QueryShape::kTree);
+
+  PatternQuery cyclic = StarQuery4();
+  cyclic.AddEdge(1, 2, 1);
+  EXPECT_EQ(cyclic.Shape(), QueryShape::kCyclic);
+}
+
+TEST(QueryTest, FingerprintIgnoresLiteralOrderAndInactiveParts) {
+  PatternQuery a = StarQuery4();
+  a.AddLiteral(0, {7, CmpOp::kGe, Value::Num(1)});
+  a.AddLiteral(0, {8, CmpOp::kLe, Value::Num(2)});
+  PatternQuery b = StarQuery4();
+  b.AddLiteral(0, {8, CmpOp::kLe, Value::Num(2)});
+  b.AddLiteral(0, {7, CmpOp::kGe, Value::Num(1)});
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  // Literals on an inactive node do not affect the fingerprint.
+  PatternQuery c = StarQuery4();
+  c.RemoveEdgeAt(static_cast<size_t>(c.FindEdge(0, 1)));
+  PatternQuery d = StarQuery4();
+  d.RemoveEdgeAt(static_cast<size_t>(d.FindEdge(0, 1)));
+  d.AddLiteral(1, {9, CmpOp::kEq, Value::Num(3)});
+  EXPECT_EQ(c.Fingerprint(), d.Fingerprint());
+}
+
+TEST(QueryTest, FingerprintDistinguishesBoundsAndFocus) {
+  PatternQuery a = StarQuery4();
+  PatternQuery b = StarQuery4();
+  b.edge(0).bound = 3;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  PatternQuery c = StarQuery4();
+  c.SetFocus(1);
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST(QueryTest, ToStringMentionsFocusAndEdges) {
+  Schema schema;
+  PatternQuery q;
+  QNodeId a = q.AddNode(schema.InternLabel("Cellphone"));
+  QNodeId b = q.AddNode(schema.InternLabel("Carrier"));
+  q.SetFocus(a);
+  q.AddEdge(a, b, 2);
+  const std::string s = q.ToString(schema);
+  EXPECT_NE(s.find("Cellphone"), std::string::npos);
+  EXPECT_NE(s.find("bound 2"), std::string::npos);
+  EXPECT_NE(s.find("focus=u0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,70 @@
+#include "query/query_text.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+TEST(QueryTextTest, RoundTripProductQuery) {
+  ProductDemo demo;
+  Schema schema = demo.graph().schema();  // copy to intern into
+  const PatternQuery q = demo.Query();
+  const std::string text = QueryText::ToText(q, schema);
+  auto parsed = QueryText::Parse(text, &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Fingerprint(), q.Fingerprint());
+}
+
+TEST(QueryTextTest, ParsesWildcardLabelAndAnyLiteral) {
+  Schema schema;
+  const std::string text =
+      "wqe-query v1\n"
+      "focus 0\n"
+      "node 0 _\n"
+      "lit 0 price >= num 10\n"
+      "lit 0 color = any\n";
+  auto parsed = QueryText::Parse(text, &schema);
+  ASSERT_TRUE(parsed.ok());
+  const PatternQuery& q = parsed.value();
+  EXPECT_EQ(q.node(0).label, kWildcardSymbol);
+  ASSERT_EQ(q.node(0).literals.size(), 2u);
+  EXPECT_TRUE(q.node(0).literals[1].is_wildcard());
+}
+
+TEST(QueryTextTest, ParsesCategoricalLiteral) {
+  Schema schema;
+  const std::string text =
+      "wqe-query v1\nfocus 0\nnode 0 Brand\nlit 0 name = str Samsung\n";
+  auto parsed = QueryText::Parse(text, &schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().node(0).literals[0].constant.is_str());
+}
+
+TEST(QueryTextTest, RejectsMissingHeader) {
+  Schema schema;
+  EXPECT_FALSE(QueryText::Parse("focus 0\n", &schema).ok());
+}
+
+TEST(QueryTextTest, RejectsBadEdge) {
+  Schema schema;
+  const std::string text =
+      "wqe-query v1\nfocus 0\nnode 0 A\nedge 0 7 1\n";
+  EXPECT_FALSE(QueryText::Parse(text, &schema).ok());
+}
+
+TEST(QueryTextTest, RejectsFocusOutOfRange) {
+  Schema schema;
+  EXPECT_FALSE(QueryText::Parse("wqe-query v1\nfocus 3\nnode 0 A\n", &schema).ok());
+}
+
+TEST(QueryTextTest, RejectsUnknownComparison) {
+  Schema schema;
+  const std::string text =
+      "wqe-query v1\nfocus 0\nnode 0 A\nlit 0 x != num 1\n";
+  EXPECT_FALSE(QueryText::Parse(text, &schema).ok());
+}
+
+}  // namespace
+}  // namespace wqe

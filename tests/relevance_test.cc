@@ -1,0 +1,88 @@
+#include "exemplar/relevance.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class RelevanceFixture : public ::testing::Test {
+ protected:
+  RelevanceFixture() : adom_(demo_.graph()), eval_(demo_.graph(), adom_) {
+    const LabelId cell = demo_.graph().schema().LookupLabel("Cellphone");
+    universe_ = demo_.graph().NodesWithLabel(cell);
+    rep_ = ComputeRep(eval_, demo_.MakeExemplar(), universe_);
+  }
+
+  ProductDemo demo_;
+  ActiveDomains adom_;
+  ClosenessEvaluator eval_;
+  std::vector<NodeId> universe_;
+  RepResult rep_;
+};
+
+// The 2x2 table of §2.2 on the paper's example: Q(G) = {P1, P2, P5},
+// rep = {P3, P4, P5}.
+TEST_F(RelevanceFixture, PaperExampleClassification) {
+  std::vector<NodeId> matches = {demo_.p(1), demo_.p(2), demo_.p(5)};
+  std::sort(matches.begin(), matches.end());
+  RelevanceSets sets = Classify(universe_, matches, rep_);
+
+  ASSERT_EQ(sets.rm.size(), 1u);
+  EXPECT_EQ(sets.rm[0], demo_.p(5));
+  EXPECT_EQ(sets.im.size(), 2u);  // P1, P2
+  EXPECT_EQ(sets.rc.size(), 2u);  // P3, P4
+  EXPECT_EQ(sets.ic.size(), 1u);  // P6
+  EXPECT_EQ(sets.num_candidates, 6u);
+
+  EXPECT_EQ(sets.StatusOf(demo_.p(5)), Relevance::kRM);
+  EXPECT_EQ(sets.StatusOf(demo_.p(1)), Relevance::kIM);
+  EXPECT_EQ(sets.StatusOf(demo_.p(3)), Relevance::kRC);
+  EXPECT_EQ(sets.StatusOf(demo_.p(6)), Relevance::kIC);
+}
+
+TEST_F(RelevanceFixture, AnswerClosenessFormula) {
+  std::vector<NodeId> matches = {demo_.p(1), demo_.p(2), demo_.p(5)};
+  std::sort(matches.begin(), matches.end());
+  RelevanceSets sets = Classify(universe_, matches, rep_);
+  // (cl(P5) - λ * 2) / 6 = (1 - 2) / 6 with λ = 1.
+  EXPECT_NEAR(sets.AnswerCloseness(1.0), -1.0 / 6.0, 1e-12);
+  // λ = 0 ignores irrelevant matches.
+  EXPECT_NEAR(sets.AnswerCloseness(0.0), 1.0 / 6.0, 1e-12);
+}
+
+TEST_F(RelevanceFixture, PaperExampleRewriteCloseness) {
+  // Q'(G) = {P3, P4, P5}: closeness 3/6 = 1/2 (Example 3.1).
+  std::vector<NodeId> matches = {demo_.p(3), demo_.p(4), demo_.p(5)};
+  std::sort(matches.begin(), matches.end());
+  RelevanceSets sets = Classify(universe_, matches, rep_);
+  EXPECT_NEAR(sets.AnswerCloseness(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(sets.UpperBound(), 0.5, 1e-12);
+}
+
+TEST_F(RelevanceFixture, UpperBoundIgnoresPenalty) {
+  std::vector<NodeId> matches = {demo_.p(1), demo_.p(2), demo_.p(5)};
+  std::sort(matches.begin(), matches.end());
+  RelevanceSets sets = Classify(universe_, matches, rep_);
+  EXPECT_NEAR(sets.UpperBound(), 1.0 / 6.0, 1e-12);
+  EXPECT_GE(sets.UpperBound(), sets.AnswerCloseness(1.0));
+}
+
+TEST_F(RelevanceFixture, TheoreticalOptimal) {
+  // cl* = Σ cl(rep) / |V_uo| = 3/6 (Remarks of §3).
+  EXPECT_NEAR(TheoreticalOptimal(rep_, universe_.size()), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(TheoreticalOptimal(rep_, 0), 0.0);
+}
+
+TEST_F(RelevanceFixture, EmptyMatchesAllCandidatesSplitRcIc) {
+  RelevanceSets sets = Classify(universe_, {}, rep_);
+  EXPECT_TRUE(sets.rm.empty());
+  EXPECT_TRUE(sets.im.empty());
+  EXPECT_EQ(sets.rc.size(), 3u);
+  EXPECT_EQ(sets.ic.size(), 3u);
+  EXPECT_DOUBLE_EQ(sets.AnswerCloseness(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,141 @@
+#include "exemplar/rep.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class RepFixture : public ::testing::Test {
+ protected:
+  RepFixture() : adom_(demo_.graph()), eval_(demo_.graph(), adom_) {
+    const LabelId cell = demo_.graph().schema().LookupLabel("Cellphone");
+    universe_ = demo_.graph().NodesWithLabel(cell);
+  }
+
+  ProductDemo demo_;
+  ActiveDomains adom_;
+  ClosenessEvaluator eval_;
+  std::vector<NodeId> universe_;
+};
+
+// The paper's worked example (Example 2.3 / 3.1): rep(ℰ, V) = {P3, P4, P5}.
+TEST_F(RepFixture, PaperExampleRepresentation) {
+  RepResult rep = ComputeRep(eval_, demo_.MakeExemplar(), universe_);
+  ASSERT_TRUE(rep.nontrivial);
+  EXPECT_EQ(rep.nodes.size(), 3u);
+  EXPECT_TRUE(rep.Contains(demo_.p(3)));
+  EXPECT_TRUE(rep.Contains(demo_.p(4)));
+  EXPECT_TRUE(rep.Contains(demo_.p(5)));
+  EXPECT_FALSE(rep.Contains(demo_.p(1)));  // storage not > P4's
+  EXPECT_FALSE(rep.Contains(demo_.p(2)));  // price >= 800 violates c1
+  EXPECT_FALSE(rep.Contains(demo_.p(6)));
+}
+
+TEST_F(RepFixture, ClosenessOfMembersIsOneAtThetaOne) {
+  RepResult rep = ComputeRep(eval_, demo_.MakeExemplar(), universe_);
+  for (NodeId v : rep.nodes) EXPECT_DOUBLE_EQ(rep.ClosenessOf(v), 1.0);
+  EXPECT_DOUBLE_EQ(rep.ClosenessOf(demo_.p(1)), 0.0);
+}
+
+TEST_F(RepFixture, ConstantConstraintFiltersTupleSide) {
+  // Without constraints, t2 would admit P2 and P4; the c1 price constraint
+  // removes P2.
+  Exemplar no_c;
+  no_c.AddTuple(demo_.MakeExemplar().tuples()[1]);  // t2 only
+  RepResult rep = ComputeRep(eval_, no_c, universe_);
+  EXPECT_TRUE(rep.Contains(demo_.p(2)));
+  EXPECT_TRUE(rep.Contains(demo_.p(4)));
+
+  Exemplar with_c = no_c;
+  const AttrId price = demo_.graph().schema().LookupAttr("price");
+  with_c.AddConstraint(
+      ConstraintLiteral::VarConst({0, price}, CmpOp::kLt, Value::Num(800)));
+  RepResult rep2 = ComputeRep(eval_, with_c, universe_);
+  EXPECT_FALSE(rep2.Contains(demo_.p(2)));
+  EXPECT_TRUE(rep2.Contains(demo_.p(4)));
+}
+
+TEST_F(RepFixture, UnsatisfiableTupleMakesRepEmpty) {
+  Exemplar e;
+  TuplePattern impossible;
+  impossible.SetConstant(demo_.graph().schema().LookupAttr("display"),
+                         Value::Num(99));
+  e.AddTuple(std::move(impossible));
+  RepResult rep = ComputeRep(eval_, e, universe_);
+  EXPECT_FALSE(rep.nontrivial);
+  EXPECT_TRUE(rep.nodes.empty());
+}
+
+TEST_F(RepFixture, AllTuplesMustBeCovered) {
+  // One satisfiable and one unsatisfiable tuple: rep is empty (ℰ trivial).
+  Exemplar e = demo_.MakeExemplar();
+  TuplePattern impossible;
+  impossible.SetConstant(demo_.graph().schema().LookupAttr("display"),
+                         Value::Num(99));
+  e.AddTuple(std::move(impossible));
+  RepResult rep = ComputeRep(eval_, e, universe_);
+  EXPECT_FALSE(rep.nontrivial);
+}
+
+TEST_F(RepFixture, EqualityVarVarKeepsAgreementGroup) {
+  // Constrain t1.display = t2.display: t1 matches 6.2-phones, t2 matches
+  // 6.3-phones — no common value survives on both sides simultaneously;
+  // the majority group keeps one side only, so rep empties (coverage
+  // fails for the other tuple).
+  Exemplar e;
+  const AttrId display = demo_.graph().schema().LookupAttr("display");
+  TuplePattern t1;
+  t1.SetConstant(display, Value::Num(6.2));
+  TuplePattern t2;
+  t2.SetConstant(display, Value::Num(6.3));
+  const uint32_t i1 = e.AddTuple(std::move(t1));
+  const uint32_t i2 = e.AddTuple(std::move(t2));
+  e.AddConstraint(
+      ConstraintLiteral::VarVar({i1, display}, CmpOp::kEq, {i2, display}));
+  RepResult rep = ComputeRep(eval_, e, universe_);
+  EXPECT_FALSE(rep.nontrivial);
+}
+
+TEST_F(RepFixture, EqualityVarVarSurvivesWhenValuesAgree) {
+  // t1 and t2 both wildcard on display but constrained equal via storage:
+  // use storage = storage between two copies of the same tuple shape.
+  Exemplar e;
+  const AttrId storage = demo_.graph().schema().LookupAttr("storage");
+  TuplePattern t1;
+  t1.SetWildcard(storage);
+  TuplePattern t2;
+  t2.SetWildcard(storage);
+  const uint32_t i1 = e.AddTuple(std::move(t1));
+  const uint32_t i2 = e.AddTuple(std::move(t2));
+  e.AddConstraint(
+      ConstraintLiteral::VarVar({i1, storage}, CmpOp::kEq, {i2, storage}));
+  RepResult rep = ComputeRep(eval_, e, universe_);
+  ASSERT_TRUE(rep.nontrivial);
+  // The largest storage-agreement group among cellphones: 64 GB (P1, P2,
+  // P4) vs 128 GB (P3, P5) vs 32 (P6) — 64 wins.
+  EXPECT_TRUE(rep.Contains(demo_.p(1)));
+  EXPECT_TRUE(rep.Contains(demo_.p(2)));
+  EXPECT_TRUE(rep.Contains(demo_.p(4)));
+  EXPECT_FALSE(rep.Contains(demo_.p(3)));
+}
+
+TEST_F(RepFixture, OrderedVarVarRequiresWitnessesBothSides) {
+  RepResult rep = ComputeRep(eval_, demo_.MakeExemplar(), universe_);
+  // P1 (storage 64) fails "t1.storage > t2.storage" against P4 (64).
+  EXPECT_FALSE(rep.Contains(demo_.p(1)));
+  // Per-tuple sets reflect the reduction.
+  ASSERT_EQ(rep.per_tuple.size(), 2u);
+  EXPECT_EQ(rep.per_tuple[0].size(), 2u);  // P3, P5
+  EXPECT_EQ(rep.per_tuple[1].size(), 1u);  // P4
+}
+
+TEST_F(RepFixture, EmptyExemplarIsTrivial) {
+  Exemplar e;
+  RepResult rep = ComputeRep(eval_, e, universe_);
+  EXPECT_FALSE(rep.nontrivial);
+}
+
+}  // namespace
+}  // namespace wqe

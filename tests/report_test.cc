@@ -1,0 +1,80 @@
+#include "chase/report.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+TEST(ReportTest, EscapeHandlesSpecials) {
+  EXPECT_EQ(ChaseReport::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(ChaseReport::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(ChaseReport::Escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(ChaseReport::Escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(ChaseReport::Escape("plain"), "plain");
+}
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  ReportFixture() {
+    opts_.budget = 4;
+    ctx_ = std::make_unique<ChaseContext>(demo_.graph(), demo_.Question(), opts_);
+    result_ = AnsWWithContext(*ctx_);
+  }
+
+  ProductDemo demo_;
+  ChaseOptions opts_;
+  std::unique_ptr<ChaseContext> ctx_;
+  ChaseResult result_;
+};
+
+TEST_F(ReportFixture, ContainsKeyFigures) {
+  const std::string json = ChaseReport::ToJson(*ctx_, result_);
+  EXPECT_NE(json.find("\"cl_star\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"rep_size\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"satisfies_exemplar\": true"), std::string::npos);
+}
+
+TEST_F(ReportFixture, ListsAnswerMatchesByName) {
+  const std::string json = ChaseReport::ToJson(*ctx_, result_);
+  EXPECT_NE(json.find("P3 S9+"), std::string::npos);
+  EXPECT_NE(json.find("P4 Note8"), std::string::npos);
+  EXPECT_NE(json.find("P5 S8+"), std::string::npos);
+}
+
+TEST_F(ReportFixture, LineageOptIn) {
+  const std::string without = ChaseReport::ToJson(*ctx_, result_, false);
+  EXPECT_EQ(without.find("\"lineage\""), std::string::npos);
+  const std::string with = ChaseReport::ToJson(*ctx_, result_, true);
+  EXPECT_NE(with.find("\"lineage\""), std::string::npos);
+  EXPECT_NE(with.find("\"relevance\":\"RM\""), std::string::npos);
+}
+
+TEST_F(ReportFixture, BalancedBracesAndQuotes) {
+  const std::string json = ChaseReport::ToJson(*ctx_, result_, true);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,94 @@
+#include "chase/session.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class SessionFixture : public ::testing::Test {
+ protected:
+  SessionFixture() {
+    ChaseOptions opts;
+    opts.budget = 4;
+    opts.top_k = 2;
+    session_ = std::make_unique<ExploratorySession>(demo_.graph(), opts);
+  }
+
+  ProductDemo demo_;
+  std::unique_ptr<ExploratorySession> session_;
+};
+
+TEST_F(SessionFixture, IssueEvaluatesQuery) {
+  EXPECT_FALSE(session_->has_query());
+  const auto& answer = session_->Issue(demo_.Query());
+  EXPECT_TRUE(session_->has_query());
+  EXPECT_EQ(answer.size(), 3u);  // {P1, P2, P5}
+  EXPECT_EQ(session_->current_answer(), answer);
+}
+
+TEST_F(SessionFixture, AskWithoutQueryReturnsEmpty) {
+  ChaseResult r = session_->Ask(demo_.MakeExemplar());
+  EXPECT_FALSE(r.found());
+}
+
+TEST_F(SessionFixture, FullWorkflowIssueAskAccept) {
+  session_->Issue(demo_.Query());
+  ChaseResult r = session_->Ask(demo_.MakeExemplar());
+  ASSERT_TRUE(r.found());
+  EXPECT_TRUE(r.best().satisfies_exemplar);
+  EXPECT_NEAR(r.best().closeness, 0.5, 1e-9);
+
+  // The explanation names the recovered entities.
+  const std::string why = session_->Explain(r.best());
+  EXPECT_NE(why.find("P3"), std::string::npos);
+
+  session_->Accept(r.best());
+  std::vector<NodeId> expected = {demo_.p(3), demo_.p(4), demo_.p(5)};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(session_->current_answer(), expected);
+  EXPECT_EQ(session_->current_query().Fingerprint(),
+            r.best().rewrite.Fingerprint());
+}
+
+TEST_F(SessionFixture, AskByExamplesDesignatesEntities) {
+  session_->Issue(demo_.Query());
+  std::vector<NodeId> wanted = {demo_.p(3), demo_.p(4)};
+  ChaseResult r = session_->AskByExamples(wanted);
+  ASSERT_TRUE(r.found());
+  EXPECT_TRUE(r.best().satisfies_exemplar);
+  // Both designated phones recovered.
+  for (NodeId v : wanted) {
+    EXPECT_TRUE(std::binary_search(r.best().matches.begin(),
+                                   r.best().matches.end(), v));
+  }
+}
+
+TEST_F(SessionFixture, CachePersistsAcrossQuestions) {
+  session_->Issue(demo_.Query());
+  session_->Ask(demo_.MakeExemplar());
+  const uint64_t hits_after_first = session_->cache().hits();
+  // Asking again re-derives the same rewrites: the star views are served
+  // from the session cache.
+  session_->Ask(demo_.MakeExemplar());
+  EXPECT_GT(session_->cache().hits(), hits_after_first);
+}
+
+TEST_F(SessionFixture, StatsAccumulateAcrossAsks) {
+  session_->Issue(demo_.Query());
+  session_->Ask(demo_.MakeExemplar());
+  const uint64_t steps_first = session_->stats().steps;
+  EXPECT_GT(steps_first, 0u);
+  session_->Ask(demo_.MakeExemplar());
+  EXPECT_GT(session_->stats().steps, steps_first);
+}
+
+TEST_F(SessionFixture, TopKFlowsThroughDefaults) {
+  session_->Issue(demo_.Query());
+  ChaseResult r = session_->Ask(demo_.MakeExemplar());
+  EXPECT_GE(r.answers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wqe

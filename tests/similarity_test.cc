@@ -1,0 +1,62 @@
+#include "exemplar/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+TEST(NumSimilarityTest, ExactMatchIsOne) {
+  EXPECT_DOUBLE_EQ(NumSimilarity(5, 5, 10), 1.0);
+}
+
+TEST(NumSimilarityTest, LinearInDistance) {
+  EXPECT_DOUBLE_EQ(NumSimilarity(5, 10, 10), 0.5);
+  EXPECT_DOUBLE_EQ(NumSimilarity(0, 10, 10), 0.0);
+}
+
+TEST(NumSimilarityTest, ClampedToZero) {
+  EXPECT_DOUBLE_EQ(NumSimilarity(0, 100, 10), 0.0);
+}
+
+TEST(NumSimilarityTest, ZeroRangeFallsBackToEquality) {
+  EXPECT_DOUBLE_EQ(NumSimilarity(5, 5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(NumSimilarity(5, 6, 0), 0.0);
+}
+
+TEST(StrSimilarityTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(StrSimilarity("samsung", "samsung"), 1.0);
+  EXPECT_DOUBLE_EQ(StrSimilarity("", ""), 1.0);
+}
+
+TEST(StrSimilarityTest, CompletelyDifferent) {
+  EXPECT_DOUBLE_EQ(StrSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(StrSimilarityTest, SingleEdit) {
+  // One substitution over length 4.
+  EXPECT_DOUBLE_EQ(StrSimilarity("note", "nose"), 0.75);
+}
+
+TEST(StrSimilarityTest, EmptyVsNonEmpty) {
+  EXPECT_DOUBLE_EQ(StrSimilarity("", "abc"), 0.0);
+}
+
+TEST(StrSimilarityTest, SymmetricInArguments) {
+  EXPECT_DOUBLE_EQ(StrSimilarity("kitten", "sitting"),
+                   StrSimilarity("sitting", "kitten"));
+}
+
+TEST(ValueSimilarityTest, DispatchesOnKind) {
+  Interner strings;
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value::Num(5), Value::Num(5), 10, strings), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value::Num(0), Value::Num(5), 10, strings), 0.5);
+  const SymbolId a = strings.Intern("alpha");
+  const SymbolId b = strings.Intern("alphb");
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value::Str(a), Value::Str(a), 1, strings), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value::Str(a), Value::Str(b), 1, strings), 0.8);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value::Num(5), Value::Str(a), 1, strings), 0.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value::Null(), Value::Num(5), 1, strings), 0.0);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,148 @@
+#include "match/star_table.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class StarTableFixture : public ::testing::Test {
+ protected:
+  StarTableFixture() : materializer_(demo_.graph()) {}
+
+  ProductDemo demo_;
+  StarMaterializer materializer_;
+};
+
+TEST_F(StarTableFixture, FocusStarRowsAreAnswerSuperset) {
+  PatternQuery q = demo_.Query();
+  auto stars = DecomposeStars(q);
+  ASSERT_EQ(stars.size(), 1u);
+  auto table = materializer_.Materialize(q, stars[0]);
+  // Center = focus: rows must cover {P1, P2, P5} and may not include P3/P4
+  // (they fail the price literal so they are not center candidates).
+  EXPECT_NE(table->RowOfCenter(demo_.p(1)), nullptr);
+  EXPECT_NE(table->RowOfCenter(demo_.p(2)), nullptr);
+  EXPECT_NE(table->RowOfCenter(demo_.p(5)), nullptr);
+  EXPECT_EQ(table->RowOfCenter(demo_.p(3)), nullptr);
+}
+
+TEST_F(StarTableFixture, SpokeMatchesCarryDistances) {
+  PatternQuery q = demo_.Query();
+  auto stars = DecomposeStars(q);
+  auto table = materializer_.Materialize(q, stars[0]);
+  const StarRow* row = table->RowOfCenter(demo_.p(1));
+  ASSERT_NE(row, nullptr);
+  // Find the sensor spoke (bound 2): P1's sensor is at distance 2.
+  for (size_t s = 0; s < stars[0].spokes.size(); ++s) {
+    if (stars[0].spokes[s].other == 3) {
+      ASSERT_EQ(row->spoke_matches[s].size(), 1u);
+      EXPECT_EQ(row->spoke_matches[s][0].node, demo_.sensor());
+      EXPECT_EQ(row->spoke_matches[s][0].dist, 2u);
+    }
+  }
+}
+
+TEST_F(StarTableFixture, FocusOccurrencesForFocusCenteredStar) {
+  PatternQuery q = demo_.Query();
+  auto stars = DecomposeStars(q);
+  auto table = materializer_.Materialize(q, stars[0]);
+  const auto& occ = table->focus_occurrences();
+  EXPECT_EQ(occ.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(occ.begin(), occ.end()));
+}
+
+TEST_F(StarTableFixture, NonViableCentersGetNoRow) {
+  // A star requiring a spoke no center can satisfy: Cellphone -> Retailer
+  // (label absent from the demo graph).
+  const Graph& g = demo_.graph();
+  PatternQuery q;
+  QNodeId cell = q.AddNode(g.schema().LookupLabel("Cellphone"));
+  QNodeId missing = q.AddNode(/*label=*/9999);  // label absent from G
+  q.SetFocus(cell);
+  q.AddEdge(cell, missing, 1);
+  auto stars = DecomposeStars(q);
+  auto table = materializer_.Materialize(q, stars[0]);
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_TRUE(table->focus_occurrences().empty());
+}
+
+TEST_F(StarTableFixture, AugmentedStarTracksFocusInRange) {
+  // Chain: Cellphone (focus) -> Carrier, Carrier-centered star is augmented.
+  const Graph& g = demo_.graph();
+  PatternQuery q;
+  QNodeId cell = q.AddNode(g.schema().LookupLabel("Cellphone"));
+  QNodeId carrier = q.AddNode(g.schema().LookupLabel("Carrier"));
+  QNodeId brand = q.AddNode(g.schema().LookupLabel("Brand"));
+  q.SetFocus(cell);
+  q.AddEdge(cell, carrier, 1);
+  q.AddEdge(cell, brand, 1);
+
+  StarQuery star;
+  star.center = carrier;
+  star.contains_focus = false;
+  star.aug_bound = 1;
+  auto table = materializer_.Materialize(q, star);
+  EXPECT_GT(table->num_rows(), 0u);
+  const StarRow* row = table->RowOfCenter(demo_.sprint());
+  ASSERT_NE(row, nullptr);
+  EXPECT_FALSE(row->focus_matches.empty());
+}
+
+TEST_F(StarTableFixture, OccurrencesPerRole) {
+  PatternQuery q = demo_.Query();
+  auto stars = DecomposeStars(q);
+  auto table = materializer_.Materialize(q, stars[0]);
+  EXPECT_EQ(table->center_occurrences().size(), 3u);  // P1, P2, P5
+  // Find the carrier spoke of the canonical order.
+  for (size_t s = 0; s < stars[0].spokes.size(); ++s) {
+    if (stars[0].spokes[s].other == 2) {
+      EXPECT_EQ(table->spoke_occurrences(s).size(), 2u);  // both carriers
+    }
+  }
+}
+
+TEST_F(StarTableFixture, SpokeOrderIsCanonicalAcrossEquivalentQueries) {
+  // Two structurally identical queries whose node ids differ must decompose
+  // to stars with identical signatures and identical spoke order — the view
+  // cache shares tables between them by index.
+  const Graph& g = demo_.graph();
+  PatternQuery a = demo_.Query();
+
+  PatternQuery b;  // same pattern, nodes inserted in a different order
+  const QNodeId sensor = b.AddNode(g.schema().LookupLabel("Sensor"));
+  const QNodeId carrier = b.AddNode(g.schema().LookupLabel("Carrier"));
+  const QNodeId cell = b.AddNode(g.schema().LookupLabel("Cellphone"));
+  const QNodeId brand = b.AddNode(g.schema().LookupLabel("Brand"));
+  b.SetFocus(cell);
+  b.AddLiteral(cell, {g.schema().LookupAttr("price"), CmpOp::kGe, Value::Num(840)});
+  b.AddLiteral(brand, {g.schema().LookupAttr("name"), CmpOp::kEq,
+                       Value::Str(g.schema().strings().Lookup("Samsung"))});
+  b.AddEdge(cell, sensor, 2);
+  b.AddEdge(cell, carrier, 1);
+  b.AddEdge(cell, brand, 1);
+
+  auto sa = DecomposeStars(a);
+  auto sb = DecomposeStars(b);
+  ASSERT_EQ(sa.size(), 1u);
+  ASSERT_EQ(sb.size(), 1u);
+  EXPECT_EQ(sa[0].Signature(a), sb[0].Signature(b));
+  // Spoke k of a and spoke k of b map to the same role.
+  ASSERT_EQ(sa[0].spokes.size(), sb[0].spokes.size());
+  for (size_t s = 0; s < sa[0].spokes.size(); ++s) {
+    EXPECT_EQ(a.node(sa[0].spokes[s].other).label,
+              b.node(sb[0].spokes[s].other).label);
+    EXPECT_EQ(sa[0].spokes[s].bound, sb[0].spokes[s].bound);
+  }
+}
+
+TEST_F(StarTableFixture, EntryCountReflectsContent) {
+  PatternQuery q = demo_.Query();
+  auto stars = DecomposeStars(q);
+  auto table = materializer_.Materialize(q, stars[0]);
+  EXPECT_GT(table->EntryCount(), table->num_rows());
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,162 @@
+#include "match/star.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+TEST(StarTest, ProductQueryDecomposesToOneFocusStar) {
+  ProductDemo demo;
+  PatternQuery q = demo.Query();
+  auto stars = DecomposeStars(q);
+  ASSERT_EQ(stars.size(), 1u);  // the focus is adjacent to every other node
+  EXPECT_EQ(stars[0].center, q.focus());
+  EXPECT_EQ(stars[0].spokes.size(), 3u);
+  EXPECT_TRUE(stars[0].contains_focus);
+}
+
+TEST(StarTest, ChainNeedsMultipleStars) {
+  PatternQuery q;
+  for (int i = 0; i < 4; ++i) q.AddNode(static_cast<LabelId>(i + 1));
+  q.SetFocus(0);
+  q.AddEdge(0, 1, 1);
+  q.AddEdge(1, 2, 1);
+  q.AddEdge(2, 3, 2);
+  auto stars = DecomposeStars(q);
+  EXPECT_GE(stars.size(), 2u);
+}
+
+TEST(StarTest, AugmentedEdgeLabelIsQueryDistance) {
+  PatternQuery q;
+  for (int i = 0; i < 4; ++i) q.AddNode(static_cast<LabelId>(i + 1));
+  q.SetFocus(0);
+  q.AddEdge(0, 1, 1);
+  q.AddEdge(1, 2, 2);
+  q.AddEdge(2, 3, 1);
+  auto stars = DecomposeStars(q);
+  bool found_augmented = false;
+  for (const StarQuery& s : stars) {
+    if (!s.contains_focus) {
+      found_augmented = true;
+      EXPECT_EQ(s.aug_bound, q.QueryDistance(s.center, q.focus()));
+    }
+  }
+  EXPECT_TRUE(found_augmented);
+}
+
+TEST(StarTest, FocusSpokeFlagged) {
+  PatternQuery q;
+  q.AddNode(1);
+  q.AddNode(2);
+  q.AddNode(3);
+  q.SetFocus(2);
+  // Center 1 will have spokes to 0 and 2 (the focus).
+  q.AddEdge(1, 0, 1);
+  q.AddEdge(1, 2, 1);
+  auto stars = DecomposeStars(q);
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_TRUE(stars[0].contains_focus);
+  ASSERT_GE(stars[0].focus_spoke, 0);
+  EXPECT_EQ(stars[0].spokes[static_cast<size_t>(stars[0].focus_spoke)].other, 2u);
+}
+
+TEST(StarTest, EdgeFreePatternYieldsSpokelessFocusStar) {
+  PatternQuery q;
+  q.AddNode(1);
+  q.SetFocus(0);
+  auto stars = DecomposeStars(q);
+  ASSERT_EQ(stars.size(), 1u);
+  EXPECT_EQ(stars[0].center, q.focus());
+  EXPECT_TRUE(stars[0].spokes.empty());
+}
+
+TEST(StarTest, SignatureDistinguishesBoundsAndLiterals) {
+  ProductDemo demo;
+  PatternQuery a = demo.Query();
+  PatternQuery b = demo.Query();
+  const int e = b.FindEdge(b.focus(), 3);
+  b.edge(static_cast<size_t>(e)).bound = 1;
+  auto sa = DecomposeStars(a), sb = DecomposeStars(b);
+  EXPECT_NE(sa[0].Signature(a), sb[0].Signature(b));
+
+  PatternQuery c = demo.Query();
+  c.node(c.focus()).literals[0].constant = Value::Num(790);
+  auto sc = DecomposeStars(c);
+  EXPECT_NE(sa[0].Signature(a), sc[0].Signature(c));
+}
+
+TEST(StarTest, SignatureStableUnderLiteralReorder) {
+  ProductDemo demo;
+  const Graph& g = demo.graph();
+  PatternQuery a = demo.Query();
+  a.AddLiteral(a.focus(), {g.schema().LookupAttr("ram"), CmpOp::kGe, Value::Num(4)});
+  PatternQuery b = demo.Query();
+  // Same literals, different insertion order.
+  Literal price = b.node(b.focus()).literals[0];
+  b.node(b.focus()).literals.clear();
+  b.AddLiteral(b.focus(), {g.schema().LookupAttr("ram"), CmpOp::kGe, Value::Num(4)});
+  b.AddLiteral(b.focus(), price);
+  EXPECT_EQ(DecomposeStars(a)[0].Signature(a), DecomposeStars(b)[0].Signature(b));
+}
+
+// Property: every active node and edge is covered by at least one star
+// (§2.3), on random tree/cyclic queries.
+class StarCoverageTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarCoverageTest, CoversAllActiveNodesAndEdges) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    PatternQuery q;
+    const size_t n = 2 + rng.Index(5);
+    for (size_t i = 0; i < n; ++i) q.AddNode(static_cast<LabelId>(i + 1));
+    // Random spanning tree + a few extra edges.
+    for (size_t i = 1; i < n; ++i) {
+      const QNodeId parent = static_cast<QNodeId>(rng.Index(i));
+      if (rng.Chance(0.5)) {
+        q.AddEdge(parent, static_cast<QNodeId>(i),
+                  static_cast<uint32_t>(rng.Int(1, 2)));
+      } else {
+        q.AddEdge(static_cast<QNodeId>(i), parent,
+                  static_cast<uint32_t>(rng.Int(1, 2)));
+      }
+    }
+    for (int extra = 0; extra < 2; ++extra) {
+      QNodeId a = static_cast<QNodeId>(rng.Index(n));
+      QNodeId b = static_cast<QNodeId>(rng.Index(n));
+      if (a != b && !q.HasEdgeEitherDirection(a, b)) q.AddEdge(a, b, 1);
+    }
+    q.SetFocus(static_cast<QNodeId>(rng.Index(n)));
+
+    auto stars = DecomposeStars(q);
+    std::vector<bool> node_covered(q.num_nodes(), false);
+    std::vector<bool> edge_covered(q.num_edges(), false);
+    for (const StarQuery& s : stars) {
+      node_covered[s.center] = true;
+      for (const StarSpoke& spoke : s.spokes) {
+        node_covered[spoke.other] = true;
+        for (size_t ei = 0; ei < q.num_edges(); ++ei) {
+          const QueryEdge& e = q.edge(ei);
+          const bool matches_out =
+              spoke.outgoing && e.from == s.center && e.to == spoke.other;
+          const bool matches_in =
+              !spoke.outgoing && e.to == s.center && e.from == spoke.other;
+          if (matches_out || matches_in) edge_covered[ei] = true;
+        }
+      }
+    }
+    for (QNodeId u : q.ActiveNodes()) {
+      EXPECT_TRUE(node_covered[u]) << "node " << u << " uncovered";
+    }
+    for (size_t ei : q.ActiveEdges()) {
+      EXPECT_TRUE(edge_covered[ei]) << "edge " << ei << " uncovered";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StarCoverageTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace wqe

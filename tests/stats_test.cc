@@ -1,0 +1,67 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gen/product_demo.h"
+#include "gen/synthetic.h"
+
+namespace wqe {
+namespace {
+
+TEST(StatsTest, ProductDemoCounts) {
+  ProductDemo demo;
+  GraphStats s = ComputeStats(demo.graph());
+  EXPECT_EQ(s.num_nodes, demo.graph().num_nodes());
+  EXPECT_EQ(s.num_edges, demo.graph().num_edges());
+  EXPECT_EQ(s.num_labels, 5u);  // Cellphone, Brand, Carrier, Accessory, Sensor
+  EXPECT_GT(s.avg_attrs_per_node, 0);
+  EXPECT_EQ(s.isolated_nodes, 0u);
+}
+
+TEST(StatsTest, LabelHistogramSortedDescending) {
+  ProductDemo demo;
+  GraphStats s = ComputeStats(demo.graph());
+  ASSERT_FALSE(s.label_histogram.empty());
+  EXPECT_EQ(s.label_histogram[0].first, "Cellphone");
+  EXPECT_EQ(s.label_histogram[0].second, 6u);
+  for (size_t i = 1; i < s.label_histogram.size(); ++i) {
+    EXPECT_GE(s.label_histogram[i - 1].second, s.label_histogram[i].second);
+  }
+}
+
+TEST(StatsTest, DegreeDecilesMonotone) {
+  Graph g = GenerateGraph(ImdbLike(0.05));
+  GraphStats s = ComputeStats(g);
+  ASSERT_EQ(s.out_degree_deciles.size(), 11u);
+  for (size_t i = 1; i < s.out_degree_deciles.size(); ++i) {
+    EXPECT_GE(s.out_degree_deciles[i], s.out_degree_deciles[i - 1]);
+  }
+  EXPECT_EQ(s.out_degree_deciles.back(), s.max_out_degree);
+}
+
+TEST(StatsTest, EmptyGraph) {
+  Graph g;
+  g.Finalize();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.num_labels, 0u);
+  EXPECT_TRUE(s.out_degree_deciles.empty());
+}
+
+TEST(StatsTest, ToStringMentionsKeyNumbers) {
+  ProductDemo demo;
+  const std::string text = ComputeStats(demo.graph()).ToString();
+  EXPECT_NE(text.find("nodes=11"), std::string::npos);
+  EXPECT_NE(text.find("Cellphone=6"), std::string::npos);
+}
+
+TEST(StatsTest, HeavyTailVisibleInPresets) {
+  Graph g = GenerateGraph(WatDivLike(0.1));
+  GraphStats s = ComputeStats(g);
+  // Preferential attachment: the max in-degree dwarfs the average.
+  EXPECT_GT(static_cast<double>(s.max_in_degree), 5 * s.avg_out_degree);
+}
+
+}  // namespace
+}  // namespace wqe

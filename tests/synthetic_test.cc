@@ -1,0 +1,97 @@
+#include "gen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "gen/datasets.h"
+#include "graph/graph_io.h"
+
+namespace wqe {
+namespace {
+
+TEST(SyntheticTest, GeneratesRequestedSizes) {
+  GraphSpec spec = ImdbLike(0.05);
+  Graph g = GenerateGraph(spec);
+  EXPECT_EQ(g.num_nodes(), spec.num_nodes);
+  // Edge placement can fall slightly short of the target (rejected
+  // self-loops), but should land close.
+  EXPECT_GE(g.num_edges(), spec.num_edges * 9 / 10);
+  EXPECT_LE(g.num_edges(), spec.num_edges);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  Graph a = GenerateGraph(ImdbLike(0.02, 5));
+  Graph b = GenerateGraph(ImdbLike(0.02, 5));
+  EXPECT_EQ(GraphIo::ToString(a), GraphIo::ToString(b));
+  Graph c = GenerateGraph(ImdbLike(0.02, 6));
+  EXPECT_NE(GraphIo::ToString(a), GraphIo::ToString(c));
+}
+
+TEST(SyntheticTest, LabelWeightsRoughlyRespected) {
+  Graph g = GenerateGraph(ImdbLike(0.1));
+  const LabelId movie = g.schema().LookupLabel("Movie");
+  const LabelId genre = g.schema().LookupLabel("Genre");
+  // Movie weight 4 vs Genre weight 0.1: movies must dominate.
+  EXPECT_GT(g.NodesWithLabel(movie).size(), 10 * g.NodesWithLabel(genre).size());
+}
+
+TEST(SyntheticTest, EdgesFollowRules) {
+  Graph g = GenerateGraph(ImdbLike(0.05));
+  const LabelId genre = g.schema().LookupLabel("Genre");
+  // Genre nodes never have out-edges in the IMDB rules.
+  for (NodeId v : g.NodesWithLabel(genre)) {
+    EXPECT_EQ(g.out_degree(v), 0u);
+  }
+}
+
+TEST(SyntheticTest, AttributesSampledWithinRanges) {
+  Graph g = GenerateGraph(ImdbLike(0.05));
+  const LabelId movie = g.schema().LookupLabel("Movie");
+  const AttrId year = g.schema().LookupAttr("year");
+  for (NodeId v : g.NodesWithLabel(movie)) {
+    const Value* y = g.attr(v, year);
+    ASSERT_NE(y, nullptr);
+    EXPECT_GE(y->num(), 1930);
+    EXPECT_LE(y->num(), 2018);
+    EXPECT_DOUBLE_EQ(y->num(), std::floor(y->num()));  // integral
+  }
+}
+
+TEST(SyntheticTest, PreferentialAttachmentSkewsDegrees) {
+  GraphSpec spec = ImdbLike(0.2);
+  spec.preferential = 0.9;
+  Graph g = GenerateGraph(spec);
+  size_t max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.in_degree(v));
+  }
+  const double avg_in =
+      static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes());
+  EXPECT_GT(static_cast<double>(max_in), 10 * avg_in);  // heavy tail
+}
+
+TEST(SyntheticTest, ScaledAdjustsSizes) {
+  GraphSpec base = DbpediaLike();
+  GraphSpec half = base.Scaled(0.5);
+  EXPECT_EQ(half.num_nodes, base.num_nodes / 2);
+  EXPECT_EQ(half.num_edges, base.num_edges / 2);
+}
+
+TEST(SyntheticTest, AllDatasetsGenerate) {
+  for (const GraphSpec& spec : AllDatasets(0.01)) {
+    Graph g = GenerateGraph(spec);
+    EXPECT_GT(g.num_nodes(), 0u) << spec.name;
+    EXPECT_GT(g.num_edges(), 0u) << spec.name;
+    EXPECT_GT(g.schema().num_labels(), 1u) << spec.name;
+  }
+}
+
+TEST(SyntheticTest, DbpediaLikeHasManyLabels) {
+  Graph g = GenerateGraph(DbpediaLike(0.05));
+  EXPECT_GE(g.schema().num_labels(), 20u);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,60 @@
+#include "workload/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+#include "match/matcher.h"
+
+namespace wqe {
+namespace {
+
+TEST(TemplatesTest, DbpsbMixHasFortyTemplates) {
+  auto templates = DbpsbTemplates();
+  EXPECT_EQ(templates.size(), 40u);
+  // Star-dominance mirrors the cited query-log statistics.
+  size_t stars = 0;
+  for (const QueryTemplate& t : templates) {
+    if (t.shape == QueryShape::kStar) ++stars;
+  }
+  EXPECT_GE(stars * 100, templates.size() * 80);  // >= 80% stars
+}
+
+TEST(TemplatesTest, WatDivMixHasTwentyTemplates) {
+  EXPECT_EQ(WatDivTemplates().size(), 20u);
+}
+
+TEST(TemplatesTest, InstantiationHasNonEmptyAnswer) {
+  Graph g = GenerateGraph(ImdbLike(0.05));
+  DistanceIndex dist(g);
+  Matcher matcher(g, &dist);
+  size_t done = 0;
+  for (uint64_t seed = 1; seed <= 10 && done < 3; ++seed) {
+    QueryTemplate tpl{QueryShape::kStar, 2, 2, 2};
+    auto q = InstantiateTemplate(g, matcher, tpl, seed);
+    if (!q.has_value()) continue;
+    ++done;
+    EXPECT_FALSE(matcher.Answer(*q).empty());
+    EXPECT_EQ(q->Shape(), QueryShape::kStar);
+    EXPECT_EQ(q->num_edges(), 2u);
+  }
+  EXPECT_GT(done, 0u);
+}
+
+TEST(TemplatesTest, WorkloadRoundRobinsTemplates) {
+  Graph g = GenerateGraph(ImdbLike(0.05));
+  auto queries = InstantiateWorkload(g, DbpsbTemplates(), 12, 9);
+  ASSERT_GE(queries.size(), 8u);
+  // Sizes should vary across the mix.
+  std::set<size_t> sizes;
+  for (const PatternQuery& q : queries) sizes.insert(q.num_edges());
+  EXPECT_GE(sizes.size(), 2u);
+}
+
+TEST(TemplatesTest, EmptyTemplateListYieldsNothing) {
+  Graph g = GenerateGraph(ImdbLike(0.02));
+  EXPECT_TRUE(InstantiateWorkload(g, {}, 5, 1).empty());
+}
+
+}  // namespace
+}  // namespace wqe

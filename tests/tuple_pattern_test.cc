@@ -1,0 +1,64 @@
+#include "exemplar/tuple_pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace wqe {
+namespace {
+
+TEST(TuplePatternTest, SetAndFindCells) {
+  TuplePattern t;
+  t.SetConstant(3, Value::Num(6.2));
+  t.SetWildcard(1);
+  ASSERT_NE(t.Find(3), nullptr);
+  EXPECT_TRUE(t.Find(3)->is_constant());
+  ASSERT_NE(t.Find(1), nullptr);
+  EXPECT_FALSE(t.Find(1)->is_constant());
+  EXPECT_EQ(t.Find(2), nullptr);
+}
+
+TEST(TuplePatternTest, CellsStaySortedByAttr) {
+  TuplePattern t;
+  t.SetConstant(9, Value::Num(1));
+  t.SetConstant(2, Value::Num(2));
+  t.SetConstant(5, Value::Num(3));
+  ASSERT_EQ(t.num_cells(), 3u);
+  EXPECT_EQ(t.cells()[0].attr, 2u);
+  EXPECT_EQ(t.cells()[1].attr, 5u);
+  EXPECT_EQ(t.cells()[2].attr, 9u);
+}
+
+TEST(TuplePatternTest, SetOverwrites) {
+  TuplePattern t;
+  t.SetConstant(1, Value::Num(5));
+  t.SetConstant(1, Value::Num(9));
+  EXPECT_EQ(t.num_cells(), 1u);
+  EXPECT_DOUBLE_EQ(t.Find(1)->constant.num(), 9);
+  t.SetWildcard(1);
+  EXPECT_FALSE(t.Find(1)->is_constant());
+}
+
+TEST(TuplePatternTest, FromNodeCapturesAllAttributes) {
+  Graph g;
+  NodeId v = g.AddNode("Phone");
+  g.SetNum(v, "price", 840);
+  g.SetStr(v, "brand", "Samsung");
+  g.Finalize();
+  TuplePattern t = TuplePattern::FromNode(g, v);
+  EXPECT_EQ(t.num_cells(), 2u);
+  const AttrId price = g.schema().LookupAttr("price");
+  ASSERT_NE(t.Find(price), nullptr);
+  EXPECT_DOUBLE_EQ(t.Find(price)->constant.num(), 840);
+}
+
+TEST(TuplePatternTest, ToStringShowsWildcards) {
+  Schema schema;
+  TuplePattern t;
+  t.SetConstant(schema.InternAttr("display"), Value::Num(6.2));
+  t.SetWildcard(schema.InternAttr("storage"));
+  const std::string s = t.ToString(schema);
+  EXPECT_NE(s.find("display=6.2"), std::string::npos);
+  EXPECT_NE(s.find("storage=_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,63 @@
+#include "graph/value.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace wqe {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_num());
+  EXPECT_FALSE(v.is_str());
+}
+
+TEST(ValueTest, NumHoldsPayload) {
+  Value v = Value::Num(6.2);
+  EXPECT_TRUE(v.is_num());
+  EXPECT_DOUBLE_EQ(v.num(), 6.2);
+}
+
+TEST(ValueTest, StrHoldsSymbol) {
+  Value v = Value::Str(42);
+  EXPECT_TRUE(v.is_str());
+  EXPECT_EQ(v.str(), 42u);
+}
+
+TEST(ValueTest, EqualityIsKindAndPayload) {
+  EXPECT_EQ(Value::Num(5), Value::Num(5));
+  EXPECT_NE(Value::Num(5), Value::Num(6));
+  EXPECT_NE(Value::Num(5), Value::Str(5));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null(), Value::Num(0));
+}
+
+TEST(ValueTest, OrderingNullsNumsStrings) {
+  std::vector<Value> vals = {Value::Str(1), Value::Num(3), Value::Null(),
+                             Value::Num(1)};
+  std::sort(vals.begin(), vals.end());
+  EXPECT_TRUE(vals[0].is_null());
+  EXPECT_TRUE(vals[1].is_num());
+  EXPECT_DOUBLE_EQ(vals[1].num(), 1);
+  EXPECT_DOUBLE_EQ(vals[2].num(), 3);
+  EXPECT_TRUE(vals[3].is_str());
+}
+
+TEST(ValueTest, ToStringIntegralNumbersHaveNoDecimalPoint) {
+  Interner strings;
+  EXPECT_EQ(Value::Num(840).ToString(strings), "840");
+  EXPECT_EQ(Value::Num(6.2).ToString(strings), "6.2");
+  EXPECT_EQ(Value::Null().ToString(strings), "null");
+}
+
+TEST(ValueTest, ToStringCategoricalUsesInterner) {
+  Interner strings;
+  const SymbolId id = strings.Intern("Samsung");
+  EXPECT_EQ(Value::Str(id).ToString(strings), "Samsung");
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,101 @@
+#include "match/view_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class ViewCacheFixture : public ::testing::Test {
+ protected:
+  ViewCacheFixture() : materializer_(demo_.graph()) {}
+
+  // A real (non-empty) star table for the product query's focus star.
+  std::shared_ptr<const StarTable> MakeTable() {
+    PatternQuery q = demo_.Query();
+    auto stars = DecomposeStars(q);
+    return materializer_.Materialize(q, stars[0]);
+  }
+
+  ProductDemo demo_;
+  StarMaterializer materializer_;
+};
+
+TEST_F(ViewCacheFixture, MissThenHit) {
+  ViewCache cache;
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Put("a", MakeTable());
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(ViewCacheFixture, PutOverwrites) {
+  ViewCache cache;
+  auto t1 = MakeTable();
+  auto t2 = MakeTable();
+  cache.Put("a", t1);
+  cache.Put("a", t2);
+  EXPECT_EQ(cache.Get("a"), t2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(ViewCacheFixture, EntryCountTracksContents) {
+  ViewCache cache;
+  auto t = MakeTable();
+  ASSERT_GT(t->EntryCount(), 0u);
+  cache.Put("a", t);
+  EXPECT_EQ(cache.entry_count(), t->EntryCount());
+  cache.Put("b", MakeTable());
+  EXPECT_EQ(cache.entry_count(), 2 * t->EntryCount());
+}
+
+TEST_F(ViewCacheFixture, ClearEmpties) {
+  ViewCache cache;
+  cache.Put("a", MakeTable());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+}
+
+TEST_F(ViewCacheFixture, LeastHitEvictionUnderPressure) {
+  ViewCache::Options opts;
+  opts.max_entries = 0;  // every insertion overflows: keep at most one entry
+  ViewCache cache(opts);
+  cache.Put("hot", MakeTable());
+  for (int i = 0; i < 5; ++i) cache.Get("hot");
+  cache.Put("cold", MakeTable());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Get("hot"), nullptr);
+  EXPECT_EQ(cache.Get("cold"), nullptr);
+}
+
+TEST_F(ViewCacheFixture, DecayDemotesStaleEntries) {
+  ViewCache::Options opts;
+  opts.max_entries = 0;
+  opts.decay = 0.5;
+  ViewCache cache(opts);
+  cache.Put("old", MakeTable());
+  for (int i = 0; i < 3; ++i) cache.Get("old");
+  // Many unrelated accesses age "old"; a fresh entry then outranks it.
+  for (int i = 0; i < 40; ++i) cache.Get("noise" + std::to_string(i));
+  cache.Put("fresh", MakeTable());
+  cache.Get("fresh");
+  cache.Put("fresh2", MakeTable());
+  EXPECT_EQ(cache.Get("old"), nullptr);
+}
+
+TEST_F(ViewCacheFixture, HitMissCountersIndependent) {
+  ViewCache cache;
+  cache.Get("x");
+  cache.Get("y");
+  cache.Put("x", MakeTable());
+  cache.Get("x");
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace wqe

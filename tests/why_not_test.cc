@@ -1,0 +1,80 @@
+#include "chase/why_not.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+class WhyNotFixture : public ::testing::Test {
+ protected:
+  WhyNotFixture() {
+    opts_.budget = 4;
+    ctx_ = std::make_unique<ChaseContext>(demo_.graph(), demo_.Question(), opts_);
+  }
+
+  ProductDemo demo_;
+  ChaseOptions opts_;
+  std::unique_ptr<ChaseContext> ctx_;
+};
+
+TEST_F(WhyNotFixture, MatchNeedsNoExplanation) {
+  WhyNotReport r = ExplainWhyNot(*ctx_, demo_.p(1));
+  EXPECT_TRUE(r.is_match);
+  EXPECT_TRUE(r.failures.empty());
+  EXPECT_NE(r.ToString(demo_.graph()).find("already matches"),
+            std::string::npos);
+}
+
+TEST_F(WhyNotFixture, DiagnosesP3PriceAndSensor) {
+  // The paper's Example 1.2: P3 was not in Q(G) since it has no wearable
+  // sensor; the price constraint also blocks it.
+  WhyNotReport r = ExplainWhyNot(*ctx_, demo_.p(3));
+  EXPECT_FALSE(r.is_match);
+  ASSERT_EQ(r.failures.size(), 2u);
+
+  bool price_failure = false, sensor_failure = false;
+  for (const auto& f : r.failures) {
+    if (f.condition.find("price") != std::string::npos) {
+      price_failure = true;
+      EXPECT_EQ(f.repair.kind, OpKind::kRmL);
+    }
+    if (f.condition.find("Sensor") != std::string::npos) {
+      sensor_failure = true;
+      EXPECT_EQ(f.repair.kind, OpKind::kRmE);
+    }
+  }
+  EXPECT_TRUE(price_failure);
+  EXPECT_TRUE(sensor_failure);
+  EXPECT_TRUE(r.repair_verified);
+  EXPECT_LE(r.repair_cost, 4.0);
+}
+
+TEST_F(WhyNotFixture, DiagnosesP4PriceOnly) {
+  // P4 has a sensor through the watch; only the price blocks it.
+  WhyNotReport r = ExplainWhyNot(*ctx_, demo_.p(4));
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].condition.find("price"), std::string::npos);
+  EXPECT_TRUE(r.repair_verified);
+}
+
+TEST_F(WhyNotFixture, LabelMismatchIsTerminal) {
+  WhyNotReport r = ExplainWhyNot(*ctx_, demo_.sprint());
+  EXPECT_FALSE(r.is_match);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures[0].condition.find("not repairable"), std::string::npos);
+  EXPECT_TRUE(r.repair.empty());
+}
+
+TEST_F(WhyNotFixture, RenderedReportNamesRepairs) {
+  WhyNotReport r = ExplainWhyNot(*ctx_, demo_.p(3));
+  const std::string text = r.ToString(demo_.graph());
+  EXPECT_NE(text.find("P3"), std::string::npos);
+  EXPECT_NE(text.find("RmL"), std::string::npos);
+  EXPECT_NE(text.find("RmE"), std::string::npos);
+  EXPECT_NE(text.find("verified"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,168 @@
+#include "workload/why_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+#include "workload/metrics.h"
+#include "workload/suite.h"
+
+namespace wqe {
+namespace {
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  WorkloadFixture() : g_(GenerateGraph(ImdbLike(0.05))) {}
+
+  Graph g_;
+};
+
+TEST_F(WorkloadFixture, GroundTruthQueriesHaveAnswersInWindow) {
+  DistanceIndex dist(g_);
+  Matcher matcher(g_, &dist);
+  size_t generated = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    QueryGenOptions opts;
+    opts.seed = seed;
+    opts.num_edges = 2;
+    auto q = GenerateGroundTruthQuery(g_, matcher, opts);
+    if (!q.has_value()) continue;
+    ++generated;
+    const auto answer = matcher.Answer(*q);
+    EXPECT_GE(answer.size(), opts.min_answers);
+    EXPECT_LE(answer.size(), opts.max_answers);
+  }
+  EXPECT_GT(generated, 0u);
+}
+
+TEST_F(WorkloadFixture, ForcedShapesAreRespected) {
+  DistanceIndex dist(g_);
+  Matcher matcher(g_, &dist);
+  for (QueryShape shape :
+       {QueryShape::kStar, QueryShape::kChain, QueryShape::kTree}) {
+    size_t ok = 0;
+    for (uint64_t seed = 1; seed <= 12 && ok == 0; ++seed) {
+      QueryGenOptions opts;
+      opts.seed = seed * 31;
+      opts.shape = shape;
+      opts.num_edges = 3;
+      opts.min_answers = 1;
+      auto q = GenerateGroundTruthQuery(g_, matcher, opts);
+      if (!q.has_value()) continue;
+      ++ok;
+      if (shape == QueryShape::kStar) {
+        EXPECT_EQ(q->Shape(), QueryShape::kStar);
+      } else if (shape == QueryShape::kChain) {
+        // 3-edge chains classify as chain.
+        EXPECT_EQ(q->Shape(), QueryShape::kChain);
+      }
+    }
+    EXPECT_GT(ok, 0u) << "no query generated for shape "
+                      << QueryShapeName(shape);
+  }
+}
+
+TEST_F(WorkloadFixture, DisturbInjectsApplicableOps) {
+  DistanceIndex dist(g_);
+  Matcher matcher(g_, &dist);
+  ActiveDomains adom(g_);
+  QueryGenOptions qopts;
+  qopts.seed = 5;
+  auto gt = GenerateGroundTruthQuery(g_, matcher, qopts);
+  ASSERT_TRUE(gt.has_value());
+
+  DisturbOptions dopts;
+  dopts.num_ops = 4;
+  Disturbed d = DisturbQuery(g_, adom, *gt, dopts);
+  EXPECT_GT(d.injected.size(), 0u);
+  EXPECT_LE(d.injected.size(), 4u);
+  // Replaying the injected sequence on the ground truth reproduces Q.
+  PatternQuery replay = *gt;
+  ASSERT_TRUE(d.injected.ApplyAll(&replay, dopts.max_bound));
+  EXPECT_EQ(replay.Fingerprint(), d.query.Fingerprint());
+}
+
+TEST_F(WorkloadFixture, BenchCasesFollowProtocol) {
+  WhyFactoryOptions opts;
+  opts.query.num_edges = 2;
+  auto cases = MakeBenchCases(g_, 5, opts);
+  ASSERT_GE(cases.size(), 3u);
+  for (const BenchCase& c : cases) {
+    EXPECT_FALSE(c.gt_answer.empty());
+    EXPECT_FALSE(c.question.exemplar.tuples().empty());
+    EXPECT_LE(c.question.exemplar.tuples().size(), opts.max_tuples);
+    EXPECT_TRUE(c.question.exemplar.constraints().empty());  // C = ∅ (§7)
+  }
+}
+
+TEST_F(WorkloadFixture, WhyEmptyCasesHaveEmptyAnswers) {
+  WhyFactoryOptions opts;
+  opts.query.num_edges = 2;
+  auto cases = MakeWhyEmptyCases(g_, 3, opts);
+  ASSERT_GE(cases.size(), 1u);
+  for (const BenchCase& c : cases) {
+    EXPECT_TRUE(c.q_answer.empty());
+    EXPECT_FALSE(c.gt_answer.empty());
+  }
+}
+
+TEST(MetricsTest, AnswerJaccard) {
+  std::vector<NodeId> a = {1, 2, 3};
+  std::vector<NodeId> b = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(AnswerJaccard(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(AnswerJaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(AnswerJaccard(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(AnswerJaccard({}, {}), 1.0);
+}
+
+TEST(MetricsTest, Precision) {
+  std::vector<NodeId> answer = {1, 2, 3, 4};
+  std::vector<NodeId> relevant = {2, 4, 9};
+  EXPECT_DOUBLE_EQ(Precision(answer, relevant), 0.5);
+  EXPECT_DOUBLE_EQ(Precision({}, relevant), 0.0);
+}
+
+TEST(MetricsTest, NDCG) {
+  // Perfect ranking.
+  std::vector<double> perfect = {3, 2, 1};
+  EXPECT_DOUBLE_EQ(NDCG(perfect, 3), 1.0);
+  // Worst ranking of the same gains.
+  std::vector<double> reversed = {1, 2, 3};
+  EXPECT_LT(NDCG(reversed, 3), 1.0);
+  EXPECT_GT(NDCG(reversed, 3), 0.0);
+  // All-zero gains.
+  std::vector<double> zeros = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(NDCG(zeros, 3), 0.0);
+}
+
+TEST(MetricsTest, AggregateTracksMinMaxMean) {
+  Aggregate agg;
+  agg.Add(2);
+  agg.Add(4);
+  agg.Add(6);
+  EXPECT_DOUBLE_EQ(agg.Mean(), 4);
+  EXPECT_DOUBLE_EQ(agg.min, 2);
+  EXPECT_DOUBLE_EQ(agg.max, 6);
+  EXPECT_EQ(agg.count, 3u);
+}
+
+TEST_F(WorkloadFixture, ExperimentRunnerProducesSummaries) {
+  WhyFactoryOptions opts;
+  opts.query.num_edges = 1;
+  opts.disturb.num_ops = 2;
+  auto cases = MakeBenchCases(g_, 2, opts);
+  ASSERT_FALSE(cases.empty());
+  ExperimentRunner runner(g_, std::move(cases));
+
+  ChaseOptions base;
+  base.budget = 3;
+  base.max_steps = 300;  // keep the unit test quick
+  AlgoSummary summary = runner.Run(MakeAnsHeu(base, 2));
+  EXPECT_EQ(summary.cases, runner.cases().size());
+  EXPECT_GT(summary.seconds.Mean(), 0.0);
+  EXPECT_GE(summary.delta.Mean(), 0.0);
+  EXPECT_LE(summary.delta.Mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace wqe
