@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_beam.dir/abl_beam.cc.o"
+  "CMakeFiles/abl_beam.dir/abl_beam.cc.o.d"
+  "abl_beam"
+  "abl_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

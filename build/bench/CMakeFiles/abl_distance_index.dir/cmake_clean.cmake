@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_distance_index.dir/abl_distance_index.cc.o"
+  "CMakeFiles/abl_distance_index.dir/abl_distance_index.cc.o.d"
+  "abl_distance_index"
+  "abl_distance_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_distance_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_star_order.dir/abl_star_order.cc.o"
+  "CMakeFiles/abl_star_order.dir/abl_star_order.cc.o.d"
+  "abl_star_order"
+  "abl_star_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_star_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

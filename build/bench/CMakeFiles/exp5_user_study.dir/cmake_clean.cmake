@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_user_study.dir/exp5_user_study.cc.o"
+  "CMakeFiles/exp5_user_study.dir/exp5_user_study.cc.o.d"
+  "exp5_user_study"
+  "exp5_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_efficiency.dir/fig10a_efficiency.cc.o"
+  "CMakeFiles/fig10a_efficiency.dir/fig10a_efficiency.cc.o.d"
+  "fig10a_efficiency"
+  "fig10a_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_scalability.dir/fig10b_scalability.cc.o"
+  "CMakeFiles/fig10b_scalability.dir/fig10b_scalability.cc.o.d"
+  "fig10b_scalability"
+  "fig10b_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10c_query_size.dir/fig10c_query_size.cc.o"
+  "CMakeFiles/fig10c_query_size.dir/fig10c_query_size.cc.o.d"
+  "fig10c_query_size"
+  "fig10c_query_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10c_query_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

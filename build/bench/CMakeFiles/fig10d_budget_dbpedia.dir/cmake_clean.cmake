@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10d_budget_dbpedia.dir/fig10d_budget_dbpedia.cc.o"
+  "CMakeFiles/fig10d_budget_dbpedia.dir/fig10d_budget_dbpedia.cc.o.d"
+  "fig10d_budget_dbpedia"
+  "fig10d_budget_dbpedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10d_budget_dbpedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10d_budget_dbpedia.
+# This may be replaced when dependencies are built.

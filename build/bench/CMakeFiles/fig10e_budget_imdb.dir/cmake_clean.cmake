@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10e_budget_imdb.dir/fig10e_budget_imdb.cc.o"
+  "CMakeFiles/fig10e_budget_imdb.dir/fig10e_budget_imdb.cc.o.d"
+  "fig10e_budget_imdb"
+  "fig10e_budget_imdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10e_budget_imdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10e_budget_imdb.
+# This may be replaced when dependencies are built.

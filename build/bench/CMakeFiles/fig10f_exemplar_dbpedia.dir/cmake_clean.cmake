@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10f_exemplar_dbpedia.dir/fig10f_exemplar_dbpedia.cc.o"
+  "CMakeFiles/fig10f_exemplar_dbpedia.dir/fig10f_exemplar_dbpedia.cc.o.d"
+  "fig10f_exemplar_dbpedia"
+  "fig10f_exemplar_dbpedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10f_exemplar_dbpedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10f_exemplar_dbpedia.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10g_exemplar_imdb.dir/fig10g_exemplar_imdb.cc.o"
+  "CMakeFiles/fig10g_exemplar_imdb.dir/fig10g_exemplar_imdb.cc.o.d"
+  "fig10g_exemplar_imdb"
+  "fig10g_exemplar_imdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10g_exemplar_imdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10g_exemplar_imdb.
+# This may be replaced when dependencies are built.

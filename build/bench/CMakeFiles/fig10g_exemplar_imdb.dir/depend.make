@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10g_exemplar_imdb.
+# This may be replaced when dependencies are built.

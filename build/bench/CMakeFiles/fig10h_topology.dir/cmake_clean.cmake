@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10h_topology.dir/fig10h_topology.cc.o"
+  "CMakeFiles/fig10h_topology.dir/fig10h_topology.cc.o.d"
+  "fig10h_topology"
+  "fig10h_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10h_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

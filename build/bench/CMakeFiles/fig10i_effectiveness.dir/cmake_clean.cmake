@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10i_effectiveness.dir/fig10i_effectiveness.cc.o"
+  "CMakeFiles/fig10i_effectiveness.dir/fig10i_effectiveness.cc.o.d"
+  "fig10i_effectiveness"
+  "fig10i_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10i_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

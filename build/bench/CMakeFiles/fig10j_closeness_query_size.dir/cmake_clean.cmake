@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10j_closeness_query_size.dir/fig10j_closeness_query_size.cc.o"
+  "CMakeFiles/fig10j_closeness_query_size.dir/fig10j_closeness_query_size.cc.o.d"
+  "fig10j_closeness_query_size"
+  "fig10j_closeness_query_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10j_closeness_query_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

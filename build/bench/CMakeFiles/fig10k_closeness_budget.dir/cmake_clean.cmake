@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10k_closeness_budget.dir/fig10k_closeness_budget.cc.o"
+  "CMakeFiles/fig10k_closeness_budget.dir/fig10k_closeness_budget.cc.o.d"
+  "fig10k_closeness_budget"
+  "fig10k_closeness_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10k_closeness_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

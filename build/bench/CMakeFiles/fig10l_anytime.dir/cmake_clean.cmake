@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10l_anytime.dir/fig10l_anytime.cc.o"
+  "CMakeFiles/fig10l_anytime.dir/fig10l_anytime.cc.o.d"
+  "fig10l_anytime"
+  "fig10l_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10l_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_whymany_time.dir/fig12a_whymany_time.cc.o"
+  "CMakeFiles/fig12a_whymany_time.dir/fig12a_whymany_time.cc.o.d"
+  "fig12a_whymany_time"
+  "fig12a_whymany_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_whymany_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

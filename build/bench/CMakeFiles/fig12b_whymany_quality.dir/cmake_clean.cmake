@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_whymany_quality.dir/fig12b_whymany_quality.cc.o"
+  "CMakeFiles/fig12b_whymany_quality.dir/fig12b_whymany_quality.cc.o.d"
+  "fig12b_whymany_quality"
+  "fig12b_whymany_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_whymany_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12c_whyempty.dir/fig12c_whyempty.cc.o"
+  "CMakeFiles/fig12c_whyempty.dir/fig12c_whyempty.cc.o.d"
+  "fig12c_whyempty"
+  "fig12c_whyempty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12c_whyempty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

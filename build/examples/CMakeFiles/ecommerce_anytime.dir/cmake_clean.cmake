@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_anytime.dir/ecommerce_anytime.cpp.o"
+  "CMakeFiles/ecommerce_anytime.dir/ecommerce_anytime.cpp.o.d"
+  "ecommerce_anytime"
+  "ecommerce_anytime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_anytime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

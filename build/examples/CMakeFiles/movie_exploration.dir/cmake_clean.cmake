@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_exploration.dir/movie_exploration.cpp.o"
+  "CMakeFiles/movie_exploration.dir/movie_exploration.cpp.o.d"
+  "movie_exploration"
+  "movie_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_focus_search.dir/multi_focus_search.cpp.o"
+  "CMakeFiles/multi_focus_search.dir/multi_focus_search.cpp.o.d"
+  "multi_focus_search"
+  "multi_focus_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_focus_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offshore_investigation.dir/offshore_investigation.cpp.o"
+  "CMakeFiles/offshore_investigation.dir/offshore_investigation.cpp.o.d"
+  "offshore_investigation"
+  "offshore_investigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offshore_investigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

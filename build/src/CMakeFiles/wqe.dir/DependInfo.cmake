@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/ans_heu.cc" "src/CMakeFiles/wqe.dir/chase/ans_heu.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/ans_heu.cc.o.d"
+  "/root/repo/src/chase/answ.cc" "src/CMakeFiles/wqe.dir/chase/answ.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/answ.cc.o.d"
+  "/root/repo/src/chase/answe.cc" "src/CMakeFiles/wqe.dir/chase/answe.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/answe.cc.o.d"
+  "/root/repo/src/chase/apx_whym.cc" "src/CMakeFiles/wqe.dir/chase/apx_whym.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/apx_whym.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/wqe.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/chase.cc.o.d"
+  "/root/repo/src/chase/differential.cc" "src/CMakeFiles/wqe.dir/chase/differential.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/differential.cc.o.d"
+  "/root/repo/src/chase/eval.cc" "src/CMakeFiles/wqe.dir/chase/eval.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/eval.cc.o.d"
+  "/root/repo/src/chase/fm_answ.cc" "src/CMakeFiles/wqe.dir/chase/fm_answ.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/fm_answ.cc.o.d"
+  "/root/repo/src/chase/multi_focus.cc" "src/CMakeFiles/wqe.dir/chase/multi_focus.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/multi_focus.cc.o.d"
+  "/root/repo/src/chase/next_op.cc" "src/CMakeFiles/wqe.dir/chase/next_op.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/next_op.cc.o.d"
+  "/root/repo/src/chase/picky_refine.cc" "src/CMakeFiles/wqe.dir/chase/picky_refine.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/picky_refine.cc.o.d"
+  "/root/repo/src/chase/picky_relax.cc" "src/CMakeFiles/wqe.dir/chase/picky_relax.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/picky_relax.cc.o.d"
+  "/root/repo/src/chase/report.cc" "src/CMakeFiles/wqe.dir/chase/report.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/report.cc.o.d"
+  "/root/repo/src/chase/session.cc" "src/CMakeFiles/wqe.dir/chase/session.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/session.cc.o.d"
+  "/root/repo/src/chase/why_not.cc" "src/CMakeFiles/wqe.dir/chase/why_not.cc.o" "gcc" "src/CMakeFiles/wqe.dir/chase/why_not.cc.o.d"
+  "/root/repo/src/common/interner.cc" "src/CMakeFiles/wqe.dir/common/interner.cc.o" "gcc" "src/CMakeFiles/wqe.dir/common/interner.cc.o.d"
+  "/root/repo/src/exemplar/closeness.cc" "src/CMakeFiles/wqe.dir/exemplar/closeness.cc.o" "gcc" "src/CMakeFiles/wqe.dir/exemplar/closeness.cc.o.d"
+  "/root/repo/src/exemplar/constraint.cc" "src/CMakeFiles/wqe.dir/exemplar/constraint.cc.o" "gcc" "src/CMakeFiles/wqe.dir/exemplar/constraint.cc.o.d"
+  "/root/repo/src/exemplar/exemplar.cc" "src/CMakeFiles/wqe.dir/exemplar/exemplar.cc.o" "gcc" "src/CMakeFiles/wqe.dir/exemplar/exemplar.cc.o.d"
+  "/root/repo/src/exemplar/exemplar_text.cc" "src/CMakeFiles/wqe.dir/exemplar/exemplar_text.cc.o" "gcc" "src/CMakeFiles/wqe.dir/exemplar/exemplar_text.cc.o.d"
+  "/root/repo/src/exemplar/relevance.cc" "src/CMakeFiles/wqe.dir/exemplar/relevance.cc.o" "gcc" "src/CMakeFiles/wqe.dir/exemplar/relevance.cc.o.d"
+  "/root/repo/src/exemplar/rep.cc" "src/CMakeFiles/wqe.dir/exemplar/rep.cc.o" "gcc" "src/CMakeFiles/wqe.dir/exemplar/rep.cc.o.d"
+  "/root/repo/src/exemplar/similarity.cc" "src/CMakeFiles/wqe.dir/exemplar/similarity.cc.o" "gcc" "src/CMakeFiles/wqe.dir/exemplar/similarity.cc.o.d"
+  "/root/repo/src/exemplar/tuple_pattern.cc" "src/CMakeFiles/wqe.dir/exemplar/tuple_pattern.cc.o" "gcc" "src/CMakeFiles/wqe.dir/exemplar/tuple_pattern.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/wqe.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/wqe.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/product_demo.cc" "src/CMakeFiles/wqe.dir/gen/product_demo.cc.o" "gcc" "src/CMakeFiles/wqe.dir/gen/product_demo.cc.o.d"
+  "/root/repo/src/gen/synthetic.cc" "src/CMakeFiles/wqe.dir/gen/synthetic.cc.o" "gcc" "src/CMakeFiles/wqe.dir/gen/synthetic.cc.o.d"
+  "/root/repo/src/graph/adom.cc" "src/CMakeFiles/wqe.dir/graph/adom.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/adom.cc.o.d"
+  "/root/repo/src/graph/bfs.cc" "src/CMakeFiles/wqe.dir/graph/bfs.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/bfs.cc.o.d"
+  "/root/repo/src/graph/diameter.cc" "src/CMakeFiles/wqe.dir/graph/diameter.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/diameter.cc.o.d"
+  "/root/repo/src/graph/distance_index.cc" "src/CMakeFiles/wqe.dir/graph/distance_index.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/distance_index.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/wqe.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/wqe.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/schema.cc" "src/CMakeFiles/wqe.dir/graph/schema.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/schema.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/wqe.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/stats.cc.o.d"
+  "/root/repo/src/graph/value.cc" "src/CMakeFiles/wqe.dir/graph/value.cc.o" "gcc" "src/CMakeFiles/wqe.dir/graph/value.cc.o.d"
+  "/root/repo/src/match/candidates.cc" "src/CMakeFiles/wqe.dir/match/candidates.cc.o" "gcc" "src/CMakeFiles/wqe.dir/match/candidates.cc.o.d"
+  "/root/repo/src/match/matcher.cc" "src/CMakeFiles/wqe.dir/match/matcher.cc.o" "gcc" "src/CMakeFiles/wqe.dir/match/matcher.cc.o.d"
+  "/root/repo/src/match/star.cc" "src/CMakeFiles/wqe.dir/match/star.cc.o" "gcc" "src/CMakeFiles/wqe.dir/match/star.cc.o.d"
+  "/root/repo/src/match/star_matcher.cc" "src/CMakeFiles/wqe.dir/match/star_matcher.cc.o" "gcc" "src/CMakeFiles/wqe.dir/match/star_matcher.cc.o.d"
+  "/root/repo/src/match/star_table.cc" "src/CMakeFiles/wqe.dir/match/star_table.cc.o" "gcc" "src/CMakeFiles/wqe.dir/match/star_table.cc.o.d"
+  "/root/repo/src/match/view_cache.cc" "src/CMakeFiles/wqe.dir/match/view_cache.cc.o" "gcc" "src/CMakeFiles/wqe.dir/match/view_cache.cc.o.d"
+  "/root/repo/src/query/literal.cc" "src/CMakeFiles/wqe.dir/query/literal.cc.o" "gcc" "src/CMakeFiles/wqe.dir/query/literal.cc.o.d"
+  "/root/repo/src/query/op_sequence.cc" "src/CMakeFiles/wqe.dir/query/op_sequence.cc.o" "gcc" "src/CMakeFiles/wqe.dir/query/op_sequence.cc.o.d"
+  "/root/repo/src/query/ops.cc" "src/CMakeFiles/wqe.dir/query/ops.cc.o" "gcc" "src/CMakeFiles/wqe.dir/query/ops.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/wqe.dir/query/query.cc.o" "gcc" "src/CMakeFiles/wqe.dir/query/query.cc.o.d"
+  "/root/repo/src/query/query_text.cc" "src/CMakeFiles/wqe.dir/query/query_text.cc.o" "gcc" "src/CMakeFiles/wqe.dir/query/query_text.cc.o.d"
+  "/root/repo/src/workload/disturb.cc" "src/CMakeFiles/wqe.dir/workload/disturb.cc.o" "gcc" "src/CMakeFiles/wqe.dir/workload/disturb.cc.o.d"
+  "/root/repo/src/workload/metrics.cc" "src/CMakeFiles/wqe.dir/workload/metrics.cc.o" "gcc" "src/CMakeFiles/wqe.dir/workload/metrics.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/wqe.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/wqe.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/CMakeFiles/wqe.dir/workload/suite.cc.o" "gcc" "src/CMakeFiles/wqe.dir/workload/suite.cc.o.d"
+  "/root/repo/src/workload/templates.cc" "src/CMakeFiles/wqe.dir/workload/templates.cc.o" "gcc" "src/CMakeFiles/wqe.dir/workload/templates.cc.o.d"
+  "/root/repo/src/workload/why_factory.cc" "src/CMakeFiles/wqe.dir/workload/why_factory.cc.o" "gcc" "src/CMakeFiles/wqe.dir/workload/why_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

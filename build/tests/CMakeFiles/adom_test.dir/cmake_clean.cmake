@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adom_test.dir/adom_test.cc.o"
+  "CMakeFiles/adom_test.dir/adom_test.cc.o.d"
+  "adom_test"
+  "adom_test.pdb"
+  "adom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

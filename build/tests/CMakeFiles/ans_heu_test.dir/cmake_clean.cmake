@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ans_heu_test.dir/ans_heu_test.cc.o"
+  "CMakeFiles/ans_heu_test.dir/ans_heu_test.cc.o.d"
+  "ans_heu_test"
+  "ans_heu_test.pdb"
+  "ans_heu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ans_heu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answ_test.dir/answ_test.cc.o"
+  "CMakeFiles/answ_test.dir/answ_test.cc.o.d"
+  "answ_test"
+  "answ_test.pdb"
+  "answ_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answ_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

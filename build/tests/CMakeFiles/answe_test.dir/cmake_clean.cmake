@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/answe_test.dir/answe_test.cc.o"
+  "CMakeFiles/answe_test.dir/answe_test.cc.o.d"
+  "answe_test"
+  "answe_test.pdb"
+  "answe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/answe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

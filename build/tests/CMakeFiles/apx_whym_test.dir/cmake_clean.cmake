@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apx_whym_test.dir/apx_whym_test.cc.o"
+  "CMakeFiles/apx_whym_test.dir/apx_whym_test.cc.o.d"
+  "apx_whym_test"
+  "apx_whym_test.pdb"
+  "apx_whym_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apx_whym_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distance_index_test.dir/distance_index_test.cc.o"
+  "CMakeFiles/distance_index_test.dir/distance_index_test.cc.o.d"
+  "distance_index_test"
+  "distance_index_test.pdb"
+  "distance_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distance_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exemplar_text_test.dir/exemplar_text_test.cc.o"
+  "CMakeFiles/exemplar_text_test.dir/exemplar_text_test.cc.o.d"
+  "exemplar_text_test"
+  "exemplar_text_test.pdb"
+  "exemplar_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exemplar_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_answ_test.dir/fm_answ_test.cc.o"
+  "CMakeFiles/fm_answ_test.dir/fm_answ_test.cc.o.d"
+  "fm_answ_test"
+  "fm_answ_test.pdb"
+  "fm_answ_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_answ_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

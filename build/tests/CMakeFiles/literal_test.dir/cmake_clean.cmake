@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/literal_test.dir/literal_test.cc.o"
+  "CMakeFiles/literal_test.dir/literal_test.cc.o.d"
+  "literal_test"
+  "literal_test.pdb"
+  "literal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/literal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

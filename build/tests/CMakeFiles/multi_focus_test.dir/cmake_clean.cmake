@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_focus_test.dir/multi_focus_test.cc.o"
+  "CMakeFiles/multi_focus_test.dir/multi_focus_test.cc.o.d"
+  "multi_focus_test"
+  "multi_focus_test.pdb"
+  "multi_focus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_focus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_sequence_test.dir/op_sequence_test.cc.o"
+  "CMakeFiles/op_sequence_test.dir/op_sequence_test.cc.o.d"
+  "op_sequence_test"
+  "op_sequence_test.pdb"
+  "op_sequence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

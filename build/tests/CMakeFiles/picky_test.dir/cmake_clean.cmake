@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picky_test.dir/picky_test.cc.o"
+  "CMakeFiles/picky_test.dir/picky_test.cc.o.d"
+  "picky_test"
+  "picky_test.pdb"
+  "picky_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

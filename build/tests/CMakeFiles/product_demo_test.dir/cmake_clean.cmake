@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_demo_test.dir/product_demo_test.cc.o"
+  "CMakeFiles/product_demo_test.dir/product_demo_test.cc.o.d"
+  "product_demo_test"
+  "product_demo_test.pdb"
+  "product_demo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_demo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

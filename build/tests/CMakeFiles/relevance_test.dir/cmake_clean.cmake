@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relevance_test.dir/relevance_test.cc.o"
+  "CMakeFiles/relevance_test.dir/relevance_test.cc.o.d"
+  "relevance_test"
+  "relevance_test.pdb"
+  "relevance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relevance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_matcher_test.dir/star_matcher_test.cc.o"
+  "CMakeFiles/star_matcher_test.dir/star_matcher_test.cc.o.d"
+  "star_matcher_test"
+  "star_matcher_test.pdb"
+  "star_matcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_matcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_table_test.dir/star_table_test.cc.o"
+  "CMakeFiles/star_table_test.dir/star_table_test.cc.o.d"
+  "star_table_test"
+  "star_table_test.pdb"
+  "star_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

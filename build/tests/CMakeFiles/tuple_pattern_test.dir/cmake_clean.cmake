@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_pattern_test.dir/tuple_pattern_test.cc.o"
+  "CMakeFiles/tuple_pattern_test.dir/tuple_pattern_test.cc.o.d"
+  "tuple_pattern_test"
+  "tuple_pattern_test.pdb"
+  "tuple_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

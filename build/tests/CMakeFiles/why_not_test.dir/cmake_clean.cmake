@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/why_not_test.dir/why_not_test.cc.o"
+  "CMakeFiles/why_not_test.dir/why_not_test.cc.o.d"
+  "why_not_test"
+  "why_not_test.pdb"
+  "why_not_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/why_not_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wqe_cli.dir/wqe_cli.cc.o"
+  "CMakeFiles/wqe_cli.dir/wqe_cli.cc.o.d"
+  "wqe"
+  "wqe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wqe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
