@@ -1,0 +1,79 @@
+// Ablation: the parallel evaluation layer (DESIGN.md "Parallel execution").
+// Runs AnsW over one workload at num_threads = 1 / 2 / 4, asserting that the
+// suggested rewrites are *identical* — same answer sets, same closeness —
+// across thread counts (the layer's byte-identical contract), and reports
+// the wall-clock speedup of each parallel configuration over the serial run.
+// The speedup shape is only asserted on multi-core hardware; determinism is
+// asserted everywhere (worker threads run real cross-thread work even on a
+// single core).
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+namespace {
+
+struct ConfigResult {
+  double seconds = 0;  // index build + all questions
+  std::vector<std::vector<NodeId>> matches;
+  std::vector<double> closeness;
+};
+
+}  // namespace
+
+int main() {
+  BenchEnv env;
+  Header("abl_threads", "parallel evaluation layer: determinism and speedup");
+
+  Graph g = GenerateGraph(DbpediaLike(env.scale));
+  auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
+  const ChaseOptions base = DefaultChase();
+
+  auto run_config = [&](size_t threads) {
+    ChaseOptions opts = base;
+    opts.num_threads = threads;
+    ConfigResult r;
+    Timer timer;
+    GraphIndexes indexes(g, threads);  // parallel distance-index build
+    for (const BenchCase& c : cases) {
+      ChaseContext ctx(g, &indexes, c.question, opts);
+      ChaseResult res = AnsWWithContext(ctx);
+      r.matches.push_back(res.best().matches);
+      r.closeness.push_back(res.best().closeness);
+    }
+    r.seconds = timer.ElapsedSeconds();
+    return r;
+  };
+
+  const ConfigResult serial = run_config(1);
+  std::printf("abl_threads,AnsW,threads=1,seconds=%.4f,speedup=1.00\n",
+              serial.seconds);
+
+  bool identical = true;
+  double speedup_at_4 = 0;
+  for (const size_t t : {size_t{2}, size_t{4}}) {
+    const ConfigResult par = run_config(t);
+    identical = identical && par.matches == serial.matches &&
+                par.closeness == serial.closeness;
+    const double speedup =
+        par.seconds > 0 ? serial.seconds / par.seconds : 0;
+    if (t == 4) speedup_at_4 = speedup;
+    std::printf("abl_threads,AnsW,threads=%zu,seconds=%.4f,speedup=%.2f\n", t,
+                par.seconds, speedup);
+  }
+  std::printf("#AGG hardware_threads=%zu speedup@4=%.2f\n",
+              ThreadPool::HardwareThreads(), speedup_at_4);
+
+  Shape(identical,
+        "answers and closeness are identical across thread counts");
+  if (ThreadPool::HardwareThreads() >= 4) {
+    Shape(speedup_at_4 >= 2.0, "num_threads=4 is >=2x faster than serial");
+  } else {
+    std::printf("# speedup shape skipped: %zu hardware thread(s)\n",
+                ThreadPool::HardwareThreads());
+  }
+  return identical ? 0 : 1;
+}

@@ -58,7 +58,7 @@ int main() {
   Aggregate all_delta;
   for (auto& [shape, shape_cases] : by_shape) {
     const size_t n = shape_cases.size();
-    ExperimentRunner runner(g, std::move(shape_cases));
+    ExperimentRunner runner(g, std::move(shape_cases), env.threads);
     AlgoSummary s = runner.Run(MakeAnsW(base));
     PrintRow("abl_workload_mix", QueryShapeName(shape),
              "n=" + std::to_string(n), s);

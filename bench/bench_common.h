@@ -10,6 +10,9 @@
 //   WQE_SCALE    graph scale factor applied to the dataset presets (0.25)
 //   WQE_QUERIES  why-questions per configuration (8)
 //   WQE_SEED     workload seed (1)
+//   WQE_THREADS  workers for the parallel evaluation layer (1 = serial,
+//                0 = hardware concurrency); results are byte-identical
+//                across settings
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +38,7 @@ struct BenchEnv {
   double scale = EnvDouble("WQE_SCALE", 0.25);
   size_t queries = EnvSize("WQE_QUERIES", 8);
   uint64_t seed = EnvSize("WQE_SEED", 1);
+  size_t threads = EnvSize("WQE_THREADS", 1);
 };
 
 /// Default §7 protocol options.
@@ -54,6 +58,7 @@ inline ChaseOptions DefaultChase() {
   opts.beam = 2;
   opts.max_steps = 4000;
   opts.time_limit_seconds = 5.0;  // per-question safety valve (re-armed)
+  opts.num_threads = EnvSize("WQE_THREADS", 1);
   return opts;
 }
 

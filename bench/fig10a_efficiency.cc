@@ -19,7 +19,7 @@ int main() {
   for (const GraphSpec& spec : AllDatasets(env.scale)) {
     Graph g = GenerateGraph(spec);
     auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
-    ExperimentRunner runner(g, std::move(cases));
+    ExperimentRunner runner(g, std::move(cases), env.threads);
 
     for (const AlgoSpec& algo : StandardAlgos(base)) {
       AlgoSummary s = runner.Run(algo);

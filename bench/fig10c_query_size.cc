@@ -19,7 +19,7 @@ int main() {
     factory.query.num_edges = edges;
     auto cases = MakeBenchCases(g, env.queries, factory);
     if (cases.empty()) continue;
-    ExperimentRunner runner(g, std::move(cases));
+    ExperimentRunner runner(g, std::move(cases), env.threads);
     for (AlgoSpec algo :
          {MakeAnsHeu(base, 2), MakeAnsW(base), MakeAnsWb(base)}) {
       AlgoSummary s = runner.Run(algo);

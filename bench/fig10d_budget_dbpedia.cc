@@ -12,7 +12,7 @@ int main() {
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
   auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
-  ExperimentRunner runner(g, std::move(cases));
+  ExperimentRunner runner(g, std::move(cases), env.threads);
 
   Aggregate heu_times, answ_times;
   double answ_b1 = 0, answ_b5 = 0, heu_b1 = 0, heu_b5 = 0;

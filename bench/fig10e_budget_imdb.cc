@@ -12,7 +12,7 @@ int main() {
 
   Graph g = GenerateGraph(ImdbLike(env.scale));
   auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
-  ExperimentRunner runner(g, std::move(cases));
+  ExperimentRunner runner(g, std::move(cases), env.threads);
 
   double answ_b1 = 0, answ_b5 = 0;
   for (int budget = 1; budget <= 5; ++budget) {

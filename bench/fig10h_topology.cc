@@ -26,7 +26,7 @@ int main() {
       std::printf("fig10h,AnsW,%s,skipped=no-cases\n", QueryShapeName(shape));
       continue;
     }
-    ExperimentRunner runner(g, std::move(cases));
+    ExperimentRunner runner(g, std::move(cases), env.threads);
     AlgoSummary s = runner.Run(MakeAnsW(base));
     PrintRow("fig10h", "AnsW", QueryShapeName(shape), s);
     if (shape == QueryShape::kStar) star_time = s.seconds.Mean();

@@ -19,7 +19,7 @@ int main() {
   for (const GraphSpec& spec : AllDatasets(env.scale)) {
     Graph g = GenerateGraph(spec);
     auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
-    ExperimentRunner runner(g, std::move(cases));
+    ExperimentRunner runner(g, std::move(cases), env.threads);
 
     AlgoSummary sw = runner.Run(MakeAnsW(base));
     PrintRow("fig10i", spec.name, "AnsW", sw);

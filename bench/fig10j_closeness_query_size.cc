@@ -20,7 +20,7 @@ int main() {
     factory.query.num_edges = edges;
     auto cases = MakeBenchCases(g, env.queries, factory);
     if (cases.empty()) continue;
-    ExperimentRunner runner(g, std::move(cases));
+    ExperimentRunner runner(g, std::move(cases), env.threads);
 
     AlgoSummary sw = runner.Run(MakeAnsW(base));
     PrintRow("fig10j", "AnsW", std::to_string(edges), sw);

@@ -15,7 +15,7 @@ int main() {
   WhyFactoryOptions factory = DefaultFactory(env.seed);
   factory.disturb.num_ops = 5;  // the paper injects up to five
   auto cases = MakeBenchCases(g, env.queries, factory);
-  ExperimentRunner runner(g, std::move(cases));
+  ExperimentRunner runner(g, std::move(cases), env.threads);
 
   double answ_b1 = 0, answ_b5 = 0;
   for (int budget = 1; budget <= 5; ++budget) {

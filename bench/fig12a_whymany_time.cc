@@ -21,7 +21,7 @@ int main() {
     WhyFactoryOptions factory = DefaultFactory(env.seed);
     factory.disturb.refine_prob = 0.1;
     auto cases = MakeBenchCases(g, env.queries, factory);
-    ExperimentRunner runner(g, std::move(cases));
+    ExperimentRunner runner(g, std::move(cases), env.threads);
 
     for (AlgoSpec algo : {MakeApxWhyM(base), MakeAnsW(base), MakeAnsWb(base),
                           MakeFMAnsW(base)}) {

@@ -19,7 +19,7 @@ int main() {
     WhyFactoryOptions factory = DefaultFactory(env.seed);
     factory.disturb.refine_prob = 0.1;  // relax-heavy: too many matches
     auto cases = MakeBenchCases(g, env.queries, factory);
-    ExperimentRunner runner(g, std::move(cases));
+    ExperimentRunner runner(g, std::move(cases), env.threads);
 
     AlgoSummary sa = runner.Run(MakeApxWhyM(base));
     PrintRow("fig12b", spec.name, "ApxWhyM", sa);

@@ -24,7 +24,7 @@ int main() {
       std::printf("fig12c,%s,AnsWE,skipped=no-cases\n", spec.name.c_str());
       continue;
     }
-    ExperimentRunner runner(g, std::move(cases));
+    ExperimentRunner runner(g, std::move(cases), env.threads);
 
     AlgoSummary se = runner.Run(MakeAnsWE(base));
     PrintRow("fig12c", spec.name, "AnsWE", se);

@@ -26,12 +26,13 @@ ChaseResult AnsHeuWithContext(ChaseContext& ctx) {
   std::vector<WhyAnswer> answers;
   auto offer = [&](const EvalResult& eval) {
     if (!eval.satisfies_exemplar) return;
-    const std::string fp = eval.query.Fingerprint();
+    std::string fp = eval.query.Fingerprint();
     for (const WhyAnswer& a : answers) {
-      if (a.rewrite.Fingerprint() == fp) return;
+      if (a.fingerprint == fp) return;
     }
     WhyAnswer a;
     a.rewrite = eval.query;
+    a.fingerprint = std::move(fp);
     a.ops = eval.ops;
     a.cost = eval.cost;
     a.matches = eval.matches;
@@ -104,6 +105,7 @@ ChaseResult AnsHeuWithContext(ChaseContext& ctx) {
   if (result.answers.empty()) {
     WhyAnswer a;
     a.rewrite = ctx.root()->query;
+    a.fingerprint = a.rewrite.Fingerprint();
     a.ops = ctx.root()->ops;
     a.cost = 0;
     a.matches = ctx.root()->matches;

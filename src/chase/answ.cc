@@ -30,9 +30,9 @@ class TopK {
   /// Returns true when the best answer improved.
   bool Offer(const EvalResult& eval) {
     if (!eval.satisfies_exemplar) return false;
-    const std::string fp = eval.query.Fingerprint();
+    std::string fp = eval.query.Fingerprint();
     for (WhyAnswer& a : answers_) {
-      if (a.rewrite.Fingerprint() == fp) {
+      if (a.fingerprint == fp) {
         if (eval.cost < a.cost - kEps) {
           a.ops = eval.ops;
           a.cost = eval.cost;
@@ -42,6 +42,7 @@ class TopK {
     }
     WhyAnswer a;
     a.rewrite = eval.query;
+    a.fingerprint = std::move(fp);
     a.ops = eval.ops;
     a.cost = eval.cost;
     a.matches = eval.matches;
@@ -173,6 +174,7 @@ ChaseResult AnsWWithContext(ChaseContext& ctx) {
     // callers can measure its closeness.
     WhyAnswer a;
     a.rewrite = ctx.root()->query;
+    a.fingerprint = a.rewrite.Fingerprint();
     a.ops = ctx.root()->ops;
     a.cost = 0;
     a.matches = ctx.root()->matches;

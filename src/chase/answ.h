@@ -1,6 +1,7 @@
 #ifndef WQE_CHASE_ANSW_H_
 #define WQE_CHASE_ANSW_H_
 
+#include <string>
 #include <vector>
 
 #include "chase/differential.h"
@@ -11,6 +12,10 @@ namespace wqe {
 /// One suggested query rewrite.
 struct WhyAnswer {
   PatternQuery rewrite;
+  /// Cached `rewrite.Fingerprint()` — top-k deduplication compares stored
+  /// answers against every offer, so the canonical form is computed once at
+  /// construction instead of per comparison. Empty means "not cached yet".
+  std::string fingerprint;
   OpSequence ops;
   double cost = 0;
   std::vector<NodeId> matches;  // Q'(G)

@@ -195,6 +195,7 @@ ChaseResult AnsWEWithContext(ChaseContext& ctx) {
     a.closeness = root->cl;
     a.satisfies_exemplar = root->satisfies_exemplar;
   }
+  a.fingerprint = a.rewrite.Fingerprint();
   result.answers.push_back(std::move(a));
   ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
   result.stats = ctx.stats();

@@ -86,6 +86,7 @@ ChaseResult ApxWhyMWithContext(ChaseContext& ctx) {
   auto make_answer = [&](const EvalResult& eval) {
     WhyAnswer a;
     a.rewrite = eval.query;
+    a.fingerprint = a.rewrite.Fingerprint();
     a.ops = eval.ops;
     a.cost = eval.cost;
     a.matches = eval.matches;

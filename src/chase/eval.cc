@@ -4,8 +4,18 @@
 
 namespace wqe {
 
-GraphIndexes::GraphIndexes(const Graph& g)
-    : adom(g), diameter(EstimateDiameter(g)), dist(g) {}
+namespace {
+
+DistanceIndex::Options DistOptions(size_t num_threads) {
+  DistanceIndex::Options o;
+  o.num_threads = num_threads;
+  return o;
+}
+
+}  // namespace
+
+GraphIndexes::GraphIndexes(const Graph& g, size_t num_threads)
+    : adom(g), diameter(EstimateDiameter(g)), dist(g, DistOptions(num_threads)) {}
 
 ChaseContext::ChaseContext(const Graph& g, const WhyQuestion& w,
                            const ChaseOptions& opts)
@@ -21,8 +31,9 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
     : g_(g),
       w_(w),
       opts_(opts),
-      owned_indexes_(indexes == nullptr ? std::make_unique<GraphIndexes>(g)
-                                        : nullptr),
+      owned_indexes_(indexes == nullptr
+                         ? std::make_unique<GraphIndexes>(g, opts.num_threads)
+                         : nullptr),
       indexes_(indexes == nullptr ? owned_indexes_.get() : indexes),
       closeness_(g, indexes_->adom, opts.closeness),
       cache_(),
@@ -32,6 +43,7 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
   if (opts_.time_limit_seconds > 0) {
     opts_.deadline = Deadline::After(opts_.time_limit_seconds);
   }
+  star_matcher_.set_num_threads(opts_.num_threads);
   // V_{u_o}: the label class of the original focus (all nodes any rewrite's
   // focus could match).
   const LabelId focus_label = w_.query.node(w_.query.focus()).label;

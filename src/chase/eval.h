@@ -52,7 +52,10 @@ struct ChaseStats {
 /// Build once per graph and share across Why-questions — the experimental
 /// setup of §7 prebuilds these for every algorithm.
 struct GraphIndexes {
-  explicit GraphIndexes(const Graph& g);
+  /// `num_threads` parallelizes the distance-index construction
+  /// (0 = hardware concurrency); the resulting labeling is byte-identical
+  /// to the serial build.
+  explicit GraphIndexes(const Graph& g, size_t num_threads = 1);
 
   ActiveDomains adom;
   uint32_t diameter;

@@ -203,6 +203,7 @@ ChaseResult FMAnsWWithContext(ChaseContext& ctx) {
   const MinedCandidate& chosen = best_sat.has_value() ? *best_sat : best_any;
   WhyAnswer a;
   a.rewrite = chosen.query;
+  a.fingerprint = a.rewrite.Fingerprint();
   a.ops = chosen.ops;
   a.cost = chosen.cost;
   a.matches = chosen.matches;

@@ -122,12 +122,13 @@ MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
   std::vector<MultiFocusAnswer> answers;
   auto offer = [&](const JointEval& joint) {
     if (!joint.satisfies_all) return;
-    const std::string fp = joint.query.Fingerprint();
+    std::string fp = joint.query.Fingerprint();
     for (const MultiFocusAnswer& a : answers) {
-      if (a.rewrite.Fingerprint() == fp) return;
+      if (a.fingerprint == fp) return;
     }
     MultiFocusAnswer a;
     a.rewrite = joint.query;
+    a.fingerprint = std::move(fp);
     a.ops = joint.ops;
     a.cost = joint.cost;
     a.total_closeness = joint.total_cl;
@@ -196,6 +197,7 @@ MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
   if (result.answers.empty()) {
     MultiFocusAnswer a;
     a.rewrite = root_node->eval->query;
+    a.fingerprint = a.rewrite.Fingerprint();
     a.total_closeness = root_node->eval->total_cl;
     for (const auto& eval : root_node->eval->per_focus) {
       a.matches_per_focus.push_back(eval->matches);

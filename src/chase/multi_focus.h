@@ -18,6 +18,9 @@ struct MultiFocusQuestion {
 /// One suggested rewrite for a multi-focus question.
 struct MultiFocusAnswer {
   PatternQuery rewrite;
+  /// Cached rewrite.Fingerprint(), computed once at construction (dedup
+  /// compares it against every offered rewrite).
+  std::string fingerprint;
   OpSequence ops;
   double cost = 0;
   /// Σ_i cl(Q'(u_i, G), ℰ_i).

@@ -1,8 +1,13 @@
 #include "chase/picky_refine.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace wqe {
 
@@ -15,14 +20,20 @@ struct RemovalEstimate {
   double rm_removed_closeness = 0;
 };
 
-template <typename SatisfiesFn>
+/// Survival predicate for one candidate refinement: does `assign` still
+/// satisfy the new condition? `bfs` is caller-owned scratch so estimates can
+/// run concurrently against the shared frozen distance index.
+using SatisfiesFn =
+    std::function<bool(const std::vector<NodeId>& assign, BoundedBfs& bfs)>;
+
 RemovalEstimate EstimateRemoval(const ChaseContext& ctx, const WitnessSet& rm_w,
-                                const WitnessSet& im_w, SatisfiesFn satisfies) {
+                                const WitnessSet& im_w,
+                                const SatisfiesFn& satisfies, BoundedBfs& bfs) {
   RemovalEstimate est;
   for (size_t i = 0; i < im_w.focus_nodes.size(); ++i) {
     bool survives = false;
     for (const auto& assign : im_w.assignments[i]) {
-      if (satisfies(assign)) {
+      if (satisfies(assign, bfs)) {
         survives = true;
         break;
       }
@@ -32,7 +43,7 @@ RemovalEstimate EstimateRemoval(const ChaseContext& ctx, const WitnessSet& rm_w,
   for (size_t i = 0; i < rm_w.focus_nodes.size(); ++i) {
     bool survives = false;
     for (const auto& assign : rm_w.assignments[i]) {
-      if (satisfies(assign)) {
+      if (satisfies(assign, bfs)) {
         survives = true;
         break;
       }
@@ -43,6 +54,15 @@ RemovalEstimate EstimateRemoval(const ChaseContext& ctx, const WitnessSet& rm_w,
   }
   return est;
 }
+
+/// A candidate refinement whose ĪM/R̲M estimate has not run yet. Candidates
+/// are enumerated serially (cheap), estimated in parallel into
+/// index-addressed slots, and folded in enumeration order.
+struct PendingOp {
+  Op op;
+  bool require_removal = true;  // drop unless some IM match is removed
+  SatisfiesFn satisfies;
+};
 
 constexpr size_t kMaxValuesPerNode = 12;
 constexpr size_t kMaxRefineConstants = 8;
@@ -55,15 +75,37 @@ WitnessSet CollectWitnesses(ChaseContext& ctx, const PatternQuery& q,
   WitnessSet set;
   Matcher& matcher = ctx.star_matcher().matcher();
   const size_t cap = ctx.options().max_witnesses;
-  for (NodeId v : focus_nodes) {
-    std::vector<std::vector<NodeId>> assigns;
-    matcher.Valuations(q, v, cap, [&](const std::vector<NodeId>& assign) {
-      assigns.push_back(assign);
-      return true;
+  const size_t threads = ResolveThreads(ctx.options().num_threads);
+
+  // Per-node valuation enumeration is independent; shard it over per-thread
+  // matchers (own BFS scratch, shared frozen graph/index) into
+  // index-addressed slots and fold in focus-node order.
+  std::vector<std::vector<std::vector<NodeId>>> assigns(focus_nodes.size());
+  auto collect = [&](size_t i, Matcher& m) {
+    m.Valuations(q, focus_nodes[i], cap,
+                 [&](const std::vector<NodeId>& assign) {
+                   assigns[i].push_back(assign);
+                   return true;
+                 });
+  };
+  if (threads <= 1 || focus_nodes.size() <= 1) {
+    for (size_t i = 0; i < focus_nodes.size(); ++i) collect(i, matcher);
+  } else {
+    PerThread<Matcher> workers(threads, [&ctx] {
+      return std::make_unique<Matcher>(ctx.graph(), &ctx.dist());
     });
-    if (assigns.empty()) continue;
-    set.focus_nodes.push_back(v);
-    set.assignments.push_back(std::move(assigns));
+    ParallelFor(threads, 0, focus_nodes.size(), /*grain=*/2,
+                [&](size_t i, size_t slot) {
+                  collect(i, slot == 0 ? matcher : workers.at(slot));
+                });
+    for (size_t slot = 1; slot < workers.size(); ++slot) {
+      if (Matcher* w = workers.created(slot)) matcher.stats().Merge(w->stats());
+    }
+  }
+  for (size_t i = 0; i < focus_nodes.size(); ++i) {
+    if (assigns[i].empty()) continue;
+    set.focus_nodes.push_back(focus_nodes[i]);
+    set.assignments.push_back(std::move(assigns[i]));
   }
   return set;
 }
@@ -102,6 +144,11 @@ std::vector<ScoredOp> GenerateRefineOps(ChaseContext& ctx, const EvalResult& cur
 
   const auto active = q.ActiveNodes();
   const auto active_edges = q.ActiveEdges();
+  DistanceIndex& dist = ctx.dist();
+
+  // Candidate ops are enumerated serially below; their witness-survival
+  // estimates (the expensive part) run in parallel afterwards.
+  std::vector<PendingOp> pending;
 
   // ---- AddL: attribute values carried by RM witnesses, absent from F_Q(u).
   for (QNodeId u : active) {
@@ -123,17 +170,15 @@ std::vector<ScoredOp> GenerateRefineOps(ChaseContext& ctx, const EvalResult& cur
     for (const auto& [attr, value] : values) {
       if (++taken > kMaxValuesPerNode) break;
       Literal lit{attr, CmpOp::kEq, value};
-      auto est = EstimateRemoval(ctx, rm_w, im_w,
-                                 [&](const std::vector<NodeId>& assign) {
-                                   return assign[u] != kInvalidNode &&
-                                          lit.Matches(g, assign[u]);
-                                 });
-      if (est.im_removed.empty()) continue;  // not picky: removes nothing
       Op op;
       op.kind = OpKind::kAddL;
       op.u = u;
       op.lit = lit;
-      push(std::move(op), std::move(est));
+      pending.push_back(
+          {std::move(op), /*require_removal=*/true,
+           [&g, u, lit](const std::vector<NodeId>& assign, BoundedBfs&) {
+             return assign[u] != kInvalidNode && lit.Matches(g, assign[u]);
+           }});
     }
   }
 
@@ -174,18 +219,17 @@ std::vector<ScoredOp> GenerateRefineOps(ChaseContext& ctx, const EvalResult& cur
               continue;  // =c -> =a is not answer-monotone; skipped.
           }
         }
-        auto est = EstimateRemoval(ctx, rm_w, im_w,
-                                   [&](const std::vector<NodeId>& assign) {
-                                     return assign[u] != kInvalidNode &&
-                                            refined.Matches(g, assign[u]);
-                                   });
-        if (est.im_removed.empty()) continue;
         Op op;
         op.kind = OpKind::kRfL;
         op.u = u;
         op.lit = lit;
         op.new_lit = refined;
-        push(std::move(op), std::move(est));
+        pending.push_back(
+            {std::move(op), /*require_removal=*/true,
+             [&g, u, refined](const std::vector<NodeId>& assign, BoundedBfs&) {
+               return assign[u] != kInvalidNode &&
+                      refined.Matches(g, assign[u]);
+             }});
       }
     }
   }
@@ -196,19 +240,20 @@ std::vector<ScoredOp> GenerateRefineOps(ChaseContext& ctx, const EvalResult& cur
     const QueryEdge& e = q.edge(ei);
     if (e.bound <= 1) continue;
     const uint32_t nb = e.bound - 1;
-    auto est = EstimateRemoval(
-        ctx, rm_w, im_w, [&](const std::vector<NodeId>& assign) {
-          const NodeId a = assign[e.from], b = assign[e.to];
-          if (a == kInvalidNode || b == kInvalidNode) return false;
-          return ctx.dist().Distance(a, b, nb) != kInfDist;
-        });
     Op op;
     op.kind = OpKind::kRfE;
     op.u = e.from;
     op.v = e.to;
     op.bound = e.bound;
     op.new_bound = nb;
-    push(std::move(op), std::move(est));
+    pending.push_back(
+        {std::move(op), /*require_removal=*/false,
+         [&dist, from = e.from, to = e.to, nb](
+             const std::vector<NodeId>& assign, BoundedBfs& bfs) {
+           const NodeId a = assign[from], b = assign[to];
+           if (a == kInvalidNode || b == kInvalidNode) return false;
+           return dist.Distance(a, b, nb, bfs) != kInfDist;
+         }});
   }
 
   // ---- AddE form 1: connect the focus to a non-adjacent pattern node with
@@ -233,20 +278,20 @@ std::vector<ScoredOp> GenerateRefineOps(ChaseContext& ctx, const EvalResult& cur
         k = std::max(k, best);
       }
       if (!all_rm_reachable || k == 0 || k > b_m) continue;
-      auto est = EstimateRemoval(
-          ctx, rm_w, im_w, [&](const std::vector<NodeId>& assign) {
-            const NodeId a = focus_to_u ? assign[focus] : assign[u];
-            const NodeId b = focus_to_u ? assign[u] : assign[focus];
-            if (a == kInvalidNode || b == kInvalidNode) return false;
-            return ctx.dist().Distance(a, b, k) != kInfDist;
-          });
-      if (est.im_removed.empty()) continue;
       Op op;
       op.kind = OpKind::kAddE;
       op.u = focus_to_u ? focus : u;
       op.v = focus_to_u ? u : focus;
       op.new_bound = k;
-      push(std::move(op), std::move(est));
+      pending.push_back(
+          {std::move(op), /*require_removal=*/true,
+           [&dist, focus, u, focus_to_u, k](
+               const std::vector<NodeId>& assign, BoundedBfs& bfs) {
+             const NodeId a = focus_to_u ? assign[focus] : assign[u];
+             const NodeId b = focus_to_u ? assign[u] : assign[focus];
+             if (a == kInvalidNode || b == kInvalidNode) return false;
+             return dist.Distance(a, b, k, bfs) != kInfDist;
+           }});
     }
   }
 
@@ -270,24 +315,49 @@ std::vector<ScoredOp> GenerateRefineOps(ChaseContext& ctx, const EvalResult& cur
       // p'(o) arbitrates the removed-RM / removed-IM trade-off beyond that.
       if (count * 2 < rm_w.focus_nodes.size()) break;
       if (++taken > kMaxNewNodeLabels) break;
-      auto est = EstimateRemoval(
-          ctx, rm_w, im_w, [&](const std::vector<NodeId>& assign) {
-            const NodeId f = assign[focus];
-            if (f == kInvalidNode) return false;
-            for (NodeId w : g.out(f)) {
-              if (g.label(w) == label) return true;
-            }
-            return false;
-          });
-      if (est.im_removed.empty()) continue;
       Op op;
       op.kind = OpKind::kAddE;
       op.u = focus;
       op.creates_node = true;
       op.new_node_label = label;
       op.new_bound = 1;
-      push(std::move(op), std::move(est));
+      pending.push_back(
+          {std::move(op), /*require_removal=*/true,
+           [&g, focus, lbl = label](const std::vector<NodeId>& assign,
+                                    BoundedBfs&) {
+             const NodeId f = assign[focus];
+             if (f == kInvalidNode) return false;
+             for (NodeId w : g.out(f)) {
+               if (g.label(w) == lbl) return true;
+             }
+             return false;
+           }});
     }
+  }
+
+  // Run the estimates — each reads only frozen witness sets, the graph, and
+  // the distance index (with private BFS scratch) — then fold verdicts in
+  // enumeration order so the scored list matches the serial path exactly.
+  std::vector<RemovalEstimate> ests(pending.size());
+  const size_t threads = ResolveThreads(ctx.options().num_threads);
+  if (threads <= 1 || pending.size() <= 1) {
+    BoundedBfs bfs(g);
+    for (size_t i = 0; i < pending.size(); ++i) {
+      ests[i] = EstimateRemoval(ctx, rm_w, im_w, pending[i].satisfies, bfs);
+    }
+  } else {
+    PerThread<BoundedBfs> scratch(
+        threads, [&g] { return std::make_unique<BoundedBfs>(g); });
+    ParallelFor(threads, 0, pending.size(), /*grain=*/1,
+                [&](size_t i, size_t slot) {
+                  ests[i] = EstimateRemoval(ctx, rm_w, im_w,
+                                            pending[i].satisfies,
+                                            scratch.at(slot));
+                });
+  }
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].require_removal && ests[i].im_removed.empty()) continue;
+    push(std::move(pending[i].op), std::move(ests[i]));
   }
 
   ctx.stats().ops_generated += out.size();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <sstream>
 
+#include "common/thread_pool.h"
 #include "match/candidates.h"
 
 namespace wqe {
@@ -51,8 +53,8 @@ class OpAccumulator {
 // the active-domain slice `values` = the attribute values of the RC-side
 // nodes the relaxation is meant to admit (adom(A, E_P), §5.3).
 void GenerateRxLForLiteral(QNodeId u, const Literal& lit,
-                           const std::vector<double>& values, NodeId rc_node,
-                           OpAccumulator& acc) {
+                           const std::vector<double>& values,
+                           std::vector<Op>& out) {
   if (!values.empty() && lit.constant.is_num()) {
     const double c = lit.constant.num();
     double a;
@@ -66,7 +68,7 @@ void GenerateRxLForLiteral(QNodeId u, const Literal& lit,
           op.u = u;
           op.lit = lit;
           op.new_lit = {lit.attr, lit.op, Value::Num(a)};
-          acc.Add(op, rc_node);
+          out.push_back(op);
         }
         break;
       case CmpOp::kLe:
@@ -77,7 +79,7 @@ void GenerateRxLForLiteral(QNodeId u, const Literal& lit,
           op.u = u;
           op.lit = lit;
           op.new_lit = {lit.attr, lit.op, Value::Num(a)};
-          acc.Add(op, rc_node);
+          out.push_back(op);
         }
         break;
       case CmpOp::kEq:
@@ -89,7 +91,7 @@ void GenerateRxLForLiteral(QNodeId u, const Literal& lit,
           op.u = u;
           op.lit = lit;
           op.new_lit = {lit.attr, CmpOp::kGe, Value::Num(a)};
-          acc.Add(op, rc_node);
+          out.push_back(op);
         }
         if (ActiveDomains::SmallestAbove(values, c, &a)) {
           Op op;
@@ -97,7 +99,7 @@ void GenerateRxLForLiteral(QNodeId u, const Literal& lit,
           op.u = u;
           op.lit = lit;
           op.new_lit = {lit.attr, CmpOp::kLe, Value::Num(a)};
-          acc.Add(op, rc_node);
+          out.push_back(op);
         }
         break;
     }
@@ -108,7 +110,7 @@ void GenerateRxLForLiteral(QNodeId u, const Literal& lit,
   rm.kind = OpKind::kRmL;
   rm.u = u;
   rm.lit = lit;
-  acc.Add(rm, rc_node);
+  out.push_back(rm);
 }
 
 }  // namespace
@@ -130,9 +132,12 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
   }
 
   const auto active_edges = q.ActiveEdges();
-  BoundedBfs bfs(g);
 
-  for (NodeId v0 : rcs) {
+  // Per-RC diagnosis is independent: each RC explores the frozen graph with
+  // its own BFS scratch and emits an ordered op list. The lists are folded
+  // into the accumulator in RC order below, so the merged support sets (and
+  // hence pickiness scores) are byte-identical to the serial diagnosis.
+  auto diagnose = [&](NodeId v0, BoundedBfs& bfs, std::vector<Op>& out) {
     // (1) Literals at the focus that v0 fails.
     for (const Literal& lit : q.node(focus).literals) {
       if (lit.Matches(g, v0)) continue;
@@ -144,7 +149,7 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
       }
       std::sort(values.begin(), values.end());
       values.erase(std::unique(values.begin(), values.end()), values.end());
-      GenerateRxLForLiteral(focus, lit, values, v0, acc);
+      GenerateRxLForLiteral(focus, lit, values, out);
     }
 
     // (2) Edges adjacent to the focus (picky-edge candidates), and beyond
@@ -230,14 +235,14 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
             op.v = e2.to;
             op.bound = e2.bound;
             op.new_bound = best_deep;
-            acc.Add(op, v0);
+            out.push_back(op);
           } else {
             Op op;
             op.kind = OpKind::kRmE;
             op.u = e2.from;
             op.v = e2.to;
             op.bound = e2.bound;
-            acc.Add(op, v0);
+            out.push_back(op);
           }
         }
         continue;
@@ -251,7 +256,7 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
         op.v = e.to;
         op.bound = e.bound;
         op.new_bound = best_full;
-        acc.Add(op, v0);
+        out.push_back(op);
       }
       if (label_in_bound) {
         // Right label, failing predicates: relax the blocking literals.
@@ -268,7 +273,7 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
           if (!blocks) continue;
           std::sort(values.begin(), values.end());
           values.erase(std::unique(values.begin(), values.end()), values.end());
-          GenerateRxLForLiteral(other, lit, values, v0, acc);
+          GenerateRxLForLiteral(other, lit, values, out);
         }
       }
       if (best_full == kInfDist && !label_in_bound) {
@@ -278,9 +283,26 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
         op.u = e.from;
         op.v = e.to;
         op.bound = e.bound;
-        acc.Add(op, v0);
+        out.push_back(op);
       }
     }
+  };
+
+  std::vector<std::vector<Op>> per_rc(rcs.size());
+  const size_t threads = ResolveThreads(ctx.options().num_threads);
+  if (threads <= 1 || rcs.size() <= 1) {
+    BoundedBfs bfs(g);
+    for (size_t i = 0; i < rcs.size(); ++i) diagnose(rcs[i], bfs, per_rc[i]);
+  } else {
+    PerThread<BoundedBfs> scratch(
+        threads, [&g] { return std::make_unique<BoundedBfs>(g); });
+    ParallelFor(threads, 0, rcs.size(), /*grain=*/1,
+                [&](size_t i, size_t slot) {
+                  diagnose(rcs[i], scratch.at(slot), per_rc[i]);
+                });
+  }
+  for (size_t i = 0; i < rcs.size(); ++i) {
+    for (Op& op : per_rc[i]) acc.Add(std::move(op), rcs[i]);
   }
 
   // Score: p(o) = Σ_{v ∈ R̄C(o)} cl(v, ℰ) / |V_{u_o}| (Lemma 5.2), and keep

@@ -1,0 +1,146 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace wqe {
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> threads;
+  bool stopping = false;
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t workers) : impl_(std::make_unique<Impl>()) {
+  impl_->threads.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    impl_->threads.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+size_t ThreadPool::workers() const { return impl_->threads.size(); }
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (impl_->threads.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+size_t ThreadPool::HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // At least 3 workers (4 slots with the caller) so num_threads=4 runs
+  // genuinely cross-thread even on small CI machines; leaked on purpose
+  // (workers may outlive static destruction order otherwise).
+  static ThreadPool* pool =
+      new ThreadPool(std::max<size_t>(HardwareThreads(), 4) - 1);
+  return *pool;
+}
+
+size_t ResolveThreads(size_t requested) {
+  return requested == 0 ? ThreadPool::HardwareThreads() : requested;
+}
+
+void ParallelFor(size_t num_threads, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t n = end - begin;
+  size_t threads = std::min(ResolveThreads(num_threads),
+                            (n + grain - 1) / grain);  // no idle slots
+  if (threads <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Shared();
+  threads = std::min(threads, pool.workers() + 1);
+  if (threads <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<size_t> next;
+    size_t done = 0;  // guarded by mu
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;  // guarded by mu
+  } state;
+  state.next.store(begin, std::memory_order_relaxed);
+
+  auto run_slot = [&, end, grain](size_t slot) {
+    try {
+      for (;;) {
+        const size_t lo = state.next.fetch_add(grain, std::memory_order_relaxed);
+        if (lo >= end) break;
+        const size_t hi = std::min(end, lo + grain);
+        for (size_t i = lo; i < hi; ++i) fn(i, slot);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (state.error == nullptr) state.error = std::current_exception();
+      // Abandon unclaimed blocks so every participant exits promptly.
+      state.next.store(end, std::memory_order_relaxed);
+    }
+  };
+
+  const size_t helpers = threads - 1;
+  for (size_t slot = 1; slot <= helpers; ++slot) {
+    pool.Submit([&state, &run_slot, slot] {
+      run_slot(slot);
+      // Notify while holding the lock: the caller destroys `state` as soon
+      // as it observes done == helpers, which it can only do after this
+      // unlock — never while the cv is still being signaled.
+      std::lock_guard<std::mutex> lock(state.mu);
+      ++state.done;
+      state.cv.notify_one();
+    });
+  }
+  run_slot(0);
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.cv.wait(lock, [&] { return state.done == helpers; });
+  }
+  if (state.error != nullptr) std::rethrow_exception(state.error);
+}
+
+}  // namespace wqe

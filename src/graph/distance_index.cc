@@ -2,17 +2,20 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace wqe {
 
 DistanceIndex::DistanceIndex(const Graph& g, Options opts) : g_(g), bfs_(g) {
   if (opts.use_pll && g.num_nodes() > 0 && g.num_nodes() <= opts.pll_max_nodes) {
-    Build();
+    Build(opts.num_threads);
     indexed_ = true;
   }
 }
 
-void DistanceIndex::Build() {
+void DistanceIndex::Build(size_t num_threads) {
   const size_t n = g_.num_nodes();
   order_.resize(n);
   std::iota(order_.begin(), order_.end(), 0);
@@ -23,38 +26,76 @@ void DistanceIndex::Build() {
   label_out_.assign(n, {});
   label_in_.assign(n, {});
 
-  std::vector<uint32_t> dist(n, kInfDist);
-  std::vector<NodeId> queue;
-  queue.reserve(n);
+  // Hubs are processed in rank batches. Within a batch every hub runs its two
+  // pruned BFSs concurrently against the *frozen* labels of earlier batches,
+  // collecting candidate (node, dist) entries privately; the batch then
+  // merges in rank order, re-applying the pruning test against the
+  // now-complete < rank labels. Stale pruning only under-prunes (the BFS
+  // explores a superset of the serial sweep), and any entry the serial build
+  // would have skipped is skippable at merge time too — so the labeling is
+  // byte-identical to the serial build for every batch size.
+  const size_t threads = ResolveThreads(num_threads);
+  const size_t batch_size = threads <= 1 ? 1 : threads * 4;
 
-  for (uint32_t rank = 0; rank < n; ++rank) {
-    const NodeId hub = order_[rank];
+  struct HubSweep {
+    std::vector<std::pair<NodeId, uint32_t>> fwd;  // hub → w candidates
+    std::vector<std::pair<NodeId, uint32_t>> bwd;  // w → hub candidates
+  };
+  struct Scratch {
+    std::vector<uint32_t> dist;
+    std::vector<NodeId> queue;
+  };
+  PerThread<Scratch> scratch(threads, [n] {
+    auto s = std::make_unique<Scratch>();
+    s->dist.assign(n, kInfDist);
+    s->queue.reserve(n);
+    return s;
+  });
 
-    // Forward pruned BFS: hub → w fills label_in_[w] so future queries
-    // Distance(x, w) can route through hub.
-    auto sweep = [&](bool forward) {
-      queue.clear();
-      queue.push_back(hub);
-      dist[hub] = 0;
-      for (size_t head = 0; head < queue.size(); ++head) {
-        const NodeId w = queue[head];
-        const uint32_t d = dist[w];
-        // Prune: an earlier (higher-degree) hub already certifies a path of
-        // length <= d, so labeling w through this hub adds nothing.
-        const uint32_t known = forward ? QueryLabels(hub, w) : QueryLabels(w, hub);
-        if (known <= d) continue;
-        (forward ? label_in_[w] : label_out_[w]).push_back({rank, d});
-        for (NodeId y : forward ? g_.out(w) : g_.in(w)) {
-          if (dist[y] == kInfDist) {
-            dist[y] = d + 1;
-            queue.push_back(y);
-          }
+  auto sweep = [&](NodeId hub, bool forward, Scratch& s,
+                   std::vector<std::pair<NodeId, uint32_t>>& out) {
+    s.queue.clear();
+    s.queue.push_back(hub);
+    s.dist[hub] = 0;
+    for (size_t head = 0; head < s.queue.size(); ++head) {
+      const NodeId w = s.queue[head];
+      const uint32_t d = s.dist[w];
+      // Prune: an earlier (higher-degree) hub already certifies a path of
+      // length <= d, so labeling w through this hub adds nothing.
+      const uint32_t known = forward ? QueryLabels(hub, w) : QueryLabels(w, hub);
+      if (known <= d) continue;
+      out.push_back({w, d});
+      for (NodeId y : forward ? g_.out(w) : g_.in(w)) {
+        if (s.dist[y] == kInfDist) {
+          s.dist[y] = d + 1;
+          s.queue.push_back(y);
         }
       }
-      for (NodeId w : queue) dist[w] = kInfDist;
-    };
-    sweep(/*forward=*/true);
-    sweep(/*forward=*/false);
+    }
+    for (NodeId w : s.queue) s.dist[w] = kInfDist;
+  };
+
+  std::vector<HubSweep> results;
+  for (size_t batch_start = 0; batch_start < n; batch_start += batch_size) {
+    const size_t batch_end = std::min(n, batch_start + batch_size);
+    results.assign(batch_end - batch_start, {});
+    ParallelFor(threads, batch_start, batch_end, /*grain=*/1,
+                [&](size_t rank, size_t slot) {
+                  HubSweep& hs = results[rank - batch_start];
+                  Scratch& s = scratch.at(slot);
+                  sweep(order_[rank], /*forward=*/true, s, hs.fwd);
+                  sweep(order_[rank], /*forward=*/false, s, hs.bwd);
+                });
+    for (size_t rank = batch_start; rank < batch_end; ++rank) {
+      const NodeId hub = order_[rank];
+      const uint32_t r = static_cast<uint32_t>(rank);
+      for (const auto& [w, d] : results[rank - batch_start].fwd) {
+        if (QueryLabels(hub, w) > d) label_in_[w].push_back({r, d});
+      }
+      for (const auto& [w, d] : results[rank - batch_start].bwd) {
+        if (QueryLabels(w, hub) > d) label_out_[w].push_back({r, d});
+      }
+    }
   }
 }
 
@@ -79,12 +120,17 @@ uint32_t DistanceIndex::QueryLabels(NodeId u, NodeId v) const {
 }
 
 uint32_t DistanceIndex::Distance(NodeId u, NodeId v, uint32_t cap) {
+  return Distance(u, v, cap, bfs_);
+}
+
+uint32_t DistanceIndex::Distance(NodeId u, NodeId v, uint32_t cap,
+                                 BoundedBfs& scratch) const {
   if (u == v) return 0;
   if (indexed_) {
     const uint32_t d = QueryLabels(u, v);
     return d <= cap ? d : kInfDist;
   }
-  return bfs_.Distance(u, v, cap);
+  return scratch.Distance(u, v, cap);
 }
 
 size_t DistanceIndex::LabelEntries() const {

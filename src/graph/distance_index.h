@@ -22,6 +22,11 @@ class DistanceIndex {
     bool use_pll = true;
     /// Above this node count, skip the labeling and use BFS regardless.
     size_t pll_max_nodes = 400000;
+    /// Workers for the labeling construction (0 = hardware concurrency,
+    /// 1 = serial). Hub BFSs run in rank batches against the frozen label
+    /// prefix, then merge in rank order with the pruning test re-applied, so
+    /// the resulting labeling is byte-identical to the serial build.
+    size_t num_threads = 1;
   };
 
   explicit DistanceIndex(const Graph& g) : DistanceIndex(g, Options()) {}
@@ -29,6 +34,11 @@ class DistanceIndex {
 
   /// Directed distance from u to v, or kInfDist if it exceeds `cap`.
   uint32_t Distance(NodeId u, NodeId v, uint32_t cap);
+
+  /// Thread-safe variant: reads only the frozen labels and runs any BFS
+  /// fallback in the caller-owned `scratch`. Concurrent callers over the
+  /// same index are safe as long as each brings its own BoundedBfs.
+  uint32_t Distance(NodeId u, NodeId v, uint32_t cap, BoundedBfs& scratch) const;
 
   /// True when the landmark labeling is active (vs BFS fallback).
   bool indexed() const { return indexed_; }
@@ -42,7 +52,7 @@ class DistanceIndex {
     uint32_t dist;
   };
 
-  void Build();
+  void Build(size_t num_threads);
   uint32_t QueryLabels(NodeId u, NodeId v) const;
 
   const Graph& g_;

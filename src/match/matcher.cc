@@ -1,6 +1,9 @@
 #include "match/matcher.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/thread_pool.h"
 
 namespace wqe {
 
@@ -58,6 +61,19 @@ std::vector<Matcher::PlanStep> Matcher::BuildPlan(const PatternQuery& q) const {
   return plan;
 }
 
+const std::vector<Matcher::PlanStep>& Matcher::PlanFor(const PatternQuery& q) {
+  std::string fp = q.Fingerprint();
+  if (has_plan_ && fp == plan_fp_) {
+    ++stats_.plan_cache_hits;
+    return plan_cache_;
+  }
+  plan_cache_ = BuildPlan(q);
+  plan_fp_ = std::move(fp);
+  has_plan_ = true;
+  ++stats_.plan_builds;
+  return plan_cache_;
+}
+
 bool Matcher::Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,
                      size_t depth, std::vector<NodeId>& assign,
                      std::vector<bool>& /*used*/, size_t limit, size_t& emitted,
@@ -102,9 +118,13 @@ bool Matcher::Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,
     bool ok = true;
     for (const PlanStep::Check& check : step.checks) {
       const NodeId other_match = assign[check.other];
-      const uint32_t d = check.outgoing
-                             ? dist_->Distance(v, other_match, check.bound)
-                             : dist_->Distance(other_match, v, check.bound);
+      // Const distance path with this matcher's own BFS scratch (bfs_ is
+      // between sweeps here: the ball was fully collected above), so worker
+      // matchers can share one frozen DistanceIndex.
+      const uint32_t d =
+          check.outgoing
+              ? dist_->Distance(v, other_match, check.bound, bfs_)
+              : dist_->Distance(other_match, v, check.bound, bfs_);
       if (d == kInfDist) {
         ok = false;
         break;
@@ -126,7 +146,7 @@ void Matcher::Valuations(
     const std::function<bool(const std::vector<NodeId>&)>& cb) {
   ++stats_.focus_verifications;
   if (!IsCandidate(g_, q, q.focus(), focus_match)) return;
-  const auto plan = BuildPlan(q);
+  const auto& plan = PlanFor(q);
   std::vector<NodeId> assign(q.num_nodes(), kInvalidNode);
   assign[q.focus()] = focus_match;
   std::vector<bool> unused;
@@ -152,7 +172,7 @@ bool Matcher::IsMatchRestricted(
     const auto& ok = *allowed[q.focus()];
     if (!std::binary_search(ok.begin(), ok.end(), v)) return false;
   }
-  const auto plan = BuildPlan(q);
+  const auto& plan = PlanFor(q);
   std::vector<NodeId> assign(q.num_nodes(), kInvalidNode);
   assign[q.focus()] = v;
   std::vector<bool> unused;
@@ -166,10 +186,35 @@ bool Matcher::IsMatchRestricted(
   return found;
 }
 
-std::vector<NodeId> Matcher::Answer(const PatternQuery& q) {
+std::vector<NodeId> Matcher::Answer(const PatternQuery& q, size_t num_threads) {
+  const std::vector<NodeId> candidates = ComputeCandidates(g_, q, q.focus());
   std::vector<NodeId> out;
-  for (NodeId v : ComputeCandidates(g_, q, q.focus())) {
-    if (IsMatch(q, v)) out.push_back(v);
+  const size_t threads = ResolveThreads(num_threads);
+  if (threads <= 1 || candidates.size() <= 1) {
+    for (NodeId v : candidates) {
+      if (IsMatch(q, v)) out.push_back(v);
+    }
+    return out;
+  }
+
+  // Shard the candidates over worker matchers: slot 0 reuses this matcher's
+  // scratch, each other slot builds its own over the shared frozen graph and
+  // distance index. Verdicts land in index-addressed slots and are folded in
+  // candidate order, so the answer is byte-identical to the serial loop.
+  PerThread<Matcher> workers(threads, [this] {
+    return std::unique_ptr<Matcher>(new Matcher(g_, dist_));
+  });
+  std::vector<uint8_t> is_match(candidates.size(), 0);
+  ParallelFor(threads, 0, candidates.size(), /*grain=*/8,
+              [&](size_t i, size_t slot) {
+                Matcher& m = slot == 0 ? *this : workers.at(slot);
+                is_match[i] = m.IsMatch(q, candidates[i]) ? 1 : 0;
+              });
+  for (size_t slot = 1; slot < threads; ++slot) {
+    if (Matcher* m = workers.created(slot)) stats_.Merge(m->stats());
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (is_match[i]) out.push_back(candidates[i]);
   }
   return out;
 }

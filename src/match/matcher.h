@@ -16,6 +16,17 @@ namespace wqe {
 struct MatchStats {
   uint64_t focus_verifications = 0;  // focus candidates tested
   uint64_t node_expansions = 0;      // backtracking states visited
+  uint64_t plan_builds = 0;          // BFS assignment plans constructed
+  uint64_t plan_cache_hits = 0;      // plans reused via the fingerprint memo
+
+  /// Folds another thread's counters into this one (ordered reductions after
+  /// parallel verification; all counters are commutative sums).
+  void Merge(const MatchStats& other) {
+    focus_verifications += other.focus_verifications;
+    node_expansions += other.node_expansions;
+    plan_builds += other.plan_builds;
+    plan_cache_hits += other.plan_cache_hits;
+  }
 };
 
 /// Exact evaluator for pattern queries under the extended P-homomorphism
@@ -31,8 +42,12 @@ class Matcher {
  public:
   Matcher(const Graph& g, DistanceIndex* dist);
 
-  /// The answer Q(G): all matches of the focus u_o.
-  std::vector<NodeId> Answer(const PatternQuery& q);
+  /// The answer Q(G): all matches of the focus u_o. With num_threads > 1
+  /// (0 = hardware concurrency) the focus candidates are sharded over worker
+  /// matchers — each with its own BFS scratch over the shared frozen graph
+  /// and distance index — and merged in candidate order, so the result is
+  /// byte-identical to the serial path.
+  std::vector<NodeId> Answer(const PatternQuery& q, size_t num_threads = 1);
 
   /// Whether some valuation maps the focus to `v`.
   bool IsMatch(const PatternQuery& q, NodeId v);
@@ -55,10 +70,10 @@ class Matcher {
 
  private:
   struct PlanStep {
-    QNodeId node;          // query node to assign
-    QNodeId anchor;        // already-assigned neighbor to expand from
-    uint32_t anchor_bound;  // bound of the anchor edge
-    bool anchor_outgoing;   // true: edge anchor -> node; false: node -> anchor
+    QNodeId node = kNoQNode;    // query node to assign
+    QNodeId anchor = kNoQNode;  // already-assigned neighbor to expand from
+    uint32_t anchor_bound = 0;  // bound of the anchor edge
+    bool anchor_outgoing = true;  // true: anchor -> node; false: node -> anchor
     // Other edges from `node` to already-assigned nodes (checked via dist).
     struct Check {
       QNodeId other;
@@ -72,6 +87,11 @@ class Matcher {
   /// the focus is inactive (cannot happen: focus defines activity).
   std::vector<PlanStep> BuildPlan(const PatternQuery& q) const;
 
+  /// The plan for `q`, memoized by query fingerprint: Answer / star-view
+  /// verification run one IsMatch per focus candidate against the *same*
+  /// rewrite, so consecutive calls reuse one plan instead of rebuilding it.
+  const std::vector<PlanStep>& PlanFor(const PatternQuery& q);
+
   bool Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,
               size_t depth, std::vector<NodeId>& assign,
               std::vector<bool>& used_query_nodes, size_t limit, size_t& emitted,
@@ -82,6 +102,11 @@ class Matcher {
   DistanceIndex* dist_;
   BoundedBfs bfs_;
   MatchStats stats_;
+
+  // Single-entry plan memo keyed by query fingerprint.
+  bool has_plan_ = false;
+  std::string plan_fp_;
+  std::vector<PlanStep> plan_cache_;
 };
 
 }  // namespace wqe

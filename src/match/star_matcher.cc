@@ -1,6 +1,9 @@
 #include "match/star_matcher.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/thread_pool.h"
 
 namespace wqe {
 
@@ -23,6 +26,11 @@ void IntersectInto(std::optional<std::vector<NodeId>>& into,
 
 StarMatcher::StarMatcher(const Graph& g, DistanceIndex* dist, ViewCache* cache)
     : g_(g), matcher_(g, dist), materializer_(g), cache_(cache) {}
+
+void StarMatcher::set_num_threads(size_t n) {
+  num_threads_ = n;
+  materializer_.set_num_threads(n);
+}
 
 StarMatcher::Evaluation StarMatcher::Evaluate(
     const PatternQuery& q, const std::function<double(NodeId)>* priority) {
@@ -80,9 +88,37 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
                      });
   }
 
-  for (NodeId v : candidates) {
-    ++stats_.focus_verified;
-    if (matcher_.IsMatchRestricted(q, v, allowed)) eval.matches.push_back(v);
+  const size_t threads = ResolveThreads(num_threads_);
+  if (threads <= 1 || candidates.size() <= 1) {
+    for (NodeId v : candidates) {
+      ++stats_.focus_verified;
+      if (matcher_.IsMatchRestricted(q, v, allowed)) eval.matches.push_back(v);
+    }
+  } else {
+    // Shard verification over per-thread matchers; the shared graph, star
+    // tables, and distance index are frozen and read-only here. Verdicts go
+    // into index-addressed slots and are folded in candidate order (the
+    // final sort makes order moot, but the byte-identical guarantee should
+    // not depend on it).
+    while (workers_.size() + 1 < threads) {
+      workers_.push_back(std::make_unique<Matcher>(g_, &matcher_.dist()));
+    }
+    std::vector<uint8_t> is_match(candidates.size(), 0);
+    ParallelFor(threads, 0, candidates.size(), /*grain=*/4,
+                [&](size_t i, size_t slot) {
+                  Matcher& m = slot == 0 ? matcher_ : *workers_[slot - 1];
+                  is_match[i] = m.IsMatchRestricted(q, candidates[i], allowed)
+                                    ? 1
+                                    : 0;
+                });
+    stats_.focus_verified += candidates.size();
+    for (auto& worker : workers_) {
+      matcher_.stats().Merge(worker->stats());
+      worker->stats() = MatchStats();
+    }
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (is_match[i]) eval.matches.push_back(candidates[i]);
+    }
   }
   std::sort(eval.matches.begin(), eval.matches.end());
   return eval;

@@ -35,6 +35,13 @@ class StarMatcher {
   /// `cache` may be null (the AnsWnc / AnsWb ablations).
   StarMatcher(const Graph& g, DistanceIndex* dist, ViewCache* cache);
 
+  /// Workers for candidate verification and table materialization
+  /// (0 = hardware concurrency, 1 = exact legacy serial path). Candidates
+  /// are sharded over per-thread matchers — each with its own BFS scratch
+  /// over the shared frozen graph and distance index — and verdicts merged
+  /// in candidate order, so Evaluate is byte-identical for every setting.
+  void set_num_threads(size_t n);
+
   struct Evaluation {
     std::vector<NodeId> matches;  // Q(G), sorted ascending
     std::vector<StarQuery> stars;
@@ -55,6 +62,10 @@ class StarMatcher {
   StarMaterializer materializer_;
   ViewCache* cache_;
   StarEvalStats stats_;
+  size_t num_threads_ = 1;
+  /// Worker matchers for parallel verification, one per slot >= 1 (slot 0
+  /// is matcher_), created lazily and reused across Evaluate calls.
+  std::vector<std::unique_ptr<Matcher>> workers_;
 };
 
 }  // namespace wqe

@@ -1,7 +1,9 @@
 #include "match/star_table.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "common/thread_pool.h"
 #include "match/candidates.h"
 
 namespace wqe {
@@ -11,42 +13,69 @@ const StarRow* StarTable::RowOfCenter(NodeId v) const {
   return it == row_of_center_.end() ? nullptr : &rows_[it->second];
 }
 
+bool StarMaterializer::BuildRow(const PatternQuery& q, const StarQuery& star,
+                                NodeId c, BoundedBfs& bfs, StarRow& row) const {
+  row.center = c;
+  row.spoke_matches.resize(star.spokes.size());
+  bool viable = true;
+
+  for (size_t s = 0; s < star.spokes.size() && viable; ++s) {
+    const StarSpoke& spoke = star.spokes[s];
+    auto& cell = row.spoke_matches[s];
+    auto collect = [&](NodeId w, uint32_t d) {
+      if (w == c) return;
+      if (IsCandidate(g_, q, spoke.other, w)) cell.push_back({w, d});
+    };
+    if (spoke.outgoing) {
+      bfs.Forward(c, spoke.bound, collect);
+    } else {
+      bfs.Backward(c, spoke.bound, collect);
+    }
+    if (cell.empty()) viable = false;
+  }
+  if (!viable) return false;
+
+  if (!star.contains_focus && star.aug_bound > 0) {
+    auto collect = [&](NodeId w, uint32_t d) {
+      if (IsCandidate(g_, q, q.focus(), w)) row.focus_matches.push_back({w, d});
+    };
+    bfs.Undirected(c, star.aug_bound, collect);
+    if (row.focus_matches.empty()) return false;
+  }
+  return true;
+}
+
 std::shared_ptr<const StarTable> StarMaterializer::Materialize(
     const PatternQuery& q, const StarQuery& star) {
   auto table = std::make_shared<StarTable>(star, q.focus());
 
   std::vector<NodeId> centers = ComputeCandidates(g_, q, star.center);
-  for (NodeId c : centers) {
-    StarRow row;
-    row.center = c;
-    row.spoke_matches.resize(star.spokes.size());
-    bool viable = true;
 
-    for (size_t s = 0; s < star.spokes.size() && viable; ++s) {
-      const StarSpoke& spoke = star.spokes[s];
-      auto& cell = row.spoke_matches[s];
-      auto collect = [&](NodeId w, uint32_t d) {
-        if (w == c) return;
-        if (IsCandidate(g_, q, spoke.other, w)) cell.push_back({w, d});
-      };
-      if (spoke.outgoing) {
-        bfs_.Forward(c, spoke.bound, collect);
-      } else {
-        bfs_.Backward(c, spoke.bound, collect);
-      }
-      if (cell.empty()) viable = false;
+  // Rows are built per center candidate — the embarrassingly parallel part —
+  // into index-addressed slots, then assembled serially in center order so
+  // the table is identical for every thread count.
+  const size_t threads = ResolveThreads(num_threads_);
+  std::vector<StarRow> built(centers.size());
+  std::vector<uint8_t> viable(centers.size(), 0);
+  if (threads <= 1 || centers.size() <= 1) {
+    for (size_t i = 0; i < centers.size(); ++i) {
+      viable[i] = BuildRow(q, star, centers[i], bfs_, built[i]) ? 1 : 0;
     }
-    if (!viable) continue;
+  } else {
+    PerThread<BoundedBfs> scratch(threads, [this] {
+      return std::make_unique<BoundedBfs>(g_);
+    });
+    ParallelFor(threads, 0, centers.size(), /*grain=*/16,
+                [&](size_t i, size_t slot) {
+                  BoundedBfs& bfs = slot == 0 ? bfs_ : scratch.at(slot);
+                  viable[i] = BuildRow(q, star, centers[i], bfs, built[i]) ? 1 : 0;
+                });
+  }
 
-    if (!star.contains_focus && star.aug_bound > 0) {
-      auto collect = [&](NodeId w, uint32_t d) {
-        if (IsCandidate(g_, q, q.focus(), w)) row.focus_matches.push_back({w, d});
-      };
-      bfs_.Undirected(c, star.aug_bound, collect);
-      if (row.focus_matches.empty()) continue;
-    }
-
-    table->row_of_center_.emplace(c, table->rows_.size());
+  for (size_t i = 0; i < centers.size(); ++i) {
+    if (!viable[i]) continue;
+    StarRow& row = built[i];
+    table->row_of_center_.emplace(row.center, table->rows_.size());
     table->entry_count_ += 1 + row.focus_matches.size();
     for (const auto& cell : row.spoke_matches) table->entry_count_ += cell.size();
     table->rows_.push_back(std::move(row));

@@ -73,11 +73,17 @@ class StarTable {
   size_t entry_count_ = 0;
 };
 
-/// Builds star tables against a fixed graph. Holds BFS scratch; not
-/// thread-safe.
+/// Builds star tables against a fixed graph. Holds BFS scratch; concurrent
+/// Materialize calls on one instance are not allowed, but the build itself
+/// fans out internally when num_threads > 1.
 class StarMaterializer {
  public:
   explicit StarMaterializer(const Graph& g) : g_(g), bfs_(g) {}
+
+  /// Workers for row construction (0 = hardware concurrency, 1 = serial).
+  /// Rows are computed per center candidate on per-thread BFS scratch and
+  /// assembled in center order, so tables are identical for every setting.
+  void set_num_threads(size_t n) { num_threads_ = n; }
 
   /// Materializes T_i(G) for `star` of query `q`: one row per center match
   /// (center candidates whose every spoke has at least one match and, for
@@ -86,8 +92,13 @@ class StarMaterializer {
                                                const StarQuery& star);
 
  private:
+  /// The row for center candidate `c`, or false if not viable.
+  bool BuildRow(const PatternQuery& q, const StarQuery& star, NodeId c,
+                BoundedBfs& bfs, StarRow& row) const;
+
   const Graph& g_;
   BoundedBfs bfs_;
+  size_t num_threads_ = 1;
 };
 
 }  // namespace wqe

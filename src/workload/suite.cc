@@ -11,10 +11,11 @@
 
 namespace wqe {
 
-ExperimentRunner::ExperimentRunner(const Graph& g, std::vector<BenchCase> cases)
+ExperimentRunner::ExperimentRunner(const Graph& g, std::vector<BenchCase> cases,
+                                   size_t num_threads)
     : g_(g),
       cases_(std::move(cases)),
-      indexes_(std::make_unique<GraphIndexes>(g)) {}
+      indexes_(std::make_unique<GraphIndexes>(g, num_threads)) {}
 
 AlgoSummary ExperimentRunner::Run(const AlgoSpec& algo) const {
   AlgoSummary summary;

@@ -46,7 +46,11 @@ struct AlgoSummary {
 /// paper's figures plot.
 class ExperimentRunner {
  public:
-  ExperimentRunner(const Graph& g, std::vector<BenchCase> cases);
+  /// `num_threads` sizes the parallel evaluation layer for the prebuilt
+  /// distance index (0 = hardware concurrency, 1 = serial); per-algorithm
+  /// chase parallelism still follows each AlgoSpec's own options.
+  ExperimentRunner(const Graph& g, std::vector<BenchCase> cases,
+                   size_t num_threads = 1);
 
   AlgoSummary Run(const AlgoSpec& algo) const;
 

@@ -1,0 +1,105 @@
+// The parallel evaluation layer's core contract: AnsW with num_threads > 1
+// returns *byte-identical* results to the serial path — same rewrites, same
+// answer sets, same closeness — because all parallel stages write
+// index-addressed slots and reduce in a fixed order (DESIGN.md "Parallel
+// execution"). Checked end-to-end across several workload seeds, plus the
+// parallel distance-index build against the serial labeling.
+
+#include <gtest/gtest.h>
+
+#include "chase/answ.h"
+#include "gen/datasets.h"
+#include "gen/synthetic.h"
+#include "graph/distance_index.h"
+#include "workload/suite.h"
+
+namespace wqe {
+namespace {
+
+ChaseOptions BaseOptions(size_t num_threads) {
+  ChaseOptions o;
+  o.budget = 3;
+  o.max_steps = 2000;
+  o.top_k = 2;
+  o.num_threads = num_threads;
+  return o;
+}
+
+// Runs AnsW on every case and snapshots everything an answer reports.
+struct RunSnapshot {
+  std::vector<std::string> fingerprints;
+  std::vector<std::vector<NodeId>> matches;
+  std::vector<double> closeness;
+  std::vector<double> costs;
+};
+
+RunSnapshot RunAll(const Graph& g, const std::vector<BenchCase>& cases,
+                   size_t num_threads) {
+  RunSnapshot snap;
+  GraphIndexes indexes(g, num_threads);
+  for (const BenchCase& c : cases) {
+    ChaseContext ctx(g, &indexes, c.question, BaseOptions(num_threads));
+    ChaseResult r = AnsWWithContext(ctx);
+    for (const WhyAnswer& a : r.answers) {
+      snap.fingerprints.push_back(a.rewrite.Fingerprint());
+      snap.matches.push_back(a.matches);
+      snap.closeness.push_back(a.closeness);
+      snap.costs.push_back(a.cost);
+    }
+  }
+  return snap;
+}
+
+TEST(ParallelDeterminismTest, AnsWIdenticalAcrossThreadCounts) {
+  Graph g = GenerateGraph(ImdbLike(0.04));
+  for (const uint64_t seed : {7u, 77u, 777u}) {
+    WhyFactoryOptions opts;
+    opts.query.num_edges = 2;
+    opts.disturb.num_ops = 2;
+    opts.seed = seed;
+    auto cases = MakeBenchCases(g, 3, opts);
+    ASSERT_FALSE(cases.empty()) << "seed=" << seed;
+
+    const RunSnapshot serial = RunAll(g, cases, 1);
+    const RunSnapshot parallel = RunAll(g, cases, 4);
+    EXPECT_EQ(serial.fingerprints, parallel.fingerprints) << "seed=" << seed;
+    EXPECT_EQ(serial.matches, parallel.matches) << "seed=" << seed;
+    // Byte-identical contract: exact double equality, no tolerance.
+    EXPECT_EQ(serial.closeness, parallel.closeness) << "seed=" << seed;
+    EXPECT_EQ(serial.costs, parallel.costs) << "seed=" << seed;
+  }
+}
+
+TEST(ParallelDeterminismTest, HardwareConcurrencySettingMatchesSerial) {
+  Graph g = GenerateGraph(DbpediaLike(0.04));
+  WhyFactoryOptions opts;
+  opts.query.num_edges = 2;
+  opts.disturb.num_ops = 2;
+  opts.seed = 5;
+  auto cases = MakeBenchCases(g, 2, opts);
+  ASSERT_FALSE(cases.empty());
+
+  const RunSnapshot serial = RunAll(g, cases, 1);
+  const RunSnapshot parallel = RunAll(g, cases, 0);  // 0 = hardware
+  EXPECT_EQ(serial.fingerprints, parallel.fingerprints);
+  EXPECT_EQ(serial.matches, parallel.matches);
+  EXPECT_EQ(serial.closeness, parallel.closeness);
+}
+
+TEST(ParallelDeterminismTest, ParallelDistanceIndexBuildMatchesSerial) {
+  Graph g = GenerateGraph(ImdbLike(0.05));
+  DistanceIndex::Options serial_opts;
+  DistanceIndex::Options parallel_opts;
+  parallel_opts.num_threads = 4;
+  DistanceIndex serial(g, serial_opts);
+  DistanceIndex parallel(g, parallel_opts);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+    for (NodeId v = 0; v < g.num_nodes(); v += 5) {
+      ASSERT_EQ(serial.Distance(u, v, 6), parallel.Distance(u, v, 6))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,173 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace wqe {
+namespace {
+
+TEST(ThreadPoolTest, HardwareThreadsIsNeverZero) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_EQ(ResolveThreads(0), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ResolveThreads(1), 1u);
+  EXPECT_EQ(ResolveThreads(7), 7u);
+}
+
+TEST(ThreadPoolTest, SharedPoolHasAtLeastThreeWorkers) {
+  // Caller + workers >= 4 slots even on single-core machines, so the
+  // cross-thread merge paths are genuinely exercised everywhere.
+  EXPECT_GE(ThreadPool::Shared().workers(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int count = 0;  // guarded by mu
+  constexpr int kTasks = 64;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&] {
+        std::lock_guard<std::mutex> lock(mu);
+        if (++count == kTasks) cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return count == kTasks; });
+  }  // pool joins its workers before mu/cv go away
+  EXPECT_EQ(count, kTasks);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  int ran = 0;
+  pool.Submit([&] { ++ran; });
+  EXPECT_EQ(ran, 1);  // inline: done before Submit returns
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{9}}) {
+    for (const size_t grain : {size_t{1}, size_t{3}, size_t{100}}) {
+      constexpr size_t kN = 257;
+      std::vector<std::atomic<int>> hits(kN);
+      for (auto& h : hits) h.store(0);
+      ParallelFor(threads, 0, kN, grain,
+                  [&](size_t i, size_t) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < kN; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads
+                                     << " grain=" << grain << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, RespectsBeginOffsetAndEmptyRange) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(4, 7, 10, 1, [&](size_t i, size_t) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 3);
+  EXPECT_EQ(hits[7] + hits[8] + hits[9], 3);
+
+  bool called = false;
+  ParallelFor(4, 5, 5, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SerialPathStaysOnCallerSlotAndThread) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<size_t> slots;
+  ParallelFor(1, 0, 16, 4, [&](size_t, size_t slot) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    slots.push_back(slot);
+  });
+  EXPECT_EQ(slots.size(), 16u);
+  for (size_t s : slots) EXPECT_EQ(s, 0u);
+}
+
+TEST(ParallelForTest, SlotsAreWithinRequestedBound) {
+  constexpr size_t kThreads = 4;
+  std::vector<std::atomic<int>> slot_hits(kThreads);
+  for (auto& h : slot_hits) h.store(0);
+  ParallelFor(kThreads, 0, 512, 1, [&](size_t, size_t slot) {
+    ASSERT_LT(slot, kThreads);
+    slot_hits[slot].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& h : slot_hits) total += h.load();
+  EXPECT_EQ(total, 512);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(4, 0, 100, 1,
+                  [&](size_t i, size_t) {
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionAbandonsRemainingBlocks) {
+  std::atomic<size_t> visited{0};
+  try {
+    ParallelFor(2, 0, 1u << 20, 1, [&](size_t i, size_t) {
+      if (i == 0) throw std::runtime_error("early");
+      visited.fetch_add(1);
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error&) {
+  }
+  // Everything after the failing block is abandoned; only blocks already
+  // claimed may still run.
+  EXPECT_LT(visited.load(), 1u << 20);
+}
+
+TEST(PerThreadTest, LazilyConstructsOneInstancePerSlot) {
+  std::atomic<int> made{0};
+  PerThread<std::vector<int>> scratch(4, [&] {
+    made.fetch_add(1);
+    return std::make_unique<std::vector<int>>();
+  });
+  EXPECT_EQ(scratch.size(), 4u);
+  for (size_t s = 0; s < 4; ++s) EXPECT_EQ(scratch.created(s), nullptr);
+
+  scratch.at(1).push_back(7);
+  scratch.at(1).push_back(8);
+  scratch.at(3).push_back(9);
+  EXPECT_EQ(made.load(), 2);
+  EXPECT_EQ(scratch.created(0), nullptr);
+  ASSERT_NE(scratch.created(1), nullptr);
+  EXPECT_EQ(scratch.created(1)->size(), 2u);
+  EXPECT_EQ(scratch.created(2), nullptr);
+  ASSERT_NE(scratch.created(3), nullptr);
+  EXPECT_EQ(scratch.created(3)->size(), 1u);
+}
+
+TEST(PerThreadTest, SlotsAreIsolatedUnderParallelFor) {
+  constexpr size_t kThreads = 4;
+  constexpr size_t kN = 400;
+  PerThread<std::vector<size_t>> scratch(
+      kThreads, [] { return std::make_unique<std::vector<size_t>>(); });
+  ParallelFor(kThreads, 0, kN, 8,
+              [&](size_t i, size_t slot) { scratch.at(slot).push_back(i); });
+  // Each index lands in exactly one slot's private vector.
+  std::set<size_t> seen;
+  for (size_t s = 0; s < kThreads; ++s) {
+    if (auto* v = scratch.created(s)) {
+      for (size_t i : *v) EXPECT_TRUE(seen.insert(i).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), kN);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification sweep for libwqe:
+#   1. default (Release) build + the whole ctest suite;
+#   2. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
+#      exercise the parallel evaluation layer.
+# Usage: tools/check.sh [jobs]   (jobs defaults to nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== default build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure)
+
+echo "== ThreadSanitizer build =="
+cmake -B build-tsan -S . -DWQE_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "$JOBS" --target \
+  thread_pool_test parallel_determinism_test matcher_test \
+  star_matcher_test distance_index_test answ_test
+(cd build-tsan && ctest --output-on-failure -R \
+  'ThreadPool|ParallelFor|PerThread|ParallelDeterminism|Matcher|StarMatcher|DistanceIndex|AnsW')
+
+echo "== all checks passed =="
