@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("abl_beam", "beam width and operator-selection ablation");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
@@ -37,5 +37,5 @@ int main() {
               k1_cl, k8_cl, k1_time, k8_time);
   Shape(k8_cl + 1e-9 >= k1_cl, "wider beams do not lose closeness");
   Shape(k8_time >= k1_time, "wider beams cost more time");
-  return 0;
+  return env.Finish();
 }

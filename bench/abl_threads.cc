@@ -24,8 +24,8 @@ struct ConfigResult {
 
 }  // namespace
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("abl_threads", "parallel evaluation layer: determinism and speedup");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
@@ -40,7 +40,7 @@ int main() {
     GraphIndexes indexes(g, threads);  // parallel distance-index build
     for (const BenchCase& c : cases) {
       ChaseContext ctx(g, &indexes, c.question, opts);
-      ChaseResult res = AnsWWithContext(ctx);
+      ChaseResult res = SolveWithContext(ctx, Algorithm::kAnsW);
       r.matches.push_back(res.best().matches);
       r.closeness.push_back(res.best().closeness);
     }
@@ -75,5 +75,5 @@ int main() {
     std::printf("# speedup shape skipped: %zu hardware thread(s)\n",
                 ThreadPool::HardwareThreads());
   }
-  return identical ? 0 : 1;
+  return identical ? env.Finish() : 1;
 }

@@ -11,15 +11,15 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("abl_workload_mix", "AnsW across the DBPSB template mix");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
   auto queries = InstantiateWorkload(g, DbpsbTemplates(), env.queries * 3, env.seed);
   if (queries.empty()) {
     std::printf("abl_workload_mix,skipped,no-queries\n");
-    return 0;
+    return env.Finish();
   }
 
   // Build cases from the instantiated ground truths via the §7 protocol.
@@ -69,5 +69,5 @@ int main() {
               all_delta.Mean(), cases.size());
   Shape(all_delta.Mean() >= 0.3,
         "AnsW recovers ground truth across the realistic template mix");
-  return 0;
+  return env.Finish();
 }

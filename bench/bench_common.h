@@ -13,13 +13,22 @@
 //   WQE_THREADS  workers for the parallel evaluation layer (1 = serial,
 //                0 = hardware concurrency); results are byte-identical
 //                across settings
+//
+// Observability flags (accepted by every bench main that constructs
+// BenchEnv from argc/argv):
+//   --threads=N        same as WQE_THREADS=N
+//   --trace-out=FILE   Chrome trace_event JSON of the whole run
+//   --metrics-out=FILE phase breakdown + counter/gauge/histogram dump
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "common/timer.h"
 #include "gen/datasets.h"
 #include "gen/synthetic.h"
+#include "obs/observability.h"
 #include "workload/suite.h"
 
 namespace wqe::bench {
@@ -34,11 +43,82 @@ inline size_t EnvSize(const char* name, size_t fallback) {
   return v == nullptr ? fallback : static_cast<size_t>(std::atoll(v));
 }
 
+/// The process-wide observation scope every bench reports into. DefaultChase
+/// wires it through ChaseOptions::observability so solver counters land here,
+/// and BenchEnv installs its tracer as the thread's current tracer so
+/// WQE_SPAN phases (index builds, match, ops) aggregate across the whole run.
+inline obs::Observability& BenchObs() {
+  static obs::Observability o;
+  return o;
+}
+
 struct BenchEnv {
   double scale = EnvDouble("WQE_SCALE", 0.25);
   size_t queries = EnvSize("WQE_QUERIES", 8);
   uint64_t seed = EnvSize("WQE_SEED", 1);
   size_t threads = EnvSize("WQE_THREADS", 1);
+  std::string trace_out;
+  std::string metrics_out;
+
+  BenchEnv() : scope_(&BenchObs().tracer) {}
+
+  /// Parses observability flags. Unknown flags are reported but ignored so
+  /// the figure binaries stay usable from ad-hoc scripts.
+  BenchEnv(int argc, char** argv) : BenchEnv() {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (const char* v = FlagValue(arg, "--trace-out=")) {
+        trace_out = v;
+      } else if (const char* v = FlagValue(arg, "--metrics-out=")) {
+        metrics_out = v;
+      } else if (const char* v = FlagValue(arg, "--threads=")) {
+        threads = static_cast<size_t>(std::atoll(v));
+        setenv("WQE_THREADS", v, /*overwrite=*/1);  // DefaultChase reads env
+      } else {
+        std::fprintf(stderr, "warning: ignoring unknown flag %s\n", arg);
+      }
+    }
+    BenchObs().tracer.set_capture_events(!trace_out.empty());
+  }
+
+  /// Writes the requested JSON artifacts. Returns the process exit code
+  /// (non-zero if a file could not be written), so bench mains end with
+  /// `return env.Finish();`.
+  int Finish() const {
+    int rc = 0;
+    if (!metrics_out.empty() &&
+        !WriteJson(metrics_out, obs::ExportMetricsJson(
+                                    BenchObs(), timer_.ElapsedSeconds()))) {
+      rc = 1;
+    }
+    if (!trace_out.empty() &&
+        !WriteJson(trace_out, BenchObs().tracer.ChromeTraceJson())) {
+      rc = 1;
+    }
+    return rc;
+  }
+
+ private:
+  static const char* FlagValue(const char* arg, const char* prefix) {
+    const size_t n = std::strlen(prefix);
+    return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+  }
+
+  static bool WriteJson(const std::string& path, const std::string& content) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) == content.size();
+    std::fclose(f);
+    if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return ok;
+  }
+
+  Timer timer_;
+  obs::TracerScope scope_;
 };
 
 /// Default §7 protocol options.
@@ -59,6 +139,7 @@ inline ChaseOptions DefaultChase() {
   opts.max_steps = 4000;
   opts.time_limit_seconds = 5.0;  // per-question safety valve (re-armed)
   opts.num_threads = EnvSize("WQE_THREADS", 1);
+  opts.observability = &BenchObs();
   return opts;
 }
 

@@ -9,8 +9,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("exp5", "simulated user study: nDCG@3 and precision of top-3 rewrites");
 
   ChaseOptions base = DefaultChase();
@@ -23,7 +23,7 @@ int main() {
 
     Aggregate ndcg, precision;
     for (const BenchCase& c : cases) {
-      ChaseResult r = AnsW(g, c.question, base);
+      ChaseResult r = Solve(g, c.question, base, Algorithm::kAnsW);
       if (!r.found()) continue;
 
       // Oracle relevance grade of each returned rewrite = answer Jaccard to
@@ -49,5 +49,5 @@ int main() {
         "suggested rankings are consistent with the oracle (nDCG@3 high)");
   Shape(precision_all.Mean() >= 0.6,
         "suggested answers recover mostly relevant entities");
-  return 0;
+  return env.Finish();
 }

@@ -8,8 +8,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10a", "Why-question efficiency per dataset and algorithm");
 
   ChaseOptions base = DefaultChase();
@@ -58,5 +58,5 @@ int main() {
         "AnsHeu is the fastest configuration (no backtracking)");
   Shape(heu_cl.Mean() <= answ_cl.Mean() + 1e-9,
         "AnsHeu trades answer quality for speed (closeness <= AnsW's)");
-  return 0;
+  return env.Finish();
 }

@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10b", "scalability vs graph size (dbpedia_like)");
 
   ChaseOptions base = DefaultChase();
@@ -43,5 +43,5 @@ int main() {
               answ_growth, answb_growth);
   Shape(answ_growth <= answb_growth * 1.25,
         "AnsW grows no faster than AnsWb with |G| (view reuse pays off)");
-  return 0;
+  return env.Finish();
 }

@@ -6,8 +6,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10c", "time vs |E_Q| (dbpedia_like)");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
@@ -41,5 +41,5 @@ int main() {
               answ_sensitivity, answb_sensitivity);
   Shape(answ_sensitivity <= answb_sensitivity * 1.5,
         "AnsW is less sensitive to |E_Q| than AnsWb (star views)");
-  return 0;
+  return env.Finish();
 }

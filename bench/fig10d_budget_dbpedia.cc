@@ -6,8 +6,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10d", "time vs budget B (dbpedia_like)");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
@@ -42,5 +42,5 @@ int main() {
         "AnsW consumes more time with larger budgets (deeper chase)");
   Shape(heu_growth <= answ_growth * 1.2,
         "AnsHeu is the least budget-sensitive (no backtracking)");
-  return 0;
+  return env.Finish();
 }

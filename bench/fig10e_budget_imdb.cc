@@ -6,8 +6,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10e", "time vs budget B (imdb_like)");
 
   Graph g = GenerateGraph(ImdbLike(env.scale));
@@ -29,5 +29,5 @@ int main() {
   }
   Shape(answ_b5 >= answ_b1,
         "time grows with budget on imdb_like as well");
-  return 0;
+  return env.Finish();
 }

@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10f", "time vs |T| (dbpedia_like)");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
@@ -47,5 +47,5 @@ int main() {
   // the exact search even at the largest |T|.
   Shape(heu_large <= answ_large,
         "AnsHeu stays cheaper than AnsW at the largest |T| (bounded beam)");
-  return 0;
+  return env.Finish();
 }

@@ -6,8 +6,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10g", "time vs |T| (imdb_like)");
 
   Graph g = GenerateGraph(ImdbLike(env.scale));
@@ -33,5 +33,5 @@ int main() {
   }
   Shape(answ_large >= answ_small * 0.8,
         "AnsW needs more time with more exemplar tuples");
-  return 0;
+  return env.Finish();
 }

@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10h", "time vs query topology (dbpedia_like)");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
@@ -40,5 +40,5 @@ int main() {
               tree_time, cyclic_time);
   Shape(star_time <= std::max(tree_time, cyclic_time) * 1.15,
         "star queries answer fastest (single star view; fewer joins)");
-  return 0;
+  return env.Finish();
 }

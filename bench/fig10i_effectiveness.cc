@@ -8,8 +8,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10i", "relative closeness per dataset / algorithm / beam");
 
   ChaseOptions base = DefaultChase();
@@ -57,5 +57,5 @@ int main() {
         "AnsW recovers the ground truth at least as well as FMAnsW");
   Shape(beam5_delta.Mean() + 0.05 >= beam1_delta.Mean(),
         "wider beams do not hurt AnsHeu's closeness");
-  return 0;
+  return env.Finish();
 }

@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10j", "relative closeness vs |E_Q| (dbpedia_like)");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
@@ -40,5 +40,5 @@ int main() {
         "smaller queries recover the ground truth better");
   Shape(answ_all.Mean() + 1e-9 >= heu_all.Mean(),
         "AnsW dominates AnsHeu(k=1) across query sizes");
-  return 0;
+  return env.Finish();
 }

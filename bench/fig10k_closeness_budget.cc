@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10k", "relative closeness vs budget B (dbpedia_like)");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
@@ -34,5 +34,5 @@ int main() {
   std::printf("#AGG AnsW delta B=1: %.3f -> B=5: %.3f\n", answ_b1, answ_b5);
   Shape(answ_b5 + 1e-9 >= answ_b1,
         "larger budgets recover the ground truth better");
-  return 0;
+  return env.Finish();
 }

@@ -9,7 +9,7 @@
 // B = 5) keep the search running long enough to see a curve.
 
 #include "bench_common.h"
-#include "chase/ans_heu.h"
+#include "chase/solve.h"
 
 using namespace wqe;
 using namespace wqe::bench;
@@ -32,8 +32,8 @@ std::vector<double> DeltaCurve(const std::vector<AnytimeSample>& trace,
 
 }  // namespace
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig10l", "anytime convergence: delta_t by time t");
 
   Graph g = GenerateGraph(DbpediaLike(env.scale * 2));
@@ -55,16 +55,17 @@ int main() {
     base.budget = 5;
     base.max_steps = 100000;
     base.time_limit_seconds = bins.back();
+    base.observability = &BenchObs();
 
     ChaseContext cw(g, &indexes, c.question, base);
-    ChaseResult rw = AnsWWithContext(cw);
+    ChaseResult rw = SolveWithContext(cw, Algorithm::kAnsW);
     auto curve_w = DeltaCurve(rw.trace, bins, floor_delta, c.gt_answer);
 
     ChaseOptions rnd = base;
     rnd.random_ops = true;
     rnd.beam = 3;
     ChaseContext cb(g, &indexes, c.question, rnd);
-    ChaseResult rb = AnsHeuWithContext(cb);
+    ChaseResult rb = SolveWithContext(cb, Algorithm::kAnsHeu);
     auto curve_b = DeltaCurve(rb.trace, bins, floor_delta, c.gt_answer);
 
     for (size_t b = 0; b < bins.size(); ++b) {
@@ -101,5 +102,5 @@ int main() {
         "AnsW's final delta is at least the random ablation's");
   Shape(answ_halfway_fraction.Mean() >= 0.6,
         "AnsW secures the bulk (>=60%) of its final delta by the halfway bin");
-  return 0;
+  return env.Finish();
 }

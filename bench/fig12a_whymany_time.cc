@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig12a", "Why-Many efficiency (dbpedia_like, imdb_like)");
 
   ChaseOptions base = DefaultChase();
@@ -42,5 +42,5 @@ int main() {
               fm_time.Mean() / std::max(apx_time.Mean(), 1e-9));
   Shape(apx_time.Mean() <= answ_time.Mean(),
         "ApxWhyM outperforms the exact search on Why-Many questions");
-  return 0;
+  return env.Finish();
 }

@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig12b", "Why-Many IM reduction (dbpedia_like, imdb_like)");
 
   ChaseOptions base = DefaultChase();
@@ -36,5 +36,5 @@ int main() {
         "ApxWhyM removes a substantial share of irrelevant matches");
   Shape(apx_reduction.Mean() >= 0.4 * std::max(answ_reduction.Mean(), 1e-9),
         "approximation quality is within a constant factor of exact search");
-  return 0;
+  return env.Finish();
 }

@@ -7,8 +7,8 @@
 using namespace wqe;
 using namespace wqe::bench;
 
-int main() {
-  BenchEnv env;
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   Header("fig12c", "Why-Empty efficiency (all datasets)");
 
   ChaseOptions base = DefaultChase();
@@ -52,5 +52,5 @@ int main() {
         "AnsWE outperforms the general algorithms on Why-Empty questions");
   Shape(answe_repaired.Mean() >= 0.5,
         "AnsWE repairs the majority of empty-answer queries");
-  return 0;
+  return env.Finish();
 }

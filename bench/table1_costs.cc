@@ -4,12 +4,15 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "chase/eval.h"
 #include "gen/product_demo.h"
 
 using namespace wqe;
+using namespace wqe::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
   std::printf("# table1: atomic operator costs on the Fig 1 product graph\n");
   ProductDemo demo;
   const Graph& g = demo.graph();
@@ -64,5 +67,5 @@ int main() {
                   OpCost(o4, adom, diameter) <= 2.0;
   std::printf("#SHAPE %s: unit costs + bounded relative terms (c(o) in [1,2])\n",
               ok ? "PASS" : "FAIL");
-  return 0;
+  return env.Finish();
 }

@@ -5,8 +5,7 @@
 
 #include <cstdio>
 
-#include "chase/ans_heu.h"
-#include "chase/answ.h"
+#include "chase/solve.h"
 #include "gen/datasets.h"
 #include "gen/synthetic.h"
 #include "workload/why_factory.h"
@@ -39,7 +38,7 @@ int main() {
     ChaseOptions opts;
     opts.budget = 3;
     opts.deadline = Deadline::After(deadline);
-    ChaseResult r = AnsW(g, c.question, opts);
+    ChaseResult r = Solve(g, c.question, opts, Algorithm::kAnsW);
     std::printf("AnsW, deadline %5.0f ms      %-12.4f %-10.2f %llu\n",
                 deadline * 1000, r.best().closeness, r.best().cost,
                 static_cast<unsigned long long>(r.stats.steps));
@@ -48,7 +47,7 @@ int main() {
     ChaseOptions opts;
     opts.budget = 3;
     opts.beam = beam;
-    ChaseResult r = AnsHeu(g, c.question, opts);
+    ChaseResult r = Solve(g, c.question, opts, Algorithm::kAnsHeu);
     std::printf("AnsHeu, beam %zu              %-12.4f %-10.2f %llu\n", beam,
                 r.best().closeness, r.best().cost,
                 static_cast<unsigned long long>(r.stats.steps));
@@ -56,7 +55,7 @@ int main() {
 
   ChaseOptions exact;
   exact.budget = 3;
-  ChaseResult full = AnsW(g, c.question, exact);
+  ChaseResult full = Solve(g, c.question, exact, Algorithm::kAnsW);
   std::printf("AnsW, no deadline           %-12.4f %-10.2f %llu\n",
               full.best().closeness, full.best().cost,
               static_cast<unsigned long long>(full.stats.steps));

@@ -6,8 +6,7 @@
 
 #include <cstdio>
 
-#include "chase/answe.h"
-#include "chase/apx_whym.h"
+#include "chase/solve.h"
 #include "gen/datasets.h"
 #include "gen/synthetic.h"
 
@@ -53,7 +52,7 @@ int main() {
   WhyQuestion why_empty{empty_q, Exemplar::FromEntities(g, known)};
   ChaseOptions opts;
   opts.budget = 3;
-  ChaseResult repaired = AnsWE(g, why_empty, opts);
+  ChaseResult repaired = Solve(g, why_empty, opts, Algorithm::kAnsWE);
   std::printf("AnsWE repair ops: %s\n",
               repaired.best().ops.ToString(schema).c_str());
   std::printf("Repaired answer size: %zu (closeness %.4f)\n\n",
@@ -73,7 +72,7 @@ int main() {
               many_answer.size());
 
   WhyQuestion why_many{many_q, Exemplar::FromEntities(g, known)};
-  ChaseResult refined = ApxWhyM(g, why_many, opts);
+  ChaseResult refined = Solve(g, why_many, opts, Algorithm::kApxWhyM);
   std::printf("ApxWhyM refinement ops: %s\n",
               refined.best().ops.ToString(schema).c_str());
   std::printf("Answer size after refinement: %zu (closeness %.4f -> %.4f)\n",

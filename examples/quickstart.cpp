@@ -9,7 +9,7 @@
 
 #include <cstdio>
 
-#include "chase/answ.h"
+#include "chase/solve.h"
 #include "chase/differential.h"
 #include "chase/why_not.h"
 #include "gen/product_demo.h"
@@ -42,7 +42,7 @@ int main() {
   ChaseOptions opts;
   opts.budget = 4;
   ChaseContext ctx(g, w, opts);
-  ChaseResult result = AnsWWithContext(ctx);
+  ChaseResult result = SolveWithContext(ctx, Algorithm::kAnsW);
 
   const WhyAnswer& best = result.best();
   std::printf("== Suggested rewrite Q' (closeness %.3f, cl* = %.3f, cost %.2f) ==\n",

@@ -1,8 +1,8 @@
-#include "chase/ans_heu.h"
-
 #include <algorithm>
 #include <unordered_set>
 
+#include "chase/next_op.h"
+#include "chase/solve.h"
 #include "common/timer.h"
 
 namespace wqe {
@@ -13,7 +13,7 @@ constexpr double kEps = 1e-9;
 
 }  // namespace
 
-ChaseResult AnsHeuWithContext(ChaseContext& ctx) {
+ChaseResult internal::RunAnsHeu(ChaseContext& ctx) {
   const ChaseOptions& opts = ctx.options();
   const size_t beam = std::max<size_t>(opts.beam, 1);
   Timer timer;
@@ -114,14 +114,15 @@ ChaseResult AnsHeuWithContext(ChaseContext& ctx) {
     result.answers.push_back(std::move(a));
   }
   ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  if (front.empty()) {
+    ctx.stats().termination = TerminationReason::kExhausted;
+  } else if (opts.deadline.Expired()) {
+    ctx.stats().termination = TerminationReason::kDeadline;
+  } else {
+    ctx.stats().termination = TerminationReason::kStepCap;
+  }
   result.stats = ctx.stats();
   return result;
-}
-
-ChaseResult AnsHeu(const Graph& g, const WhyQuestion& w,
-                   const ChaseOptions& opts) {
-  ChaseContext ctx(g, w, opts);
-  return AnsHeuWithContext(ctx);
 }
 
 }  // namespace wqe

@@ -1,7 +1,7 @@
 #ifndef WQE_CHASE_ANS_HEU_H_
 #define WQE_CHASE_ANS_HEU_H_
 
-#include "chase/answ.h"
+#include "chase/solve.h"
 
 namespace wqe {
 
@@ -13,9 +13,17 @@ namespace wqe {
 ///
 /// With ChaseOptions::random_ops = true this is AnsHeuB, the ablation that
 /// replaces picky ranking by seeded random operator selection (Exp-3).
-ChaseResult AnsHeu(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts);
+///
+/// Thin wrapper over the unified dispatcher (chase/solve.h); the solver body
+/// lives in internal::RunAnsHeu.
+inline ChaseResult AnsHeu(const Graph& g, const WhyQuestion& w,
+                          const ChaseOptions& opts) {
+  return Solve(g, w, opts, Algorithm::kAnsHeu);
+}
 
-ChaseResult AnsHeuWithContext(ChaseContext& ctx);
+inline ChaseResult AnsHeuWithContext(ChaseContext& ctx) {
+  return SolveWithContext(ctx, Algorithm::kAnsHeu);
+}
 
 }  // namespace wqe
 

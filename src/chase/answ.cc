@@ -1,10 +1,10 @@
-#include "chase/answ.h"
-
 #include <algorithm>
 #include <memory>
 #include <queue>
 #include <unordered_map>
 
+#include "chase/next_op.h"
+#include "chase/solve.h"
 #include "common/timer.h"
 
 namespace wqe {
@@ -86,7 +86,7 @@ class TopK {
 
 }  // namespace
 
-ChaseResult AnsWWithContext(ChaseContext& ctx) {
+ChaseResult internal::RunAnsW(ChaseContext& ctx) {
   const ChaseOptions& opts = ctx.options();
   Timer timer;
   ChaseResult result;
@@ -183,14 +183,17 @@ ChaseResult AnsWWithContext(ChaseContext& ctx) {
     result.answers.push_back(std::move(a));
   }
   ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
-  ctx.stats().reached_theoretical_optimal = optimal;
+  if (optimal) {
+    ctx.stats().termination = TerminationReason::kOptimal;
+  } else if (frontier.empty()) {
+    ctx.stats().termination = TerminationReason::kExhausted;
+  } else if (opts.deadline.Expired()) {
+    ctx.stats().termination = TerminationReason::kDeadline;
+  } else {
+    ctx.stats().termination = TerminationReason::kStepCap;
+  }
   result.stats = ctx.stats();
   return result;
-}
-
-ChaseResult AnsW(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts) {
-  ChaseContext ctx(g, w, opts);
-  return AnsWWithContext(ctx);
 }
 
 }  // namespace wqe

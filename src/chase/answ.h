@@ -1,50 +1,9 @@
 #ifndef WQE_CHASE_ANSW_H_
 #define WQE_CHASE_ANSW_H_
 
-#include <string>
-#include <vector>
-
-#include "chase/differential.h"
-#include "chase/next_op.h"
+#include "chase/solve.h"
 
 namespace wqe {
-
-/// One suggested query rewrite.
-struct WhyAnswer {
-  PatternQuery rewrite;
-  /// Cached `rewrite.Fingerprint()` — top-k deduplication compares stored
-  /// answers against every offer, so the canonical form is computed once at
-  /// construction instead of per comparison. Empty means "not cached yet".
-  std::string fingerprint;
-  OpSequence ops;
-  double cost = 0;
-  std::vector<NodeId> matches;  // Q'(G)
-  double closeness = 0;         // cl(Q'(G), ℰ)
-  bool satisfies_exemplar = false;
-};
-
-/// Point on the anytime-convergence curve (Exp-3): the best answer known
-/// `seconds` after the search started. Carries the answer set so benches can
-/// compute δ_t against a ground truth.
-struct AnytimeSample {
-  double seconds = 0;
-  double closeness = 0;
-  std::vector<NodeId> matches;
-};
-
-/// Result of a Q-Chase search.
-struct ChaseResult {
-  /// Top-k answers, best first. answers[0] is Q* (may be the original query
-  /// itself when nothing improves on it).
-  std::vector<WhyAnswer> answers;
-
-  double cl_star = 0;  // theoretical optimal closeness
-  ChaseStats stats;
-  std::vector<AnytimeSample> trace;
-
-  bool found() const { return !answers.empty(); }
-  const WhyAnswer& best() const { return answers.front(); }
-};
 
 /// Algorithm AnsW (Fig 5): anytime best-first simulation of the Q-Chase
 /// tree with backtracking, picky-operator generation (Fig 7), the §5.4
@@ -53,11 +12,19 @@ struct ChaseResult {
 ///   AnsW    — defaults;
 ///   AnsWnc  — use_cache = false;
 ///   AnsWb   — use_cache = false, use_pruning = false.
-ChaseResult AnsW(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts);
+///
+/// Thin wrapper over the unified dispatcher (chase/solve.h); the solver body
+/// lives in internal::RunAnsW.
+inline ChaseResult AnsW(const Graph& g, const WhyQuestion& w,
+                        const ChaseOptions& opts) {
+  return Solve(g, w, opts, Algorithm::kAnsW);
+}
 
 /// Same, reusing a prepared context (exploratory-search sessions share the
 /// view cache and indexes across questions).
-ChaseResult AnsWWithContext(ChaseContext& ctx);
+inline ChaseResult AnsWWithContext(ChaseContext& ctx) {
+  return SolveWithContext(ctx, Algorithm::kAnsW);
+}
 
 }  // namespace wqe
 

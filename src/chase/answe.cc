@@ -1,9 +1,10 @@
-#include "chase/answe.h"
-
 #include <algorithm>
 #include <map>
 
+#include "chase/solve.h"
 #include "common/timer.h"
+#include "graph/bfs.h"
+#include "query/ops.h"
 
 namespace wqe {
 
@@ -45,7 +46,7 @@ PatternTree BuildTree(const PatternQuery& q) {
 
 }  // namespace
 
-ChaseResult AnsWEWithContext(ChaseContext& ctx) {
+ChaseResult internal::RunAnsWE(ChaseContext& ctx) {
   Timer timer;
   const ChaseOptions& opts = ctx.options();
   const Graph& g = ctx.graph();
@@ -198,13 +199,12 @@ ChaseResult AnsWEWithContext(ChaseContext& ctx) {
   a.fingerprint = a.rewrite.Fingerprint();
   result.answers.push_back(std::move(a));
   ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  // The diagnosis is exhaustive over the (capped) relevant candidates; an
+  // empty answer means every repair's removal set exceeded the budget B.
+  ctx.stats().termination = best != nullptr ? TerminationReason::kExhausted
+                                            : TerminationReason::kBudget;
   result.stats = ctx.stats();
   return result;
-}
-
-ChaseResult AnsWE(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts) {
-  ChaseContext ctx(g, w, opts);
-  return AnsWEWithContext(ctx);
 }
 
 }  // namespace wqe

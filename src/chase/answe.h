@@ -1,7 +1,7 @@
 #ifndef WQE_CHASE_ANSWE_H_
 #define WQE_CHASE_ANSWE_H_
 
-#include "chase/answ.h"
+#include "chase/solve.h"
 
 namespace wqe {
 
@@ -16,9 +16,17 @@ namespace wqe {
 /// candidate v is repairable iff the total cost of the removal operators for
 /// the fragments v fails fits in B; the cheapest repairable candidate's
 /// operator set is the answer.
-ChaseResult AnsWE(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts);
+///
+/// Thin wrapper over the unified dispatcher (chase/solve.h); the solver body
+/// lives in internal::RunAnsWE.
+inline ChaseResult AnsWE(const Graph& g, const WhyQuestion& w,
+                         const ChaseOptions& opts) {
+  return Solve(g, w, opts, Algorithm::kAnsWE);
+}
 
-ChaseResult AnsWEWithContext(ChaseContext& ctx);
+inline ChaseResult AnsWEWithContext(ChaseContext& ctx) {
+  return SolveWithContext(ctx, Algorithm::kAnsWE);
+}
 
 }  // namespace wqe
 

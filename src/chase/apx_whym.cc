@@ -1,10 +1,12 @@
-#include "chase/apx_whym.h"
-
 #include <algorithm>
 #include <map>
 #include <set>
 
+#include "chase/picky_refine.h"
+#include "chase/solve.h"
 #include "common/timer.h"
+#include "graph/bfs.h"
+#include "query/ops.h"
 
 namespace wqe {
 
@@ -74,7 +76,7 @@ std::vector<ScoredOp> SeedRf(ChaseContext& ctx, const EvalResult& root) {
 
 }  // namespace
 
-ChaseResult ApxWhyMWithContext(ChaseContext& ctx) {
+ChaseResult internal::RunApxWhyM(ChaseContext& ctx) {
   Timer timer;
   const ChaseOptions& opts = ctx.options();
   ChaseResult result;
@@ -124,6 +126,7 @@ ChaseResult ApxWhyMWithContext(ChaseContext& ctx) {
   std::vector<bool> used(seeds.size(), false);
   auto cur = root;
   double spent = 0;
+  TerminationReason termination = TerminationReason::kExhausted;
   while (true) {
     int best_i = -1;
     double best_ratio = 0;
@@ -144,25 +147,29 @@ ChaseResult ApxWhyMWithContext(ChaseContext& ctx) {
         best_eval = eval;
       }
     }
-    if (best_i < 0 || best_ratio <= 0) break;
+    if (best_i < 0) {
+      // Every remaining seed exceeds the leftover budget (or no longer
+      // applies) — the coverage walk was cut short by B, not converged.
+      termination = TerminationReason::kBudget;
+      break;
+    }
+    if (best_ratio <= 0) break;  // converged: no seed improves closeness
     used[static_cast<size_t>(best_i)] = true;
     spent += seeds[static_cast<size_t>(best_i)].cost;
     cur = best_eval;
     consider(cur);
-    if (opts.deadline.Expired()) break;
+    if (opts.deadline.Expired()) {
+      termination = TerminationReason::kDeadline;
+      break;
+    }
   }
 
   result.answers.push_back(
       make_answer(best_sat != nullptr ? *best_sat : *best_any));
   ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  ctx.stats().termination = termination;
   result.stats = ctx.stats();
   return result;
-}
-
-ChaseResult ApxWhyM(const Graph& g, const WhyQuestion& w,
-                    const ChaseOptions& opts) {
-  ChaseContext ctx(g, w, opts);
-  return ApxWhyMWithContext(ctx);
 }
 
 }  // namespace wqe

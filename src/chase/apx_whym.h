@@ -1,7 +1,7 @@
 #ifndef WQE_CHASE_APX_WHYM_H_
 #define WQE_CHASE_APX_WHYM_H_
 
-#include "chase/answ.h"
+#include "chase/solve.h"
 
 namespace wqe {
 
@@ -14,10 +14,17 @@ namespace wqe {
 /// operator o covers IM(o) ⊆ I(u_o); greedy marginal-gain-per-cost
 /// selection compared against the best single operator yields the
 /// fixed-parameter ½(1 − 1/e) approximation.
-ChaseResult ApxWhyM(const Graph& g, const WhyQuestion& w,
-                    const ChaseOptions& opts);
+///
+/// Thin wrapper over the unified dispatcher (chase/solve.h); the solver body
+/// lives in internal::RunApxWhyM.
+inline ChaseResult ApxWhyM(const Graph& g, const WhyQuestion& w,
+                           const ChaseOptions& opts) {
+  return Solve(g, w, opts, Algorithm::kApxWhyM);
+}
 
-ChaseResult ApxWhyMWithContext(ChaseContext& ctx);
+inline ChaseResult ApxWhyMWithContext(ChaseContext& ctx) {
+  return SolveWithContext(ctx, Algorithm::kApxWhyM);
+}
 
 }  // namespace wqe
 

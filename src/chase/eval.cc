@@ -1,6 +1,7 @@
 #include "chase/eval.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace wqe {
 
@@ -12,10 +13,47 @@ DistanceIndex::Options DistOptions(size_t num_threads) {
   return o;
 }
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
+const char* TerminationReasonName(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kOptimal:
+      return "optimal";
+    case TerminationReason::kExhausted:
+      return "exhausted";
+    case TerminationReason::kDeadline:
+      return "deadline";
+    case TerminationReason::kStepCap:
+      return "step_cap";
+    case TerminationReason::kBudget:
+      return "budget";
+  }
+  return "unknown";
+}
+
+// Each member build runs under its own span (a no-op unless the calling
+// thread has a tracer installed — benches and sessions do). The lambdas
+// return prvalues, so guaranteed elision constructs the members in place.
 GraphIndexes::GraphIndexes(const Graph& g, size_t num_threads)
-    : adom(g), diameter(EstimateDiameter(g)), dist(g, DistOptions(num_threads)) {}
+    : adom([&] {
+        WQE_SPAN("index.adom");
+        return ActiveDomains(g);
+      }()),
+      diameter([&] {
+        WQE_SPAN("index.diameter");
+        return EstimateDiameter(g);
+      }()),
+      dist([&] {
+        WQE_SPAN("index.dist_pll");
+        return DistanceIndex(g, DistOptions(num_threads));
+      }()) {}
 
 ChaseContext::ChaseContext(const Graph& g, const WhyQuestion& w,
                            const ChaseOptions& opts)
@@ -31,6 +69,11 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
     : g_(g),
       w_(w),
       opts_(opts),
+      owned_obs_(opts.observability == nullptr
+                     ? std::make_unique<obs::Observability>()
+                     : nullptr),
+      obs_(opts.observability == nullptr ? owned_obs_.get()
+                                         : opts.observability),
       owned_indexes_(indexes == nullptr
                          ? std::make_unique<GraphIndexes>(g, opts.num_threads)
                          : nullptr),
@@ -43,7 +86,16 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
   if (opts_.time_limit_seconds > 0) {
     opts_.deadline = Deadline::After(opts_.time_limit_seconds);
   }
+  // Resolve hot-path metrics once (registration takes the registry mutex;
+  // increments after this point are lock-free shard writes).
+  c_evaluations_ = &obs_->metrics.counter("chase.evaluations");
+  c_memo_hits_ = &obs_->metrics.counter("chase.memo_hits");
+  h_evaluate_ns_ = &obs_->metrics.histogram("chase.evaluate_ns");
+  obs_->metrics.gauge("index.diameter").Set(indexes_->diameter);
+  obs_->metrics.gauge("graph.nodes").Set(static_cast<int64_t>(g.num_nodes()));
   star_matcher_.set_num_threads(opts_.num_threads);
+  star_matcher_.set_observability(obs_);
+  active_cache_->set_observability(obs_);
   // V_{u_o}: the label class of the original focus (all nodes any rewrite's
   // focus could match).
   const LabelId focus_label = w_.query.node(w_.query.focus()).label;
@@ -62,6 +114,8 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
 
 std::shared_ptr<EvalResult> ChaseContext::Evaluate(const PatternQuery& q,
                                                    OpSequence ops) {
+  WQE_SPAN("chase.evaluate");
+  const uint64_t t0 = NowNs();
   auto result = std::make_shared<EvalResult>();
   result->query = q;
   result->cost = SeqCost(ops);
@@ -74,9 +128,11 @@ std::shared_ptr<EvalResult> ChaseContext::Evaluate(const PatternQuery& q,
   auto memo = opts_.use_memo ? match_memo_.find(fp) : match_memo_.end();
   if (opts_.use_memo && memo != match_memo_.end()) {
     ++stats_.memo_hits;
+    c_memo_hits_->Inc();
     result->matches = memo->second;
   } else {
     ++stats_.evaluations;
+    c_evaluations_->Inc();
     // Verify exemplar-close candidates first (TA-style ordering, §5.2).
     std::function<double(NodeId)> priority = [this](NodeId v) {
       return rep_.ClosenessOf(v);
@@ -97,6 +153,7 @@ std::shared_ptr<EvalResult> ChaseContext::Evaluate(const PatternQuery& q,
     RepResult over_answer = ComputeRep(closeness_, w_.exemplar, result->matches);
     result->satisfies_exemplar = over_answer.nontrivial;
   }
+  h_evaluate_ns_->Observe(NowNs() - t0);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "graph/diameter.h"
 #include "graph/distance_index.h"
 #include "match/star_matcher.h"
+#include "obs/observability.h"
 #include "query/op_sequence.h"
 
 namespace wqe {
@@ -36,6 +37,19 @@ struct EvalResult {
   bool refined = false;  // ops contains at least one refinement operator
 };
 
+/// Why the chase stopped. Anytime-mode callers (fig10l) need to distinguish
+/// "proved optimal" from "ran out of time" from "explored everything the
+/// budget admits" — a lone bool cannot.
+enum class TerminationReason {
+  kOptimal,    // best answer reached the theoretical optimal cl* (§5.4)
+  kExhausted,  // the (pruned) chase tree was explored completely
+  kDeadline,   // the wall-clock deadline fired (anytime return)
+  kStepCap,    // ChaseOptions::max_steps safety valve
+  kBudget,     // no applicable operator fits the remaining budget B
+};
+
+const char* TerminationReasonName(TerminationReason reason);
+
 /// Aggregate counters for the efficiency experiments.
 struct ChaseStats {
   uint64_t steps = 0;             // simulated Q-Chase steps
@@ -44,7 +58,14 @@ struct ChaseStats {
   uint64_t ops_generated = 0;     // picky operators produced
   uint64_t pruned = 0;            // chase nodes pruned by §5.4
   double elapsed_seconds = 0;
-  bool reached_theoretical_optimal = false;
+  TerminationReason termination = TerminationReason::kExhausted;
+  /// Per-phase breakdown of this run (from the context's tracer): where the
+  /// wall/CPU time inside `elapsed_seconds` actually went.
+  std::vector<obs::PhaseStat> phases;
+
+  bool reached_optimal() const {
+    return termination == TerminationReason::kOptimal;
+  }
 };
 
 /// Question-independent, graph-level indexes: active domains (cost-model
@@ -121,10 +142,22 @@ class ChaseContext {
 
   ChaseStats& stats() { return stats_; }
 
+  /// The observation scope this context reports into: the one supplied via
+  /// ChaseOptions::observability (sessions / benches share a registry across
+  /// questions) or a private instance otherwise — never null.
+  obs::Observability& obs() { return *obs_; }
+
  private:
   const Graph& g_;
   WhyQuestion w_;
   ChaseOptions opts_;
+
+  std::unique_ptr<obs::Observability> owned_obs_;
+  obs::Observability* obs_;
+  // Metrics resolved once at construction; incremented lock-free after.
+  obs::Counter* c_evaluations_ = nullptr;
+  obs::Counter* c_memo_hits_ = nullptr;
+  obs::Histogram* h_evaluate_ns_ = nullptr;
 
   std::unique_ptr<GraphIndexes> owned_indexes_;
   GraphIndexes* indexes_;

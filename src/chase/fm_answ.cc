@@ -1,10 +1,12 @@
-#include "chase/fm_answ.h"
-
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
+#include "chase/solve.h"
 #include "common/timer.h"
+#include "match/matcher.h"
+#include "query/ops.h"
 
 namespace wqe {
 
@@ -35,7 +37,7 @@ struct MinedCandidate {
 
 }  // namespace
 
-ChaseResult FMAnsWWithContext(ChaseContext& ctx) {
+ChaseResult internal::RunFMAnsW(ChaseContext& ctx) {
   Timer timer;
   const ChaseOptions& opts = ctx.options();
   const Graph& g = ctx.graph();
@@ -211,13 +213,16 @@ ChaseResult FMAnsWWithContext(ChaseContext& ctx) {
   a.satisfies_exemplar = chosen.satisfies;
   result.answers.push_back(std::move(a));
   ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
+  if (opts.deadline.Expired()) {
+    ctx.stats().termination = TerminationReason::kDeadline;
+  } else if (evaluations >= kMaxEvaluations) {
+    ctx.stats().termination = TerminationReason::kStepCap;
+  } else {
+    // The bounded feature lattice was enumerated completely within B.
+    ctx.stats().termination = TerminationReason::kExhausted;
+  }
   result.stats = ctx.stats();
   return result;
-}
-
-ChaseResult FMAnsW(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts) {
-  ChaseContext ctx(g, w, opts);
-  return FMAnsWWithContext(ctx);
 }
 
 }  // namespace wqe

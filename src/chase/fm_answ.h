@@ -1,7 +1,7 @@
 #ifndef WQE_CHASE_FM_ANSW_H_
 #define WQE_CHASE_FM_ANSW_H_
 
-#include "chase/answ.h"
+#include "chase/solve.h"
 
 namespace wqe {
 
@@ -13,9 +13,17 @@ namespace wqe {
 /// scratch (no picky guidance, no star-view reuse), returning the rewrite
 /// with the best closeness. Deliberately exhaustive over its bounded feature
 /// lattice; the comparison baseline of Fig 10(a)/(i) and Fig 12.
-ChaseResult FMAnsW(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts);
+///
+/// Thin wrapper over the unified dispatcher (chase/solve.h); the solver body
+/// lives in internal::RunFMAnsW.
+inline ChaseResult FMAnsW(const Graph& g, const WhyQuestion& w,
+                          const ChaseOptions& opts) {
+  return Solve(g, w, opts, Algorithm::kFMAnsW);
+}
 
-ChaseResult FMAnsWWithContext(ChaseContext& ctx);
+inline ChaseResult FMAnsWWithContext(ChaseContext& ctx) {
+  return SolveWithContext(ctx, Algorithm::kFMAnsW);
+}
 
 }  // namespace wqe
 

@@ -5,6 +5,7 @@
 #include <queue>
 #include <unordered_map>
 
+#include "chase/next_op.h"
 #include "common/timer.h"
 
 namespace wqe {

@@ -47,11 +47,13 @@ void GenerateOps(ChaseContext& ctx, ChaseNode& node, double best_cl,
 
   std::vector<ScoredOp> ops;
   if (refine_cond) {
+    WQE_SPAN("ops.refine");
     auto refine = GenerateRefineOps(ctx, cur);
     ops.insert(ops.end(), std::make_move_iterator(refine.begin()),
                std::make_move_iterator(refine.end()));
   }
   if (relax_cond) {
+    WQE_SPAN("ops.relax");
     auto relax = GenerateRelaxOps(ctx, cur);
     ops.insert(ops.end(), std::make_move_iterator(relax.begin()),
                std::make_move_iterator(relax.end()));

@@ -62,8 +62,14 @@ std::string ChaseReport::ToJson(ChaseContext& ctx, const ChaseResult& result,
   out << "  \"original_closeness\": " << ctx.root()->cl << ",\n";
   out << "  \"stats\": {\"steps\": " << result.stats.steps
       << ", \"evaluations\": " << result.stats.evaluations
+      << ", \"memo_hits\": " << result.stats.memo_hits
       << ", \"pruned\": " << result.stats.pruned
       << ", \"elapsed_seconds\": " << result.stats.elapsed_seconds << "},\n";
+  out << "  \"termination\": \""
+      << TerminationReasonName(result.stats.termination) << "\",\n";
+  out << "  \"status\": \"" << Escape(result.status.ToString()) << "\",\n";
+  out << "  \"phases\": " << obs::PhasesJson(result.stats.phases) << ",\n";
+  out << "  \"metrics\": " << ctx.obs().metrics.ToJson() << ",\n";
 
   out << "  \"answers\": [\n";
   for (size_t i = 0; i < result.answers.size(); ++i) {

@@ -1,0 +1,56 @@
+#ifndef WQE_CHASE_RESULT_H_
+#define WQE_CHASE_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/eval.h"
+
+namespace wqe {
+
+/// One suggested query rewrite.
+struct WhyAnswer {
+  PatternQuery rewrite;
+  /// Cached `rewrite.Fingerprint()` — top-k deduplication compares stored
+  /// answers against every offer, so the canonical form is computed once at
+  /// construction instead of per comparison. Empty means "not cached yet".
+  std::string fingerprint;
+  OpSequence ops;
+  double cost = 0;
+  std::vector<NodeId> matches;  // Q'(G)
+  double closeness = 0;         // cl(Q'(G), ℰ)
+  bool satisfies_exemplar = false;
+};
+
+/// Point on the anytime-convergence curve (Exp-3): the best answer known
+/// `seconds` after the search started. Carries the answer set so benches can
+/// compute δ_t against a ground truth.
+struct AnytimeSample {
+  double seconds = 0;
+  double closeness = 0;
+  std::vector<NodeId> matches;
+};
+
+/// Result of a Q-Chase search.
+struct ChaseResult {
+  /// Top-k answers, best first. answers[0] is Q* (may be the original query
+  /// itself when nothing improves on it).
+  std::vector<WhyAnswer> answers;
+
+  double cl_star = 0;  // theoretical optimal closeness
+  ChaseStats stats;
+  std::vector<AnytimeSample> trace;
+
+  /// Boundary validation outcome: non-OK means the options were rejected
+  /// before any search ran (answers is then empty).
+  Status status;
+
+  bool ok() const { return status.ok(); }
+  bool found() const { return !answers.empty(); }
+  const WhyAnswer& best() const { return answers.front(); }
+  TerminationReason termination() const { return stats.termination; }
+};
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_RESULT_H_

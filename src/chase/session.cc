@@ -4,6 +4,24 @@ namespace wqe {
 
 namespace {
 
+void MergePhases(std::vector<obs::PhaseStat>& total,
+                 const std::vector<obs::PhaseStat>& delta) {
+  for (const obs::PhaseStat& d : delta) {
+    bool merged = false;
+    for (obs::PhaseStat& t : total) {
+      if (t.name == d.name) {
+        t.count += d.count;
+        t.wall_seconds += d.wall_seconds;
+        t.self_seconds += d.self_seconds;
+        t.cpu_seconds += d.cpu_seconds;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) total.push_back(d);
+  }
+}
+
 void Accumulate(ChaseStats& total, const ChaseStats& delta) {
   total.steps += delta.steps;
   total.evaluations += delta.evaluations;
@@ -11,12 +29,21 @@ void Accumulate(ChaseStats& total, const ChaseStats& delta) {
   total.ops_generated += delta.ops_generated;
   total.pruned += delta.pruned;
   total.elapsed_seconds += delta.elapsed_seconds;
+  total.termination = delta.termination;  // latest question's reason
+  MergePhases(total.phases, delta.phases);
 }
 
 }  // namespace
 
 ExploratorySession::ExploratorySession(const Graph& g, ChaseOptions defaults)
-    : g_(g), defaults_(defaults), indexes_(g) {}
+    : g_(g),
+      defaults_(defaults),
+      defaults_status_(defaults.Validate()),
+      indexes_(g) {
+  // Every question of the session reports into the session's scope — one
+  // registry and tracer across all Asks, matching the shared view cache.
+  defaults_.observability = &obs_;
+}
 
 const std::vector<NodeId>& ExploratorySession::Issue(const PatternQuery& q) {
   // A context with an empty exemplar evaluates the query through the shared
@@ -29,12 +56,16 @@ const std::vector<NodeId>& ExploratorySession::Issue(const PatternQuery& q) {
 
 ChaseResult ExploratorySession::Ask(const Exemplar& exemplar) {
   ChaseResult empty;
+  if (!defaults_status_.ok()) {
+    empty.status = defaults_status_;
+    return empty;
+  }
   if (!has_query()) return empty;
   WhyQuestion w{current_->question().query, exemplar};
   current_ =
       std::make_unique<ChaseContext>(g_, &indexes_, &cache_, w, defaults_);
-  ChaseResult result = AnsWWithContext(*current_);
-  Accumulate(total_stats_, current_->stats());
+  ChaseResult result = SolveWithContext(*current_, Algorithm::kAnsW);
+  Accumulate(total_stats_, result.stats);
   return result;
 }
 

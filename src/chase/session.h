@@ -50,12 +50,24 @@ class ExploratorySession {
   /// Cache effectiveness over the session so far.
   const ViewCache& cache() const { return cache_; }
 
-  /// Cumulative chase statistics across all questions asked.
+  /// Cumulative chase statistics across all questions asked. `phases` holds
+  /// the per-phase breakdown summed over every Ask; `termination` is the
+  /// latest question's reason.
   const ChaseStats& stats() const { return total_stats_; }
+
+  /// The observation scope every question of this session reports into
+  /// (metrics accumulate across Asks; the tracer spans them all).
+  obs::Observability& observability() { return obs_; }
+
+  /// Validation outcome of the session defaults, computed once at
+  /// construction. A non-OK session returns that status from every Ask.
+  const Status& defaults_status() const { return defaults_status_; }
 
  private:
   const Graph& g_;
   ChaseOptions defaults_;
+  Status defaults_status_;
+  obs::Observability obs_;
   GraphIndexes indexes_;
   ViewCache cache_;
   std::unique_ptr<ChaseContext> current_;  // context of the current query

@@ -1,0 +1,133 @@
+#include "chase/solve.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace wqe {
+
+namespace {
+
+const char* SolveSpanName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kAnsW:
+      return "solve.AnsW";
+    case Algorithm::kAnsWE:
+      return "solve.AnsWE";
+    case Algorithm::kAnsHeu:
+      return "solve.AnsHeu";
+    case Algorithm::kFMAnsW:
+      return "solve.FMAnsW";
+    case Algorithm::kApxWhyM:
+      return "solve.ApxWhyM";
+  }
+  return "solve.unknown";
+}
+
+ChaseResult Dispatch(ChaseContext& ctx, Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kAnsW:
+      return internal::RunAnsW(ctx);
+    case Algorithm::kAnsWE:
+      return internal::RunAnsWE(ctx);
+    case Algorithm::kAnsHeu:
+      return internal::RunAnsHeu(ctx);
+    case Algorithm::kFMAnsW:
+      return internal::RunFMAnsW(ctx);
+    case Algorithm::kApxWhyM:
+      return internal::RunApxWhyM(ctx);
+  }
+  ChaseResult r;
+  r.status = Status::InvalidArgument("unknown Algorithm value");
+  return r;
+}
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kAnsW:
+      return "AnsW";
+    case Algorithm::kAnsWE:
+      return "AnsWE";
+    case Algorithm::kAnsHeu:
+      return "AnsHeu";
+    case Algorithm::kFMAnsW:
+      return "FMAnsW";
+    case Algorithm::kApxWhyM:
+      return "ApxWhyM";
+  }
+  return "unknown";
+}
+
+std::optional<Algorithm> AlgorithmFromString(std::string_view name) {
+  const std::string s = Lower(name);
+  if (s == "answ") return Algorithm::kAnsW;
+  if (s == "answe" || s == "whye") return Algorithm::kAnsWE;
+  if (s == "ansheu" || s == "heu") return Algorithm::kAnsHeu;
+  if (s == "fmansw" || s == "fm") return Algorithm::kFMAnsW;
+  if (s == "apxwhym" || s == "whym") return Algorithm::kApxWhyM;
+  return std::nullopt;
+}
+
+ChaseResult SolveWithContext(ChaseContext& ctx, Algorithm algo) {
+  if (Status s = ctx.options().Validate(); !s.ok()) {
+    ChaseResult r;
+    r.status = std::move(s);
+    return r;
+  }
+
+  obs::Observability& o = ctx.obs();
+  // Install the context's tracer so WQE_SPAN sites below the solver (star
+  // matching, operator generation, evaluation) record into it.
+  obs::TracerScope tracer_scope(&o.tracer);
+
+  // The registry and tracer are shared across questions (sessions, benches);
+  // snapshot so this run's contribution can be carved out afterwards.
+  const ChaseStats before = ctx.stats();
+  const std::vector<obs::PhaseStat> phases_before = o.tracer.Phases();
+
+  ChaseResult result;
+  {
+    obs::ScopedSpan span(&o.tracer, SolveSpanName(algo));
+    result = Dispatch(ctx, algo);
+  }
+
+  result.stats.phases = obs::DiffPhases(phases_before, o.tracer.Phases());
+
+  // Mirror the solver-loop counters into the metric registry. The per-call
+  // metrics (evaluations, memo hits, evaluate latency) are incremented live
+  // by ChaseContext::Evaluate; these loop-level tallies are only known to the
+  // solver's ChaseStats, so the dispatcher bridges them once per run.
+  const ChaseStats& after = result.stats;
+  o.metrics.counter("chase.steps").Inc(after.steps - before.steps);
+  o.metrics.counter("chase.pruned").Inc(after.pruned - before.pruned);
+  o.metrics.counter("chase.ops_generated")
+      .Inc(after.ops_generated - before.ops_generated);
+  o.metrics.counter("solve.runs").Inc();
+  o.metrics.histogram("solve.latency_ns")
+      .Observe(static_cast<uint64_t>(after.elapsed_seconds * 1e9));
+  return result;
+}
+
+ChaseResult Solve(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts,
+                  Algorithm algo) {
+  // Reject bad options before paying for index construction.
+  if (Status s = opts.Validate(); !s.ok()) {
+    ChaseResult r;
+    r.status = std::move(s);
+    return r;
+  }
+  ChaseContext ctx(g, w, opts);
+  return SolveWithContext(ctx, algo);
+}
+
+}  // namespace wqe

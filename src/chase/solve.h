@@ -1,0 +1,59 @@
+#ifndef WQE_CHASE_SOLVE_H_
+#define WQE_CHASE_SOLVE_H_
+
+#include <optional>
+#include <string_view>
+
+#include "chase/result.h"
+
+namespace wqe {
+
+/// The paper's solver roster behind one dispatcher. Every algorithm consumes
+/// the same (graph, Why-question, options) triple and produces a ChaseResult;
+/// the ablations (AnsWnc, AnsWb, AnsHeuB) stay option toggles, not entries.
+enum class Algorithm {
+  kAnsW,     // anytime best-first Q-Chase (Fig 5) — the default
+  kAnsWE,    // removal-only Why-Empty repair (§6.1)
+  kAnsHeu,   // beam search, no backtracking (§5.5)
+  kFMAnsW,   // frequent-pattern-mining reformulation baseline (§7, [21])
+  kApxWhyM,  // budgeted max-coverage Why-Many refinement (Fig 9)
+};
+
+/// Canonical name ("AnsW", "AnsWE", ...).
+const char* AlgorithmName(Algorithm algo);
+
+/// Parses canonical names (case-insensitive) and the CLI's historical short
+/// tokens: answ, whye/answe, heu/ansheu, fm/fmansw, whym/apxwhym.
+std::optional<Algorithm> AlgorithmFromString(std::string_view name);
+
+/// The unified solver entry point. Validates `opts` once
+/// (ChaseOptions::Validate — a rejection returns an empty result carrying the
+/// status), builds the evaluation context, and dispatches. Every legacy
+/// `X(g, w, opts)` entry point is a thin inline wrapper over this.
+ChaseResult Solve(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts,
+                  Algorithm algo = Algorithm::kAnsW);
+
+/// Same, reusing a prepared context (exploratory-search sessions and the
+/// experiment runner share indexes and the view cache across questions).
+/// Also the instrumentation boundary: wraps the run in a `solve.<name>` span,
+/// installs the context's tracer for WQE_SPAN sites below, records the
+/// run's per-phase breakdown into `result.stats.phases`, and mirrors the
+/// ChaseStats deltas into the context's metric registry.
+ChaseResult SolveWithContext(ChaseContext& ctx, Algorithm algo);
+
+namespace internal {
+
+// The actual solver bodies (answ.cc, answe.cc, ans_heu.cc, fm_answ.cc,
+// apx_whym.cc). Only SolveWithContext and the parity tests call these
+// directly: they skip validation and observability bookkeeping.
+ChaseResult RunAnsW(ChaseContext& ctx);
+ChaseResult RunAnsWE(ChaseContext& ctx);
+ChaseResult RunAnsHeu(ChaseContext& ctx);
+ChaseResult RunFMAnsW(ChaseContext& ctx);
+ChaseResult RunApxWhyM(ChaseContext& ctx);
+
+}  // namespace internal
+
+}  // namespace wqe
+
+#endif  // WQE_CHASE_SOLVE_H_

@@ -1,0 +1,34 @@
+#include "chase/why.h"
+
+namespace wqe {
+
+Status ChaseOptions::Validate() const {
+  if (top_k == 0) {
+    return Status::InvalidArgument("top_k must be >= 1 (0 rewrites requested)");
+  }
+  if (beam == 0) {
+    return Status::InvalidArgument("beam must be >= 1");
+  }
+  if (max_bound == 0) {
+    return Status::InvalidArgument(
+        "max_bound must be >= 1 (edge bounds of 0 match nothing)");
+  }
+  if (budget < 0) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  if (time_limit_seconds < 0) {
+    return Status::InvalidArgument("time_limit_seconds must be non-negative");
+  }
+  if (closeness.theta < 0 || closeness.theta > 1) {
+    return Status::OutOfRange("closeness.theta must lie in [0, 1]");
+  }
+  if (closeness.lambda < 0 || closeness.lambda > 1) {
+    return Status::OutOfRange("closeness.lambda must lie in [0, 1]");
+  }
+  if (max_steps == 0) {
+    return Status::InvalidArgument("max_steps must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace wqe

@@ -3,12 +3,17 @@
 
 #include <cstdint>
 
+#include "common/status.h"
 #include "common/timer.h"
 #include "exemplar/closeness.h"
 #include "exemplar/exemplar.h"
 #include "query/query.h"
 
 namespace wqe {
+
+namespace obs {
+struct Observability;
+}  // namespace obs
 
 /// A Why-question W = (Q(u_o), ℰ) (§2.2): the original query plus the
 /// exemplar describing the desired answers.
@@ -83,6 +88,18 @@ struct ChaseOptions {
   /// (an absolute expiry), this is re-armed when a ChaseContext is created,
   /// so one options object can drive a whole batch of questions.
   double time_limit_seconds = 0;
+
+  /// Observation scope (metrics registry + span tracer) shared across
+  /// questions. Null = each ChaseContext owns a private scope. The pointee
+  /// must outlive every context built from these options.
+  obs::Observability* observability = nullptr;
+
+  /// Boundary validation for the unified Solve entry point: rejects option
+  /// combinations the solvers would otherwise have to clamp silently
+  /// (top_k/beam/max_bound of 0, negative budget or time limit, θ/λ outside
+  /// [0, 1]). Solve and ExploratorySession call this once; the solvers then
+  /// assume well-formed options.
+  Status Validate() const;
 };
 
 }  // namespace wqe

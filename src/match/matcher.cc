@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace wqe {
 
@@ -187,6 +188,7 @@ bool Matcher::IsMatchRestricted(
 }
 
 std::vector<NodeId> Matcher::Answer(const PatternQuery& q, size_t num_threads) {
+  WQE_SPAN("match.answer");
   const std::vector<NodeId> candidates = ComputeCandidates(g_, q, q.focus());
   std::vector<NodeId> out;
   const size_t threads = ResolveThreads(num_threads);

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/thread_pool.h"
+#include "obs/observability.h"
 
 namespace wqe {
 
@@ -32,24 +33,38 @@ void StarMatcher::set_num_threads(size_t n) {
   materializer_.set_num_threads(n);
 }
 
+void StarMatcher::set_observability(obs::Observability* o) {
+  if (o == nullptr) {
+    c_tables_built_ = c_candidates_ = c_verified_ = nullptr;
+    return;
+  }
+  c_tables_built_ = &o->metrics.counter("match.tables_built");
+  c_candidates_ = &o->metrics.counter("match.focus_candidates");
+  c_verified_ = &o->metrics.counter("match.focus_verified");
+}
+
 StarMatcher::Evaluation StarMatcher::Evaluate(
     const PatternQuery& q, const std::function<double(NodeId)>* priority) {
   ++stats_.evaluations;
   Evaluation eval;
   eval.stars = DecomposeStars(q);
 
-  for (const StarQuery& star : eval.stars) {
-    std::shared_ptr<const StarTable> table;
-    if (cache_ != nullptr) {
-      table = cache_->Get(star.Signature(q));
-      if (table != nullptr) ++stats_.cache_hits;
+  {
+    WQE_SPAN("match.stars");
+    for (const StarQuery& star : eval.stars) {
+      std::shared_ptr<const StarTable> table;
+      if (cache_ != nullptr) {
+        table = cache_->Get(star.Signature(q));
+        if (table != nullptr) ++stats_.cache_hits;
+      }
+      if (table == nullptr) {
+        table = materializer_.Materialize(q, star);
+        ++stats_.tables_built;
+        if (c_tables_built_ != nullptr) c_tables_built_->Inc();
+        if (cache_ != nullptr) cache_->Put(star.Signature(q), table);
+      }
+      eval.tables.push_back(std::move(table));
     }
-    if (table == nullptr) {
-      table = materializer_.Materialize(q, star);
-      ++stats_.tables_built;
-      if (cache_ != nullptr) cache_->Put(star.Signature(q), table);
-    }
-    eval.tables.push_back(std::move(table));
   }
 
   // Per-node pruned candidate sets: intersection of occurrences across all
@@ -80,7 +95,9 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
     candidates = ComputeCandidates(g_, q, q.focus());
   }
   stats_.focus_candidates += candidates.size();
+  if (c_candidates_ != nullptr) c_candidates_->Inc(candidates.size());
 
+  WQE_SPAN("match.verify");
   if (priority != nullptr) {
     std::stable_sort(candidates.begin(), candidates.end(),
                      [&](NodeId a, NodeId b) {
@@ -120,6 +137,7 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
       if (is_match[i]) eval.matches.push_back(candidates[i]);
     }
   }
+  if (c_verified_ != nullptr) c_verified_->Inc(candidates.size());
   std::sort(eval.matches.begin(), eval.matches.end());
   return eval;
 }

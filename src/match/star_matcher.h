@@ -13,6 +13,11 @@
 
 namespace wqe {
 
+namespace obs {
+class Counter;
+struct Observability;
+}  // namespace obs
+
 /// Counters for the optimization experiments.
 struct StarEvalStats {
   uint64_t evaluations = 0;
@@ -42,6 +47,10 @@ class StarMatcher {
   /// in candidate order, so Evaluate is byte-identical for every setting.
   void set_num_threads(size_t n);
 
+  /// Mirrors table-build / verification counters into `o`'s registry
+  /// (resolved once here, bumped lock-free per Evaluate). Null detaches.
+  void set_observability(obs::Observability* o);
+
   struct Evaluation {
     std::vector<NodeId> matches;  // Q(G), sorted ascending
     std::vector<StarQuery> stars;
@@ -66,6 +75,10 @@ class StarMatcher {
   /// Worker matchers for parallel verification, one per slot >= 1 (slot 0
   /// is matcher_), created lazily and reused across Evaluate calls.
   std::vector<std::unique_ptr<Matcher>> workers_;
+
+  obs::Counter* c_tables_built_ = nullptr;
+  obs::Counter* c_candidates_ = nullptr;
+  obs::Counter* c_verified_ = nullptr;
 };
 
 }  // namespace wqe

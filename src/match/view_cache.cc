@@ -2,7 +2,22 @@
 
 #include <cmath>
 
+#include "obs/observability.h"
+
 namespace wqe {
+
+void ViewCache::set_observability(obs::Observability* o) {
+  if (o == nullptr) {
+    c_hits_ = c_misses_ = c_evictions_ = nullptr;
+    g_entries_ = nullptr;
+    return;
+  }
+  c_hits_ = &o->metrics.counter("cache.hits");
+  c_misses_ = &o->metrics.counter("cache.misses");
+  c_evictions_ = &o->metrics.counter("cache.evictions");
+  g_entries_ = &o->metrics.gauge("cache.entries");
+  g_entries_->Set(static_cast<int64_t>(total_entries_));
+}
 
 double ViewCache::DecayedScore(const Entry& e) const {
   const double age = static_cast<double>(tick_ - e.last_tick);
@@ -14,9 +29,11 @@ std::shared_ptr<const StarTable> ViewCache::Get(const std::string& signature) {
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
     ++misses_;
+    if (c_misses_ != nullptr) c_misses_->Inc();
     return nullptr;
   }
   ++hits_;
+  if (c_hits_ != nullptr) c_hits_->Inc();
   Entry& e = it->second;
   e.score = DecayedScore(e) + 1.0;
   e.last_tick = tick_;
@@ -34,6 +51,9 @@ void ViewCache::Put(const std::string& signature,
     it->second.score = DecayedScore(it->second) + 1.0;
     it->second.last_tick = tick_;
     EvictIfNeeded();
+    if (g_entries_ != nullptr) {
+      g_entries_->Set(static_cast<int64_t>(total_entries_));
+    }
     return;
   }
   Entry e;
@@ -43,6 +63,9 @@ void ViewCache::Put(const std::string& signature,
   total_entries_ += e.table->EntryCount();
   entries_.emplace(signature, std::move(e));
   EvictIfNeeded();
+  if (g_entries_ != nullptr) {
+    g_entries_->Set(static_cast<int64_t>(total_entries_));
+  }
 }
 
 void ViewCache::EvictIfNeeded() {
@@ -58,12 +81,14 @@ void ViewCache::EvictIfNeeded() {
     }
     total_entries_ -= victim->second.table->EntryCount();
     entries_.erase(victim);
+    if (c_evictions_ != nullptr) c_evictions_->Inc();
   }
 }
 
 void ViewCache::Clear() {
   entries_.clear();
   total_entries_ = 0;
+  if (g_entries_ != nullptr) g_entries_->Set(0);
 }
 
 }  // namespace wqe

@@ -9,6 +9,12 @@
 
 namespace wqe {
 
+namespace obs {
+class Counter;
+class Gauge;
+struct Observability;
+}  // namespace obs
+
 /// Global cache 𝒱 of materialized star views (§5.2 "Caching the Stars").
 /// Q-Chase produces highly similar queries; rewrites that leave a star
 /// untouched re-use its table instead of re-evaluating. Replacement follows
@@ -35,6 +41,10 @@ class ViewCache {
 
   void Clear();
 
+  /// Mirrors hit/miss/eviction counts and occupancy into `o`'s registry
+  /// (counters resolved once here, then bumped lock-free). Null detaches.
+  void set_observability(obs::Observability* o);
+
   size_t size() const { return entries_.size(); }
   size_t entry_count() const { return total_entries_; }
   uint64_t hits() const { return hits_; }
@@ -56,6 +66,11 @@ class ViewCache {
   uint64_t tick_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+
+  obs::Counter* c_hits_ = nullptr;
+  obs::Counter* c_misses_ = nullptr;
+  obs::Counter* c_evictions_ = nullptr;
+  obs::Gauge* g_entries_ = nullptr;
 };
 
 }  // namespace wqe

@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace wqe::obs {
+
+size_t MetricShardOfThisThread() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+namespace {
+
+size_t BucketOf(uint64_t value) {
+  // Bucket b holds values with bit width b+1: [2^b, 2^(b+1)); 0 joins bucket 0.
+  return value == 0 ? 0 : static_cast<size_t>(std::bit_width(value) - 1);
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t value) {
+  Shard& s = shards_[MetricShardOfThisThread()];
+  s.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  for (const Shard& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      // Upper bound of bucket b: 2^(b+1) - 1.
+      return b >= 63 ? UINT64_MAX : (uint64_t{1} << (b + 1)) - 1;
+    }
+  }
+  return UINT64_MAX;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << c->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << name << "\":" << g->Value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ',';
+    first = false;
+    const Histogram::Snapshot s = h->Snap();
+    out << '"' << name << "\":{\"count\":" << s.count << ",\"sum\":" << s.sum
+        << ",\"mean\":" << s.Mean() << ",\"p50\":" << s.Quantile(0.5)
+        << ",\"p99\":" << s.Quantile(0.99) << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::ForEachCounter(
+    const std::function<void(const std::string&, uint64_t)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, c->Value());
+}
+
+}  // namespace wqe::obs

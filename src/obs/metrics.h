@@ -1,0 +1,128 @@
+#ifndef WQE_OBS_METRICS_H_
+#define WQE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace wqe::obs {
+
+/// Shard count for the per-thread counter/histogram slots. Threads hash to a
+/// fixed shard on first use; 16 cacheline-padded slots keep the fully-loaded
+/// thread pool contention-free without per-registration TLS bookkeeping.
+inline constexpr size_t kMetricShards = 16;
+
+/// The shard this thread writes to (stable for the thread's lifetime).
+size_t MetricShardOfThisThread();
+
+/// Monotonic event counter. Incrementing touches only the calling thread's
+/// shard (one relaxed fetch_add on a private cache line); reads aggregate all
+/// shards, so `Value()` is exact once the producing threads have joined —
+/// which the deterministic parallel layer (ParallelFor barriers) guarantees.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    shards_[MetricShardOfThisThread()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Last-writer-wins instantaneous value (index sizes, cache occupancy).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale (power-of-two bucket) histogram for latency-like quantities.
+/// `Observe(v)` drops `v` into bucket ⌊log2 v⌋ of the calling thread's shard;
+/// snapshots aggregate shards and answer approximate quantiles with at most
+/// 2x relative error — the right trade for per-phase latency breakdowns.
+/// Values are plain uint64 so callers pick the unit (we use nanoseconds).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Observe(uint64_t value);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    double Mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Upper bound of the bucket holding the q-quantile (q in [0, 1]).
+    uint64_t Quantile(double q) const;
+  };
+
+  Snapshot Snap() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Named metric registry shared by one observation scope (a ChaseContext, an
+/// exploratory session, or a whole bench run). Registration takes a mutex;
+/// the returned references are stable for the registry's lifetime, so hot
+/// paths resolve their metrics once and then increment lock-free.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zeroes every registered metric (names stay registered).
+  void Reset();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys sorted
+  /// (std::map iteration order) so output is diffable.
+  std::string ToJson() const;
+
+  /// Visits every counter as (name, value), sorted by name.
+  void ForEachCounter(
+      const std::function<void(const std::string&, uint64_t)>& fn) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace wqe::obs
+
+#endif  // WQE_OBS_METRICS_H_

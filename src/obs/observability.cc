@@ -1,0 +1,31 @@
+#include "obs/observability.h"
+
+#include <sstream>
+
+namespace wqe::obs {
+
+std::string PhasesJson(const std::vector<PhaseStat>& phases) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseStat& p = phases[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":\"" << p.name << "\",\"count\":" << p.count
+        << ",\"wall_s\":" << p.wall_seconds << ",\"self_s\":" << p.self_seconds
+        << ",\"cpu_s\":" << p.cpu_seconds << '}';
+  }
+  out << ']';
+  return out.str();
+}
+
+std::string ExportMetricsJson(const Observability& obs, double elapsed_seconds) {
+  std::ostringstream out;
+  out << "{\"total_seconds\":" << obs.tracer.TotalTracedSeconds();
+  if (elapsed_seconds >= 0) out << ",\"elapsed_seconds\":" << elapsed_seconds;
+  out << ",\"phases\":" << PhasesJson(obs.tracer.Phases());
+  out << ",\"metrics\":" << obs.metrics.ToJson();
+  out << '}';
+  return out.str();
+}
+
+}  // namespace wqe::obs

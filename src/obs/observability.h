@@ -1,0 +1,40 @@
+#ifndef WQE_OBS_OBSERVABILITY_H_
+#define WQE_OBS_OBSERVABILITY_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wqe::obs {
+
+/// One observation scope: the metric registry and span tracer a ChaseContext,
+/// exploratory session, or bench run reports into. Sessions and benches share
+/// a single instance across many questions (ChaseOptions::observability);
+/// a context with no externally-supplied scope owns a private one, so the
+/// instrumentation never needs a null check at the context level.
+struct Observability {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+/// Structured metrics document:
+/// {
+///   "total_seconds":   wall time covered by top-level spans,
+///   "elapsed_seconds": caller-supplied overall elapsed (< 0 = omitted),
+///   "phases":          [{"name","count","wall_s","self_s","cpu_s"}, ...],
+///   "counters"/"gauges"/"histograms": the registry dump
+/// }
+/// Phases satisfy sum(self_s) == total_seconds by construction (self time
+/// partitions every traced instant), which is the invariant the
+/// `--metrics-out` acceptance check leans on.
+std::string ExportMetricsJson(const Observability& obs,
+                              double elapsed_seconds = -1);
+
+/// Serializes a phase list as a JSON array (shared by ExportMetricsJson and
+/// ChaseReport::ToJson).
+std::string PhasesJson(const std::vector<PhaseStat>& phases);
+
+}  // namespace wqe::obs
+
+#endif  // WQE_OBS_OBSERVABILITY_H_

@@ -1,0 +1,167 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#define WQE_OBS_HAS_THREAD_CPU 1
+#endif
+
+namespace wqe::obs {
+
+namespace {
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t ThreadCpuNs() {
+#ifdef WQE_OBS_HAS_THREAD_CPU
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+thread_local ScopedSpan* t_current_span = nullptr;
+thread_local Tracer* t_current_tracer = nullptr;
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(MonotonicNs()) {}
+
+void Tracer::EndSpan(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+                     uint64_t self_ns, uint64_t cpu_ns, uint32_t tid,
+                     bool top_level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = phases_.find(name);
+  if (it == phases_.end()) it = phases_.emplace(name, PhaseAgg()).first;
+  PhaseAgg& agg = it->second;
+  ++agg.count;
+  agg.wall_ns += dur_ns;
+  agg.self_ns += self_ns;
+  agg.cpu_ns += cpu_ns;
+  if (top_level) top_level_wall_ns_ += dur_ns;
+  if (capture_events_) {
+    if (events_.size() < kMaxEvents) {
+      events_.push_back(Event{name, ts_ns, dur_ns, tid});
+    } else {
+      ++dropped_events_;
+    }
+  }
+}
+
+std::vector<PhaseStat> Tracer::Phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PhaseStat> out;
+  out.reserve(phases_.size());
+  for (const auto& [name, agg] : phases_) {
+    PhaseStat p;
+    p.name = name;
+    p.count = agg.count;
+    p.wall_seconds = static_cast<double>(agg.wall_ns) * 1e-9;
+    p.self_seconds = static_cast<double>(agg.self_ns) * 1e-9;
+    p.cpu_seconds = static_cast<double>(agg.cpu_ns) * 1e-9;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+double Tracer::TotalTracedSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<double>(top_level_wall_ns_) * 1e-9;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i > 0) out << ',';
+    // Chrome trace timestamps/durations are microseconds.
+    out << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"ts\":" << e.ts_ns / 1000
+        << ",\"dur\":" << e.dur_ns / 1000 << ",\"pid\":0,\"tid\":" << e.tid
+        << '}';
+  }
+  out << ']';
+  if (dropped_events_ > 0) out << ",\"droppedEvents\":" << dropped_events_;
+  out << '}';
+  return out.str();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.clear();
+  events_.clear();
+  top_level_wall_ns_ = 0;
+  dropped_events_ = 0;
+  epoch_ns_ = MonotonicNs();
+}
+
+std::vector<PhaseStat> DiffPhases(const std::vector<PhaseStat>& before,
+                                  const std::vector<PhaseStat>& after) {
+  std::map<std::string, const PhaseStat*> prior;
+  for (const PhaseStat& p : before) prior[p.name] = &p;
+  std::vector<PhaseStat> out;
+  for (const PhaseStat& p : after) {
+    PhaseStat d = p;
+    auto it = prior.find(p.name);
+    if (it != prior.end()) {
+      const PhaseStat& b = *it->second;
+      d.count -= b.count;
+      d.wall_seconds -= b.wall_seconds;
+      d.self_seconds -= b.self_seconds;
+      d.cpu_seconds -= b.cpu_seconds;
+    }
+    if (d.count > 0 || d.wall_seconds > 0) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name)
+    : tracer_(tracer), name_(name) {
+  if (tracer_ == nullptr) return;
+  parent_ = t_current_span;
+  t_current_span = this;
+  start_ns_ = MonotonicNs();
+  cpu_start_ns_ = ThreadCpuNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  const uint64_t end_ns = MonotonicNs();
+  const uint64_t cpu_ns = ThreadCpuNs() - cpu_start_ns_;
+  const uint64_t dur_ns = end_ns - start_ns_;
+  const uint64_t self_ns = dur_ns >= child_ns_ ? dur_ns - child_ns_ : 0;
+  t_current_span = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += dur_ns;
+  const uint64_t ts_ns =
+      start_ns_ >= tracer_->epoch_ns_ ? start_ns_ - tracer_->epoch_ns_ : 0;
+  tracer_->EndSpan(name_, ts_ns, dur_ns, self_ns, cpu_ns, ThisThreadId(),
+                   /*top_level=*/parent_ == nullptr);
+}
+
+Tracer* CurrentTracer() { return t_current_tracer; }
+
+TracerScope::TracerScope(Tracer* tracer) : prev_(t_current_tracer) {
+  t_current_tracer = tracer;
+}
+
+TracerScope::~TracerScope() { t_current_tracer = prev_; }
+
+}  // namespace wqe::obs

@@ -1,0 +1,144 @@
+#ifndef WQE_OBS_TRACE_H_
+#define WQE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wqe::obs {
+
+/// Aggregated view of one span name ("phase"). `wall_seconds` is inclusive
+/// (span open to close); `self_seconds` excludes time spent inside nested
+/// spans on the same thread, so summing self across all phases reproduces the
+/// total traced wall time exactly (each instant is attributed to exactly one
+/// phase). `cpu_seconds` is the thread CPU time consumed inside the span.
+struct PhaseStat {
+  std::string name;
+  uint64_t count = 0;
+  double wall_seconds = 0;
+  double self_seconds = 0;
+  double cpu_seconds = 0;
+};
+
+/// Returns `after - before` per phase name (new phases pass through); used to
+/// carve one solver run's breakdown out of a registry shared across a whole
+/// session or bench.
+std::vector<PhaseStat> DiffPhases(const std::vector<PhaseStat>& before,
+                                  const std::vector<PhaseStat>& after);
+
+/// Scoped-span tracer. Spans aggregate into per-phase totals always; the
+/// full event stream (for Chrome trace export) is buffered only when
+/// `set_capture_events(true)`, so long benches pay a bounded memory cost.
+/// Span begin/end runs two monotonic + two thread-CPU clock reads and one
+/// uncontended mutex acquisition — noise next to a single rewrite evaluation,
+/// which is the finest granularity we instrument.
+class Tracer {
+ public:
+  Tracer();
+
+  /// Buffer individual span events for ChromeTraceJson (default off).
+  void set_capture_events(bool on) { capture_events_ = on; }
+  bool capture_events() const { return capture_events_; }
+
+  /// Aggregated per-phase totals, sorted by name.
+  std::vector<PhaseStat> Phases() const;
+
+  /// Total wall time covered by top-level (depth-0) spans, in seconds. By
+  /// construction this equals the sum of every phase's self_seconds.
+  double TotalTracedSeconds() const;
+
+  /// Chrome `trace_event` JSON (load in chrome://tracing or Perfetto):
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,"pid":0,"tid":...}]}.
+  std::string ChromeTraceJson() const;
+
+  /// Drops all aggregates and buffered events.
+  void Clear();
+
+  /// Called by ScopedSpan on destruction; times in nanoseconds, `ts_ns`
+  /// relative to the tracer's epoch.
+  void EndSpan(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+               uint64_t self_ns, uint64_t cpu_ns, uint32_t tid, bool top_level);
+
+ private:
+  struct PhaseAgg {
+    uint64_t count = 0;
+    uint64_t wall_ns = 0;
+    uint64_t self_ns = 0;
+    uint64_t cpu_ns = 0;
+  };
+  struct Event {
+    const char* name;  // span names are string literals
+    uint64_t ts_ns;
+    uint64_t dur_ns;
+    uint32_t tid;
+  };
+
+  uint64_t epoch_ns_;
+  bool capture_events_ = false;
+  mutable std::mutex mu_;
+  std::map<std::string, PhaseAgg, std::less<>> phases_;
+  uint64_t top_level_wall_ns_ = 0;
+  std::vector<Event> events_;
+  uint64_t dropped_events_ = 0;
+  static constexpr size_t kMaxEvents = 1u << 20;
+
+  friend class ScopedSpan;
+};
+
+/// RAII span. A null tracer makes the span a no-op, so call sites do not
+/// branch. Nesting is tracked through a thread-local span stack: each span
+/// reports the wall time of its direct children to its parent, giving exact
+/// self-time attribution per thread.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  uint64_t cpu_start_ns_ = 0;
+  uint64_t child_ns_ = 0;
+  ScopedSpan* parent_ = nullptr;
+};
+
+/// The tracer WQE_SPAN records into on this thread (nullptr = spans are
+/// no-ops). Set with TracerScope; solver entry points and the bench harness
+/// install their context's tracer so library code deep in the stack (graph
+/// generation, index builds) can annotate phases without plumbing a pointer.
+Tracer* CurrentTracer();
+
+/// Installs `tracer` as the thread's current tracer for the scope's lifetime.
+class TracerScope {
+ public:
+  explicit TracerScope(Tracer* tracer);
+  ~TracerScope();
+
+  TracerScope(const TracerScope&) = delete;
+  TracerScope& operator=(const TracerScope&) = delete;
+
+ private:
+  Tracer* prev_;
+};
+
+#define WQE_OBS_CONCAT_INNER(a, b) a##b
+#define WQE_OBS_CONCAT(a, b) WQE_OBS_CONCAT_INNER(a, b)
+
+/// Scoped span against the thread's current tracer (no-op when none is set).
+#define WQE_SPAN(name)                                    \
+  ::wqe::obs::ScopedSpan WQE_OBS_CONCAT(wqe_span_, __LINE__)( \
+      ::wqe::obs::CurrentTracer(), name)
+
+/// Scoped span against an explicit tracer (may be null).
+#define WQE_SPAN_IN(tracer, name)                         \
+  ::wqe::obs::ScopedSpan WQE_OBS_CONCAT(wqe_span_, __LINE__)((tracer), name)
+
+}  // namespace wqe::obs
+
+#endif  // WQE_OBS_TRACE_H_

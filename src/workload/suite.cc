@@ -3,10 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "chase/ans_heu.h"
-#include "chase/answe.h"
-#include "chase/apx_whym.h"
-#include "chase/fm_answ.h"
 #include "common/timer.h"
 
 namespace wqe {
@@ -28,8 +24,9 @@ AlgoSummary ExperimentRunner::Run(const AlgoSpec& algo) const {
     // evaluation) plus the chase itself — graph-level indexes are prebuilt,
     // matching the paper's setup.
     Timer timer;
+    obs::ScopedSpan question_span(obs::CurrentTracer(), "question");
     ChaseContext ctx(g_, indexes_.get(), c.question, algo.opts);
-    ChaseResult result = algo.fn(ctx);
+    ChaseResult result = SolveWithContext(ctx, algo.algo);
     CaseOutcome outcome;
     outcome.seconds = timer.ElapsedSeconds();
     if (result.found()) {
@@ -65,11 +62,10 @@ AlgoSummary ExperimentRunner::Run(const AlgoSpec& algo) const {
 
 namespace {
 
-AlgoSpec Spec(std::string name, ChaseResult (*fn)(ChaseContext&),
-              ChaseOptions opts) {
+AlgoSpec Spec(std::string name, Algorithm algo, ChaseOptions opts) {
   AlgoSpec s;
   s.name = std::move(name);
-  s.fn = fn;
+  s.algo = algo;
   s.opts = opts;
   return s;
 }
@@ -80,7 +76,7 @@ AlgoSpec MakeAnsW(const ChaseOptions& base) {
   ChaseOptions o = base;
   o.use_cache = true;
   o.use_pruning = true;
-  return Spec("AnsW", &AnsWWithContext, o);
+  return Spec("AnsW", Algorithm::kAnsW, o);
 }
 
 AlgoSpec MakeAnsWnc(const ChaseOptions& base) {
@@ -88,7 +84,7 @@ AlgoSpec MakeAnsWnc(const ChaseOptions& base) {
   o.use_cache = false;
   o.use_memo = false;
   o.use_pruning = true;
-  return Spec("AnsWnc", &AnsWWithContext, o);
+  return Spec("AnsWnc", Algorithm::kAnsW, o);
 }
 
 AlgoSpec MakeAnsWb(const ChaseOptions& base) {
@@ -99,30 +95,33 @@ AlgoSpec MakeAnsWb(const ChaseOptions& base) {
   // The naive baseline simulates the raw Q-Chase tree: equal rewrites
   // reached by different sequences are distinct nodes.
   o.dedup_rewrites = false;
-  return Spec("AnsWb", &AnsWWithContext, o);
+  return Spec("AnsWb", Algorithm::kAnsW, o);
 }
 
 AlgoSpec MakeAnsHeu(const ChaseOptions& base, size_t beam) {
   ChaseOptions o = base;
   o.beam = beam;
-  AlgoSpec s = Spec("AnsHeu(k=" + std::to_string(beam) + ")", &AnsHeuWithContext, o);
-  return s;
+  return Spec("AnsHeu(k=" + std::to_string(beam) + ")", Algorithm::kAnsHeu, o);
 }
 
 AlgoSpec MakeAnsHeuB(const ChaseOptions& base, size_t beam) {
   ChaseOptions o = base;
   o.beam = beam;
   o.random_ops = true;
-  return Spec("AnsHeuB(k=" + std::to_string(beam) + ")", &AnsHeuWithContext, o);
+  return Spec("AnsHeuB(k=" + std::to_string(beam) + ")", Algorithm::kAnsHeu, o);
 }
 
-AlgoSpec MakeFMAnsW(const ChaseOptions& base) { return Spec("FMAnsW", &FMAnsWWithContext, base); }
+AlgoSpec MakeFMAnsW(const ChaseOptions& base) {
+  return Spec("FMAnsW", Algorithm::kFMAnsW, base);
+}
 
 AlgoSpec MakeApxWhyM(const ChaseOptions& base) {
-  return Spec("ApxWhyM", &ApxWhyMWithContext, base);
+  return Spec("ApxWhyM", Algorithm::kApxWhyM, base);
 }
 
-AlgoSpec MakeAnsWE(const ChaseOptions& base) { return Spec("AnsWE", &AnsWEWithContext, base); }
+AlgoSpec MakeAnsWE(const ChaseOptions& base) {
+  return Spec("AnsWE", Algorithm::kAnsWE, base);
+}
 
 std::vector<AlgoSpec> StandardAlgos(const ChaseOptions& base) {
   return {MakeAnsHeu(base, base.beam == 0 ? 2 : base.beam), MakeAnsW(base),

@@ -1,23 +1,22 @@
 #ifndef WQE_WORKLOAD_SUITE_H_
 #define WQE_WORKLOAD_SUITE_H_
 
-#include <functional>
 #include <string>
 #include <vector>
 
-#include "chase/answ.h"
+#include "chase/solve.h"
 #include "workload/metrics.h"
 #include "workload/why_factory.h"
 
 namespace wqe {
 
 /// An algorithm under test: the paper's named configurations map to
-/// (context-consuming function, options) pairs — see StandardAlgos(). The
-/// runner prebuilds the graph-level indexes (as §7 does) and hands each
-/// case a fresh ChaseContext.
+/// (Algorithm, options) pairs dispatched through SolveWithContext — see
+/// StandardAlgos(). The runner prebuilds the graph-level indexes (as §7
+/// does) and hands each case a fresh ChaseContext.
 struct AlgoSpec {
   std::string name;
-  std::function<ChaseResult(ChaseContext&)> fn;
+  Algorithm algo = Algorithm::kAnsW;
   ChaseOptions opts;
 };
 

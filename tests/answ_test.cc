@@ -27,7 +27,7 @@ TEST(AnsWTest, ProductDemoReachesTheoreticalOptimum) {
   std::sort(expected.begin(), expected.end());
   EXPECT_EQ(best.matches, expected);
   EXPECT_LE(best.cost, 4.0 + 1e-9);
-  EXPECT_TRUE(result.stats.reached_theoretical_optimal);
+  EXPECT_EQ(result.termination(), TerminationReason::kOptimal);
 }
 
 TEST(AnsWTest, RewriteIsNormalFormAndCanonical) {

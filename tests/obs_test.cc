@@ -1,0 +1,245 @@
+#include "obs/observability.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "chase/solve.h"
+#include "gen/product_demo.h"
+
+namespace wqe {
+namespace {
+
+TEST(CounterTest, IncAndValue) {
+  obs::Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, AggregatesAcrossThreads) {
+  obs::Counter c;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  obs::Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(HistogramTest, CountSumMean) {
+  obs::Histogram h;
+  h.Observe(100);
+  h.Observe(200);
+  h.Observe(300);
+  const obs::Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 600u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 200.0);
+}
+
+TEST(HistogramTest, QuantileWithinBucketBounds) {
+  obs::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Observe(1000);
+  const obs::Histogram::Snapshot snap = h.Snap();
+  // Power-of-two buckets: the answer is the upper bound of the bucket that
+  // holds 1000, so it is within 2x of the true value.
+  const uint64_t q50 = snap.Quantile(0.5);
+  EXPECT_GE(q50, 1000u);
+  EXPECT_LE(q50, 2048u);
+  EXPECT_EQ(snap.Quantile(0.0), snap.Quantile(1.0));
+}
+
+TEST(HistogramTest, QuantileSeparatesModes) {
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(16);
+  for (int i = 0; i < 10; ++i) h.Observe(1u << 20);
+  const obs::Histogram::Snapshot snap = h.Snap();
+  EXPECT_LE(snap.Quantile(0.5), 64u);
+  EXPECT_GE(snap.Quantile(0.99), 1u << 20);
+}
+
+TEST(MetricsRegistryTest, NamesReturnStableRefs) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.Inc(5);
+  EXPECT_EQ(reg.counter("x").Value(), 5u);
+  EXPECT_NE(&reg.counter("x"), &reg.counter("y"));
+}
+
+TEST(MetricsRegistryTest, ToJsonListsAllKinds) {
+  obs::MetricsRegistry reg;
+  reg.counter("steps").Inc(7);
+  reg.gauge("size").Set(-3);
+  reg.histogram("lat").Observe(1024);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"steps\""), std::string::npos);
+  EXPECT_NE(json.find("7"), std::string::npos);
+  EXPECT_NE(json.find("\"size\""), std::string::npos);
+  EXPECT_NE(json.find("-3"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+}
+
+void Spin() {
+  // Enough work to register non-zero wall time on any clock.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 200000; ++i) sink = sink + static_cast<uint64_t>(i);
+}
+
+TEST(TracerTest, NestedSpansAttributeSelfTime) {
+  obs::Tracer tracer;
+  {
+    obs::ScopedSpan outer(&tracer, "outer");
+    Spin();
+    {
+      obs::ScopedSpan inner(&tracer, "inner");
+      Spin();
+    }
+  }
+  const std::vector<obs::PhaseStat> phases = tracer.Phases();
+  ASSERT_EQ(phases.size(), 2u);
+  const obs::PhaseStat& inner = phases[0];
+  const obs::PhaseStat& outer = phases[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.count, 1u);
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_GT(outer.wall_seconds, inner.wall_seconds);
+  // Inner is a leaf: self == wall. Outer's self excludes inner's wall.
+  EXPECT_DOUBLE_EQ(inner.self_seconds, inner.wall_seconds);
+  EXPECT_NEAR(outer.self_seconds, outer.wall_seconds - inner.wall_seconds,
+              1e-9);
+}
+
+TEST(TracerTest, SelfTimesSumToTotalTracedTime) {
+  obs::Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    obs::ScopedSpan a(&tracer, "a");
+    Spin();
+    obs::ScopedSpan b(&tracer, "b");
+    Spin();
+  }
+  double self_sum = 0;
+  for (const obs::PhaseStat& p : tracer.Phases()) self_sum += p.self_seconds;
+  // The invariant the --metrics-out acceptance check relies on: self time
+  // partitions the traced wall time exactly (up to ns rounding per span).
+  EXPECT_NEAR(self_sum, tracer.TotalTracedSeconds(), 1e-8);
+  EXPECT_GT(tracer.TotalTracedSeconds(), 0.0);
+}
+
+TEST(TracerTest, NullTracerSpanIsNoOp) {
+  obs::ScopedSpan span(nullptr, "nothing");  // must not crash
+  EXPECT_EQ(obs::CurrentTracer(), nullptr);
+  WQE_SPAN("also.nothing");
+}
+
+TEST(TracerTest, TracerScopeInstallsThreadLocal) {
+  obs::Tracer tracer;
+  EXPECT_EQ(obs::CurrentTracer(), nullptr);
+  {
+    obs::TracerScope scope(&tracer);
+    EXPECT_EQ(obs::CurrentTracer(), &tracer);
+    WQE_SPAN("scoped.phase");
+  }
+  EXPECT_EQ(obs::CurrentTracer(), nullptr);
+  const std::vector<obs::PhaseStat> phases = tracer.Phases();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].name, "scoped.phase");
+}
+
+TEST(TracerTest, ChromeTraceJsonCapturesEvents) {
+  obs::Tracer tracer;
+  tracer.set_capture_events(true);
+  {
+    obs::ScopedSpan span(&tracer, "exported");
+    Spin();
+  }
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"exported\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TracerTest, DiffPhasesCarvesOutDeltas) {
+  obs::Tracer tracer;
+  {
+    obs::ScopedSpan span(&tracer, "p");
+    Spin();
+  }
+  const std::vector<obs::PhaseStat> before = tracer.Phases();
+  {
+    obs::ScopedSpan span(&tracer, "p");
+    Spin();
+    obs::ScopedSpan fresh(&tracer, "q");
+  }
+  const std::vector<obs::PhaseStat> delta =
+      obs::DiffPhases(before, tracer.Phases());
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].name, "p");
+  EXPECT_EQ(delta[0].count, 1u);  // 2 total - 1 before
+  EXPECT_EQ(delta[1].name, "q");
+  EXPECT_EQ(delta[1].count, 1u);
+}
+
+// End-to-end: a solve against a shared Observability populates counters that
+// agree with ChaseStats, and phase self times cover the solve span.
+class ObservedSolve : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ObservedSolve, CountersAgreeWithStats) {
+  ProductDemo demo;
+  obs::Observability o;
+  ChaseOptions opts;
+  opts.budget = 4;
+  opts.num_threads = GetParam();
+  opts.observability = &o;
+  ChaseResult result = Solve(demo.graph(), demo.Question(), opts);
+  ASSERT_TRUE(result.found());
+  EXPECT_EQ(o.metrics.counter("chase.steps").Value(), result.stats.steps);
+  EXPECT_EQ(o.metrics.counter("chase.evaluations").Value(),
+            result.stats.evaluations);
+  EXPECT_EQ(o.metrics.counter("chase.memo_hits").Value(),
+            result.stats.memo_hits);
+  EXPECT_EQ(o.metrics.counter("solve.runs").Value(), 1u);
+  // Evaluate() observes its latency on the memo-hit path too.
+  EXPECT_EQ(o.metrics.histogram("chase.evaluate_ns").Snap().count,
+            result.stats.evaluations + result.stats.memo_hits);
+
+  // The per-run phase breakdown names the solve span and the evaluation
+  // phases, and self times sum to the solve span's wall time.
+  ASSERT_FALSE(result.stats.phases.empty());
+  double self_sum = 0;
+  double solve_wall = 0;
+  bool saw_eval = false;
+  for (const obs::PhaseStat& p : result.stats.phases) {
+    self_sum += p.self_seconds;
+    if (p.name == "solve.AnsW") solve_wall = p.wall_seconds;
+    if (p.name == "chase.evaluate") saw_eval = true;
+  }
+  EXPECT_TRUE(saw_eval);
+  EXPECT_GT(solve_wall, 0.0);
+  EXPECT_NEAR(self_sum, solve_wall, 0.1 * solve_wall + 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ObservedSolve, ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace wqe

@@ -76,5 +76,21 @@ TEST_F(ReportFixture, BalancedBracesAndQuotes) {
   EXPECT_FALSE(in_string);
 }
 
+TEST_F(ReportFixture, EmitsTerminationAndStatus) {
+  const std::string json = ChaseReport::ToJson(*ctx_, result_);
+  EXPECT_NE(json.find("\"termination\": \"optimal\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"OK\""), std::string::npos);
+  EXPECT_NE(json.find("\"memo_hits\""), std::string::npos);
+}
+
+TEST_F(ReportFixture, EmitsPhasesAndMetrics) {
+  const std::string json = ChaseReport::ToJson(*ctx_, result_);
+  EXPECT_NE(json.find("\"phases\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+  // The context's private registry carries the evaluation counters.
+  EXPECT_NE(json.find("\"chase.evaluations\""), std::string::npos);
+  EXPECT_NE(json.find("\"chase.evaluate_ns\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wqe

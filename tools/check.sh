@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full verification sweep for libwqe:
-#   1. default (Release) build + the whole ctest suite;
-#   2. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
+#   1. default (Release, -Werror) build + the whole ctest suite;
+#   2. an Address+UndefinedBehaviorSanitizer build running the whole suite;
+#   3. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
 #      exercise the parallel evaluation layer.
 # Usage: tools/check.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -10,9 +11,15 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
 echo "== default build =="
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DWQE_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure)
+
+echo "== Address+UB Sanitizer build =="
+cmake -B build-asan -S . -DWQE_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure)
 
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DWQE_SANITIZE=thread \

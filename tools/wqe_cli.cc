@@ -9,19 +9,16 @@
 //   wqe why g.graph q.query e.exemplar --budget 4 --top-k 3 --algo answ
 //
 // Algorithms: answ (default), heu, whym (Why-Many), whye (Why-Empty),
-// fm (mining baseline).
+// fm (mining baseline) — resolved through AlgorithmFromString, so the
+// canonical paper names (AnsW, AnsHeu, ApxWhyM, AnsWE, FMAnsW) work too.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
-#include "chase/ans_heu.h"
-#include "chase/answ.h"
-#include "chase/answe.h"
-#include "chase/apx_whym.h"
 #include "chase/differential.h"
-#include "chase/fm_answ.h"
 #include "chase/report.h"
+#include "chase/solve.h"
 #include "chase/why_not.h"
 #include "exemplar/exemplar_text.h"
 #include "gen/datasets.h"
@@ -44,8 +41,9 @@ int Usage() {
                "  wqe match <graph> <query>\n"
                "  wqe whynot <graph> <query> <node-id>\n"
                "  wqe why <graph> <query> <exemplar> [--budget B] [--top-k K]\n"
-               "          [--beam W] [--deadline SECONDS]\n"
-               "          [--algo answ|heu|whym|whye|fm] [--explain] [--json]\n");
+               "          [--beam W] [--deadline SECONDS] [--threads N]\n"
+               "          [--algo answ|heu|whym|whye|fm] [--explain] [--json]\n"
+               "          [--trace-out FILE] [--metrics-out FILE]\n");
   return 2;
 }
 
@@ -61,6 +59,17 @@ std::string ReadFileOrDie(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
   std::fclose(f);
   return out;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 Graph LoadGraphOrDie(const std::string& path) {
@@ -201,6 +210,8 @@ int CmdWhy(int argc, char** argv) {
 
   ChaseOptions opts;
   std::string algo = "answ";
+  std::string trace_out;
+  std::string metrics_out;
   bool explain = false;
   bool json = false;
   for (int i = 3; i < argc; ++i) {
@@ -220,8 +231,14 @@ int CmdWhy(int argc, char** argv) {
       opts.beam = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--deadline") {
       opts.time_limit_seconds = std::atof(next());
+    } else if (arg == "--threads") {
+      opts.num_threads = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--algo") {
       algo = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--json") {
@@ -231,6 +248,23 @@ int CmdWhy(int argc, char** argv) {
       return 2;
     }
   }
+
+  const std::optional<Algorithm> parsed = AlgorithmFromString(algo);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "error: unknown algorithm %s\n", algo.c_str());
+    return 2;
+  }
+  if (Status s = opts.Validate(); !s.ok()) {
+    std::fprintf(stderr, "error: invalid options: %s\n", s.ToString().c_str());
+    return 2;
+  }
+
+  // One observation scope for the whole command; --trace-out additionally
+  // buffers the raw span events for chrome://tracing.
+  obs::Observability observability;
+  observability.tracer.set_capture_events(!trace_out.empty());
+  opts.observability = &observability;
+  obs::TracerScope tracer_scope(&observability.tracer);
 
   WhyQuestion w{q.value(), e.value()};
   ChaseContext ctx(g, w, opts);
@@ -243,20 +277,17 @@ int CmdWhy(int argc, char** argv) {
                 ctx.cl_star());
   }
 
-  ChaseResult result;
-  if (algo == "answ") {
-    result = AnsWWithContext(ctx);
-  } else if (algo == "heu") {
-    result = AnsHeuWithContext(ctx);
-  } else if (algo == "whym") {
-    result = ApxWhyMWithContext(ctx);
-  } else if (algo == "whye") {
-    result = AnsWEWithContext(ctx);
-  } else if (algo == "fm") {
-    result = FMAnsWWithContext(ctx);
-  } else {
-    std::fprintf(stderr, "error: unknown algorithm %s\n", algo.c_str());
-    return 2;
+  ChaseResult result = SolveWithContext(ctx, *parsed);
+
+  if (!metrics_out.empty() &&
+      !WriteFile(metrics_out,
+                 obs::ExportMetricsJson(observability,
+                                        result.stats.elapsed_seconds))) {
+    return 1;
+  }
+  if (!trace_out.empty() &&
+      !WriteFile(trace_out, observability.tracer.ChromeTraceJson())) {
+    return 1;
   }
 
   if (json) {
@@ -278,10 +309,11 @@ int CmdWhy(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  std::printf("steps=%llu evaluations=%llu elapsed=%.3fs\n",
+  std::printf("steps=%llu evaluations=%llu elapsed=%.3fs termination=%s\n",
               static_cast<unsigned long long>(result.stats.steps),
               static_cast<unsigned long long>(result.stats.evaluations),
-              result.stats.elapsed_seconds);
+              result.stats.elapsed_seconds,
+              TerminationReasonName(result.stats.termination));
   return 0;
 }
 
