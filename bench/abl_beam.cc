@@ -13,7 +13,8 @@ int main(int argc, char** argv) {
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
   auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
-  ExperimentRunner runner(g, std::move(cases), env.threads);
+  ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
   ChaseOptions base = DefaultChase();
 
   double k1_cl = 0, k8_cl = 0, k1_time = 0, k8_time = 0;

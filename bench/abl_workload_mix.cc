@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
   Aggregate all_delta;
   for (auto& [shape, shape_cases] : by_shape) {
     const size_t n = shape_cases.size();
-    ExperimentRunner runner(g, std::move(shape_cases), env.threads);
+    ExperimentRunner runner(g, std::move(shape_cases), env.threads,
+                            env.cache_dir, &BenchObs());
     AlgoSummary s = runner.Run(MakeAnsW(base));
     PrintRow("abl_workload_mix", QueryShapeName(shape),
              "n=" + std::to_string(n), s);

@@ -7,24 +7,31 @@
 // "#SHAPE" line asserting the qualitative relationship the paper reports.
 //
 // Environment knobs (defaults keep the full suite to minutes on a laptop):
-//   WQE_SCALE    graph scale factor applied to the dataset presets (0.25)
-//   WQE_QUERIES  why-questions per configuration (8)
-//   WQE_SEED     workload seed (1)
-//   WQE_THREADS  workers for the parallel evaluation layer (1 = serial,
-//                0 = hardware concurrency); results are byte-identical
-//                across settings
+//   WQE_SCALE      graph scale factor applied to the dataset presets (0.25)
+//   WQE_QUERIES    why-questions per configuration (8)
+//   WQE_SEED       workload seed (1)
+//   WQE_THREADS    workers for the parallel evaluation layer ("auto" =
+//                  hardware concurrency, integers in [1, kMaxThreads]);
+//                  results are byte-identical across settings
+//   WQE_CACHE_DIR  persistent artifact-store directory; set it to make runs
+//                  warm-start from on-disk index/star-view snapshots (empty =
+//                  cold builds, the default)
 //
 // Observability flags (accepted by every bench main that constructs
 // BenchEnv from argc/argv):
 //   --threads=N        same as WQE_THREADS=N
+//   --cache-dir=DIR    same as WQE_CACHE_DIR=DIR
 //   --trace-out=FILE   Chrome trace_event JSON of the whole run
 //   --metrics-out=FILE phase breakdown + counter/gauge/histogram dump
+//                      (includes store.hits/misses/rejected/saves when a
+//                      cache dir is active)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "gen/datasets.h"
 #include "gen/synthetic.h"
@@ -43,6 +50,29 @@ inline size_t EnvSize(const char* name, size_t fallback) {
   return v == nullptr ? fallback : static_cast<size_t>(std::atoll(v));
 }
 
+inline std::string EnvStr(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+/// Validated thread-count parsing for WQE_THREADS / --threads. A malformed
+/// value aborts the bench with the Status message instead of silently running
+/// single-threaded (atoll would turn "eight" into 0-meaning-auto).
+inline size_t ParseThreadsOrDie(const char* what, const char* text) {
+  Result<size_t> parsed = ParseThreadCount(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", what,
+                 parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  return parsed.value();
+}
+
+inline size_t EnvThreads(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : ParseThreadsOrDie(name, v);
+}
+
 /// The process-wide observation scope every bench reports into. DefaultChase
 /// wires it through ChaseOptions::observability so solver counters land here,
 /// and BenchEnv installs its tracer as the thread's current tracer so
@@ -56,7 +86,8 @@ struct BenchEnv {
   double scale = EnvDouble("WQE_SCALE", 0.25);
   size_t queries = EnvSize("WQE_QUERIES", 8);
   uint64_t seed = EnvSize("WQE_SEED", 1);
-  size_t threads = EnvSize("WQE_THREADS", 1);
+  size_t threads = EnvThreads("WQE_THREADS", 1);
+  std::string cache_dir = EnvStr("WQE_CACHE_DIR");
   std::string trace_out;
   std::string metrics_out;
 
@@ -72,8 +103,10 @@ struct BenchEnv {
       } else if (const char* v = FlagValue(arg, "--metrics-out=")) {
         metrics_out = v;
       } else if (const char* v = FlagValue(arg, "--threads=")) {
-        threads = static_cast<size_t>(std::atoll(v));
+        threads = ParseThreadsOrDie("--threads", v);
         setenv("WQE_THREADS", v, /*overwrite=*/1);  // DefaultChase reads env
+      } else if (const char* v = FlagValue(arg, "--cache-dir=")) {
+        cache_dir = v;
       } else {
         std::fprintf(stderr, "warning: ignoring unknown flag %s\n", arg);
       }
@@ -138,7 +171,7 @@ inline ChaseOptions DefaultChase() {
   opts.beam = 2;
   opts.max_steps = 4000;
   opts.time_limit_seconds = 5.0;  // per-question safety valve (re-armed)
-  opts.num_threads = EnvSize("WQE_THREADS", 1);
+  opts.num_threads = EnvThreads("WQE_THREADS", 1);
   opts.observability = &BenchObs();
   return opts;
 }

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   for (const GraphSpec& spec : AllDatasets(env.scale)) {
     Graph g = GenerateGraph(spec);
     auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
 
     for (const AlgoSpec& algo : StandardAlgos(base)) {
       AlgoSummary s = runner.Run(algo);

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
     GraphSpec spec = DbpediaLike(factor);
     Graph g = GenerateGraph(spec);
     auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
     const std::string x = std::to_string(g.num_edges()) + "edges";
 
     for (AlgoSpec algo : {MakeAnsW(base), MakeAnsHeu(base, 2), MakeAnsWb(base)}) {

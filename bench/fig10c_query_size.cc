@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
     factory.query.num_edges = edges;
     auto cases = MakeBenchCases(g, env.queries, factory);
     if (cases.empty()) continue;
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
     for (AlgoSpec algo :
          {MakeAnsHeu(base, 2), MakeAnsW(base), MakeAnsWb(base)}) {
       AlgoSummary s = runner.Run(algo);

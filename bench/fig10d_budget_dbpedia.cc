@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
 
   Graph g = GenerateGraph(DbpediaLike(env.scale));
   auto cases = MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
-  ExperimentRunner runner(g, std::move(cases), env.threads);
+  ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
 
   Aggregate heu_times, answ_times;
   double answ_b1 = 0, answ_b5 = 0, heu_b1 = 0, heu_b5 = 0;

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
     factory.query.max_answers = 400;
     auto cases = MakeBenchCases(g, env.queries, factory);
     if (cases.empty()) continue;
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
     for (AlgoSpec algo : {MakeAnsHeu(base, 2), MakeAnsW(base)}) {
       AlgoSummary s = runner.Run(algo);
       PrintRow("fig10g", algo.name, "T=" + std::to_string(tuples), s);

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
       std::printf("fig10h,AnsW,%s,skipped=no-cases\n", QueryShapeName(shape));
       continue;
     }
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
     AlgoSummary s = runner.Run(MakeAnsW(base));
     PrintRow("fig10h", "AnsW", QueryShapeName(shape), s);
     if (shape == QueryShape::kStar) star_time = s.seconds.Mean();

@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
     factory.query.num_edges = edges;
     auto cases = MakeBenchCases(g, env.queries, factory);
     if (cases.empty()) continue;
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
 
     AlgoSummary sw = runner.Run(MakeAnsW(base));
     PrintRow("fig10j", "AnsW", std::to_string(edges), sw);

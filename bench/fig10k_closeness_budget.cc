@@ -15,7 +15,8 @@ int main(int argc, char** argv) {
   WhyFactoryOptions factory = DefaultFactory(env.seed);
   factory.disturb.num_ops = 5;  // the paper injects up to five
   auto cases = MakeBenchCases(g, env.queries, factory);
-  ExperimentRunner runner(g, std::move(cases), env.threads);
+  ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
 
   double answ_b1 = 0, answ_b5 = 0;
   for (int budget = 1; budget <= 5; ++budget) {

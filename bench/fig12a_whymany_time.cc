@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
     WhyFactoryOptions factory = DefaultFactory(env.seed);
     factory.disturb.refine_prob = 0.1;
     auto cases = MakeBenchCases(g, env.queries, factory);
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
 
     for (AlgoSpec algo : {MakeApxWhyM(base), MakeAnsW(base), MakeAnsWb(base),
                           MakeFMAnsW(base)}) {

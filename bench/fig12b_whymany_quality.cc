@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
     WhyFactoryOptions factory = DefaultFactory(env.seed);
     factory.disturb.refine_prob = 0.1;  // relax-heavy: too many matches
     auto cases = MakeBenchCases(g, env.queries, factory);
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
 
     AlgoSummary sa = runner.Run(MakeApxWhyM(base));
     PrintRow("fig12b", spec.name, "ApxWhyM", sa);

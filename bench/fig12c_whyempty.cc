@@ -24,7 +24,8 @@ int main(int argc, char** argv) {
       std::printf("fig12c,%s,AnsWE,skipped=no-cases\n", spec.name.c_str());
       continue;
     }
-    ExperimentRunner runner(g, std::move(cases), env.threads);
+    ExperimentRunner runner(g, std::move(cases), env.threads, env.cache_dir,
+                            &BenchObs());
 
     AlgoSummary se = runner.Run(MakeAnsWE(base));
     PrintRow("fig12c", spec.name, "AnsWE", se);

@@ -77,7 +77,12 @@ ChaseResult internal::RunAnsHeu(ChaseContext& ctx) {
         if (!visited.insert(fp).second) continue;
         OpSequence next_ops = node->eval->ops;
         next_ops.Append(scored->op);
-        auto eval = ctx.Evaluate(next_query, std::move(next_ops));
+        std::shared_ptr<EvalResult> eval;
+        try {
+          eval = ctx.Evaluate(next_query, std::move(next_ops));
+        } catch (const DeadlineExceeded&) {
+          break;  // keep this level's answers; the outer guard stops the beam
+        }
         offer(*eval);
         auto child = std::make_shared<ChaseNode>();
         child->eval = std::move(eval);
@@ -114,10 +119,12 @@ ChaseResult internal::RunAnsHeu(ChaseContext& ctx) {
     result.answers.push_back(std::move(a));
   }
   ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
-  if (front.empty()) {
-    ctx.stats().termination = TerminationReason::kExhausted;
-  } else if (opts.deadline.Expired()) {
+  // Deadline first: a timed-out level can leave an empty beam behind, which
+  // must not masquerade as exhaustive exploration.
+  if (opts.deadline.Expired()) {
     ctx.stats().termination = TerminationReason::kDeadline;
+  } else if (front.empty()) {
+    ctx.stats().termination = TerminationReason::kExhausted;
   } else {
     ctx.stats().termination = TerminationReason::kStepCap;
   }

@@ -141,7 +141,15 @@ ChaseResult internal::RunAnsW(ChaseContext& ctx) {
       visited[fp] = next_cost;
     }
 
-    auto eval = ctx.Evaluate(next_query, std::move(next_ops));
+    std::shared_ptr<EvalResult> eval;
+    try {
+      eval = ctx.Evaluate(next_query, std::move(next_ops));
+    } catch (const DeadlineExceeded&) {
+      // The deadline fired inside star matching; the node stays on the
+      // frontier, so the epilogue below reports kDeadline with the top-k
+      // found so far (the anytime contract).
+      break;
+    }
 
     // Prune (line 9, Lemma 5.5(2)): once refining, cl can only drop below
     // cl⁺; a subtree whose bound cannot beat the incumbent is dead.

@@ -162,6 +162,7 @@ ChaseResult internal::RunAnsWE(ChaseContext& ctx) {
   // relevant match is the answer.
   constexpr size_t kMaxVerify = 20;
   std::shared_ptr<EvalResult> best;
+  bool out_of_time = false;
   for (size_t i = 0; i < repairs.size() && i < kMaxVerify; ++i) {
     PatternQuery rewritten = q;
     OpSequence ops;
@@ -175,7 +176,13 @@ ChaseResult internal::RunAnsWE(ChaseContext& ctx) {
     }
     if (!applied) continue;
     ++ctx.stats().steps;
-    auto eval = ctx.Evaluate(rewritten, std::move(ops));
+    std::shared_ptr<EvalResult> eval;
+    try {
+      eval = ctx.Evaluate(rewritten, std::move(ops));
+    } catch (const DeadlineExceeded&) {
+      out_of_time = true;  // cheaper repairs were already verified
+      break;
+    }
     if (!eval->rel.rm.empty()) {
       best = eval;
       break;
@@ -200,9 +207,14 @@ ChaseResult internal::RunAnsWE(ChaseContext& ctx) {
   result.answers.push_back(std::move(a));
   ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
   // The diagnosis is exhaustive over the (capped) relevant candidates; an
-  // empty answer means every repair's removal set exceeded the budget B.
-  ctx.stats().termination = best != nullptr ? TerminationReason::kExhausted
-                                            : TerminationReason::kBudget;
+  // empty answer means every repair's removal set exceeded the budget B —
+  // unless the clock cut verification short.
+  if (out_of_time) {
+    ctx.stats().termination = TerminationReason::kDeadline;
+  } else {
+    ctx.stats().termination = best != nullptr ? TerminationReason::kExhausted
+                                              : TerminationReason::kBudget;
+  }
   result.stats = ctx.stats();
   return result;
 }

@@ -112,6 +112,7 @@ ChaseResult internal::RunApxWhyM(ChaseContext& ctx) {
   consider(root);
 
   // O_2: best single operator (lines 3, 9 of Fig 9).
+  bool out_of_time = false;
   for (const ScoredOp& so : seeds) {
     if (so.cost > opts.budget + kEps) continue;
     PatternQuery q = root->query;
@@ -119,15 +120,21 @@ ChaseResult internal::RunApxWhyM(ChaseContext& ctx) {
     OpSequence ops;
     ops.Append(so.op);
     ++ctx.stats().steps;
-    consider(ctx.Evaluate(q, std::move(ops)));
+    try {
+      consider(ctx.Evaluate(q, std::move(ops)));
+    } catch (const DeadlineExceeded&) {
+      out_of_time = true;  // anytime: keep the best rewrite seen so far
+      break;
+    }
   }
 
   // O_1: greedy marginal-gain-per-cost selection (lines 4-8).
   std::vector<bool> used(seeds.size(), false);
   auto cur = root;
   double spent = 0;
-  TerminationReason termination = TerminationReason::kExhausted;
-  while (true) {
+  TerminationReason termination =
+      out_of_time ? TerminationReason::kDeadline : TerminationReason::kExhausted;
+  while (!out_of_time) {
     int best_i = -1;
     double best_ratio = 0;
     std::shared_ptr<EvalResult> best_eval;
@@ -139,13 +146,26 @@ ChaseResult internal::RunApxWhyM(ChaseContext& ctx) {
       OpSequence ops = cur->ops;
       ops.Append(seeds[i].op);
       ++ctx.stats().steps;
-      auto eval = ctx.Evaluate(q, std::move(ops));
+      std::shared_ptr<EvalResult> eval;
+      try {
+        eval = ctx.Evaluate(q, std::move(ops));
+      } catch (const DeadlineExceeded&) {
+        out_of_time = true;
+        break;
+      }
       const double ratio = (eval->cl - cur->cl) / seeds[i].cost;
       if (best_i < 0 || ratio > best_ratio + kEps) {
         best_i = static_cast<int>(i);
         best_ratio = ratio;
         best_eval = eval;
       }
+    }
+    if (out_of_time) {
+      // A partial marginal-gain scan must not be acted on: committing to the
+      // best of half the seeds would make answers depend on where the clock
+      // fired. Report deadline with the walk's current rewrite.
+      termination = TerminationReason::kDeadline;
+      break;
     }
     if (best_i < 0) {
       // Every remaining seed exceeds the leftover budget (or no longer

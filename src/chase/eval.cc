@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
+
+#include "store/artifact_store.h"
+#include "store/serde.h"
 
 namespace wqe {
 
@@ -11,6 +15,48 @@ DistanceIndex::Options DistOptions(size_t num_threads) {
   DistanceIndex::Options o;
   o.num_threads = num_threads;
   return o;
+}
+
+// Load-or-build helpers for the snapshot-backed index construction: try the
+// artifact store first; on miss / corruption / version skew build cold and
+// write the snapshot back (best-effort — a read-only cache dir just stays
+// cold). `store` may be null (the fully in-memory path).
+
+ActiveDomains LoadOrBuildAdom(const Graph& g, store::ArtifactStore* store) {
+  if (store != nullptr) {
+    std::unique_ptr<ActiveDomains> restored;
+    if (store->LoadAdom(g, &restored).ok()) return std::move(*restored);
+  }
+  WQE_SPAN("index.adom");
+  ActiveDomains a(g);
+  if (store != nullptr) store->SaveAdom(a);
+  return a;
+}
+
+uint32_t LoadOrBuildDiameter(const Graph& g, store::ArtifactStore* store) {
+  if (store != nullptr) {
+    uint32_t restored = 0;
+    if (store->LoadDiameter(&restored).ok()) return restored;
+  }
+  WQE_SPAN("index.diameter");
+  const uint32_t d = EstimateDiameter(g);
+  if (store != nullptr) store->SaveDiameter(d);
+  return d;
+}
+
+DistanceIndex LoadOrBuildDist(const Graph& g, size_t num_threads,
+                              store::ArtifactStore* store) {
+  const DistanceIndex::Options opts = DistOptions(num_threads);
+  if (store != nullptr) {
+    std::unique_ptr<DistanceIndex> restored;
+    if (store->LoadDistanceIndex(g, opts, &restored).ok()) {
+      return std::move(*restored);
+    }
+  }
+  WQE_SPAN("index.dist_pll");
+  DistanceIndex d(g, opts);
+  if (store != nullptr) store->SaveDistanceIndex(d, opts);
+  return d;
 }
 
 uint64_t NowNs() {
@@ -39,21 +85,15 @@ const char* TerminationReasonName(TerminationReason reason) {
 }
 
 // Each member build runs under its own span (a no-op unless the calling
-// thread has a tracer installed — benches and sessions do). The lambdas
-// return prvalues, so guaranteed elision constructs the members in place.
+// thread has a tracer installed — benches and sessions do).
 GraphIndexes::GraphIndexes(const Graph& g, size_t num_threads)
-    : adom([&] {
-        WQE_SPAN("index.adom");
-        return ActiveDomains(g);
-      }()),
-      diameter([&] {
-        WQE_SPAN("index.diameter");
-        return EstimateDiameter(g);
-      }()),
-      dist([&] {
-        WQE_SPAN("index.dist_pll");
-        return DistanceIndex(g, DistOptions(num_threads));
-      }()) {}
+    : GraphIndexes(g, num_threads, nullptr) {}
+
+GraphIndexes::GraphIndexes(const Graph& g, size_t num_threads,
+                           store::ArtifactStore* store)
+    : adom(LoadOrBuildAdom(g, store)),
+      diameter(LoadOrBuildDiameter(g, store)),
+      dist(LoadOrBuildDist(g, num_threads, store)) {}
 
 ChaseContext::ChaseContext(const Graph& g, const WhyQuestion& w,
                            const ChaseOptions& opts)
@@ -74,8 +114,14 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
                      : nullptr),
       obs_(opts.observability == nullptr ? owned_obs_.get()
                                          : opts.observability),
+      owned_store_(opts.cache_dir.empty()
+                       ? nullptr
+                       : std::make_unique<store::ArtifactStore>(
+                             opts.cache_dir,
+                             store::Serde::GraphFingerprint(g), obs_)),
       owned_indexes_(indexes == nullptr
-                         ? std::make_unique<GraphIndexes>(g, opts.num_threads)
+                         ? std::make_unique<GraphIndexes>(g, opts.num_threads,
+                                                          owned_store_.get())
                          : nullptr),
       indexes_(indexes == nullptr ? owned_indexes_.get() : indexes),
       closeness_(g, indexes_->adom, opts.closeness),
@@ -96,6 +142,11 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
   star_matcher_.set_num_threads(opts_.num_threads);
   star_matcher_.set_observability(obs_);
   active_cache_->set_observability(obs_);
+  // Warm the private star-view cache from disk (shared caches are warmed by
+  // their owner exactly once, not per question).
+  if (owned_store_ != nullptr && opts_.use_cache && active_cache_ == &cache_) {
+    owned_store_->WarmStarViews(g_, &cache_);
+  }
   // V_{u_o}: the label class of the original focus (all nodes any rewrite's
   // focus could match).
   const LabelId focus_label = w_.query.node(w_.query.focus()).label;
@@ -110,6 +161,13 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
   cl_star_ = TheoreticalOptimal(rep_, universe_.size());
 
   root_ = Evaluate(w_.query, OpSequence());
+}
+
+ChaseContext::~ChaseContext() {
+  if (owned_store_ != nullptr && opts_.use_cache && active_cache_ == &cache_ &&
+      cache_.size() > 0) {
+    owned_store_->SaveStarViews(cache_, cache_.options().max_entries);
+  }
 }
 
 std::shared_ptr<EvalResult> ChaseContext::Evaluate(const PatternQuery& q,

@@ -18,6 +18,10 @@
 
 namespace wqe {
 
+namespace store {
+class ArtifactStore;
+}  // namespace store
+
 /// Everything known about one chase node (Q_i, ℰ_i): the rewrite, how it was
 /// derived, its answer, relevance classification, and closeness scores.
 struct EvalResult {
@@ -78,6 +82,18 @@ struct GraphIndexes {
   /// to the serial build.
   explicit GraphIndexes(const Graph& g, size_t num_threads = 1);
 
+  /// Builds each index or, when `store` is non-null, loads it from the
+  /// persistent artifact store and falls back to building (and writing the
+  /// snapshot back) on miss / corruption / version skew.
+  GraphIndexes(const Graph& g, size_t num_threads, store::ArtifactStore* store);
+
+  /// Assembles from already-restored components (snapshot load path).
+  GraphIndexes(ActiveDomains restored_adom, uint32_t restored_diameter,
+               DistanceIndex restored_dist)
+      : adom(std::move(restored_adom)),
+        diameter(restored_diameter),
+        dist(std::move(restored_dist)) {}
+
   ActiveDomains adom;
   uint32_t diameter;
   DistanceIndex dist;
@@ -109,6 +125,11 @@ class ChaseContext {
   /// may be null.
   ChaseContext(const Graph& g, GraphIndexes* indexes, ViewCache* shared_cache,
                const WhyQuestion& w, const ChaseOptions& opts);
+
+  /// Persists the private star-view cache to the artifact store when
+  /// ChaseOptions::cache_dir is set (shared caches are persisted by their
+  /// owner, which outlives the contexts).
+  ~ChaseContext();
 
   /// Evaluates a rewrite: answer, relevance, closeness. Matches are memoized
   /// by query fingerprint; `ops` and its cost are recorded per call.
@@ -158,6 +179,9 @@ class ChaseContext {
   obs::Counter* c_evaluations_ = nullptr;
   obs::Counter* c_memo_hits_ = nullptr;
   obs::Histogram* h_evaluate_ns_ = nullptr;
+
+  // Declared before the indexes so the store exists when they load-or-build.
+  std::unique_ptr<store::ArtifactStore> owned_store_;
 
   std::unique_ptr<GraphIndexes> owned_indexes_;
   GraphIndexes* indexes_;

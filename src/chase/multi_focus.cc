@@ -150,6 +150,14 @@ MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
   offer(*root_node->eval);
   frontier.push(root_node);
 
+  // Arm in-loop deadline checks only now: the root joint evaluation above
+  // must complete so the anytime fallback answer always exists. Each context
+  // carries its own Deadline copy (armed at its construction); contexts are
+  // destroyed with this frame, so the pointers cannot dangle.
+  for (auto& c : contexts) {
+    c->star_matcher().set_deadline(&c->options().deadline);
+  }
+
   size_t steps = 0;
   while (!frontier.empty() && steps < opts.max_steps &&
          !options.deadline.Expired()) {
@@ -175,7 +183,12 @@ MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
 
     OpSequence next_ops = node->eval->ops;
     next_ops.Append(scored->op);
-    auto joint = evaluate(next_query, next_ops);
+    std::shared_ptr<JointEval> joint;
+    try {
+      joint = evaluate(next_query, next_ops);
+    } catch (const DeadlineExceeded&) {
+      break;  // anytime: keep the joint answers found so far
+    }
 
     // Joint pruning: the summed bound is a valid upper bound on any
     // refinement descendant's summed closeness (Lemma 5.5 per focus).

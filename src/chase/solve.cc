@@ -4,9 +4,29 @@
 #include <cctype>
 #include <string>
 
+#include "common/timer.h"
+
 namespace wqe {
 
 namespace {
+
+/// Arms the context's star matcher with the run's deadline for exactly one
+/// solver dispatch. Scoped so the matcher is disarmed even when a
+/// DeadlineExceeded (or anything else) unwinds through Dispatch — a context
+/// is reused across questions and must never carry a dangling deadline.
+class ScopedDeadlineArm {
+ public:
+  ScopedDeadlineArm(StarMatcher& m, const Deadline* d) : m_(m) {
+    m_.set_deadline(d);
+  }
+  ~ScopedDeadlineArm() { m_.set_deadline(nullptr); }
+
+  ScopedDeadlineArm(const ScopedDeadlineArm&) = delete;
+  ScopedDeadlineArm& operator=(const ScopedDeadlineArm&) = delete;
+
+ private:
+  StarMatcher& m_;
+};
 
 const char* SolveSpanName(Algorithm algo) {
   switch (algo) {
@@ -98,7 +118,26 @@ ChaseResult SolveWithContext(ChaseContext& ctx, Algorithm algo) {
   ChaseResult result;
   {
     obs::ScopedSpan span(&o.tracer, SolveSpanName(algo));
-    result = Dispatch(ctx, algo);
+    ScopedDeadlineArm arm(ctx.star_matcher(), &ctx.options().deadline);
+    try {
+      result = Dispatch(ctx, algo);
+    } catch (const DeadlineExceeded&) {
+      // Backstop for evaluation paths without a solver-level handler: honor
+      // the anytime contract with the root as the (possibly non-satisfying)
+      // fallback answer instead of propagating out of Solve().
+      result = ChaseResult();
+      result.cl_star = ctx.cl_star();
+      WhyAnswer a;
+      a.rewrite = ctx.root()->query;
+      a.fingerprint = a.rewrite.Fingerprint();
+      a.ops = ctx.root()->ops;
+      a.matches = ctx.root()->matches;
+      a.closeness = ctx.root()->cl;
+      a.satisfies_exemplar = ctx.root()->satisfies_exemplar;
+      result.answers.push_back(std::move(a));
+      ctx.stats().termination = TerminationReason::kDeadline;
+      result.stats = ctx.stats();
+    }
   }
 
   result.stats.phases = obs::DiffPhases(phases_before, o.tracer.Phases());

@@ -1,8 +1,16 @@
 #include "chase/why.h"
 
+#include "common/thread_pool.h"
+
 namespace wqe {
 
 Status ChaseOptions::Validate() const {
+  if (num_threads > kMaxThreads) {
+    return Status::OutOfRange("num_threads " + std::to_string(num_threads) +
+                              " exceeds the maximum of " +
+                              std::to_string(kMaxThreads) +
+                              " (0 = hardware concurrency)");
+  }
   if (top_k == 0) {
     return Status::InvalidArgument("top_k must be >= 1 (0 rewrites requested)");
   }

@@ -2,6 +2,7 @@
 #define WQE_CHASE_WHY_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 #include "common/timer.h"
@@ -93,6 +94,14 @@ struct ChaseOptions {
   /// questions. Null = each ChaseContext owns a private scope. The pointee
   /// must outlive every context built from these options.
   obs::Observability* observability = nullptr;
+
+  /// Root directory of the persistent artifact store (DESIGN.md
+  /// "Persistence"). Non-empty = contexts that build their own graph indexes
+  /// load snapshots from `<cache_dir>/fp-<graph fingerprint>/` instead of
+  /// rebuilding (falling back to a build + write-back on miss or corruption),
+  /// and persist their star-view cache on destruction. Empty = fully
+  /// in-memory, exactly the pre-store behavior.
+  std::string cache_dir;
 
   /// Boundary validation for the unified Solve entry point: rejects option
   /// combinations the solvers would otherwise have to clamp silently

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -9,6 +10,36 @@
 #include <thread>
 
 namespace wqe {
+
+Result<size_t> ParseThreadCount(std::string_view text) {
+  if (text == "auto" || text == "hw") return size_t{0};
+  if (text.empty()) {
+    return Status::InvalidArgument(
+        "thread count is empty (use a positive integer or 'auto')");
+  }
+  // from_chars on an unsigned type rejects '-' but not '+'; check the sign
+  // explicitly so "-4" gets the right diagnostic instead of "non-numeric".
+  if (text.front() == '-') {
+    return Status::InvalidArgument("thread count '" + std::string(text) +
+                                   "' is negative");
+  }
+  uint64_t n = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), n);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("thread count '" + std::string(text) +
+                                   "' is not a positive integer (or 'auto')");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument(
+        "thread count 0 is ambiguous; say 'auto' for hardware concurrency");
+  }
+  if (n > kMaxThreads) {
+    return Status::OutOfRange("thread count " + std::string(text) +
+                              " exceeds the maximum of " +
+                              std::to_string(kMaxThreads));
+  }
+  return static_cast<size_t>(n);
+}
 
 struct ThreadPool::Impl {
   std::mutex mu;

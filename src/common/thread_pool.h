@@ -4,9 +4,27 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
+
 namespace wqe {
+
+/// Upper bound on an explicit thread request. Far above any real machine;
+/// exists so a typo ("--threads=1000000") is rejected instead of spawning
+/// until the OS falls over.
+inline constexpr size_t kMaxThreads = 512;
+
+/// Parses a user-supplied thread count ("--threads" / WQE_THREADS). Accepts
+/// "auto" (or "hw") for "use the hardware concurrency" and integers in
+/// [1, kMaxThreads]. Zero, negative, non-numeric, and absurd values are
+/// rejected with a descriptive Status — the string "0" is NOT the public
+/// spelling of auto-detection (that convention is internal to ResolveThreads,
+/// and accepting it here would make typos like "-j 0" silently change
+/// meaning). Returns 0 for "auto" so the result feeds ResolveThreads /
+/// ChaseOptions::num_threads directly.
+Result<size_t> ParseThreadCount(std::string_view text);
 
 /// Fixed-size worker pool behind ParallelFor. One process-wide instance is
 /// shared by every parallel call site (ThreadPool::Shared()); callers bound

@@ -2,8 +2,26 @@
 #define WQE_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstddef>
+#include <stdexcept>
 
 namespace wqe {
+
+/// Thrown from deadline-aware inner loops (star-table materialization,
+/// candidate verification) when the armed wall-clock budget runs out
+/// mid-pass. Solvers catch it, keep the best answer found so far, and report
+/// TerminationReason::kDeadline — it never escapes Solve().
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  DeadlineExceeded() : std::runtime_error("wall-clock deadline exceeded") {}
+};
+
+/// How many inner-loop work items (candidate verifications, star-table rows)
+/// may pass between deadline checks. Bounds the overshoot past
+/// time_limit_seconds to a few dozen row builds / match checks instead of a
+/// whole materialization or verification pass; small enough that the
+/// steady_clock reads stay invisible next to the BFS work they gate.
+inline constexpr size_t kDeadlineCheckStride = 32;
 
 /// Monotonic stopwatch for measuring algorithm phases.
 class Timer {
@@ -40,6 +58,12 @@ class Deadline {
 
   bool Expired() const {
     return has_limit_ && std::chrono::steady_clock::now() >= expiry_;
+  }
+
+  /// Periodic in-loop check: throws DeadlineExceeded once the budget is
+  /// spent. Call every kDeadlineCheckStride work items.
+  void ThrowIfExpired() const {
+    if (Expired()) throw DeadlineExceeded();
   }
 
  private:

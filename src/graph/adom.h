@@ -7,6 +7,10 @@
 
 namespace wqe {
 
+namespace store {
+class Serde;
+}  // namespace store
+
 /// Active domains adom(A, G) (§2.1): for every attribute A, the finite set of
 /// values it takes in G. Used by the cost model (range(A) normalizes RxL/RfL
 /// costs, Table 1) and by picky-operator generation (adom discretization,
@@ -39,6 +43,10 @@ class ActiveDomains {
   static constexpr double kMinRange = 1e-9;
 
  private:
+  /// Uninitialized shell the snapshot decoder fills field-by-field.
+  ActiveDomains() = default;
+  friend class store::Serde;
+
   std::vector<std::vector<double>> num_values_;
   std::vector<std::vector<SymbolId>> str_values_;
   std::vector<double> ranges_;

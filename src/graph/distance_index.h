@@ -9,6 +9,10 @@
 
 namespace wqe {
 
+namespace store {
+class Serde;
+}  // namespace store
+
 /// Exact directed shortest-path distance oracle. Implements the "fast
 /// distance index [2]" all the paper's algorithms consult: pruned landmark
 /// labeling (Akiba, Iwata, Yoshida, SIGMOD 2013) extended to directed graphs
@@ -51,6 +55,11 @@ class DistanceIndex {
     uint32_t hub_rank;
     uint32_t dist;
   };
+
+  /// Empty shell the snapshot decoder fills with a restored labeling.
+  struct RestoreTag {};
+  DistanceIndex(const Graph& g, RestoreTag) : g_(g), bfs_(g) {}
+  friend class store::Serde;
 
   void Build(size_t num_threads);
   uint32_t QueryLabels(NodeId u, NodeId v) const;

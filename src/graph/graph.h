@@ -12,6 +12,10 @@
 
 namespace wqe {
 
+namespace store {
+class Serde;
+}  // namespace store
+
 /// Dense node identifier.
 using NodeId = uint32_t;
 
@@ -134,6 +138,7 @@ class Graph {
   std::vector<NodeId> empty_label_bucket_;
 
   friend class GraphIo;
+  friend class store::Serde;  // binary snapshot encode/decode
 };
 
 }  // namespace wqe

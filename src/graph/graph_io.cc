@@ -1,6 +1,7 @@
 #include "graph/graph_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -32,7 +33,16 @@ bool ParseU32(std::string_view s, uint32_t* out) {
 bool ParseDouble(std::string_view s, double* out) {
   // std::from_chars<double> is available in libstdc++ >= 11.
   auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
-  return ec == std::errc() && ptr == s.data() + s.size();
+  // Reject inf/nan: non-finite attribute values poison the cost model's
+  // range normalizers and the active-domain sort order.
+  return ec == std::errc() && ptr == s.data() + s.size() && std::isfinite(*out);
+}
+
+/// Tolerate files written on Windows: getline leaves the '\r' of a CRLF
+/// terminator on the line, which would otherwise corrupt the last field (or
+/// reject the header).
+void StripCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
 }
 
 }  // namespace
@@ -69,44 +79,77 @@ Result<Graph> GraphIo::FromString(const std::string& text) {
   Graph g;
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != "wqe-graph v1") {
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("missing 'wqe-graph v1' header");
+  }
+  StripCr(&line);
+  if (line != "wqe-graph v1") {
     return Status::InvalidArgument("missing 'wqe-graph v1' header");
   }
   size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    StripCr(&line);
     if (line.empty() || line[0] == '#') continue;
     auto f = SplitTabs(line);
     const std::string where = " at line " + std::to_string(line_no);
     if (f[0] == "node") {
-      if (f.size() < 3) return Status::InvalidArgument("bad node line" + where);
+      // Every malformed id shape gets its own diagnostic: the loader is the
+      // only guard between untrusted files and the dense-id invariants the
+      // adjacency arrays assume.
+      if (f.size() < 3) {
+        return Status::InvalidArgument("truncated node line" + where);
+      }
       uint32_t id;
-      if (!ParseU32(f[1], &id) || id != g.num_nodes()) {
-        return Status::InvalidArgument("node ids must be sequential" + where);
+      if (!ParseU32(f[1], &id)) {
+        return Status::InvalidArgument("non-numeric node id '" +
+                                       std::string(f[1]) + "'" + where);
+      }
+      if (id < g.num_nodes()) {
+        return Status::InvalidArgument("duplicate node id " +
+                                       std::to_string(id) + where);
+      }
+      if (id > g.num_nodes()) {
+        return Status::InvalidArgument(
+            "out-of-order node id " + std::to_string(id) + " (expected " +
+            std::to_string(g.num_nodes()) + ")" + where);
       }
       g.AddNode(f[2], f.size() > 3 ? f[3] : std::string_view());
     } else if (f[0] == "attr") {
-      if (f.size() < 5) return Status::InvalidArgument("bad attr line" + where);
+      if (f.size() < 5) {
+        return Status::InvalidArgument("truncated attr line" + where);
+      }
       uint32_t id;
-      if (!ParseU32(f[1], &id) || id >= g.num_nodes()) {
-        return Status::InvalidArgument("attr references unknown node" + where);
+      if (!ParseU32(f[1], &id)) {
+        return Status::InvalidArgument("non-numeric node id '" +
+                                       std::string(f[1]) + "'" + where);
+      }
+      if (id >= g.num_nodes()) {
+        return Status::InvalidArgument("attr references unknown node " +
+                                       std::to_string(id) + where);
       }
       if (f[3] == "num") {
         double num;
         if (!ParseDouble(f[4], &num)) {
-          return Status::InvalidArgument("bad numeric value" + where);
+          return Status::InvalidArgument("bad numeric value '" +
+                                         std::string(f[4]) + "'" + where);
         }
         g.SetNum(id, f[2], num);
       } else if (f[3] == "str") {
         g.SetStr(id, f[2], f[4]);
       } else {
-        return Status::InvalidArgument("unknown value kind" + where);
+        return Status::InvalidArgument("unknown value kind '" +
+                                       std::string(f[3]) + "'" + where);
       }
     } else if (f[0] == "edge") {
-      if (f.size() < 3) return Status::InvalidArgument("bad edge line" + where);
+      if (f.size() < 3) {
+        return Status::InvalidArgument("truncated edge line" + where);
+      }
       uint32_t from, to;
-      if (!ParseU32(f[1], &from) || !ParseU32(f[2], &to) ||
-          from >= g.num_nodes() || to >= g.num_nodes()) {
+      if (!ParseU32(f[1], &from) || !ParseU32(f[2], &to)) {
+        return Status::InvalidArgument("non-numeric edge endpoint" + where);
+      }
+      if (from >= g.num_nodes() || to >= g.num_nodes()) {
         return Status::InvalidArgument("edge references unknown node" + where);
       }
       LabelId elabel = kWildcardSymbol;
@@ -133,6 +176,7 @@ Result<Graph> GraphIo::Load(const std::string& path) {
   if (!in) return Status::NotFound("cannot open: " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) return Status::InvalidArgument("read error on: " + path);
   return FromString(buf.str());
 }
 

@@ -33,6 +33,7 @@ class Schema {
   // Edge labels.
   LabelId InternEdgeLabel(std::string_view s) { return edge_labels_.Intern(s); }
   const std::string& EdgeLabelName(LabelId id) const { return edge_labels_.Name(id); }
+  size_t num_edge_labels() const { return edge_labels_.size(); }
 
   // Attribute names.
   AttrId InternAttr(std::string_view s) { return attrs_.Intern(s); }

@@ -33,6 +33,11 @@ void StarMatcher::set_num_threads(size_t n) {
   materializer_.set_num_threads(n);
 }
 
+void StarMatcher::set_deadline(const Deadline* d) {
+  deadline_ = d;
+  materializer_.set_deadline(d);
+}
+
 void StarMatcher::set_observability(obs::Observability* o) {
   if (o == nullptr) {
     c_tables_built_ = c_candidates_ = c_verified_ = nullptr;
@@ -52,6 +57,8 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
   {
     WQE_SPAN("match.stars");
     for (const StarQuery& star : eval.stars) {
+      // Between stars; the materializer checks inside its row loop too.
+      if (deadline_ != nullptr) deadline_->ThrowIfExpired();
       std::shared_ptr<const StarTable> table;
       if (cache_ != nullptr) {
         table = cache_->Get(star.Signature(q));
@@ -105,11 +112,21 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
                      });
   }
 
+  // Each verification is a full (bounded) match check, so an armed deadline
+  // is consulted every kDeadlineCheckStride candidates — the overshoot is a
+  // stride of match checks, not the whole candidate list. Matches found
+  // before the throw are abandoned with the evaluation (anytime callers keep
+  // their previous best instead of a partial, order-dependent answer set).
   const size_t threads = ResolveThreads(num_threads_);
   if (threads <= 1 || candidates.size() <= 1) {
-    for (NodeId v : candidates) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (deadline_ != nullptr && i % kDeadlineCheckStride == 0) {
+        deadline_->ThrowIfExpired();
+      }
       ++stats_.focus_verified;
-      if (matcher_.IsMatchRestricted(q, v, allowed)) eval.matches.push_back(v);
+      if (matcher_.IsMatchRestricted(q, candidates[i], allowed)) {
+        eval.matches.push_back(candidates[i]);
+      }
     }
   } else {
     // Shard verification over per-thread matchers; the shared graph, star
@@ -123,6 +140,9 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
     std::vector<uint8_t> is_match(candidates.size(), 0);
     ParallelFor(threads, 0, candidates.size(), /*grain=*/4,
                 [&](size_t i, size_t slot) {
+                  if (deadline_ != nullptr && i % kDeadlineCheckStride == 0) {
+                    deadline_->ThrowIfExpired();
+                  }
                   Matcher& m = slot == 0 ? matcher_ : *workers_[slot - 1];
                   is_match[i] = m.IsMatchRestricted(q, candidates[i], allowed)
                                     ? 1

@@ -51,6 +51,14 @@ class StarMatcher {
   /// (resolved once here, bumped lock-free per Evaluate). Null detaches.
   void set_observability(obs::Observability* o);
 
+  /// Arms a wall-clock deadline for Evaluate: table materialization and
+  /// candidate verification check it every kDeadlineCheckStride items and
+  /// throw DeadlineExceeded, so one long pass cannot blow far past
+  /// time_limit_seconds. Null disarms (the default). `d` must outlive the
+  /// armed period — SolveWithContext arms around one solver run and disarms
+  /// on exit, keeping context construction (the root evaluation) unbounded.
+  void set_deadline(const Deadline* d);
+
   struct Evaluation {
     std::vector<NodeId> matches;  // Q(G), sorted ascending
     std::vector<StarQuery> stars;
@@ -72,6 +80,7 @@ class StarMatcher {
   ViewCache* cache_;
   StarEvalStats stats_;
   size_t num_threads_ = 1;
+  const Deadline* deadline_ = nullptr;
   /// Worker matchers for parallel verification, one per slot >= 1 (slot 0
   /// is matcher_), created lazily and reused across Evaluate calls.
   std::vector<std::unique_ptr<Matcher>> workers_;

@@ -57,8 +57,17 @@ std::shared_ptr<const StarTable> StarMaterializer::Materialize(
   const size_t threads = ResolveThreads(num_threads_);
   std::vector<StarRow> built(centers.size());
   std::vector<uint8_t> viable(centers.size(), 0);
+  // Deadline checks ride the row loop at a fixed stride: one row is a few
+  // bounded BFS passes, so the overshoot past an armed deadline is at most
+  // kDeadlineCheckStride rows per participant, never a whole table. In the
+  // parallel path ParallelFor abandons the remaining blocks and rethrows the
+  // DeadlineExceeded on this thread; the half-built table is discarded here
+  // and never reaches the view cache.
   if (threads <= 1 || centers.size() <= 1) {
     for (size_t i = 0; i < centers.size(); ++i) {
+      if (deadline_ != nullptr && i % kDeadlineCheckStride == 0) {
+        deadline_->ThrowIfExpired();
+      }
       viable[i] = BuildRow(q, star, centers[i], bfs_, built[i]) ? 1 : 0;
     }
   } else {
@@ -67,6 +76,9 @@ std::shared_ptr<const StarTable> StarMaterializer::Materialize(
     });
     ParallelFor(threads, 0, centers.size(), /*grain=*/16,
                 [&](size_t i, size_t slot) {
+                  if (deadline_ != nullptr && i % kDeadlineCheckStride == 0) {
+                    deadline_->ThrowIfExpired();
+                  }
                   BoundedBfs& bfs = slot == 0 ? bfs_ : scratch.at(slot);
                   viable[i] = BuildRow(q, star, centers[i], bfs, built[i]) ? 1 : 0;
                 });

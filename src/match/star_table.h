@@ -5,10 +5,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/timer.h"
 #include "graph/bfs.h"
 #include "match/star.h"
 
 namespace wqe {
+
+namespace store {
+class Serde;
+}  // namespace store
 
 /// One (node, distance) entry in a star-table cell.
 struct SpokeMatch {
@@ -62,6 +67,7 @@ class StarTable {
 
  private:
   friend class StarMaterializer;
+  friend class store::Serde;  // binary snapshot encode/decode
 
   StarQuery star_;
   QNodeId focus_;
@@ -85,6 +91,13 @@ class StarMaterializer {
   /// assembled in center order, so tables are identical for every setting.
   void set_num_threads(size_t n) { num_threads_ = n; }
 
+  /// Arms a wall-clock deadline checked every kDeadlineCheckStride rows:
+  /// Materialize throws DeadlineExceeded instead of finishing the table, so
+  /// a huge star cannot blow past time_limit_seconds by a whole build pass.
+  /// Null disarms (the default — index/cache prewarming runs unbounded).
+  /// `d` must outlive the armed period; StarMatcher forwards its own.
+  void set_deadline(const Deadline* d) { deadline_ = d; }
+
   /// Materializes T_i(G) for `star` of query `q`: one row per center match
   /// (center candidates whose every spoke has at least one match and, for
   /// focus-augmented stars, at least one focus candidate in range).
@@ -99,6 +112,7 @@ class StarMaterializer {
   const Graph& g_;
   BoundedBfs bfs_;
   size_t num_threads_ = 1;
+  const Deadline* deadline_ = nullptr;
 };
 
 }  // namespace wqe

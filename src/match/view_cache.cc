@@ -1,5 +1,6 @@
 #include "match/view_cache.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/observability.h"
@@ -42,10 +43,13 @@ std::shared_ptr<const StarTable> ViewCache::Get(const std::string& signature) {
 
 void ViewCache::Put(const std::string& signature,
                     std::shared_ptr<const StarTable> table) {
-  ++tick_;
+  // Insertion is not a clock event: only lookups advance the decay tick.
+  // Ticking here would let a burst of N inserts (e.g. a warm-start loading a
+  // whole persisted cache) age every earlier insert by N ticks, decaying
+  // freshly-inserted entries to "ancient" before they are ever used.
   auto it = entries_.find(signature);
   if (it != entries_.end()) {
-    total_entries_ -= it->second.table->EntryCount();
+    total_entries_ -= std::min(total_entries_, it->second.table->EntryCount());
     it->second.table = std::move(table);
     total_entries_ += it->second.table->EntryCount();
     it->second.score = DecayedScore(it->second) + 1.0;
@@ -72,14 +76,24 @@ void ViewCache::EvictIfNeeded() {
   while (total_entries_ > options_.max_entries && entries_.size() > 1) {
     auto victim = entries_.begin();
     double victim_score = DecayedScore(victim->second);
+    size_t largest = victim->second.table->EntryCount();
     for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
       const double s = DecayedScore(it->second);
       if (s < victim_score) {
         victim = it;
         victim_score = s;
       }
+      largest = std::max(largest, it->second.table->EntryCount());
     }
-    total_entries_ -= victim->second.table->EntryCount();
+    // Futility cutoff: when a single oversized table is the only reason the
+    // cache is over budget (everything else already fits), evicting more
+    // entries can never reach the limit — it would just strip the cache bare
+    // around the whale. Admit it and stop.
+    if (largest > options_.max_entries &&
+        total_entries_ - largest <= options_.max_entries) {
+      break;
+    }
+    total_entries_ -= std::min(total_entries_, victim->second.table->EntryCount());
     entries_.erase(victim);
     if (c_evictions_ != nullptr) c_evictions_->Inc();
   }
@@ -88,7 +102,15 @@ void ViewCache::EvictIfNeeded() {
 void ViewCache::Clear() {
   entries_.clear();
   total_entries_ = 0;
+  tick_ = 0;
   if (g_entries_ != nullptr) g_entries_->Set(0);
+}
+
+void ViewCache::ForEach(
+    const std::function<void(const std::string&,
+                             const std::shared_ptr<const StarTable>&)>& fn)
+    const {
+  for (const auto& [signature, entry] : entries_) fn(signature, entry.table);
 }
 
 }  // namespace wqe

@@ -1,6 +1,7 @@
 #ifndef WQE_MATCH_VIEW_CACHE_H_
 #define WQE_MATCH_VIEW_CACHE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -36,15 +37,27 @@ class ViewCache {
   /// Looks up a table by signature; bumps its (decayed) hit score.
   std::shared_ptr<const StarTable> Get(const std::string& signature);
 
-  /// Inserts a table, evicting least-hit entries if over capacity.
+  /// Inserts a table, evicting least-hit entries if over capacity. A table
+  /// larger than the whole budget is still admitted (it may be the only view
+  /// the current question needs), but entries that do fit are never evicted
+  /// on its account.
   void Put(const std::string& signature, std::shared_ptr<const StarTable> table);
 
+  /// Resets contents *and* the decay clock (a cleared cache starts a fresh
+  /// epoch; stale ticks must not age its future entries).
   void Clear();
+
+  /// Visits every cached (signature, table) pair in unspecified order
+  /// (persistence snapshots sort by signature themselves).
+  void ForEach(const std::function<void(const std::string&,
+                                        const std::shared_ptr<const StarTable>&)>&
+                   fn) const;
 
   /// Mirrors hit/miss/eviction counts and occupancy into `o`'s registry
   /// (counters resolved once here, then bumped lock-free). Null detaches.
   void set_observability(obs::Observability* o);
 
+  const Options& options() const { return options_; }
   size_t size() const { return entries_.size(); }
   size_t entry_count() const { return total_entries_; }
   uint64_t hits() const { return hits_; }

@@ -1,0 +1,137 @@
+#include "store/format.h"
+
+namespace wqe::store {
+
+const char* ArtifactKindName(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kGraph:
+      return "graph";
+    case ArtifactKind::kAdom:
+      return "adom";
+    case ArtifactKind::kDiameter:
+      return "diameter";
+    case ArtifactKind::kDistanceIndex:
+      return "distance_index";
+    case ArtifactKind::kStarViews:
+      return "star_views";
+  }
+  return "unknown";
+}
+
+uint64_t Fnv1a(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t HashU64s(std::initializer_list<uint64_t> values) {
+  uint64_t h = 14695981039346656037ull;
+  for (uint64_t v : values) {
+    char tmp[sizeof(v)];
+    std::memcpy(tmp, &v, sizeof(v));
+    h = Fnv1a(std::string_view(tmp, sizeof(tmp)), h);
+  }
+  return h;
+}
+
+Status Reader::U8(uint8_t* out) { return Pod(out, "u8"); }
+Status Reader::U32(uint32_t* out) { return Pod(out, "u32"); }
+Status Reader::U64(uint64_t* out) { return Pod(out, "u64"); }
+Status Reader::F64(double* out) { return Pod(out, "f64"); }
+
+Status Reader::Str(std::string* out) {
+  uint64_t n = 0;
+  if (Status s = U64(&n); !s.ok()) return s;
+  if (n > remaining()) return Truncated("string");
+  out->assign(data_.data() + pos_, static_cast<size_t>(n));
+  pos_ += static_cast<size_t>(n);
+  return Status::OK();
+}
+
+Status Reader::CheckCount(uint64_t n, size_t min_bytes, const char* what) const {
+  const size_t floor = min_bytes == 0 ? 1 : min_bytes;
+  if (n > remaining() / floor) {
+    return Status::OutOfRange(std::string("implausible element count in ") +
+                              what + " (corrupt artifact)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Header field order; see the comment in format.h.
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t kind;
+  uint32_t flags;
+  uint64_t key;
+  uint64_t params;
+  uint64_t size;
+  uint64_t check;
+};
+static_assert(sizeof(Header) == 48);
+
+}  // namespace
+
+std::string SealFile(ArtifactKind kind, uint64_t key, uint64_t params,
+                     std::string payload) {
+  Header h;
+  h.magic = kMagic;
+  h.version = kFormatVersion;
+  h.kind = static_cast<uint32_t>(kind);
+  h.flags = 0;
+  h.key = key;
+  h.params = params;
+  h.size = payload.size();
+  h.check = Fnv1a(payload);
+  std::string out;
+  out.reserve(sizeof(Header) + payload.size());
+  out.append(reinterpret_cast<const char*>(&h), sizeof(Header));
+  out.append(payload);
+  return out;
+}
+
+Status OpenFile(std::string_view bytes, ArtifactKind kind, uint64_t key,
+                uint64_t params, std::string_view* payload) {
+  if (bytes.size() < sizeof(Header)) {
+    return Status::OutOfRange("artifact file shorter than its header");
+  }
+  Header h;
+  std::memcpy(&h, bytes.data(), sizeof(Header));
+  if (h.magic != kMagic) {
+    return Status::InvalidArgument("artifact magic mismatch (not a wqe snapshot)");
+  }
+  if (h.version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "artifact format version " + std::to_string(h.version) +
+        " != expected " + std::to_string(kFormatVersion));
+  }
+  if (h.kind != static_cast<uint32_t>(kind)) {
+    return Status::InvalidArgument(
+        std::string("artifact kind mismatch: expected ") +
+        ArtifactKindName(kind));
+  }
+  if (h.key != key) {
+    return Status::InvalidArgument(
+        "artifact graph fingerprint mismatch (graph changed; stale snapshot)");
+  }
+  if (h.params != params) {
+    return Status::InvalidArgument(
+        "artifact builder-parameter hash mismatch (stale snapshot)");
+  }
+  if (h.size != bytes.size() - sizeof(Header)) {
+    return Status::OutOfRange("artifact payload size mismatch (truncated file)");
+  }
+  const std::string_view body = bytes.substr(sizeof(Header));
+  if (Fnv1a(body) != h.check) {
+    return Status::InvalidArgument("artifact checksum mismatch (corrupted file)");
+  }
+  *payload = body;
+  return Status::OK();
+}
+
+}  // namespace wqe::store

@@ -1,0 +1,392 @@
+#include "store/serde.h"
+
+#include <utility>
+
+#include "graph/adom.h"
+#include "graph/distance_index.h"
+#include "graph/graph.h"
+#include "match/star_table.h"
+
+namespace wqe::store {
+
+namespace {
+
+Status Corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt artifact payload: ") +
+                                 what);
+}
+
+/// Writes an interner's symbol table: total size, then every symbol after the
+/// pre-interned empty string at id 0.
+template <typename NameFn>
+void EncodeSymbols(Writer& w, size_t size, NameFn name) {
+  w.U64(size);
+  for (size_t i = 1; i < size; ++i) w.Str(name(i));
+}
+
+/// Replays a symbol table into a fresh interner via `intern`, verifying that
+/// ids come out identical to the encoded ones (a duplicate or reordered
+/// symbol means the payload is corrupt).
+template <typename InternFn>
+Status DecodeSymbols(Reader& r, const char* what, InternFn intern) {
+  uint64_t size = 0;
+  if (Status s = r.U64(&size); !s.ok()) return s;
+  if (size == 0) return Corrupt(what);
+  // Every symbol costs at least its 8-byte length prefix.
+  if (Status s = r.CheckCount(size - 1, 8, what); !s.ok()) return s;
+  std::string sym;
+  for (uint64_t i = 1; i < size; ++i) {
+    if (Status s = r.Str(&sym); !s.ok()) return s;
+    if (intern(sym) != i) return Corrupt(what);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// -------- Graph --------
+
+std::string Serde::EncodeGraph(const Graph& g) {
+  Writer w;
+  const Schema& schema = g.schema();
+  EncodeSymbols(w, schema.num_labels(),
+                [&](size_t i) { return schema.LabelName(static_cast<LabelId>(i)); });
+  EncodeSymbols(w, schema.num_edge_labels(), [&](size_t i) {
+    return schema.EdgeLabelName(static_cast<LabelId>(i));
+  });
+  EncodeSymbols(w, schema.num_attrs(),
+                [&](size_t i) { return schema.AttrName(static_cast<AttrId>(i)); });
+  EncodeSymbols(w, schema.strings().size(), [&](size_t i) {
+    return schema.StrName(static_cast<SymbolId>(i));
+  });
+
+  w.U64(g.num_nodes());
+  w.PodVec(g.labels_);
+  for (const std::string& name : g.names_) w.Str(name);
+  for (const auto& tuple : g.attrs_) {
+    w.U64(tuple.size());
+    for (const AttrPair& pair : tuple) {
+      w.U32(pair.attr);
+      w.U8(static_cast<uint8_t>(pair.value.kind()));
+      if (pair.value.is_num()) {
+        w.F64(pair.value.num());
+      } else if (pair.value.is_str()) {
+        w.U32(pair.value.str());
+      }
+    }
+  }
+  w.PodVec(g.edge_from_);
+  w.PodVec(g.edge_to_);
+  w.PodVec(g.edge_labels_);
+  return w.Take();
+}
+
+uint64_t Serde::GraphFingerprint(const Graph& g) {
+  return Fnv1a(EncodeGraph(g));
+}
+
+Status Serde::DecodeGraph(std::string_view payload, Graph* out) {
+  Reader r(payload);
+  Schema& schema = out->schema_;
+  if (Status s = DecodeSymbols(
+          r, "label table", [&](const std::string& n) { return schema.InternLabel(n); });
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = DecodeSymbols(r, "edge-label table",
+                               [&](const std::string& n) {
+                                 return schema.InternEdgeLabel(n);
+                               });
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = DecodeSymbols(
+          r, "attr table", [&](const std::string& n) { return schema.InternAttr(n); });
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = DecodeSymbols(r, "string table",
+                               [&](const std::string& n) {
+                                 return schema.InternStr(n).str();
+                               });
+      !s.ok()) {
+    return s;
+  }
+
+  uint64_t n = 0;
+  if (Status s = r.U64(&n); !s.ok()) return s;
+  if (n > static_cast<uint64_t>(kInvalidNode)) return Corrupt("node count");
+  if (Status s = r.PodVec(&out->labels_); !s.ok()) return s;
+  if (out->labels_.size() != n) return Corrupt("node label array");
+  for (LabelId l : out->labels_) {
+    if (l >= schema.num_labels()) return Corrupt("node label id");
+  }
+  out->names_.resize(n);
+  for (auto& name : out->names_) {
+    if (Status s = r.Str(&name); !s.ok()) return s;
+  }
+  out->attrs_.resize(n);
+  for (auto& tuple : out->attrs_) {
+    uint64_t count = 0;
+    if (Status s = r.U64(&count); !s.ok()) return s;
+    // Each pair is at least attr id + kind byte.
+    if (Status s = r.CheckCount(count, 5, "attr tuple"); !s.ok()) return s;
+    tuple.resize(count);
+    for (AttrPair& pair : tuple) {
+      uint8_t kind = 0;
+      if (Status s = r.U32(&pair.attr); !s.ok()) return s;
+      if (Status s = r.U8(&kind); !s.ok()) return s;
+      if (pair.attr >= schema.num_attrs()) return Corrupt("attr id");
+      switch (static_cast<Value::Kind>(kind)) {
+        case Value::Kind::kNull:
+          pair.value = Value::Null();
+          break;
+        case Value::Kind::kNum: {
+          double num = 0;
+          if (Status s = r.F64(&num); !s.ok()) return s;
+          pair.value = Value::Num(num);
+          break;
+        }
+        case Value::Kind::kStr: {
+          uint32_t sym = 0;
+          if (Status s = r.U32(&sym); !s.ok()) return s;
+          if (sym >= schema.strings().size()) return Corrupt("string value id");
+          pair.value = Value::Str(sym);
+          break;
+        }
+        default:
+          return Corrupt("attr value kind");
+      }
+    }
+  }
+  if (Status s = r.PodVec(&out->edge_from_); !s.ok()) return s;
+  if (Status s = r.PodVec(&out->edge_to_); !s.ok()) return s;
+  if (Status s = r.PodVec(&out->edge_labels_); !s.ok()) return s;
+  if (out->edge_to_.size() != out->edge_from_.size() ||
+      out->edge_labels_.size() != out->edge_from_.size()) {
+    return Corrupt("edge arrays disagree on edge count");
+  }
+  for (size_t i = 0; i < out->edge_from_.size(); ++i) {
+    if (out->edge_from_[i] >= n || out->edge_to_[i] >= n) {
+      return Corrupt("edge endpoint");
+    }
+    if (out->edge_labels_[i] >= schema.num_edge_labels()) {
+      return Corrupt("edge label id");
+    }
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes after graph");
+  out->Finalize();
+  return Status::OK();
+}
+
+// -------- Active domains --------
+
+std::string Serde::EncodeAdom(const ActiveDomains& a) {
+  Writer w;
+  w.U64(a.num_values_.size());
+  for (size_t i = 0; i < a.num_values_.size(); ++i) {
+    w.PodVec(a.num_values_[i]);
+    w.PodVec(a.str_values_[i]);
+  }
+  w.PodVec(a.ranges_);
+  return w.Take();
+}
+
+Status Serde::DecodeAdom(std::string_view payload, const Graph& g,
+                         std::unique_ptr<ActiveDomains>* out) {
+  Reader r(payload);
+  uint64_t num_attrs = 0;
+  if (Status s = r.U64(&num_attrs); !s.ok()) return s;
+  if (num_attrs != g.schema().num_attrs()) {
+    return Corrupt("active-domain attribute count");
+  }
+  std::unique_ptr<ActiveDomains> a(new ActiveDomains());
+  a->num_values_.resize(num_attrs);
+  a->str_values_.resize(num_attrs);
+  for (size_t i = 0; i < num_attrs; ++i) {
+    if (Status s = r.PodVec(&a->num_values_[i]); !s.ok()) return s;
+    if (Status s = r.PodVec(&a->str_values_[i]); !s.ok()) return s;
+  }
+  if (Status s = r.PodVec(&a->ranges_); !s.ok()) return s;
+  if (a->ranges_.size() != num_attrs) return Corrupt("active-domain ranges");
+  if (!r.AtEnd()) return Corrupt("trailing bytes after active domains");
+  *out = std::move(a);
+  return Status::OK();
+}
+
+// -------- Diameter --------
+
+std::string Serde::EncodeDiameter(uint32_t diameter) {
+  Writer w;
+  w.U32(diameter);
+  return w.Take();
+}
+
+Status Serde::DecodeDiameter(std::string_view payload, uint32_t* out) {
+  Reader r(payload);
+  if (Status s = r.U32(out); !s.ok()) return s;
+  if (*out == 0) return Corrupt("diameter must be positive");
+  if (!r.AtEnd()) return Corrupt("trailing bytes after diameter");
+  return Status::OK();
+}
+
+// -------- PLL distance index --------
+
+std::string Serde::EncodeDistanceIndex(const DistanceIndex& d) {
+  Writer w;
+  w.U8(d.indexed_ ? 1 : 0);
+  w.PodVec(d.order_);
+  w.U64(d.label_out_.size());
+  for (const auto& labels : d.label_out_) w.PodVec(labels);
+  for (const auto& labels : d.label_in_) w.PodVec(labels);
+  return w.Take();
+}
+
+Status Serde::DecodeDistanceIndex(std::string_view payload, const Graph& g,
+                                  std::unique_ptr<DistanceIndex>* out) {
+  Reader r(payload);
+  std::unique_ptr<DistanceIndex> d(
+      new DistanceIndex(g, DistanceIndex::RestoreTag{}));
+  uint8_t indexed = 0;
+  if (Status s = r.U8(&indexed); !s.ok()) return s;
+  if (indexed > 1) return Corrupt("distance-index flag");
+  d->indexed_ = indexed == 1;
+  if (Status s = r.PodVec(&d->order_); !s.ok()) return s;
+  uint64_t n = 0;
+  if (Status s = r.U64(&n); !s.ok()) return s;
+  if (d->indexed_) {
+    if (n != g.num_nodes() || d->order_.size() != n) {
+      return Corrupt("distance-index node count");
+    }
+  } else if (n != 0 || !d->order_.empty()) {
+    return Corrupt("distance-index fallback must carry no labels");
+  }
+  if (Status s = r.CheckCount(2 * n, 8, "distance-index labels"); !s.ok()) {
+    return s;
+  }
+  d->label_out_.resize(n);
+  d->label_in_.resize(n);
+  for (auto& labels : d->label_out_) {
+    if (Status s = r.PodVec(&labels); !s.ok()) return s;
+  }
+  for (auto& labels : d->label_in_) {
+    if (Status s = r.PodVec(&labels); !s.ok()) return s;
+  }
+  for (NodeId v : d->order_) {
+    if (v >= n) return Corrupt("distance-index order entry");
+  }
+  if (!r.AtEnd()) return Corrupt("trailing bytes after distance index");
+  *out = std::move(d);
+  return Status::OK();
+}
+
+// -------- Star tables --------
+
+void Serde::EncodeStarTable(const StarTable& t, Writer& w) {
+  const StarQuery& star = t.star_;
+  w.U32(star.center);
+  w.U64(star.spokes.size());
+  for (const StarSpoke& sp : star.spokes) {
+    w.U32(sp.other);
+    w.U32(sp.bound);
+    w.U8(sp.outgoing ? 1 : 0);
+  }
+  w.U32(static_cast<uint32_t>(star.focus_spoke));
+  w.U8(star.contains_focus ? 1 : 0);
+  w.U32(star.aug_bound);
+  w.U32(t.focus_);
+
+  w.U64(t.rows_.size());
+  for (const StarRow& row : t.rows_) {
+    w.U32(row.center);
+    for (const auto& cell : row.spoke_matches) w.PodVec(cell);
+    w.PodVec(row.focus_matches);
+  }
+  w.PodVec(t.focus_occ_);
+  w.PodVec(t.center_occ_);
+  for (const auto& occ : t.spoke_occ_) w.PodVec(occ);
+  w.U64(t.entry_count_);
+}
+
+Status Serde::DecodeStarTable(Reader& r, size_t num_nodes,
+                              std::shared_ptr<const StarTable>* out) {
+  StarQuery star;
+  if (Status s = r.U32(&star.center); !s.ok()) return s;
+  uint64_t num_spokes = 0;
+  if (Status s = r.U64(&num_spokes); !s.ok()) return s;
+  if (Status s = r.CheckCount(num_spokes, 9, "star spokes"); !s.ok()) return s;
+  star.spokes.resize(num_spokes);
+  for (StarSpoke& sp : star.spokes) {
+    uint8_t outgoing = 0;
+    if (Status s = r.U32(&sp.other); !s.ok()) return s;
+    if (Status s = r.U32(&sp.bound); !s.ok()) return s;
+    if (Status s = r.U8(&outgoing); !s.ok()) return s;
+    sp.outgoing = outgoing != 0;
+  }
+  uint32_t focus_spoke = 0;
+  uint8_t contains_focus = 0;
+  if (Status s = r.U32(&focus_spoke); !s.ok()) return s;
+  if (Status s = r.U8(&contains_focus); !s.ok()) return s;
+  if (Status s = r.U32(&star.aug_bound); !s.ok()) return s;
+  star.focus_spoke = static_cast<int32_t>(focus_spoke);
+  star.contains_focus = contains_focus != 0;
+  if (star.focus_spoke < -1 ||
+      star.focus_spoke >= static_cast<int64_t>(num_spokes)) {
+    return Corrupt("star focus spoke");
+  }
+  uint32_t focus = 0;
+  if (Status s = r.U32(&focus); !s.ok()) return s;
+
+  auto table = std::make_shared<StarTable>(std::move(star), focus);
+  uint64_t num_rows = 0;
+  if (Status s = r.U64(&num_rows); !s.ok()) return s;
+  // Each row is at least its center id plus one length prefix per cell.
+  if (Status s =
+          r.CheckCount(num_rows, 4 + 8 * (static_cast<size_t>(num_spokes) + 1),
+                       "star rows");
+      !s.ok()) {
+    return s;
+  }
+  table->rows_.resize(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    StarRow& row = table->rows_[i];
+    if (Status s = r.U32(&row.center); !s.ok()) return s;
+    if (row.center >= num_nodes) return Corrupt("star row center");
+    row.spoke_matches.resize(num_spokes);
+    for (auto& cell : row.spoke_matches) {
+      if (Status s = r.PodVec(&cell); !s.ok()) return s;
+      for (const SpokeMatch& m : cell) {
+        if (m.node >= num_nodes) return Corrupt("spoke match node");
+      }
+    }
+    if (Status s = r.PodVec(&row.focus_matches); !s.ok()) return s;
+    for (const SpokeMatch& m : row.focus_matches) {
+      if (m.node >= num_nodes) return Corrupt("focus match node");
+    }
+    if (!table->row_of_center_.emplace(row.center, i).second) {
+      return Corrupt("duplicate star row center");
+    }
+  }
+  if (Status s = r.PodVec(&table->focus_occ_); !s.ok()) return s;
+  if (Status s = r.PodVec(&table->center_occ_); !s.ok()) return s;
+  table->spoke_occ_.resize(num_spokes);
+  for (auto& occ : table->spoke_occ_) {
+    if (Status s = r.PodVec(&occ); !s.ok()) return s;
+  }
+  for (const auto* occ :
+       {&table->focus_occ_, &table->center_occ_}) {
+    for (NodeId v : *occ) {
+      if (v >= num_nodes) return Corrupt("occurrence node");
+    }
+  }
+  for (const auto& occ : table->spoke_occ_) {
+    for (NodeId v : occ) {
+      if (v >= num_nodes) return Corrupt("occurrence node");
+    }
+  }
+  if (Status s = r.U64(&table->entry_count_); !s.ok()) return s;
+  *out = std::move(table);
+  return Status::OK();
+}
+
+}  // namespace wqe::store

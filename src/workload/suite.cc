@@ -4,14 +4,34 @@
 #include <cstdio>
 
 #include "common/timer.h"
+#include "store/artifact_store.h"
+#include "store/serde.h"
 
 namespace wqe {
 
 ExperimentRunner::ExperimentRunner(const Graph& g, std::vector<BenchCase> cases,
-                                   size_t num_threads)
+                                   size_t num_threads,
+                                   const std::string& cache_dir,
+                                   obs::Observability* o)
     : g_(g),
       cases_(std::move(cases)),
-      indexes_(std::make_unique<GraphIndexes>(g, num_threads)) {}
+      store_(cache_dir.empty()
+                 ? nullptr
+                 : std::make_unique<store::ArtifactStore>(
+                       cache_dir, store::Serde::GraphFingerprint(g), o)),
+      indexes_(std::make_unique<GraphIndexes>(g, num_threads, store_.get())) {
+  if (store_ != nullptr) {
+    shared_cache_ = std::make_unique<ViewCache>();
+    store_->WarmStarViews(g_, shared_cache_.get());
+  }
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  if (store_ != nullptr && shared_cache_ != nullptr &&
+      shared_cache_->size() > 0) {
+    store_->SaveStarViews(*shared_cache_, shared_cache_->options().max_entries);
+  }
+}
 
 AlgoSummary ExperimentRunner::Run(const AlgoSpec& algo) const {
   AlgoSummary summary;
@@ -25,7 +45,11 @@ AlgoSummary ExperimentRunner::Run(const AlgoSpec& algo) const {
     // matching the paper's setup.
     Timer timer;
     obs::ScopedSpan question_span(obs::CurrentTracer(), "question");
-    ChaseContext ctx(g_, indexes_.get(), c.question, algo.opts);
+    // In cache_dir mode the shared star-view cache rides through every case
+    // (and run); otherwise the null pointer selects the private per-question
+    // cache, the exact pre-store behavior.
+    ChaseContext ctx(g_, indexes_.get(), shared_cache_.get(), c.question,
+                     algo.opts);
     ChaseResult result = SolveWithContext(ctx, algo.algo);
     CaseOutcome outcome;
     outcome.seconds = timer.ElapsedSeconds();

@@ -67,6 +67,70 @@ TEST(GraphIoTest, LoadMissingFileIsNotFound) {
   EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
 }
 
+TEST(GraphIoTest, RejectsDuplicateNodeId) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nnode\t0\tB\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RejectsNonNumericNodeId) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\tzero\tA\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RejectsTruncatedNodeLine) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsTruncatedAttrLine) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nattr\t0\tx\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsTruncatedEdgeLine) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nedge\t0\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsAttrOnUnknownNode) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nattr\t3\tx\tnum\t1\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsUnknownValueKind) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nattr\t0\tx\tblob\tz\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsUnknownRecordType) {
+  auto r = GraphIo::FromString("wqe-graph v1\nvertex\t0\tA\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GraphIoTest, RejectsNonFiniteNumericAttr) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nattr\t0\tx\tnum\tinf\n");
+  EXPECT_FALSE(r.ok());
+  auto r2 = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nattr\t0\tx\tnum\tnan\n");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(GraphIoTest, ToleratesCrlfLineEndings) {
+  auto r = GraphIo::FromString(
+      "wqe-graph v1\r\nnode\t0\tA\r\nnode\t1\tB\r\nedge\t0\t1\r\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_nodes(), 2u);
+  EXPECT_EQ(r.value().num_edges(), 1u);
+}
+
+TEST(GraphIoTest, ErrorsCarryLineNumbers) {
+  auto r = GraphIo::FromString("wqe-graph v1\nnode\t0\tA\nedge\t0\t7\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
 TEST(GraphIoTest, EdgeLabelsRoundTrip) {
   Graph g;
   g.AddNode("A");

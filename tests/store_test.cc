@@ -1,0 +1,285 @@
+#include "store/artifact_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "chase/solve.h"
+#include "gen/product_demo.h"
+#include "graph/adom.h"
+#include "graph/distance_index.h"
+#include "match/star.h"
+#include "match/star_table.h"
+#include "match/view_cache.h"
+#include "obs/observability.h"
+#include "store/format.h"
+#include "store/serde.h"
+
+namespace wqe {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test cache directory under the gtest temp dir.
+class StoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/wqe_store_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  const Graph& graph() { return demo_.graph(); }
+  uint64_t fp() { return store::Serde::GraphFingerprint(graph()); }
+  store::ArtifactStore MakeStore() { return store::ArtifactStore(dir_, fp()); }
+
+  /// Flips one byte at `offset` (negative = from the end) in an artifact.
+  static void FlipByte(const std::string& path, long offset) {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good()) << path;
+    const auto dir = offset < 0 ? std::ios::end : std::ios::beg;
+    f.seekg(offset, dir);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(offset, dir);
+    c = static_cast<char>(c ^ 0x5a);
+    f.write(&c, 1);
+  }
+
+  static void Truncate(const std::string& path, size_t keep) {
+    std::error_code ec;
+    fs::resize_file(path, keep, ec);
+    ASSERT_FALSE(ec) << ec.message();
+  }
+
+  ProductDemo demo_;
+  std::string dir_;
+};
+
+TEST_F(StoreFixture, GraphFingerprintStableAndSensitive) {
+  EXPECT_EQ(fp(), store::Serde::GraphFingerprint(graph()));
+
+  Graph other;
+  other.AddNode("A");
+  other.AddNode("B");
+  other.AddEdge(0, 1, kWildcardSymbol);
+  other.Finalize();
+  Graph other2;
+  other2.AddNode("A");
+  other2.AddNode("B");
+  other2.AddEdge(1, 0, kWildcardSymbol);  // reversed edge: different graph
+  other2.Finalize();
+  EXPECT_NE(store::Serde::GraphFingerprint(other),
+            store::Serde::GraphFingerprint(other2));
+}
+
+TEST_F(StoreFixture, GraphPayloadRoundTripIsByteIdentical) {
+  const std::string bytes = store::Serde::EncodeGraph(graph());
+  Graph restored;
+  ASSERT_TRUE(store::Serde::DecodeGraph(bytes, &restored).ok());
+  EXPECT_EQ(store::Serde::EncodeGraph(restored), bytes);
+  EXPECT_EQ(restored.num_nodes(), graph().num_nodes());
+  EXPECT_EQ(restored.num_edges(), graph().num_edges());
+  // Attribute values survive (the demo's price attribute).
+  const AttrId price = restored.schema().LookupAttr("price");
+  ASSERT_NE(restored.attr(demo_.p(1), price), nullptr);
+  EXPECT_DOUBLE_EQ(restored.attr(demo_.p(1), price)->num(),
+                   graph().attr(demo_.p(1), price)->num());
+}
+
+TEST_F(StoreFixture, GraphSnapshotRejectsWrongKey) {
+  const std::string path = dir_ + "/snap.wqes";
+  ASSERT_TRUE(store::ArtifactStore::SaveGraphSnapshot(path, graph(), 42).ok());
+  Graph out;
+  EXPECT_TRUE(store::ArtifactStore::LoadGraphSnapshot(path, 42, &out).ok());
+  Graph out2;
+  EXPECT_FALSE(store::ArtifactStore::LoadGraphSnapshot(path, 43, &out2).ok());
+}
+
+TEST_F(StoreFixture, AdomRoundTrip) {
+  auto s = MakeStore();
+  ActiveDomains a(graph());
+  ASSERT_TRUE(s.SaveAdom(a).ok());
+  std::unique_ptr<ActiveDomains> restored;
+  ASSERT_TRUE(s.LoadAdom(graph(), &restored).ok());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(store::Serde::EncodeAdom(*restored), store::Serde::EncodeAdom(a));
+}
+
+TEST_F(StoreFixture, DiameterRoundTripAndMissIsCleanNotFound) {
+  auto s = MakeStore();
+  uint32_t d = 0;
+  const Status miss = s.LoadDiameter(&d);
+  EXPECT_FALSE(miss.ok());
+  EXPECT_EQ(miss.code(), Status::Code::kNotFound);  // miss, not corruption
+  ASSERT_TRUE(s.SaveDiameter(7).ok());
+  ASSERT_TRUE(s.LoadDiameter(&d).ok());
+  EXPECT_EQ(d, 7u);
+}
+
+TEST_F(StoreFixture, DistanceIndexRoundTripIsByteIdentical) {
+  auto s = MakeStore();
+  DistanceIndex::Options opts;
+  DistanceIndex cold(graph(), opts);
+  ASSERT_TRUE(s.SaveDistanceIndex(cold, opts).ok());
+  std::unique_ptr<DistanceIndex> warm;
+  ASSERT_TRUE(s.LoadDistanceIndex(graph(), opts, &warm).ok());
+  ASSERT_NE(warm, nullptr);
+  EXPECT_EQ(store::Serde::EncodeDistanceIndex(*warm),
+            store::Serde::EncodeDistanceIndex(cold));
+}
+
+TEST_F(StoreFixture, DistanceIndexParamsChangeIsAMiss) {
+  auto s = MakeStore();
+  DistanceIndex::Options opts;
+  DistanceIndex cold(graph(), opts);
+  ASSERT_TRUE(s.SaveDistanceIndex(cold, opts).ok());
+  DistanceIndex::Options other = opts;
+  other.use_pll = !other.use_pll;
+  std::unique_ptr<DistanceIndex> warm;
+  EXPECT_FALSE(s.LoadDistanceIndex(graph(), other, &warm).ok());
+}
+
+TEST_F(StoreFixture, DistanceIndexThreadCountDoesNotChangeParams) {
+  DistanceIndex::Options a;
+  DistanceIndex::Options b = a;
+  b.num_threads = 8;  // parallel build is byte-identical; same artifact
+  EXPECT_EQ(store::DistanceIndexParams(a), store::DistanceIndexParams(b));
+}
+
+TEST_F(StoreFixture, StarViewsRoundTripThroughCache) {
+  auto s = MakeStore();
+  PatternQuery q = demo_.Query();
+  auto stars = DecomposeStars(q);
+  ASSERT_FALSE(stars.empty());
+  StarMaterializer mat(graph());
+  ViewCache cache;
+  for (const StarQuery& star : stars) {
+    cache.Put(star.Signature(q), mat.Materialize(q, star));
+  }
+  ASSERT_TRUE(s.SaveStarViews(cache, /*max_persisted_entries=*/1u << 20).ok());
+
+  ViewCache warmed;
+  ASSERT_TRUE(s.WarmStarViews(graph(), &warmed).ok());
+  EXPECT_EQ(warmed.size(), cache.size());
+  EXPECT_EQ(warmed.entry_count(), cache.entry_count());
+  // Each warmed table re-encodes to the same bytes as the live one.
+  cache.ForEach([&](const std::string& sig,
+                    const std::shared_ptr<const StarTable>& live) {
+    auto loaded = warmed.Get(sig);
+    ASSERT_NE(loaded, nullptr) << sig;
+    store::Writer a, b;
+    store::Serde::EncodeStarTable(*live, a);
+    store::Serde::EncodeStarTable(*loaded, b);
+    EXPECT_EQ(a.bytes(), b.bytes()) << sig;
+  });
+}
+
+TEST_F(StoreFixture, CorruptedPayloadDegradesToRebuild) {
+  auto s = MakeStore();
+  ASSERT_TRUE(s.SaveDiameter(9).ok());
+  const std::string path = s.ArtifactPath(store::ArtifactKind::kDiameter);
+  FlipByte(path, -1);  // last payload byte: checksum must catch it
+  uint32_t d = 0;
+  const Status st = s.LoadDiameter(&d);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.code(), Status::Code::kNotFound);  // rejected, not missing
+  // The rebuild path overwrites the bad file and the store recovers.
+  ASSERT_TRUE(s.SaveDiameter(9).ok());
+  ASSERT_TRUE(s.LoadDiameter(&d).ok());
+  EXPECT_EQ(d, 9u);
+}
+
+TEST_F(StoreFixture, TruncatedFileIsRejected) {
+  auto s = MakeStore();
+  ASSERT_TRUE(s.SaveDiameter(9).ok());
+  const std::string path = s.ArtifactPath(store::ArtifactKind::kDiameter);
+  Truncate(path, 10);  // not even a whole header
+  uint32_t d = 0;
+  EXPECT_FALSE(s.LoadDiameter(&d).ok());
+}
+
+TEST_F(StoreFixture, VersionBumpIsRejected) {
+  auto s = MakeStore();
+  ASSERT_TRUE(s.SaveDiameter(9).ok());
+  const std::string path = s.ArtifactPath(store::ArtifactKind::kDiameter);
+  FlipByte(path, 4);  // header version field
+  uint32_t d = 0;
+  EXPECT_FALSE(s.LoadDiameter(&d).ok());
+}
+
+TEST_F(StoreFixture, CorruptedStarViewsNeverHalfWarmTheCache) {
+  auto s = MakeStore();
+  PatternQuery q = demo_.Query();
+  auto stars = DecomposeStars(q);
+  StarMaterializer mat(graph());
+  ViewCache cache;
+  for (const StarQuery& star : stars) {
+    cache.Put(star.Signature(q), mat.Materialize(q, star));
+  }
+  ASSERT_TRUE(s.SaveStarViews(cache, 1u << 20).ok());
+  FlipByte(s.ArtifactPath(store::ArtifactKind::kStarViews), -1);
+  ViewCache warmed;
+  EXPECT_FALSE(s.WarmStarViews(graph(), &warmed).ok());
+  EXPECT_EQ(warmed.size(), 0u);  // all-or-nothing warm-up
+}
+
+TEST_F(StoreFixture, GraphIndexesColdAndWarmAreByteIdentical) {
+  auto s = MakeStore();
+  GraphIndexes cold(graph(), /*num_threads=*/1, &s);  // builds + writes back
+  GraphIndexes warm(graph(), /*num_threads=*/1, &s);  // loads the snapshots
+  EXPECT_EQ(warm.diameter, cold.diameter);
+  EXPECT_EQ(store::Serde::EncodeAdom(warm.adom),
+            store::Serde::EncodeAdom(cold.adom));
+  EXPECT_EQ(store::Serde::EncodeDistanceIndex(warm.dist),
+            store::Serde::EncodeDistanceIndex(cold.dist));
+}
+
+TEST_F(StoreFixture, SolveColdThenWarmGivesIdenticalAnswers) {
+  WhyQuestion w{demo_.Query(), demo_.MakeExemplar()};
+  ChaseOptions opts;
+  opts.cache_dir = dir_;
+  opts.max_steps = 200;
+
+  obs::Observability cold_obs;
+  opts.observability = &cold_obs;
+  ChaseResult cold = Solve(graph(), w, opts);
+  ASSERT_TRUE(cold.ok());
+
+  obs::Observability warm_obs;
+  opts.observability = &warm_obs;
+  ChaseResult warm = Solve(graph(), w, opts);
+  ASSERT_TRUE(warm.ok());
+
+  // The warm run actually used the store...
+  EXPECT_GT(warm_obs.metrics.counter("store.hits").Value(), 0u);
+  // ...and produced the same answers, closeness, and matches.
+  ASSERT_EQ(warm.answers.size(), cold.answers.size());
+  for (size_t i = 0; i < warm.answers.size(); ++i) {
+    EXPECT_EQ(warm.answers[i].fingerprint, cold.answers[i].fingerprint);
+    EXPECT_EQ(warm.answers[i].matches, cold.answers[i].matches);
+    EXPECT_DOUBLE_EQ(warm.answers[i].closeness, cold.answers[i].closeness);
+  }
+}
+
+TEST_F(StoreFixture, MutatedGraphRejectsStaleArtifacts) {
+  auto s = MakeStore();
+  ASSERT_TRUE(s.SaveDiameter(5).ok());
+  // Same directory, different graph: the fingerprint key changes, so the
+  // store looks in a different per-graph subdirectory — a clean miss.
+  Graph other;
+  other.AddNode("A");
+  other.Finalize();
+  store::ArtifactStore s2(dir_, store::Serde::GraphFingerprint(other));
+  uint32_t d = 0;
+  const Status st = s2.LoadDiameter(&d);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace wqe

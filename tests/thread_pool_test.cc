@@ -8,6 +8,7 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,6 +23,34 @@ TEST(ThreadPoolTest, ResolveThreadsMapsZeroToHardware) {
   EXPECT_EQ(ResolveThreads(0), ThreadPool::HardwareThreads());
   EXPECT_EQ(ResolveThreads(1), 1u);
   EXPECT_EQ(ResolveThreads(7), 7u);
+}
+
+TEST(ThreadPoolTest, ParseThreadCountAcceptsAutoAndIntegers) {
+  EXPECT_EQ(ParseThreadCount("auto").value(), 0u);
+  EXPECT_EQ(ParseThreadCount("hw").value(), 0u);
+  EXPECT_EQ(ParseThreadCount("1").value(), 1u);
+  EXPECT_EQ(ParseThreadCount("16").value(), 16u);
+  EXPECT_EQ(ParseThreadCount(std::to_string(kMaxThreads)).value(), kMaxThreads);
+}
+
+TEST(ThreadPoolTest, ParseThreadCountRejectsMalformedInput) {
+  EXPECT_EQ(ParseThreadCount("").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ParseThreadCount("0").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ParseThreadCount("-4").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ParseThreadCount("abc").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ParseThreadCount("1e3").status().code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(ParseThreadCount("8 ").status().code(),
+            Status::Code::kInvalidArgument);
+  // An absurd value is out of range, not silently clamped.
+  EXPECT_EQ(ParseThreadCount(std::to_string(kMaxThreads + 1)).status().code(),
+            Status::Code::kOutOfRange);
+  EXPECT_EQ(ParseThreadCount("99999999999999999999").status().code(),
+            Status::Code::kInvalidArgument);
 }
 
 TEST(ThreadPoolTest, SharedPoolHasAtLeastThreeWorkers) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "gen/product_demo.h"
 
 namespace wqe {
@@ -85,6 +88,67 @@ TEST_F(ViewCacheFixture, DecayDemotesStaleEntries) {
   cache.Get("fresh");
   cache.Put("fresh2", MakeTable());
   EXPECT_EQ(cache.Get("old"), nullptr);
+}
+
+TEST_F(ViewCacheFixture, OversizedInsertDoesNotStripFittingEntries) {
+  // A "whale" table bigger than the whole budget must not trigger a cascade
+  // that evicts the small entries around it: once everything else fits,
+  // further eviction is futile (the whale alone keeps the cache over budget).
+  PatternQuery qb;
+  QNodeId c = qb.AddNode(kWildcardSymbol);
+  QNodeId l = qb.AddNode(kWildcardSymbol);
+  qb.SetFocus(c);
+  qb.AddEdge(c, l, 2);
+  auto whale = materializer_.Materialize(qb, DecomposeStars(qb)[0]);
+
+  auto small = MakeTable();
+  const size_t small_ec = small->EntryCount();
+  ASSERT_GT(small_ec, 0u);
+  // As many small tables as fit strictly under the whale: budget = n tables,
+  // so everything but the whale fits and eviction past it is futile.
+  const size_t n = (whale->EntryCount() - 1) / small_ec;
+  ASSERT_GE(n, 1u) << "fixture graph changed: whale no longer dominates";
+
+  ViewCache::Options opts;
+  opts.max_entries = n * small_ec;  // the n small tables fit exactly
+  ViewCache cache(opts);
+  cache.Put("s0", small);
+  for (size_t i = 1; i < n; ++i) cache.Put("s" + std::to_string(i), MakeTable());
+  ASSERT_EQ(cache.size(), n);
+  cache.Put("whale", whale);
+  EXPECT_EQ(cache.size(), n + 1);  // admitted, nothing stripped
+  EXPECT_NE(cache.Get("s0"), nullptr);
+  EXPECT_NE(cache.Get("whale"), nullptr);
+  // Accounting never underflows.
+  EXPECT_EQ(cache.entry_count(), n * small_ec + whale->EntryCount());
+}
+
+TEST_F(ViewCacheFixture, InsertBurstDoesNotAgeEntries) {
+  // Insertion is not a clock event: a warm-start loading many persisted
+  // tables must not decay the entries loaded first. With one hit, "a" scores
+  // above any fresh insert, so it survives an arbitrarily long Put burst —
+  // if Put advanced the decay tick, its score would rot below 1.0.
+  ViewCache::Options opts;
+  opts.max_entries = 0;
+  opts.decay = 0.5;
+  ViewCache cache(opts);
+  cache.Put("a", MakeTable());
+  cache.Get("a");
+  for (int i = 0; i < 50; ++i) cache.Put("n" + std::to_string(i), MakeTable());
+  EXPECT_NE(cache.Get("a"), nullptr);
+}
+
+TEST_F(ViewCacheFixture, ForEachVisitsEveryEntry) {
+  ViewCache cache;
+  cache.Put("a", MakeTable());
+  cache.Put("b", MakeTable());
+  std::set<std::string> seen;
+  cache.ForEach([&](const std::string& sig,
+                    const std::shared_ptr<const StarTable>& t) {
+    EXPECT_NE(t, nullptr);
+    seen.insert(sig);
+  });
+  EXPECT_EQ(seen, (std::set<std::string>{"a", "b"}));
 }
 
 TEST_F(ViewCacheFixture, HitMissCountersIndependent) {

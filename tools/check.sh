@@ -21,6 +21,24 @@ cmake -B build-asan -S . -DWQE_SANITIZE=address,undefined \
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure)
 
+echo "== corrupted-cache drill (ASan build) =="
+# Populate a persistent artifact store, flip a byte in every snapshot, and
+# re-run: the store must reject the damaged files and rebuild cleanly —
+# no crash, no ASan report, answers still produced.
+DRILL="$(mktemp -d)"
+trap 'rm -rf "$DRILL"' EXIT
+./build-asan/tools/wqe demo "$DRILL" >/dev/null
+./build-asan/tools/wqe why "$DRILL/product.graph" "$DRILL/product.query" \
+  "$DRILL/product.exemplar" --cache-dir "$DRILL/cache" >/dev/null
+SNAPSHOTS=$(find "$DRILL/cache" -name '*.wqes' | wc -l)
+[ "$SNAPSHOTS" -gt 0 ] || { echo "drill: no snapshots written"; exit 1; }
+find "$DRILL/cache" -name '*.wqes' | while read -r f; do
+  printf '\x5a' | dd of="$f" bs=1 seek=50 count=1 conv=notrunc status=none
+done
+./build-asan/tools/wqe why "$DRILL/product.graph" "$DRILL/product.query" \
+  "$DRILL/product.exemplar" --cache-dir "$DRILL/cache" >/dev/null
+echo "drill: $SNAPSHOTS snapshots corrupted, rebuild survived"
+
 echo "== ThreadSanitizer build =="
 cmake -B build-tsan -S . -DWQE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

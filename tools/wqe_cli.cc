@@ -20,6 +20,7 @@
 #include "chase/report.h"
 #include "chase/solve.h"
 #include "chase/why_not.h"
+#include "common/thread_pool.h"
 #include "exemplar/exemplar_text.h"
 #include "gen/datasets.h"
 #include "gen/product_demo.h"
@@ -27,6 +28,8 @@
 #include "graph/graph_io.h"
 #include "graph/stats.h"
 #include "query/query_text.h"
+#include "store/artifact_store.h"
+#include "store/format.h"
 
 namespace {
 
@@ -41,9 +44,10 @@ int Usage() {
                "  wqe match <graph> <query>\n"
                "  wqe whynot <graph> <query> <node-id>\n"
                "  wqe why <graph> <query> <exemplar> [--budget B] [--top-k K]\n"
-               "          [--beam W] [--deadline SECONDS] [--threads N]\n"
+               "          [--beam W] [--deadline SECONDS] [--threads N|auto]\n"
                "          [--algo answ|heu|whym|whye|fm] [--explain] [--json]\n"
-               "          [--trace-out FILE] [--metrics-out FILE]\n");
+               "          [--cache-dir DIR] [--trace-out FILE]\n"
+               "          [--metrics-out FILE]\n");
   return 2;
 }
 
@@ -72,7 +76,32 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return true;
 }
 
-Graph LoadGraphOrDie(const std::string& path) {
+/// Loads the text graph format; with a cache dir, a checksummed binary
+/// snapshot keyed by the text file's bytes is consulted first (and written
+/// back after a cold parse), so repeated `wqe why --cache-dir` invocations
+/// skip parse + Finalize. Editing the .graph file changes the key, which
+/// orphans — never resurrects — the stale snapshot; a corrupted snapshot is
+/// rejected by its checksum and rebuilt from the text silently.
+Graph LoadGraphOrDie(const std::string& path, const std::string& cache_dir = "") {
+  if (!cache_dir.empty()) {
+    const std::string text = ReadFileOrDie(path);
+    const uint64_t key = store::Fnv1a(text);
+    char name[64];
+    std::snprintf(name, sizeof(name), "/graph-%016llx.wqes",
+                  static_cast<unsigned long long>(key));
+    const std::string snap = cache_dir + name;
+    Graph g;
+    if (store::ArtifactStore::LoadGraphSnapshot(snap, key, &g).ok()) return g;
+    auto r = GraphIo::FromString(text);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error loading graph: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    // Best-effort write-back: a read-only cache dir must not fail the run.
+    (void)store::ArtifactStore::SaveGraphSnapshot(snap, r.value(), key);
+    return std::move(r).value();
+  }
   auto r = GraphIo::Load(path);
   if (!r.ok()) {
     std::fprintf(stderr, "error loading graph: %s\n", r.status().ToString().c_str());
@@ -194,7 +223,13 @@ int CmdWhyNot(int argc, char** argv) {
 
 int CmdWhy(int argc, char** argv) {
   if (argc < 3) return Usage();
-  Graph g = LoadGraphOrDie(argv[0]);
+  // --cache-dir is pre-scanned so the graph load itself can hit the binary
+  // snapshot; every other flag is handled in the main loop below.
+  std::string cache_dir;
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-dir") == 0) cache_dir = argv[i + 1];
+  }
+  Graph g = LoadGraphOrDie(argv[0], cache_dir);
   auto q = QueryText::Parse(ReadFileOrDie(argv[1]), &g.schema());
   if (!q.ok()) {
     std::fprintf(stderr, "error parsing query: %s\n",
@@ -232,7 +267,15 @@ int CmdWhy(int argc, char** argv) {
     } else if (arg == "--deadline") {
       opts.time_limit_seconds = std::atof(next());
     } else if (arg == "--threads") {
-      opts.num_threads = static_cast<size_t>(std::atoll(next()));
+      auto parsed = ParseThreadCount(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: --threads: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      opts.num_threads = parsed.value();
+    } else if (arg == "--cache-dir") {
+      opts.cache_dir = next();  // value already captured by the pre-scan
     } else if (arg == "--algo") {
       algo = next();
     } else if (arg == "--trace-out") {
