@@ -25,10 +25,14 @@
 //   --metrics-out=FILE phase breakdown + counter/gauge/histogram dump
 //                      (includes store.hits/misses/rejected/saves when a
 //                      cache dir is active)
+//   --sample-resources background RSS / queue-depth / cache-occupancy
+//                      sampling into the same scope (see obs::ResourceSampler;
+//                      off by default, shows up in --metrics-out)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/thread_pool.h"
@@ -36,6 +40,7 @@
 #include "gen/datasets.h"
 #include "gen/synthetic.h"
 #include "obs/observability.h"
+#include "obs/resource_sampler.h"
 #include "workload/suite.h"
 
 namespace wqe::bench {
@@ -107,6 +112,8 @@ struct BenchEnv {
         setenv("WQE_THREADS", v, /*overwrite=*/1);  // DefaultChase reads env
       } else if (const char* v = FlagValue(arg, "--cache-dir=")) {
         cache_dir = v;
+      } else if (std::strcmp(arg, "--sample-resources") == 0) {
+        sampler_ = std::make_unique<obs::ResourceSampler>(&BenchObs());
       } else {
         std::fprintf(stderr, "warning: ignoring unknown flag %s\n", arg);
       }
@@ -117,8 +124,9 @@ struct BenchEnv {
   /// Writes the requested JSON artifacts. Returns the process exit code
   /// (non-zero if a file could not be written), so bench mains end with
   /// `return env.Finish();`.
-  int Finish() const {
+  int Finish() {
     int rc = 0;
+    if (sampler_ != nullptr) sampler_->Stop();  // final sample before export
     if (!metrics_out.empty() &&
         !WriteJson(metrics_out, obs::ExportMetricsJson(
                                     BenchObs(), timer_.ElapsedSeconds()))) {
@@ -152,6 +160,7 @@ struct BenchEnv {
 
   Timer timer_;
   obs::TracerScope scope_;
+  std::unique_ptr<obs::ResourceSampler> sampler_;
 };
 
 /// Default §7 protocol options.

@@ -170,6 +170,14 @@ ChaseContext::~ChaseContext() {
   }
 }
 
+uint64_t ChaseContext::graph_fingerprint() {
+  // Fnv1a never returns 0 on real graph bytes, so 0 works as "unset".
+  if (graph_fingerprint_ == 0) {
+    graph_fingerprint_ = store::Serde::GraphFingerprint(g_);
+  }
+  return graph_fingerprint_;
+}
+
 std::shared_ptr<EvalResult> ChaseContext::Evaluate(const PatternQuery& q,
                                                    OpSequence ops) {
   WQE_SPAN("chase.evaluate");

@@ -163,6 +163,11 @@ class ChaseContext {
 
   ChaseStats& stats() { return stats_; }
 
+  /// Serde::GraphFingerprint of the graph, computed on first use and
+  /// memoized (the fingerprint serializes the whole graph — query-log
+  /// provenance wants it per record, but only pays once per context).
+  uint64_t graph_fingerprint();
+
   /// The observation scope this context reports into: the one supplied via
   /// ChaseOptions::observability (sessions / benches share a registry across
   /// questions) or a private instance otherwise — never null.
@@ -197,6 +202,7 @@ class ChaseContext {
   std::shared_ptr<EvalResult> root_;
   std::unordered_map<std::string, std::vector<NodeId>> match_memo_;
   ChaseStats stats_;
+  uint64_t graph_fingerprint_ = 0;  // 0 = not yet computed
 };
 
 }  // namespace wqe

@@ -2,39 +2,155 @@
 
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace wqe {
 
 std::string ChaseReport::Escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+  obs::AppendJsonEscaped(out, s);
+  return out;
+}
+
+ChaseReport::CounterSnapshot ChaseReport::SnapshotCounters(ChaseContext& ctx) {
+  obs::MetricsRegistry& m = ctx.obs().metrics;
+  CounterSnapshot s;
+  s.cache_hits = m.counter("cache.hits").Value();
+  s.cache_misses = m.counter("cache.misses").Value();
+  s.tables_built = m.counter("match.tables_built").Value();
+  s.store_hits = m.counter("store.hits").Value();
+  s.store_misses = m.counter("store.misses").Value();
+  return s;
+}
+
+obs::QueryLogRecord ChaseReport::BuildQueryLogRecord(
+    ChaseContext& ctx, const ChaseResult& result, Algorithm algo,
+    const CounterSnapshot& before) {
+  obs::QueryLogRecord rec;
+  rec.algorithm = AlgorithmName(algo);
+  switch (algo) {
+    case Algorithm::kAnsWE:
+      rec.question_kind = "why-empty";
+      break;
+    case Algorithm::kApxWhyM:
+      rec.question_kind = "why-many";
+      break;
+    default:
+      rec.question_kind = "why";
+      break;
+  }
+  rec.graph_fingerprint = ctx.graph_fingerprint();
+  rec.options_fingerprint = ctx.options().Fingerprint();
+
+  rec.termination = TerminationReasonName(result.stats.termination);
+  rec.status = result.status.ToString();
+  rec.elapsed_seconds = result.stats.elapsed_seconds;
+  rec.num_answers = result.answers.size();
+  rec.cl_star = ctx.cl_star();
+  rec.steps = result.stats.steps;
+  rec.evaluations = result.stats.evaluations;
+  rec.memo_hits = result.stats.memo_hits;
+  rec.ops_generated = result.stats.ops_generated;
+  rec.pruned = result.stats.pruned;
+  rec.phases = result.stats.phases;
+
+  const CounterSnapshot now = SnapshotCounters(ctx);
+  rec.cache_hits = now.cache_hits - before.cache_hits;
+  rec.cache_misses = now.cache_misses - before.cache_misses;
+  rec.tables_built = now.tables_built - before.tables_built;
+  rec.store_hits = now.store_hits - before.store_hits;
+  rec.store_misses = now.store_misses - before.store_misses;
+
+  if (result.found()) {
+    const WhyAnswer& best = result.best();
+    rec.closeness = best.closeness;
+    rec.satisfied = best.satisfies_exemplar;
+    rec.answer_fingerprint = best.fingerprint.empty()
+                                 ? best.rewrite.Fingerprint()
+                                 : best.fingerprint;
+    const Schema& schema = ctx.graph().schema();
+    for (const Op& op : best.ops.ops()) {
+      obs::QueryLogRecord::OpEntry e;
+      e.text = op.ToString(schema);
+      e.kind = op.is_relax() ? "relax" : op.is_refine() ? "refine" : "noop";
+      e.cost = ctx.OpCostOf(op);
+      rec.ops.push_back(std::move(e));
     }
   }
-  return out;
+  return rec;
+}
+
+obs::QueryLogRecord ChaseReport::BuildQueryLogRecord(ChaseContext& ctx,
+                                                     const ChaseResult& result,
+                                                     Algorithm algo) {
+  return BuildQueryLogRecord(ctx, result, algo, CounterSnapshot());
+}
+
+std::string ChaseReport::ExplainJson(ChaseContext& ctx,
+                                     const ChaseResult& result,
+                                     Algorithm algo) {
+  return BuildQueryLogRecord(ctx, result, algo).ToJson();
+}
+
+std::string ChaseReport::ExplainText(ChaseContext& ctx,
+                                     const ChaseResult& result,
+                                     Algorithm algo) {
+  const obs::QueryLogRecord rec = BuildQueryLogRecord(ctx, result, algo);
+  std::ostringstream out;
+  out << "Explain (" << rec.algorithm << ", " << rec.question_kind << "):\n";
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "  graph fp %016llx | options fp %016llx\n",
+                static_cast<unsigned long long>(rec.graph_fingerprint),
+                static_cast<unsigned long long>(rec.options_fingerprint));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  termination %s | elapsed %.4fs | closeness %.4f / cl* %.4f "
+                "| %s\n",
+                rec.termination.c_str(), rec.elapsed_seconds, rec.closeness,
+                rec.cl_star,
+                rec.satisfied ? "satisfies exemplar" : "NOT satisfying");
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  work: steps=%llu evaluations=%llu memo_hits=%llu "
+                "ops_generated=%llu pruned=%llu\n",
+                static_cast<unsigned long long>(rec.steps),
+                static_cast<unsigned long long>(rec.evaluations),
+                static_cast<unsigned long long>(rec.memo_hits),
+                static_cast<unsigned long long>(rec.ops_generated),
+                static_cast<unsigned long long>(rec.pruned));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  views: cache %llu hit / %llu miss, %llu tables built | "
+                "store %llu hit / %llu miss\n",
+                static_cast<unsigned long long>(rec.cache_hits),
+                static_cast<unsigned long long>(rec.cache_misses),
+                static_cast<unsigned long long>(rec.tables_built),
+                static_cast<unsigned long long>(rec.store_hits),
+                static_cast<unsigned long long>(rec.store_misses));
+  out << line;
+
+  out << "  applied operators (" << rec.ops.size() << "):\n";
+  if (rec.ops.empty()) {
+    out << "    (none — the original query is the best rewrite)\n";
+  }
+  for (size_t i = 0; i < rec.ops.size(); ++i) {
+    std::snprintf(line, sizeof(line), "    %zu. [%s, cost %.2f] ", i + 1,
+                  rec.ops[i].kind.c_str(), rec.ops[i].cost);
+    out << line << rec.ops[i].text << '\n';
+  }
+
+  out << "  phases (self time):\n";
+  if (rec.phases.empty()) out << "    (no traced phases)\n";
+  for (const obs::PhaseStat& p : rec.phases) {
+    std::snprintf(line, sizeof(line),
+                  "    %-24s x%-6llu self %8.4fs  wall %8.4fs  cpu %8.4fs\n",
+                  p.name.c_str(), static_cast<unsigned long long>(p.count),
+                  p.self_seconds, p.wall_seconds, p.cpu_seconds);
+    out << line;
+  }
+  return out.str();
 }
 
 std::string ChaseReport::ToJson(ChaseContext& ctx, const ChaseResult& result,
@@ -56,15 +172,16 @@ std::string ChaseReport::ToJson(ChaseContext& ctx, const ChaseResult& result,
   };
 
   out << "{\n";
-  out << "  \"cl_star\": " << ctx.cl_star() << ",\n";
+  out << "  \"cl_star\": " << obs::JsonNumber(ctx.cl_star()) << ",\n";
   out << "  \"rep_size\": " << ctx.rep().nodes.size() << ",\n";
   out << "  \"candidates\": " << ctx.focus_universe().size() << ",\n";
-  out << "  \"original_closeness\": " << ctx.root()->cl << ",\n";
+  out << "  \"original_closeness\": " << obs::JsonNumber(ctx.root()->cl)
+      << ",\n";
   out << "  \"stats\": {\"steps\": " << result.stats.steps
       << ", \"evaluations\": " << result.stats.evaluations
       << ", \"memo_hits\": " << result.stats.memo_hits
-      << ", \"pruned\": " << result.stats.pruned
-      << ", \"elapsed_seconds\": " << result.stats.elapsed_seconds << "},\n";
+      << ", \"pruned\": " << result.stats.pruned << ", \"elapsed_seconds\": "
+      << obs::JsonNumber(result.stats.elapsed_seconds) << "},\n";
   out << "  \"termination\": \""
       << TerminationReasonName(result.stats.termination) << "\",\n";
   out << "  \"status\": \"" << Escape(result.status.ToString()) << "\",\n";
@@ -76,8 +193,8 @@ std::string ChaseReport::ToJson(ChaseContext& ctx, const ChaseResult& result,
     const WhyAnswer& a = result.answers[i];
     out << "    {\n";
     out << "      \"rank\": " << (i + 1) << ",\n";
-    out << "      \"closeness\": " << a.closeness << ",\n";
-    out << "      \"cost\": " << a.cost << ",\n";
+    out << "      \"closeness\": " << obs::JsonNumber(a.closeness) << ",\n";
+    out << "      \"cost\": " << obs::JsonNumber(a.cost) << ",\n";
     out << "      \"satisfies_exemplar\": "
         << (a.satisfies_exemplar ? "true" : "false") << ",\n";
     out << "      \"query\": \"" << Escape(a.rewrite.ToString(schema)) << "\",\n";

@@ -5,6 +5,8 @@
 
 #include "chase/answ.h"
 #include "chase/differential.h"
+#include "chase/solve.h"
+#include "obs/query_log.h"
 
 namespace wqe {
 
@@ -19,6 +21,44 @@ class ChaseReport {
   /// (replayed through the context's memoized evaluations — cheap).
   static std::string ToJson(ChaseContext& ctx, const ChaseResult& result,
                             bool with_lineage = false);
+
+  /// Counter values consulted by query-log provenance, snapshotted before a
+  /// solve so the record carries this run's deltas. Zero-initialized works
+  /// as "attribute the scope totals" (one-shot contexts, post-hoc explain).
+  struct CounterSnapshot {
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t tables_built = 0;
+    uint64_t store_hits = 0;
+    uint64_t store_misses = 0;
+  };
+
+  /// Reads the current values of the counters above from `ctx`'s registry.
+  static CounterSnapshot SnapshotCounters(ChaseContext& ctx);
+
+  /// Assembles the provenance record for one solve: identity (algorithm,
+  /// graph/options fingerprints), outcome, work counters, cache/store deltas
+  /// against `before`, the best answer's applied op sequence with per-op
+  /// costs, and the per-phase breakdown from `result.stats.phases`. The
+  /// three-argument form attributes the scope's counter totals (one-shot
+  /// contexts, post-hoc explain).
+  static obs::QueryLogRecord BuildQueryLogRecord(ChaseContext& ctx,
+                                                 const ChaseResult& result,
+                                                 Algorithm algo,
+                                                 const CounterSnapshot& before);
+  static obs::QueryLogRecord BuildQueryLogRecord(ChaseContext& ctx,
+                                                 const ChaseResult& result,
+                                                 Algorithm algo);
+
+  /// The provenance record as a standalone JSON object — the `--explain`
+  /// machine form; identical in schema to the query-log JSONL line.
+  static std::string ExplainJson(ChaseContext& ctx, const ChaseResult& result,
+                                 Algorithm algo);
+
+  /// Human-readable explain: applied operator sequence with costs, per-phase
+  /// self-time table, cache/store traffic, and termination.
+  static std::string ExplainText(ChaseContext& ctx, const ChaseResult& result,
+                                 Algorithm algo);
 
   /// Escapes a string for embedding in JSON output.
   static std::string Escape(const std::string& s);

@@ -4,7 +4,9 @@
 #include <cctype>
 #include <string>
 
+#include "chase/report.h"
 #include "common/timer.h"
+#include "obs/query_log.h"
 
 namespace wqe {
 
@@ -114,6 +116,9 @@ ChaseResult SolveWithContext(ChaseContext& ctx, Algorithm algo) {
   // snapshot so this run's contribution can be carved out afterwards.
   const ChaseStats before = ctx.stats();
   const std::vector<obs::PhaseStat> phases_before = o.tracer.Phases();
+  const ChaseReport::CounterSnapshot counters_before =
+      ctx.options().query_log != nullptr ? ChaseReport::SnapshotCounters(ctx)
+                                         : ChaseReport::CounterSnapshot();
 
   ChaseResult result;
   {
@@ -154,6 +159,14 @@ ChaseResult SolveWithContext(ChaseContext& ctx, Algorithm algo) {
   o.metrics.counter("solve.runs").Inc();
   o.metrics.histogram("solve.latency_ns")
       .Observe(static_cast<uint64_t>(after.elapsed_seconds * 1e9));
+
+  // Provenance: one JSONL record per solve. Best-effort — a full disk must
+  // not fail the query — but surfaced as a counter so it is not silent.
+  if (obs::QueryLog* log = ctx.options().query_log; log != nullptr) {
+    const obs::QueryLogRecord rec =
+        ChaseReport::BuildQueryLogRecord(ctx, result, algo, counters_before);
+    if (!log->Append(rec)) o.metrics.counter("query_log.drops").Inc();
+  }
   return result;
 }
 

@@ -1,6 +1,9 @@
 #include "chase/why.h"
 
+#include <cstdio>
+
 #include "common/thread_pool.h"
+#include "store/format.h"
 
 namespace wqe {
 
@@ -37,6 +40,21 @@ Status ChaseOptions::Validate() const {
     return Status::InvalidArgument("max_steps must be >= 1");
   }
   return Status::OK();
+}
+
+uint64_t ChaseOptions::Fingerprint() const {
+  // Field-order-stable textual encoding hashed with FNV-1a. Text (not raw
+  // struct bytes) keeps the hash independent of padding and float layout.
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "b=%.9g|mb=%u|th=%.9g|la=%.9g|c=%d|m=%d|p=%d|d=%d|beam=%zu|"
+                "r=%d|seed=%llu|k=%zu|w=%zu|dn=%zu|ms=%zu",
+                budget, max_bound, closeness.theta, closeness.lambda,
+                use_cache ? 1 : 0, use_memo ? 1 : 0, use_pruning ? 1 : 0,
+                dedup_rewrites ? 1 : 0, beam, random_ops ? 1 : 0,
+                static_cast<unsigned long long>(seed), top_k, max_witnesses,
+                max_diagnosed_nodes, max_steps);
+  return store::Fnv1a(buf);
 }
 
 }  // namespace wqe

@@ -14,6 +14,7 @@ namespace wqe {
 
 namespace obs {
 struct Observability;
+class QueryLog;
 }  // namespace obs
 
 /// A Why-question W = (Q(u_o), ℰ) (§2.2): the original query plus the
@@ -95,6 +96,14 @@ struct ChaseOptions {
   /// must outlive every context built from these options.
   obs::Observability* observability = nullptr;
 
+  /// Structured query-log sink: when set, every Solve/SolveWithContext call
+  /// appends one JSONL provenance record (algorithm, fingerprints, applied
+  /// op sequence, per-phase self-times, cache/store traffic, termination —
+  /// see DESIGN.md "Telemetry & regression gating"). Null = no logging, no
+  /// cost. The pointee must outlive every solve issued with these options;
+  /// one log may be shared by concurrent solvers (appends are serialized).
+  obs::QueryLog* query_log = nullptr;
+
   /// Root directory of the persistent artifact store (DESIGN.md
   /// "Persistence"). Non-empty = contexts that build their own graph indexes
   /// load snapshots from `<cache_dir>/fp-<graph fingerprint>/` instead of
@@ -109,6 +118,13 @@ struct ChaseOptions {
   /// [0, 1]). Solve and ExploratorySession call this once; the solvers then
   /// assume well-formed options.
   Status Validate() const;
+
+  /// FNV-1a hash over the solver-relevant knobs (budget, bounds, closeness
+  /// config, toggles, beam, top_k, seed, caps). Identifies "same workload
+  /// configuration" in query-log records; deliberately excludes runtime-only
+  /// fields (threads, deadlines, observability/log pointers, cache_dir) so
+  /// re-running a logged query on different hardware hashes identically.
+  uint64_t Fingerprint() const;
 };
 
 }  // namespace wqe

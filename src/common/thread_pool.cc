@@ -81,6 +81,11 @@ ThreadPool::~ThreadPool() {
 
 size_t ThreadPool::workers() const { return impl_->threads.size(); }
 
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->queue.size();
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   if (impl_->threads.empty()) {
     task();

@@ -46,6 +46,11 @@ class ThreadPool {
 
   size_t workers() const;
 
+  /// Tasks enqueued but not yet claimed by a worker. A sampling-rate
+  /// telemetry read (one mutex acquisition), not a synchronization
+  /// primitive — the value is stale the instant it returns.
+  size_t QueueDepth() const;
+
   /// Enqueues `task` for execution on some worker. Tasks must not throw —
   /// ParallelFor wraps user code and captures exceptions itself.
   void Submit(std::function<void()> task);

@@ -1,0 +1,388 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wqe::obs {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  AppendJsonEscaped(out, s);
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
+  char buf[40];
+  // %.17g round-trips every double; trim to %g's default when short enough
+  // is not worth the complexity — diffability only needs determinism.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double dflt) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kNumber) ? v->number : dflt;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string_view dflt) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kString) ? v->str
+                                                    : std::string(dflt);
+}
+
+bool JsonValue::BoolOr(std::string_view key, bool dflt) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->kind == Kind::kBool) ? v->boolean : dflt;
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded view. Depth is capped so a
+/// pathological "[[[[…" input fails cleanly instead of overflowing the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    if (Status s = ParseValue(v, 0); !s.ok()) return s;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(Where("trailing characters after document"));
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string Where(const std::string& what) const {
+    return "json: " + what + " at offset " + std::to_string(pos_);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(Where(std::string("expected '") + c + "'"));
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) {
+      return Status::InvalidArgument(Where("nesting too deep"));
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument(Where("unexpected end of input"));
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return ParseString(out.str);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseLiteral(out);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Status::InvalidArgument(Where("unexpected character"));
+    }
+  }
+
+  Status ParseLiteral(JsonValue& out) {
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return Status::OK();
+    }
+    if (match("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return Status::OK();
+    }
+    if (match("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(Where("invalid literal"));
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (Consume('0')) {
+      // Leading zero admits no further digits (strictness: "01" is invalid).
+    } else {
+      if (pos_ >= text_.size() || text_[pos_] < '1' || text_[pos_] > '9') {
+        return Status::InvalidArgument(Where("invalid number"));
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (Consume('.')) {
+      const size_t frac = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac) {
+        return Status::InvalidArgument(Where("digits required after '.'"));
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp) {
+        return Status::InvalidArgument(Where("digits required in exponent"));
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(token.c_str(), nullptr);
+    return Status::OK();
+  }
+
+  Status ParseHex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) {
+      return Status::InvalidArgument(Where("truncated \\u escape"));
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Status::InvalidArgument(Where("invalid \\u escape digit"));
+      }
+    }
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    if (Status s = Expect('"'); !s.ok()) return s;
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument(Where("unterminated string"));
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status::InvalidArgument(Where("raw control character in string"));
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument(Where("truncated escape"));
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (Status s = ParseHex4(cp); !s.ok()) return s;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Status::InvalidArgument(Where("lone high surrogate"));
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            if (Status s = ParseHex4(low); !s.ok()) return s;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Status::InvalidArgument(Where("invalid low surrogate"));
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Status::InvalidArgument(Where("lone low surrogate"));
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Status::InvalidArgument(Where("invalid escape character"));
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    if (Status s = Expect('['); !s.ok()) return s;
+    out.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue item;
+      if (Status s = ParseValue(item, depth + 1); !s.ok()) return s;
+      out.items.push_back(std::move(item));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (Status s = Expect(','); !s.ok()) return s;
+    }
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    if (Status s = Expect('{'); !s.ok()) return s;
+    out.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (Status s = ParseString(key); !s.ok()) return s;
+      SkipWs();
+      if (Status s = Expect(':'); !s.ok()) return s;
+      JsonValue value;
+      if (Status s = ParseValue(value, depth + 1); !s.ok()) return s;
+      out.members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (Status s = Expect(','); !s.ok()) return s;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace wqe::obs

@@ -1,0 +1,70 @@
+#ifndef WQE_OBS_JSON_H_
+#define WQE_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wqe::obs {
+
+/// Appends `s` to `out` as a JSON string body (no surrounding quotes):
+/// quotes, backslashes, and control characters are escaped, so arbitrary
+/// metric/span/query names never break the enclosing document.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+/// `s` escaped and quoted — ready to drop into a JSON document.
+std::string JsonString(std::string_view s);
+
+/// Renders a double for JSON. Finite values print with enough precision to
+/// round-trip (max_digits10); non-finite values — which bare printf would
+/// emit as the JSON-invalid tokens `nan` / `inf` — are stringified as
+/// "NaN" / "Infinity" / "-Infinity", keeping the document parseable while
+/// preserving the signal that something upstream produced a non-finite
+/// number.
+std::string JsonNumber(double v);
+
+/// Parsed JSON document node. A deliberately small model: numbers are
+/// doubles (the telemetry documents never need 64-bit-exact integers above
+/// 2^53), object keys keep their source order, lookups are linear (telemetry
+/// objects are tens of keys, not thousands).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed convenience accessors for `Find`: the default is returned when
+  /// the key is absent or the value has the wrong kind.
+  double NumberOr(std::string_view key, double dflt) const;
+  std::string StringOr(std::string_view key, std::string_view dflt) const;
+  bool BoolOr(std::string_view key, bool dflt) const;
+};
+
+/// Strict JSON parser (RFC 8259): no trailing commas, no comments, no bare
+/// tokens, input must be exactly one document (trailing whitespace allowed).
+/// Escapes \uXXXX are decoded to UTF-8 (surrogate pairs included). Used by
+/// the telemetry round-trip tests, query-log reload, and the bench gate's
+/// baseline reader — all of which want malformed input *rejected*, not
+/// papered over.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace wqe::obs
+
+#endif  // WQE_OBS_JSON_H_

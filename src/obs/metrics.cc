@@ -3,6 +3,8 @@
 #include <bit>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace wqe::obs {
 
 size_t MetricShardOfThisThread() {
@@ -106,14 +108,14 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, c] : counters_) {
     if (!first) out << ',';
     first = false;
-    out << '"' << name << "\":" << c->Value();
+    out << JsonString(name) << ':' << c->Value();
   }
   out << "},\"gauges\":{";
   first = true;
   for (const auto& [name, g] : gauges_) {
     if (!first) out << ',';
     first = false;
-    out << '"' << name << "\":" << g->Value();
+    out << JsonString(name) << ':' << g->Value();
   }
   out << "},\"histograms\":{";
   first = true;
@@ -121,9 +123,10 @@ std::string MetricsRegistry::ToJson() const {
     if (!first) out << ',';
     first = false;
     const Histogram::Snapshot s = h->Snap();
-    out << '"' << name << "\":{\"count\":" << s.count << ",\"sum\":" << s.sum
-        << ",\"mean\":" << s.Mean() << ",\"p50\":" << s.Quantile(0.5)
-        << ",\"p99\":" << s.Quantile(0.99) << '}';
+    out << JsonString(name) << ":{\"count\":" << s.count << ",\"sum\":" << s.sum
+        << ",\"mean\":" << JsonNumber(s.Mean()) << ",\"p50\":" << s.Quantile(0.5)
+        << ",\"p90\":" << s.Quantile(0.9) << ",\"p99\":" << s.Quantile(0.99)
+        << '}';
   }
   out << "}}";
   return out.str();

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace wqe::obs {
 
 std::string PhasesJson(const std::vector<PhaseStat>& phases) {
@@ -10,9 +12,10 @@ std::string PhasesJson(const std::vector<PhaseStat>& phases) {
   for (size_t i = 0; i < phases.size(); ++i) {
     const PhaseStat& p = phases[i];
     if (i > 0) out << ',';
-    out << "{\"name\":\"" << p.name << "\",\"count\":" << p.count
-        << ",\"wall_s\":" << p.wall_seconds << ",\"self_s\":" << p.self_seconds
-        << ",\"cpu_s\":" << p.cpu_seconds << '}';
+    out << "{\"name\":" << JsonString(p.name) << ",\"count\":" << p.count
+        << ",\"wall_s\":" << JsonNumber(p.wall_seconds)
+        << ",\"self_s\":" << JsonNumber(p.self_seconds)
+        << ",\"cpu_s\":" << JsonNumber(p.cpu_seconds) << '}';
   }
   out << ']';
   return out.str();
@@ -20,8 +23,10 @@ std::string PhasesJson(const std::vector<PhaseStat>& phases) {
 
 std::string ExportMetricsJson(const Observability& obs, double elapsed_seconds) {
   std::ostringstream out;
-  out << "{\"total_seconds\":" << obs.tracer.TotalTracedSeconds();
-  if (elapsed_seconds >= 0) out << ",\"elapsed_seconds\":" << elapsed_seconds;
+  out << "{\"total_seconds\":" << JsonNumber(obs.tracer.TotalTracedSeconds());
+  if (elapsed_seconds >= 0) {
+    out << ",\"elapsed_seconds\":" << JsonNumber(elapsed_seconds);
+  }
   out << ",\"phases\":" << PhasesJson(obs.tracer.Phases());
   out << ",\"metrics\":" << obs.metrics.ToJson();
   out << '}';

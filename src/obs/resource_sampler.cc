@@ -1,0 +1,135 @@
+#include "obs/resource_sampler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace wqe::obs {
+
+namespace {
+
+/// Reads "<field>:   <n> kB" from /proc/self/status. Returns -1 when the
+/// file or field is unavailable (non-Linux platforms).
+int64_t ProcStatusKb(const char* field) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  const size_t field_len = std::strlen(field);
+  char line[256];
+  int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      long long v = 0;
+      if (std::sscanf(line + field_len + 1, "%lld", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+#else
+  (void)field;
+  return -1;
+#endif
+}
+
+}  // namespace
+
+int64_t ResourceSampler::CurrentRssBytes() {
+  const int64_t kb = ProcStatusKb("VmRSS");
+  return kb < 0 ? -1 : kb * 1024;
+}
+
+int64_t ResourceSampler::PeakRssBytes() {
+  const int64_t kb = ProcStatusKb("VmHWM");
+  return kb < 0 ? -1 : kb * 1024;
+}
+
+ResourceSampler::ResourceSampler(Observability* obs, Options opts)
+    : obs_(obs),
+      opts_(opts),
+      g_rss_(&obs->metrics.gauge("proc.rss_bytes")),
+      g_peak_rss_(&obs->metrics.gauge("proc.peak_rss_bytes")),
+      g_queue_depth_(&obs->metrics.gauge("pool.queue_depth")),
+      h_rss_(&obs->metrics.histogram("sampler.rss_bytes")),
+      h_queue_depth_(&obs->metrics.histogram("sampler.queue_depth")),
+      h_cache_entries_(&obs->metrics.histogram("sampler.cache_entries")),
+      g_cache_entries_(&obs->metrics.gauge("cache.entries")) {
+  if (opts_.period_ms == 0) opts_.period_ms = 1;
+  SampleOnce();
+  thread_ = std::thread([this] { Loop(); });
+}
+
+ResourceSampler::ResourceSampler(Observability* obs)
+    : ResourceSampler(obs, Options()) {}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+double ResourceSampler::MeasureOverheadPct(Observability* obs,
+                                           const Options& opts, int n) {
+  ResourceSampler s(obs, opts);
+  s.Stop();  // join the thread; we drive the samples ourselves
+  if (n < 1) n = 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) s.SampleOnce();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double period_s =
+      static_cast<double>(opts.period_ms == 0 ? 1 : opts.period_ms) / 1000.0;
+  return (elapsed / n) / period_s * 100.0;
+}
+
+void ResourceSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  SampleOnce();
+}
+
+void ResourceSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(opts_.period_ms),
+                     [this] { return stop_; })) {
+      return;  // final sample happens on the stopping thread
+    }
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void ResourceSampler::SampleOnce() {
+  const int64_t rss = CurrentRssBytes();
+  if (rss >= 0) {
+    g_rss_->Set(rss);
+    h_rss_->Observe(static_cast<uint64_t>(rss));
+    int64_t prev = max_rss_.load(std::memory_order_relaxed);
+    while (rss > prev &&
+           !max_rss_.compare_exchange_weak(prev, rss,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+  const int64_t peak = PeakRssBytes();
+  if (peak >= 0) g_peak_rss_->Set(peak);
+
+  const size_t depth = ThreadPool::Shared().QueueDepth();
+  g_queue_depth_->Set(static_cast<int64_t>(depth));
+  h_queue_depth_->Observe(depth);
+
+  // ViewCache occupancy is mirrored into the scope's `cache.entries` gauge by
+  // the cache itself; sampling it here turns the last-writer-wins gauge into
+  // a time-weighted distribution.
+  const int64_t entries = g_cache_entries_->Value();
+  if (entries >= 0) h_cache_entries_->Observe(static_cast<uint64_t>(entries));
+
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace wqe::obs

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/json.h"
+
 #if defined(__linux__) || defined(__APPLE__)
 #include <time.h>
 #define WQE_OBS_HAS_THREAD_CPU 1
@@ -94,7 +96,7 @@ std::string Tracer::ChromeTraceJson() const {
     const Event& e = events_[i];
     if (i > 0) out << ',';
     // Chrome trace timestamps/durations are microseconds.
-    out << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"ts\":" << e.ts_ns / 1000
+    out << "{\"name\":" << JsonString(e.name) << ",\"ph\":\"X\",\"ts\":" << e.ts_ns / 1000
         << ",\"dur\":" << e.dur_ns / 1000 << ",\"pid\":0,\"tid\":" << e.tid
         << '}';
   }

@@ -1,0 +1,213 @@
+#include "workload/bench_gate.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace wqe::gate {
+
+using obs::JsonNumber;
+using obs::JsonString;
+using obs::JsonValue;
+
+std::string GateFinding::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s: %s %.6g exceeds limit %.6g (baseline %.6g)",
+                bench.c_str(), metric.c_str(), current, limit, baseline);
+  return buf;
+}
+
+namespace {
+
+const BenchMeasurement* FindBench(const GateRun& run, const std::string& name) {
+  for (const BenchMeasurement& b : run.benches) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+GateOutcome CompareToBaseline(const GateRun& current, const GateRun* baseline,
+                              const GateThresholds& th) {
+  GateOutcome out;
+  if (baseline == nullptr) {
+    out.warnings.push_back(
+        "no baseline to compare against — all benches recorded, none gated");
+    return out;
+  }
+
+  auto regress = [&](const BenchMeasurement& b, const char* metric,
+                     double base, double cur, double limit) {
+    GateFinding f;
+    f.bench = b.name;
+    f.metric = metric;
+    f.baseline = base;
+    f.current = cur;
+    f.limit = limit;
+    out.regressions.push_back(std::move(f));
+  };
+
+  for (const BenchMeasurement& cur : current.benches) {
+    const BenchMeasurement* base = FindBench(*baseline, cur.name);
+    if (base == nullptr) {
+      out.warnings.push_back("bench '" + cur.name +
+                             "' is not in the baseline — recorded, not gated");
+      continue;
+    }
+
+    // Wall clock: min over repeats (the load-insensitive estimator), ratio +
+    // absolute slack. Fall back to the median when a baseline predates the
+    // min_wall_s field.
+    const bool use_min = base->min_wall_s > 0 && cur.min_wall_s > 0;
+    const double base_wall = use_min ? base->min_wall_s : base->median_wall_s;
+    const double cur_wall = use_min ? cur.min_wall_s : cur.median_wall_s;
+    const double wall_limit = base_wall * th.wall_ratio + th.wall_slack_s;
+    if (cur_wall > wall_limit) {
+      regress(cur, use_min ? "min_wall_s" : "median_wall_s", base_wall,
+              cur_wall, wall_limit);
+    }
+
+    // Peak RSS: only when both runs sampled it.
+    if (base->peak_rss_bytes > 0 && cur.peak_rss_bytes > 0) {
+      const double rss_limit =
+          static_cast<double>(base->peak_rss_bytes) * th.rss_ratio +
+          static_cast<double>(th.rss_slack_bytes);
+      if (static_cast<double>(cur.peak_rss_bytes) > rss_limit) {
+        regress(cur, "peak_rss_bytes",
+                static_cast<double>(base->peak_rss_bytes),
+                static_cast<double>(cur.peak_rss_bytes), rss_limit);
+      }
+    }
+
+    // Answer quality: closeness and satisfied fraction are deterministic for
+    // a fixed seed, so any drop beyond float noise is a real quality drift.
+    const double cl_limit = base->closeness - th.closeness_drop;
+    if (cur.closeness < cl_limit) {
+      regress(cur, "closeness", base->closeness, cur.closeness, cl_limit);
+    }
+    const double sat_limit = base->satisfied_frac - th.satisfied_drop;
+    if (cur.satisfied_frac < sat_limit) {
+      regress(cur, "satisfied_frac", base->satisfied_frac, cur.satisfied_frac,
+              sat_limit);
+    }
+
+    // Per-solve latency tail from the log-histogram: quantiles carry 2x
+    // bucket granularity, so the threshold is 2 bucket widths — immune to a
+    // value straddling a bucket boundary, alarmed by a genuine tail blowup.
+    if (base->latency_p99_ns > 0) {
+      const double tail_limit =
+          base->latency_p99_ns * th.tail_ratio + th.tail_slack_ns;
+      if (cur.latency_p99_ns > tail_limit) {
+        regress(cur, "latency_p99_ns", base->latency_p99_ns,
+                cur.latency_p99_ns, tail_limit);
+      }
+    }
+  }
+
+  for (const BenchMeasurement& b : baseline->benches) {
+    if (FindBench(current, b.name) == nullptr) {
+      out.warnings.push_back("bench '" + b.name +
+                             "' is in the baseline but was not run");
+    }
+  }
+
+  out.pass = out.regressions.empty();
+  return out;
+}
+
+std::string GateRunToJson(const GateRun& run) {
+  std::ostringstream out;
+  out << "{\"label\":" << JsonString(run.label)
+      << ",\"schema_version\":" << run.schema_version
+      << ",\"sampler_overhead_pct\":" << JsonNumber(run.sampler_overhead_pct)
+      << ",\"benches\":[";
+  for (size_t i = 0; i < run.benches.size(); ++i) {
+    const BenchMeasurement& b = run.benches[i];
+    if (i > 0) out << ',';
+    out << "\n  {\"name\":" << JsonString(b.name)
+        << ",\"repeats\":" << b.repeats
+        << ",\"min_wall_s\":" << JsonNumber(b.min_wall_s)
+        << ",\"median_wall_s\":" << JsonNumber(b.median_wall_s)
+        << ",\"p95_wall_s\":" << JsonNumber(b.p95_wall_s)
+        << ",\"peak_rss_bytes\":" << b.peak_rss_bytes
+        << ",\"closeness\":" << JsonNumber(b.closeness)
+        << ",\"satisfied_frac\":" << JsonNumber(b.satisfied_frac)
+        << ",\"delta\":" << JsonNumber(b.delta)
+        << ",\"latency_p50_ns\":" << JsonNumber(b.latency_p50_ns)
+        << ",\"latency_p90_ns\":" << JsonNumber(b.latency_p90_ns)
+        << ",\"latency_p99_ns\":" << JsonNumber(b.latency_p99_ns) << '}';
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Result<GateRun> GateRunFromJson(std::string_view text) {
+  Result<JsonValue> parsed = obs::ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& v = parsed.value();
+  if (!v.is_object()) {
+    return Status::InvalidArgument("gate run document is not a JSON object");
+  }
+  GateRun run;
+  run.label = v.StringOr("label", "");
+  run.schema_version = static_cast<int>(v.NumberOr("schema_version", 1));
+  run.sampler_overhead_pct = v.NumberOr("sampler_overhead_pct", -1);
+  const JsonValue* benches = v.Find("benches");
+  if (benches == nullptr || !benches->is_array()) {
+    return Status::InvalidArgument("gate run document has no 'benches' array");
+  }
+  for (const JsonValue& bj : benches->items) {
+    if (!bj.is_object()) {
+      return Status::InvalidArgument("gate run bench entry is not an object");
+    }
+    BenchMeasurement b;
+    b.name = bj.StringOr("name", "");
+    if (b.name.empty()) {
+      return Status::InvalidArgument("gate run bench entry has no name");
+    }
+    b.repeats = static_cast<size_t>(bj.NumberOr("repeats", 0));
+    b.min_wall_s = bj.NumberOr("min_wall_s", 0);
+    b.median_wall_s = bj.NumberOr("median_wall_s", 0);
+    b.p95_wall_s = bj.NumberOr("p95_wall_s", 0);
+    b.peak_rss_bytes = static_cast<int64_t>(bj.NumberOr("peak_rss_bytes", 0));
+    b.closeness = bj.NumberOr("closeness", 0);
+    b.satisfied_frac = bj.NumberOr("satisfied_frac", 0);
+    b.delta = bj.NumberOr("delta", 0);
+    b.latency_p50_ns = bj.NumberOr("latency_p50_ns", 0);
+    b.latency_p90_ns = bj.NumberOr("latency_p90_ns", 0);
+    b.latency_p99_ns = bj.NumberOr("latency_p99_ns", 0);
+    run.benches.push_back(std::move(b));
+  }
+  return run;
+}
+
+Result<GateRun> LoadGateRun(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("no gate run at " + path);
+  std::string content;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  Result<GateRun> run = GateRunFromJson(content);
+  if (!run.ok()) {
+    return Status::InvalidArgument(path + ": " + run.status().message());
+  }
+  return run;
+}
+
+Status SaveGateRun(const GateRun& run, const std::string& path) {
+  const std::string json = GateRunToJson(run);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot write gate run to " + path);
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return Status::InvalidArgument("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace wqe::gate

@@ -1,0 +1,100 @@
+#ifndef WQE_WORKLOAD_BENCH_GATE_H_
+#define WQE_WORKLOAD_BENCH_GATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wqe::gate {
+
+/// One bench's aggregated measurement inside a gate run. Wall statistics come
+/// from exact sorted repeat samples; latency quantiles come from the
+/// `solve.latency_ns` log-histogram (2x bucket granularity — the comparator's
+/// tail threshold accounts for that).
+struct BenchMeasurement {
+  std::string name;
+  size_t repeats = 0;
+  /// The gated wall statistic: min over repeats is reproducible within a few
+  /// percent even when cgroup CPU throttling stretches later repeats 1.4x —
+  /// median and p95 are recorded for humans but drift with machine load.
+  double min_wall_s = 0;
+  double median_wall_s = 0;
+  double p95_wall_s = 0;
+  int64_t peak_rss_bytes = 0;  // max RSS sampled during the bench; 0 = n/a
+  // Answer-quality scalars (deterministic for a fixed seed/scale).
+  double closeness = 0;
+  double satisfied_frac = 0;
+  double delta = 0;  // answer Jaccard vs ground truth
+  // Per-solve latency distribution over every repeat, nanoseconds.
+  double latency_p50_ns = 0;
+  double latency_p90_ns = 0;
+  double latency_p99_ns = 0;
+};
+
+/// A whole `BENCH_<label>.json` document.
+struct GateRun {
+  std::string label;
+  int schema_version = 1;
+  /// Measured wall-clock overhead of the resource sampler on the first
+  /// suite bench, percent; negative = not measured this run.
+  double sampler_overhead_pct = -1;
+  std::vector<BenchMeasurement> benches;
+};
+
+/// Noise-threshold comparator configuration. Ratios are multiplicative
+/// headroom, slacks are absolute floors so microsecond-scale benches do not
+/// gate on scheduler jitter. Defaults are tuned to catch a 2x wall/RSS
+/// regression while tolerating normal run-to-run noise on a busy CI box.
+struct GateThresholds {
+  double wall_ratio = 1.6;
+  double wall_slack_s = 0.025;
+  double rss_ratio = 1.5;
+  int64_t rss_slack_bytes = 32ll << 20;
+  double closeness_drop = 0.02;    // absolute drop in best-answer closeness
+  double satisfied_drop = 0.34;    // absolute drop in satisfied fraction
+  double tail_ratio = 4.0;         // latency p99 (2 bucket widths of the
+                                   // log-histogram, so a real tail blowup)
+  double tail_slack_ns = 1e6;
+};
+
+/// One detected regression.
+struct GateFinding {
+  std::string bench;
+  std::string metric;  // "median_wall_s" | "peak_rss_bytes" | ...
+  double baseline = 0;
+  double current = 0;
+  double limit = 0;  // the threshold the current value exceeded
+  std::string ToString() const;
+};
+
+/// Comparator verdict. `pass` is false iff `regressions` is non-empty —
+/// warnings (missing baseline, benches absent from the baseline) never fail
+/// the gate; they record trajectory gaps to fix by re-baselining.
+struct GateOutcome {
+  bool pass = true;
+  std::vector<GateFinding> regressions;
+  std::vector<std::string> warnings;
+};
+
+/// Compares `current` against `baseline` under `th`.
+///  - `baseline == nullptr` (no committed file): pass with a warning.
+///  - bench in current but not baseline: recorded, not gated (warning).
+///  - bench in baseline but not current: warning (suite shrank).
+///  - wall/RSS/quality/latency-tail beyond threshold: regression.
+GateOutcome CompareToBaseline(const GateRun& current, const GateRun* baseline,
+                              const GateThresholds& th);
+
+std::string GateRunToJson(const GateRun& run);
+Result<GateRun> GateRunFromJson(std::string_view text);
+
+/// File convenience wrappers; Load distinguishes NotFound (no baseline yet)
+/// from InvalidArgument (corrupt file — surfaced loudly, not skipped).
+Result<GateRun> LoadGateRun(const std::string& path);
+Status SaveGateRun(const GateRun& run, const std::string& path);
+
+}  // namespace wqe::gate
+
+#endif  // WQE_WORKLOAD_BENCH_GATE_H_

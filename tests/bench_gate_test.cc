@@ -1,0 +1,223 @@
+#include "workload/bench_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+namespace wqe {
+namespace {
+
+using gate::BenchMeasurement;
+using gate::CompareToBaseline;
+using gate::GateOutcome;
+using gate::GateRun;
+using gate::GateThresholds;
+
+BenchMeasurement MakeBench(const std::string& name) {
+  BenchMeasurement b;
+  b.name = name;
+  b.repeats = 5;
+  b.min_wall_s = 0.10;
+  b.median_wall_s = 0.11;
+  b.p95_wall_s = 0.13;
+  b.peak_rss_bytes = 100ll << 20;
+  b.closeness = 0.8;
+  b.satisfied_frac = 1.0;
+  b.delta = 0.9;
+  b.latency_p50_ns = 1e7;
+  b.latency_p90_ns = 4e7;
+  b.latency_p99_ns = 8e7;
+  return b;
+}
+
+GateRun MakeRun(const std::string& label) {
+  GateRun run;
+  run.label = label;
+  run.sampler_overhead_pct = 0.05;
+  run.benches.push_back(MakeBench("fig10a_quick"));
+  run.benches.push_back(MakeBench("fig12c_quick"));
+  return run;
+}
+
+TEST(GateComparatorTest, MissingBaselinePassesWithWarning) {
+  const GateRun current = MakeRun("pr");
+  const GateOutcome out = CompareToBaseline(current, nullptr, GateThresholds());
+  EXPECT_TRUE(out.pass);
+  EXPECT_TRUE(out.regressions.empty());
+  ASSERT_EQ(out.warnings.size(), 1u);
+  EXPECT_NE(out.warnings[0].find("no baseline"), std::string::npos);
+}
+
+TEST(GateComparatorTest, WithinNoisePasses) {
+  const GateRun baseline = MakeRun("base");
+  GateRun current = MakeRun("pr");
+  // 1.3x wall, +10 MiB RSS, tiny quality wiggle — all inside the thresholds.
+  current.benches[0].min_wall_s *= 1.3;
+  current.benches[0].peak_rss_bytes += 10ll << 20;
+  current.benches[0].closeness -= 0.01;
+  current.benches[0].latency_p99_ns *= 2.0;  // one log-bucket of wiggle
+  const GateOutcome out =
+      CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_TRUE(out.pass) << (out.regressions.empty()
+                                ? ""
+                                : out.regressions[0].ToString());
+  EXPECT_TRUE(out.warnings.empty());
+}
+
+TEST(GateComparatorTest, WallRegressionFails) {
+  const GateRun baseline = MakeRun("base");
+  GateRun current = MakeRun("pr");
+  current.benches[0].min_wall_s *= 2.0;  // 0.20 > 0.10 * 1.6 + 0.025
+  const GateOutcome out =
+      CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_FALSE(out.pass);
+  ASSERT_EQ(out.regressions.size(), 1u);
+  EXPECT_EQ(out.regressions[0].bench, "fig10a_quick");
+  EXPECT_EQ(out.regressions[0].metric, "min_wall_s");
+  // The finding renders with its numbers.
+  EXPECT_NE(out.regressions[0].ToString().find("min_wall_s"),
+            std::string::npos);
+}
+
+TEST(GateComparatorTest, SmallBenchIsProtectedByAbsoluteSlack) {
+  // A microsecond-scale bench doubling stays under the 25 ms slack floor:
+  // ratio-only gating would page on scheduler noise.
+  GateRun baseline = MakeRun("base");
+  baseline.benches[1].min_wall_s = 0.0005;
+  GateRun current = MakeRun("pr");
+  current.benches[1].min_wall_s = 0.0015;  // 3x, but +1 ms in absolute terms
+  const GateOutcome out =
+      CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_TRUE(out.pass);
+}
+
+TEST(GateComparatorTest, RssRegressionFails) {
+  const GateRun baseline = MakeRun("base");
+  GateRun current = MakeRun("pr");
+  current.benches[0].peak_rss_bytes = 200ll << 20;  // 2x + past the slack
+  const GateOutcome out =
+      CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_FALSE(out.pass);
+  ASSERT_EQ(out.regressions.size(), 1u);
+  EXPECT_EQ(out.regressions[0].metric, "peak_rss_bytes");
+}
+
+TEST(GateComparatorTest, RssNotGatedWhenUnavailable) {
+  GateRun baseline = MakeRun("base");
+  baseline.benches[0].peak_rss_bytes = 0;  // platform without /proc
+  GateRun current = MakeRun("pr");
+  current.benches[0].peak_rss_bytes = 500ll << 20;
+  EXPECT_TRUE(CompareToBaseline(current, &baseline, GateThresholds()).pass);
+}
+
+TEST(GateComparatorTest, QualityDropFails) {
+  const GateRun baseline = MakeRun("base");
+  GateRun current = MakeRun("pr");
+  current.benches[0].closeness = 0.7;  // -0.1 > the 0.02 allowance
+  GateOutcome out = CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_FALSE(out.pass);
+  ASSERT_EQ(out.regressions.size(), 1u);
+  EXPECT_EQ(out.regressions[0].metric, "closeness");
+
+  current = MakeRun("pr");
+  current.benches[1].satisfied_frac = 0.5;  // half the cases stopped satisfying
+  out = CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_FALSE(out.pass);
+  EXPECT_EQ(out.regressions[0].metric, "satisfied_frac");
+}
+
+TEST(GateComparatorTest, LatencyTailBlowupFails) {
+  const GateRun baseline = MakeRun("base");
+  GateRun current = MakeRun("pr");
+  current.benches[0].latency_p99_ns = 8e8;  // 10x the baseline tail
+  const GateOutcome out =
+      CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_FALSE(out.pass);
+  ASSERT_EQ(out.regressions.size(), 1u);
+  EXPECT_EQ(out.regressions[0].metric, "latency_p99_ns");
+}
+
+TEST(GateComparatorTest, NewBenchIsRecordedNotGated) {
+  const GateRun baseline = MakeRun("base");
+  GateRun current = MakeRun("pr");
+  BenchMeasurement extra = MakeBench("fig12a_quick");
+  extra.min_wall_s = 99.0;  // would fail every threshold if it were gated
+  current.benches.push_back(extra);
+  const GateOutcome out =
+      CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_TRUE(out.pass);
+  ASSERT_EQ(out.warnings.size(), 1u);
+  EXPECT_NE(out.warnings[0].find("fig12a_quick"), std::string::npos);
+  EXPECT_NE(out.warnings[0].find("not gated"), std::string::npos);
+}
+
+TEST(GateComparatorTest, DroppedBenchWarns) {
+  const GateRun baseline = MakeRun("base");
+  GateRun current = MakeRun("pr");
+  current.benches.pop_back();
+  const GateOutcome out =
+      CompareToBaseline(current, &baseline, GateThresholds());
+  EXPECT_TRUE(out.pass);
+  ASSERT_EQ(out.warnings.size(), 1u);
+  EXPECT_NE(out.warnings[0].find("was not run"), std::string::npos);
+}
+
+TEST(GateRunJsonTest, RoundTripsThroughJson) {
+  const GateRun run = MakeRun("round-trip");
+  auto back = gate::GateRunFromJson(gate::GateRunToJson(run));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  const GateRun& r = back.value();
+  EXPECT_EQ(r.label, "round-trip");
+  EXPECT_EQ(r.schema_version, run.schema_version);
+  EXPECT_DOUBLE_EQ(r.sampler_overhead_pct, 0.05);
+  ASSERT_EQ(r.benches.size(), 2u);
+  EXPECT_EQ(r.benches[0].name, "fig10a_quick");
+  EXPECT_EQ(r.benches[0].repeats, 5u);
+  EXPECT_DOUBLE_EQ(r.benches[0].min_wall_s, 0.10);
+  EXPECT_DOUBLE_EQ(r.benches[0].median_wall_s, 0.11);
+  EXPECT_EQ(r.benches[0].peak_rss_bytes, 100ll << 20);
+  EXPECT_DOUBLE_EQ(r.benches[0].latency_p99_ns, 8e7);
+}
+
+TEST(GateRunJsonTest, RejectsGarbageAndMissingBenches) {
+  EXPECT_FALSE(gate::GateRunFromJson("not json").ok());
+  EXPECT_FALSE(gate::GateRunFromJson("[]").ok());
+  EXPECT_FALSE(gate::GateRunFromJson("{\"label\":\"x\"}").ok());
+  EXPECT_FALSE(
+      gate::GateRunFromJson("{\"label\":\"x\",\"benches\":[{}]}").ok());
+}
+
+TEST(GateRunJsonTest, LoadDistinguishesMissingFromCorrupt) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("wqe_gate_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  const std::string missing = dir + "/nope.json";
+  auto r = gate::LoadGateRun(missing);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+
+  const std::string corrupt = dir + "/corrupt.json";
+  std::FILE* f = std::fopen(corrupt.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{truncated", f);
+  std::fclose(f);
+  r = gate::LoadGateRun(corrupt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kInvalidArgument);
+
+  // Save/Load round trip.
+  const std::string saved = dir + "/run.json";
+  ASSERT_TRUE(gate::SaveGateRun(MakeRun("disk"), saved).ok());
+  r = gate::LoadGateRun(saved);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().label, "disk");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace wqe

@@ -1,0 +1,122 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace wqe {
+namespace {
+
+using obs::JsonNumber;
+using obs::JsonString;
+using obs::JsonValue;
+using obs::ParseJson;
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonString("plain"), "\"plain\"");
+  EXPECT_EQ(JsonString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonString("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonString("line1\nline2"), "\"line1\\nline2\"");
+  EXPECT_EQ(JsonString("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonString(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+  EXPECT_EQ(JsonString("\x1f"), "\"\\u001f\"");
+}
+
+TEST(JsonEscapeTest, HighBytesPassThroughUnescaped) {
+  // UTF-8 payloads (e.g. node names from real datasets) must not be mangled.
+  const std::string utf8 = "caf\xc3\xa9";
+  EXPECT_EQ(JsonString(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(JsonEscapeTest, EscapedStringRoundTripsThroughParser) {
+  const std::string nasty = "q\"uo\\te\n\t\x01\x1f\xc3\xa9 end";
+  auto parsed = ParseJson(JsonString(nasty));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed.value().is_string());
+  EXPECT_EQ(parsed.value().str, nasty);
+}
+
+TEST(JsonNumberTest, FiniteValuesRoundTrip) {
+  for (double v : {0.0, -1.5, 3.14159265358979, 1e-300, 1.7976931348623157e308,
+                   0.1, 123456789.123456789}) {
+    auto parsed = ParseJson(JsonNumber(v));
+    ASSERT_TRUE(parsed.ok()) << JsonNumber(v);
+    ASSERT_TRUE(parsed.value().is_number());
+    EXPECT_EQ(parsed.value().number, v) << JsonNumber(v);
+  }
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesParseableStrings) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(JsonNumber(nan), "\"NaN\"");
+  EXPECT_EQ(JsonNumber(inf), "\"Infinity\"");
+  EXPECT_EQ(JsonNumber(-inf), "\"-Infinity\"");
+  // A document embedding them stays valid JSON.
+  const std::string doc = "{\"a\":" + JsonNumber(nan) + ",\"b\":" +
+                          JsonNumber(inf) + "}";
+  auto parsed = ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().StringOr("a", ""), "NaN");
+}
+
+TEST(JsonParseTest, ParsesScalarsArraysObjects) {
+  auto v = ParseJson(R"({"s":"x","n":-2.5e3,"t":true,"f":false,"z":null,
+                         "a":[1,2,3],"o":{"k":"v"}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue& root = v.value();
+  EXPECT_EQ(root.StringOr("s", ""), "x");
+  EXPECT_EQ(root.NumberOr("n", 0), -2500.0);
+  EXPECT_TRUE(root.BoolOr("t", false));
+  EXPECT_FALSE(root.BoolOr("f", true));
+  ASSERT_NE(root.Find("z"), nullptr);
+  EXPECT_TRUE(root.Find("z")->is_null());
+  ASSERT_NE(root.Find("a"), nullptr);
+  ASSERT_EQ(root.Find("a")->items.size(), 3u);
+  EXPECT_EQ(root.Find("a")->items[1].number, 2.0);
+  EXPECT_EQ(root.Find("o")->StringOr("k", ""), "v");
+}
+
+TEST(JsonParseTest, PreservesKeyOrder) {
+  auto v = ParseJson(R"({"zebra":1,"apple":2})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v.value().members.size(), 2u);
+  EXPECT_EQ(v.value().members[0].first, "zebra");
+  EXPECT_EQ(v.value().members[1].first, "apple");
+}
+
+TEST(JsonParseTest, DecodesUnicodeEscapesIncludingSurrogatePairs) {
+  auto v = ParseJson(R"("\u0041\u00e9\u20ac\ud83d\ude00")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v.value().str, "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.",
+        "\"unterminated", "{\"a\":1} trailing", "[1] [2]", "nan",
+        "\"bad\\escape\"", "\"\\ud800\"", "{'a':1}", "+1"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // 32 levels is fine.
+  std::string ok(32, '[');
+  ok += std::string(32, ']');
+  EXPECT_TRUE(ParseJson(ok).ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryOffsets) {
+  auto v = ParseJson("{\"a\": bad}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("offset"), std::string::npos)
+      << v.status().message();
+}
+
+}  // namespace
+}  // namespace wqe

@@ -7,6 +7,7 @@
 
 #include "chase/solve.h"
 #include "gen/product_demo.h"
+#include "obs/json.h"
 
 namespace wqe {
 namespace {
@@ -240,6 +241,59 @@ TEST_P(ObservedSolve, CountersAgreeWithStats) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ObservedSolve, ::testing::Values(1, 4));
+
+// ---- JSON emission audit: hostile names and values must not break the
+// exported documents (the strict parser is the oracle). ----
+
+TEST(MetricsJsonTest, HostileMetricNamesRoundTrip) {
+  obs::Observability o;
+  const std::string nasty = "evil\"name\\with\nnewline";
+  o.metrics.counter(nasty).Inc(3);
+  o.metrics.gauge("tab\tgauge").Set(-4);
+  o.metrics.histogram("hist\x01ctrl").Observe(1000);
+  const std::string doc = obs::ExportMetricsJson(o, 1.0);
+  auto parsed = obs::ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << doc;
+  const obs::JsonValue* metrics = parsed.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->NumberOr(nasty, 0), 3.0);
+  EXPECT_EQ(metrics->Find("gauges")->NumberOr("tab\tgauge", 0), -4.0);
+  EXPECT_NE(metrics->Find("histograms")->Find("hist\x01ctrl"), nullptr);
+}
+
+TEST(MetricsJsonTest, HistogramExportCarriesP50P90P99) {
+  obs::Observability o;
+  obs::Histogram& h = o.metrics.histogram("lat");
+  for (int i = 0; i < 90; ++i) h.Observe(100);
+  for (int i = 0; i < 9; ++i) h.Observe(10000);
+  h.Observe(1000000);
+  auto parsed = obs::ParseJson(o.metrics.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* lat = parsed.value().Find("histograms")->Find("lat");
+  ASSERT_NE(lat, nullptr);
+  const double p50 = lat->NumberOr("p50", 0);
+  const double p90 = lat->NumberOr("p90", 0);
+  const double p99 = lat->NumberOr("p99", 0);
+  EXPECT_GT(p50, 0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // p90 lands in the 100-value bucket region, p99 above it (2x bucket error).
+  EXPECT_LT(p90, 10000 * 2.0);
+  EXPECT_GE(p99, 10000);
+}
+
+TEST(TracerJsonTest, HostileSpanNamesProduceValidChromeTrace) {
+  obs::Tracer tracer;
+  tracer.set_capture_events(true);
+  {
+    obs::TracerScope scope(&tracer);
+    obs::ScopedSpan span(&tracer, "span\"with\\quotes\nand newline");
+  }
+  auto parsed = obs::ParseJson(tracer.ChromeTraceJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
 
 }  // namespace
 }  // namespace wqe

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "gen/product_demo.h"
+#include "obs/json.h"
 
 namespace wqe {
 namespace {
@@ -35,6 +36,34 @@ TEST_F(ReportFixture, ContainsKeyFigures) {
   EXPECT_NE(json.find("\"rep_size\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"candidates\": 6"), std::string::npos);
   EXPECT_NE(json.find("\"satisfies_exemplar\": true"), std::string::npos);
+}
+
+TEST_F(ReportFixture, ToJsonParsesStrictly) {
+  // The report (with lineage) must be a valid JSON document end to end —
+  // embedded metric names, operator strings, and doubles included.
+  for (bool lineage : {false, true}) {
+    const std::string json = ChaseReport::ToJson(*ctx_, result_, lineage);
+    auto parsed = obs::ParseJson(json);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_NE(parsed.value().Find("answers"), nullptr);
+    EXPECT_NE(parsed.value().Find("metrics"), nullptr);
+  }
+}
+
+TEST_F(ReportFixture, ExplainJsonMatchesExplainTextFacts) {
+  const std::string json =
+      ChaseReport::ExplainJson(*ctx_, result_, Algorithm::kAnsW);
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::string text =
+      ChaseReport::ExplainText(*ctx_, result_, Algorithm::kAnsW);
+  // Every operator in the JSON record appears verbatim in the text render.
+  const obs::JsonValue* ops = parsed.value().Find("ops");
+  ASSERT_NE(ops, nullptr);
+  for (const obs::JsonValue& op : ops->items) {
+    EXPECT_NE(text.find(op.StringOr("op", "<missing>")), std::string::npos)
+        << text;
+  }
 }
 
 TEST_F(ReportFixture, ListsAnswerMatchesByName) {

@@ -1,0 +1,89 @@
+#include "obs/resource_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "obs/json.h"
+
+namespace wqe {
+namespace {
+
+TEST(ResourceSamplerTest, ReadsRssOnLinux) {
+#if defined(__linux__)
+  const int64_t rss = obs::ResourceSampler::CurrentRssBytes();
+  const int64_t peak = obs::ResourceSampler::PeakRssBytes();
+  ASSERT_GT(rss, 0);
+  ASSERT_GT(peak, 0);
+  EXPECT_LE(rss, peak + (64 << 20));  // peak is a high-water mark
+#else
+  EXPECT_EQ(obs::ResourceSampler::CurrentRssBytes(), -1);
+#endif
+}
+
+TEST(ResourceSamplerTest, RecordsGaugesAndHistogramsIntoScope) {
+  obs::Observability o;
+  {
+    obs::ResourceSampler::Options opts;
+    opts.period_ms = 1;
+    obs::ResourceSampler sampler(&o, opts);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    sampler.Stop();
+    EXPECT_GE(sampler.samples(), 2u);  // immediate + final at minimum
+#if defined(__linux__)
+    EXPECT_GT(sampler.max_rss_bytes(), 0);
+#endif
+  }
+#if defined(__linux__)
+  EXPECT_GT(o.metrics.gauge("proc.rss_bytes").Value(), 0);
+  EXPECT_GT(o.metrics.gauge("proc.peak_rss_bytes").Value(), 0);
+  EXPECT_GT(o.metrics.histogram("sampler.rss_bytes").Snap().count, 0u);
+#endif
+  EXPECT_GT(o.metrics.histogram("sampler.queue_depth").Snap().count, 0u);
+}
+
+TEST(ResourceSamplerTest, StopIsIdempotentAndDestructorSafe) {
+  obs::Observability o;
+  obs::ResourceSampler sampler(&o);  // default 100 ms period
+  sampler.Stop();
+  sampler.Stop();
+  // Destructor runs Stop() again — must not deadlock or double-join.
+}
+
+TEST(ResourceSamplerTest, MeasuredDutyCycleIsSmall) {
+  obs::Observability o;
+  obs::ResourceSampler::Options opts;
+  opts.period_ms = 50;  // the bench gate's configuration
+  const double pct = obs::ResourceSampler::MeasureOverheadPct(&o, opts, 64);
+  EXPECT_GE(pct, 0.0);
+  // The documented budget is < 2%; leave generous headroom for a loaded CI
+  // box — a sample is two small /proc reads, not milliseconds of work.
+  EXPECT_LT(pct, 2.0);
+}
+
+TEST(ResourceSamplerTest, MetricsExportStaysValidJson) {
+  obs::Observability o;
+  {
+    obs::ResourceSampler::Options opts;
+    opts.period_ms = 1;
+    obs::ResourceSampler sampler(&o, opts);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::string doc = obs::ExportMetricsJson(o, 0.01);
+  auto parsed = obs::ParseJson(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* metrics = parsed.value().Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::JsonValue* hists = metrics->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::JsonValue* qd = hists->Find("sampler.queue_depth");
+  ASSERT_NE(qd, nullptr);
+  // The quantile export includes the new p90 between p50 and p99.
+  EXPECT_NE(qd->Find("p50"), nullptr);
+  EXPECT_NE(qd->Find("p90"), nullptr);
+  EXPECT_NE(qd->Find("p99"), nullptr);
+}
+
+}  // namespace
+}  // namespace wqe

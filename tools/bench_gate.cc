@@ -1,0 +1,266 @@
+// Benchmark regression gate: runs the curated quick-mode suite
+// (bench/suite_manifest.h) `--repeat` times, writes BENCH_<label>.json, and
+// compares it against the committed baseline with the noise-threshold
+// comparator in workload/bench_gate.h.
+//
+// Exit codes: 0 = pass (including "no baseline yet" and "new bench"),
+// 1 = regression detected, 2 = usage / IO error.
+//
+// Peak RSS and the sampler-overhead figure come from obs::ResourceSampler:
+// each bench runs a few extra sampled repeats with the sampler active; the
+// first bench also times those against its unsampled repeats and records the
+// overhead percentage in the report (the sampler's documented budget is
+// < 2%). The sampler stays OFF for the gated wall-clock measurements.
+//
+// `--inject-slowdown=BENCH:FACTOR` multiplies the measured wall statistics
+// of one bench after measurement — a self-test hook proving the gate fails
+// when a real slowdown of that size lands (tools/check.sh uses 2.0).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "obs/resource_sampler.h"
+#include "suite_manifest.h"
+#include "workload/bench_gate.h"
+
+namespace wqe::gate {
+namespace {
+
+struct GateArgs {
+  GateBenchConfig cfg;
+  std::string label = "local";
+  std::string baseline_path = "BENCH_BASELINE.json";
+  std::string out_dir = ".";
+  size_t repeat = 5;
+  bool write_baseline = false;
+  std::string slowdown_bench;
+  double slowdown_factor = 1.0;
+};
+
+const char* FlagValue(const char* arg, const char* prefix) {
+  const size_t n = std::strlen(prefix);
+  return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--label=NAME] [--baseline=FILE] [--out-dir=DIR]\n"
+      "          [--repeat=N] [--scale=F] [--queries=N] [--threads=N]\n"
+      "          [--cache-dir=DIR] [--write-baseline]\n"
+      "          [--inject-slowdown=BENCH:FACTOR]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, GateArgs* out) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = FlagValue(arg, "--label=")) {
+      out->label = v;
+    } else if (const char* v = FlagValue(arg, "--baseline=")) {
+      out->baseline_path = v;
+    } else if (const char* v = FlagValue(arg, "--out-dir=")) {
+      out->out_dir = v;
+    } else if (const char* v = FlagValue(arg, "--repeat=")) {
+      out->repeat = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = FlagValue(arg, "--scale=")) {
+      out->cfg.scale = std::atof(v);
+    } else if (const char* v = FlagValue(arg, "--queries=")) {
+      out->cfg.queries = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = FlagValue(arg, "--threads=")) {
+      out->cfg.threads = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = FlagValue(arg, "--cache-dir=")) {
+      out->cfg.cache_dir = v;
+    } else if (std::strcmp(arg, "--write-baseline") == 0) {
+      out->write_baseline = true;
+    } else if (const char* v = FlagValue(arg, "--inject-slowdown=")) {
+      const char* colon = std::strrchr(v, ':');
+      if (colon == nullptr || colon == v) {
+        std::fprintf(stderr, "error: --inject-slowdown wants BENCH:FACTOR\n");
+        return false;
+      }
+      out->slowdown_bench.assign(v, colon - v);
+      out->slowdown_factor = std::atof(colon + 1);
+      if (out->slowdown_factor <= 0) {
+        std::fprintf(stderr, "error: slowdown factor must be > 0\n");
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg);
+      return false;
+    }
+  }
+  if (out->repeat == 0) out->repeat = 1;
+  return true;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2;
+}
+
+double P95(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t idx =
+      static_cast<size_t>(std::max<double>(0.0, 0.95 * v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// One timed repetition; returns wall seconds and fills `summary`.
+double TimedRep(const QuickBench& bench, AlgoSummary* summary) {
+  Timer t;
+  *summary = bench.RunOnce();
+  return t.ElapsedSeconds();
+}
+
+BenchMeasurement MeasureBench(const QuickBench& bench, const GateArgs& args,
+                              bool measure_overhead,
+                              double* sampler_overhead_pct) {
+  // Warmup rep: populates memo tables, the shared star-view cache, and (in
+  // cache-dir mode) the on-disk store, so the measured repeats see the same
+  // warm state on every run of the gate.
+  AlgoSummary summary;
+  TimedRep(bench, &summary);
+
+  obs::ResourceSampler::Options sopts;
+  sopts.period_ms = 50;  // plenty of RSS samples; negligible CPU theft
+
+  std::vector<double> walls;  // sampler off — these are gated
+  walls.reserve(args.repeat);
+  for (size_t i = 0; i < args.repeat; ++i) {
+    walls.push_back(TimedRep(bench, &summary));
+  }
+
+  // A couple of sampled reps for the per-bench peak-RSS figure (windowed
+  // max, not the process-lifetime VmHWM), kept out of the gated walls.
+  int64_t peak_rss = 0;
+  for (int i = 0; i < 2; ++i) {
+    obs::ResourceSampler sampler(bench.obs.get(), sopts);
+    AlgoSummary scratch;
+    TimedRep(bench, &scratch);
+    sampler.Stop();
+    peak_rss = std::max(peak_rss, sampler.max_rss_bytes());
+  }
+
+  if (measure_overhead && sampler_overhead_pct != nullptr) {
+    // Duty cycle of real samples against the configured period — wall-diffing
+    // whole bench runs cannot resolve a sub-percent effect under the
+    // multi-percent drift a contended box shows (see MeasureOverheadPct).
+    *sampler_overhead_pct =
+        obs::ResourceSampler::MeasureOverheadPct(bench.obs.get(), sopts);
+  }
+
+  BenchMeasurement m;
+  m.name = bench.name;
+  m.repeats = args.repeat;
+  m.min_wall_s = *std::min_element(walls.begin(), walls.end());
+  m.median_wall_s = Median(walls);
+  m.p95_wall_s = P95(walls);
+  m.peak_rss_bytes = peak_rss;
+  m.closeness = summary.closeness.Mean();
+  m.satisfied_frac =
+      summary.cases == 0
+          ? 0.0
+          : static_cast<double>(summary.satisfied) / summary.cases;
+  m.delta = summary.delta.Mean();
+  const obs::Histogram::Snapshot lat =
+      bench.obs->metrics.histogram("solve.latency_ns").Snap();
+  m.latency_p50_ns = static_cast<double>(lat.Quantile(0.5));
+  m.latency_p90_ns = static_cast<double>(lat.Quantile(0.9));
+  m.latency_p99_ns = static_cast<double>(lat.Quantile(0.99));
+
+  if (bench.name == args.slowdown_bench) {
+    m.min_wall_s *= args.slowdown_factor;
+    m.median_wall_s *= args.slowdown_factor;
+    m.p95_wall_s *= args.slowdown_factor;
+    std::printf("  (injected %gx slowdown into %s)\n", args.slowdown_factor,
+                bench.name.c_str());
+  }
+  return m;
+}
+
+int Main(int argc, char** argv) {
+  GateArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  std::printf("# bench_gate label=%s repeat=%zu scale=%g queries=%zu\n",
+              args.label.c_str(), args.repeat, args.cfg.scale,
+              args.cfg.queries);
+
+  GateRun current;
+  current.label = args.label;
+  std::vector<QuickBench> suite = BuildQuickSuite(args.cfg);
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const QuickBench& bench = suite[i];
+    std::printf("running %s ...\n", bench.name.c_str());
+    std::fflush(stdout);
+    BenchMeasurement m = MeasureBench(bench, args, /*measure_overhead=*/i == 0,
+                                      &current.sampler_overhead_pct);
+    std::printf(
+        "  wall min %.4fs median %.4fs p95 %.4fs | peak RSS %.1f MiB | "
+        "closeness %.4f "
+        "satisfied %.2f | latency p50/p90/p99 %.2f/%.2f/%.2f ms\n",
+        m.min_wall_s, m.median_wall_s, m.p95_wall_s,
+        m.peak_rss_bytes / (1024.0 * 1024.0),
+        m.closeness, m.satisfied_frac, m.latency_p50_ns / 1e6,
+        m.latency_p90_ns / 1e6, m.latency_p99_ns / 1e6);
+    current.benches.push_back(std::move(m));
+  }
+  std::printf("sampler overhead (duty cycle): %.3f%% (budget < 2%%)\n",
+              current.sampler_overhead_pct);
+
+  const std::string out_path =
+      args.out_dir + "/BENCH_" + args.label + ".json";
+  if (Status s = SaveGateRun(current, out_path); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (args.write_baseline) {
+    if (Status s = SaveGateRun(current, args.baseline_path); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote baseline %s\n", args.baseline_path.c_str());
+    return 0;
+  }
+
+  Result<GateRun> baseline = LoadGateRun(args.baseline_path);
+  const GateRun* baseline_ptr = nullptr;
+  if (baseline.ok()) {
+    baseline_ptr = &baseline.value();
+  } else if (baseline.status().code() != Status::Code::kNotFound) {
+    // A corrupt baseline is an error, not a silent pass.
+    std::fprintf(stderr, "error: %s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+
+  const GateOutcome outcome =
+      CompareToBaseline(current, baseline_ptr, GateThresholds());
+  for (const std::string& w : outcome.warnings) {
+    std::printf("WARN %s\n", w.c_str());
+  }
+  for (const GateFinding& f : outcome.regressions) {
+    std::printf("REGRESSION %s\n", f.ToString().c_str());
+  }
+  std::printf("#GATE %s (%zu regressions, %zu warnings, baseline %s)\n",
+              outcome.pass ? "PASS" : "FAIL", outcome.regressions.size(),
+              outcome.warnings.size(),
+              baseline_ptr != nullptr ? args.baseline_path.c_str() : "absent");
+  return outcome.pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace wqe::gate
+
+int main(int argc, char** argv) { return wqe::gate::Main(argc, argv); }

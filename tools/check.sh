@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Full verification sweep for libwqe:
 #   1. default (Release, -Werror) build + the whole ctest suite;
-#   2. an Address+UndefinedBehaviorSanitizer build running the whole suite;
-#   3. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
+#   2. the benchmark regression gate (quick mode, warm cache) against the
+#      committed BENCH_BASELINE.json, plus an injected-slowdown self-test
+#      proving the gate actually fails on a 2x regression;
+#   3. an Address+UndefinedBehaviorSanitizer build running the whole suite;
+#   4. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
 #      exercise the parallel evaluation layer.
 # Usage: tools/check.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -15,6 +18,26 @@ cmake -B build -S . -DWQE_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure)
 
+echo "== benchmark regression gate (quick mode) =="
+GATE_TMP="$(mktemp -d)"
+trap 'rm -rf "$GATE_TMP"' EXIT
+GATE_CACHE="${WQE_CACHE_DIR:-$GATE_TMP/cache}"
+# Warm-up pass populates the artifact store so the gated run measures the
+# solver, not index construction; then the real run compares against the
+# committed baseline.
+./build/tools/bench_gate --label=warm --repeat=1 --cache-dir="$GATE_CACHE" \
+  --out-dir="$GATE_TMP" --baseline=BENCH_BASELINE.json >/dev/null
+./build/tools/bench_gate --label=check --repeat=5 --cache-dir="$GATE_CACHE" \
+  --out-dir="$GATE_TMP" --baseline=BENCH_BASELINE.json
+# Self-test: an injected 2x slowdown must FAIL the gate (exit 1).
+if ./build/tools/bench_gate --label=selftest --repeat=1 \
+  --cache-dir="$GATE_CACHE" --out-dir="$GATE_TMP" \
+  --baseline=BENCH_BASELINE.json \
+  --inject-slowdown=fig10a_quick:2.0 >/dev/null; then
+  echo "gate self-test: injected slowdown was NOT caught"; exit 1
+fi
+echo "gate self-test: injected 2x slowdown correctly failed the gate"
+
 echo "== Address+UB Sanitizer build =="
 cmake -B build-asan -S . -DWQE_SANITIZE=address,undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -26,7 +49,7 @@ echo "== corrupted-cache drill (ASan build) =="
 # re-run: the store must reject the damaged files and rebuild cleanly —
 # no crash, no ASan report, answers still produced.
 DRILL="$(mktemp -d)"
-trap 'rm -rf "$DRILL"' EXIT
+trap 'rm -rf "$DRILL" "$GATE_TMP"' EXIT
 ./build-asan/tools/wqe demo "$DRILL" >/dev/null
 ./build-asan/tools/wqe why "$DRILL/product.graph" "$DRILL/product.query" \
   "$DRILL/product.exemplar" --cache-dir "$DRILL/cache" >/dev/null

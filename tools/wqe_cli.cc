@@ -21,6 +21,8 @@
 #include "chase/solve.h"
 #include "chase/why_not.h"
 #include "common/thread_pool.h"
+#include "obs/query_log.h"
+#include "obs/resource_sampler.h"
 #include "exemplar/exemplar_text.h"
 #include "gen/datasets.h"
 #include "gen/product_demo.h"
@@ -47,7 +49,8 @@ int Usage() {
                "          [--beam W] [--deadline SECONDS] [--threads N|auto]\n"
                "          [--algo answ|heu|whym|whye|fm] [--explain] [--json]\n"
                "          [--cache-dir DIR] [--trace-out FILE]\n"
-               "          [--metrics-out FILE]\n");
+               "          [--metrics-out FILE] [--query-log FILE]\n"
+               "          [--sample-resources]\n");
   return 2;
 }
 
@@ -247,6 +250,8 @@ int CmdWhy(int argc, char** argv) {
   std::string algo = "answ";
   std::string trace_out;
   std::string metrics_out;
+  std::string query_log_path;
+  bool sample_resources = false;
   bool explain = false;
   bool json = false;
   for (int i = 3; i < argc; ++i) {
@@ -282,6 +287,10 @@ int CmdWhy(int argc, char** argv) {
       trace_out = next();
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--query-log") {
+      query_log_path = next();
+    } else if (arg == "--sample-resources") {
+      sample_resources = true;
     } else if (arg == "--explain") {
       explain = true;
     } else if (arg == "--json") {
@@ -309,6 +318,27 @@ int CmdWhy(int argc, char** argv) {
   opts.observability = &observability;
   obs::TracerScope tracer_scope(&observability.tracer);
 
+  // The append-only query log must outlive the solve; ChaseContext copies
+  // the options, so it is wired up before the context is built.
+  std::unique_ptr<obs::QueryLog> query_log;
+  if (!query_log_path.empty()) {
+    auto opened = obs::QueryLog::Open(query_log_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: --query-log: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    query_log = std::move(opened).value();
+    opts.query_log = query_log.get();
+  }
+
+  // Optional background resource telemetry (off by default): its gauges and
+  // histograms land in the same scope --metrics-out exports.
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  if (sample_resources) {
+    sampler = std::make_unique<obs::ResourceSampler>(&observability);
+  }
+
   WhyQuestion w{q.value(), e.value()};
   ChaseContext ctx(g, w, opts);
   if (!json) {
@@ -322,6 +352,7 @@ int CmdWhy(int argc, char** argv) {
 
   ChaseResult result = SolveWithContext(ctx, *parsed);
 
+  if (sampler != nullptr) sampler->Stop();  // final sample before export
   if (!metrics_out.empty() &&
       !WriteFile(metrics_out,
                  obs::ExportMetricsJson(observability,
@@ -350,6 +381,10 @@ int CmdWhy(int argc, char** argv) {
       std::printf("Lineage:\n%s",
                   BuildDifferentialTable(ctx, a.ops).ToString(g).c_str());
     }
+    std::printf("\n");
+  }
+  if (explain) {
+    std::fputs(ChaseReport::ExplainText(ctx, result, *parsed).c_str(), stdout);
     std::printf("\n");
   }
   std::printf("steps=%llu evaluations=%llu elapsed=%.3fs termination=%s\n",
