@@ -1,134 +1,91 @@
-#include <algorithm>
-#include <unordered_set>
-
-#include "chase/next_op.h"
+#include "chase/engine.h"
 #include "chase/solve.h"
-#include "common/timer.h"
 
 namespace wqe {
 
 namespace {
 
-constexpr double kEps = 1e-9;
+/// Operator pool of AnsHeu (§5.5): per-class-capped picky queues, scored
+/// against the incumbent as it stood when the beam level STARTED — every node
+/// of a level expands against the same threshold.
+class AnsHeuOps : public engine::OperatorPolicy {
+ public:
+  AnsHeuOps(ChaseContext& ctx, size_t beam, Rng* random_ops)
+      : ctx_(ctx), beam_(beam), random_ops_(random_ops) {}
+
+  void BeginLevel(engine::ChaseState& state) override {
+    level_best_ = state.topk.BestCloseness();
+  }
+
+  void Expand(engine::Node& node, engine::ChaseState&) override {
+    GenerateOps(ctx_, node.chase, level_best_, /*per_class_cap=*/beam_,
+                random_ops_);
+  }
+
+ private:
+  ChaseContext& ctx_;
+  size_t beam_;
+  Rng* random_ops_;
+  double level_best_ = -1e18;
+};
+
+class AnsHeuAccept : public engine::AcceptPolicy {
+ public:
+  bool Offer(const engine::Judged& judged, const engine::Proposal&,
+             engine::ChaseState& state) override {
+    return state.topk.Offer(*judged.eval);
+  }
+};
+
+class AnsHeuStop : public engine::StopPolicy {
+ public:
+  /// Deadline first: a timed-out level can leave an empty beam behind, which
+  /// must not masquerade as exhaustive exploration.
+  TerminationReason Termination(const engine::ChaseState& state) override {
+    if (state.out_of_time) return TerminationReason::kDeadline;
+    if (state.exhausted) return TerminationReason::kExhausted;
+    return TerminationReason::kStepCap;
+  }
+};
 
 }  // namespace
 
 ChaseResult internal::RunAnsHeu(ChaseContext& ctx) {
   const ChaseOptions& opts = ctx.options();
   const size_t beam = std::max<size_t>(opts.beam, 1);
-  Timer timer;
   ChaseResult result;
   result.cl_star = ctx.cl_star();
 
   Rng rng(opts.seed);
   Rng* random_ops = opts.random_ops ? &rng : nullptr;
 
-  std::vector<WhyAnswer> answers;
-  auto offer = [&](const EvalResult& eval) {
-    if (!eval.satisfies_exemplar) return;
-    std::string fp = eval.query.Fingerprint();
-    for (const WhyAnswer& a : answers) {
-      if (a.fingerprint == fp) return;
-    }
-    WhyAnswer a;
-    a.rewrite = eval.query;
-    a.fingerprint = std::move(fp);
-    a.ops = eval.ops;
-    a.cost = eval.cost;
-    a.matches = eval.matches;
-    a.closeness = eval.cl;
-    a.satisfies_exemplar = true;
-    const double old_best = answers.empty() ? -1e18 : answers.front().closeness;
-    answers.push_back(std::move(a));
-    std::stable_sort(answers.begin(), answers.end(),
-                     [](const WhyAnswer& x, const WhyAnswer& y) {
-                       return x.closeness > y.closeness;
-                     });
-    if (answers.size() > std::max<size_t>(opts.top_k, 1)) {
-      answers.resize(std::max<size_t>(opts.top_k, 1));
-    }
-    if (!answers.empty() && answers.front().closeness > old_best + kEps) {
-      result.trace.push_back({timer.ElapsedSeconds(), answers.front().closeness,
-                              answers.front().matches});
-    }
-  };
+  AnsHeuOps ops(ctx, beam, random_ops);
+  engine::BeamFrontier frontier(&ops, beam);
+  AnsHeuAccept accept;
+  AnsHeuStop stop;
 
-  std::unordered_set<std::string> visited;
-  std::vector<std::shared_ptr<ChaseNode>> front;
-  auto root = std::make_shared<ChaseNode>();
-  root->eval = ctx.root();
-  visited.insert(root->eval->query.Fingerprint());
-  offer(*root->eval);
-  front.push_back(std::move(root));
+  engine::ChaseState state(&ctx.stats().steps, &ctx.stats().pruned);
+  state.topk.Configure(opts.top_k, /*update_cheaper_duplicate=*/false,
+                       /*cost_tiebreak=*/false);
 
-  while (!front.empty() && ctx.stats().steps < opts.max_steps &&
-         !opts.deadline.Expired()) {
-    std::vector<std::shared_ptr<ChaseNode>> children;
-    const double best_cl = answers.empty() ? -1e18 : answers.front().closeness;
+  engine::EngineConfig cfg;
+  cfg.opts = &opts;
+  cfg.frontier = &frontier;
+  cfg.accept = &accept;
+  cfg.stop = &stop;
+  cfg.evaluate = engine::ContextEval(ctx);
+  cfg.step_count = engine::StepCount::kAtPoll;
+  cfg.dedup = engine::DedupMode::kFirstVisit;
+  cfg.record_trace = true;
 
-    for (auto& node : front) {
-      GenerateOps(ctx, *node, best_cl, /*per_class_cap=*/beam, random_ops);
-      while (const ScoredOp* scored = node->Poll()) {
-        if (opts.deadline.Expired()) break;
-        ++ctx.stats().steps;
-        PatternQuery next_query = node->eval->query;
-        if (!Apply(scored->op, &next_query, opts.max_bound)) continue;
-        const std::string fp = next_query.Fingerprint();
-        if (!visited.insert(fp).second) continue;
-        OpSequence next_ops = node->eval->ops;
-        next_ops.Append(scored->op);
-        std::shared_ptr<EvalResult> eval;
-        try {
-          eval = ctx.Evaluate(next_query, std::move(next_ops));
-        } catch (const DeadlineExceeded&) {
-          break;  // keep this level's answers; the outer guard stops the beam
-        }
-        offer(*eval);
-        auto child = std::make_shared<ChaseNode>();
-        child->eval = std::move(eval);
-        children.push_back(std::move(child));
-      }
-    }
+  engine::Judged root{ctx.root(), nullptr};
+  engine::SeedRoot(cfg, state, root);
+  frontier.Seed(root);
 
-    // Beam eviction: keep the k most promising children. Rank by the cl⁺
-    // upper bound first — greedy eviction on raw closeness alone would
-    // discard relax-phase nodes (which trade immediate closeness for
-    // reachable relevant candidates) in favor of myopic refinements.
-    std::stable_sort(children.begin(), children.end(),
-                     [](const std::shared_ptr<ChaseNode>& a,
-                        const std::shared_ptr<ChaseNode>& b) {
-                       if (a->eval->cl_plus != b->eval->cl_plus) {
-                         return a->eval->cl_plus > b->eval->cl_plus;
-                       }
-                       return a->eval->cl > b->eval->cl;
-                     });
-    if (children.size() > beam) children.resize(beam);
-    front = std::move(children);
-  }
+  engine::Run(cfg, state);
 
-  result.answers = std::move(answers);
-  if (result.answers.empty()) {
-    WhyAnswer a;
-    a.rewrite = ctx.root()->query;
-    a.fingerprint = a.rewrite.Fingerprint();
-    a.ops = ctx.root()->ops;
-    a.cost = 0;
-    a.matches = ctx.root()->matches;
-    a.closeness = ctx.root()->cl;
-    a.satisfies_exemplar = ctx.root()->satisfies_exemplar;
-    result.answers.push_back(std::move(a));
-  }
-  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
-  // Deadline first: a timed-out level can leave an empty beam behind, which
-  // must not masquerade as exhaustive exploration.
-  if (opts.deadline.Expired()) {
-    ctx.stats().termination = TerminationReason::kDeadline;
-  } else if (front.empty()) {
-    ctx.stats().termination = TerminationReason::kExhausted;
-  } else {
-    ctx.stats().termination = TerminationReason::kStepCap;
-  }
-  result.stats = ctx.stats();
+  result.answers = state.topk.Take();
+  engine::Finalize(ctx, state, stop.Termination(state), &result);
   return result;
 }
 

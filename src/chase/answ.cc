@@ -1,206 +1,108 @@
-#include <algorithm>
-#include <memory>
-#include <queue>
-#include <unordered_map>
-
-#include "chase/next_op.h"
+#include "chase/engine.h"
 #include "chase/solve.h"
-#include "common/timer.h"
 
 namespace wqe {
 
 namespace {
 
-constexpr double kEps = 1e-9;
-
-struct NodeOrder {
-  bool operator()(const std::shared_ptr<ChaseNode>& a,
-                  const std::shared_ptr<ChaseNode>& b) const {
-    // Max-heap on closeness; cl⁺ breaks ties toward more promising subtrees.
-    if (a->eval->cl != b->eval->cl) return a->eval->cl < b->eval->cl;
-    return a->eval->cl_plus < b->eval->cl_plus;
-  }
-};
-
-// Maintains the top-k answers (§6.2), deduplicated by rewrite fingerprint.
-class TopK {
+/// Operator pool of AnsW (Fig 7): the full picky-ranked relax/refine queue,
+/// pruned against the current top-k incumbent, no per-class cap.
+class AnsWOps : public engine::OperatorPolicy {
  public:
-  explicit TopK(size_t k) : k_(std::max<size_t>(k, 1)) {}
+  AnsWOps(ChaseContext& ctx, Rng* random_ops)
+      : ctx_(ctx), random_ops_(random_ops) {}
 
-  /// Returns true when the best answer improved.
-  bool Offer(const EvalResult& eval) {
-    if (!eval.satisfies_exemplar) return false;
-    std::string fp = eval.query.Fingerprint();
-    for (WhyAnswer& a : answers_) {
-      if (a.fingerprint == fp) {
-        if (eval.cost < a.cost - kEps) {
-          a.ops = eval.ops;
-          a.cost = eval.cost;
-        }
-        return false;
-      }
-    }
-    WhyAnswer a;
-    a.rewrite = eval.query;
-    a.fingerprint = std::move(fp);
-    a.ops = eval.ops;
-    a.cost = eval.cost;
-    a.matches = eval.matches;
-    a.closeness = eval.cl;
-    a.satisfies_exemplar = true;
-    const double old_best = answers_.empty() ? -1e18 : answers_.front().closeness;
-    answers_.push_back(std::move(a));
-    std::stable_sort(answers_.begin(), answers_.end(),
-                     [](const WhyAnswer& x, const WhyAnswer& y) {
-                       if (x.closeness != y.closeness) {
-                         return x.closeness > y.closeness;
-                       }
-                       return x.cost < y.cost;
-                     });
-    if (answers_.size() > k_) answers_.resize(k_);
-    return !answers_.empty() && answers_.front().closeness > old_best + kEps;
+  void Expand(engine::Node& node, engine::ChaseState& state) override {
+    GenerateOps(ctx_, node.chase, state.topk.PruneThreshold(),
+                /*per_class_cap=*/0, random_ops_);
   }
-
-  /// cl(Q*_k): the pruning threshold — the k-th best closeness, or -inf
-  /// while fewer than k answers are known.
-  double PruneThreshold() const {
-    if (answers_.size() < k_) return -1e18;
-    return answers_.back().closeness;
-  }
-
-  double BestCloseness() const {
-    return answers_.empty() ? -1e18 : answers_.front().closeness;
-  }
-
-  const std::vector<NodeId>& BestMatches() const {
-    static const std::vector<NodeId> kEmpty;
-    return answers_.empty() ? kEmpty : answers_.front().matches;
-  }
-
-  std::vector<WhyAnswer> Take() { return std::move(answers_); }
 
  private:
-  size_t k_;
-  std::vector<WhyAnswer> answers_;
+  ChaseContext& ctx_;
+  Rng* random_ops_;
+};
+
+class AnsWAccept : public engine::AcceptPolicy {
+ public:
+  explicit AnsWAccept(const ChaseOptions& opts) : opts_(opts) {}
+
+  /// Prune (line 9, Lemma 5.5(2)): once refining, cl can only drop below
+  /// cl⁺; a subtree whose bound cannot beat the incumbent is dead.
+  bool ShouldPrune(const engine::Judged& judged, const engine::Proposal&,
+                   engine::ChaseState& state) override {
+    return opts_.use_pruning && judged.eval->refined &&
+           judged.eval->cl_plus <= state.topk.PruneThreshold() + engine::kEps;
+  }
+
+  bool Offer(const engine::Judged& judged, const engine::Proposal&,
+             engine::ChaseState& state) override {
+    return state.topk.Offer(*judged.eval);  // lines 10-12
+  }
+
+ private:
+  const ChaseOptions& opts_;
+};
+
+class AnsWStop : public engine::StopPolicy {
+ public:
+  AnsWStop(const ChaseOptions& opts, double cl_star)
+      : opts_(opts), cl_star_(cl_star) {}
+
+  /// Theoretical-optimal early termination (line 13).
+  bool AfterOffer(const engine::Judged&, const engine::Proposal&,
+                  engine::ChaseState& state) override {
+    if (opts_.use_pruning &&
+        state.topk.BestCloseness() >= cl_star_ - engine::kEps &&
+        opts_.top_k == 1) {
+      state.forced_termination = TerminationReason::kOptimal;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  const ChaseOptions& opts_;
+  double cl_star_;
 };
 
 }  // namespace
 
 ChaseResult internal::RunAnsW(ChaseContext& ctx) {
   const ChaseOptions& opts = ctx.options();
-  Timer timer;
   ChaseResult result;
   result.cl_star = ctx.cl_star();
 
-  TopK topk(opts.top_k);
   Rng rng(opts.seed);
   Rng* random_ops = opts.random_ops ? &rng : nullptr;
 
-  std::priority_queue<std::shared_ptr<ChaseNode>,
-                      std::vector<std::shared_ptr<ChaseNode>>, NodeOrder>
-      frontier;
-  // Cheapest cost at which each rewrite was reached; a revisit at equal or
-  // higher cost explores a subset of the cheaper visit's subtree.
-  std::unordered_map<std::string, double> visited;
+  AnsWOps ops(ctx, random_ops);
+  engine::BestFirstFrontier frontier(&ops);
+  AnsWAccept accept(opts);
+  AnsWStop stop(opts, ctx.cl_star());
 
-  auto root = std::make_shared<ChaseNode>();
-  root->eval = ctx.root();
-  visited[root->eval->query.Fingerprint()] = root->eval->cost;
-  if (topk.Offer(*root->eval)) {
-    result.trace.push_back(
-        {timer.ElapsedSeconds(), topk.BestCloseness(), topk.BestMatches()});
-  }
-  frontier.push(root);
+  engine::ChaseState state(&ctx.stats().steps, &ctx.stats().pruned);
+  state.topk.Configure(opts.top_k, /*update_cheaper_duplicate=*/true,
+                       /*cost_tiebreak=*/true);
 
-  bool optimal = false;
-  while (!frontier.empty() && ctx.stats().steps < opts.max_steps &&
-         !opts.deadline.Expired()) {
-    auto node = frontier.top();  // peek (line 5)
-    if (!node->ops_generated) {
-      GenerateOps(ctx, *node, topk.PruneThreshold(), /*per_class_cap=*/0,
-                  random_ops);
-    }
-    const ScoredOp* scored = node->Poll();  // NextOp (line 6)
-    if (scored == nullptr) {
-      frontier.pop();  // backtrack (line 7)
-      continue;
-    }
-    ++ctx.stats().steps;
+  engine::EngineConfig cfg;
+  cfg.opts = &opts;
+  cfg.frontier = &frontier;
+  cfg.accept = &accept;
+  cfg.stop = &stop;
+  cfg.evaluate = engine::ContextEval(ctx);
+  cfg.step_count = engine::StepCount::kAtPoll;
+  cfg.dedup = opts.dedup_rewrites ? engine::DedupMode::kCheapest
+                                  : engine::DedupMode::kOff;
+  cfg.record_trace = true;
 
-    // Simulate one Q-Chase step (line 8): Q' = Q ⊕ o.
-    PatternQuery next_query = node->eval->query;
-    if (!Apply(scored->op, &next_query, opts.max_bound)) continue;
-    OpSequence next_ops = node->eval->ops;
-    next_ops.Append(scored->op);
+  engine::Judged root{ctx.root(), nullptr};
+  engine::SeedRoot(cfg, state, root);
+  frontier.Push(root);
 
-    const std::string fp = next_query.Fingerprint();
-    const double next_cost = node->eval->cost + scored->cost;
-    if (opts.dedup_rewrites) {
-      auto seen = visited.find(fp);
-      if (seen != visited.end() && seen->second <= next_cost + kEps) continue;
-      visited[fp] = next_cost;
-    }
+  engine::Run(cfg, state);
 
-    std::shared_ptr<EvalResult> eval;
-    try {
-      eval = ctx.Evaluate(next_query, std::move(next_ops));
-    } catch (const DeadlineExceeded&) {
-      // The deadline fired inside star matching; the node stays on the
-      // frontier, so the epilogue below reports kDeadline with the top-k
-      // found so far (the anytime contract).
-      break;
-    }
-
-    // Prune (line 9, Lemma 5.5(2)): once refining, cl can only drop below
-    // cl⁺; a subtree whose bound cannot beat the incumbent is dead.
-    if (opts.use_pruning && eval->refined &&
-        eval->cl_plus <= topk.PruneThreshold() + kEps) {
-      ++ctx.stats().pruned;
-      continue;
-    }
-
-    if (topk.Offer(*eval)) {  // lines 10-12
-      result.trace.push_back(
-        {timer.ElapsedSeconds(), topk.BestCloseness(), topk.BestMatches()});
-    }
-
-    // Theoretical-optimal early termination (line 13).
-    if (opts.use_pruning && topk.BestCloseness() >= ctx.cl_star() - kEps &&
-        opts.top_k == 1) {
-      optimal = true;
-      break;
-    }
-
-    auto child = std::make_shared<ChaseNode>();
-    child->eval = std::move(eval);
-    frontier.push(std::move(child));  // line 14
-  }
-
-  result.answers = topk.Take();
-  if (result.answers.empty()) {
-    // Always report the original query as the (non-satisfying) fallback so
-    // callers can measure its closeness.
-    WhyAnswer a;
-    a.rewrite = ctx.root()->query;
-    a.fingerprint = a.rewrite.Fingerprint();
-    a.ops = ctx.root()->ops;
-    a.cost = 0;
-    a.matches = ctx.root()->matches;
-    a.closeness = ctx.root()->cl;
-    a.satisfies_exemplar = ctx.root()->satisfies_exemplar;
-    result.answers.push_back(std::move(a));
-  }
-  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
-  if (optimal) {
-    ctx.stats().termination = TerminationReason::kOptimal;
-  } else if (frontier.empty()) {
-    ctx.stats().termination = TerminationReason::kExhausted;
-  } else if (opts.deadline.Expired()) {
-    ctx.stats().termination = TerminationReason::kDeadline;
-  } else {
-    ctx.stats().termination = TerminationReason::kStepCap;
-  }
-  result.stats = ctx.stats();
+  result.answers = state.topk.Take();
+  engine::Finalize(ctx, state, stop.Termination(state), &result);
   return result;
 }
 

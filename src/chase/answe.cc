@@ -1,53 +1,56 @@
 #include <algorithm>
 #include <map>
+#include <string>
 
+#include "chase/diagnosis.h"
+#include "chase/engine.h"
 #include "chase/solve.h"
-#include "common/timer.h"
-#include "graph/bfs.h"
-#include "query/ops.h"
 
 namespace wqe {
 
 namespace {
 
-constexpr double kEps = 1e-9;
+/// Accepts the first verified repair: the rewrite actually gains a relevant
+/// match (repairs arrive cheapest-first from the ListFrontier).
+class AnsWEAccept : public engine::AcceptPolicy {
+ public:
+  bool Offer(const engine::Judged& judged, const engine::Proposal&,
+             engine::ChaseState&) override {
+    if (best_ == nullptr && !judged.eval->rel.rm.empty()) best_ = judged.eval;
+    return false;
+  }
 
-// Parent of each active node in the BFS tree of the pattern rooted at the
-// focus (kNoQNode for the focus itself), plus the connecting edge index.
-struct PatternTree {
-  std::vector<QNodeId> parent;
-  std::vector<int> parent_edge;
+  const std::shared_ptr<EvalResult>& best() const { return best_; }
+
+ private:
+  std::shared_ptr<EvalResult> best_;
 };
 
-PatternTree BuildTree(const PatternQuery& q) {
-  PatternTree tree;
-  tree.parent.assign(q.num_nodes(), kNoQNode);
-  tree.parent_edge.assign(q.num_nodes(), -1);
-  std::vector<bool> seen(q.num_nodes(), false);
-  std::vector<QNodeId> queue = {q.focus()};
-  seen[q.focus()] = true;
-  const auto active_edges = q.ActiveEdges();
-  for (size_t head = 0; head < queue.size(); ++head) {
-    const QNodeId u = queue[head];
-    for (size_t ei : active_edges) {
-      const QueryEdge& e = q.edge(ei);
-      QNodeId other = kNoQNode;
-      if (e.from == u) other = e.to;
-      if (e.to == u) other = e.from;
-      if (other == kNoQNode || seen[other]) continue;
-      seen[other] = true;
-      tree.parent[other] = u;
-      tree.parent_edge[other] = static_cast<int>(ei);
-      queue.push_back(other);
-    }
+class AnsWEStop : public engine::StopPolicy {
+ public:
+  explicit AnsWEStop(const AnsWEAccept& accept) : accept_(accept) {}
+
+  bool AfterOffer(const engine::Judged&, const engine::Proposal&,
+                  engine::ChaseState&) override {
+    return accept_.best() != nullptr;
   }
-  return tree;
-}
+
+  /// The diagnosis is exhaustive over the (capped) relevant candidates; an
+  /// empty answer means every repair's removal set exceeded the budget B —
+  /// unless the clock cut verification short.
+  TerminationReason Termination(const engine::ChaseState& state) override {
+    if (state.out_of_time) return TerminationReason::kDeadline;
+    return accept_.best() != nullptr ? TerminationReason::kExhausted
+                                     : TerminationReason::kBudget;
+  }
+
+ private:
+  const AnsWEAccept& accept_;
+};
 
 }  // namespace
 
 ChaseResult internal::RunAnsWE(ChaseContext& ctx) {
-  Timer timer;
   const ChaseOptions& opts = ctx.options();
   const Graph& g = ctx.graph();
   ChaseResult result;
@@ -55,167 +58,70 @@ ChaseResult internal::RunAnsWE(ChaseContext& ctx) {
 
   auto root = ctx.root();
   const PatternQuery& q = root->query;
-  const QNodeId focus = q.focus();
-  const PatternTree tree = BuildTree(q);
+  const diagnosis::PatternTree tree = diagnosis::BuildTree(q);
   BoundedBfs bfs(g);
 
   struct Repair {
-    NodeId candidate;
-    double cost;
+    double cost = 0;
     std::vector<Op> ops;
   };
   std::vector<Repair> repairs;
 
   // Every relevant candidate (all rep nodes are non-matches for a Why-Empty
-  // question) gets its failed atomic conditions diagnosed.
+  // question) gets its failed atomic conditions diagnosed; conditions whose
+  // repairs coincide (same kind/endpoints/attribute) collapse to one op.
   std::vector<NodeId> rcs = root->rel.rc;
   if (rcs.size() > opts.max_diagnosed_nodes) rcs.resize(opts.max_diagnosed_nodes);
 
   for (NodeId v : rcs) {
     Repair repair;
-    repair.candidate = v;
-    repair.cost = 0;
     std::map<std::string, bool> dedup;
-    std::vector<bool> detached(q.num_nodes(), false);
-
-    auto add_op = [&](Op op) {
-      const std::string key = std::to_string(static_cast<int>(op.kind)) + "/" +
-                              std::to_string(op.u) + "/" + std::to_string(op.v) +
-                              "/" + std::to_string(op.lit.attr) + "/" +
-                              std::to_string(static_cast<int>(op.lit.op));
-      if (dedup.count(key)) return;
+    for (diagnosis::Failure& f :
+         diagnosis::DiagnoseRemovals(g, bfs, q, tree, v)) {
+      const std::string key = f.repair.DedupKey();
+      if (dedup.count(key)) continue;
       dedup[key] = true;
-      repair.cost += ctx.OpCostOf(op);
-      repair.ops.push_back(std::move(op));
-    };
-
-    // Fragment type (1): literals at the focus.
-    for (const Literal& lit : q.node(focus).literals) {
-      if (lit.Matches(g, v)) continue;
-      Op op;
-      op.kind = OpKind::kRmL;
-      op.u = focus;
-      op.lit = lit;
-      add_op(std::move(op));
+      repair.cost += ctx.OpCostOf(f.repair);
+      repair.ops.push_back(std::move(f.repair));
     }
-
-    // Fragment types (2) and (3): one anchored edge per non-focus node plus
-    // per-literal copies. Process in BFS order so detachment propagates.
-    for (QNodeId u = 0; u < q.num_nodes(); ++u) {
-      if (u == focus || tree.parent_edge[u] < 0) continue;
-      if (detached[tree.parent[u]] || detached[u]) {
-        detached[u] = true;
-        continue;
-      }
-      const uint32_t qd = q.QueryDistance(focus, u);
-      if (qd == PatternQuery::kNoQueryDist) continue;
-
-      bool label_reachable = false;
-      std::vector<NodeId> reachable_labeled;
-      bfs.Undirected(v, qd, [&](NodeId w, uint32_t) {
-        if (w == v) return;
-        const QueryNode& qn = q.node(u);
-        if (qn.label == kWildcardSymbol || g.label(w) == qn.label) {
-          label_reachable = true;
-          reachable_labeled.push_back(w);
-        }
-      });
-
-      if (!label_reachable) {
-        // Atomic condition "u is reachable" fails: cut u's anchor edge
-        // (detaching its whole subtree).
-        const QueryEdge& e = q.edge(static_cast<size_t>(tree.parent_edge[u]));
-        Op op;
-        op.kind = OpKind::kRmE;
-        op.u = e.from;
-        op.v = e.to;
-        op.bound = e.bound;
-        add_op(std::move(op));
-        detached[u] = true;
-        continue;
-      }
-      // Per-literal fragments of u.
-      for (const Literal& lit : q.node(u).literals) {
-        bool satisfied = false;
-        for (NodeId w : reachable_labeled) {
-          if (lit.Matches(g, w)) {
-            satisfied = true;
-            break;
-          }
-        }
-        if (satisfied) continue;
-        Op op;
-        op.kind = OpKind::kRmL;
-        op.u = u;
-        op.lit = lit;
-        add_op(std::move(op));
-      }
+    if (engine::WithinBudget(repair.cost, opts.budget)) {
+      repairs.push_back(std::move(repair));
     }
-
-    if (repair.cost <= opts.budget + kEps) repairs.push_back(std::move(repair));
   }
 
-  std::stable_sort(repairs.begin(), repairs.end(),
-                   [](const Repair& a, const Repair& b) { return a.cost < b.cost; });
+  std::stable_sort(
+      repairs.begin(), repairs.end(),
+      [](const Repair& a, const Repair& b) { return a.cost < b.cost; });
 
-  // Verify repairs cheapest-first; the first whose rewrite actually gains a
-  // relevant match is the answer.
+  // Verify repairs cheapest-first, at most kMaxVerify of them.
   constexpr size_t kMaxVerify = 20;
-  std::shared_ptr<EvalResult> best;
-  bool out_of_time = false;
+  std::vector<engine::ListFrontier::Candidate> candidates;
   for (size_t i = 0; i < repairs.size() && i < kMaxVerify; ++i) {
-    PatternQuery rewritten = q;
-    OpSequence ops;
-    bool applied = true;
-    for (const Op& op : repairs[i].ops) {
-      if (!Apply(op, &rewritten, opts.max_bound)) {
-        applied = false;
-        break;
-      }
-      ops.Append(op);
-    }
-    if (!applied) continue;
-    ++ctx.stats().steps;
-    std::shared_ptr<EvalResult> eval;
-    try {
-      eval = ctx.Evaluate(rewritten, std::move(ops));
-    } catch (const DeadlineExceeded&) {
-      out_of_time = true;  // cheaper repairs were already verified
-      break;
-    }
-    if (!eval->rel.rm.empty()) {
-      best = eval;
-      break;
-    }
+    engine::ListFrontier::Candidate c;
+    c.ops = std::move(repairs[i].ops);
+    c.cost = repairs[i].cost;
+    candidates.push_back(std::move(c));
   }
 
-  WhyAnswer a;
-  if (best != nullptr) {
-    a.rewrite = best->query;
-    a.ops = best->ops;
-    a.cost = best->cost;
-    a.matches = best->matches;
-    a.closeness = best->cl;
-    a.satisfies_exemplar = best->satisfies_exemplar;
-  } else {
-    a.rewrite = root->query;
-    a.matches = root->matches;
-    a.closeness = root->cl;
-    a.satisfies_exemplar = root->satisfies_exemplar;
+  engine::ListFrontier frontier(&q, std::move(candidates));
+  AnsWEAccept accept;
+  AnsWEStop stop(accept);
+  engine::ChaseState state(&ctx.stats().steps, &ctx.stats().pruned);
+
+  engine::EngineConfig cfg;
+  cfg.opts = &opts;
+  cfg.frontier = &frontier;
+  cfg.accept = &accept;
+  cfg.stop = &stop;
+  cfg.evaluate = engine::ContextEval(ctx);
+  cfg.step_count = engine::StepCount::kAtEvaluate;
+
+  engine::Run(cfg, state);
+
+  if (accept.best() != nullptr) {
+    result.answers.push_back(engine::MakeAnswer(*accept.best()));
   }
-  a.fingerprint = a.rewrite.Fingerprint();
-  result.answers.push_back(std::move(a));
-  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
-  // The diagnosis is exhaustive over the (capped) relevant candidates; an
-  // empty answer means every repair's removal set exceeded the budget B —
-  // unless the clock cut verification short.
-  if (out_of_time) {
-    ctx.stats().termination = TerminationReason::kDeadline;
-  } else {
-    ctx.stats().termination = best != nullptr ? TerminationReason::kExhausted
-                                              : TerminationReason::kBudget;
-  }
-  result.stats = ctx.stats();
+  engine::Finalize(ctx, state, stop.Termination(state), &result);
   return result;
 }
 

@@ -2,9 +2,9 @@
 #include <map>
 #include <set>
 
+#include "chase/engine.h"
 #include "chase/picky_refine.h"
 #include "chase/solve.h"
-#include "common/timer.h"
 #include "graph/bfs.h"
 #include "query/ops.h"
 
@@ -12,7 +12,6 @@ namespace wqe {
 
 namespace {
 
-constexpr double kEps = 1e-9;
 constexpr size_t kMaxSeeds = 64;
 
 // SeedRf (Appendix C): local picky refinements plus AddE operators to fresh
@@ -74,121 +73,151 @@ std::vector<ScoredOp> SeedRf(ChaseContext& ctx, const EvalResult& root) {
   return seeds;
 }
 
+/// Fig 9's two proposal streams. Phase 0 (O_2, lines 3/9): each seed applied
+/// alone to Q_o. Phase 1 (O_1, lines 4-8): greedy rounds — scan every unused
+/// seed that fits the leftover budget against the walk's current rewrite,
+/// commit the best marginal gain per cost at round end, repeat. The commit
+/// happens inside Next() when a round's scan is complete, so a deadline that
+/// fires mid-scan (the engine breaks before calling Next again) never acts on
+/// a partial scan: answers must not depend on where the clock fired.
+class CoverageFrontier : public engine::FrontierPolicy {
+ public:
+  CoverageFrontier(ChaseContext& ctx, std::shared_ptr<EvalResult> root,
+                   std::vector<ScoredOp> seeds)
+      : ctx_(ctx),
+        root_(std::move(root)),
+        cur_(root_),
+        seeds_(std::move(seeds)),
+        used_(seeds_.size(), false) {}
+
+  bool Next(engine::ChaseState& state, engine::Proposal* out) override {
+    const double budget = ctx_.options().budget;
+    while (phase_ == 0) {
+      if (scan_ >= seeds_.size()) {
+        phase_ = 1;
+        scan_ = 0;
+        break;
+      }
+      const size_t i = scan_++;
+      if (!engine::WithinBudget(seeds_[i].cost, budget)) continue;
+      Emit(*root_, i, /*phase=*/0, out);
+      return true;
+    }
+    while (true) {
+      if (scan_ >= seeds_.size()) {
+        // Round complete: commit the best marginal gain, if any.
+        if (round_best_i_ < 0) {
+          // Every remaining seed exceeds the leftover budget (or no longer
+          // applies) — the coverage walk was cut short by B, not converged.
+          state.forced_termination = TerminationReason::kBudget;
+          return false;
+        }
+        if (round_best_ratio_ <= 0) return false;  // converged
+        used_[static_cast<size_t>(round_best_i_)] = true;
+        spent_ += seeds_[static_cast<size_t>(round_best_i_)].cost;
+        cur_ = round_best_eval_;
+        state.Consider(cur_);
+        scan_ = 0;
+        round_best_i_ = -1;
+        round_best_ratio_ = 0;
+        round_best_eval_ = nullptr;
+        continue;
+      }
+      const size_t i = scan_++;
+      if (used_[i]) continue;
+      if (!engine::WithinBudget(spent_ + seeds_[i].cost, budget)) continue;
+      Emit(*cur_, i, /*phase=*/1, out);
+      return true;
+    }
+  }
+
+  void Absorb(engine::Judged judged, const engine::Proposal& prop,
+              engine::ChaseState&) override {
+    if (prop.phase != 1) return;
+    const double ratio =
+        (judged.eval->cl - cur_->cl) / seeds_[static_cast<size_t>(prop.tag)].cost;
+    if (round_best_i_ < 0 || ratio > round_best_ratio_ + engine::kEps) {
+      round_best_i_ = static_cast<int>(prop.tag);
+      round_best_ratio_ = ratio;
+      round_best_eval_ = judged.eval;
+    }
+  }
+
+ private:
+  void Emit(const EvalResult& base, size_t i, int phase,
+            engine::Proposal* out) {
+    out->base_query = &base.query;
+    out->base_ops = &base.ops;
+    out->ops.assign(1, seeds_[i].op);
+    out->cost = seeds_[i].cost;
+    out->phase = phase;
+    out->tag = static_cast<int64_t>(i);
+  }
+
+  ChaseContext& ctx_;
+  std::shared_ptr<EvalResult> root_;
+  std::shared_ptr<EvalResult> cur_;  // the greedy walk's current rewrite
+  std::vector<ScoredOp> seeds_;
+  std::vector<bool> used_;
+  double spent_ = 0;
+  int phase_ = 0;
+  size_t scan_ = 0;
+  int round_best_i_ = -1;
+  double round_best_ratio_ = 0;
+  std::shared_ptr<EvalResult> round_best_eval_;
+};
+
+/// Only O_2 rewrites compete directly; an O_1 scan's evaluations count only
+/// once committed (the frontier considers the committed rewrite itself).
+class ApxAccept : public engine::AcceptPolicy {
+ public:
+  bool Offer(const engine::Judged& judged, const engine::Proposal& prop,
+             engine::ChaseState& state) override {
+    if (prop.phase == 0) state.Consider(judged.eval);
+    return false;
+  }
+};
+
+class ApxStop : public engine::StopPolicy {
+ public:
+  TerminationReason Termination(const engine::ChaseState& state) override {
+    if (state.out_of_time) return TerminationReason::kDeadline;
+    return state.forced_termination.value_or(TerminationReason::kExhausted);
+  }
+};
+
 }  // namespace
 
 ChaseResult internal::RunApxWhyM(ChaseContext& ctx) {
-  Timer timer;
   const ChaseOptions& opts = ctx.options();
   ChaseResult result;
   result.cl_star = ctx.cl_star();
 
+  engine::ChaseState state(&ctx.stats().steps, &ctx.stats().pruned);
   auto root = ctx.root();
-  std::vector<ScoredOp> seeds = SeedRf(ctx, *root);
-
-  auto make_answer = [&](const EvalResult& eval) {
-    WhyAnswer a;
-    a.rewrite = eval.query;
-    a.fingerprint = a.rewrite.Fingerprint();
-    a.ops = eval.ops;
-    a.cost = eval.cost;
-    a.matches = eval.matches;
-    a.closeness = eval.cl;
-    a.satisfies_exemplar = eval.satisfies_exemplar;
-    return a;
-  };
-
   // Best answer seen anywhere in the procedure. A Why-Many answer must keep
   // Q'(G) ⊨ ℰ; satisfying rewrites take precedence, with the best-closeness
   // non-satisfying rewrite as a diagnostic fallback.
-  std::shared_ptr<EvalResult> best_sat = root->satisfies_exemplar ? root : nullptr;
-  std::shared_ptr<EvalResult> best_any = root;
-  auto consider = [&](const std::shared_ptr<EvalResult>& eval) {
-    if (eval->cl > best_any->cl + kEps) best_any = eval;
-    if (eval->satisfies_exemplar &&
-        (best_sat == nullptr || eval->cl > best_sat->cl + kEps)) {
-      best_sat = eval;
-    }
-  };
-  consider(root);
+  state.Consider(root);
 
-  // O_2: best single operator (lines 3, 9 of Fig 9).
-  bool out_of_time = false;
-  for (const ScoredOp& so : seeds) {
-    if (so.cost > opts.budget + kEps) continue;
-    PatternQuery q = root->query;
-    if (!Apply(so.op, &q, opts.max_bound)) continue;
-    OpSequence ops;
-    ops.Append(so.op);
-    ++ctx.stats().steps;
-    try {
-      consider(ctx.Evaluate(q, std::move(ops)));
-    } catch (const DeadlineExceeded&) {
-      out_of_time = true;  // anytime: keep the best rewrite seen so far
-      break;
-    }
-  }
+  CoverageFrontier frontier(ctx, root, SeedRf(ctx, *root));
+  ApxAccept accept;
+  ApxStop stop;
 
-  // O_1: greedy marginal-gain-per-cost selection (lines 4-8).
-  std::vector<bool> used(seeds.size(), false);
-  auto cur = root;
-  double spent = 0;
-  TerminationReason termination =
-      out_of_time ? TerminationReason::kDeadline : TerminationReason::kExhausted;
-  while (!out_of_time) {
-    int best_i = -1;
-    double best_ratio = 0;
-    std::shared_ptr<EvalResult> best_eval;
-    for (size_t i = 0; i < seeds.size(); ++i) {
-      if (used[i]) continue;
-      if (spent + seeds[i].cost > opts.budget + kEps) continue;
-      PatternQuery q = cur->query;
-      if (!Apply(seeds[i].op, &q, opts.max_bound)) continue;
-      OpSequence ops = cur->ops;
-      ops.Append(seeds[i].op);
-      ++ctx.stats().steps;
-      std::shared_ptr<EvalResult> eval;
-      try {
-        eval = ctx.Evaluate(q, std::move(ops));
-      } catch (const DeadlineExceeded&) {
-        out_of_time = true;
-        break;
-      }
-      const double ratio = (eval->cl - cur->cl) / seeds[i].cost;
-      if (best_i < 0 || ratio > best_ratio + kEps) {
-        best_i = static_cast<int>(i);
-        best_ratio = ratio;
-        best_eval = eval;
-      }
-    }
-    if (out_of_time) {
-      // A partial marginal-gain scan must not be acted on: committing to the
-      // best of half the seeds would make answers depend on where the clock
-      // fired. Report deadline with the walk's current rewrite.
-      termination = TerminationReason::kDeadline;
-      break;
-    }
-    if (best_i < 0) {
-      // Every remaining seed exceeds the leftover budget (or no longer
-      // applies) — the coverage walk was cut short by B, not converged.
-      termination = TerminationReason::kBudget;
-      break;
-    }
-    if (best_ratio <= 0) break;  // converged: no seed improves closeness
-    used[static_cast<size_t>(best_i)] = true;
-    spent += seeds[static_cast<size_t>(best_i)].cost;
-    cur = best_eval;
-    consider(cur);
-    if (opts.deadline.Expired()) {
-      termination = TerminationReason::kDeadline;
-      break;
-    }
-  }
+  engine::EngineConfig cfg;
+  cfg.opts = &opts;
+  cfg.frontier = &frontier;
+  cfg.accept = &accept;
+  cfg.stop = &stop;
+  cfg.evaluate = engine::ContextEval(ctx);
+  cfg.step_count = engine::StepCount::kAtEvaluate;
 
-  result.answers.push_back(
-      make_answer(best_sat != nullptr ? *best_sat : *best_any));
-  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
-  ctx.stats().termination = termination;
-  result.stats = ctx.stats();
+  engine::Run(cfg, state);
+
+  const std::shared_ptr<EvalResult>& chosen =
+      state.best_sat != nullptr ? state.best_sat : state.best_any;
+  result.answers.push_back(engine::MakeAnswer(*chosen));
+  engine::Finalize(ctx, state, stop.Termination(state), &result);
   return result;
 }
 

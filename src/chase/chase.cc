@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "chase/engine.h"
+
 namespace wqe {
 
 namespace {
@@ -128,7 +130,7 @@ bool QChase::IsTerminal(const ChaseState& state) {
   node.eval = eval;
   GenerateOps(ctx_, node, /*best_cl=*/-1e18, /*per_class_cap=*/0, nullptr);
   while (const ScoredOp* so = node.Poll()) {
-    if (state.cost + so->cost <= ctx_.options().budget + 1e-9) {
+    if (engine::WithinBudget(state.cost + so->cost, ctx_.options().budget)) {
       if (Step(state, so->op).has_value()) return false;
     }
   }
@@ -161,7 +163,7 @@ void ExhaustiveDfs(ChaseContext& ctx, const std::shared_ptr<EvalResult>& cur,
     // Revisit a rewrite only when reached more cheaply: the cheaper visit's
     // subtree strictly contains the pricier one's.
     auto seen = visited.find(fp);
-    if (seen != visited.end() && seen->second <= cost + 1e-9) continue;
+    if (seen != visited.end() && seen->second <= cost + engine::kEps) continue;
     visited[fp] = cost;
     OpSequence ops = cur->ops;
     ops.Append(so->op);

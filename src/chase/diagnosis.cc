@@ -1,0 +1,109 @@
+#include "chase/diagnosis.h"
+
+namespace wqe::diagnosis {
+
+PatternTree BuildTree(const PatternQuery& q) {
+  PatternTree tree;
+  tree.parent.assign(q.num_nodes(), kNoQNode);
+  tree.parent_edge.assign(q.num_nodes(), -1);
+  std::vector<bool> seen(q.num_nodes(), false);
+  std::vector<QNodeId> queue = {q.focus()};
+  seen[q.focus()] = true;
+  const auto active_edges = q.ActiveEdges();
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const QNodeId u = queue[head];
+    for (size_t ei : active_edges) {
+      const QueryEdge& e = q.edge(ei);
+      QNodeId other = kNoQNode;
+      if (e.from == u) other = e.to;
+      if (e.to == u) other = e.from;
+      if (other == kNoQNode || seen[other]) continue;
+      seen[other] = true;
+      tree.parent[other] = u;
+      tree.parent_edge[other] = static_cast<int>(ei);
+      queue.push_back(other);
+    }
+  }
+  return tree;
+}
+
+std::vector<Failure> DiagnoseRemovals(const Graph& g, BoundedBfs& bfs,
+                                      const PatternQuery& q,
+                                      const PatternTree& tree, NodeId entity) {
+  const QNodeId focus = q.focus();
+  std::vector<Failure> failures;
+  std::vector<bool> detached(q.num_nodes(), false);
+
+  // Fragment type (1): literals at the focus.
+  for (const Literal& lit : q.node(focus).literals) {
+    if (lit.Matches(g, entity)) continue;
+    Failure f;
+    f.kind = Failure::Kind::kFocusLiteral;
+    f.node = focus;
+    f.literal = lit;
+    f.repair.kind = OpKind::kRmL;
+    f.repair.u = focus;
+    f.repair.lit = lit;
+    failures.push_back(std::move(f));
+  }
+
+  // Fragment types (2) and (3): one anchored edge per non-focus node plus
+  // per-literal copies. Process in BFS order so detachment propagates.
+  for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+    if (u == focus || tree.parent_edge[u] < 0) continue;
+    if (detached[tree.parent[u]] || detached[u]) {
+      detached[u] = true;
+      continue;
+    }
+    const uint32_t qd = q.QueryDistance(focus, u);
+    if (qd == PatternQuery::kNoQueryDist) continue;
+
+    std::vector<NodeId> reachable_labeled;
+    bfs.Undirected(entity, qd, [&](NodeId w, uint32_t) {
+      if (w == entity) return;
+      const QueryNode& qn = q.node(u);
+      if (qn.label == kWildcardSymbol || g.label(w) == qn.label) {
+        reachable_labeled.push_back(w);
+      }
+    });
+
+    if (reachable_labeled.empty()) {
+      // Atomic condition "u is reachable" fails: cut u's anchor edge
+      // (detaching its whole subtree).
+      const QueryEdge& e = q.edge(static_cast<size_t>(tree.parent_edge[u]));
+      Failure f;
+      f.kind = Failure::Kind::kUnreachable;
+      f.node = u;
+      f.hops = qd;
+      f.repair.kind = OpKind::kRmE;
+      f.repair.u = e.from;
+      f.repair.v = e.to;
+      f.repair.bound = e.bound;
+      failures.push_back(std::move(f));
+      detached[u] = true;
+      continue;
+    }
+    // Per-literal fragments of u.
+    for (const Literal& lit : q.node(u).literals) {
+      bool satisfied = false;
+      for (NodeId w : reachable_labeled) {
+        if (lit.Matches(g, w)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      Failure f;
+      f.kind = Failure::Kind::kLiteralUnsat;
+      f.node = u;
+      f.literal = lit;
+      f.repair.kind = OpKind::kRmL;
+      f.repair.u = u;
+      f.repair.lit = lit;
+      failures.push_back(std::move(f));
+    }
+  }
+  return failures;
+}
+
+}  // namespace wqe::diagnosis

@@ -1,0 +1,49 @@
+#ifndef WQE_CHASE_DIAGNOSIS_H_
+#define WQE_CHASE_DIAGNOSIS_H_
+
+#include <vector>
+
+#include "graph/bfs.h"
+#include "query/ops.h"
+#include "query/query.h"
+
+namespace wqe::diagnosis {
+
+/// BFS tree of the active pattern rooted at the focus: parent of each active
+/// node (kNoQNode for the focus itself) plus the connecting edge index.
+struct PatternTree {
+  std::vector<QNodeId> parent;
+  std::vector<int> parent_edge;
+};
+
+PatternTree BuildTree(const PatternQuery& q);
+
+/// One failed atomic condition of an entity against the pattern, with the
+/// removal operator that repairs it (the Lemma 6.2 fragment decomposition).
+struct Failure {
+  enum class Kind {
+    kFocusLiteral,  // a literal at the focus rejects the entity
+    kUnreachable,   // no correctly-labeled node within the pattern distance
+    kLiteralUnsat,  // reachable labeled nodes exist, but none satisfies `literal`
+  };
+  Kind kind = Kind::kFocusLiteral;
+  QNodeId node = 0;     // the pattern node the condition anchors to
+  Literal literal;      // kFocusLiteral / kLiteralUnsat
+  uint32_t hops = 0;    // kUnreachable: the pattern distance that failed
+  Op repair;            // the removal operator repairing this condition
+};
+
+/// Diagnoses why `entity` fails to match the focus of `q`: focus literals
+/// first (fragment type 1), then per non-focus node in id order the anchored
+/// label-reachability and per-literal satisfiability fragments (types 2/3),
+/// with detachment propagating down the BFS tree — an unreachable node's
+/// subtree is skipped, its conditions subsumed by the edge removal. The
+/// emission order is deterministic and shared verbatim by the Why-Empty
+/// repair builder and the Why-Not explainer.
+std::vector<Failure> DiagnoseRemovals(const Graph& g, BoundedBfs& bfs,
+                                      const PatternQuery& q,
+                                      const PatternTree& tree, NodeId entity);
+
+}  // namespace wqe::diagnosis
+
+#endif  // WQE_CHASE_DIAGNOSIS_H_

@@ -1,10 +1,10 @@
 #include <algorithm>
 #include <map>
-#include <optional>
 #include <set>
+#include <vector>
 
+#include "chase/engine.h"
 #include "chase/solve.h"
-#include "common/timer.h"
 #include "match/matcher.h"
 #include "query/ops.h"
 
@@ -12,7 +12,6 @@ namespace wqe {
 
 namespace {
 
-constexpr double kEps = 1e-9;
 constexpr size_t kMaxFeatures = 32;
 constexpr size_t kMaxEvaluations = 2500;
 constexpr size_t kMaxMinedNodes = 300;
@@ -22,23 +21,147 @@ struct Feature {
   Op op;
 };
 
-// A mined candidate pattern: a star query assembled from features, with its
-// support evaluated against G (the expensive part of pattern mining: support
-// counting *is* query evaluation).
-struct MinedCandidate {
-  std::vector<size_t> feature_ids;
-  PatternQuery query;
-  OpSequence ops;
-  double cost = 0;
-  std::vector<NodeId> matches;
-  double cl = 0;
-  bool satisfies = false;
+/// Apriori-style level-wise lattice over feature subsets: level-k patterns
+/// extend frequent level-(k-1) patterns by one feature; support of each
+/// candidate pattern is counted by evaluating it (the expensive part of
+/// pattern mining: support counting *is* query evaluation). No apriori
+/// support pruning: removal features break anti-monotonicity (an empty
+/// pattern can regain matches when a literal is dropped), so every applicable
+/// pattern stays expandable.
+class LatticeFrontier : public engine::FrontierPolicy {
+ public:
+  LatticeFrontier(ChaseContext& ctx, const PatternQuery* base_query,
+                  const std::vector<Feature>& features, size_t max_level)
+      : ctx_(ctx),
+        base_query_(base_query),
+        features_(features),
+        max_level_(max_level) {}
+
+  bool Next(engine::ChaseState&, engine::Proposal* out) override {
+    while (true) {
+      if (level_ == 1) {
+        if (cursor_ < features_.size()) {
+          return Emit({cursor_++}, out);
+        }
+        if (!RollOver()) return false;
+        continue;
+      }
+      if (parent_ >= frontier_.size()) {
+        if (!RollOver()) return false;
+        continue;
+      }
+      const Mined& parent = frontier_[parent_];
+      if (cursor_ >= features_.size()) {
+        ++parent_;
+        cursor_ = 0;
+        continue;
+      }
+      const size_t i = cursor_++;
+      if (std::find(parent.ids.begin(), parent.ids.end(), i) !=
+          parent.ids.end()) {
+        continue;
+      }
+      std::vector<size_t> ids = parent.ids;
+      ids.push_back(i);
+      std::sort(ids.begin(), ids.end());
+      // Claimed at propose time: an extension reachable from two parents is
+      // evaluated once, whether or not it survives.
+      if (!enumerated_.insert(ids).second) continue;
+      return Emit(std::move(ids), out);
+    }
+  }
+
+  void Absorb(engine::Judged judged, const engine::Proposal&,
+              engine::ChaseState&) override {
+    if (level_ == 1) enumerated_.insert(pending_ids_);
+    std::vector<Mined>& sink = level_ == 1 ? frontier_ : next_;
+    sink.push_back({pending_ids_, judged.eval->cl});
+  }
+
+ private:
+  struct Mined {
+    std::vector<size_t> ids;
+    double cl = 0;
+  };
+
+  bool Emit(std::vector<size_t> ids, engine::Proposal* out) {
+    out->base_query = base_query_;
+    out->ops.clear();
+    out->cost = 0;
+    for (size_t i : ids) {
+      out->ops.push_back(features_[i].op);
+      out->cost += ctx_.OpCostOf(features_[i].op);
+    }
+    pending_ids_ = std::move(ids);
+    return true;
+  }
+
+  /// Advances to the next level: survivors ranked by closeness, the best
+  /// kBeamPerLevel expanded. False when the (bounded) lattice is done.
+  bool RollOver() {
+    if (level_ > 1) {
+      frontier_ = std::move(next_);
+      next_.clear();
+      if (frontier_.empty()) return false;
+    }
+    ++level_;
+    if (level_ > max_level_) return false;
+    std::stable_sort(
+        frontier_.begin(), frontier_.end(),
+        [](const Mined& a, const Mined& b) { return a.cl > b.cl; });
+    if (frontier_.size() > kBeamPerLevel) frontier_.resize(kBeamPerLevel);
+    if (frontier_.empty()) return false;
+    parent_ = 0;
+    cursor_ = 0;
+    return true;
+  }
+
+  ChaseContext& ctx_;
+  const PatternQuery* base_query_;
+  const std::vector<Feature>& features_;
+  size_t max_level_;
+  size_t level_ = 1;
+  size_t cursor_ = 0;
+  size_t parent_ = 0;
+  std::vector<Mined> frontier_;
+  std::vector<Mined> next_;
+  std::set<std::vector<size_t>> enumerated_;
+  std::vector<size_t> pending_ids_;
+};
+
+/// Every evaluated pattern competes for the best-seen / best-Σ-consistent
+/// incumbents; nothing else is kept.
+class FMAccept : public engine::AcceptPolicy {
+ public:
+  bool Offer(const engine::Judged& judged, const engine::Proposal&,
+             engine::ChaseState& state) override {
+    state.Consider(judged.eval);
+    return false;
+  }
+};
+
+class FMStop : public engine::StopPolicy {
+ public:
+  explicit FMStop(const size_t* evaluations) : evaluations_(evaluations) {}
+
+  bool Done(const engine::ChaseState&) override {
+    return *evaluations_ >= kMaxEvaluations;
+  }
+
+  TerminationReason Termination(const engine::ChaseState& state) override {
+    if (state.out_of_time) return TerminationReason::kDeadline;
+    if (*evaluations_ >= kMaxEvaluations) return TerminationReason::kStepCap;
+    // The bounded feature lattice was enumerated completely within B.
+    return TerminationReason::kExhausted;
+  }
+
+ private:
+  const size_t* evaluations_;
 };
 
 }  // namespace
 
 ChaseResult internal::RunFMAnsW(ChaseContext& ctx) {
-  Timer timer;
   const ChaseOptions& opts = ctx.options();
   const Graph& g = ctx.graph();
   ChaseResult result;
@@ -112,116 +235,52 @@ ChaseResult internal::RunFMAnsW(ChaseContext& ctx) {
   }
 
   size_t evaluations = 0;
-  auto evaluate = [&](std::vector<size_t> ids) -> std::optional<MinedCandidate> {
-    MinedCandidate cand;
-    cand.feature_ids = std::move(ids);
-    cand.query = base_query;
-    for (size_t i : cand.feature_ids) {
-      cand.cost += ctx.OpCostOf(features[i].op);
-      if (cand.cost > opts.budget + kEps ||
-          !Apply(features[i].op, &cand.query, opts.max_bound)) {
-        return std::nullopt;
-      }
-      cand.ops.Append(features[i].op);
-    }
-    ++evaluations;
-    ++ctx.stats().steps;
-    // Support counting: full evaluation against G.
-    cand.matches = matcher.Answer(cand.query);
-    RelevanceSets rel = Classify(ctx.focus_universe(), cand.matches, ctx.rep());
-    cand.cl = rel.AnswerCloseness(opts.closeness.lambda);
-    if (!cand.matches.empty()) {
-      cand.satisfies = ComputeRep(ctx.closeness(), ctx.question().exemplar,
-                                  cand.matches)
-                           .nontrivial;
-    }
-    return cand;
-  };
-
-  MinedCandidate best_any;
-  best_any.query = root->query;
-  best_any.matches = root->matches;
-  best_any.cl = root->cl;
-  best_any.satisfies = root->satisfies_exemplar;
-  std::optional<MinedCandidate> best_sat;
-  if (best_any.satisfies) best_sat = best_any;
-
-  auto consider = [&](const MinedCandidate& cand) {
-    if (cand.cl > best_any.cl + kEps) best_any = cand;
-    if (cand.satisfies &&
-        (!best_sat.has_value() || cand.cl > best_sat->cl + kEps)) {
-      best_sat = cand;
-    }
-  };
-
-  // ---- Apriori-style level-wise mining: level-k patterns extend frequent
-  // level-(k-1) patterns by one feature; support of each candidate pattern
-  // is counted by evaluating it.
-  std::vector<MinedCandidate> frontier;
-  std::set<std::vector<size_t>> enumerated;
   const size_t max_level =
       std::max<size_t>(1, static_cast<size_t>(opts.budget));
-  for (size_t i = 0; i < features.size(); ++i) {
-    if (evaluations >= kMaxEvaluations || opts.deadline.Expired()) break;
-    auto cand = evaluate({i});
-    if (!cand.has_value()) continue;
-    enumerated.insert(cand->feature_ids);
-    consider(*cand);
-    // No apriori support pruning: removal features break anti-monotonicity
-    // (an empty pattern can regain matches when a literal is dropped), so
-    // every applicable pattern stays expandable.
-    frontier.push_back(std::move(*cand));
-  }
+  LatticeFrontier frontier(ctx, &base_query, features, max_level);
+  FMAccept accept;
+  FMStop stop(&evaluations);
+  engine::ChaseState state(&ctx.stats().steps, &ctx.stats().pruned);
+  state.Consider(root);
 
-  for (size_t level = 2; level <= max_level; ++level) {
-    if (evaluations >= kMaxEvaluations || opts.deadline.Expired()) break;
-    std::stable_sort(frontier.begin(), frontier.end(),
-                     [](const MinedCandidate& a, const MinedCandidate& b) {
-                       return a.cl > b.cl;
-                     });
-    if (frontier.size() > kBeamPerLevel) frontier.resize(kBeamPerLevel);
-    std::vector<MinedCandidate> next;
-    for (const MinedCandidate& parent : frontier) {
-      for (size_t i = 0; i < features.size(); ++i) {
-        if (evaluations >= kMaxEvaluations || opts.deadline.Expired()) break;
-        if (std::find(parent.feature_ids.begin(), parent.feature_ids.end(), i) !=
-            parent.feature_ids.end()) {
-          continue;
-        }
-        std::vector<size_t> ids = parent.feature_ids;
-        ids.push_back(i);
-        std::sort(ids.begin(), ids.end());
-        if (!enumerated.insert(ids).second) continue;
-        auto cand = evaluate(std::move(ids));
-        if (!cand.has_value()) continue;
-        consider(*cand);
-        next.push_back(std::move(*cand));
-      }
+  engine::EngineConfig cfg;
+  cfg.opts = &opts;
+  cfg.frontier = &frontier;
+  cfg.accept = &accept;
+  cfg.stop = &stop;
+  // Support counting: full evaluation against G with the plain matcher.
+  cfg.evaluate = [&](PatternQuery&& query, OpSequence ops,
+                     const engine::Proposal& prop) {
+    ++evaluations;
+    auto eval = std::make_shared<EvalResult>();
+    eval->query = std::move(query);
+    eval->ops = std::move(ops);
+    eval->cost = prop.cost;
+    eval->matches = matcher.Answer(eval->query);
+    eval->rel = Classify(ctx.focus_universe(), eval->matches, ctx.rep());
+    eval->cl = eval->rel.AnswerCloseness(opts.closeness.lambda);
+    if (!eval->matches.empty()) {
+      eval->satisfies_exemplar = ComputeRep(ctx.closeness(),
+                                            ctx.question().exemplar,
+                                            eval->matches)
+                                     .nontrivial;
     }
-    frontier = std::move(next);
-    if (frontier.empty()) break;
-  }
+    engine::Judged j;
+    j.eval = std::move(eval);
+    return j;
+  };
+  cfg.step_count = engine::StepCount::kAtEvaluate;
+  cfg.check_budget = true;
+  // The plain matcher is not deadline-armed, so the loop head must poll the
+  // clock on every iteration to stay responsive.
+  cfg.deadline_stride = 1;
 
-  const MinedCandidate& chosen = best_sat.has_value() ? *best_sat : best_any;
-  WhyAnswer a;
-  a.rewrite = chosen.query;
-  a.fingerprint = a.rewrite.Fingerprint();
-  a.ops = chosen.ops;
-  a.cost = chosen.cost;
-  a.matches = chosen.matches;
-  a.closeness = chosen.cl;
-  a.satisfies_exemplar = chosen.satisfies;
-  result.answers.push_back(std::move(a));
-  ctx.stats().elapsed_seconds = timer.ElapsedSeconds();
-  if (opts.deadline.Expired()) {
-    ctx.stats().termination = TerminationReason::kDeadline;
-  } else if (evaluations >= kMaxEvaluations) {
-    ctx.stats().termination = TerminationReason::kStepCap;
-  } else {
-    // The bounded feature lattice was enumerated completely within B.
-    ctx.stats().termination = TerminationReason::kExhausted;
-  }
-  result.stats = ctx.stats();
+  engine::Run(cfg, state);
+
+  const std::shared_ptr<EvalResult>& chosen =
+      state.best_sat != nullptr ? state.best_sat : state.best_any;
+  result.answers.push_back(engine::MakeAnswer(*chosen));
+  engine::Finalize(ctx, state, stop.Termination(state), &result);
   return result;
 }
 

@@ -2,17 +2,15 @@
 
 #include <algorithm>
 #include <memory>
-#include <queue>
-#include <unordered_map>
+#include <string>
+#include <vector>
 
+#include "chase/engine.h"
 #include "chase/next_op.h"
-#include "common/timer.h"
 
 namespace wqe {
 
 namespace {
-
-constexpr double kEps = 1e-9;
 
 // Joint view of one rewrite across all foci.
 struct JointEval {
@@ -26,33 +24,93 @@ struct JointEval {
   bool refined = false;
 };
 
-struct JointNode {
-  std::shared_ptr<JointEval> eval;
-  bool ops_generated = false;
-  std::vector<ScoredOp> queue;
-  size_t next_index = 0;
+/// Pools every focus's GenRx/GenRf operators for a joint node and ranks the
+/// union by pickiness: an operator picked for focus u_i may improve u_j too.
+class JointOps : public engine::OperatorPolicy {
+ public:
+  explicit JointOps(std::vector<std::unique_ptr<ChaseContext>>& contexts)
+      : contexts_(contexts) {}
 
-  const ScoredOp* Poll() {
-    if (next_index >= queue.size()) return nullptr;
-    return &queue[next_index++];
+  void Expand(engine::Node& node, engine::ChaseState&) override {
+    const auto& joint = *std::static_pointer_cast<JointEval>(node.detail);
+    node.chase.ops_generated = true;
+    std::vector<ScoredOp> pooled;
+    for (size_t i = 0; i < contexts_.size(); ++i) {
+      ChaseNode per;
+      per.eval = joint.per_focus[i];
+      GenerateOps(*contexts_[i], per, /*best_cl=*/-1e18, /*per_class_cap=*/0,
+                  nullptr);
+      pooled.insert(pooled.end(), per.queue.begin(), per.queue.end());
+    }
+    std::stable_sort(pooled.begin(), pooled.end(),
+                     [](const ScoredOp& a, const ScoredOp& b) {
+                       return a.pickiness > b.pickiness;
+                     });
+    node.chase.queue = std::move(pooled);
   }
+
+ private:
+  std::vector<std::unique_ptr<ChaseContext>>& contexts_;
 };
 
-struct JointOrder {
-  bool operator()(const std::shared_ptr<JointNode>& a,
-                  const std::shared_ptr<JointNode>& b) const {
-    if (a->eval->total_cl != b->eval->total_cl) {
-      return a->eval->total_cl < b->eval->total_cl;
-    }
-    return a->eval->total_cl_plus < b->eval->total_cl_plus;
+/// Collects Σ-consistent-everywhere joint rewrites into the top-k by summed
+/// closeness, and prunes refinement subtrees whose summed bound cannot enter
+/// it (the summed cl⁺ is a valid upper bound on any refinement descendant's
+/// summed closeness — Lemma 5.5 per focus).
+class JointAccept : public engine::AcceptPolicy {
+ public:
+  explicit JointAccept(size_t top_k, bool use_pruning)
+      : k_(std::max<size_t>(top_k, 1)), use_pruning_(use_pruning) {}
+
+  bool ShouldPrune(const engine::Judged& judged, const engine::Proposal&,
+                   engine::ChaseState&) override {
+    const double threshold =
+        answers_.size() >= k_ ? answers_.back().total_closeness : -1e18;
+    return use_pruning_ && judged.eval->refined &&
+           judged.eval->cl_plus <= threshold + engine::kEps;
   }
+
+  bool Offer(const engine::Judged& judged, const engine::Proposal&,
+             engine::ChaseState&) override {
+    const auto& joint = *std::static_pointer_cast<JointEval>(judged.detail);
+    if (!joint.satisfies_all) return false;
+    std::string fp = joint.query.Fingerprint();
+    for (const MultiFocusAnswer& a : answers_) {
+      if (a.fingerprint == fp) return false;
+    }
+    MultiFocusAnswer a;
+    a.rewrite = joint.query;
+    a.fingerprint = std::move(fp);
+    a.ops = joint.ops;
+    a.cost = joint.cost;
+    a.total_closeness = joint.total_cl;
+    for (const auto& eval : joint.per_focus) {
+      a.matches_per_focus.push_back(eval->matches);
+      a.closeness_per_focus.push_back(eval->cl);
+    }
+    a.satisfies_all = true;
+    answers_.push_back(std::move(a));
+    std::stable_sort(answers_.begin(), answers_.end(),
+                     [](const MultiFocusAnswer& x, const MultiFocusAnswer& y) {
+                       return x.total_closeness > y.total_closeness;
+                     });
+    if (answers_.size() > k_) answers_.resize(k_);
+    return false;
+  }
+
+  std::vector<MultiFocusAnswer> Take() { return std::move(answers_); }
+  bool empty() const { return answers_.empty(); }
+
+ private:
+  size_t k_;
+  bool use_pruning_;
+  std::vector<MultiFocusAnswer> answers_;
 };
 
 }  // namespace
 
 MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
                                 const ChaseOptions& opts) {
-  Timer timer;
   MultiFocusResult result;
   if (w.foci.empty() || w.foci.size() != w.exemplars.size()) return result;
 
@@ -69,86 +127,69 @@ MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
   }
   const ChaseOptions& options = contexts.front()->options();  // deadline armed
 
-  auto evaluate = [&](const PatternQuery& q,
-                      const OpSequence& ops) -> std::shared_ptr<JointEval> {
+  // The context counters stay untouched (they are summed per focus below);
+  // the engine's step/prune ticks land in locals.
+  uint64_t steps = 0;
+  uint64_t pruned = 0;
+  engine::ChaseState state(&steps, &pruned);
+
+  // The joint evaluation: the rewrite re-focused on each u_i in turn, each
+  // evaluated through its own context; the summary EvalResult carries the
+  // summed closeness/bound so the generic frontier/prune machinery orders
+  // joint nodes exactly as the dedicated loop did.
+  auto evaluate = [&](PatternQuery&& query, OpSequence ops,
+                      const engine::Proposal&) {
     auto joint = std::make_shared<JointEval>();
-    joint->query = q;
-    joint->ops = ops;
-    joint->cost = contexts.front()->SeqCost(ops);
+    joint->query = std::move(query);
+    joint->ops = std::move(ops);
+    joint->cost = contexts.front()->SeqCost(joint->ops);
     joint->satisfies_all = true;
-    for (const Op& op : ops.ops()) {
+    for (const Op& op : joint->ops.ops()) {
       if (op.is_refine()) joint->refined = true;
     }
     for (size_t i = 0; i < contexts.size(); ++i) {
-      PatternQuery focused = q;
+      PatternQuery focused = joint->query;
       focused.SetFocus(w.foci[i]);
-      auto eval = contexts[i]->Evaluate(focused, ops);
+      auto eval = contexts[i]->Evaluate(focused, joint->ops);
       joint->total_cl += eval->cl;
       joint->total_cl_plus += eval->cl_plus;
       joint->satisfies_all &= eval->satisfies_exemplar;
       joint->per_focus.push_back(std::move(eval));
     }
-    return joint;
+    engine::Judged j;
+    auto summary = std::make_shared<EvalResult>();
+    summary->query = joint->query;
+    summary->ops = joint->ops;
+    summary->cost = joint->cost;
+    summary->cl = joint->total_cl;
+    summary->cl_plus = joint->total_cl_plus;
+    summary->satisfies_exemplar = joint->satisfies_all;
+    summary->refined = joint->refined;
+    j.eval = std::move(summary);
+    j.detail = std::move(joint);
+    return j;
   };
 
-  auto generate = [&](JointNode& node, double best_cl) {
-    node.ops_generated = true;
-    node.queue.clear();
-    node.next_index = 0;
-    (void)best_cl;
-    std::vector<ScoredOp> pooled;
-    for (size_t i = 0; i < contexts.size(); ++i) {
-      ChaseNode per;
-      per.eval = node.eval->per_focus[i];
-      GenerateOps(*contexts[i], per, /*best_cl=*/-1e18, /*per_class_cap=*/0,
-                  nullptr);
-      pooled.insert(pooled.end(), per.queue.begin(), per.queue.end());
-    }
-    std::stable_sort(pooled.begin(), pooled.end(),
-                     [](const ScoredOp& a, const ScoredOp& b) {
-                       return a.pickiness > b.pickiness;
-                     });
-    node.queue = std::move(pooled);
-  };
+  JointOps ops(contexts);
+  engine::BestFirstFrontier frontier(&ops);
+  JointAccept accept(opts.top_k, opts.use_pruning);
+  engine::StopPolicy stop;
 
-  std::priority_queue<std::shared_ptr<JointNode>,
-                      std::vector<std::shared_ptr<JointNode>>, JointOrder>
-      frontier;
-  std::unordered_map<std::string, double> visited;
+  engine::EngineConfig cfg;
+  cfg.opts = &options;
+  cfg.frontier = &frontier;
+  cfg.accept = &accept;
+  cfg.stop = &stop;
+  cfg.evaluate = evaluate;
+  cfg.step_count = engine::StepCount::kAtPoll;
+  cfg.check_budget = true;
+  cfg.dedup = engine::DedupMode::kCheapest;
 
-  auto root_node = std::make_shared<JointNode>();
-  root_node->eval = evaluate(w.query, OpSequence());
-  visited[root_node->eval->query.Fingerprint()] = 0;
-
-  std::vector<MultiFocusAnswer> answers;
-  auto offer = [&](const JointEval& joint) {
-    if (!joint.satisfies_all) return;
-    std::string fp = joint.query.Fingerprint();
-    for (const MultiFocusAnswer& a : answers) {
-      if (a.fingerprint == fp) return;
-    }
-    MultiFocusAnswer a;
-    a.rewrite = joint.query;
-    a.fingerprint = std::move(fp);
-    a.ops = joint.ops;
-    a.cost = joint.cost;
-    a.total_closeness = joint.total_cl;
-    for (const auto& eval : joint.per_focus) {
-      a.matches_per_focus.push_back(eval->matches);
-      a.closeness_per_focus.push_back(eval->cl);
-    }
-    a.satisfies_all = true;
-    answers.push_back(std::move(a));
-    std::stable_sort(answers.begin(), answers.end(),
-                     [](const MultiFocusAnswer& x, const MultiFocusAnswer& y) {
-                       return x.total_closeness > y.total_closeness;
-                     });
-    if (answers.size() > std::max<size_t>(opts.top_k, 1)) {
-      answers.resize(std::max<size_t>(opts.top_k, 1));
-    }
-  };
-  offer(*root_node->eval);
-  frontier.push(root_node);
+  engine::Judged root =
+      evaluate(PatternQuery(w.query), OpSequence(), engine::Proposal());
+  const auto root_joint = std::static_pointer_cast<JointEval>(root.detail);
+  engine::SeedRoot(cfg, state, root);
+  frontier.Push(root);
 
   // Arm in-loop deadline checks only now: the root joint evaluation above
   // must complete so the anytime fallback answer always exists. Each context
@@ -158,70 +199,25 @@ MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
     c->star_matcher().set_deadline(&c->options().deadline);
   }
 
-  size_t steps = 0;
-  while (!frontier.empty() && steps < opts.max_steps &&
-         !options.deadline.Expired()) {
-    auto node = frontier.top();
-    if (!node->ops_generated) {
-      generate(*node, answers.empty() ? -1e18 : answers.front().total_closeness);
-    }
-    const ScoredOp* scored = node->Poll();
-    if (scored == nullptr) {
-      frontier.pop();
-      continue;
-    }
-    ++steps;
+  engine::Run(cfg, state);
 
-    PatternQuery next_query = node->eval->query;
-    if (!Apply(scored->op, &next_query, opts.max_bound)) continue;
-    const std::string fp = next_query.Fingerprint();
-    const double next_cost = node->eval->cost + scored->cost;
-    if (next_cost > opts.budget + kEps) continue;
-    auto seen = visited.find(fp);
-    if (seen != visited.end() && seen->second <= next_cost + kEps) continue;
-    visited[fp] = next_cost;
-
-    OpSequence next_ops = node->eval->ops;
-    next_ops.Append(scored->op);
-    std::shared_ptr<JointEval> joint;
-    try {
-      joint = evaluate(next_query, next_ops);
-    } catch (const DeadlineExceeded&) {
-      break;  // anytime: keep the joint answers found so far
-    }
-
-    // Joint pruning: the summed bound is a valid upper bound on any
-    // refinement descendant's summed closeness (Lemma 5.5 per focus).
-    const double prune_threshold =
-        answers.size() >= std::max<size_t>(opts.top_k, 1)
-            ? answers.back().total_closeness
-            : -1e18;
-    if (opts.use_pruning && joint->refined &&
-        joint->total_cl_plus <= prune_threshold + kEps) {
-      continue;
-    }
-    offer(*joint);
-
-    auto child = std::make_shared<JointNode>();
-    child->eval = std::move(joint);
-    frontier.push(std::move(child));
-  }
-
-  result.answers = std::move(answers);
+  result.answers = accept.Take();
   if (result.answers.empty()) {
     MultiFocusAnswer a;
-    a.rewrite = root_node->eval->query;
+    a.rewrite = root_joint->query;
     a.fingerprint = a.rewrite.Fingerprint();
-    a.total_closeness = root_node->eval->total_cl;
-    for (const auto& eval : root_node->eval->per_focus) {
+    a.total_closeness = root_joint->total_cl;
+    for (const auto& eval : root_joint->per_focus) {
       a.matches_per_focus.push_back(eval->matches);
       a.closeness_per_focus.push_back(eval->cl);
     }
-    a.satisfies_all = root_node->eval->satisfies_all;
+    a.satisfies_all = root_joint->satisfies_all;
     result.answers.push_back(std::move(a));
   }
   result.stats.steps = steps;
-  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  result.stats.pruned = pruned;
+  result.stats.elapsed_seconds = state.timer.ElapsedSeconds();
+  result.stats.termination = stop.Termination(state);
   for (const auto& ctx : contexts) {
     result.stats.evaluations += ctx->stats().evaluations;
     result.stats.ops_generated += ctx->stats().ops_generated;

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <map>
 
+#include "chase/engine.h"
+
 namespace wqe {
 
 namespace {
-
-constexpr double kBudgetEpsilon = 1e-9;
 
 void CapPerClass(std::vector<ScoredOp>& ops, size_t cap) {
   if (cap == 0) return;
@@ -30,20 +30,20 @@ void GenerateOps(ChaseContext& ctx, ChaseNode& node, double best_cl,
 
   const EvalResult& cur = *node.eval;
   const ChaseOptions& opts = ctx.options();
-  const double remaining = opts.budget - cur.cost;
-  if (remaining < 1.0 - kBudgetEpsilon) return;  // every operator costs >= 1
+  // Every operator costs >= 1; stop when not even that fits.
+  if (!engine::WithinBudget(cur.cost + 1.0, opts.budget)) return;
 
   const bool pruning = opts.use_pruning;
 
   // RefineCond: refinement can only help by removing irrelevant matches,
   // and (with pruning) only if the upper bound beats the incumbent.
   const bool refine_cond =
-      !cur.rel.im.empty() && (!pruning || cur.cl_plus > best_cl + kBudgetEpsilon);
+      !cur.rel.im.empty() && (!pruning || cur.cl_plus > best_cl + engine::kEps);
   // RelaxCond: a canonical normal-form sequence never relaxes after it has
   // refined; with pruning, relaxation must still be able to grow cl⁺.
   const bool relax_cond =
       !cur.refined &&
-      (!pruning || cur.cl_plus < ctx.cl_star() - kBudgetEpsilon);
+      (!pruning || cur.cl_plus < ctx.cl_star() - engine::kEps);
 
   std::vector<ScoredOp> ops;
   if (refine_cond) {
@@ -62,8 +62,8 @@ void GenerateOps(ChaseContext& ctx, ChaseNode& node, double best_cl,
   // Budget feasibility.
   ops.erase(std::remove_if(ops.begin(), ops.end(),
                            [&](const ScoredOp& so) {
-                             return cur.cost + so.cost >
-                                    opts.budget + kBudgetEpsilon;
+                             return !engine::WithinBudget(cur.cost + so.cost,
+                                                          opts.budget);
                            }),
             ops.end());
 

@@ -1,39 +1,8 @@
 #include "chase/session.h"
 
+#include "chase/engine.h"
+
 namespace wqe {
-
-namespace {
-
-void MergePhases(std::vector<obs::PhaseStat>& total,
-                 const std::vector<obs::PhaseStat>& delta) {
-  for (const obs::PhaseStat& d : delta) {
-    bool merged = false;
-    for (obs::PhaseStat& t : total) {
-      if (t.name == d.name) {
-        t.count += d.count;
-        t.wall_seconds += d.wall_seconds;
-        t.self_seconds += d.self_seconds;
-        t.cpu_seconds += d.cpu_seconds;
-        merged = true;
-        break;
-      }
-    }
-    if (!merged) total.push_back(d);
-  }
-}
-
-void Accumulate(ChaseStats& total, const ChaseStats& delta) {
-  total.steps += delta.steps;
-  total.evaluations += delta.evaluations;
-  total.memo_hits += delta.memo_hits;
-  total.ops_generated += delta.ops_generated;
-  total.pruned += delta.pruned;
-  total.elapsed_seconds += delta.elapsed_seconds;
-  total.termination = delta.termination;  // latest question's reason
-  MergePhases(total.phases, delta.phases);
-}
-
-}  // namespace
 
 ExploratorySession::ExploratorySession(const Graph& g, ChaseOptions defaults)
     : g_(g),
@@ -65,7 +34,7 @@ ChaseResult ExploratorySession::Ask(const Exemplar& exemplar) {
   current_ =
       std::make_unique<ChaseContext>(g_, &indexes_, &cache_, w, defaults_);
   ChaseResult result = SolveWithContext(*current_, Algorithm::kAnsW);
-  Accumulate(total_stats_, result.stats);
+  engine::AccumulateStats(total_stats_, result.stats);
   return result;
 }
 

@@ -4,65 +4,11 @@
 #include <cctype>
 #include <string>
 
-#include "chase/report.h"
-#include "common/timer.h"
-#include "obs/query_log.h"
+#include "chase/engine.h"
 
 namespace wqe {
 
 namespace {
-
-/// Arms the context's star matcher with the run's deadline for exactly one
-/// solver dispatch. Scoped so the matcher is disarmed even when a
-/// DeadlineExceeded (or anything else) unwinds through Dispatch — a context
-/// is reused across questions and must never carry a dangling deadline.
-class ScopedDeadlineArm {
- public:
-  ScopedDeadlineArm(StarMatcher& m, const Deadline* d) : m_(m) {
-    m_.set_deadline(d);
-  }
-  ~ScopedDeadlineArm() { m_.set_deadline(nullptr); }
-
-  ScopedDeadlineArm(const ScopedDeadlineArm&) = delete;
-  ScopedDeadlineArm& operator=(const ScopedDeadlineArm&) = delete;
-
- private:
-  StarMatcher& m_;
-};
-
-const char* SolveSpanName(Algorithm algo) {
-  switch (algo) {
-    case Algorithm::kAnsW:
-      return "solve.AnsW";
-    case Algorithm::kAnsWE:
-      return "solve.AnsWE";
-    case Algorithm::kAnsHeu:
-      return "solve.AnsHeu";
-    case Algorithm::kFMAnsW:
-      return "solve.FMAnsW";
-    case Algorithm::kApxWhyM:
-      return "solve.ApxWhyM";
-  }
-  return "solve.unknown";
-}
-
-ChaseResult Dispatch(ChaseContext& ctx, Algorithm algo) {
-  switch (algo) {
-    case Algorithm::kAnsW:
-      return internal::RunAnsW(ctx);
-    case Algorithm::kAnsWE:
-      return internal::RunAnsWE(ctx);
-    case Algorithm::kAnsHeu:
-      return internal::RunAnsHeu(ctx);
-    case Algorithm::kFMAnsW:
-      return internal::RunFMAnsW(ctx);
-    case Algorithm::kApxWhyM:
-      return internal::RunApxWhyM(ctx);
-  }
-  ChaseResult r;
-  r.status = Status::InvalidArgument("unknown Algorithm value");
-  return r;
-}
 
 std::string Lower(std::string_view s) {
   std::string out(s);
@@ -106,68 +52,10 @@ ChaseResult SolveWithContext(ChaseContext& ctx, Algorithm algo) {
     r.status = std::move(s);
     return r;
   }
-
-  obs::Observability& o = ctx.obs();
-  // Install the context's tracer so WQE_SPAN sites below the solver (star
-  // matching, operator generation, evaluation) record into it.
-  obs::TracerScope tracer_scope(&o.tracer);
-
-  // The registry and tracer are shared across questions (sessions, benches);
-  // snapshot so this run's contribution can be carved out afterwards.
-  const ChaseStats before = ctx.stats();
-  const std::vector<obs::PhaseStat> phases_before = o.tracer.Phases();
-  const ChaseReport::CounterSnapshot counters_before =
-      ctx.options().query_log != nullptr ? ChaseReport::SnapshotCounters(ctx)
-                                         : ChaseReport::CounterSnapshot();
-
-  ChaseResult result;
-  {
-    obs::ScopedSpan span(&o.tracer, SolveSpanName(algo));
-    ScopedDeadlineArm arm(ctx.star_matcher(), &ctx.options().deadline);
-    try {
-      result = Dispatch(ctx, algo);
-    } catch (const DeadlineExceeded&) {
-      // Backstop for evaluation paths without a solver-level handler: honor
-      // the anytime contract with the root as the (possibly non-satisfying)
-      // fallback answer instead of propagating out of Solve().
-      result = ChaseResult();
-      result.cl_star = ctx.cl_star();
-      WhyAnswer a;
-      a.rewrite = ctx.root()->query;
-      a.fingerprint = a.rewrite.Fingerprint();
-      a.ops = ctx.root()->ops;
-      a.matches = ctx.root()->matches;
-      a.closeness = ctx.root()->cl;
-      a.satisfies_exemplar = ctx.root()->satisfies_exemplar;
-      result.answers.push_back(std::move(a));
-      ctx.stats().termination = TerminationReason::kDeadline;
-      result.stats = ctx.stats();
-    }
-  }
-
-  result.stats.phases = obs::DiffPhases(phases_before, o.tracer.Phases());
-
-  // Mirror the solver-loop counters into the metric registry. The per-call
-  // metrics (evaluations, memo hits, evaluate latency) are incremented live
-  // by ChaseContext::Evaluate; these loop-level tallies are only known to the
-  // solver's ChaseStats, so the dispatcher bridges them once per run.
-  const ChaseStats& after = result.stats;
-  o.metrics.counter("chase.steps").Inc(after.steps - before.steps);
-  o.metrics.counter("chase.pruned").Inc(after.pruned - before.pruned);
-  o.metrics.counter("chase.ops_generated")
-      .Inc(after.ops_generated - before.ops_generated);
-  o.metrics.counter("solve.runs").Inc();
-  o.metrics.histogram("solve.latency_ns")
-      .Observe(static_cast<uint64_t>(after.elapsed_seconds * 1e9));
-
-  // Provenance: one JSONL record per solve. Best-effort — a full disk must
-  // not fail the query — but surfaced as a counter so it is not silent.
-  if (obs::QueryLog* log = ctx.options().query_log; log != nullptr) {
-    const obs::QueryLogRecord rec =
-        ChaseReport::BuildQueryLogRecord(ctx, result, algo, counters_before);
-    if (!log->Append(rec)) o.metrics.counter("query_log.drops").Inc();
-  }
-  return result;
+  // All instrumentation (solve span, deadline arming, metric mirroring,
+  // query-log provenance) lives in the engine dispatcher, once for every
+  // algorithm.
+  return engine::RunAlgorithm(ctx, algo);
 }
 
 ChaseResult Solve(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts,

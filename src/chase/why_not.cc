@@ -2,43 +2,37 @@
 
 #include <sstream>
 
-#include "graph/bfs.h"
+#include "chase/diagnosis.h"
+#include "chase/engine.h"
 #include "match/candidates.h"
 
 namespace wqe {
 
 namespace {
 
-// BFS tree of the active pattern rooted at the focus (parent edge per node).
-struct PatternTree {
-  std::vector<QNodeId> parent;
-  std::vector<int> parent_edge;
+/// Records whether the repaired query matched the entity; the single
+/// verification proposal then stops the run.
+class RepairVerifyAccept : public engine::AcceptPolicy {
+ public:
+  explicit RepairVerifyAccept(WhyNotReport* report) : report_(report) {}
+
+  bool Offer(const engine::Judged& judged, const engine::Proposal&,
+             engine::ChaseState&) override {
+    report_->repair_verified = judged.eval->satisfies_exemplar;
+    return false;
+  }
+
+ private:
+  WhyNotReport* report_;
 };
 
-PatternTree BuildTree(const PatternQuery& q) {
-  PatternTree tree;
-  tree.parent.assign(q.num_nodes(), kNoQNode);
-  tree.parent_edge.assign(q.num_nodes(), -1);
-  std::vector<bool> seen(q.num_nodes(), false);
-  std::vector<QNodeId> queue = {q.focus()};
-  seen[q.focus()] = true;
-  const auto active_edges = q.ActiveEdges();
-  for (size_t head = 0; head < queue.size(); ++head) {
-    const QNodeId u = queue[head];
-    for (size_t ei : active_edges) {
-      const QueryEdge& e = q.edge(ei);
-      QNodeId other = kNoQNode;
-      if (e.from == u) other = e.to;
-      if (e.to == u) other = e.from;
-      if (other == kNoQNode || seen[other]) continue;
-      seen[other] = true;
-      tree.parent[other] = u;
-      tree.parent_edge[other] = static_cast<int>(ei);
-      queue.push_back(other);
-    }
+class StopAfterFirst : public engine::StopPolicy {
+ public:
+  bool AfterOffer(const engine::Judged&, const engine::Proposal&,
+                  engine::ChaseState&) override {
+    return true;
   }
-  return tree;
-}
+};
 
 }  // namespace
 
@@ -56,20 +50,6 @@ WhyNotReport ExplainWhyNot(ChaseContext& ctx, NodeId entity) {
     return report;
   }
 
-  BoundedBfs bfs(g);
-  const PatternTree tree = BuildTree(q);
-  std::vector<bool> detached(q.num_nodes(), false);
-
-  auto add_failure = [&](std::string condition, Op repair) {
-    WhyNotReport::FailedCondition f;
-    f.condition = std::move(condition);
-    f.cost = ctx.OpCostOf(repair);
-    f.repair = repair;
-    report.repair_cost += f.cost;
-    report.repair.Append(std::move(repair));
-    report.failures.push_back(std::move(f));
-  };
-
   // Label mismatch is not repairable by removal operators; report it as a
   // terminal condition.
   const QueryNode& fq = q.node(focus);
@@ -82,81 +62,74 @@ WhyNotReport ExplainWhyNot(ChaseContext& ctx, NodeId entity) {
     return report;
   }
 
-  // Fragment type (1): literals at the focus.
-  for (const Literal& lit : fq.literals) {
-    if (lit.Matches(g, entity)) continue;
-    Op op;
-    op.kind = OpKind::kRmL;
-    op.u = focus;
-    op.lit = lit;
-    add_failure("u" + std::to_string(focus) + ": " + lit.ToString(schema),
-                std::move(op));
-  }
+  auto add_failure = [&](std::string condition, Op repair) {
+    WhyNotReport::FailedCondition f;
+    f.condition = std::move(condition);
+    f.cost = ctx.OpCostOf(repair);
+    f.repair = repair;
+    report.repair_cost += f.cost;
+    report.repair.Append(std::move(repair));
+    report.failures.push_back(std::move(f));
+  };
 
-  // Fragment types (2)/(3): per non-focus node, label reachability at the
-  // pattern distance, then per-literal satisfiability among the reachable.
-  for (QNodeId u = 0; u < q.num_nodes(); ++u) {
-    if (u == focus || tree.parent_edge[u] < 0) continue;
-    if (detached[tree.parent[u]] || detached[u]) {
-      detached[u] = true;
-      continue;
-    }
-    const uint32_t qd = q.QueryDistance(focus, u);
-    if (qd == PatternQuery::kNoQueryDist) continue;
-
-    std::vector<NodeId> reachable_labeled;
-    bfs.Undirected(entity, qd, [&](NodeId w, uint32_t) {
-      if (w == entity) return;
-      const QueryNode& qn = q.node(u);
-      if (qn.label == kWildcardSymbol || g.label(w) == qn.label) {
-        reachable_labeled.push_back(w);
-      }
-    });
-
+  BoundedBfs bfs(g);
+  const diagnosis::PatternTree tree = diagnosis::BuildTree(q);
+  for (const diagnosis::Failure& f :
+       diagnosis::DiagnoseRemovals(g, bfs, q, tree, entity)) {
     const std::string node_desc =
-        "u" + std::to_string(u) + " (" +
-        (q.node(u).label == kWildcardSymbol ? "any"
-                                            : schema.LabelName(q.node(u).label)) +
+        "u" + std::to_string(f.node) + " (" +
+        (q.node(f.node).label == kWildcardSymbol
+             ? "any"
+             : schema.LabelName(q.node(f.node).label)) +
         ")";
-    if (reachable_labeled.empty()) {
-      const QueryEdge& e = q.edge(static_cast<size_t>(tree.parent_edge[u]));
-      Op op;
-      op.kind = OpKind::kRmE;
-      op.u = e.from;
-      op.v = e.to;
-      op.bound = e.bound;
-      add_failure(node_desc + " unreachable within " + std::to_string(qd) +
-                      " hops",
-                  std::move(op));
-      detached[u] = true;
-      continue;
-    }
-    for (const Literal& lit : q.node(u).literals) {
-      bool satisfied = false;
-      for (NodeId w : reachable_labeled) {
-        if (lit.Matches(g, w)) {
-          satisfied = true;
-          break;
-        }
-      }
-      if (satisfied) continue;
-      Op op;
-      op.kind = OpKind::kRmL;
-      op.u = u;
-      op.lit = lit;
-      add_failure(node_desc + ": no reachable node satisfies " +
-                      lit.ToString(schema),
-                  std::move(op));
+    switch (f.kind) {
+      case diagnosis::Failure::Kind::kFocusLiteral:
+        add_failure(
+            "u" + std::to_string(focus) + ": " + f.literal.ToString(schema),
+            f.repair);
+        break;
+      case diagnosis::Failure::Kind::kUnreachable:
+        add_failure(node_desc + " unreachable within " +
+                        std::to_string(f.hops) + " hops",
+                    f.repair);
+        break;
+      case diagnosis::Failure::Kind::kLiteralUnsat:
+        add_failure(node_desc + ": no reachable node satisfies " +
+                        f.literal.ToString(schema),
+                    f.repair);
+        break;
     }
   }
 
-  // Verify the repair: the entity must match the repaired query.
+  // Verify the repair: the entity must match the repaired query. The single
+  // proposal routes through the engine (which owns the apply loop); an
+  // inapplicable repair simply never reaches the verdict.
   if (!report.repair.empty()) {
-    PatternQuery repaired = q;
-    if (report.repair.ApplyAll(&repaired, ctx.options().max_bound)) {
-      report.repair_verified =
-          ctx.star_matcher().matcher().IsMatch(repaired, entity);
-    }
+    std::vector<engine::ListFrontier::Candidate> candidates(1);
+    candidates[0].ops = report.repair.ops();
+    engine::ListFrontier frontier(&q, std::move(candidates));
+    RepairVerifyAccept accept(&report);
+    StopAfterFirst stop;
+    uint64_t steps = 0;
+    uint64_t pruned = 0;
+    engine::ChaseState state(&steps, &pruned);
+
+    engine::EngineConfig cfg;
+    cfg.opts = &ctx.options();
+    cfg.frontier = &frontier;
+    cfg.accept = &accept;
+    cfg.stop = &stop;
+    cfg.evaluate = [&ctx, entity](PatternQuery&& query, OpSequence,
+                                  const engine::Proposal&) {
+      engine::Judged j;
+      auto eval = std::make_shared<EvalResult>();
+      eval->query = std::move(query);
+      eval->satisfies_exemplar =
+          ctx.star_matcher().matcher().IsMatch(eval->query, entity);
+      j.eval = std::move(eval);
+      return j;
+    };
+    engine::Run(cfg, state);
   }
   return report;
 }

@@ -71,6 +71,50 @@ class Deadline {
   std::chrono::steady_clock::time_point expiry_;
 };
 
+/// Stateless strided check for index-based inner loops (including parallel
+/// ones, where each ParallelFor lane sees its own disjoint index range):
+/// consults the clock only when `index` lands on the stride, throwing
+/// DeadlineExceeded past an armed deadline. A null deadline is a no-op.
+inline void MaybeThrowIfExpired(const Deadline* deadline, size_t index) {
+  if (deadline != nullptr && index % kDeadlineCheckStride == 0) {
+    deadline->ThrowIfExpired();
+  }
+}
+
+/// Stateful strided deadline poller for chase-loop heads (the one deadline
+/// check the Q-Chase engine performs per iteration).
+///
+/// Guarantees:
+///  - the clock is read on the FIRST call, so an already-expired deadline is
+///    detected before any work is attempted;
+///  - thereafter the clock is read once every `stride` calls, and the result
+///    latches (a Deadline never un-expires).
+///
+/// Overshoot bound: at most `stride - 1` loop iterations run between polls.
+/// Each iteration's expensive part — star-view materialization and match
+/// verification — checks the *same* deadline every kDeadlineCheckStride work
+/// items via MaybeThrowIfExpired, so the unchecked window is stride-1 cheap
+/// bookkeeping steps plus one strided evaluation, never a whole pass.
+/// Solvers whose evaluation path is not deadline-armed (e.g. the plain
+/// Matcher used by the mining baseline) must pass stride = 1.
+class DeadlineGovernor {
+ public:
+  explicit DeadlineGovernor(const Deadline& deadline,
+                            size_t stride = kDeadlineCheckStride)
+      : deadline_(deadline), stride_(stride == 0 ? 1 : stride) {}
+
+  bool Expired() {
+    if (!expired_ && calls_++ % stride_ == 0) expired_ = deadline_.Expired();
+    return expired_;
+  }
+
+ private:
+  const Deadline& deadline_;
+  size_t stride_;
+  size_t calls_ = 0;
+  bool expired_ = false;
+};
+
 }  // namespace wqe
 
 #endif  // WQE_COMMON_TIMER_H_

@@ -120,9 +120,7 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
   const size_t threads = ResolveThreads(num_threads_);
   if (threads <= 1 || candidates.size() <= 1) {
     for (size_t i = 0; i < candidates.size(); ++i) {
-      if (deadline_ != nullptr && i % kDeadlineCheckStride == 0) {
-        deadline_->ThrowIfExpired();
-      }
+      MaybeThrowIfExpired(deadline_, i);
       ++stats_.focus_verified;
       if (matcher_.IsMatchRestricted(q, candidates[i], allowed)) {
         eval.matches.push_back(candidates[i]);
@@ -140,9 +138,7 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
     std::vector<uint8_t> is_match(candidates.size(), 0);
     ParallelFor(threads, 0, candidates.size(), /*grain=*/4,
                 [&](size_t i, size_t slot) {
-                  if (deadline_ != nullptr && i % kDeadlineCheckStride == 0) {
-                    deadline_->ThrowIfExpired();
-                  }
+                  MaybeThrowIfExpired(deadline_, i);
                   Matcher& m = slot == 0 ? matcher_ : *workers_[slot - 1];
                   is_match[i] = m.IsMatchRestricted(q, candidates[i], allowed)
                                     ? 1

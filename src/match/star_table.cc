@@ -65,9 +65,7 @@ std::shared_ptr<const StarTable> StarMaterializer::Materialize(
   // and never reaches the view cache.
   if (threads <= 1 || centers.size() <= 1) {
     for (size_t i = 0; i < centers.size(); ++i) {
-      if (deadline_ != nullptr && i % kDeadlineCheckStride == 0) {
-        deadline_->ThrowIfExpired();
-      }
+      MaybeThrowIfExpired(deadline_, i);
       viable[i] = BuildRow(q, star, centers[i], bfs_, built[i]) ? 1 : 0;
     }
   } else {
@@ -76,9 +74,7 @@ std::shared_ptr<const StarTable> StarMaterializer::Materialize(
     });
     ParallelFor(threads, 0, centers.size(), /*grain=*/16,
                 [&](size_t i, size_t slot) {
-                  if (deadline_ != nullptr && i % kDeadlineCheckStride == 0) {
-                    deadline_->ThrowIfExpired();
-                  }
+                  MaybeThrowIfExpired(deadline_, i);
                   BoundedBfs& bfs = slot == 0 ? bfs_ : scratch.at(slot);
                   viable[i] = BuildRow(q, star, centers[i], bfs, built[i]) ? 1 : 0;
                 });

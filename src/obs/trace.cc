@@ -135,6 +135,24 @@ std::vector<PhaseStat> DiffPhases(const std::vector<PhaseStat>& before,
   return out;
 }
 
+void MergePhases(std::vector<PhaseStat>& total,
+                 const std::vector<PhaseStat>& delta) {
+  for (const PhaseStat& d : delta) {
+    bool merged = false;
+    for (PhaseStat& t : total) {
+      if (t.name == d.name) {
+        t.count += d.count;
+        t.wall_seconds += d.wall_seconds;
+        t.self_seconds += d.self_seconds;
+        t.cpu_seconds += d.cpu_seconds;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) total.push_back(d);
+  }
+}
+
 ScopedSpan::ScopedSpan(Tracer* tracer, const char* name)
     : tracer_(tracer), name_(name) {
   if (tracer_ == nullptr) return;

@@ -28,6 +28,12 @@ struct PhaseStat {
 std::vector<PhaseStat> DiffPhases(const std::vector<PhaseStat>& before,
                                   const std::vector<PhaseStat>& after);
 
+/// Folds `delta` into `total` per phase name (new phases append); the inverse
+/// of DiffPhases, used when accumulating per-question breakdowns into a
+/// session or workload total.
+void MergePhases(std::vector<PhaseStat>& total,
+                 const std::vector<PhaseStat>& delta);
+
 /// Scoped-span tracer. Spans aggregate into per-phase totals always; the
 /// full event stream (for Chrome trace export) is buffered only when
 /// `set_capture_events(true)`, so long benches pay a bounded memory cost.

@@ -77,6 +77,12 @@ std::string Op::ToString(const Schema& schema) const {
   return out.str();
 }
 
+std::string Op::DedupKey() const {
+  return std::to_string(static_cast<int>(kind)) + "/" + std::to_string(u) +
+         "/" + std::to_string(v) + "/" + std::to_string(lit.attr) + "/" +
+         std::to_string(static_cast<int>(lit.op));
+}
+
 double OpCost(const Op& op, const ActiveDomains& adom, uint32_t diameter) {
   const double d = std::max<uint32_t>(diameter, 1);
   switch (op.kind) {

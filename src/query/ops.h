@@ -53,6 +53,11 @@ struct Op {
   bool is_refine() const { return IsRefine(kind); }
 
   std::string ToString(const Schema& schema) const;
+
+  /// Coarse identity key for repair-set deduplication: kind, endpoints, and
+  /// the literal's attribute + comparator (NOT its constant — two repairs
+  /// removing different constants on the same attribute count as one).
+  std::string DedupKey() const;
 };
 
 /// Unit cost c(o) ∈ [1, 2] (Table 1): 1 for every operator, plus the relative

@@ -37,8 +37,6 @@ AlgoSummary ExperimentRunner::Run(const AlgoSpec& algo) const {
   AlgoSummary summary;
   summary.name = algo.name;
 
-  ClosenessEvaluator closeness(g_, indexes_->adom, algo.opts.closeness);
-
   for (const BenchCase& c : cases_) {
     // Timed section covers question-level setup (rep computation, initial
     // evaluation) plus the chase itself — graph-level indexes are prebuilt,

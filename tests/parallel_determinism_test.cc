@@ -7,8 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "chase/answ.h"
+#include "chase/multi_focus.h"
+#include "chase/solve.h"
+#include "chase/why_not.h"
 #include "gen/datasets.h"
+#include "gen/product_demo.h"
 #include "gen/synthetic.h"
 #include "graph/distance_index.h"
 #include "workload/suite.h"
@@ -84,6 +90,87 @@ TEST(ParallelDeterminismTest, HardwareConcurrencySettingMatchesSerial) {
   EXPECT_EQ(serial.fingerprints, parallel.fingerprints);
   EXPECT_EQ(serial.matches, parallel.matches);
   EXPECT_EQ(serial.closeness, parallel.closeness);
+}
+
+/// Deterministic fingerprint of everything a ChaseResult reports except
+/// wall-clock fields (elapsed, phases) and resource telemetry.
+std::string ResultFingerprint(const ChaseResult& r) {
+  std::ostringstream out;
+  out << static_cast<int>(r.termination()) << '|' << r.stats.steps << '|'
+      << r.stats.evaluations << '|' << r.stats.ops_generated << '|'
+      << r.stats.pruned << '|' << r.cl_star << '\n';
+  for (const WhyAnswer& a : r.answers) {
+    out << a.fingerprint << '|' << a.cost << '|' << a.closeness << '|'
+        << a.satisfies_exemplar << '|';
+    for (NodeId v : a.matches) out << v << ',';
+    out << '\n';
+  }
+  return out.str();
+}
+
+// The engine contract across ALL solver bundles: the policy-driven chase is
+// byte-identical whatever the verification/materialization thread count.
+TEST(ParallelDeterminismTest, EveryAlgorithmIdenticalAcrossThreadCounts) {
+  Graph g = GenerateGraph(ImdbLike(0.04));
+  WhyFactoryOptions fopts;
+  fopts.query.num_edges = 2;
+  fopts.disturb.num_ops = 2;
+  fopts.seed = 11;
+  auto cases = MakeBenchCases(g, 2, fopts);
+  ASSERT_FALSE(cases.empty());
+
+  for (const Algorithm algo :
+       {Algorithm::kAnsW, Algorithm::kAnsWE, Algorithm::kAnsHeu,
+        Algorithm::kFMAnsW, Algorithm::kApxWhyM}) {
+    for (const BenchCase& c : cases) {
+      ChaseResult serial = Solve(g, c.question, BaseOptions(1), algo);
+      ChaseResult parallel = Solve(g, c.question, BaseOptions(4), algo);
+      ASSERT_TRUE(serial.ok() && parallel.ok()) << AlgorithmName(algo);
+      EXPECT_EQ(ResultFingerprint(serial), ResultFingerprint(parallel))
+          << AlgorithmName(algo);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, MultiFocusIdenticalAcrossThreadCounts) {
+  ProductDemo demo;
+  MultiFocusQuestion w;
+  w.query = demo.Query();
+  w.foci = {0, 2};
+  w.exemplars.push_back(demo.MakeExemplar());
+  std::vector<NodeId> sprint = {demo.sprint()};
+  w.exemplars.push_back(Exemplar::FromEntities(demo.graph(), sprint));
+
+  auto run = [&](size_t threads) {
+    ChaseOptions o;
+    o.budget = 4;
+    o.num_threads = threads;
+    return AnsWMultiFocus(demo.graph(), w, o);
+  };
+  const MultiFocusResult serial = run(1);
+  const MultiFocusResult parallel = run(4);
+  ASSERT_EQ(serial.answers.size(), parallel.answers.size());
+  for (size_t i = 0; i < serial.answers.size(); ++i) {
+    EXPECT_EQ(serial.answers[i].fingerprint, parallel.answers[i].fingerprint);
+    EXPECT_EQ(serial.answers[i].total_closeness,
+              parallel.answers[i].total_closeness);
+    EXPECT_EQ(serial.answers[i].matches_per_focus,
+              parallel.answers[i].matches_per_focus);
+  }
+  EXPECT_EQ(serial.stats.steps, parallel.stats.steps);
+  EXPECT_EQ(serial.stats.evaluations, parallel.stats.evaluations);
+}
+
+TEST(ParallelDeterminismTest, WhyNotIdenticalAcrossThreadCounts) {
+  ProductDemo demo;
+  auto explain = [&](size_t threads) {
+    ChaseOptions o;
+    o.budget = 4;
+    o.num_threads = threads;
+    ChaseContext ctx(demo.graph(), demo.Question(), o);
+    return ExplainWhyNot(ctx, demo.p(3)).ToString(demo.graph());
+  };
+  EXPECT_EQ(explain(1), explain(4));
 }
 
 TEST(ParallelDeterminismTest, ParallelDistanceIndexBuildMatchesSerial) {

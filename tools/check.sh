@@ -1,17 +1,38 @@
 #!/usr/bin/env bash
 # Full verification sweep for libwqe:
-#   1. default (Release, -Werror) build + the whole ctest suite;
-#   2. the benchmark regression gate (quick mode, warm cache) against the
+#   1. a source lint keeping chase-loop concerns inside the engine;
+#   2. default (Release, -Werror) build + the whole ctest suite;
+#   3. the benchmark regression gate (quick mode, warm cache) against the
 #      committed BENCH_BASELINE.json, plus an injected-slowdown self-test
 #      proving the gate actually fails on a 2x regression;
-#   3. an Address+UndefinedBehaviorSanitizer build running the whole suite;
-#   4. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
+#   4. an Address+UndefinedBehaviorSanitizer build running the whole suite;
+#   5. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
 #      exercise the parallel evaluation layer.
 # Usage: tools/check.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
+
+echo "== engine lint =="
+# The Q-Chase engine (src/chase/engine.{h,cc}) owns ALL chase-loop deadline
+# polling and budget-epsilon arithmetic. Solver bundles must route through
+# DeadlineGovernor / engine::WithinBudget / engine::kEps — a direct deadline
+# check or a hand-rolled epsilon comparison in src/chase is a regression to
+# the seven-copies era.
+LINT_FAIL=0
+for pattern in '\.Expired\(' 'ThrowIfExpired' 'DeadlineGovernor' \
+               'budget \+' '1e-9'; do
+  if hits=$(grep -rnE "$pattern" src/chase \
+      --include='*.cc' --include='*.h' \
+      --exclude='engine.h' --exclude='engine.cc'); then
+    echo "lint: forbidden pattern '$pattern' outside chase/engine:"
+    echo "$hits"
+    LINT_FAIL=1
+  fi
+done
+[ "$LINT_FAIL" -eq 0 ] || { echo "engine lint failed"; exit 1; }
+echo "engine lint clean"
 
 echo "== default build =="
 cmake -B build -S . -DWQE_WERROR=ON >/dev/null
