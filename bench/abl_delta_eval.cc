@@ -1,0 +1,113 @@
+// Ablation: the incremental evaluation path (DESIGN.md "Incremental
+// evaluation"). Runs AnsW over deep-chase workloads (budget above the §7
+// default, so most evaluations are child rewrites one op away from an
+// already-evaluated parent) with ChaseOptions::use_delta_eval off and on,
+// asserting that the suggested rewrites are *identical* — same answer sets,
+// same closeness — and reporting the wall-clock speedup of delta-aware
+// re-verification over full per-node evaluation. max_steps bounds both
+// configurations to the same explored tree, so the speedup isolates
+// per-evaluation work: table reuse, answer-delta verification, and
+// incumbent-bound cuts.
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+namespace {
+
+struct ConfigResult {
+  double seconds = 0;
+  uint64_t evaluations = 0;
+  uint64_t bound_cuts = 0;
+  uint64_t delta_hits = 0;
+  uint64_t full_fallbacks = 0;
+  std::vector<std::vector<NodeId>> matches;
+  std::vector<double> closeness;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
+  Header("abl_delta_eval",
+         "incremental star re-verification: equivalence and speedup");
+
+  struct DeepConfig {
+    const char* name;
+    GraphSpec spec;
+    int64_t budget;
+  };
+  const DeepConfig configs[] = {
+      {"dbpedia_b5", DbpediaLike(env.scale), 5},
+      {"imdb_b4", ImdbLike(env.scale), 4},
+  };
+
+  bool identical = true;
+  int wins = 0;
+  for (const DeepConfig& dc : configs) {
+    Graph g = GenerateGraph(dc.spec);
+    // Mostly-relaxing disturbances: the repairs the chase must discover are
+    // then refinement-heavy, the regime where incremental evaluation pays
+    // (a refine step re-verifies only the parent's surviving matches instead
+    // of the full candidate set).
+    WhyFactoryOptions factory = DefaultFactory(env.seed);
+    factory.disturb.refine_prob = 0.15;
+    auto cases = MakeBenchCases(g, env.queries, factory);
+    GraphIndexes indexes(g, env.threads);
+
+    auto run_config = [&](bool use_delta) {
+      ChaseOptions opts = DefaultChase();
+      opts.budget = static_cast<double>(dc.budget);
+      // Deep chases must run to their step cap, not the per-question safety
+      // valve: a timeout would truncate the two configurations at different
+      // tree depths and void the equivalence comparison.
+      opts.time_limit_seconds = 120.0;
+      opts.use_delta_eval = use_delta;
+      ConfigResult r;
+      obs::MetricsRegistry& m = BenchObs().metrics;
+      const uint64_t hits0 = m.counter("delta_eval.hits").Value();
+      const uint64_t falls0 = m.counter("delta_eval.full_fallbacks").Value();
+      Timer timer;
+      for (const BenchCase& c : cases) {
+        ChaseContext ctx(g, &indexes, c.question, opts);
+        ChaseResult res = SolveWithContext(ctx, Algorithm::kAnsW);
+        r.evaluations += res.stats.evaluations;
+        r.bound_cuts += res.stats.bound_cuts;
+        r.matches.push_back(res.best().matches);
+        r.closeness.push_back(res.best().closeness);
+      }
+      r.seconds = timer.ElapsedSeconds();
+      r.delta_hits = m.counter("delta_eval.hits").Value() - hits0;
+      r.full_fallbacks = m.counter("delta_eval.full_fallbacks").Value() - falls0;
+      return r;
+    };
+
+    const ConfigResult full = run_config(false);
+    const ConfigResult delta = run_config(true);
+    identical = identical && full.matches == delta.matches &&
+                full.closeness == delta.closeness;
+    const double speedup =
+        delta.seconds > 0 ? full.seconds / delta.seconds : 0;
+    if (speedup >= 1.3) ++wins;
+    std::printf(
+        "abl_delta_eval,%s,delta=off,seconds=%.4f,evaluations=%llu\n",
+        dc.name, full.seconds,
+        static_cast<unsigned long long>(full.evaluations));
+    std::printf(
+        "abl_delta_eval,%s,delta=on,seconds=%.4f,evaluations=%llu,"
+        "delta_hits=%llu,full_fallbacks=%llu,bound_cuts=%llu,speedup=%.2f\n",
+        dc.name, delta.seconds,
+        static_cast<unsigned long long>(delta.evaluations),
+        static_cast<unsigned long long>(delta.delta_hits),
+        static_cast<unsigned long long>(delta.full_fallbacks),
+        static_cast<unsigned long long>(delta.bound_cuts), speedup);
+  }
+
+  Shape(identical,
+        "answers and closeness are identical with delta evaluation on/off");
+  Shape(wins >= 2,
+        "delta evaluation is >=1.3x faster on >=2 deep-chase workloads");
+  return identical ? env.Finish() : 1;
+}

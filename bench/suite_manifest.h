@@ -106,6 +106,20 @@ inline std::vector<QuickBench> BuildQuickSuite(const GateBenchConfig& cfg) {
       GateFactory(cfg.seed),
       +[](const ChaseOptions& base) { return MakeAnsHeu(base, /*beam=*/2); });
 
+  // fig10d family: deep chase — budget above the §7 default, the regime the
+  // incremental evaluation path (DESIGN.md "Incremental evaluation") exists
+  // for; gates the delta path's per-evaluation cost on refine-heavy repairs.
+  {
+    WhyFactoryOptions factory = GateFactory(cfg.seed);
+    factory.disturb.refine_prob = 0.15;
+    add("fig10d_quick", DbpediaLike(cfg.scale), &MakeBenchCases, cfg.queries,
+        factory, +[](const ChaseOptions& base) {
+          ChaseOptions deep = base;
+          deep.budget = 5;
+          return MakeAnsW(deep);
+        });
+  }
+
   // fig12a family: Why-many — mostly-relaxing disturbances yield unexpected
   // answers for ApxWhyM to diagnose.
   {

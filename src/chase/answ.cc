@@ -34,6 +34,17 @@ class AnsWAccept : public engine::AcceptPolicy {
            judged.eval->cl_plus <= state.topk.PruneThreshold() + engine::kEps;
   }
 
+  /// Pre-evaluation form of the same cut: a refine-only child's cl⁺ is at
+  /// most its parent's (RM shrinks under refinement), so parent-bound ≤
+  /// threshold already implies the child's ShouldPrune verdict. The child is
+  /// `refined` by construction (the engine only consults this for refine-only
+  /// payloads), so the verdicts coincide exactly.
+  bool PruneByBound(double bound, const engine::Proposal&,
+                    engine::ChaseState& state) override {
+    return opts_.use_pruning &&
+           bound <= state.topk.PruneThreshold() + engine::kEps;
+  }
+
   bool Offer(const engine::Judged& judged, const engine::Proposal&,
              engine::ChaseState& state) override {
     return state.topk.Offer(*judged.eval);  // lines 10-12

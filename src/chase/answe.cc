@@ -103,7 +103,9 @@ ChaseResult internal::RunAnsWE(ChaseContext& ctx) {
     candidates.push_back(std::move(c));
   }
 
-  engine::ListFrontier frontier(&q, std::move(candidates));
+  // Repairs are relax-only removals on the root: handing the root evaluation
+  // to the frontier lets each verification run as a delta off Q_0's state.
+  engine::ListFrontier frontier(&q, std::move(candidates), root.get());
   AnsWEAccept accept;
   AnsWEStop stop(accept);
   engine::ChaseState state(&ctx.stats().steps, &ctx.stats().pruned);

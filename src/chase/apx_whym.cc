@@ -148,6 +148,7 @@ class CoverageFrontier : public engine::FrontierPolicy {
             engine::Proposal* out) {
     out->base_query = &base.query;
     out->base_ops = &base.ops;
+    out->base_eval = &base;
     out->ops.assign(1, seeds_[i].op);
     out->cost = seeds_[i].cost;
     out->phase = phase;

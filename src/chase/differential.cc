@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "chase/delta_eval.h"
+
 namespace wqe {
 
 std::string DifferentialTable::ToString(const Graph& g) const {
@@ -35,11 +37,19 @@ DifferentialTable BuildDifferentialTable(ChaseContext& ctx,
   DifferentialTable table;
   PatternQuery q = ctx.question().query;
   OpSequence prefix;
+  // Replay rides the delta path: each prefix step is a single-op rewrite of
+  // the previous one — exactly the incremental shape — so a lineage replay
+  // against a cold context (post-hoc explain, log mining) re-verifies only
+  // each op's neighborhood instead of re-evaluating every prefix in full.
+  // Against a warm context the memo still answers first, as before.
+  const bool use_delta = ctx.options().use_delta_eval;
+  DeltaEvaluator delta(ctx);
   auto prev = ctx.Evaluate(q, prefix);
   for (const Op& op : ops.ops()) {
     if (!Apply(op, &q, ctx.options().max_bound)) break;
     prefix.Append(op);
-    auto next = ctx.Evaluate(q, prefix);
+    auto next = use_delta ? delta.Evaluate(q, prefix, prev.get(), {op})
+                          : ctx.Evaluate(q, prefix);
 
     DifferentialEntry entry;
     entry.op = op;

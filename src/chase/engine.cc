@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "chase/delta_eval.h"
 #include "chase/report.h"
 #include "obs/query_log.h"
 
@@ -120,6 +121,23 @@ void Run(const EngineConfig& cfg, ChaseState& state) {
       }
     }
 
+    // Bound cut (delta path): a refine-only child's cl⁺ is dominated by its
+    // parent's, so when the parent bound already falls under the solver's
+    // pruning threshold the child's post-evaluation ShouldPrune verdict is
+    // known without evaluating. Placed after dedup so `visited` — and with
+    // it every later dedup decision — is identical with the cut on or off.
+    if (opts.use_delta_eval && prop.base_eval != nullptr && !prop.ops.empty()) {
+      bool refine_only = true;
+      for (const Op& op : prop.ops) refine_only = refine_only && op.is_refine();
+      if (refine_only &&
+          cfg.accept->PruneByBound(prop.base_eval->cl_plus, prop, state)) {
+        if (cfg.step_count == StepCount::kAtEvaluate) ++*state.steps;
+        ++*state.pruned;
+        ++state.bound_cuts;
+        continue;
+      }
+    }
+
     OpSequence ops;
     if (prop.base_ops != nullptr) ops = *prop.base_ops;
     for (const Op& op : prop.ops) ops.Append(op);
@@ -176,12 +194,23 @@ void Finalize(ChaseContext& ctx, ChaseState& state, TerminationReason reason,
     result->answers.push_back(MakeAnswer(*ctx.root()));
   }
   result->trace = std::move(state.trace);
+  ctx.stats().bound_cuts += state.bound_cuts;
   ctx.stats().elapsed_seconds = state.timer.ElapsedSeconds();
   ctx.stats().termination = reason;
   result->stats = ctx.stats();
 }
 
 EvalFn ContextEval(ChaseContext& ctx) {
+  if (ctx.options().use_delta_eval) {
+    // The delta evaluator lives in the closure: one instance per engine run,
+    // so its resolved counters survive across evaluations.
+    auto delta = std::make_shared<DeltaEvaluator>(ctx);
+    return [delta](PatternQuery&& query, OpSequence ops, const Proposal& prop) {
+      Judged j;
+      j.eval = delta->Evaluate(query, std::move(ops), prop.base_eval, prop.ops);
+      return j;
+    };
+  }
   return [&ctx](PatternQuery&& query, OpSequence ops, const Proposal&) {
     Judged j;
     j.eval = ctx.Evaluate(query, std::move(ops));
@@ -195,6 +224,7 @@ void AccumulateStats(ChaseStats& total, const ChaseStats& delta) {
   total.memo_hits += delta.memo_hits;
   total.ops_generated += delta.ops_generated;
   total.pruned += delta.pruned;
+  total.bound_cuts += delta.bound_cuts;
   total.elapsed_seconds += delta.elapsed_seconds;
   total.termination = delta.termination;  // latest run's reason
   obs::MergePhases(total.phases, delta.phases);
@@ -218,6 +248,7 @@ bool BestFirstFrontier::Next(ChaseState& state, Proposal* out) {
     }
     out->base_query = &top.chase.eval->query;
     out->base_ops = &top.chase.eval->ops;
+    out->base_eval = top.chase.eval.get();
     out->ops.assign(1, scored->op);
     out->cost = top.chase.eval->cost + scored->cost;
     return true;
@@ -264,6 +295,7 @@ bool BeamFrontier::Next(ChaseState& state, Proposal* out) {
     }
     out->base_query = &node.chase.eval->query;
     out->base_ops = &node.chase.eval->ops;
+    out->base_eval = node.chase.eval.get();
     out->ops.assign(1, scored->op);
     out->cost = node.chase.eval->cost + scored->cost;
     return true;
@@ -275,6 +307,7 @@ bool ListFrontier::Next(ChaseState&, Proposal* out) {
   Candidate& c = candidates_[next_++];
   out->base_query = base_query_;
   out->base_ops = nullptr;
+  out->base_eval = base_eval_;
   out->ops = c.ops;
   out->cost = c.cost;
   out->tag = c.tag;
@@ -379,6 +412,7 @@ ChaseResult RunAlgorithm(ChaseContext& ctx, Algorithm algo) {
   const ChaseStats& after = result.stats;
   o.metrics.counter("chase.steps").Inc(after.steps - before.steps);
   o.metrics.counter("chase.pruned").Inc(after.pruned - before.pruned);
+  o.metrics.counter("chase.bound_cuts").Inc(after.bound_cuts - before.bound_cuts);
   o.metrics.counter("chase.ops_generated")
       .Inc(after.ops_generated - before.ops_generated);
   o.metrics.counter("solve.runs").Inc();

@@ -91,6 +91,11 @@ struct ChaseState {
   uint64_t* steps;
   uint64_t* pruned;
 
+  /// Refine-only proposals cut by AcceptPolicy::PruneByBound before their
+  /// evaluation ran (also counted into `pruned`). Folded into
+  /// ChaseStats::bound_cuts by Finalize.
+  uint64_t bound_cuts = 0;
+
   bool out_of_time = false;  // deadline fired (loop head or mid-evaluation)
   bool exhausted = false;    // the frontier drained
   /// A policy decided the run's outcome (kOptimal, kBudget, ...).
@@ -118,6 +123,12 @@ struct Proposal {
   double cost = 0;                       // declared c(base_ops ⊕ ops)
   int phase = 0;                         // policy-defined phase id
   int64_t tag = -1;                      // policy bookkeeping (seed index, …)
+  /// Evaluation of the node this proposal rewrites (base_query's node), when
+  /// the frontier has one. Feeds the delta evaluation path (parent-state
+  /// reuse) and the pre-evaluation cl⁺ bound cut; null = no parent context,
+  /// the evaluator falls back to a full evaluation. Same lifetime contract
+  /// as base_query: valid for the engine iteration that received it.
+  const EvalResult* base_eval = nullptr;
 };
 
 /// An evaluated proposal. `eval` summarizes the rewrite for the engine's
@@ -178,6 +189,15 @@ class AcceptPolicy {
   virtual ~AcceptPolicy() = default;
   /// True kills the subtree and counts it into `state.pruned`.
   virtual bool ShouldPrune(const Judged&, const Proposal&, ChaseState&) {
+    return false;
+  }
+  /// Pre-evaluation cut for refine-only proposals: `bound` is the parent's
+  /// cl⁺, which dominates every refinement's cl⁺ (RM shrinks monotonically
+  /// under refinement, §5.4). Return true iff a child at that bound would be
+  /// pruned by ShouldPrune — the engine then skips the evaluation entirely
+  /// and counts the node as pruned, with identical answers, steps, and
+  /// trace. Default: never cut (solvers without a closeness threshold).
+  virtual bool PruneByBound(double /*bound*/, const Proposal&, ChaseState&) {
     return false;
   }
   /// Offers the evaluation to the solver's incumbents. Returns true when the
@@ -354,15 +374,22 @@ class ListFrontier : public FrontierPolicy {
     int64_t tag = -1;
   };
 
+  /// `base_eval` (optional) is the evaluation of `base_query`'s chase node —
+  /// AnsWE passes the root so its repairs ride the delta path. Must outlive
+  /// the frontier.
   ListFrontier(const PatternQuery* base_query,
-               std::vector<Candidate> candidates)
-      : base_query_(base_query), candidates_(std::move(candidates)) {}
+               std::vector<Candidate> candidates,
+               const EvalResult* base_eval = nullptr)
+      : base_query_(base_query),
+        candidates_(std::move(candidates)),
+        base_eval_(base_eval) {}
 
   bool Next(ChaseState& state, Proposal* out) override;
 
  private:
   const PatternQuery* base_query_;
   std::vector<Candidate> candidates_;
+  const EvalResult* base_eval_ = nullptr;
   size_t next_ = 0;
 };
 

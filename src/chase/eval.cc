@@ -205,6 +205,10 @@ std::shared_ptr<EvalResult> ChaseContext::Evaluate(const PatternQuery& q,
     };
     auto eval = star_matcher_.Evaluate(q, &priority);
     result->matches = std::move(eval.matches);
+    // Keep the resolved star state on the node only when the delta path may
+    // consume it for children — otherwise drop it here so chase nodes do not
+    // pin table snapshots past the view cache's eviction decisions.
+    if (opts_.use_delta_eval) result->star_state = std::move(eval.state);
     if (opts_.use_memo) match_memo_.emplace(fp, result->matches);
   }
 
@@ -220,6 +224,27 @@ std::shared_ptr<EvalResult> ChaseContext::Evaluate(const PatternQuery& q,
     result->satisfies_exemplar = over_answer.nontrivial;
   }
   h_evaluate_ns_->Observe(NowNs() - t0);
+  return result;
+}
+
+std::shared_ptr<EvalResult> ChaseContext::EvaluateBaseline(PatternQuery q,
+                                                           OpSequence ops,
+                                                           double cost) {
+  // The reformulation baseline evaluates from scratch with the plain
+  // matcher: no star views, no cache, no memo, no chase counters (those are
+  // this paper's contributions; the baseline of [21] has none of them).
+  // cl⁺ stays 0 — the baseline never prunes by bound.
+  auto result = std::make_shared<EvalResult>();
+  result->query = std::move(q);
+  result->ops = std::move(ops);
+  result->cost = cost;
+  result->matches = star_matcher_.matcher().Answer(result->query);
+  result->rel = Classify(universe_, result->matches, rep_);
+  result->cl = result->rel.AnswerCloseness(opts_.closeness.lambda);
+  if (!result->matches.empty()) {
+    result->satisfies_exemplar =
+        ComputeRep(closeness_, w_.exemplar, result->matches).nontrivial;
+  }
   return result;
 }
 

@@ -39,6 +39,13 @@ struct EvalResult {
   bool satisfies_exemplar = false;
 
   bool refined = false;  // ops contains at least one refinement operator
+
+  /// Star-view state of the evaluation that produced `matches` (the
+  /// decomposition plus resolved tables). Carried only when
+  /// ChaseOptions::use_delta_eval is set; null on memo hits and on results
+  /// restored from elsewhere. The delta evaluator reuses it for this node's
+  /// children — null simply forces table resolution through the cache.
+  std::shared_ptr<const StarEvalState> star_state;
 };
 
 /// Why the chase stopped. Anytime-mode callers (fig10l) need to distinguish
@@ -61,6 +68,8 @@ struct ChaseStats {
   uint64_t memo_hits = 0;         // rewrites recognized via fingerprint
   uint64_t ops_generated = 0;     // picky operators produced
   uint64_t pruned = 0;            // chase nodes pruned by §5.4
+  uint64_t bound_cuts = 0;        // refine children cut by the parent's cl⁺
+                                  // bound before evaluation (delta path)
   double elapsed_seconds = 0;
   TerminationReason termination = TerminationReason::kExhausted;
   /// Per-phase breakdown of this run (from the context's tracer): where the
@@ -135,6 +144,13 @@ class ChaseContext {
   /// by query fingerprint; `ops` and its cost are recorded per call.
   std::shared_ptr<EvalResult> Evaluate(const PatternQuery& q, OpSequence ops);
 
+  /// Evaluates a rewrite with the plain exact matcher — no star views, no
+  /// memo, no chase counters. This is the FMAnsW baseline's evaluation
+  /// semantics (§7's "no star-view" arm), centralized here so solver policy
+  /// files never call the matcher directly (tools/check.sh enforces this).
+  std::shared_ptr<EvalResult> EvaluateBaseline(PatternQuery q, OpSequence ops,
+                                               double cost);
+
   /// The evaluated original query Q_0 (chase root).
   const std::shared_ptr<EvalResult>& root() const { return root_; }
 
@@ -174,6 +190,11 @@ class ChaseContext {
   obs::Observability& obs() { return *obs_; }
 
  private:
+  /// The delta evaluation path (chase/delta_eval) is a second front door to
+  /// this context's memo, stats, and star matcher — it must mirror the full
+  /// path's accounting exactly, which member access keeps honest.
+  friend class DeltaEvaluator;
+
   const Graph& g_;
   WhyQuestion w_;
   ChaseOptions opts_;

@@ -5,7 +5,6 @@
 
 #include "chase/engine.h"
 #include "chase/solve.h"
-#include "match/matcher.h"
 #include "query/ops.h"
 
 namespace wqe {
@@ -173,11 +172,6 @@ ChaseResult internal::RunFMAnsW(ChaseContext& ctx) {
   // refining/diversifying the user query rather than synthesizing one.
   const PatternQuery& base_query = ctx.question().query;
   const QNodeId focus = base_query.focus();
-  // The baseline evaluates from scratch with the plain matcher: no star
-  // views, no caches, no memo (those are this paper's contributions; the
-  // reformulation baseline of [21] has none of them).
-  Matcher matcher(g, &ctx.dist());
-
   // ---- Candidate features: attribute values and adjacent labels seen
   // around V_{u_o}, biased toward the exemplar-relevant nodes.
   std::vector<NodeId> mined = ctx.rep().nodes;
@@ -248,25 +242,15 @@ ChaseResult internal::RunFMAnsW(ChaseContext& ctx) {
   cfg.frontier = &frontier;
   cfg.accept = &accept;
   cfg.stop = &stop;
-  // Support counting: full evaluation against G with the plain matcher.
+  // Support counting: full evaluation against G with the plain matcher (no
+  // star views, no caches, no memo — those are this paper's contributions;
+  // the reformulation baseline of [21] has none of them). Routed through the
+  // context so solver files never touch the matcher directly.
   cfg.evaluate = [&](PatternQuery&& query, OpSequence ops,
                      const engine::Proposal& prop) {
     ++evaluations;
-    auto eval = std::make_shared<EvalResult>();
-    eval->query = std::move(query);
-    eval->ops = std::move(ops);
-    eval->cost = prop.cost;
-    eval->matches = matcher.Answer(eval->query);
-    eval->rel = Classify(ctx.focus_universe(), eval->matches, ctx.rep());
-    eval->cl = eval->rel.AnswerCloseness(opts.closeness.lambda);
-    if (!eval->matches.empty()) {
-      eval->satisfies_exemplar = ComputeRep(ctx.closeness(),
-                                            ctx.question().exemplar,
-                                            eval->matches)
-                                     .nontrivial;
-    }
     engine::Judged j;
-    j.eval = std::move(eval);
+    j.eval = ctx.EvaluateBaseline(std::move(query), std::move(ops), prop.cost);
     return j;
   };
   cfg.step_count = engine::StepCount::kAtEvaluate;

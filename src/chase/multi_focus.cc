@@ -70,6 +70,17 @@ class JointAccept : public engine::AcceptPolicy {
            judged.eval->cl_plus <= threshold + engine::kEps;
   }
 
+  /// Pre-evaluation cut: refinement shrinks every focus's RM, so the summed
+  /// child cl⁺ is dominated by the summed parent cl⁺ the engine passes as
+  /// `bound` — the child's ShouldPrune verdict is known without evaluating
+  /// any focus.
+  bool PruneByBound(double bound, const engine::Proposal&,
+                    engine::ChaseState&) override {
+    const double threshold =
+        answers_.size() >= k_ ? answers_.back().total_closeness : -1e18;
+    return use_pruning_ && bound <= threshold + engine::kEps;
+  }
+
   bool Offer(const engine::Judged& judged, const engine::Proposal&,
              engine::ChaseState&) override {
     const auto& joint = *std::static_pointer_cast<JointEval>(judged.detail);
@@ -216,6 +227,7 @@ MultiFocusResult AnsWMultiFocus(const Graph& g, const MultiFocusQuestion& w,
   }
   result.stats.steps = steps;
   result.stats.pruned = pruned;
+  result.stats.bound_cuts = state.bound_cuts;
   result.stats.elapsed_seconds = state.timer.ElapsedSeconds();
   result.stats.termination = stop.Termination(state);
   for (const auto& ctx : contexts) {

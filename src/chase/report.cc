@@ -21,6 +21,9 @@ ChaseReport::CounterSnapshot ChaseReport::SnapshotCounters(ChaseContext& ctx) {
   s.tables_built = m.counter("match.tables_built").Value();
   s.store_hits = m.counter("store.hits").Value();
   s.store_misses = m.counter("store.misses").Value();
+  s.delta_hits = m.counter("delta_eval.hits").Value();
+  s.delta_full_fallbacks = m.counter("delta_eval.full_fallbacks").Value();
+  s.delta_reuse_hits = m.counter("delta_eval.reuse_hits").Value();
   return s;
 }
 
@@ -53,6 +56,7 @@ obs::QueryLogRecord ChaseReport::BuildQueryLogRecord(
   rec.memo_hits = result.stats.memo_hits;
   rec.ops_generated = result.stats.ops_generated;
   rec.pruned = result.stats.pruned;
+  rec.bound_cuts = result.stats.bound_cuts;
   rec.phases = result.stats.phases;
 
   const CounterSnapshot now = SnapshotCounters(ctx);
@@ -61,6 +65,10 @@ obs::QueryLogRecord ChaseReport::BuildQueryLogRecord(
   rec.tables_built = now.tables_built - before.tables_built;
   rec.store_hits = now.store_hits - before.store_hits;
   rec.store_misses = now.store_misses - before.store_misses;
+  rec.delta_hits = now.delta_hits - before.delta_hits;
+  rec.delta_full_fallbacks =
+      now.delta_full_fallbacks - before.delta_full_fallbacks;
+  rec.delta_reuse_hits = now.delta_reuse_hits - before.delta_reuse_hits;
 
   if (result.found()) {
     const WhyAnswer& best = result.best();
@@ -129,6 +137,14 @@ std::string ChaseReport::ExplainText(ChaseContext& ctx,
                 static_cast<unsigned long long>(rec.tables_built),
                 static_cast<unsigned long long>(rec.store_hits),
                 static_cast<unsigned long long>(rec.store_misses));
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  delta: %llu incremental / %llu full, %llu tables reused, "
+                "%llu bound cuts\n",
+                static_cast<unsigned long long>(rec.delta_hits),
+                static_cast<unsigned long long>(rec.delta_full_fallbacks),
+                static_cast<unsigned long long>(rec.delta_reuse_hits),
+                static_cast<unsigned long long>(rec.bound_cuts));
   out << line;
 
   out << "  applied operators (" << rec.ops.size() << "):\n";

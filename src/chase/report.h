@@ -31,6 +31,9 @@ class ChaseReport {
     uint64_t tables_built = 0;
     uint64_t store_hits = 0;
     uint64_t store_misses = 0;
+    uint64_t delta_hits = 0;
+    uint64_t delta_full_fallbacks = 0;
+    uint64_t delta_reuse_hits = 0;
   };
 
   /// Reads the current values of the counters above from `ctx`'s registry.

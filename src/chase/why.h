@@ -56,6 +56,18 @@ struct ChaseOptions {
   /// (which also implies use_cache = false in the paper's setup).
   bool use_pruning = true;
 
+  /// Incremental star re-verification (DESIGN.md "Incremental evaluation"):
+  /// evaluate a child rewrite as a delta against its parent — reuse the
+  /// parent's star tables for untouched stars, re-verify only the affected
+  /// focus candidates (new candidates after a relaxation, surviving parent
+  /// matches after a refinement), and cut refine children whose parent cl⁺
+  /// bound already falls under the incumbent threshold. Falls back to full
+  /// evaluation whenever the delta is not provably local (focus-touching
+  /// ops, mixed-polarity payloads, no parent state). Match sets — and hence
+  /// every answer — are identical either way; only the work differs. Off =
+  /// the abl_delta_eval control arm.
+  bool use_delta_eval = true;
+
   /// Recognize rewrites already reached by another operator order. The
   /// naive AnsWb baseline turns this off and enumerates the raw Q-Chase
   /// tree, where equal rewrites reached by different sequences are distinct

@@ -1,5 +1,8 @@
 #include "match/candidates.h"
 
+#include <algorithm>
+#include <iterator>
+
 namespace wqe {
 
 bool IsCandidate(const Graph& g, const PatternQuery& q, QNodeId u, NodeId v) {
@@ -34,6 +37,22 @@ std::vector<std::vector<NodeId>> AllCandidates(const Graph& g,
   for (QNodeId u = 0; u < q.num_nodes(); ++u) {
     if (mask[u]) out[u] = ComputeCandidates(g, q, u);
   }
+  return out;
+}
+
+std::vector<NodeId> SortedDifference(const std::vector<NodeId>& a,
+                                     const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+std::vector<NodeId> SortedUnion(const std::vector<NodeId>& a,
+                                const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
   return out;
 }
 

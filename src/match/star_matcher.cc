@@ -48,40 +48,64 @@ void StarMatcher::set_observability(obs::Observability* o) {
   c_verified_ = &o->metrics.counter("match.focus_verified");
 }
 
-StarMatcher::Evaluation StarMatcher::Evaluate(
-    const PatternQuery& q, const std::function<double(NodeId)>* priority) {
-  ++stats_.evaluations;
-  Evaluation eval;
-  eval.stars = DecomposeStars(q);
-
-  {
-    WQE_SPAN("match.stars");
-    for (const StarQuery& star : eval.stars) {
-      // Between stars; the materializer checks inside its row loop too.
-      if (deadline_ != nullptr) deadline_->ThrowIfExpired();
-      std::shared_ptr<const StarTable> table;
-      if (cache_ != nullptr) {
-        table = cache_->Get(star.Signature(q));
-        if (table != nullptr) ++stats_.cache_hits;
+std::shared_ptr<const StarEvalState> StarMatcher::ResolveTables(
+    const PatternQuery& q, const StarEvalState* reuse,
+    bool materialize_missing) {
+  WQE_SPAN("match.stars");
+  auto state = std::make_shared<StarEvalState>();
+  state->stars = DecomposeStars(q);
+  state->signatures.reserve(state->stars.size());
+  state->tables.reserve(state->stars.size());
+  for (const StarQuery& star : state->stars) {
+    // Between stars; the materializer checks inside its row loop too.
+    if (deadline_ != nullptr) deadline_->ThrowIfExpired();
+    std::string signature = star.Signature(q);
+    std::shared_ptr<const StarTable> table;
+    // A parent's table under the same signature is the table the cache
+    // would share anyway — take it without cache traffic (no score churn,
+    // no hit/miss skew from the delta path's extra lookups).
+    if (reuse != nullptr) {
+      for (size_t j = 0; j < reuse->signatures.size(); ++j) {
+        if (reuse->tables[j] != nullptr && reuse->signatures[j] == signature) {
+          table = reuse->tables[j];
+          ++stats_.reuse_hits;
+          break;
+        }
       }
-      if (table == nullptr) {
-        table = materializer_.Materialize(q, star);
-        ++stats_.tables_built;
-        if (c_tables_built_ != nullptr) c_tables_built_->Inc();
-        if (cache_ != nullptr) cache_->Put(star.Signature(q), table);
-      }
-      eval.tables.push_back(std::move(table));
     }
+    if (table == nullptr && cache_ != nullptr) {
+      if (materialize_missing) {
+        table = cache_->Get(signature);
+        if (table != nullptr) ++stats_.cache_hits;
+      } else {
+        // Opportunistic probe: absence is not a miss when we would not
+        // build the table anyway.
+        table = cache_->Peek(signature);
+      }
+    }
+    if (table == nullptr && materialize_missing) {
+      table = materializer_.Materialize(q, star);
+      ++stats_.tables_built;
+      if (c_tables_built_ != nullptr) c_tables_built_->Inc();
+      if (cache_ != nullptr) cache_->Put(signature, table);
+    }
+    state->signatures.push_back(std::move(signature));
+    state->tables.push_back(std::move(table));
   }
+  return state;
+}
 
+std::vector<std::optional<std::vector<NodeId>>> StarMatcher::AllowedSets(
+    const PatternQuery& q, const StarEvalState& state) const {
   // Per-node pruned candidate sets: intersection of occurrences across all
   // stars that constrain the node. Node ids come from the *current* query's
-  // stars (eval.stars[i]); the cached table only supplies role-addressed
+  // stars (state.stars[i]); the cached table only supplies role-addressed
   // data — its own star() may stem from a different rewrite.
   std::vector<std::optional<std::vector<NodeId>>> allowed_sets(q.num_nodes());
-  for (size_t i = 0; i < eval.tables.size(); ++i) {
-    const StarQuery& star = eval.stars[i];
-    const StarTable& table = *eval.tables[i];
+  for (size_t i = 0; i < state.tables.size(); ++i) {
+    if (state.tables[i] == nullptr) continue;
+    const StarQuery& star = state.stars[i];
+    const StarTable& table = *state.tables[i];
     IntersectInto(allowed_sets[star.center], table.center_occurrences());
     for (size_t s = 0; s < star.spokes.size(); ++s) {
       IntersectInto(allowed_sets[star.spokes[s].other],
@@ -89,20 +113,17 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
     }
     IntersectInto(allowed_sets[q.focus()], table.focus_occurrences());
   }
+  return allowed_sets;
+}
 
+std::vector<NodeId> StarMatcher::VerifyCandidates(
+    const PatternQuery& q, std::vector<NodeId> candidates,
+    const std::vector<std::optional<std::vector<NodeId>>>& allowed_sets,
+    const std::function<double(NodeId)>* priority) {
   std::vector<const std::vector<NodeId>*> allowed(q.num_nodes(), nullptr);
   for (QNodeId u = 0; u < q.num_nodes(); ++u) {
     if (allowed_sets[u].has_value()) allowed[u] = &*allowed_sets[u];
   }
-
-  std::vector<NodeId> candidates;
-  if (allowed[q.focus()] != nullptr) {
-    candidates = *allowed[q.focus()];
-  } else {
-    candidates = ComputeCandidates(g_, q, q.focus());
-  }
-  stats_.focus_candidates += candidates.size();
-  if (c_candidates_ != nullptr) c_candidates_->Inc(candidates.size());
 
   WQE_SPAN("match.verify");
   if (priority != nullptr) {
@@ -112,6 +133,7 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
                      });
   }
 
+  std::vector<NodeId> matches;
   // Each verification is a full (bounded) match check, so an armed deadline
   // is consulted every kDeadlineCheckStride candidates — the overshoot is a
   // stride of match checks, not the whole candidate list. Matches found
@@ -123,7 +145,7 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
       MaybeThrowIfExpired(deadline_, i);
       ++stats_.focus_verified;
       if (matcher_.IsMatchRestricted(q, candidates[i], allowed)) {
-        eval.matches.push_back(candidates[i]);
+        matches.push_back(candidates[i]);
       }
     }
   } else {
@@ -150,11 +172,33 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
       worker->stats() = MatchStats();
     }
     for (size_t i = 0; i < candidates.size(); ++i) {
-      if (is_match[i]) eval.matches.push_back(candidates[i]);
+      if (is_match[i]) matches.push_back(candidates[i]);
     }
   }
   if (c_verified_ != nullptr) c_verified_->Inc(candidates.size());
-  std::sort(eval.matches.begin(), eval.matches.end());
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
+
+StarMatcher::Evaluation StarMatcher::Evaluate(
+    const PatternQuery& q, const std::function<double(NodeId)>* priority) {
+  ++stats_.evaluations;
+  Evaluation eval;
+  eval.state = ResolveTables(q, /*reuse=*/nullptr, /*materialize_missing=*/true);
+
+  const auto allowed_sets = AllowedSets(q, *eval.state);
+
+  std::vector<NodeId> candidates;
+  if (allowed_sets[q.focus()].has_value()) {
+    candidates = *allowed_sets[q.focus()];
+  } else {
+    candidates = ComputeCandidates(g_, q, q.focus());
+  }
+  stats_.focus_candidates += candidates.size();
+  if (c_candidates_ != nullptr) c_candidates_->Inc(candidates.size());
+
+  eval.matches = VerifyCandidates(q, std::move(candidates), allowed_sets,
+                                  priority);
   return eval;
 }
 

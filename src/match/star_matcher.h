@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "match/matcher.h"
@@ -23,8 +24,23 @@ struct StarEvalStats {
   uint64_t evaluations = 0;
   uint64_t tables_built = 0;
   uint64_t cache_hits = 0;
+  uint64_t reuse_hits = 0;        // tables inherited from a parent StarEvalState
   uint64_t focus_candidates = 0;  // before star pruning
   uint64_t focus_verified = 0;    // after star pruning
+};
+
+/// Reusable star-view state of one evaluation: the decomposition, each
+/// star's cache signature, and its resolved table (parallel vectors). The
+/// delta evaluation path (chase/delta_eval) threads this from a parent chase
+/// node to its children so untouched stars are never re-materialized —
+/// signature equality is exactly the view cache's sharing condition, so a
+/// reused table is byte-identical to a rebuilt one. Table entries may be
+/// null when the state was resolved with materialize_missing = false (the
+/// refine-only path, which is sound against any subset of the views).
+struct StarEvalState {
+  std::vector<StarQuery> stars;
+  std::vector<std::string> signatures;
+  std::vector<std::shared_ptr<const StarTable>> tables;
 };
 
 /// Star-view evaluation of Q(G) (procedure Match, §5.2):
@@ -61,14 +77,41 @@ class StarMatcher {
 
   struct Evaluation {
     std::vector<NodeId> matches;  // Q(G), sorted ascending
-    std::vector<StarQuery> stars;
-    std::vector<std::shared_ptr<const StarTable>> tables;  // parallel to stars
+    std::shared_ptr<const StarEvalState> state;
   };
 
   /// Evaluates Q(G). `priority` (optional) orders candidate verification
   /// descending — pass cl(v, ℰ) to verify exemplar-close candidates first.
   Evaluation Evaluate(const PatternQuery& q,
                       const std::function<double(NodeId)>* priority = nullptr);
+
+  /// Decomposes `q` and resolves one table per star. Resolution order per
+  /// star: (1) a table in `reuse` under the same signature — free, counted as
+  /// stats_.reuse_hits, no cache traffic; (2) the view cache (Get when
+  /// materializing, a scoreless Peek otherwise); (3) a fresh Materialize +
+  /// cache Put, unless `materialize_missing` is false, which leaves the slot
+  /// null instead (sound for refine-only re-verification: absent tables only
+  /// weaken pruning, never correctness).
+  std::shared_ptr<const StarEvalState> ResolveTables(
+      const PatternQuery& q, const StarEvalState* reuse,
+      bool materialize_missing);
+
+  /// Per-query-node allowed sets from `state`'s tables: the intersection of
+  /// each node's role occurrences (center / spoke / augmented focus) across
+  /// the stars that mention it. Null tables contribute nothing (no filter).
+  /// A nullopt entry means "unrestricted"; an engaged empty vector is a
+  /// proven-empty candidate set.
+  std::vector<std::optional<std::vector<NodeId>>> AllowedSets(
+      const PatternQuery& q, const StarEvalState& state) const;
+
+  /// Verifies `candidates` (any order; deduped by the caller) with the exact
+  /// matcher restricted to `allowed`, most-promising first under `priority`,
+  /// sharded over workers when num_threads > 1. Returns the verified subset
+  /// sorted ascending and bumps focus_verified / the registry counter.
+  std::vector<NodeId> VerifyCandidates(
+      const PatternQuery& q, std::vector<NodeId> candidates,
+      const std::vector<std::optional<std::vector<NodeId>>>& allowed,
+      const std::function<double(NodeId)>* priority);
 
   StarEvalStats& stats() { return stats_; }
   Matcher& matcher() { return matcher_; }

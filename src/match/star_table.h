@@ -1,6 +1,7 @@
 #ifndef WQE_MATCH_STAR_TABLE_H_
 #define WQE_MATCH_STAR_TABLE_H_
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,14 @@ class StarTable {
   /// All nodes seen in the focus position across rows (sorted, unique).
   /// Star-view evaluation intersects these across stars to prune V_{u_o}.
   const std::vector<NodeId>& focus_occurrences() const { return focus_occ_; }
+
+  /// Whether `v` occurs in the focus position of any row — the delta
+  /// evaluation path's per-candidate probe (chase/delta_eval): a refine-only
+  /// re-verification filters the (small) parent match set against each
+  /// surviving star without building full occurrence intersections.
+  bool ContainsFocusOccurrence(NodeId v) const {
+    return std::binary_search(focus_occ_.begin(), focus_occ_.end(), v);
+  }
 
   /// All center matches (sorted, unique). Tables are addressed by *role*
   /// (center / spoke index / focus), never by query node id: the view cache

@@ -41,6 +41,12 @@ std::shared_ptr<const StarTable> ViewCache::Get(const std::string& signature) {
   return e.table;
 }
 
+std::shared_ptr<const StarTable> ViewCache::Peek(
+    const std::string& signature) const {
+  auto it = entries_.find(signature);
+  return it == entries_.end() ? nullptr : it->second.table;
+}
+
 void ViewCache::Put(const std::string& signature,
                     std::shared_ptr<const StarTable> table) {
   // Insertion is not a clock event: only lookups advance the decay tick.

@@ -1,0 +1,474 @@
+// Equivalence suite for the incremental evaluation path (chase/delta_eval):
+// the delta-aware evaluator must produce *byte-identical* solver output to
+// full evaluation — same answers, same matches, same closeness, same chase
+// tree (steps/pruned) — across every algorithm bundle and thread count; only
+// the work counters (evaluations, tables built) may shrink. The match-set
+// reconstruction itself is checked directly against the brute-force
+// reference oracle on random graphs, op by op, including the
+// not-provably-local payloads that must fall back to full evaluation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "chase/delta_eval.h"
+#include "chase/engine.h"
+#include "chase/multi_focus.h"
+#include "chase/next_op.h"
+#include "chase/solve.h"
+#include "chase/why_not.h"
+#include "common/rng.h"
+#include "gen/datasets.h"
+#include "gen/product_demo.h"
+#include "gen/synthetic.h"
+#include "reference_matcher.h"
+#include "workload/why_factory.h"
+
+namespace wqe {
+namespace {
+
+ChaseOptions BaseOptions(size_t num_threads, bool use_delta) {
+  ChaseOptions o;
+  o.budget = 3;
+  o.max_steps = 2000;
+  o.top_k = 2;
+  o.num_threads = num_threads;
+  o.use_delta_eval = use_delta;
+  return o;
+}
+
+/// Everything a ChaseResult reports that must be invariant under the delta
+/// path: termination, the explored tree (steps, pruned — the bound cut counts
+/// a skipped child as pruned exactly like its post-evaluation verdict would),
+/// and every answer byte. `evaluations` is deliberately excluded: shrinking
+/// it is the whole point.
+std::string InvariantFingerprint(const ChaseResult& r) {
+  std::ostringstream out;
+  out << static_cast<int>(r.termination()) << '|' << r.stats.steps << '|'
+      << r.stats.ops_generated << '|' << r.stats.pruned << '|' << r.cl_star
+      << '\n';
+  for (const WhyAnswer& a : r.answers) {
+    out << a.fingerprint << '|' << a.cost << '|' << a.closeness << '|'
+        << a.satisfies_exemplar << '|';
+    for (NodeId v : a.matches) out << v << ',';
+    out << '\n';
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: all seven solver bundles, delta on vs off, 1 and 4 threads.
+// ---------------------------------------------------------------------------
+
+TEST(DeltaEvalTest, EveryAlgorithmIdenticalWithDeltaOnAndOff) {
+  Graph g = GenerateGraph(ImdbLike(0.04));
+  WhyFactoryOptions fopts;
+  fopts.query.num_edges = 2;
+  fopts.disturb.num_ops = 2;
+  fopts.seed = 11;
+  auto cases = MakeBenchCases(g, 2, fopts);
+  ASSERT_FALSE(cases.empty());
+
+  for (const Algorithm algo :
+       {Algorithm::kAnsW, Algorithm::kAnsWE, Algorithm::kAnsHeu,
+        Algorithm::kFMAnsW, Algorithm::kApxWhyM}) {
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      for (const BenchCase& c : cases) {
+        ChaseResult off = Solve(g, c.question, BaseOptions(threads, false), algo);
+        ChaseResult on = Solve(g, c.question, BaseOptions(threads, true), algo);
+        ASSERT_TRUE(off.ok() && on.ok()) << AlgorithmName(algo);
+        EXPECT_EQ(InvariantFingerprint(off), InvariantFingerprint(on))
+            << AlgorithmName(algo) << " threads=" << threads;
+        // The delta path may only ever do less work, never more.
+        EXPECT_LE(on.stats.evaluations, off.stats.evaluations)
+            << AlgorithmName(algo);
+        EXPECT_EQ(off.stats.bound_cuts, 0u) << AlgorithmName(algo);
+      }
+    }
+  }
+}
+
+TEST(DeltaEvalTest, DeltaOnIsByteIdenticalAcrossThreadCounts) {
+  Graph g = GenerateGraph(DbpediaLike(0.04));
+  WhyFactoryOptions fopts;
+  fopts.query.num_edges = 2;
+  fopts.disturb.num_ops = 2;
+  fopts.seed = 5;
+  auto cases = MakeBenchCases(g, 2, fopts);
+  ASSERT_FALSE(cases.empty());
+
+  for (const Algorithm algo : {Algorithm::kAnsW, Algorithm::kAnsHeu}) {
+    for (const BenchCase& c : cases) {
+      ChaseResult serial = Solve(g, c.question, BaseOptions(1, true), algo);
+      ChaseResult parallel = Solve(g, c.question, BaseOptions(4, true), algo);
+      ASSERT_TRUE(serial.ok() && parallel.ok());
+      EXPECT_EQ(InvariantFingerprint(serial), InvariantFingerprint(parallel))
+          << AlgorithmName(algo);
+      EXPECT_EQ(serial.stats.evaluations, parallel.stats.evaluations)
+          << AlgorithmName(algo);
+    }
+  }
+}
+
+TEST(DeltaEvalTest, MultiFocusIdenticalWithDeltaOnAndOff) {
+  ProductDemo demo;
+  MultiFocusQuestion w;
+  w.query = demo.Query();
+  w.foci = {0, 2};
+  w.exemplars.push_back(demo.MakeExemplar());
+  std::vector<NodeId> sprint = {demo.sprint()};
+  w.exemplars.push_back(Exemplar::FromEntities(demo.graph(), sprint));
+
+  auto run = [&](bool use_delta) {
+    ChaseOptions o;
+    o.budget = 4;
+    o.use_delta_eval = use_delta;
+    return AnsWMultiFocus(demo.graph(), w, o);
+  };
+  const MultiFocusResult off = run(false);
+  const MultiFocusResult on = run(true);
+  ASSERT_EQ(off.answers.size(), on.answers.size());
+  for (size_t i = 0; i < off.answers.size(); ++i) {
+    EXPECT_EQ(off.answers[i].fingerprint, on.answers[i].fingerprint);
+    EXPECT_EQ(off.answers[i].total_closeness, on.answers[i].total_closeness);
+    EXPECT_EQ(off.answers[i].matches_per_focus, on.answers[i].matches_per_focus);
+  }
+  EXPECT_EQ(off.stats.steps, on.stats.steps);
+  EXPECT_EQ(off.stats.pruned, on.stats.pruned);
+  EXPECT_LE(on.stats.evaluations, off.stats.evaluations);
+}
+
+TEST(DeltaEvalTest, WhyNotIdenticalWithDeltaOnAndOff) {
+  ProductDemo demo;
+  auto explain = [&](bool use_delta) {
+    ChaseOptions o;
+    o.budget = 4;
+    o.use_delta_eval = use_delta;
+    ChaseContext ctx(demo.graph(), demo.Question(), o);
+    return ExplainWhyNot(ctx, demo.p(3)).ToString(demo.graph());
+  };
+  EXPECT_EQ(explain(false), explain(true));
+}
+
+// ---------------------------------------------------------------------------
+// Direct oracle checks: DeltaEvaluator vs brute-force reference, per op.
+// ---------------------------------------------------------------------------
+
+Graph RandomAttributedGraph(Rng& rng, size_t n, size_t m, int num_labels) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = g.AddNode(
+        "L" + std::to_string(rng.Index(static_cast<size_t>(num_labels))));
+    g.SetNum(v, "x", static_cast<double>(rng.Int(0, 9)));
+    if (rng.Chance(0.6)) {
+      g.SetNum(v, "y", static_cast<double>(rng.Int(0, 4)));
+    }
+  }
+  for (size_t e = 0; e < m; ++e) {
+    NodeId a = static_cast<NodeId>(rng.Index(n));
+    NodeId b = static_cast<NodeId>(rng.Index(n));
+    if (a != b) g.AddEdge(a, b);
+  }
+  g.Finalize();
+  return g;
+}
+
+PatternQuery RandomQuery(Rng& rng, Graph& g, size_t max_nodes) {
+  PatternQuery q;
+  const size_t num_nodes = 2 + rng.Index(max_nodes - 1);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    LabelId label = g.schema().LookupLabel("L" + std::to_string(rng.Index(3)));
+    q.AddNode(label);
+    if (rng.Chance(0.5)) {
+      q.AddLiteral(static_cast<QNodeId>(i),
+                   {g.schema().LookupAttr("x"), CmpOp::kGe,
+                    Value::Num(static_cast<double>(rng.Int(0, 5)))});
+    }
+  }
+  for (size_t i = 1; i < num_nodes; ++i) {
+    const QNodeId parent = static_cast<QNodeId>(rng.Index(i));
+    q.AddEdge(parent, static_cast<QNodeId>(i),
+              static_cast<uint32_t>(rng.Int(1, 3)));
+  }
+  q.SetFocus(0);
+  return q;
+}
+
+/// A context whose exemplar is drawn from the focus's candidate class so the
+/// rep is usually nontrivial and operator generation has something to chew.
+std::unique_ptr<ChaseContext> MakeContext(Graph& g, const PatternQuery& q,
+                                          bool use_memo = true) {
+  std::vector<NodeId> entities = ComputeCandidates(g, q, q.focus());
+  if (entities.empty()) {
+    entities = {0, 1};
+  } else if (entities.size() > 3) {
+    entities.resize(3);
+  }
+  WhyQuestion w;
+  w.query = q;
+  w.exemplar = Exemplar::FromEntities(g, entities);
+  ChaseOptions o;
+  o.budget = 3;
+  o.use_memo = use_memo;
+  return std::make_unique<ChaseContext>(g, w, o);
+}
+
+uint64_t Counter(ChaseContext& ctx, const char* name) {
+  return ctx.obs().metrics.counter(name).Value();
+}
+
+TEST(DeltaEvalTest, SingleOpDeltasMatchBruteForceOracle) {
+  uint64_t delta_hits_total = 0;
+  for (const uint64_t seed : {3u, 17u, 91u, 404u}) {
+    Rng rng(seed);
+    Graph g = RandomAttributedGraph(rng, 14, 30, 3);
+    ReferenceMatcher reference(g);
+    PatternQuery q = RandomQuery(rng, g, 4);
+    auto ctx = MakeContext(g, q);
+    DeltaEvaluator delta(*ctx);
+
+    ChaseNode root_node;
+    root_node.eval = ctx->root();
+    GenerateOps(*ctx, root_node, /*best_cl=*/-1e18, /*per_class_cap=*/0,
+                nullptr);
+    size_t tried = 0;
+    for (const ScoredOp& scored : root_node.queue) {
+      if (tried >= 12) break;
+      PatternQuery child = q;
+      if (!Apply(scored.op, &child, ctx->options().max_bound)) continue;
+      ++tried;
+      OpSequence ops;
+      ops.Append(scored.op);
+      auto eval = delta.Evaluate(child, ops, ctx->root().get(), {scored.op});
+      EXPECT_EQ(eval->matches, reference.Answer(child))
+          << "seed=" << seed << " op=" << scored.op.ToString(g.schema());
+      // The delta result must also agree byte-for-byte with the full path.
+      ChaseOptions full_opts = ctx->options();
+      full_opts.use_delta_eval = false;
+      ChaseContext full_ctx(g, {q, ctx->question().exemplar}, full_opts);
+      auto full = full_ctx.Evaluate(child, ops);
+      EXPECT_EQ(eval->matches, full->matches);
+      EXPECT_EQ(eval->cl, full->cl);
+      EXPECT_EQ(eval->cl_plus, full->cl_plus);
+      EXPECT_EQ(eval->satisfies_exemplar, full->satisfies_exemplar);
+    }
+    delta_hits_total += Counter(*ctx, "delta_eval.hits");
+  }
+  // Every generated op is a pure-polarity single-op payload, so all of the
+  // checks above must have exercised the incremental paths.
+  EXPECT_GT(delta_hits_total, 0u);
+}
+
+TEST(DeltaEvalTest, MultiOpRelaxPayloadMatchesOracle) {
+  for (const uint64_t seed : {23u, 58u}) {
+    Rng rng(seed);
+    Graph g = RandomAttributedGraph(rng, 14, 32, 3);
+    ReferenceMatcher reference(g);
+    PatternQuery q = RandomQuery(rng, g, 4);
+    auto ctx = MakeContext(g, q, /*use_memo=*/false);
+    DeltaEvaluator delta(*ctx);
+
+    ChaseNode root_node;
+    root_node.eval = ctx->root();
+    GenerateOps(*ctx, root_node, -1e18, 0, nullptr);
+    std::vector<Op> relaxes;
+    for (const ScoredOp& scored : root_node.queue) {
+      if (scored.op.is_relax()) relaxes.push_back(scored.op);
+      if (relaxes.size() == 2) break;
+    }
+    if (relaxes.size() < 2) continue;  // seed produced no joint payload
+    PatternQuery child = q;
+    if (!Apply(relaxes[0], &child, ctx->options().max_bound)) continue;
+    if (!Apply(relaxes[1], &child, ctx->options().max_bound)) continue;
+    OpSequence ops;
+    ops.Append(relaxes[0]);
+    ops.Append(relaxes[1]);
+    const uint64_t hits_before = Counter(*ctx, "delta_eval.hits");
+    auto eval = delta.Evaluate(child, ops, ctx->root().get(), relaxes);
+    EXPECT_EQ(eval->matches, reference.Answer(child)) << "seed=" << seed;
+    // A same-polarity payload is provably local: no fallback.
+    EXPECT_EQ(Counter(*ctx, "delta_eval.hits"), hits_before + 1);
+  }
+}
+
+TEST(DeltaEvalTest, NotProvablyLocalPayloadsFallBackToFullEvaluation) {
+  Rng rng(7);
+  Graph g = RandomAttributedGraph(rng, 14, 30, 3);
+  ReferenceMatcher reference(g);
+  PatternQuery q = RandomQuery(rng, g, 4);
+  auto ctx = MakeContext(g, q, /*use_memo=*/false);
+  DeltaEvaluator delta(*ctx);
+  const AttrId x = g.schema().LookupAttr("x");
+
+  // A refinement on the focus node itself shifts the focus candidate space
+  // but not the polarity argument: it stays on the (refine) delta path and
+  // must remain exact.
+  Op focus_op;
+  focus_op.kind = OpKind::kAddL;
+  focus_op.u = q.focus();
+  focus_op.lit = {x, CmpOp::kLe, Value::Num(8)};
+  PatternQuery focus_child = q;
+  ASSERT_TRUE(Apply(focus_op, &focus_child, ctx->options().max_bound));
+  uint64_t fb = Counter(*ctx, "delta_eval.full_fallbacks");
+  const uint64_t hits = Counter(*ctx, "delta_eval.hits");
+  OpSequence focus_ops;
+  focus_ops.Append(focus_op);
+  auto focus_eval =
+      delta.Evaluate(focus_child, focus_ops, ctx->root().get(), {focus_op});
+  EXPECT_EQ(Counter(*ctx, "delta_eval.full_fallbacks"), fb);
+  EXPECT_EQ(Counter(*ctx, "delta_eval.hits"), hits + 1);
+  EXPECT_EQ(focus_eval->matches, reference.Answer(focus_child));
+
+  // A mixed relax+refine payload on a non-focus node: neither inclusion
+  // holds — must fall back.
+  const QNodeId other = static_cast<QNodeId>(q.focus() == 0 ? 1 : 0);
+  Op add;
+  add.kind = OpKind::kAddL;
+  add.u = other;
+  add.lit = {x, CmpOp::kLe, Value::Num(9)};
+  Op rm;
+  rm.kind = OpKind::kRmL;
+  rm.u = other;
+  rm.lit = add.lit;
+  PatternQuery mixed_child = q;
+  ASSERT_TRUE(Apply(add, &mixed_child, ctx->options().max_bound));
+  ASSERT_TRUE(Apply(rm, &mixed_child, ctx->options().max_bound));
+  fb = Counter(*ctx, "delta_eval.full_fallbacks");
+  OpSequence mixed_ops;
+  mixed_ops.Append(add);
+  mixed_ops.Append(rm);
+  auto mixed_eval = delta.Evaluate(mixed_child, mixed_ops, ctx->root().get(),
+                                   {add, rm});
+  EXPECT_EQ(Counter(*ctx, "delta_eval.full_fallbacks"), fb + 1);
+  EXPECT_EQ(mixed_eval->matches, reference.Answer(mixed_child));
+
+  // No parent context at all: the delta has nothing to diff against.
+  fb = Counter(*ctx, "delta_eval.full_fallbacks");
+  OpSequence add_ops;
+  add_ops.Append(add);
+  PatternQuery add_child = q;
+  ASSERT_TRUE(Apply(add, &add_child, ctx->options().max_bound));
+  auto orphan = delta.Evaluate(add_child, add_ops, nullptr, {add});
+  EXPECT_EQ(Counter(*ctx, "delta_eval.full_fallbacks"), fb + 1);
+  EXPECT_EQ(orphan->matches, reference.Answer(add_child));
+
+  // An empty payload cannot be classified: fallback.
+  fb = Counter(*ctx, "delta_eval.full_fallbacks");
+  auto empty = delta.Evaluate(q, OpSequence(), ctx->root().get(), {});
+  EXPECT_EQ(Counter(*ctx, "delta_eval.full_fallbacks"), fb + 1);
+  EXPECT_EQ(empty->matches, ctx->root()->matches);
+}
+
+TEST(DeltaEvalTest, EngineBoundCutSkipsRefineOnlyChildrenPreEvaluation) {
+  // No graph needed: the engine's bound cut is pure control flow over the
+  // proposal's polarity and the parent's cl⁺.
+  PatternQuery q;
+  q.SetFocus(q.AddNode(1));
+  q.AddLiteral(0, {0, CmpOp::kGe, Value::Num(1)});
+
+  EvalResult parent;
+  parent.query = q;
+  parent.cl_plus = 0.1;  // under the stub threshold: refine children are dead
+
+  Op refine;
+  refine.kind = OpKind::kAddL;
+  refine.u = 0;
+  refine.lit = {0, CmpOp::kLe, Value::Num(5)};
+  Op relax;
+  relax.kind = OpKind::kRmL;
+  relax.u = 0;
+  relax.lit = {0, CmpOp::kGe, Value::Num(1)};
+
+  struct CutAccept : engine::AcceptPolicy {
+    bool PruneByBound(double bound, const engine::Proposal&,
+                      engine::ChaseState&) override {
+      return bound <= 0.5;
+    }
+    bool Offer(const engine::Judged&, const engine::Proposal&,
+               engine::ChaseState&) override {
+      return false;
+    }
+  } accept;
+
+  size_t evaluated = 0;
+  ChaseOptions opts;  // use_delta_eval defaults on
+  engine::EngineConfig cfg;
+  cfg.opts = &opts;
+  cfg.accept = &accept;
+  cfg.evaluate = [&](PatternQuery&& query, OpSequence ops,
+                     const engine::Proposal&) {
+    ++evaluated;
+    engine::Judged j;
+    j.eval = std::make_shared<EvalResult>();
+    j.eval->query = std::move(query);
+    j.eval->ops = std::move(ops);
+    return j;
+  };
+
+  engine::ListFrontier frontier(
+      &q, {{{refine}, 1.0, -1}, {{relax}, 1.0, -1}}, &parent);
+  cfg.frontier = &frontier;
+  uint64_t steps = 0;
+  uint64_t pruned = 0;
+  engine::ChaseState state(&steps, &pruned);
+  engine::Run(cfg, state);
+
+  // The refine-only proposal was cut before its evaluation ran; the relax
+  // proposal (parent bound does not dominate) was evaluated.
+  EXPECT_EQ(state.bound_cuts, 1u);
+  EXPECT_EQ(pruned, 1u);
+  EXPECT_EQ(evaluated, 1u);
+
+  // With the delta path off, the cut must not fire at all.
+  opts.use_delta_eval = false;
+  engine::ListFrontier replay(&q, {{{refine}, 1.0, -1}}, &parent);
+  cfg.frontier = &replay;
+  engine::ChaseState state2(&steps, &pruned);
+  engine::Run(cfg, state2);
+  EXPECT_EQ(state2.bound_cuts, 0u);
+  EXPECT_EQ(evaluated, 2u);
+}
+
+TEST(DeltaEvalTest, RefineDeltaReusesParentTablesWithoutMaterializing) {
+  Rng rng(19);
+  Graph g = RandomAttributedGraph(rng, 14, 30, 3);
+  // A 4-node path with the focus at one end and the refinement at the other:
+  // the star centered mid-path neither contains the refined node nor changes
+  // its focus distance, so its signature — and its table — must carry over.
+  PatternQuery q;
+  const LabelId l0 = g.schema().LookupLabel("L0");
+  for (int i = 0; i < 4; ++i) q.AddNode(l0);
+  q.AddEdge(0, 1, 1);
+  q.AddEdge(1, 2, 1);
+  q.AddEdge(2, 3, 1);
+  q.SetFocus(0);
+  auto ctx = MakeContext(g, q, /*use_memo=*/false);
+  DeltaEvaluator delta(*ctx);
+  ASSERT_NE(ctx->root()->star_state, nullptr);
+  const AttrId x = g.schema().LookupAttr("x");
+
+  Op refine;
+  refine.kind = OpKind::kAddL;
+  refine.u = 3;
+  refine.lit = {x, CmpOp::kLe, Value::Num(9)};
+  PatternQuery child = q;
+  ASSERT_TRUE(Apply(refine, &child, ctx->options().max_bound));
+  OpSequence ops;
+  ops.Append(refine);
+
+  const uint64_t built_before = ctx->star_matcher().stats().tables_built;
+  auto eval = delta.Evaluate(child, ops, ctx->root().get(), {refine});
+  // Q'(G) ⊆ Q(G): verification is complete without tables, so the refine
+  // path never pays a materialization.
+  EXPECT_EQ(ctx->star_matcher().stats().tables_built, built_before);
+  // Every child match survives from the parent set.
+  for (NodeId v : eval->matches) {
+    EXPECT_TRUE(std::binary_search(ctx->root()->matches.begin(),
+                                   ctx->root()->matches.end(), v));
+  }
+  // The untouched stars' tables carried over from the parent state.
+  EXPECT_GT(ctx->star_matcher().stats().reuse_hits, 0u);
+}
+
+}  // namespace
+}  // namespace wqe

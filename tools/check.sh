@@ -31,6 +31,23 @@ for pattern in '\.Expired\(' 'ThrowIfExpired' 'DeadlineGovernor' \
     LINT_FAIL=1
   fi
 done
+# The evaluate step is the engine's second owned concern: solver policy
+# bundles must obtain match sets through ChaseContext::Evaluate (or the
+# DeltaEvaluator the engine installs), never by calling Matcher::Answer or
+# StarMatcher::Evaluate directly — a direct call bypasses the memo, the
+# delta path, and the evaluation stats, so its answers silently diverge
+# from what `use_delta_eval` toggling is tested against.
+for pattern in '\.Answer\(' 'star_matcher[_()]*\.Evaluate\('; do
+  if hits=$(grep -rnE "$pattern" src/chase \
+      --include='*.cc' --include='*.h' \
+      --exclude='engine.h' --exclude='engine.cc' \
+      --exclude='eval.h' --exclude='eval.cc' \
+      --exclude='delta_eval.h' --exclude='delta_eval.cc'); then
+    echo "lint: forbidden pattern '$pattern' outside the evaluate step:"
+    echo "$hits"
+    LINT_FAIL=1
+  fi
+done
 [ "$LINT_FAIL" -eq 0 ] || { echo "engine lint failed"; exit 1; }
 echo "engine lint clean"
 
@@ -88,8 +105,8 @@ cmake -B build-tsan -S . -DWQE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test parallel_determinism_test matcher_test \
-  star_matcher_test distance_index_test answ_test
+  star_matcher_test distance_index_test answ_test delta_eval_test
 (cd build-tsan && ctest --output-on-failure -R \
-  'ThreadPool|ParallelFor|PerThread|ParallelDeterminism|Matcher|StarMatcher|DistanceIndex|AnsW')
+  'ThreadPool|ParallelFor|PerThread|ParallelDeterminism|Matcher|StarMatcher|DistanceIndex|AnsW|DeltaEval')
 
 echo "== all checks passed =="
