@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
       Timer timer;
       for (const BenchCase& c : cases) {
         ChaseContext ctx(g, &indexes, c.question, opts);
-        ChaseResult res = SolveWithContext(ctx, Algorithm::kAnsW);
+        const ChaseResult res = ExecuteWithContext(ctx, Algorithm::kAnsW).result;
         r.evaluations += res.stats.evaluations;
         r.bound_cuts += res.stats.bound_cuts;
         r.matches.push_back(res.best().matches);

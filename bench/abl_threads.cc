@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
     GraphIndexes indexes(g, threads);  // parallel distance-index build
     for (const BenchCase& c : cases) {
       ChaseContext ctx(g, &indexes, c.question, opts);
-      ChaseResult res = SolveWithContext(ctx, Algorithm::kAnsW);
+      const ChaseResult res = ExecuteWithContext(ctx, Algorithm::kAnsW).result;
       r.matches.push_back(res.best().matches);
       r.closeness.push_back(res.best().closeness);
     }

@@ -23,7 +23,11 @@ int main(int argc, char** argv) {
 
     Aggregate ndcg, precision;
     for (const BenchCase& c : cases) {
-      ChaseResult r = Solve(g, c.question, base, Algorithm::kAnsW);
+      Request req;
+      req.question = c.question;
+      req.options = base;
+      req.algorithm = Algorithm::kAnsW;
+      const ChaseResult r = Execute(g, req).result;
       if (!r.found()) continue;
 
       // Oracle relevance grade of each returned rewrite = answer Jaccard to

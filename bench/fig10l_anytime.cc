@@ -58,14 +58,14 @@ int main(int argc, char** argv) {
     base.observability = &BenchObs();
 
     ChaseContext cw(g, &indexes, c.question, base);
-    ChaseResult rw = SolveWithContext(cw, Algorithm::kAnsW);
+    const ChaseResult rw = ExecuteWithContext(cw, Algorithm::kAnsW).result;
     auto curve_w = DeltaCurve(rw.trace, bins, floor_delta, c.gt_answer);
 
     ChaseOptions rnd = base;
     rnd.random_ops = true;
     rnd.beam = 3;
     ChaseContext cb(g, &indexes, c.question, rnd);
-    ChaseResult rb = SolveWithContext(cb, Algorithm::kAnsHeu);
+    const ChaseResult rb = ExecuteWithContext(cb, Algorithm::kAnsHeu).result;
     auto curve_b = DeltaCurve(rb.trace, bins, floor_delta, c.gt_answer);
 
     for (size_t b = 0; b < bins.size(); ++b) {

@@ -1,0 +1,142 @@
+// serve_qps: sustained-QPS sweep through the concurrent serving layer
+// (DESIGN.md "Serving"). The fig10a workload is submitted to a serve::Server
+// open-loop at increasing offered arrival rates, ending with a closed-loop
+// pass that measures peak sustainable throughput under admission control.
+// Reported per rate: achieved QPS, shed count, and admission-to-completion
+// latency quantiles from the server's serve.latency_ns histogram delta.
+//
+// The gated invariant is not a wall-clock number (machine-dependent) but the
+// serving layer's core promise: answers stay byte-identical to a sequential
+// reference at every offered load, and nothing fails outright — overload is
+// expressed only as structured kOverloaded shedding.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "chase/solve.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+#include "workload/why_factory.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+namespace {
+
+double QuantileMsDelta(const obs::Histogram::Snapshot& before,
+                       const obs::Histogram::Snapshot& after, double q) {
+  obs::Histogram::Snapshot d = after;
+  d.count -= before.count;
+  d.sum -= before.sum;
+  for (size_t i = 0; i < d.buckets.size() && i < before.buckets.size(); ++i) {
+    d.buckets[i] -= before.buckets[i];
+  }
+  return static_cast<double>(d.Quantile(q)) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
+  Header("serve_qps", "sustained QPS through serve::Server vs offered load");
+
+  Graph g = GenerateGraph(ImdbLike(env.scale));
+  const std::vector<BenchCase> cases =
+      MakeBenchCases(g, env.queries, DefaultFactory(env.seed));
+  if (cases.empty()) {
+    Shape(false, "workload generation produced no cases");
+    return env.Finish();
+  }
+
+  serve::ServerOptions sopts;
+  sopts.observability = &BenchObs();
+  sopts.cache_dir = env.cache_dir;
+  serve::Server server(g, sopts);
+
+  ChaseOptions opts = DefaultChase();
+  // No per-request deadline: the server arms limits at ADMISSION, so under
+  // open-loop saturation a queued request would burn its budget waiting and
+  // return a (legitimate) anytime answer — voiding the byte-identity check
+  // this bench gates. Deadline behavior has its own tests/serve_test.cc
+  // coverage; here the contract under test is identity under concurrency.
+  opts.time_limit_seconds = 0;
+
+  auto make_request = [&](size_t i) {
+    Request req;
+    req.question = cases[i % cases.size()].question;
+    req.options = opts;
+    req.algorithm = Algorithm::kAnsW;
+    req.id = i;
+    return req;
+  };
+
+  // Sequential reference: one pass, one request in flight at a time. The
+  // concurrent sweeps below must reproduce these rewrites byte for byte.
+  std::vector<std::string> reference;
+  reference.reserve(cases.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const Response resp = server.Serve(make_request(i));
+    reference.push_back(resp.found() ? resp.best().rewrite.Fingerprint()
+                                     : std::string());
+  }
+
+  const size_t requests = cases.size() * 8;
+  obs::Histogram& latency = BenchObs().metrics.histogram("serve.latency_ns");
+
+  bool identical = true;
+  size_t failed = 0;
+  uint64_t shed_before = server.stats().shed;
+  for (const double qps : {25.0, 100.0, 400.0, 0.0}) {
+    const obs::Histogram::Snapshot lat0 = latency.Snap();
+    std::vector<std::future<Response>> futures;
+    futures.reserve(requests);
+    Timer wall;
+    for (size_t i = 0; i < requests; ++i) {
+      if (qps > 0) {
+        const double due = static_cast<double>(i) / qps;
+        while (wall.ElapsedSeconds() < due) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      futures.push_back(server.Submit(make_request(i)));
+    }
+    size_t completed = 0, shed = 0;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const Response resp = futures[i].get();
+      if (resp.status.code() == Status::Code::kOverloaded) {
+        ++shed;
+        continue;
+      }
+      if (!resp.ok()) {
+        ++failed;
+        continue;
+      }
+      ++completed;
+      const std::string fp =
+          resp.found() ? resp.best().rewrite.Fingerprint() : std::string();
+      identical = identical && fp == reference[i % reference.size()];
+    }
+    const double seconds = wall.ElapsedSeconds();
+    const obs::Histogram::Snapshot lat1 = latency.Snap();
+    std::printf(
+        "serve_qps,AnsW,offered=%s,achieved_qps=%.1f,completed=%zu,shed=%zu,"
+        "p50_ms=%.2f,p99_ms=%.2f\n",
+        qps > 0 ? std::to_string(static_cast<int>(qps)).c_str() : "closed",
+        seconds > 0 ? static_cast<double>(completed) / seconds : 0.0,
+        completed, shed, QuantileMsDelta(lat0, lat1, 0.5),
+        QuantileMsDelta(lat0, lat1, 0.99));
+  }
+  const uint64_t shed_total = server.stats().shed - shed_before;
+
+  Shape(identical && failed == 0,
+        "answers byte-identical to the sequential reference at every offered "
+        "load; overload surfaces only as structured shedding (shed=" +
+            std::to_string(shed_total) + ", failed=" + std::to_string(failed) +
+            ")");
+  return env.Finish();
+}

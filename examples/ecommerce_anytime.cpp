@@ -35,27 +35,33 @@ int main() {
   std::printf("%-28s %-12s %-10s %-8s\n", "configuration", "closeness",
               "cost", "steps");
   for (double deadline : {0.02, 0.1, 0.5, 2.0}) {
-    ChaseOptions opts;
-    opts.budget = 3;
-    opts.deadline = Deadline::After(deadline);
-    ChaseResult r = Solve(g, c.question, opts, Algorithm::kAnsW);
+    Request req;
+    req.question = c.question;
+    req.options.budget = 3;
+    req.options.deadline = Deadline::After(deadline);
+    req.algorithm = Algorithm::kAnsW;
+    const ChaseResult r = Execute(g, req).result;
     std::printf("AnsW, deadline %5.0f ms      %-12.4f %-10.2f %llu\n",
                 deadline * 1000, r.best().closeness, r.best().cost,
                 static_cast<unsigned long long>(r.stats.steps));
   }
   for (size_t beam : {1u, 2u, 4u}) {
-    ChaseOptions opts;
-    opts.budget = 3;
-    opts.beam = beam;
-    ChaseResult r = Solve(g, c.question, opts, Algorithm::kAnsHeu);
+    Request req;
+    req.question = c.question;
+    req.options.budget = 3;
+    req.options.beam = beam;
+    req.algorithm = Algorithm::kAnsHeu;
+    const ChaseResult r = Execute(g, req).result;
     std::printf("AnsHeu, beam %zu              %-12.4f %-10.2f %llu\n", beam,
                 r.best().closeness, r.best().cost,
                 static_cast<unsigned long long>(r.stats.steps));
   }
 
-  ChaseOptions exact;
-  exact.budget = 3;
-  ChaseResult full = Solve(g, c.question, exact, Algorithm::kAnsW);
+  Request exact;
+  exact.question = c.question;
+  exact.options.budget = 3;
+  exact.algorithm = Algorithm::kAnsW;
+  ChaseResult full = Execute(g, exact).result;
   std::printf("AnsW, no deadline           %-12.4f %-10.2f %llu\n",
               full.best().closeness, full.best().cost,
               static_cast<unsigned long long>(full.stats.steps));

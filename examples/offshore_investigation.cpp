@@ -49,10 +49,12 @@ int main() {
   std::printf("Known relevant entities: %zu designated as exemplar\n",
               known.size());
 
-  WhyQuestion why_empty{empty_q, Exemplar::FromEntities(g, known)};
-  ChaseOptions opts;
-  opts.budget = 3;
-  ChaseResult repaired = Solve(g, why_empty, opts, Algorithm::kAnsWE);
+  Request repair_req;
+  repair_req.question = {empty_q, Exemplar::FromEntities(g, known)};
+  repair_req.options.budget = 3;
+  repair_req.algorithm = Algorithm::kAnsWE;
+  const ChaseOptions opts = repair_req.options;
+  ChaseResult repaired = Execute(g, repair_req).result;
   std::printf("AnsWE repair ops: %s\n",
               repaired.best().ops.ToString(schema).c_str());
   std::printf("Repaired answer size: %zu (closeness %.4f)\n\n",
@@ -71,8 +73,12 @@ int main() {
   std::printf("== Why-Many ==\nAnswer size before refinement: %zu\n",
               many_answer.size());
 
-  WhyQuestion why_many{many_q, Exemplar::FromEntities(g, known)};
-  ChaseResult refined = Solve(g, why_many, opts, Algorithm::kApxWhyM);
+  Request refine_req;
+  refine_req.question = {many_q, Exemplar::FromEntities(g, known)};
+  refine_req.options = opts;
+  refine_req.algorithm = Algorithm::kApxWhyM;
+  const WhyQuestion& why_many = refine_req.question;
+  ChaseResult refined = Execute(g, refine_req).result;
   std::printf("ApxWhyM refinement ops: %s\n",
               refined.best().ops.ToString(schema).c_str());
   std::printf("Answer size after refinement: %zu (closeness %.4f -> %.4f)\n",

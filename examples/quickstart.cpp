@@ -38,11 +38,13 @@ int main() {
   std::printf("== Exemplar (Example 2.3) ==\n%s\n\n",
               w.exemplar.ToString(schema).c_str());
 
-  // Answer the Why-question.
+  // Answer the Why-question. The context is kept around because the
+  // differential table and Why-Not diagnosis below inspect it.
   ChaseOptions opts;
   opts.budget = 4;
   ChaseContext ctx(g, w, opts);
-  ChaseResult result = SolveWithContext(ctx, Algorithm::kAnsW);
+  Response response = ExecuteWithContext(ctx, Algorithm::kAnsW);
+  const ChaseResult& result = response.result;
 
   const WhyAnswer& best = result.best();
   std::printf("== Suggested rewrite Q' (closeness %.3f, cl* = %.3f, cost %.2f) ==\n",

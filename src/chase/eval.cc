@@ -106,6 +106,12 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
 ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
                            ViewCache* shared_cache, const WhyQuestion& w,
                            const ChaseOptions& opts)
+    : ChaseContext(g, indexes, shared_cache, nullptr, w, opts) {}
+
+ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
+                           ViewCache* shared_cache,
+                           Matcher::SharedPlans* shared_plans,
+                           const WhyQuestion& w, const ChaseOptions& opts)
     : g_(g),
       w_(w),
       opts_(opts),
@@ -141,7 +147,12 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
   obs_->metrics.gauge("graph.nodes").Set(static_cast<int64_t>(g.num_nodes()));
   star_matcher_.set_num_threads(opts_.num_threads);
   star_matcher_.set_observability(obs_);
-  active_cache_->set_observability(obs_);
+  star_matcher_.set_shared_plans(shared_plans);
+  // Only the private cache reports into this context's scope. A shared cache
+  // is cross-request state: its owner (session, runner, server) wires it to
+  // one long-lived scope — rewiring it per context would race concurrent
+  // solves and bleed one request's cache traffic into another's registry.
+  if (active_cache_ == &cache_) active_cache_->set_observability(obs_);
   // Warm the private star-view cache from disk (shared caches are warmed by
   // their owner exactly once, not per question).
   if (owned_store_ != nullptr && opts_.use_cache && active_cache_ == &cache_) {

@@ -135,6 +135,14 @@ class ChaseContext {
   ChaseContext(const Graph& g, GraphIndexes* indexes, ViewCache* shared_cache,
                const WhyQuestion& w, const ChaseOptions& opts);
 
+  /// The serving layer's full artifact-sharing form: prebuilt indexes, a
+  /// shared star-view cache, and a shared matcher plan memo, all owned by
+  /// the server and outliving the context. Any of the three pointers may be
+  /// null (falls back to private / absent).
+  ChaseContext(const Graph& g, GraphIndexes* indexes, ViewCache* shared_cache,
+               Matcher::SharedPlans* shared_plans, const WhyQuestion& w,
+               const ChaseOptions& opts);
+
   /// Persists the private star-view cache to the artifact store when
   /// ChaseOptions::cache_dir is set (shared caches are persisted by their
   /// owner, which outlives the contexts).

@@ -2,7 +2,9 @@
 
 #include <sstream>
 
+#include "exemplar/exemplar_text.h"
 #include "obs/json.h"
+#include "query/query_text.h"
 
 namespace wqe {
 
@@ -45,6 +47,13 @@ obs::QueryLogRecord ChaseReport::BuildQueryLogRecord(
   }
   rec.graph_fingerprint = ctx.graph_fingerprint();
   rec.options_fingerprint = ctx.options().Fingerprint();
+
+  // The question itself, in the replayable text formats. ToText only reads
+  // the (already interned) schema, so the const_cast-free serialization is
+  // safe against the context's graph.
+  rec.query_text = QueryText::ToText(ctx.question().query, ctx.graph().schema());
+  rec.exemplar_text =
+      ExemplarText::ToText(ctx.question().exemplar, ctx.graph().schema());
 
   rec.termination = TerminationReasonName(result.stats.termination);
   rec.status = result.status.ToString();

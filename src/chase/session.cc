@@ -11,7 +11,10 @@ ExploratorySession::ExploratorySession(const Graph& g, ChaseOptions defaults)
       indexes_(g) {
   // Every question of the session reports into the session's scope — one
   // registry and tracer across all Asks, matching the shared view cache.
+  // The shared cache is wired here once, by its owner: per-context rewiring
+  // would misattribute traffic when the scope ever differs.
   defaults_.observability = &obs_;
+  cache_.set_observability(&obs_);
 }
 
 const std::vector<NodeId>& ExploratorySession::Issue(const PatternQuery& q) {
@@ -33,7 +36,7 @@ ChaseResult ExploratorySession::Ask(const Exemplar& exemplar) {
   WhyQuestion w{current_->question().query, exemplar};
   current_ =
       std::make_unique<ChaseContext>(g_, &indexes_, &cache_, w, defaults_);
-  ChaseResult result = SolveWithContext(*current_, Algorithm::kAnsW);
+  ChaseResult result = ExecuteWithContext(*current_, Algorithm::kAnsW).result;
   engine::AccumulateStats(total_stats_, result.stats);
   return result;
 }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <string>
+#include <utility>
 
 #include "chase/engine.h"
+#include "chase/report.h"
 
 namespace wqe {
 
@@ -16,6 +18,15 @@ std::string Lower(std::string_view s) {
     return static_cast<char>(std::tolower(c));
   });
   return out;
+}
+
+Response Rejected(const Request& req, Status s) {
+  Response resp;
+  resp.algorithm = req.algorithm;
+  resp.id = req.id;
+  resp.result.status = s;
+  resp.status = std::move(s);
+  return resp;
 }
 
 }  // namespace
@@ -46,28 +57,60 @@ std::optional<Algorithm> AlgorithmFromString(std::string_view name) {
   return std::nullopt;
 }
 
-ChaseResult SolveWithContext(ChaseContext& ctx, Algorithm algo) {
+Response ExecuteWithContext(ChaseContext& ctx, Algorithm algo,
+                            bool collect_report) {
+  Response resp;
+  resp.algorithm = algo;
   if (Status s = ctx.options().Validate(); !s.ok()) {
-    ChaseResult r;
-    r.status = std::move(s);
-    return r;
+    resp.result.status = s;
+    resp.status = std::move(s);
+    return resp;
   }
+  // Counters snapshotted before the run so the report carries this solve's
+  // deltas, not the scope's lifetime totals (contexts may be reused).
+  const ChaseReport::CounterSnapshot before =
+      collect_report ? ChaseReport::SnapshotCounters(ctx)
+                     : ChaseReport::CounterSnapshot();
   // All instrumentation (solve span, deadline arming, metric mirroring,
   // query-log provenance) lives in the engine dispatcher, once for every
   // algorithm.
-  return engine::RunAlgorithm(ctx, algo);
+  resp.result = engine::RunAlgorithm(ctx, algo);
+  resp.status = resp.result.status;
+  if (collect_report) {
+    resp.report =
+        ChaseReport::BuildQueryLogRecord(ctx, resp.result, algo, before);
+  }
+  return resp;
+}
+
+Response Execute(const Graph& g, GraphIndexes* indexes, ViewCache* shared_cache,
+                 Matcher::SharedPlans* shared_plans, const Request& req) {
+  // Reject bad options before paying for index construction.
+  if (Status s = req.options.Validate(); !s.ok()) {
+    return Rejected(req, std::move(s));
+  }
+  ChaseContext ctx(g, indexes, shared_cache, shared_plans, req.question,
+                   req.options);
+  Response resp = ExecuteWithContext(ctx, req.algorithm, req.collect_report);
+  resp.id = req.id;
+  return resp;
+}
+
+Response Execute(const Graph& g, const Request& req) {
+  return Execute(g, nullptr, nullptr, nullptr, req);
 }
 
 ChaseResult Solve(const Graph& g, const WhyQuestion& w, const ChaseOptions& opts,
                   Algorithm algo) {
-  // Reject bad options before paying for index construction.
-  if (Status s = opts.Validate(); !s.ok()) {
-    ChaseResult r;
-    r.status = std::move(s);
-    return r;
-  }
-  ChaseContext ctx(g, w, opts);
-  return SolveWithContext(ctx, algo);
+  Request req;
+  req.question = w;
+  req.options = opts;
+  req.algorithm = algo;
+  return Execute(g, req).result;
+}
+
+ChaseResult SolveWithContext(ChaseContext& ctx, Algorithm algo) {
+  return ExecuteWithContext(ctx, algo).result;
 }
 
 }  // namespace wqe

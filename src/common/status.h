@@ -9,10 +9,11 @@ namespace wqe {
 
 /// Lightweight error-code carrier used across public API boundaries instead of
 /// exceptions. Mirrors the minimal subset of arrow::Status / rocksdb::Status
-/// this library needs: OK, InvalidArgument, NotFound, and OutOfRange.
+/// this library needs: OK, InvalidArgument, NotFound, OutOfRange, and
+/// Overloaded (the serving layer's structured load-shedding rejection).
 class Status {
  public:
-  enum class Code { kOk, kInvalidArgument, kNotFound, kOutOfRange };
+  enum class Code { kOk, kInvalidArgument, kNotFound, kOutOfRange, kOverloaded };
 
   Status() : code_(Code::kOk) {}
 
@@ -25,6 +26,12 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
+  }
+  /// Admission-control rejection: the request executor's bounded queue is
+  /// full and the request was shed instead of queued unboundedly. Clients
+  /// treat this as retriable backpressure, not a malformed request.
+  static Status Overloaded(std::string msg) {
+    return Status(Code::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -42,6 +49,8 @@ class Status {
         return "NotFound: " + message_;
       case Code::kOutOfRange:
         return "OutOfRange: " + message_;
+      case Code::kOverloaded:
+        return "Overloaded: " + message_;
     }
     return "Unknown";
   }

@@ -56,6 +56,11 @@ class Deadline {
     return d;
   }
 
+  /// Whether a limit was ever armed (a default-constructed Deadline is
+  /// inert). The serving layer uses this to tell "no deadline requested"
+  /// apart from "deadline armed but not yet expired".
+  bool armed() const { return has_limit_; }
+
   bool Expired() const {
     return has_limit_ && std::chrono::steady_clock::now() >= expiry_;
   }

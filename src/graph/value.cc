@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace wqe {
 
@@ -16,8 +17,14 @@ std::string Value::ToString(const Interner& strings) const {
         std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(num_));
         return buf;
       }
+      // Shortest representation that round-trips: the text formats
+      // (QueryText/ExemplarText) parse these back with stod, and the
+      // replayed question must fingerprint identically to the original.
       char buf[64];
-      std::snprintf(buf, sizeof(buf), "%g", num_);
+      for (int prec = 6; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, num_);
+        if (std::strtod(buf, nullptr) == num_) break;
+      }
       return buf;
     }
     case Kind::kStr:

@@ -66,13 +66,24 @@ const std::vector<Matcher::PlanStep>& Matcher::PlanFor(const PatternQuery& q) {
   std::string fp = q.Fingerprint();
   if (has_plan_ && fp == plan_fp_) {
     ++stats_.plan_cache_hits;
-    return plan_cache_;
+    return *plan_cache_;
   }
-  plan_cache_ = BuildPlan(q);
+  if (shared_plans_ != nullptr) {
+    if (auto shared = shared_plans_->Lookup(fp)) {
+      plan_cache_ = std::move(shared);
+      plan_fp_ = std::move(fp);
+      has_plan_ = true;
+      ++stats_.plan_cache_hits;
+      return *plan_cache_;
+    }
+  }
+  auto built = std::make_shared<std::vector<PlanStep>>(BuildPlan(q));
+  if (shared_plans_ != nullptr) shared_plans_->Publish(fp, built);
+  plan_cache_ = std::move(built);
   plan_fp_ = std::move(fp);
   has_plan_ = true;
   ++stats_.plan_builds;
-  return plan_cache_;
+  return *plan_cache_;
 }
 
 bool Matcher::Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,

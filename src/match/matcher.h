@@ -2,6 +2,10 @@
 #define WQE_MATCH_MATCHER_H_
 
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/bfs.h"
@@ -40,7 +44,15 @@ struct MatchStats {
 /// neighbor through the distance index.
 class Matcher {
  public:
+  class SharedPlans;
+
   Matcher(const Graph& g, DistanceIndex* dist);
+
+  /// Attaches a cross-matcher plan memo (may be null to detach). The memo is
+  /// thread-safe, so matchers serving concurrent requests against the same
+  /// frozen graph can share it: a query shape planned by any request is never
+  /// re-planned by another. The pointee must outlive this matcher.
+  void set_shared_plans(SharedPlans* plans) { shared_plans_ = plans; }
 
   /// The answer Q(G): all matches of the focus u_o. With num_threads > 1
   /// (0 = hardware concurrency) the focus candidates are sharded over worker
@@ -102,11 +114,72 @@ class Matcher {
   DistanceIndex* dist_;
   BoundedBfs bfs_;
   MatchStats stats_;
+  SharedPlans* shared_plans_ = nullptr;
 
-  // Single-entry plan memo keyed by query fingerprint.
+  // Single-entry plan memo keyed by query fingerprint. Holds a shared_ptr so
+  // a plan pulled from (or published to) the cross-matcher memo stays alive
+  // here even if the memo later drops it.
   bool has_plan_ = false;
   std::string plan_fp_;
-  std::vector<PlanStep> plan_cache_;
+  std::shared_ptr<const std::vector<PlanStep>> plan_cache_;
+};
+
+/// Cross-matcher assignment-plan memo keyed by query fingerprint. Plans are
+/// pure functions of the (rewritten) pattern, so every matcher touching the
+/// same shape — across requests, threads, and worker shards — can reuse one
+/// immutable plan instead of rebuilding it. All methods are thread-safe;
+/// published plans are immutable and handed out by shared_ptr, so readers
+/// never observe a partially built plan.
+class Matcher::SharedPlans {
+ public:
+  /// `max_plans` bounds memory: once full, new shapes are still planned and
+  /// used locally but not published (matchers keep their own single-entry
+  /// memo, so steady-state traffic over a bounded shape set is unaffected).
+  explicit SharedPlans(size_t max_plans = 4096) : max_plans_(max_plans) {}
+
+  SharedPlans(const SharedPlans&) = delete;
+  SharedPlans& operator=(const SharedPlans&) = delete;
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return plans_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t publishes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return publishes_;
+  }
+
+ private:
+  friend class Matcher;
+
+  std::shared_ptr<const std::vector<PlanStep>> Lookup(const std::string& fp) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(fp);
+    if (it == plans_.end()) return nullptr;
+    ++hits_;
+    return it->second;
+  }
+
+  void Publish(const std::string& fp,
+               std::shared_ptr<const std::vector<PlanStep>> plan) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plans_.size() >= max_plans_ && plans_.find(fp) == plans_.end()) return;
+    auto [it, inserted] = plans_.emplace(fp, std::move(plan));
+    (void)it;
+    if (inserted) ++publishes_;  // first publisher wins; racers reuse theirs
+  }
+
+  mutable std::mutex mu_;
+  size_t max_plans_;
+  uint64_t hits_ = 0;
+  uint64_t publishes_ = 0;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<PlanStep>>>
+      plans_;
 };
 
 }  // namespace wqe

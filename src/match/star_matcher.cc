@@ -33,6 +33,12 @@ void StarMatcher::set_num_threads(size_t n) {
   materializer_.set_num_threads(n);
 }
 
+void StarMatcher::set_shared_plans(Matcher::SharedPlans* plans) {
+  shared_plans_ = plans;
+  matcher_.set_shared_plans(plans);
+  for (auto& worker : workers_) worker->set_shared_plans(plans);
+}
+
 void StarMatcher::set_deadline(const Deadline* d) {
   deadline_ = d;
   materializer_.set_deadline(d);
@@ -156,6 +162,7 @@ std::vector<NodeId> StarMatcher::VerifyCandidates(
     // not depend on it).
     while (workers_.size() + 1 < threads) {
       workers_.push_back(std::make_unique<Matcher>(g_, &matcher_.dist()));
+      workers_.back()->set_shared_plans(shared_plans_);
     }
     std::vector<uint8_t> is_match(candidates.size(), 0);
     ParallelFor(threads, 0, candidates.size(), /*grain=*/4,

@@ -67,6 +67,10 @@ class StarMatcher {
   /// (resolved once here, bumped lock-free per Evaluate). Null detaches.
   void set_observability(obs::Observability* o);
 
+  /// Attaches the cross-request plan memo to the primary matcher and every
+  /// worker, current and future (workers are created lazily). Null detaches.
+  void set_shared_plans(Matcher::SharedPlans* plans);
+
   /// Arms a wall-clock deadline for Evaluate: table materialization and
   /// candidate verification check it every kDeadlineCheckStride items and
   /// throw DeadlineExceeded, so one long pass cannot blow far past
@@ -124,6 +128,7 @@ class StarMatcher {
   StarEvalStats stats_;
   size_t num_threads_ = 1;
   const Deadline* deadline_ = nullptr;
+  Matcher::SharedPlans* shared_plans_ = nullptr;
   /// Worker matchers for parallel verification, one per slot >= 1 (slot 0
   /// is matcher_), created lazily and reused across Evaluate calls.
   std::vector<std::unique_ptr<Matcher>> workers_;

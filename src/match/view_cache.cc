@@ -8,6 +8,7 @@
 namespace wqe {
 
 void ViewCache::set_observability(obs::Observability* o) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (o == nullptr) {
     c_hits_ = c_misses_ = c_evictions_ = nullptr;
     g_entries_ = nullptr;
@@ -26,6 +27,7 @@ double ViewCache::DecayedScore(const Entry& e) const {
 }
 
 std::shared_ptr<const StarTable> ViewCache::Get(const std::string& signature) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++tick_;
   auto it = entries_.find(signature);
   if (it == entries_.end()) {
@@ -43,12 +45,14 @@ std::shared_ptr<const StarTable> ViewCache::Get(const std::string& signature) {
 
 std::shared_ptr<const StarTable> ViewCache::Peek(
     const std::string& signature) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(signature);
   return it == entries_.end() ? nullptr : it->second.table;
 }
 
 void ViewCache::Put(const std::string& signature,
                     std::shared_ptr<const StarTable> table) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Insertion is not a clock event: only lookups advance the decay tick.
   // Ticking here would let a burst of N inserts (e.g. a warm-start loading a
   // whole persisted cache) age every earlier insert by N ticks, decaying
@@ -106,6 +110,7 @@ void ViewCache::EvictIfNeeded() {
 }
 
 void ViewCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   total_entries_ = 0;
   tick_ = 0;
@@ -116,6 +121,7 @@ void ViewCache::ForEach(
     const std::function<void(const std::string&,
                              const std::shared_ptr<const StarTable>&)>& fn)
     const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [signature, entry] : entries_) fn(signature, entry.table);
 }
 

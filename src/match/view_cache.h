@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -21,6 +22,12 @@ struct Observability;
 /// untouched re-use its table instead of re-evaluating. Replacement follows
 /// the paper: a per-view hit counter incremented on use and decayed by a
 /// time factor, with least-hit eviction when over capacity.
+///
+/// Thread-safe: all operations serialize through an internal mutex, so one
+/// cache can back concurrent requests (the serving layer shares a single
+/// warm cache across every in-flight solve). Tables are immutable once
+/// inserted and handed out by shared_ptr, so a table stays valid after its
+/// entry is evicted under a reader's feet.
 class ViewCache {
  public:
   struct Options {
@@ -64,10 +71,22 @@ class ViewCache {
   void set_observability(obs::Observability* o);
 
   const Options& options() const { return options_; }
-  size_t size() const { return entries_.size(); }
-  size_t entry_count() const { return total_entries_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  size_t entry_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_entries_;
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Entry {
@@ -77,8 +96,9 @@ class ViewCache {
   };
 
   double DecayedScore(const Entry& e) const;
-  void EvictIfNeeded();
+  void EvictIfNeeded();  // caller holds mu_
 
+  mutable std::mutex mu_;
   Options options_;
   std::unordered_map<std::string, Entry> entries_;
   size_t total_entries_ = 0;

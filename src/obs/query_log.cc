@@ -33,6 +33,8 @@ std::string QueryLogRecord::ToJson() const {
                          static_cast<unsigned long long>(options_fingerprint));
            return std::string(buf);
          }())
+      << ",\"query\":" << JsonString(query_text)
+      << ",\"exemplar\":" << JsonString(exemplar_text)
       << ",\"termination\":" << JsonString(termination)
       << ",\"status\":" << JsonString(status)
       << ",\"elapsed_seconds\":" << JsonNumber(elapsed_seconds)
@@ -75,6 +77,8 @@ Result<QueryLogRecord> QueryLogRecord::FromJson(const JsonValue& v) {
       std::strtoull(v.StringOr("graph_fingerprint", "0").c_str(), nullptr, 16);
   rec.options_fingerprint = std::strtoull(
       v.StringOr("options_fingerprint", "0").c_str(), nullptr, 16);
+  rec.query_text = v.StringOr("query", "");
+  rec.exemplar_text = v.StringOr("exemplar", "");
   rec.termination = v.StringOr("termination", "");
   rec.status = v.StringOr("status", "");
   rec.elapsed_seconds = v.NumberOr("elapsed_seconds", 0);

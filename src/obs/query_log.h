@@ -26,6 +26,15 @@ struct QueryLogRecord {
   uint64_t graph_fingerprint = 0;    // store::Serde::GraphFingerprint
   uint64_t options_fingerprint = 0;  // hash of the solver-relevant options
 
+  // ---- the question itself (replayable trace) -----------------------------
+  /// The Why-question in the library's text formats (QueryText /
+  /// ExemplarText), so a recorded log doubles as a traffic trace: the replay
+  /// driver (serve/replay) parses these back against the same graph and
+  /// re-issues the solve. Empty on records written before the serve layer
+  /// existed — Load tolerates their absence, replay skips them.
+  std::string query_text;
+  std::string exemplar_text;
+
   // ---- outcome ------------------------------------------------------------
   std::string termination;  // TerminationReasonName
   std::string status;       // Status::ToString ("OK" or the rejection)

@@ -1,0 +1,176 @@
+#include "serve/replay.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/timer.h"
+#include "exemplar/exemplar_text.h"
+#include "query/query_text.h"
+#include "store/serde.h"
+
+namespace wqe::serve {
+
+namespace {
+
+/// Element-wise histogram-snapshot difference, so quantiles cover only the
+/// traffic between two snapshots of a shared registry.
+obs::Histogram::Snapshot Diff(const obs::Histogram::Snapshot& before,
+                              const obs::Histogram::Snapshot& after) {
+  obs::Histogram::Snapshot d;
+  d.count = after.count - before.count;
+  d.sum = after.sum - before.sum;
+  for (size_t i = 0; i < d.buckets.size(); ++i) {
+    d.buckets[i] = after.buckets[i] - before.buckets[i];
+  }
+  return d;
+}
+
+double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+ReplayBatch BatchFromLog(Graph& g,
+                         const std::vector<obs::QueryLogRecord>& records,
+                         const ReplayOptions& opts) {
+  ReplayBatch batch;
+  const uint64_t graph_fp = store::Serde::GraphFingerprint(g);
+  for (const obs::QueryLogRecord& rec : records) {
+    if (opts.limit != 0 && batch.requests.size() >= opts.limit) break;
+    if (rec.query_text.empty() || rec.exemplar_text.empty()) {
+      ++batch.skipped;  // pre-serve record without a replayable question
+      continue;
+    }
+    if (opts.check_fingerprint && rec.graph_fingerprint != 0 &&
+        rec.graph_fingerprint != graph_fp) {
+      ++batch.skipped;
+      continue;
+    }
+    const std::optional<Algorithm> algo = AlgorithmFromString(rec.algorithm);
+    if (!algo.has_value()) {
+      ++batch.skipped;
+      continue;
+    }
+    Result<PatternQuery> q = QueryText::Parse(rec.query_text, &g.schema());
+    Result<Exemplar> e = ExemplarText::Parse(rec.exemplar_text, &g.schema());
+    if (!q.ok() || !e.ok()) {
+      ++batch.skipped;
+      continue;
+    }
+    Request req;
+    req.question.query = std::move(q).value();
+    req.question.exemplar = std::move(e).value();
+    req.options = opts.options;
+    req.algorithm = *algo;
+    req.id = batch.requests.size();
+    batch.requests.push_back(std::move(req));
+    batch.expected_fingerprints.push_back(rec.answer_fingerprint);
+  }
+  return batch;
+}
+
+ReplayStats Replay(Server& server, Graph& g,
+                   const std::vector<obs::QueryLogRecord>& records,
+                   const ReplayOptions& opts) {
+  ReplayStats stats;
+  stats.records = records.size();
+  const ReplayBatch batch = BatchFromLog(g, records, opts);
+  stats.skipped = batch.skipped;
+  if (batch.requests.empty()) return stats;
+
+  const obs::Histogram::Snapshot lat_before =
+      server.observability().metrics.histogram("serve.latency_ns").Snap();
+
+  const size_t repeat = opts.repeat == 0 ? 1 : opts.repeat;
+  const size_t total = batch.requests.size() * repeat;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(total);
+
+  // Open-loop schedule: request k departs at k/qps seconds on the global
+  // clock, whether or not earlier requests completed. The shed path makes
+  // this safe against a saturated server — arrivals beyond the bounded
+  // queue complete immediately with kOverloaded instead of piling up.
+  Timer wall;
+  for (size_t k = 0; k < total; ++k) {
+    if (opts.qps > 0) {
+      const double depart = static_cast<double>(k) / opts.qps;
+      while (wall.ElapsedSeconds() < depart) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    Request req = batch.requests[k % batch.requests.size()];
+    req.id = k;
+    futures.push_back(server.Submit(std::move(req)));
+    ++stats.submitted;
+  }
+
+  for (std::future<Response>& f : futures) {
+    Response resp = f.get();
+    if (resp.status.code() == Status::Code::kOverloaded) {
+      ++stats.shed;
+      continue;
+    }
+    if (!resp.ok()) {
+      ++stats.failed;
+      continue;
+    }
+    ++stats.completed;
+    if (resp.result.stats.termination == TerminationReason::kDeadline) {
+      ++stats.deadline;
+    }
+    const std::string& expected =
+        batch.expected_fingerprints[resp.id % batch.requests.size()];
+    if (!expected.empty()) {
+      const std::string got =
+          resp.found() ? (resp.best().fingerprint.empty()
+                              ? resp.best().rewrite.Fingerprint()
+                              : resp.best().fingerprint)
+                       : std::string();
+      if (got != expected) ++stats.mismatched;
+    }
+  }
+  stats.wall_seconds = wall.ElapsedSeconds();
+  stats.achieved_qps = stats.wall_seconds > 0
+                           ? static_cast<double>(stats.completed) /
+                                 stats.wall_seconds
+                           : 0;
+
+  const obs::Histogram::Snapshot lat = Diff(
+      lat_before,
+      server.observability().metrics.histogram("serve.latency_ns").Snap());
+  if (lat.count > 0) {
+    stats.latency_mean_ms = lat.Mean() / 1e6;
+    stats.latency_p50_ms = NsToMs(lat.Quantile(0.50));
+    stats.latency_p90_ms = NsToMs(lat.Quantile(0.90));
+    stats.latency_p99_ms = NsToMs(lat.Quantile(0.99));
+  }
+  return stats;
+}
+
+std::string ReplayStats::ToString() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "replayed %zu requests from %zu records (%zu skipped)\n",
+                submitted, records, skipped);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  completed %zu | shed %zu | failed %zu | deadline %zu | "
+                "mismatched %zu\n",
+                completed, shed, failed, deadline, mismatched);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  wall %.3fs | throughput %.1f q/s\n", wall_seconds,
+                achieved_qps);
+  out << line;
+  std::snprintf(line, sizeof(line),
+                "  latency ms: mean %.2f | p50 %.2f | p90 %.2f | p99 %.2f\n",
+                latency_mean_ms, latency_p50_ms, latency_p90_ms,
+                latency_p99_ms);
+  out << line;
+  return out.str();
+}
+
+}  // namespace wqe::serve

@@ -1,0 +1,94 @@
+#ifndef WQE_SERVE_REPLAY_H_
+#define WQE_SERVE_REPLAY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/query_log.h"
+#include "serve/server.h"
+
+namespace wqe::serve {
+
+/// Replay configuration. The driver is open-loop (arrivals follow the
+/// configured rate regardless of completions — the honest way to measure a
+/// saturated server, since closed-loop clients self-throttle and hide
+/// queueing collapse) unless qps == 0, which submits as fast as admission
+/// allows.
+struct ReplayOptions {
+  /// Target arrival rate in requests/second; 0 = closed-loop.
+  double qps = 0;
+
+  /// Use at most this many trace records (0 = all replayable ones).
+  size_t limit = 0;
+
+  /// Passes over the trace (arrivals keep one global schedule).
+  size_t repeat = 1;
+
+  /// Skip records whose graph_fingerprint does not match the serving graph
+  /// (a trace from a different graph would ask questions about nodes that
+  /// do not exist). Records with fingerprint 0 (pre-provenance logs) pass.
+  bool check_fingerprint = true;
+
+  /// Base solver options for every replayed request (budget, threads,
+  /// time limit...). The question itself comes from the trace.
+  ChaseOptions options;
+};
+
+/// Requests reconstructed from a query log, plus what the log says each one
+/// answered — the replay driver verifies responses against this.
+struct ReplayBatch {
+  /// requests[i].id == i; parallel to expected_fingerprints.
+  std::vector<Request> requests;
+  std::vector<std::string> expected_fingerprints;
+  /// Records dropped: missing question text (pre-serve logs), fingerprint
+  /// mismatch, or question text that no longer parses.
+  size_t skipped = 0;
+};
+
+/// Parses the replayable requests out of `records` against `g`'s schema
+/// (attribute names and string constants intern into it, hence the mutable
+/// graph). Respects opts.limit / opts.check_fingerprint; applies
+/// opts.options to every request and resolves each record's algorithm name
+/// (unknown names skip the record).
+ReplayBatch BatchFromLog(Graph& g,
+                         const std::vector<obs::QueryLogRecord>& records,
+                         const ReplayOptions& opts);
+
+/// What a replay run measured.
+struct ReplayStats {
+  size_t records = 0;     // trace records considered
+  size_t skipped = 0;     // not replayable (see ReplayBatch::skipped)
+  size_t submitted = 0;   // requests handed to Server::Submit
+  size_t completed = 0;   // OK responses
+  size_t shed = 0;        // kOverloaded rejections
+  size_t failed = 0;      // other non-OK statuses
+  size_t deadline = 0;    // anytime (kDeadline) terminations among completed
+  size_t mismatched = 0;  // best-answer fingerprint differs from the trace
+
+  double wall_seconds = 0;
+  double achieved_qps = 0;  // completed / wall
+
+  // Admission-to-completion latency over this run's traffic (from the
+  // server's serve.latency_ns histogram delta; bucketed, <= 2x relative
+  // error).
+  double latency_mean_ms = 0;
+  double latency_p50_ms = 0;
+  double latency_p90_ms = 0;
+  double latency_p99_ms = 0;
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Feeds the batch reconstructed from `records` through `server` at the
+/// configured arrival rate, waits for every response, and reports
+/// throughput, latency quantiles, shed counts, and answer-fingerprint
+/// verification against the trace.
+ReplayStats Replay(Server& server, Graph& g,
+                   const std::vector<obs::QueryLogRecord>& records,
+                   const ReplayOptions& opts);
+
+}  // namespace wqe::serve
+
+#endif  // WQE_SERVE_REPLAY_H_

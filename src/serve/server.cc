@@ -1,0 +1,222 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "store/artifact_store.h"
+#include "store/serde.h"
+
+namespace wqe::serve {
+
+namespace {
+
+uint64_t ToNs(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
+
+Server::Server(const Graph& g, ServerOptions opts)
+    : g_(g),
+      opts_(std::move(opts)),
+      concurrency_(opts_.concurrency != 0
+                       ? opts_.concurrency
+                       : std::max<size_t>(1, ThreadPool::Shared().workers())),
+      owned_obs_(opts_.observability == nullptr
+                     ? std::make_unique<obs::Observability>()
+                     : nullptr),
+      obs_(opts_.observability == nullptr ? owned_obs_.get()
+                                          : opts_.observability),
+      store_(opts_.cache_dir.empty()
+                 ? nullptr
+                 : std::make_unique<store::ArtifactStore>(
+                       opts_.cache_dir, store::Serde::GraphFingerprint(g),
+                       obs_)),
+      indexes_(std::make_unique<GraphIndexes>(g, /*num_threads=*/0,
+                                              store_.get())) {
+  // The shared cache reports into the server scope, wired once here by its
+  // owner (per-request scopes stay isolated; see ChaseContext).
+  cache_.set_observability(obs_);
+  if (store_ != nullptr) store_->WarmStarViews(g_, &cache_);
+
+  c_admitted_ = &obs_->metrics.counter("serve.admitted");
+  c_shed_ = &obs_->metrics.counter("serve.shed");
+  c_completed_ = &obs_->metrics.counter("serve.completed");
+  h_latency_ = &obs_->metrics.histogram("serve.latency_ns");
+  h_queue_ = &obs_->metrics.histogram("serve.queue_ns");
+  h_solve_ = &obs_->metrics.histogram("solve.latency_ns");
+}
+
+Server::~Server() {
+  Drain();
+  if (store_ != nullptr && cache_.size() > 0) {
+    store_->SaveStarViews(cache_, cache_.options().max_entries);
+  }
+}
+
+std::future<Response> Server::Submit(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+
+  // Boundary rejections complete inline: invalid options never reach the
+  // queue (they would only waste a drainer slot to fail the same way).
+  if (Status s = req.options.Validate(); !s.ok()) {
+    Response resp;
+    resp.algorithm = req.algorithm;
+    resp.id = req.id;
+    resp.result.status = s;
+    resp.status = std::move(s);
+    promise.set_value(std::move(resp));
+    return future;
+  }
+
+  // Per-request deadline is armed at ADMISSION: a relative time limit
+  // becomes an absolute expiry now, so time spent queued counts against the
+  // request's budget (a saturated server returns anytime answers on time
+  // instead of stretching every deadline by its queue wait). The limit field
+  // is zeroed so ChaseContext does not re-arm it at execution start.
+  if (req.options.time_limit_seconds > 0) {
+    req.options.deadline = Deadline::After(req.options.time_limit_seconds);
+    req.options.time_limit_seconds = 0;
+  } else if (!req.options.deadline.armed() &&
+             opts_.default_time_limit_seconds > 0) {
+    req.options.deadline = Deadline::After(opts_.default_time_limit_seconds);
+  }
+
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.size() >= opts_.max_queue && executing_ >= concurrency_) {
+      ++shed_;
+      c_shed_->Inc();
+      Response resp;
+      resp.algorithm = req.algorithm;
+      resp.id = req.id;
+      Status s = Status::Overloaded(
+          "admission queue full: " + std::to_string(queue_.size()) +
+          " queued, " + std::to_string(executing_) + " executing");
+      resp.result.status = s;
+      resp.status = std::move(s);
+      promise.set_value(std::move(resp));
+      return future;
+    }
+    ++admitted_;
+    c_admitted_->Inc();
+    Pending p;
+    p.req = std::move(req);
+    p.promise = std::move(promise);
+    queue_.push_back(std::move(p));
+    if (executing_ < concurrency_) {
+      ++executing_;
+      spawn = true;
+    }
+  }
+  if (spawn) ThreadPool::Shared().Submit([this] { DrainLoop(); });
+  return future;
+}
+
+Response Server::Serve(Request req) { return Submit(std::move(req)).get(); }
+
+void Server::DrainLoop() {
+  for (;;) {
+    Pending p;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) {
+        --executing_;
+        if (executing_ == 0) idle_cv_.notify_all();
+        return;
+      }
+      p = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    RunOne(p);
+  }
+}
+
+void Server::RunOne(Pending& p) {
+  const double queue_seconds = p.queued.ElapsedSeconds();
+  Timer execute_timer;
+  Response resp;
+  try {
+    if (opts_.on_execute) opts_.on_execute(p.req);
+
+    // Each request solves inside a private scope: spans and counters from
+    // concurrent solves never interleave. The shared cache and plan memo
+    // report into the server scope (wired once at construction), so their
+    // traffic is attributed to the server, not to whichever request happened
+    // to touch them.
+    obs::Observability req_obs;
+    ChaseOptions o = p.req.options;
+    o.observability = &req_obs;
+    o.query_log = opts_.query_log;
+    // Shared artifacts are pre-warmed and persisted by the server itself; a
+    // per-request store would re-open (and re-persist) the same directory
+    // from every drainer at once.
+    o.cache_dir.clear();
+
+    ChaseContext ctx(g_, indexes_.get(), &cache_, &plans_, p.req.question, o);
+    resp = ExecuteWithContext(ctx, p.req.algorithm, p.req.collect_report);
+    resp.id = p.req.id;
+    resp.queue_seconds = queue_seconds;
+
+    // Cross-request aggregation happens here and only here: the request's
+    // counters fold into the server registry, its per-solve phase breakdown
+    // merges into the server-wide totals (obs::MergePhases).
+    req_obs.metrics.ForEachCounter(
+        [this](const std::string& name, uint64_t value) {
+          if (value != 0) obs_->metrics.counter(name).Inc(value);
+        });
+    {
+      std::lock_guard<std::mutex> lock(phases_mu_);
+      obs::MergePhases(merged_phases_, resp.result.stats.phases);
+    }
+    h_solve_->Observe(ToNs(resp.result.stats.elapsed_seconds));
+  } catch (const std::exception& e) {
+    // A drainer runs on the shared pool; nothing may escape. Engine-level
+    // deadline handling never throws this far — anything that does is a
+    // request-scoped failure, reported on the response.
+    resp = Response();
+    resp.algorithm = p.req.algorithm;
+    resp.id = p.req.id;
+    Status s = Status::InvalidArgument(std::string("request failed: ") +
+                                       e.what());
+    resp.result.status = s;
+    resp.status = std::move(s);
+  }
+  h_queue_->Observe(ToNs(queue_seconds));
+  h_latency_->Observe(ToNs(queue_seconds + execute_timer.ElapsedSeconds()));
+  // Counted before the promise resolves so stats() never lags a caller that
+  // has already observed the future.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++completed_;
+  }
+  c_completed_->Inc();
+  p.promise.set_value(std::move(resp));
+}
+
+void Server::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && executing_ == 0; });
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.admitted = admitted_;
+  s.shed = shed_;
+  s.completed = completed_;
+  s.queued = queue_.size();
+  s.executing = executing_;
+  return s;
+}
+
+std::vector<obs::PhaseStat> Server::MergedPhases() const {
+  std::lock_guard<std::mutex> lock(phases_mu_);
+  return merged_phases_;
+}
+
+}  // namespace wqe::serve

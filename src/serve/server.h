@@ -1,0 +1,176 @@
+#ifndef WQE_SERVE_SERVER_H_
+#define WQE_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "chase/solve.h"
+#include "common/timer.h"
+#include "obs/query_log.h"
+
+namespace wqe {
+namespace store {
+class ArtifactStore;
+}  // namespace store
+}  // namespace wqe
+
+namespace wqe::serve {
+
+/// Configuration of a Server instance.
+struct ServerOptions {
+  /// Requests executing simultaneously (0 = one per shared-pool worker).
+  /// Each executing request may itself parallelize via its own
+  /// ChaseOptions::num_threads; both levels draw from the same process-wide
+  /// ThreadPool, so the machine is never oversubscribed.
+  size_t concurrency = 0;
+
+  /// Bounded admission queue. Requests beyond `concurrency` executing wait
+  /// here; an arrival that finds the queue full is shed immediately with
+  /// Status::Overloaded instead of queued unboundedly (open-loop traffic
+  /// would otherwise grow the queue — and every latency — without limit).
+  size_t max_queue = 64;
+
+  /// Applied to requests that arm no deadline of their own (neither
+  /// time_limit_seconds nor an explicit ChaseOptions::deadline). 0 = no
+  /// server-imposed limit.
+  double default_time_limit_seconds = 0;
+
+  /// Warm-start directory for the artifact store: the PLL distance index and
+  /// persisted star views load from here (building and writing back on
+  /// miss), and the shared view cache is persisted back on shutdown. Empty =
+  /// fully in-memory.
+  std::string cache_dir;
+
+  /// Server-wide observation scope: admission counters, queue/latency
+  /// histograms, shared-cache traffic, and every request's counters folded
+  /// in after completion. Null = the server owns a private scope.
+  obs::Observability* observability = nullptr;
+
+  /// When set, every completed request appends one provenance record
+  /// (replayable — see serve/replay.h). Must outlive the server.
+  obs::QueryLog* query_log = nullptr;
+
+  /// Test hook, invoked on the executing thread right before a request's
+  /// evaluation context is built. Lets tests stall execution deterministically
+  /// (to force queue saturation) without timing races.
+  std::function<void(const Request&)> on_execute;
+};
+
+/// Concurrent query-serving layer: multiplexes many in-flight `Execute`
+/// calls over the process-wide thread pool against one immutable Graph and
+/// a set of warm shared artifacts — graph indexes (immutable after build),
+/// a star-view cache and a matcher plan memo (both internally synchronized).
+///
+/// Lifecycle: construction builds or loads the artifacts (the expensive,
+/// one-time part); Submit is then cheap and non-blocking. Admission control
+/// runs at Submit time: beyond `concurrency` executing + `max_queue` waiting,
+/// requests complete immediately with Status::Overloaded. Admitted requests
+/// are drained FIFO by up to `concurrency` pool tasks.
+///
+/// Isolation: each request solves inside a private Observability scope, so
+/// concurrent solves never interleave span self-time or counters. After each
+/// completion the server folds the request's counters and phase breakdown
+/// into its own scope (obs::MergePhases semantics), which is the only place
+/// cross-request aggregation happens.
+///
+/// Answers are byte-identical to a sequential `Execute` of the same request:
+/// shared artifacts are caches and memos, never inputs to the result.
+class Server {
+ public:
+  Server(const Graph& g, ServerOptions opts);
+
+  /// Drains in-flight requests, persists the shared star-view cache when a
+  /// cache_dir is configured.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Non-blocking submission. The future becomes ready when the request
+  /// completes — immediately for validation rejections (kInvalidArgument)
+  /// and load shedding (kOverloaded). A request carrying
+  /// time_limit_seconds has it converted to an absolute deadline here, at
+  /// admission, so queue wait counts against the request's budget and a
+  /// long-queued request still returns (with its anytime answer) on time.
+  std::future<Response> Submit(Request req);
+
+  /// Blocking convenience: Submit + wait.
+  Response Serve(Request req);
+
+  /// Blocks until every admitted request has completed.
+  void Drain();
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t completed = 0;
+    size_t queued = 0;     // waiting right now
+    size_t executing = 0;  // running right now
+  };
+  Stats stats() const;
+
+  /// Cross-request phase totals (each request's per-solve breakdown folded
+  /// via obs::MergePhases after completion).
+  std::vector<obs::PhaseStat> MergedPhases() const;
+
+  obs::Observability& observability() { return *obs_; }
+  const GraphIndexes& indexes() const { return *indexes_; }
+  ViewCache& view_cache() { return cache_; }
+  Matcher::SharedPlans& shared_plans() { return plans_; }
+  size_t concurrency() const { return concurrency_; }
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  struct Pending {
+    Request req;
+    std::promise<Response> promise;
+    Timer queued;  // admission -> execution start
+  };
+
+  /// Body of one drainer task: pops and executes requests until the queue is
+  /// empty, then exits (Submit spawns a fresh drainer when needed, so no
+  /// pool worker ever parks on a condition variable).
+  void DrainLoop();
+  void RunOne(Pending& p);
+
+  const Graph& g_;
+  ServerOptions opts_;
+  size_t concurrency_;
+
+  std::unique_ptr<obs::Observability> owned_obs_;
+  obs::Observability* obs_;
+  std::unique_ptr<store::ArtifactStore> store_;
+  std::unique_ptr<GraphIndexes> indexes_;
+  ViewCache cache_;
+  Matcher::SharedPlans plans_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::deque<Pending> queue_;
+  size_t executing_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t completed_ = 0;
+
+  mutable std::mutex phases_mu_;
+  std::vector<obs::PhaseStat> merged_phases_;
+
+  // Server-scope metrics resolved once at construction.
+  obs::Counter* c_admitted_ = nullptr;
+  obs::Counter* c_shed_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Histogram* h_latency_ = nullptr;   // admission -> completion
+  obs::Histogram* h_queue_ = nullptr;     // admission -> execution start
+  obs::Histogram* h_solve_ = nullptr;     // the solver run itself
+};
+
+}  // namespace wqe::serve
+
+#endif  // WQE_SERVE_SERVER_H_

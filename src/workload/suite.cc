@@ -22,6 +22,10 @@ ExperimentRunner::ExperimentRunner(const Graph& g, std::vector<BenchCase> cases,
       indexes_(std::make_unique<GraphIndexes>(g, num_threads, store_.get())) {
   if (store_ != nullptr) {
     shared_cache_ = std::make_unique<ViewCache>();
+    // The owner wires the shared cache's counters once; contexts only wire
+    // their private caches (see ChaseContext), so per-case scopes never
+    // rebind a cache they share with other cases.
+    shared_cache_->set_observability(o);
     store_->WarmStarViews(g_, shared_cache_.get());
   }
 }
@@ -48,7 +52,7 @@ AlgoSummary ExperimentRunner::Run(const AlgoSpec& algo) const {
     // cache, the exact pre-store behavior.
     ChaseContext ctx(g_, indexes_.get(), shared_cache_.get(), c.question,
                      algo.opts);
-    ChaseResult result = SolveWithContext(ctx, algo.algo);
+    const ChaseResult result = ExecuteWithContext(ctx, algo.algo).result;
     CaseOutcome outcome;
     outcome.seconds = timer.ElapsedSeconds();
     if (result.found()) {

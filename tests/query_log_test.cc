@@ -29,6 +29,8 @@ obs::QueryLogRecord SampleRecord(int i) {
   obs::QueryLogRecord rec;
   rec.algorithm = "AnsW";
   rec.question_kind = "why";
+  rec.query_text = "wqe-query v1\nfocus 0\nnode 0 Product\n";
+  rec.exemplar_text = "wqe-exemplar v1\ntuple price=840.5\n";
   rec.graph_fingerprint = 0xdeadbeefcafe0000ull + i;
   rec.options_fingerprint = 0x1234567890abcdefull;
   rec.termination = "exhausted";
@@ -70,6 +72,10 @@ TEST(QueryLogRecordTest, JsonRoundTripPreservesEveryField) {
   const obs::QueryLogRecord& r = back.value();
   EXPECT_EQ(r.algorithm, rec.algorithm);
   EXPECT_EQ(r.question_kind, rec.question_kind);
+  // The replayable-trace fields round-trip with their embedded newlines —
+  // the replay driver re-parses them via QueryText/ExemplarText verbatim.
+  EXPECT_EQ(r.query_text, rec.query_text);
+  EXPECT_EQ(r.exemplar_text, rec.exemplar_text);
   EXPECT_EQ(r.graph_fingerprint, rec.graph_fingerprint);
   EXPECT_EQ(r.options_fingerprint, rec.options_fingerprint);
   EXPECT_EQ(r.termination, rec.termination);

@@ -17,6 +17,22 @@ TEST(QueryTextTest, RoundTripProductQuery) {
   EXPECT_EQ(parsed.value().Fingerprint(), q.Fingerprint());
 }
 
+TEST(QueryTextTest, RoundTripPreservesAwkwardNumericConstants) {
+  ProductDemo demo;
+  Schema schema = demo.graph().schema();
+  PatternQuery q;
+  const QNodeId u = q.AddNode(schema.LookupLabel("Product"));
+  q.SetFocus(u);
+  // A constant %g would truncate — the fingerprint (and thus replay
+  // verification) must survive the text round trip bit for bit.
+  q.AddLiteral(u, {schema.LookupAttr("price"), CmpOp::kGe,
+                   Value::Num(1574.213859)});
+  const std::string text = QueryText::ToText(q, schema);
+  auto parsed = QueryText::Parse(text, &schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().Fingerprint(), q.Fingerprint());
+}
+
 TEST(QueryTextTest, ParsesWildcardLabelAndAnyLiteral) {
   Schema schema;
   const std::string text =

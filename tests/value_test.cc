@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 namespace wqe {
@@ -51,6 +52,18 @@ TEST(ValueTest, ToStringIntegralNumbersHaveNoDecimalPoint) {
   EXPECT_EQ(Value::Num(840).ToString(strings), "840");
   EXPECT_EQ(Value::Num(6.2).ToString(strings), "6.2");
   EXPECT_EQ(Value::Null().ToString(strings), "null");
+}
+
+TEST(ValueTest, ToStringNumbersRoundTripExactly) {
+  Interner strings;
+  // Shortest form is kept when it already round-trips...
+  EXPECT_EQ(Value::Num(6.2).ToString(strings), "6.2");
+  // ...but awkward doubles must print enough digits that parsing the text
+  // recovers the identical bits — the replay trace depends on it.
+  for (double v : {1574.213859, 62.631173, 7.763549, 0.1 + 0.2, 1e-9 + 1e-17}) {
+    const std::string s = Value::Num(v).ToString(strings);
+    EXPECT_EQ(std::stod(s), v) << "lossy ToString: " << s;
+  }
 }
 
 TEST(ValueTest, ToStringCategoricalUsesInterner) {

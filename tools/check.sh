@@ -5,9 +5,11 @@
 #   3. the benchmark regression gate (quick mode, warm cache) against the
 #      committed BENCH_BASELINE.json, plus an injected-slowdown self-test
 #      proving the gate actually fails on a 2x regression;
-#   4. an Address+UndefinedBehaviorSanitizer build running the whole suite;
-#   5. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
-#      exercise the parallel evaluation layer.
+#   4. a record->replay serving smoke: a short trace fed back through
+#      wqe_serve --strict, proving concurrent answers stay byte-identical;
+#   5. an Address+UndefinedBehaviorSanitizer build running the whole suite;
+#   6. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
+#      exercise the parallel evaluation layer and the serving layer.
 # Usage: tools/check.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
 
@@ -76,6 +78,19 @@ if ./build/tools/bench_gate --label=selftest --repeat=1 \
 fi
 echo "gate self-test: injected 2x slowdown correctly failed the gate"
 
+echo "== serving replay smoke =="
+# Record a short sequential trace, then replay it concurrently under load:
+# --strict fails on any answer mismatch or request failure, so this proves
+# the serving layer's byte-identity contract end to end on every run.
+SERVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SERVE_TMP" "$GATE_TMP"' EXIT
+./build/tools/wqe gen imdb 0.05 "$SERVE_TMP/g.graph" >/dev/null
+./build/tools/replay record "$SERVE_TMP/g.graph" "$SERVE_TMP/trace.jsonl" \
+  --queries 4 >/dev/null
+./build/tools/wqe_serve "$SERVE_TMP/g.graph" "$SERVE_TMP/trace.jsonl" \
+  --qps 100 --concurrency 4 --repeat 3 --strict >/dev/null
+echo "replay smoke: strict concurrent replay reproduced the trace"
+
 echo "== Address+UB Sanitizer build =="
 cmake -B build-asan -S . -DWQE_SANITIZE=address,undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -87,7 +102,7 @@ echo "== corrupted-cache drill (ASan build) =="
 # re-run: the store must reject the damaged files and rebuild cleanly —
 # no crash, no ASan report, answers still produced.
 DRILL="$(mktemp -d)"
-trap 'rm -rf "$DRILL" "$GATE_TMP"' EXIT
+trap 'rm -rf "$DRILL" "$SERVE_TMP" "$GATE_TMP"' EXIT
 ./build-asan/tools/wqe demo "$DRILL" >/dev/null
 ./build-asan/tools/wqe why "$DRILL/product.graph" "$DRILL/product.query" \
   "$DRILL/product.exemplar" --cache-dir "$DRILL/cache" >/dev/null
@@ -105,8 +120,9 @@ cmake -B build-tsan -S . -DWQE_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test parallel_determinism_test matcher_test \
-  star_matcher_test distance_index_test answ_test delta_eval_test
+  star_matcher_test distance_index_test answ_test delta_eval_test \
+  serve_test
 (cd build-tsan && ctest --output-on-failure -R \
-  'ThreadPool|ParallelFor|PerThread|ParallelDeterminism|Matcher|StarMatcher|DistanceIndex|AnsW|DeltaEval')
+  'ThreadPool|ParallelFor|PerThread|ParallelDeterminism|Matcher|StarMatcher|DistanceIndex|AnsW|DeltaEval|Serve')
 
 echo "== all checks passed =="

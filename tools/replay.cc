@@ -1,0 +1,170 @@
+// replay — produce and inspect replayable query-log traces.
+//
+//   replay record <graph> <out.jsonl> [--queries N] [--seed S] [--budget B]
+//                 [--threads N|auto] [--algo answ|heu|whym|whye|fm]
+//       Generates a §7-style workload against the graph, solves each case
+//       sequentially through the Request/Response API with a query log
+//       attached, and leaves a JSONL trace whose records carry the question
+//       text — i.e. an input for `wqe_serve <graph> <trace>`.
+//
+//   replay show <trace.jsonl>
+//       Summarizes a trace: per-algorithm counts, terminations, elapsed
+//       stats, and how many records are replayable.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "chase/solve.h"
+#include "common/thread_pool.h"
+#include "graph/graph_io.h"
+#include "obs/query_log.h"
+#include "workload/why_factory.h"
+
+namespace {
+
+using namespace wqe;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  replay record <graph> <out.jsonl> [--queries N] [--seed S]\n"
+               "                [--budget B] [--threads N|auto]\n"
+               "                [--algo answ|heu|whym|whye|fm]\n"
+               "  replay show <trace.jsonl>\n");
+  return 2;
+}
+
+Graph LoadGraphOrDie(const char* path) {
+  auto r = GraphIo::Load(path);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error loading graph: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+int CmdRecord(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Graph g = LoadGraphOrDie(argv[0]);
+  const std::string out_path = argv[1];
+
+  size_t queries = 5;
+  uint64_t seed = 1;
+  std::string algo = "answ";
+  ChaseOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--queries") {
+      queries = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--budget") {
+      opts.budget = std::atof(next());
+    } else if (arg == "--threads") {
+      auto parsed = ParseThreadCount(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: --threads: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      opts.num_threads = parsed.value();
+    } else if (arg == "--algo") {
+      algo = next();
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  const std::optional<Algorithm> parsed = AlgorithmFromString(algo);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "error: unknown algorithm %s\n", algo.c_str());
+    return 2;
+  }
+
+  auto log = obs::QueryLog::Open(out_path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "error: %s\n", log.status().ToString().c_str());
+    return 1;
+  }
+  opts.query_log = log.value().get();
+
+  WhyFactoryOptions factory;
+  factory.seed = seed;
+  const std::vector<BenchCase> cases = MakeBenchCases(g, queries, factory);
+  if (cases.empty()) {
+    std::fprintf(stderr, "error: workload generation produced no cases\n");
+    return 1;
+  }
+
+  // Sequential reference run: indexes built once, each case solved through
+  // the same entry point the server uses — the trace's answer fingerprints
+  // are therefore exactly what a concurrent replay must reproduce.
+  GraphIndexes indexes(g, opts.num_threads);
+  size_t solved = 0;
+  for (const BenchCase& c : cases) {
+    Request req;
+    req.question = c.question;
+    req.options = opts;
+    req.algorithm = *parsed;
+    Response resp = Execute(g, &indexes, nullptr, nullptr, req);
+    if (resp.ok()) ++solved;
+  }
+  std::printf("recorded %zu/%zu solves -> %s (%llu records)\n", solved,
+              cases.size(), out_path.c_str(),
+              static_cast<unsigned long long>(
+                  log.value()->records_written()));
+  return solved == 0 ? 1 : 0;
+}
+
+int CmdShow(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto loaded = obs::QueryLog::Load(argv[0]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto& records = loaded.value().records;
+  std::map<std::string, size_t> by_algo;
+  std::map<std::string, size_t> by_termination;
+  size_t replayable = 0;
+  double total_elapsed = 0;
+  for (const auto& rec : records) {
+    ++by_algo[rec.algorithm.empty() ? "?" : rec.algorithm];
+    ++by_termination[rec.termination.empty() ? "?" : rec.termination];
+    if (!rec.query_text.empty() && !rec.exemplar_text.empty()) ++replayable;
+    total_elapsed += rec.elapsed_seconds;
+  }
+  std::printf("%zu records (%zu corrupt lines skipped), %zu replayable\n",
+              records.size(), loaded.value().skipped_lines, replayable);
+  for (const auto& [name, n] : by_algo) {
+    std::printf("  algorithm %-10s %zu\n", name.c_str(), n);
+  }
+  for (const auto& [name, n] : by_termination) {
+    std::printf("  termination %-10s %zu\n", name.c_str(), n);
+  }
+  if (!records.empty()) {
+    std::printf("  mean elapsed %.4fs\n",
+                total_elapsed / static_cast<double>(records.size()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "record") return CmdRecord(argc - 2, argv + 2);
+  if (cmd == "show") return CmdShow(argc - 2, argv + 2);
+  return Usage();
+}

@@ -339,18 +339,26 @@ int CmdWhy(int argc, char** argv) {
     sampler = std::make_unique<obs::ResourceSampler>(&observability);
   }
 
-  WhyQuestion w{q.value(), e.value()};
-  ChaseContext ctx(g, w, opts);
+  // The CLI speaks the Request/Response API: one self-describing submission
+  // per invocation, the same unit the serving layer queues and the replay
+  // driver reconstructs from query logs.
+  Request req;
+  req.question = WhyQuestion{q.value(), e.value()};
+  req.options = opts;
+  req.algorithm = *parsed;
+
+  ChaseContext ctx(g, req.question, req.options);
   if (!json) {
     std::printf("Original query:\n%s\nQ(G): ",
-                w.query.ToString(g.schema()).c_str());
+                req.question.query.ToString(g.schema()).c_str());
     PrintAnswer(g, ctx.root()->matches);
     std::printf("\nExemplar:\n%s\nrep(E,V): %zu entities, cl* = %.4f\n\n",
-                w.exemplar.ToString(g.schema()).c_str(), ctx.rep().nodes.size(),
-                ctx.cl_star());
+                req.question.exemplar.ToString(g.schema()).c_str(),
+                ctx.rep().nodes.size(), ctx.cl_star());
   }
 
-  ChaseResult result = SolveWithContext(ctx, *parsed);
+  Response response = ExecuteWithContext(ctx, req.algorithm);
+  const ChaseResult& result = response.result;
 
   if (sampler != nullptr) sampler->Stop();  // final sample before export
   if (!metrics_out.empty() &&

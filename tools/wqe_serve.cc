@@ -1,0 +1,168 @@
+// wqe_serve — open-loop traffic generator against the concurrent serving
+// layer. Feeds a recorded query-log trace (see `replay record`) back through
+// a Server at a configurable arrival rate and reports throughput, latency
+// quantiles, shed counts, and answer verification against the trace.
+//
+//   wqe_serve <graph> <trace.jsonl> [--qps R] [--concurrency N]
+//             [--max-queue Q] [--budget B] [--deadline S] [--threads N|auto]
+//             [--limit N] [--repeat K] [--cache-dir DIR]
+//             [--metrics-out FILE] [--no-check-fp] [--strict]
+//
+// --qps 0 (default) runs closed-loop: every request is submitted
+// immediately, so the run measures peak sustainable throughput under
+// admission control. --strict exits non-zero when any replayed answer
+// differs from the trace or any request fails (deadline-free runs are
+// byte-identical to the sequential recording by construction).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "graph/graph_io.h"
+#include "obs/observability.h"
+#include "obs/query_log.h"
+#include "serve/replay.h"
+#include "serve/server.h"
+
+namespace {
+
+using namespace wqe;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: wqe_serve <graph> <trace.jsonl> [--qps R]\n"
+               "       [--concurrency N] [--max-queue Q] [--budget B]\n"
+               "       [--deadline S] [--threads N|auto] [--limit N]\n"
+               "       [--repeat K] [--cache-dir DIR] [--metrics-out FILE]\n"
+               "       [--no-check-fp] [--strict]\n");
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto loaded_graph = GraphIo::Load(argv[1]);
+  if (!loaded_graph.ok()) {
+    std::fprintf(stderr, "error loading graph: %s\n",
+                 loaded_graph.status().ToString().c_str());
+    return 1;
+  }
+  Graph g = std::move(loaded_graph).value();
+
+  auto trace = obs::QueryLog::Load(argv[2]);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "error loading trace: %s\n",
+                 trace.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions server_opts;
+  serve::ReplayOptions replay_opts;
+  std::string metrics_out;
+  bool strict = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--qps") {
+      replay_opts.qps = std::atof(next());
+    } else if (arg == "--concurrency") {
+      server_opts.concurrency = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--max-queue") {
+      server_opts.max_queue = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--budget") {
+      replay_opts.options.budget = std::atof(next());
+    } else if (arg == "--deadline") {
+      replay_opts.options.time_limit_seconds = std::atof(next());
+    } else if (arg == "--threads") {
+      auto parsed = ParseThreadCount(next());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: --threads: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      replay_opts.options.num_threads = parsed.value();
+    } else if (arg == "--limit") {
+      replay_opts.limit = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--repeat") {
+      replay_opts.repeat = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--cache-dir") {
+      server_opts.cache_dir = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--no-check-fp") {
+      replay_opts.check_fingerprint = false;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  obs::Observability obs;
+  server_opts.observability = &obs;
+
+  Timer startup;
+  serve::Server server(g, server_opts);
+  std::printf("server up in %.2fs: concurrency %zu, queue bound %zu%s\n",
+              startup.ElapsedSeconds(), server.concurrency(),
+              server.options().max_queue,
+              server_opts.cache_dir.empty() ? "" : " (warm store)");
+
+  const serve::ReplayStats stats =
+      serve::Replay(server, g, trace.value().records, replay_opts);
+  std::fputs(stats.ToString().c_str(), stdout);
+
+  const serve::Server::Stats srv = server.stats();
+  std::printf("server: admitted %llu, shed %llu, completed %llu\n",
+              static_cast<unsigned long long>(srv.admitted),
+              static_cast<unsigned long long>(srv.shed),
+              static_cast<unsigned long long>(srv.completed));
+  std::printf("shared artifacts: %zu cached views, %zu shared plans "
+              "(%llu plan hits)\n",
+              server.view_cache().size(), server.shared_plans().size(),
+              static_cast<unsigned long long>(server.shared_plans().hits()));
+  std::printf("phases (self time, merged across requests):\n");
+  for (const obs::PhaseStat& p : server.MergedPhases()) {
+    std::printf("  %-24s x%-6llu self %8.4fs\n", p.name.c_str(),
+                static_cast<unsigned long long>(p.count), p.self_seconds);
+  }
+
+  if (!metrics_out.empty() &&
+      !WriteFile(metrics_out,
+                 obs::ExportMetricsJson(obs, stats.wall_seconds))) {
+    return 1;
+  }
+
+  if (stats.submitted == 0) {
+    std::fprintf(stderr, "error: no replayable records in the trace\n");
+    return 1;
+  }
+  if (strict && (stats.mismatched != 0 || stats.failed != 0)) {
+    std::fprintf(stderr,
+                 "error: strict replay: %zu mismatched, %zu failed\n",
+                 stats.mismatched, stats.failed);
+    return 1;
+  }
+  return 0;
+}
