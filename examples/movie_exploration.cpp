@@ -19,7 +19,8 @@ void PrintAnswer(const Graph& g, const std::vector<NodeId>& matches,
                  size_t limit = 8) {
   std::printf("  %zu matches: ", matches.size());
   for (size_t i = 0; i < matches.size() && i < limit; ++i) {
-    std::printf("%s  ", g.name(matches[i]).c_str());
+    std::printf("%.*s  ", static_cast<int>(g.name(matches[i]).size()),
+                g.name(matches[i]).data());
   }
   if (matches.size() > limit) std::printf("...");
   std::printf("\n");
@@ -73,7 +74,9 @@ int main() {
   }
   std::printf("\nUser designates %zu example movies they wanted:\n",
               examples.size());
-  for (NodeId v : examples) std::printf("  %s\n", g.name(v).c_str());
+  for (NodeId v : examples) {
+    std::printf("  %.*s\n", static_cast<int>(g.name(v).size()), g.name(v).data());
+  }
 
   ChaseResult result = session.AskByExamples(examples);
   std::printf("\nTop-%zu suggested rewrites:\n", result.answers.size());

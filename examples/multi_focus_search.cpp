@@ -44,7 +44,7 @@ int main() {
     std::printf("Matches of focus u%u (closeness %.4f): ", w.foci[i],
                 best.closeness_per_focus[i]);
     for (NodeId v : best.matches_per_focus[i]) {
-      std::printf("%s  ", g.name(v).c_str());
+      std::printf("%.*s  ", static_cast<int>(g.name(v).size()), g.name(v).data());
     }
     std::printf("\n");
   }

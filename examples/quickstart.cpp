@@ -32,7 +32,9 @@ int main() {
   DistanceIndex dist(g);
   Matcher matcher(g, &dist);
   std::printf("Q(G) = { ");
-  for (NodeId v : matcher.Answer(w.query)) std::printf("%s  ", g.name(v).c_str());
+  for (NodeId v : matcher.Answer(w.query)) {
+    std::printf("%.*s  ", static_cast<int>(g.name(v).size()), g.name(v).data());
+  }
   std::printf("}\n\n");
 
   std::printf("== Exemplar (Example 2.3) ==\n%s\n\n",
@@ -53,7 +55,9 @@ int main() {
   std::printf("Operators: %s\n\n", best.ops.ToString(schema).c_str());
 
   std::printf("Q'(G) = { ");
-  for (NodeId v : best.matches) std::printf("%s  ", g.name(v).c_str());
+  for (NodeId v : best.matches) {
+    std::printf("%.*s  ", static_cast<int>(g.name(v).size()), g.name(v).data());
+  }
   std::printf("}\n\n");
 
   std::printf("== Why? (differential table, §5.4) ==\n%s\n",

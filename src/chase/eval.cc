@@ -95,6 +95,39 @@ GraphIndexes::GraphIndexes(const Graph& g, size_t num_threads,
       diameter(LoadOrBuildDiameter(g, store)),
       dist(LoadOrBuildDist(g, num_threads, store)) {}
 
+MappedServingState::MappedServingState(std::unique_ptr<store::MappedBundle> b)
+    : bundle(std::move(b)),
+      indexes(bundle->TakeAdom(), bundle->diameter(), bundle->TakeDist()) {}
+
+MappedServingState::~MappedServingState() = default;
+
+Status OpenServingState(store::ArtifactStore& store,
+                        const DistanceIndex::Options& opts,
+                        const store::BundleOpenOptions& open_opts,
+                        std::unique_ptr<MappedServingState>* out) {
+  std::unique_ptr<store::MappedBundle> bundle;
+  if (Status s = store.OpenBundle(opts, open_opts, &bundle); !s.ok()) return s;
+  *out = std::make_unique<MappedServingState>(std::move(bundle));
+  return Status::OK();
+}
+
+Status OpenOrBuildServingState(const Graph& g, store::ArtifactStore& store,
+                               size_t num_threads,
+                               std::unique_ptr<MappedServingState>* out) {
+  const DistanceIndex::Options dopts = DistOptions(num_threads);
+  if (OpenServingState(store, dopts, {}, out).ok()) return Status::OK();
+  // Miss or rejection: build (or restore from the v1 artifacts), persist the
+  // bundle, and serve from the mapping so this process already exercises the
+  // exact bytes every later process will.
+  GraphIndexes built(g, num_threads, &store);
+  if (Status s =
+          store.SaveBundle(g, built.adom, built.diameter, built.dist, dopts);
+      !s.ok()) {
+    return s;
+  }
+  return OpenServingState(store, dopts, {}, out);
+}
+
 ChaseContext::ChaseContext(const Graph& g, const WhyQuestion& w,
                            const ChaseOptions& opts)
     : ChaseContext(g, nullptr, nullptr, w, opts) {}
@@ -165,7 +198,8 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
     universe_.resize(g.num_nodes());
     for (NodeId v = 0; v < g.num_nodes(); ++v) universe_[v] = v;
   } else {
-    universe_ = g.NodesWithLabel(focus_label);
+    const std::span<const NodeId> bucket = g.NodesWithLabel(focus_label);
+    universe_.assign(bucket.begin(), bucket.end());
   }
 
   rep_ = ComputeRep(closeness_, w_.exemplar, universe_);

@@ -15,6 +15,7 @@
 #include "match/star_matcher.h"
 #include "obs/observability.h"
 #include "query/op_sequence.h"
+#include "store/mmap_layout.h"
 
 namespace wqe {
 
@@ -107,6 +108,40 @@ struct GraphIndexes {
   uint32_t diameter;
   DistanceIndex dist;
 };
+
+/// Zero-copy serving state restored from a store v2 mmap bundle: the mapped
+/// graph plus GraphIndexes assembled from the bundle's restored components.
+/// The bundle member is declared first so the indexes (whose DistanceIndex
+/// references the bundle-owned graph) are torn down before the mapping.
+/// Heap-pinned like the bundle itself.
+struct MappedServingState {
+  explicit MappedServingState(std::unique_ptr<store::MappedBundle> b);
+  ~MappedServingState();
+
+  MappedServingState(const MappedServingState&) = delete;
+  MappedServingState& operator=(const MappedServingState&) = delete;
+
+  const Graph& graph() const { return bundle->graph(); }
+
+  std::unique_ptr<store::MappedBundle> bundle;
+  GraphIndexes indexes;
+};
+
+/// Opens `store`'s bundle and assembles the serving state. NotFound = no
+/// bundle yet (build heap-side, SaveBundle, retry); other failures mean the
+/// bundle was rejected and the caller should rebuild it.
+Status OpenServingState(store::ArtifactStore& store,
+                        const DistanceIndex::Options& opts,
+                        const store::BundleOpenOptions& open_opts,
+                        std::unique_ptr<MappedServingState>* out);
+
+/// The tools' --mmap entry point: open the store's bundle zero-copy; on miss
+/// or rejection build the indexes heap-side (reusing the store's individual
+/// v1 artifacts where present), write the bundle, and re-open it. After the
+/// first run the heap build is skipped entirely.
+Status OpenOrBuildServingState(const Graph& g, store::ArtifactStore& store,
+                               size_t num_threads,
+                               std::unique_ptr<MappedServingState>* out);
 
 /// Shared evaluation context for one Why-question: graph-side indexes
 /// (owned or borrowed), the exemplar representation rep(ℰ, V), the focus

@@ -8,7 +8,7 @@
 
 namespace wqe {
 
-std::string ChaseReport::Escape(const std::string& s) {
+std::string ChaseReport::Escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 8);
   obs::AppendJsonEscaped(out, s);

@@ -2,6 +2,7 @@
 #define WQE_CHASE_REPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "chase/answ.h"
 #include "chase/differential.h"
@@ -64,7 +65,7 @@ class ChaseReport {
                                  Algorithm algo);
 
   /// Escapes a string for embedding in JSON output.
-  static std::string Escape(const std::string& s);
+  static std::string Escape(std::string_view s);
 };
 
 }  // namespace wqe

@@ -136,8 +136,9 @@ WhyNotReport ExplainWhyNot(ChaseContext& ctx, NodeId entity) {
 
 std::string WhyNotReport::ToString(const Graph& g) const {
   std::ostringstream out;
-  const std::string name =
-      g.name(entity).empty() ? "#" + std::to_string(entity) : g.name(entity);
+  const std::string name = g.name(entity).empty()
+                               ? "#" + std::to_string(entity)
+                               : std::string(g.name(entity));
   if (is_match) {
     out << name << " already matches the query.\n";
     return out.str();

@@ -1,6 +1,7 @@
 #include "graph/distance_index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <numeric>
 #include <utility>
 
@@ -15,6 +16,25 @@ DistanceIndex::DistanceIndex(const Graph& g, Options opts) : g_(g), bfs_(g) {
   }
 }
 
+DistanceIndex DistanceIndex::Attach(const Graph& g, View view, bool indexed,
+                                    std::shared_ptr<const void> backing) {
+  assert(indexed || (view.order.empty() && view.out_cells.empty() &&
+                     view.in_cells.empty()));
+  DistanceIndex d(g, RestoreTag{});
+  d.indexed_ = indexed;
+  d.view_ = view;
+  d.backing_ = std::move(backing);
+  return d;
+}
+
+void DistanceIndex::InstallHeapView() {
+  view_.order = order_;
+  view_.out_offsets = label_out_offsets_;
+  view_.out_cells = label_out_cells_;
+  view_.in_offsets = label_in_offsets_;
+  view_.in_cells = label_in_cells_;
+}
+
 void DistanceIndex::Build(size_t num_threads) {
   const size_t n = g_.num_nodes();
   order_.resize(n);
@@ -23,8 +43,31 @@ void DistanceIndex::Build(size_t num_threads) {
     return g_.degree(a) != g_.degree(b) ? g_.degree(a) > g_.degree(b) : a < b;
   });
 
-  label_out_.assign(n, {});
-  label_in_.assign(n, {});
+  // Per-node label lists grow during the sweep; they are built nested and
+  // flattened into the cell columns once complete.
+  std::vector<std::vector<LabelEntry>> out_nested(n);
+  std::vector<std::vector<LabelEntry>> in_nested(n);
+
+  // Merge-scan over the (partial) nested labels; the post-build QueryLabels
+  // runs the same scan over the flat view.
+  auto query = [&](NodeId u, NodeId v) {
+    const auto& out = out_nested[u];
+    const auto& in = in_nested[v];
+    uint32_t best = kInfDist;
+    size_t i = 0, j = 0;
+    while (i < out.size() && j < in.size()) {
+      if (out[i].hub_rank == in[j].hub_rank) {
+        best = std::min(best, out[i].dist + in[j].dist);
+        ++i;
+        ++j;
+      } else if (out[i].hub_rank < in[j].hub_rank) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return best;
+  };
 
   // Hubs are processed in rank batches. Within a batch every hub runs its two
   // pruned BFSs concurrently against the *frozen* labels of earlier batches,
@@ -62,7 +105,7 @@ void DistanceIndex::Build(size_t num_threads) {
       const uint32_t d = s.dist[w];
       // Prune: an earlier (higher-degree) hub already certifies a path of
       // length <= d, so labeling w through this hub adds nothing.
-      const uint32_t known = forward ? QueryLabels(hub, w) : QueryLabels(w, hub);
+      const uint32_t known = forward ? query(hub, w) : query(w, hub);
       if (known <= d) continue;
       out.push_back({w, d});
       for (NodeId y : forward ? g_.out(w) : g_.in(w)) {
@@ -90,18 +133,40 @@ void DistanceIndex::Build(size_t num_threads) {
       const NodeId hub = order_[rank];
       const uint32_t r = static_cast<uint32_t>(rank);
       for (const auto& [w, d] : results[rank - batch_start].fwd) {
-        if (QueryLabels(hub, w) > d) label_in_[w].push_back({r, d});
+        if (query(hub, w) > d) in_nested[w].push_back({r, d});
       }
       for (const auto& [w, d] : results[rank - batch_start].bwd) {
-        if (QueryLabels(w, hub) > d) label_out_[w].push_back({r, d});
+        if (query(w, hub) > d) out_nested[w].push_back({r, d});
       }
     }
   }
+
+  // Flatten into the cell columns the queries (and the store) read.
+  label_out_offsets_.assign(n + 1, 0);
+  label_in_offsets_.assign(n + 1, 0);
+  size_t out_total = 0, in_total = 0;
+  for (size_t v = 0; v < n; ++v) {
+    out_total += out_nested[v].size();
+    in_total += in_nested[v].size();
+  }
+  label_out_cells_.reserve(out_total);
+  label_in_cells_.reserve(in_total);
+  for (size_t v = 0; v < n; ++v) {
+    label_out_cells_.insert(label_out_cells_.end(), out_nested[v].begin(),
+                            out_nested[v].end());
+    label_out_offsets_[v + 1] = label_out_cells_.size();
+    label_in_cells_.insert(label_in_cells_.end(), in_nested[v].begin(),
+                           in_nested[v].end());
+    label_in_offsets_[v + 1] = label_in_cells_.size();
+  }
+  InstallHeapView();
 }
 
 uint32_t DistanceIndex::QueryLabels(NodeId u, NodeId v) const {
-  const auto& out = label_out_[u];
-  const auto& in = label_in_[v];
+  const std::span<const LabelEntry> out = view_.out_cells.subspan(
+      view_.out_offsets[u], view_.out_offsets[u + 1] - view_.out_offsets[u]);
+  const std::span<const LabelEntry> in = view_.in_cells.subspan(
+      view_.in_offsets[v], view_.in_offsets[v + 1] - view_.in_offsets[v]);
   uint32_t best = kInfDist;
   size_t i = 0, j = 0;
   while (i < out.size() && j < in.size()) {
@@ -131,13 +196,6 @@ uint32_t DistanceIndex::Distance(NodeId u, NodeId v, uint32_t cap,
     return d <= cap ? d : kInfDist;
   }
   return scratch.Distance(u, v, cap);
-}
-
-size_t DistanceIndex::LabelEntries() const {
-  size_t total = 0;
-  for (const auto& l : label_out_) total += l.size();
-  for (const auto& l : label_in_) total += l.size();
-  return total;
 }
 
 }  // namespace wqe

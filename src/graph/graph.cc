@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace wqe {
 
@@ -15,6 +16,7 @@ NodeId Graph::AddNode(LabelId label, std::string_view name) {
 }
 
 void Graph::SetAttr(NodeId v, AttrId a, Value value) {
+  assert(!finalized_);
   assert(v < labels_.size());
   auto& tuple = attrs_[v];
   for (auto& pair : tuple) {
@@ -24,10 +26,6 @@ void Graph::SetAttr(NodeId v, AttrId a, Value value) {
     }
   }
   tuple.push_back({a, value});
-  if (finalized_) {
-    std::sort(tuple.begin(), tuple.end(),
-              [](const AttrPair& x, const AttrPair& y) { return x.attr < y.attr; });
-  }
 }
 
 void Graph::AddEdge(NodeId from, NodeId to, LabelId elabel) {
@@ -43,10 +41,33 @@ void Graph::Finalize() {
   const size_t n = labels_.size();
   const size_t m = edge_to_.size();
 
+  // Pack name strings into one blob + offsets.
+  name_offsets_.assign(n + 1, 0);
+  size_t name_total = 0;
+  for (size_t v = 0; v < n; ++v) name_total += names_[v].size();
+  name_bytes_.reserve(name_total);
+  for (size_t v = 0; v < n; ++v) {
+    name_bytes_.insert(name_bytes_.end(), names_[v].begin(), names_[v].end());
+    name_offsets_[v + 1] = name_bytes_.size();
+  }
+  names_.clear();
+  names_.shrink_to_fit();
+
+  // Sort each tuple by attribute id and flatten into one cell column.
+  attr_offsets_.assign(n + 1, 0);
+  size_t cell_total = 0;
   for (auto& tuple : attrs_) {
     std::sort(tuple.begin(), tuple.end(),
               [](const AttrPair& x, const AttrPair& y) { return x.attr < y.attr; });
+    cell_total += tuple.size();
   }
+  attr_cells_.reserve(cell_total);
+  for (size_t v = 0; v < n; ++v) {
+    attr_cells_.insert(attr_cells_.end(), attrs_[v].begin(), attrs_[v].end());
+    attr_offsets_[v + 1] = attr_cells_.size();
+  }
+  attrs_.clear();
+  attrs_.shrink_to_fit();
 
   // Counting sort into CSR, both directions.
   out_offsets_.assign(n + 1, 0);
@@ -68,20 +89,57 @@ void Graph::Finalize() {
     adj_in_[in_cursor[edge_to_[i]]++] = edge_from_[i];
   }
 
-  by_label_.assign(schema_.num_labels(), {});
-  for (NodeId v = 0; v < n; ++v) by_label_[labels_[v]].push_back(v);
+  // Nodes grouped by label, as a label-indexed CSR.
+  const size_t num_labels = schema_.num_labels();
+  label_offsets_.assign(num_labels + 1, 0);
+  for (size_t v = 0; v < n; ++v) ++label_offsets_[labels_[v] + 1];
+  for (size_t l = 0; l < num_labels; ++l)
+    label_offsets_[l + 1] += label_offsets_[l];
+  label_nodes_.resize(n);
+  std::vector<uint64_t> label_cursor(label_offsets_.begin(),
+                                     label_offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) label_nodes_[label_cursor[labels_[v]]++] = v;
+
+  view_.labels = labels_;
+  view_.name_offsets = name_offsets_;
+  view_.name_bytes = name_bytes_;
+  view_.attr_offsets = attr_offsets_;
+  view_.attr_cells = attr_cells_;
+  view_.out_offsets = out_offsets_;
+  view_.adj_out = adj_out_;
+  view_.in_offsets = in_offsets_;
+  view_.adj_in = adj_in_;
+  view_.label_offsets = label_offsets_;
+  view_.label_nodes = label_nodes_;
+  view_.edge_from = edge_from_;
+  view_.edge_to = edge_to_;
+  view_.edge_labels = edge_labels_;
 
   finalized_ = true;
 }
 
-const std::vector<NodeId>& Graph::NodesWithLabel(LabelId label) const {
+Graph Graph::Attach(GraphView view, Schema schema,
+                    std::shared_ptr<const void> backing,
+                    uint64_t serde_fingerprint) {
+  Graph g;
+  g.schema_ = std::move(schema);
+  g.view_ = view;
+  g.backing_ = std::move(backing);
+  g.attached_fingerprint_ = serde_fingerprint;
+  g.finalized_ = true;
+  return g;
+}
+
+std::span<const NodeId> Graph::NodesWithLabel(LabelId label) const {
   assert(finalized_);
-  if (label >= by_label_.size()) return empty_label_bucket_;
-  return by_label_[label];
+  if (label + 1 >= view_.label_offsets.size()) return {};
+  return view_.label_nodes.subspan(
+      view_.label_offsets[label],
+      view_.label_offsets[label + 1] - view_.label_offsets[label]);
 }
 
 const Value* Graph::attr(NodeId v, AttrId a) const {
-  const auto& tuple = attrs_[v];
+  const std::span<const AttrPair> tuple = attrs(v);
   auto it = std::lower_bound(
       tuple.begin(), tuple.end(), a,
       [](const AttrPair& pair, AttrId key) { return pair.attr < key; });

@@ -65,10 +65,11 @@ std::string GraphIo::ToString(const Graph& g) {
       out << '\n';
     }
   }
-  for (size_t i = 0; i < g.edge_to_.size(); ++i) {
-    out << "edge\t" << g.edge_from_[i] << '\t' << g.edge_to_[i];
-    if (g.edge_labels_[i] != kWildcardSymbol) {
-      out << '\t' << schema.EdgeLabelName(g.edge_labels_[i]);
+  const GraphView& view = g.view();
+  for (size_t i = 0; i < view.edge_to.size(); ++i) {
+    out << "edge\t" << view.edge_from[i] << '\t' << view.edge_to[i];
+    if (view.edge_labels[i] != kWildcardSymbol) {
+      out << '\t' << schema.EdgeLabelName(view.edge_labels[i]);
     }
     out << '\n';
   }

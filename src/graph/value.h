@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "common/interner.h"
 
@@ -17,7 +18,7 @@ class Value {
  public:
   enum class Kind : uint8_t { kNull, kNum, kStr };
 
-  Value() : kind_(Kind::kNull), num_(0), str_(kWildcardSymbol) {}
+  Value() : num_(0), str_(kWildcardSymbol), kind_(Kind::kNull) {}
 
   static Value Null() { return Value(); }
   static Value Num(double v) {
@@ -80,10 +81,18 @@ class Value {
   std::string ToString(const Interner& strings) const;
 
  private:
-  Kind kind_;
+  // Member order + explicit tail padding make a Value 16 bytes with every
+  // byte deterministic: factories zero the unused payload and pad_, so raw
+  // Value columns can be checksummed and mmap'd byte-for-byte (store v2).
   double num_;
   SymbolId str_;
+  Kind kind_;
+  uint8_t pad_[3] = {0, 0, 0};
 };
+
+static_assert(sizeof(Value) == 16, "Value is the unit of on-disk attr cells");
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value columns are written/mapped as raw bytes");
 
 }  // namespace wqe
 

@@ -1,6 +1,5 @@
 #include "obs/query_log.h"
 
-#include <cstdlib>
 #include <sstream>
 
 #include "obs/json.h"
@@ -15,6 +14,30 @@ uint64_t U64Or(const JsonValue& v, std::string_view key, uint64_t dflt) {
 }
 
 }  // namespace
+
+Status ParseHexFingerprint(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) {
+    return Status::InvalidArgument("fingerprint must be 1..16 hex digits, got '" +
+                                   std::string(text) + "'");
+  }
+  uint64_t v = 0;
+  for (const char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument("fingerprint has non-hex character in '" +
+                                     std::string(text) + "'");
+    }
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = v;
+  return Status::OK();
+}
 
 std::string QueryLogRecord::ToJson() const {
   std::ostringstream out;
@@ -73,10 +96,18 @@ Result<QueryLogRecord> QueryLogRecord::FromJson(const JsonValue& v) {
   QueryLogRecord rec;
   rec.algorithm = v.StringOr("algorithm", "");
   rec.question_kind = v.StringOr("question_kind", "");
-  rec.graph_fingerprint =
-      std::strtoull(v.StringOr("graph_fingerprint", "0").c_str(), nullptr, 16);
-  rec.options_fingerprint = std::strtoull(
-      v.StringOr("options_fingerprint", "0").c_str(), nullptr, 16);
+  // Missing fingerprints default to "0" (records predating provenance);
+  // *present but malformed* ones reject the record.
+  if (Status s = ParseHexFingerprint(v.StringOr("graph_fingerprint", "0"),
+                                     &rec.graph_fingerprint);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ParseHexFingerprint(v.StringOr("options_fingerprint", "0"),
+                                     &rec.options_fingerprint);
+      !s.ok()) {
+    return s;
+  }
   rec.query_text = v.StringOr("query", "");
   rec.exemplar_text = v.StringOr("exemplar", "");
   rec.termination = v.StringOr("termination", "");

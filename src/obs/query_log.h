@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -14,6 +15,14 @@
 namespace wqe::obs {
 
 struct JsonValue;
+
+/// Strict parse of the "%016llx" fingerprints ToJson writes: 1..16 hex
+/// digits, nothing else. Rejects what strtoull would silently accept —
+/// leading whitespace/sign, "0x" prefixes, trailing junk, out-of-range
+/// saturation to ULLONG_MAX, and the empty string — so a damaged log line
+/// surfaces as a skipped record, not as provenance quietly keyed to the
+/// wrong (or zero) graph.
+Status ParseHexFingerprint(std::string_view text, uint64_t* out);
 
 /// One per-solve provenance record — everything needed to replay, triage, or
 /// mine a production query log offline (the paper's §6 workload selection is

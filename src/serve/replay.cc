@@ -88,23 +88,33 @@ ReplayStats Replay(Server& server, Graph& g,
   std::vector<std::future<Response>> futures;
   futures.reserve(total);
 
-  // Open-loop schedule: request k departs at k/qps seconds on the global
+  // Open-loop schedule: request k departs at start + k/qps on the global
   // clock, whether or not earlier requests completed. The shed path makes
   // this safe against a saturated server — arrivals beyond the bounded
   // queue complete immediately with kOverloaded instead of piling up.
+  // Deadlines are absolute (sleep_until against the start timestamp), so a
+  // slow Submit delays no one else's schedule and the pacer never drifts
+  // the way a per-iteration sleep_for accumulation would.
   Timer wall;
+  const auto start = std::chrono::steady_clock::now();
   for (size_t k = 0; k < total; ++k) {
     if (opts.qps > 0) {
-      const double depart = static_cast<double>(k) / opts.qps;
-      while (wall.ElapsedSeconds() < depart) {
-        std::this_thread::sleep_for(std::chrono::microseconds(200));
-      }
+      const auto depart =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(static_cast<double>(k) /
+                                                    opts.qps));
+      std::this_thread::sleep_until(depart);
     }
     Request req = batch.requests[k % batch.requests.size()];
     req.id = k;
     futures.push_back(server.Submit(std::move(req)));
     ++stats.submitted;
   }
+  stats.submit_seconds = wall.ElapsedSeconds();
+  stats.arrival_qps =
+      stats.submitted > 1 && stats.submit_seconds > 0
+          ? static_cast<double>(stats.submitted - 1) / stats.submit_seconds
+          : 0;
 
   for (std::future<Response>& f : futures) {
     Response resp = f.get();
@@ -140,6 +150,7 @@ ReplayStats Replay(Server& server, Graph& g,
   const obs::Histogram::Snapshot lat = Diff(
       lat_before,
       server.observability().metrics.histogram("serve.latency_ns").Snap());
+  stats.latency_samples = static_cast<size_t>(lat.count);
   if (lat.count > 0) {
     stats.latency_mean_ms = lat.Mean() / 1e6;
     stats.latency_p50_ms = NsToMs(lat.Quantile(0.50));
@@ -162,14 +173,21 @@ std::string ReplayStats::ToString() const {
                 completed, shed, failed, deadline, mismatched);
   out << line;
   std::snprintf(line, sizeof(line),
-                "  wall %.3fs | throughput %.1f q/s\n", wall_seconds,
-                achieved_qps);
+                "  wall %.3fs | throughput %.1f q/s | offered %.1f q/s "
+                "over %.3fs\n",
+                wall_seconds, achieved_qps, arrival_qps, submit_seconds);
   out << line;
-  std::snprintf(line, sizeof(line),
-                "  latency ms: mean %.2f | p50 %.2f | p90 %.2f | p99 %.2f\n",
-                latency_mean_ms, latency_p50_ms, latency_p90_ms,
-                latency_p99_ms);
-  out << line;
+  if (latency_samples == 0) {
+    out << "  latency ms: no samples\n";
+  } else {
+    std::snprintf(
+        line, sizeof(line),
+        "  latency ms: mean %.2f | p50 %.2f | p90 %.2f | p99 %.2f "
+        "(%zu samples)\n",
+        latency_mean_ms, latency_p50_ms, latency_p90_ms, latency_p99_ms,
+        latency_samples);
+    out << line;
+  }
   return out.str();
 }
 

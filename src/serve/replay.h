@@ -69,9 +69,21 @@ struct ReplayStats {
   double wall_seconds = 0;
   double achieved_qps = 0;  // completed / wall
 
+  /// Arrival-side accounting: how fast requests were actually *offered*.
+  /// `arrival_qps` is the mean inter-arrival rate (submitted-1 intervals over
+  /// the submission phase; the first request departs at t=0), directly
+  /// comparable to ReplayOptions::qps — an open-loop run whose pacing keeps
+  /// up reports arrival_qps ≈ qps even when the server sheds.
+  double submit_seconds = 0;
+  double arrival_qps = 0;
+
   // Admission-to-completion latency over this run's traffic (from the
   // server's serve.latency_ns histogram delta; bucketed, <= 2x relative
-  // error).
+  // error). `latency_samples` is the number of measurements behind the
+  // quantiles; when it is 0 (everything shed or failed before admission
+  // completed) the latency fields are explicitly 0 and ToString reports
+  // "no samples" instead of fabricating quantiles from an empty snapshot.
+  size_t latency_samples = 0;
   double latency_mean_ms = 0;
   double latency_p50_ms = 0;
   double latency_p90_ms = 0;

@@ -34,8 +34,12 @@ Server::Server(const Graph& g, ServerOptions opts)
                  : std::make_unique<store::ArtifactStore>(
                        opts_.cache_dir, store::Serde::GraphFingerprint(g),
                        obs_)),
-      indexes_(std::make_unique<GraphIndexes>(g, /*num_threads=*/0,
-                                              store_.get())) {
+      owned_indexes_(opts_.prebuilt_indexes == nullptr
+                         ? std::make_unique<GraphIndexes>(g, /*num_threads=*/0,
+                                                          store_.get())
+                         : nullptr),
+      indexes_(opts_.prebuilt_indexes == nullptr ? owned_indexes_.get()
+                                                 : opts_.prebuilt_indexes) {
   // The shared cache reports into the server scope, wired once here by its
   // owner (per-request scopes stay isolated; see ChaseContext).
   cache_.set_observability(obs_);
@@ -157,7 +161,7 @@ void Server::RunOne(Pending& p) {
     // from every drainer at once.
     o.cache_dir.clear();
 
-    ChaseContext ctx(g_, indexes_.get(), &cache_, &plans_, p.req.question, o);
+    ChaseContext ctx(g_, indexes_, &cache_, &plans_, p.req.question, o);
     resp = ExecuteWithContext(ctx, p.req.algorithm, p.req.collect_report);
     resp.id = p.req.id;
     resp.queue_seconds = queue_seconds;

@@ -61,6 +61,12 @@ struct ServerOptions {
   /// evaluation context is built. Lets tests stall execution deterministically
   /// (to force queue saturation) without timing races.
   std::function<void(const Request&)> on_execute;
+
+  /// Borrowed prebuilt graph indexes — e.g. attached zero-copy from a store
+  /// v2 mmap bundle (MappedServingState). Must be built for the same graph
+  /// and outlive the server. When set, construction skips the expensive
+  /// load-or-build entirely (cache_dir still warms/persists star views).
+  GraphIndexes* prebuilt_indexes = nullptr;
 };
 
 /// Concurrent query-serving layer: multiplexes many in-flight `Execute`
@@ -147,7 +153,8 @@ class Server {
   std::unique_ptr<obs::Observability> owned_obs_;
   obs::Observability* obs_;
   std::unique_ptr<store::ArtifactStore> store_;
-  std::unique_ptr<GraphIndexes> indexes_;
+  std::unique_ptr<GraphIndexes> owned_indexes_;
+  GraphIndexes* indexes_;  // owned_indexes_.get() or opts_.prebuilt_indexes
   ViewCache cache_;
   Matcher::SharedPlans plans_;
 

@@ -243,6 +243,42 @@ Status ArtifactStore::LoadDistanceIndex(const Graph& g,
   return Status::OK();
 }
 
+// -------- Store v2 mmap bundle --------
+
+Status ArtifactStore::SaveBundle(const Graph& g, const ActiveDomains& adom,
+                                 uint32_t diameter, const DistanceIndex& d,
+                                 const DistanceIndex::Options& opts) {
+  const uint64_t t0 = NowNs();
+  Status s = WriteBundle(BundlePath(), g, adom, diameter, d, key_,
+                         DistanceIndexParams(opts));
+  if (s.ok()) {
+    if (c_saves_ != nullptr) c_saves_->Inc();
+    if (h_save_ns_ != nullptr) h_save_ns_->Observe(NowNs() - t0);
+  } else {
+    std::fprintf(stderr, "wqe: store: cannot persist bundle artifact (%s)\n",
+                 s.ToString().c_str());
+  }
+  return s;
+}
+
+Status ArtifactStore::OpenBundle(const DistanceIndex::Options& opts,
+                                 const BundleOpenOptions& open_opts,
+                                 std::unique_ptr<MappedBundle>* out) {
+  const uint64_t t0 = NowNs();
+  Status s = MappedBundle::Open(BundlePath(), key_, DistanceIndexParams(opts),
+                                open_opts, out);
+  if (!s.ok()) {
+    if (s.code() == Status::Code::kNotFound) {
+      if (c_misses_ != nullptr) c_misses_->Inc();
+      return s;
+    }
+    return Reject(ArtifactKind::kMmapBundle, s);
+  }
+  if (c_hits_ != nullptr) c_hits_->Inc();
+  if (h_load_ns_ != nullptr) h_load_ns_->Observe(NowNs() - t0);
+  return Status::OK();
+}
+
 // -------- Star views --------
 
 namespace {

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "graph/distance_index.h"
 #include "store/format.h"
+#include "store/mmap_layout.h"
 
 namespace wqe {
 
@@ -81,6 +82,23 @@ class ArtifactStore {
   Status SaveStarViews(const ViewCache& cache, size_t max_persisted_entries);
   /// Loads every persisted star table into `cache`.
   Status WarmStarViews(const Graph& g, ViewCache* cache);
+
+  // -------- Store v2 mmap bundle --------
+  /// Writes `bundle.wqes` carrying the whole serving state (graph columns +
+  /// adom + diameter + distance index) for zero-copy reopen. Keyed like the
+  /// distance index: different PLL settings are a different bundle.
+  Status SaveBundle(const Graph& g, const ActiveDomains& adom,
+                    uint32_t diameter, const DistanceIndex& d,
+                    const DistanceIndex::Options& opts);
+  /// Maps and attaches the bundle. NotFound = miss (build heap-side, then
+  /// SaveBundle); validation failures count as rejected and the caller
+  /// rebuilds. The returned bundle pins the mapping.
+  Status OpenBundle(const DistanceIndex::Options& opts,
+                    const BundleOpenOptions& open_opts,
+                    std::unique_ptr<MappedBundle>* out);
+  std::string BundlePath() const {
+    return ArtifactPath(ArtifactKind::kMmapBundle);
+  }
 
   // -------- Whole-graph snapshots --------
   /// Snapshot at an explicit path, keyed by any stable hash of the source

@@ -1,5 +1,7 @@
 #include "store/format.h"
 
+#include <cassert>
+
 namespace wqe::store {
 
 const char* ArtifactKindName(ArtifactKind kind) {
@@ -14,6 +16,8 @@ const char* ArtifactKindName(ArtifactKind kind) {
       return "distance_index";
     case ArtifactKind::kStarViews:
       return "star_views";
+    case ArtifactKind::kMmapBundle:
+      return "bundle";
   }
   return "unknown";
 }
@@ -62,7 +66,11 @@ Status Reader::CheckCount(uint64_t n, size_t min_bytes, const char* what) const 
 
 namespace {
 
-// Header field order; see the comment in format.h.
+// Header field values in on-disk order; see the comment in format.h. Never
+// written or read as a raw struct — compiler padding (if any member were ever
+// reordered or retyped) would leak indeterminate bytes into the file and its
+// checksum. SealFile/OpenFile go field-by-field through Writer/Reader
+// instead, and kHeaderBytes pins the resulting on-disk size.
 struct Header {
   uint32_t magic;
   uint32_t version;
@@ -73,35 +81,41 @@ struct Header {
   uint64_t size;
   uint64_t check;
 };
-static_assert(sizeof(Header) == 48);
 
 }  // namespace
 
 std::string SealFile(ArtifactKind kind, uint64_t key, uint64_t params,
                      std::string payload) {
-  Header h;
-  h.magic = kMagic;
-  h.version = kFormatVersion;
-  h.kind = static_cast<uint32_t>(kind);
-  h.flags = 0;
-  h.key = key;
-  h.params = params;
-  h.size = payload.size();
-  h.check = Fnv1a(payload);
-  std::string out;
-  out.reserve(sizeof(Header) + payload.size());
-  out.append(reinterpret_cast<const char*>(&h), sizeof(Header));
+  Writer w;
+  w.U32(kMagic);
+  w.U32(kFormatVersion);
+  w.U32(static_cast<uint32_t>(kind));
+  w.U32(0);  // flags
+  w.U64(key);
+  w.U64(params);
+  w.U64(payload.size());
+  w.U64(Fnv1a(payload));
+  std::string out = w.Take();
+  assert(out.size() == kHeaderBytes);
   out.append(payload);
   return out;
 }
 
 Status OpenFile(std::string_view bytes, ArtifactKind kind, uint64_t key,
                 uint64_t params, std::string_view* payload) {
-  if (bytes.size() < sizeof(Header)) {
+  if (bytes.size() < kHeaderBytes) {
     return Status::OutOfRange("artifact file shorter than its header");
   }
   Header h;
-  std::memcpy(&h, bytes.data(), sizeof(Header));
+  Reader r(bytes.substr(0, kHeaderBytes));
+  if (Status s = r.U32(&h.magic); !s.ok()) return s;
+  if (Status s = r.U32(&h.version); !s.ok()) return s;
+  if (Status s = r.U32(&h.kind); !s.ok()) return s;
+  if (Status s = r.U32(&h.flags); !s.ok()) return s;
+  if (Status s = r.U64(&h.key); !s.ok()) return s;
+  if (Status s = r.U64(&h.params); !s.ok()) return s;
+  if (Status s = r.U64(&h.size); !s.ok()) return s;
+  if (Status s = r.U64(&h.check); !s.ok()) return s;
   if (h.magic != kMagic) {
     return Status::InvalidArgument("artifact magic mismatch (not a wqe snapshot)");
   }
@@ -123,10 +137,10 @@ Status OpenFile(std::string_view bytes, ArtifactKind kind, uint64_t key,
     return Status::InvalidArgument(
         "artifact builder-parameter hash mismatch (stale snapshot)");
   }
-  if (h.size != bytes.size() - sizeof(Header)) {
+  if (h.size != bytes.size() - kHeaderBytes) {
     return Status::OutOfRange("artifact payload size mismatch (truncated file)");
   }
-  const std::string_view body = bytes.substr(sizeof(Header));
+  const std::string_view body = bytes.substr(kHeaderBytes);
   if (Fnv1a(body) != h.check) {
     return Status::InvalidArgument("artifact checksum mismatch (corrupted file)");
   }

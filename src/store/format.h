@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,7 +30,16 @@ namespace wqe::store {
 /// never a crash and never a silently wrong artifact. Integers are fixed-width
 /// little-endian (the only byte order this repo targets).
 inline constexpr uint32_t kMagic = 0x53455157u;  // "WQES"
-inline constexpr uint32_t kFormatVersion = 1;
+/// v2: headers serialized field-by-field (no raw-struct writes), and the
+/// store gained the mmap'd columnar bundle (ArtifactKind::kMmapBundle).
+inline constexpr uint32_t kFormatVersion = 2;
+
+/// On-disk container header size. The header is written and read field-by-
+/// field through Writer/Reader — never as a raw struct — so compiler padding
+/// can neither leak into the file nor shift a field; this constant pins the
+/// layout (4 u32 fields + 4 u64 fields, in the order documented above).
+inline constexpr size_t kHeaderBytes = 4 * sizeof(uint32_t) + 4 * sizeof(uint64_t);
+static_assert(kHeaderBytes == 48, "on-disk header layout is pinned");
 
 enum class ArtifactKind : uint32_t {
   kGraph = 1,
@@ -37,6 +47,7 @@ enum class ArtifactKind : uint32_t {
   kDiameter = 3,
   kDistanceIndex = 4,
   kStarViews = 5,
+  kMmapBundle = 6,  // zero-copy columnar graph+index bundle (mmap_layout.h)
 };
 
 const char* ArtifactKindName(ArtifactKind kind);
@@ -65,6 +76,13 @@ class Writer {
   /// Length-prefixed bulk vector of trivially-copyable elements.
   template <typename T>
   void PodVec(const std::vector<T>& v) {
+    PodVec(std::span<const T>(v));
+  }
+
+  /// Span overload: the columnar graph/index views expose spans (heap- or
+  /// mmap-backed), and both must encode byte-identically to the vector path.
+  template <typename T>
+  void PodVec(std::span<const T> v) {
     static_assert(std::is_trivially_copyable_v<T>);
     U64(v.size());
     if (!v.empty()) {

@@ -1,5 +1,6 @@
 #include "store/serde.h"
 
+#include <cassert>
 #include <utility>
 
 #include "graph/adom.h"
@@ -44,11 +45,9 @@ Status DecodeSymbols(Reader& r, const char* what, InternFn intern) {
 
 }  // namespace
 
-// -------- Graph --------
+// -------- Schema --------
 
-std::string Serde::EncodeGraph(const Graph& g) {
-  Writer w;
-  const Schema& schema = g.schema();
+void Serde::EncodeSchema(const Schema& schema, Writer& w) {
   EncodeSymbols(w, schema.num_labels(),
                 [&](size_t i) { return schema.LabelName(static_cast<LabelId>(i)); });
   EncodeSymbols(w, schema.num_edge_labels(), [&](size_t i) {
@@ -59,35 +58,10 @@ std::string Serde::EncodeGraph(const Graph& g) {
   EncodeSymbols(w, schema.strings().size(), [&](size_t i) {
     return schema.StrName(static_cast<SymbolId>(i));
   });
-
-  w.U64(g.num_nodes());
-  w.PodVec(g.labels_);
-  for (const std::string& name : g.names_) w.Str(name);
-  for (const auto& tuple : g.attrs_) {
-    w.U64(tuple.size());
-    for (const AttrPair& pair : tuple) {
-      w.U32(pair.attr);
-      w.U8(static_cast<uint8_t>(pair.value.kind()));
-      if (pair.value.is_num()) {
-        w.F64(pair.value.num());
-      } else if (pair.value.is_str()) {
-        w.U32(pair.value.str());
-      }
-    }
-  }
-  w.PodVec(g.edge_from_);
-  w.PodVec(g.edge_to_);
-  w.PodVec(g.edge_labels_);
-  return w.Take();
 }
 
-uint64_t Serde::GraphFingerprint(const Graph& g) {
-  return Fnv1a(EncodeGraph(g));
-}
-
-Status Serde::DecodeGraph(std::string_view payload, Graph* out) {
-  Reader r(payload);
-  Schema& schema = out->schema_;
+Status Serde::DecodeSchema(Reader& r, Schema* out) {
+  Schema& schema = *out;
   if (Status s = DecodeSymbols(
           r, "label table", [&](const std::string& n) { return schema.InternLabel(n); });
       !s.ok()) {
@@ -105,13 +79,57 @@ Status Serde::DecodeGraph(std::string_view payload, Graph* out) {
       !s.ok()) {
     return s;
   }
-  if (Status s = DecodeSymbols(r, "string table",
-                               [&](const std::string& n) {
-                                 return schema.InternStr(n).str();
-                               });
-      !s.ok()) {
-    return s;
+  return DecodeSymbols(r, "string table", [&](const std::string& n) {
+    return schema.InternStr(n).str();
+  });
+}
+
+// -------- Graph --------
+
+std::string Serde::EncodeGraph(const Graph& g) {
+  // The canonical encoding reads through the columnar view, so heap-built,
+  // decoded, and mmap-attached graphs all produce the same bytes (Finalize
+  // sorts attr tuples, so the columns are already in canonical order).
+  assert(g.finalized());
+  const GraphView& view = g.view();
+  Writer w;
+  EncodeSchema(g.schema(), w);
+
+  const size_t n = g.num_nodes();
+  w.U64(n);
+  w.PodVec(view.labels);
+  for (NodeId v = 0; v < n; ++v) w.Str(g.name(v));
+  for (NodeId v = 0; v < n; ++v) {
+    const std::span<const AttrPair> tuple = g.attrs(v);
+    w.U64(tuple.size());
+    for (const AttrPair& pair : tuple) {
+      w.U32(pair.attr);
+      w.U8(static_cast<uint8_t>(pair.value.kind()));
+      if (pair.value.is_num()) {
+        w.F64(pair.value.num());
+      } else if (pair.value.is_str()) {
+        w.U32(pair.value.str());
+      }
+    }
   }
+  w.PodVec(view.edge_from);
+  w.PodVec(view.edge_to);
+  w.PodVec(view.edge_labels);
+  return w.Take();
+}
+
+uint64_t Serde::GraphFingerprint(const Graph& g) {
+  // Attached graphs return the fingerprint recorded when the bundle was
+  // written: it was computed from the same canonical encoding, and skipping
+  // the re-encode keeps fingerprint lookups from paging in the whole bundle.
+  if (g.attached()) return g.attached_fingerprint_;
+  return Fnv1a(EncodeGraph(g));
+}
+
+Status Serde::DecodeGraph(std::string_view payload, Graph* out) {
+  Reader r(payload);
+  Schema& schema = out->schema_;
+  if (Status s = DecodeSchema(r, &schema); !s.ok()) return s;
 
   uint64_t n = 0;
   if (Status s = r.U64(&n); !s.ok()) return s;
@@ -233,14 +251,44 @@ Status Serde::DecodeDiameter(std::string_view payload, uint32_t* out) {
 // -------- PLL distance index --------
 
 std::string Serde::EncodeDistanceIndex(const DistanceIndex& d) {
+  // Flat columnar encoding (v2): per-node offset arrays + one cell column
+  // per direction — the same shape the mmap bundle maps zero-copy.
+  const DistanceIndex::View& view = d.view();
   Writer w;
   w.U8(d.indexed_ ? 1 : 0);
-  w.PodVec(d.order_);
-  w.U64(d.label_out_.size());
-  for (const auto& labels : d.label_out_) w.PodVec(labels);
-  for (const auto& labels : d.label_in_) w.PodVec(labels);
+  w.PodVec(view.order);
+  w.PodVec(view.out_offsets);
+  w.PodVec(view.out_cells);
+  w.PodVec(view.in_offsets);
+  w.PodVec(view.in_cells);
   return w.Take();
 }
+
+namespace {
+
+/// Validates one direction of a flat labeling: offsets are a prefix-sum over
+/// exactly the cell column, and cells within each node's slice are sorted by
+/// a hub rank below `n` (the merge-scan query depends on both).
+Status CheckLabelColumn(const std::vector<uint64_t>& offsets,
+                        const std::vector<DistanceIndex::LabelEntry>& cells,
+                        uint64_t n) {
+  if (offsets.size() != n + 1) return Corrupt("distance-index offsets");
+  if (offsets.front() != 0 || offsets.back() != cells.size()) {
+    return Corrupt("distance-index offset bounds");
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) return Corrupt("distance-index offsets");
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      if (cells[i].hub_rank >= n) return Corrupt("distance-index hub rank");
+      if (i > offsets[v] && cells[i - 1].hub_rank >= cells[i].hub_rank) {
+        return Corrupt("distance-index cell order");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Status Serde::DecodeDistanceIndex(std::string_view payload, const Graph& g,
                                   std::unique_ptr<DistanceIndex>* out) {
@@ -252,30 +300,32 @@ Status Serde::DecodeDistanceIndex(std::string_view payload, const Graph& g,
   if (indexed > 1) return Corrupt("distance-index flag");
   d->indexed_ = indexed == 1;
   if (Status s = r.PodVec(&d->order_); !s.ok()) return s;
-  uint64_t n = 0;
-  if (Status s = r.U64(&n); !s.ok()) return s;
+  if (Status s = r.PodVec(&d->label_out_offsets_); !s.ok()) return s;
+  if (Status s = r.PodVec(&d->label_out_cells_); !s.ok()) return s;
+  if (Status s = r.PodVec(&d->label_in_offsets_); !s.ok()) return s;
+  if (Status s = r.PodVec(&d->label_in_cells_); !s.ok()) return s;
+  const uint64_t n = d->order_.size();
   if (d->indexed_) {
-    if (n != g.num_nodes() || d->order_.size() != n) {
-      return Corrupt("distance-index node count");
+    if (n != g.num_nodes()) return Corrupt("distance-index node count");
+    if (Status s = CheckLabelColumn(d->label_out_offsets_,
+                                    d->label_out_cells_, n);
+        !s.ok()) {
+      return s;
     }
-  } else if (n != 0 || !d->order_.empty()) {
+    if (Status s = CheckLabelColumn(d->label_in_offsets_, d->label_in_cells_, n);
+        !s.ok()) {
+      return s;
+    }
+  } else if (n != 0 || !d->label_out_offsets_.empty() ||
+             !d->label_out_cells_.empty() || !d->label_in_offsets_.empty() ||
+             !d->label_in_cells_.empty()) {
     return Corrupt("distance-index fallback must carry no labels");
-  }
-  if (Status s = r.CheckCount(2 * n, 8, "distance-index labels"); !s.ok()) {
-    return s;
-  }
-  d->label_out_.resize(n);
-  d->label_in_.resize(n);
-  for (auto& labels : d->label_out_) {
-    if (Status s = r.PodVec(&labels); !s.ok()) return s;
-  }
-  for (auto& labels : d->label_in_) {
-    if (Status s = r.PodVec(&labels); !s.ok()) return s;
   }
   for (NodeId v : d->order_) {
     if (v >= n) return Corrupt("distance-index order entry");
   }
   if (!r.AtEnd()) return Corrupt("trailing bytes after distance index");
+  d->InstallHeapView();
   *out = std::move(d);
   return Status::OK();
 }

@@ -13,6 +13,7 @@ namespace wqe {
 class ActiveDomains;
 class DistanceIndex;
 class Graph;
+class Schema;
 class StarTable;
 
 namespace store {
@@ -33,6 +34,14 @@ class Serde {
   /// to the graph changes the fingerprint, so stale artifacts are rejected
   /// by the container's key check.
   static uint64_t GraphFingerprint(const Graph& g);
+
+  // -------- Schema --------
+  /// The four interner symbol tables (labels, edge labels, attrs, strings),
+  /// in the order the graph payload has always carried them. Shared with the
+  /// mmap bundle's meta block, which heap-decodes the (small) schema while
+  /// mapping the big columns zero-copy.
+  static void EncodeSchema(const Schema& schema, Writer& w);
+  static Status DecodeSchema(Reader& r, Schema* out);
 
   // -------- Graph --------
   static std::string EncodeGraph(const Graph& g);

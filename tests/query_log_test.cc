@@ -107,6 +107,57 @@ TEST(QueryLogRecordTest, JsonRoundTripPreservesEveryField) {
   EXPECT_DOUBLE_EQ(r.phases[0].self_seconds, 0.1);
 }
 
+TEST(QueryLogRecordTest, ParseHexFingerprintRoundTripsAllWidths) {
+  for (const uint64_t fp :
+       {0ull, 1ull, 0xdeadbeefcafe1234ull, 0xffffffffffffffffull}) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    uint64_t parsed = 0;
+    ASSERT_TRUE(obs::ParseHexFingerprint(buf, &parsed).ok());
+    EXPECT_EQ(parsed, fp);
+  }
+  // Short (unpadded) and uppercase forms parse too.
+  uint64_t parsed = 0;
+  ASSERT_TRUE(obs::ParseHexFingerprint("aB3", &parsed).ok());
+  EXPECT_EQ(parsed, 0xab3u);
+}
+
+TEST(QueryLogRecordTest, ParseHexFingerprintRejectsWhatStrtoullAccepts) {
+  uint64_t out = 0;
+  // Each of these is silently "parsed" by strtoull(..., nullptr, 16).
+  EXPECT_FALSE(obs::ParseHexFingerprint("", &out).ok());
+  EXPECT_FALSE(obs::ParseHexFingerprint(" 1f", &out).ok());     // whitespace
+  EXPECT_FALSE(obs::ParseHexFingerprint("-1", &out).ok());      // sign wrap
+  EXPECT_FALSE(obs::ParseHexFingerprint("+1", &out).ok());
+  EXPECT_FALSE(obs::ParseHexFingerprint("0x1f", &out).ok());    // prefix
+  EXPECT_FALSE(obs::ParseHexFingerprint("1fg", &out).ok());     // junk tail
+  EXPECT_FALSE(obs::ParseHexFingerprint("12345678901234567", &out).ok());
+  EXPECT_FALSE(obs::ParseHexFingerprint("ffffffffffffffffff", &out).ok());
+}
+
+TEST(QueryLogRecordTest, FromJsonRejectsMalformedFingerprint) {
+  const obs::QueryLogRecord rec = SampleRecord(1);
+  std::string json = rec.ToJson();
+  const std::string good = "\"graph_fingerprint\":\"deadbeefcafe0001\"";
+  const size_t pos = json.find(good);
+  ASSERT_NE(pos, std::string::npos) << json;
+  json.replace(pos, good.size(), "\"graph_fingerprint\":\"0xdeadbeef\"");
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto back = obs::QueryLogRecord::FromJson(parsed.value());
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(QueryLogRecordTest, FromJsonToleratesAbsentFingerprints) {
+  auto parsed = obs::ParseJson("{\"algorithm\":\"AnsW\"}");
+  ASSERT_TRUE(parsed.ok());
+  auto back = obs::QueryLogRecord::FromJson(parsed.value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().graph_fingerprint, 0u);
+  EXPECT_EQ(back.value().options_fingerprint, 0u);
+}
+
 TEST(QueryLogTest, AppendAndLoad) {
   const std::string path = TempPath("append");
   std::remove(path.c_str());

@@ -1,4 +1,5 @@
 #include "exemplar/rep.h"
+#include <span>
 
 #include <gtest/gtest.h>
 
@@ -11,7 +12,8 @@ class RepFixture : public ::testing::Test {
  protected:
   RepFixture() : adom_(demo_.graph()), eval_(demo_.graph(), adom_) {
     const LabelId cell = demo_.graph().schema().LookupLabel("Cellphone");
-    universe_ = demo_.graph().NodesWithLabel(cell);
+    const std::span<const NodeId> bucket = demo_.graph().NodesWithLabel(cell);
+    universe_.assign(bucket.begin(), bucket.end());
   }
 
   ProductDemo demo_;

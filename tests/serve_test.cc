@@ -368,6 +368,67 @@ TEST(ServeTest, QueryLogRoundTripThroughReplay) {
   EXPECT_EQ(stats.mismatched, 0u);
   EXPECT_EQ(stats.shed, 0u);
   EXPECT_EQ(stats.failed, 0u);
+  // Every completion contributed one admission-to-completion measurement.
+  EXPECT_EQ(stats.latency_samples, stats.completed);
+  EXPECT_NE(stats.ToString().find("samples"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayStatsTest, EmptyLatencySnapshotIsReportedExplicitly) {
+  // A run where nothing completed (everything shed, or no replayable
+  // records) has no latency samples: the quantile fields stay an explicit 0
+  // and ToString says so instead of printing fabricated zeros as quantiles.
+  serve::ReplayStats stats;
+  EXPECT_EQ(stats.latency_samples, 0u);
+  EXPECT_DOUBLE_EQ(stats.latency_p50_ms, 0.0);
+  EXPECT_NE(stats.ToString().find("latency ms: no samples"),
+            std::string::npos);
+
+  stats.latency_samples = 3;
+  stats.latency_mean_ms = 1.5;
+  EXPECT_EQ(stats.ToString().find("no samples"), std::string::npos);
+  EXPECT_NE(stats.ToString().find("(3 samples)"), std::string::npos);
+}
+
+TEST(ServeTest, OpenLoopReplayPacesAgainstAbsoluteDeadlines) {
+  Graph g = TestGraph();
+  const auto cases = TestCases(g, 2);
+  ASSERT_FALSE(cases.empty());
+  const std::string path = TempPath("pacing");
+  std::remove(path.c_str());
+  {
+    auto log = obs::QueryLog::Open(path);
+    ASSERT_TRUE(log.ok());
+    ChaseOptions opts = TestChase();
+    opts.query_log = log.value().get();
+    GraphIndexes indexes(g, /*num_threads=*/1);
+    for (size_t i = 0; i < cases.size(); ++i) {
+      const Response resp = Execute(g, &indexes, nullptr, nullptr,
+                                    MakeRequest(cases[i], opts, i));
+      ASSERT_TRUE(resp.ok()) << resp.status.ToString();
+    }
+  }
+  auto loaded = obs::QueryLog::Load(path);
+  ASSERT_TRUE(loaded.ok());
+
+  serve::ServerOptions sopts;
+  sopts.concurrency = 2;
+  serve::Server server(g, sopts);
+  serve::ReplayOptions ropts;
+  ropts.options = TestChase();
+  ropts.repeat = 4;
+  ropts.qps = 100;  // 10ms spacing; 8 arrivals span >= 70ms by construction
+  const serve::ReplayStats stats =
+      serve::Replay(server, g, loaded.value().records, ropts);
+
+  ASSERT_GT(stats.submitted, 1u);
+  // sleep_until against absolute send deadlines: no request may depart
+  // before its scheduled instant, so the achieved arrival rate can never
+  // exceed the requested one (only lag it on an overloaded machine).
+  EXPECT_GT(stats.arrival_qps, 0.0);
+  EXPECT_LE(stats.arrival_qps, ropts.qps * 1.05);
+  EXPECT_GE(stats.submit_seconds,
+            static_cast<double>(stats.submitted - 1) / ropts.qps * 0.95);
   std::remove(path.c_str());
 }
 

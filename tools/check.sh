@@ -6,9 +6,15 @@
 #      committed BENCH_BASELINE.json, plus an injected-slowdown self-test
 #      proving the gate actually fails on a 2x regression;
 #   4. a record->replay serving smoke: a short trace fed back through
-#      wqe_serve --strict, proving concurrent answers stay byte-identical;
-#   5. an Address+UndefinedBehaviorSanitizer build running the whole suite;
-#   6. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
+#      wqe_serve --strict, proving concurrent answers stay byte-identical
+#      and the open-loop pacer never offers above the requested rate;
+#   5. a store v2 mmap serving stage: the same trace replayed --strict from
+#      the v1 heap path and from the mmap bundle (byte-identity across
+#      storage generations), then two concurrent wqe_serve processes
+#      sharing one bundle file;
+#   6. an Address+UndefinedBehaviorSanitizer build running the whole suite
+#      (including the mmap fault-injection tests in mmap_store_test);
+#   7. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
 #      exercise the parallel evaluation layer and the serving layer.
 # Usage: tools/check.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
@@ -87,9 +93,38 @@ trap 'rm -rf "$SERVE_TMP" "$GATE_TMP"' EXIT
 ./build/tools/wqe gen imdb 0.05 "$SERVE_TMP/g.graph" >/dev/null
 ./build/tools/replay record "$SERVE_TMP/g.graph" "$SERVE_TMP/trace.jsonl" \
   --queries 4 >/dev/null
+SERVE_OUT="$(./build/tools/wqe_serve "$SERVE_TMP/g.graph" \
+  "$SERVE_TMP/trace.jsonl" --qps 100 --concurrency 4 --repeat 3 --strict)"
+# Absolute-deadline pacing can lag a saturated box but can never send
+# early: the offered (achieved arrival) rate must not exceed the requested
+# rate beyond rounding.
+OFFERED="$(printf '%s\n' "$SERVE_OUT" | sed -n 's/.*offered \([0-9.]*\) q\/s.*/\1/p')"
+[ -n "$OFFERED" ] || { echo "replay smoke: no offered-rate stat in output"; exit 1; }
+awk -v o="$OFFERED" 'BEGIN { exit !(o > 0 && o <= 101.0) }' || {
+  echo "replay smoke: offered rate $OFFERED q/s outside (0, 101]"; exit 1; }
+echo "replay smoke: strict concurrent replay reproduced the trace (offered $OFFERED q/s <= requested 100)"
+
+echo "== store v2 mmap serving =="
+# Byte-identity across storage generations: the SAME recorded trace must
+# replay --strict both from the v1 heap path and from the v2 mmap bundle
+# (first --mmap run builds bundle.wqes, second reopens it zero-copy).
 ./build/tools/wqe_serve "$SERVE_TMP/g.graph" "$SERVE_TMP/trace.jsonl" \
-  --qps 100 --concurrency 4 --repeat 3 --strict >/dev/null
-echo "replay smoke: strict concurrent replay reproduced the trace"
+  --cache-dir "$SERVE_TMP/cache" --strict >/dev/null
+./build/tools/wqe_serve "$SERVE_TMP/g.graph" "$SERVE_TMP/trace.jsonl" \
+  --cache-dir "$SERVE_TMP/cache" --mmap --strict >/dev/null
+[ -f "$SERVE_TMP"/cache/fp-*/bundle.wqes ] || {
+  echo "mmap serving: no bundle written"; exit 1; }
+# Two concurrent serving processes sharing the one bundle file: both must
+# replay strictly clean while mapping the same physical bytes.
+./build/tools/wqe_serve "$SERVE_TMP/g.graph" "$SERVE_TMP/trace.jsonl" \
+  --cache-dir "$SERVE_TMP/cache" --mmap --strict >/dev/null &
+PID_A=$!
+./build/tools/wqe_serve "$SERVE_TMP/g.graph" "$SERVE_TMP/trace.jsonl" \
+  --cache-dir "$SERVE_TMP/cache" --mmap --strict >/dev/null &
+PID_B=$!
+wait "$PID_A" || { echo "mmap serving: concurrent process A failed"; exit 1; }
+wait "$PID_B" || { echo "mmap serving: concurrent process B failed"; exit 1; }
+echo "mmap serving: heap and mmap replays byte-identical; two processes shared one bundle"
 
 echo "== Address+UB Sanitizer build =="
 cmake -B build-asan -S . -DWQE_SANITIZE=address,undefined \
@@ -104,15 +139,20 @@ echo "== corrupted-cache drill (ASan build) =="
 DRILL="$(mktemp -d)"
 trap 'rm -rf "$DRILL" "$SERVE_TMP" "$GATE_TMP"' EXIT
 ./build-asan/tools/wqe demo "$DRILL" >/dev/null
+# --mmap so the store also writes (and later re-opens) the v2 bundle: the
+# drill then covers both storage generations, including the mmap'd read path
+# under ASan.
 ./build-asan/tools/wqe why "$DRILL/product.graph" "$DRILL/product.query" \
-  "$DRILL/product.exemplar" --cache-dir "$DRILL/cache" >/dev/null
+  "$DRILL/product.exemplar" --cache-dir "$DRILL/cache" --mmap >/dev/null
 SNAPSHOTS=$(find "$DRILL/cache" -name '*.wqes' | wc -l)
-[ "$SNAPSHOTS" -gt 0 ] || { echo "drill: no snapshots written"; exit 1; }
+[ "$SNAPSHOTS" -gt 1 ] || { echo "drill: no snapshots written"; exit 1; }
+find "$DRILL/cache" -name 'bundle.wqes' | grep -q . || {
+  echo "drill: no v2 bundle written"; exit 1; }
 find "$DRILL/cache" -name '*.wqes' | while read -r f; do
   printf '\x5a' | dd of="$f" bs=1 seek=50 count=1 conv=notrunc status=none
 done
 ./build-asan/tools/wqe why "$DRILL/product.graph" "$DRILL/product.query" \
-  "$DRILL/product.exemplar" --cache-dir "$DRILL/cache" >/dev/null
+  "$DRILL/product.exemplar" --cache-dir "$DRILL/cache" --mmap >/dev/null
 echo "drill: $SNAPSHOTS snapshots corrupted, rebuild survived"
 
 echo "== ThreadSanitizer build =="

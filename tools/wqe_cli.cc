@@ -14,6 +14,8 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "chase/differential.h"
@@ -32,6 +34,7 @@
 #include "query/query_text.h"
 #include "store/artifact_store.h"
 #include "store/format.h"
+#include "store/serde.h"
 
 namespace {
 
@@ -48,7 +51,7 @@ int Usage() {
                "  wqe why <graph> <query> <exemplar> [--budget B] [--top-k K]\n"
                "          [--beam W] [--deadline SECONDS] [--threads N|auto]\n"
                "          [--algo answ|heu|whym|whye|fm] [--explain] [--json]\n"
-               "          [--cache-dir DIR] [--trace-out FILE]\n"
+               "          [--cache-dir DIR] [--mmap] [--trace-out FILE]\n"
                "          [--metrics-out FILE] [--query-log FILE]\n"
                "          [--sample-resources]\n");
   return 2;
@@ -121,8 +124,8 @@ void PrintAnswer(const Graph& g, const std::vector<NodeId>& matches) {
       break;
     }
     const NodeId v = matches[i];
-    std::printf("  [%u] %s (%s)\n", v,
-                g.name(v).empty() ? "?" : g.name(v).c_str(),
+    const std::string name(g.name(v).empty() ? "?" : g.name(v));
+    std::printf("  [%u] %s (%s)\n", v, name.c_str(),
                 g.schema().LabelName(g.label(v)).c_str());
   }
 }
@@ -254,6 +257,7 @@ int CmdWhy(int argc, char** argv) {
   bool sample_resources = false;
   bool explain = false;
   bool json = false;
+  bool use_mmap = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -281,6 +285,8 @@ int CmdWhy(int argc, char** argv) {
       opts.num_threads = parsed.value();
     } else if (arg == "--cache-dir") {
       opts.cache_dir = next();  // value already captured by the pre-scan
+    } else if (arg == "--mmap") {
+      use_mmap = true;
     } else if (arg == "--algo") {
       algo = next();
     } else if (arg == "--trace-out") {
@@ -347,7 +353,35 @@ int CmdWhy(int argc, char** argv) {
   req.options = opts;
   req.algorithm = *parsed;
 
-  ChaseContext ctx(g, req.question, req.options);
+  // --mmap: solve against the zero-copy bundle graph with its attached
+  // indexes (built and written back on first run). The heap-loaded graph is
+  // only the bundle key / rebuild source then.
+  std::unique_ptr<store::ArtifactStore> bundle_store;
+  std::unique_ptr<MappedServingState> mapped;
+  if (use_mmap) {
+    if (opts.cache_dir.empty()) {
+      std::fprintf(stderr, "error: --mmap requires --cache-dir\n");
+      return 2;
+    }
+    bundle_store = std::make_unique<store::ArtifactStore>(
+        opts.cache_dir, store::Serde::GraphFingerprint(g), &observability);
+    if (Status s = OpenOrBuildServingState(g, *bundle_store, opts.num_threads,
+                                           &mapped);
+        !s.ok()) {
+      std::fprintf(stderr, "error: cannot open mmap bundle: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  const Graph& wg = mapped != nullptr ? mapped->graph() : g;
+
+  std::optional<ChaseContext> ctx_storage;
+  if (mapped != nullptr) {
+    ctx_storage.emplace(wg, &mapped->indexes, req.question, req.options);
+  } else {
+    ctx_storage.emplace(wg, req.question, req.options);
+  }
+  ChaseContext& ctx = *ctx_storage;
   if (!json) {
     std::printf("Original query:\n%s\nQ(G): ",
                 req.question.query.ToString(g.schema()).c_str());
