@@ -179,6 +179,11 @@ inline std::vector<QuickBench> BuildQuickSuite(const GateBenchConfig& cfg) {
     serve::ServerOptions sopts;
     sopts.observability = b.obs.get();
     sopts.cache_dir = cfg.cache_dir;
+    // Telemetry stays ON for the gated bench (ephemeral port): the
+    // acceptance bar is that serving with the exposition listener, sliding
+    // SLO windows, and the flight recorder live costs nothing measurable
+    // against BENCH_BASELINE.json.
+    sopts.telemetry_port = 0;
     st->server = std::make_unique<serve::Server>(*st->graph, sopts);
     b.run = [st] {
       constexpr size_t kPasses = 4;

@@ -1,5 +1,6 @@
 #include "chase/report.h"
 
+#include <cstring>
 #include <sstream>
 
 #include "exemplar/exemplar_text.h"
@@ -13,6 +14,56 @@ std::string ChaseReport::Escape(std::string_view s) {
   out.reserve(s.size() + 8);
   obs::AppendJsonEscaped(out, s);
   return out;
+}
+
+void ChaseReport::DigestPhases(const std::vector<obs::PhaseStat>& phases,
+                               obs::RequestDigest& out) {
+  // Select the top kPhases by self time without sorting the full breakdown:
+  // a small insertion pass over a fixed array, since kPhases is tiny.
+  const obs::PhaseStat* top[obs::RequestDigest::kPhases] = {};
+  for (const obs::PhaseStat& p : phases) {
+    for (size_t k = 0; k < obs::RequestDigest::kPhases; ++k) {
+      if (top[k] == nullptr || p.self_seconds > top[k]->self_seconds) {
+        for (size_t j = obs::RequestDigest::kPhases - 1; j > k; --j) {
+          top[j] = top[j - 1];
+        }
+        top[k] = &p;
+        break;
+      }
+    }
+  }
+  for (size_t k = 0; k < obs::RequestDigest::kPhases; ++k) {
+    obs::RequestDigest::Phase& slot = out.phases[k];
+    if (top[k] == nullptr) {
+      slot.name[0] = '\0';
+      slot.self_ns = 0;
+      continue;
+    }
+    std::strncpy(slot.name, top[k]->name.c_str(),
+                 obs::RequestDigest::kPhaseChars - 1);
+    slot.name[obs::RequestDigest::kPhaseChars - 1] = '\0';
+    slot.self_ns = static_cast<uint64_t>(top[k]->self_seconds * 1e9);
+  }
+}
+
+uint64_t ChaseReport::QuestionFingerprint(const WhyQuestion& question) {
+  // FNV-1a over the query's canonical form plus the exemplar's shape. The
+  // canonical form is the same string the plan memo keys on, so computing it
+  // here adds one string hash to the hot path, nothing more.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  for (char c : question.query.Fingerprint()) {
+    mix_byte(static_cast<unsigned char>(c));
+  }
+  const auto mix_word = [&mix_byte](uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte((v >> (i * 8)) & 0xff);
+  };
+  mix_word(question.exemplar.tuples().size());
+  mix_word(question.exemplar.constraints().size());
+  return h;
 }
 
 ChaseReport::CounterSnapshot ChaseReport::SnapshotCounters(ChaseContext& ctx) {

@@ -7,6 +7,7 @@
 #include "chase/answ.h"
 #include "chase/differential.h"
 #include "chase/solve.h"
+#include "obs/flight_recorder.h"
 #include "obs/query_log.h"
 
 namespace wqe {
@@ -66,6 +67,20 @@ class ChaseReport {
 
   /// Escapes a string for embedding in JSON output.
   static std::string Escape(std::string_view s);
+
+  /// Compresses a solve's per-phase breakdown into the flight recorder's
+  /// fixed-width digest: the top RequestDigest::kPhases phases by self time,
+  /// names truncated to the digest's char budget. The long tail is what the
+  /// server-wide MergedPhases rollup is for; the digest answers "where did
+  /// THIS request's time go" at a glance.
+  static void DigestPhases(const std::vector<obs::PhaseStat>& phases,
+                           obs::RequestDigest& out);
+
+  /// Stable 64-bit fingerprint of a Why-question: FNV-1a over the query's
+  /// canonical form mixed with the exemplar's tuple count. Groups repeats of
+  /// the same question in /requestz without storing the question text in the
+  /// fixed-memory ring.
+  static uint64_t QuestionFingerprint(const WhyQuestion& question);
 };
 
 }  // namespace wqe

@@ -1,0 +1,313 @@
+#include "obs/telemetry.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace wqe::obs {
+
+namespace {
+
+/// Serving sockets are short-lived and line-oriented; 8KB is far beyond any
+/// legitimate "GET /path HTTP/1.0" request head.
+constexpr size_t kMaxRequestBytes = 8192;
+
+void SetIoTimeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool SendAll(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.0 200 OK\r\n";
+    case 400:
+      return "HTTP/1.0 400 Bad Request\r\n";
+    case 404:
+      return "HTTP/1.0 404 Not Found\r\n";
+    default:
+      return "HTTP/1.0 500 Internal Server Error\r\n";
+  }
+}
+
+void SendResponse(int fd, int code, const std::string& content_type,
+                  const std::string& body) {
+  std::string head = StatusLine(code);
+  head += "Content-Type: " + content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size())) {
+    SendAll(fd, body.data(), body.size());
+  }
+}
+
+/// "GET /statusz?x=1 HTTP/1.0" -> "/statusz"; empty on anything but GET.
+std::string ParseGetPath(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return "";
+  const size_t start = 4;
+  const size_t end = request.find(' ', start);
+  if (end == std::string::npos || end == start) return "";
+  std::string path = request.substr(start, end - start);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = "wqe_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendSummary(std::ostringstream& out, const std::string& name,
+                   const Histogram::Snapshot& snap) {
+  out << "# TYPE " << name << " summary\n";
+  out << name << "{quantile=\"0.5\"} " << snap.Quantile(0.5) << '\n';
+  out << name << "{quantile=\"0.9\"} " << snap.Quantile(0.9) << '\n';
+  out << name << "{quantile=\"0.99\"} " << snap.Quantile(0.99) << '\n';
+  out << name << "_sum " << snap.sum << '\n';
+  out << name << "_count " << snap.count << '\n';
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer() = default;
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+void TelemetryServer::Handle(std::string path, std::string content_type,
+                             Handler handler) {
+  routes_.push_back(
+      Route{std::move(path), std::move(content_type), std::move(handler)});
+}
+
+Status TelemetryServer::Start(const TelemetryOptions& opts) {
+  if (running()) {
+    return Status::InvalidArgument("telemetry server already started");
+  }
+  opts_ = opts;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::InvalidArgument(std::string("telemetry socket: ") +
+                                   std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (inet_pton(AF_INET, opts.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("telemetry bind address unparsable: " +
+                                   opts.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument("telemetry bind " + opts.bind_address + ":" +
+                                   std::to_string(opts.port) + ": " +
+                                   std::strerror(err));
+  }
+  if (::listen(fd, opts.max_pending_connections) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument(std::string("telemetry listen: ") +
+                                   std::strerror(err));
+  }
+
+  // Resolve the actually-bound port (ephemeral binds).
+  struct sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::InvalidArgument(std::string("telemetry getsockname: ") +
+                                   std::strerror(err));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ListenLoop(); });
+  return Status::OK();
+}
+
+void TelemetryServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryServer::ListenLoop() {
+  // Poll with a short timeout so Stop() and the idle hook (SIGUSR1 dump
+  // consumption) are both honored within ~100ms even with no traffic.
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (idle_hook_) idle_hook_();
+    struct pollfd pfd = {};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop + idle hook
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    ServeOne(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::ServeOne(int client_fd) {
+  SetIoTimeout(client_fd, opts_.io_timeout_seconds);
+  std::string request;
+  char buf[1024];
+  // Read until the end of the request head (blank line); GETs have no body.
+  // A client that never finishes the head runs into the socket timeout and
+  // is answered 400 from whatever arrived.
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  const std::string path = ParseGetPath(request);
+  if (path.empty()) {
+    SendResponse(client_fd, 400, "text/plain", "bad request\n");
+    return;
+  }
+  for (const Route& route : routes_) {
+    if (route.path == path) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      SendResponse(client_fd, 200, route.content_type, route.handler());
+      return;
+    }
+  }
+  std::string index = "not found; routes:\n";
+  for (const Route& route : routes_) index += "  " + route.path + "\n";
+  SendResponse(client_fd, 404, "text/plain", index);
+}
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path, double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::InvalidArgument(std::string("socket: ") +
+                                   std::strerror(errno));
+  }
+  SetIoTimeout(fd, timeout_seconds);
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("host unparsable (numeric IPv4 only): " +
+                                   host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::NotFound("connect " + host + ":" + std::to_string(port) +
+                            ": " + std::strerror(err));
+  }
+
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::InvalidArgument("send failed");
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::InvalidArgument(std::string("recv: ") +
+                                     std::strerror(errno));
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+  const size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos) {
+    return Status::InvalidArgument("malformed HTTP response (no status line)");
+  }
+  const std::string status_line = response.substr(0, line_end);
+  const size_t code_at = status_line.find(' ');
+  if (code_at == std::string::npos ||
+      status_line.compare(code_at + 1, 3, "200") != 0) {
+    return Status::NotFound("HTTP status: " + status_line);
+  }
+  const size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    return Status::InvalidArgument("malformed HTTP response (no body)");
+  }
+  return response.substr(body_at + 4);
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  registry.ForEachCounter([&out](const std::string& name, uint64_t value) {
+    const std::string prom = SanitizeMetricName(name);
+    out << "# TYPE " << prom << " counter\n" << prom << ' ' << value << '\n';
+  });
+  registry.ForEachGauge([&out](const std::string& name, int64_t value) {
+    const std::string prom = SanitizeMetricName(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << ' ' << value << '\n';
+  });
+  registry.ForEachHistogram(
+      [&out](const std::string& name, const Histogram::Snapshot& snap) {
+        AppendSummary(out, SanitizeMetricName(name), snap);
+      });
+  registry.ForEachSliding([&out](const std::string& name,
+                                 const Histogram::Snapshot& snap,
+                                 double window_seconds) {
+    const std::string prom = SanitizeMetricName(name) + "_window";
+    out << "# TYPE " << prom << "_seconds gauge\n"
+        << prom << "_seconds " << window_seconds << '\n';
+    AppendSummary(out, prom, snap);
+  });
+  return out.str();
+}
+
+}  // namespace wqe::obs

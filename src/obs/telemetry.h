@@ -1,0 +1,123 @@
+#ifndef WQE_OBS_TELEMETRY_H_
+#define WQE_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace wqe::obs {
+
+/// Configuration of a TelemetryServer.
+struct TelemetryOptions {
+  /// TCP port to listen on; 0 binds an ephemeral port (read it back via
+  /// port() — tests and the check.sh smoke stage rely on this).
+  uint16_t port = 0;
+
+  /// Bind address. Telemetry is an operator surface, not a public API, so
+  /// the default stays on loopback.
+  std::string bind_address = "127.0.0.1";
+
+  /// Listen backlog — with the single-threaded accept loop this is the hard
+  /// bound on connections the kernel will hold for us; excess arrivals are
+  /// refused by the stack instead of queueing without limit.
+  int max_pending_connections = 16;
+
+  /// Per-connection socket read/write timeout. A stalled scraper (slowloris
+  /// or a wedged curl) costs at most this long before the listener moves on;
+  /// it can never wedge the exposition thread permanently.
+  double io_timeout_seconds = 2.0;
+};
+
+/// Dependency-free single-threaded HTTP/1.0 exposition server: one listener
+/// thread accepts and serves registered GET routes serially, each response a
+/// full document rendered by the route's handler at request time. This is
+/// deliberately not a general web server — no keep-alive, no chunking, no
+/// TLS — just the minimum for `curl`, Prometheus scrapes, and wqe_top to
+/// read live state out of a serving process.
+///
+/// Handlers run on the listener thread, so they may take short internal
+/// locks (registry walks, server stats) but must never block on request
+/// execution — the serving hot path owns its locks for nanoseconds, which is
+/// the invariant that keeps exposition reads from stalling Submit.
+class TelemetryServer {
+ public:
+  /// Renders the response body for one GET of the route.
+  using Handler = std::function<std::string()>;
+
+  TelemetryServer();
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Registers a route (exact path match; query strings are stripped before
+  /// lookup). Must be called before Start — the route table is immutable
+  /// while the listener runs, so lookups need no lock.
+  void Handle(std::string path, std::string content_type, Handler handler);
+
+  /// Invoked on the listener thread roughly every poll interval (~100ms) and
+  /// between requests — the hook the flight-recorder SIGUSR1 dump rides on.
+  void set_idle_hook(std::function<void()> hook) { idle_hook_ = std::move(hook); }
+
+  /// Binds, listens, and starts the listener thread. Fails with
+  /// InvalidArgument if already started or the socket cannot be bound.
+  Status Start(const TelemetryOptions& opts);
+
+  /// Stops the listener and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (resolves ephemeral binds); 0 before Start.
+  uint16_t port() const { return port_; }
+
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    Handler handler;
+  };
+
+  void ListenLoop();
+  void ServeOne(int client_fd);
+
+  TelemetryOptions opts_;
+  std::vector<Route> routes_;
+  std::function<void()> idle_hook_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+/// Minimal blocking HTTP/1.0 GET against `host:port` (numeric IPv4 host).
+/// Returns the response body on 200; any other status code, malformed
+/// response, or socket failure is a non-OK Status. Shared by wqe_top, the
+/// wqe_serve self-scrape, and the telemetry tests.
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path,
+                            double timeout_seconds = 5.0);
+
+/// Prometheus text exposition (version 0.0.4) of a full registry walk:
+/// counters and gauges as single samples, histograms and sliding windows as
+/// summaries (quantile series + _sum + _count). Metric names are prefixed
+/// with "wqe_" and sanitized to the Prometheus charset ('.' becomes '_').
+/// Sliding windows additionally carry a "_window" suffix so lifetime and
+/// rolling series never collide.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+}  // namespace wqe::obs
+
+#endif  // WQE_OBS_TELEMETRY_H_

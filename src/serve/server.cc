@@ -1,10 +1,14 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <exception>
+#include <sstream>
 #include <utility>
 
+#include "chase/report.h"
 #include "common/thread_pool.h"
+#include "obs/json.h"
 #include "store/artifact_store.h"
 #include "store/serde.h"
 
@@ -14,6 +18,14 @@ namespace {
 
 uint64_t ToNs(double seconds) {
   return seconds <= 0 ? 0 : static_cast<uint64_t>(seconds * 1e9);
+}
+
+obs::FlightRecorder::Options FlightOptions(const ServerOptions& o) {
+  obs::FlightRecorder::Options f;
+  f.capacity = o.flight_capacity;
+  f.slow_capacity = o.flight_slow_capacity;
+  f.slow_threshold_ns = ToNs(o.flight_slow_threshold_seconds);
+  return f;
 }
 
 }  // namespace
@@ -39,7 +51,9 @@ Server::Server(const Graph& g, ServerOptions opts)
                                                           store_.get())
                          : nullptr),
       indexes_(opts_.prebuilt_indexes == nullptr ? owned_indexes_.get()
-                                                 : opts_.prebuilt_indexes) {
+                                                 : opts_.prebuilt_indexes),
+      graph_fp_(store::Serde::GraphFingerprint(g)),
+      flight_(FlightOptions(opts_)) {
   // The shared cache reports into the server scope, wired once here by its
   // owner (per-request scopes stay isolated; see ChaseContext).
   cache_.set_observability(obs_);
@@ -48,16 +62,58 @@ Server::Server(const Graph& g, ServerOptions opts)
   c_admitted_ = &obs_->metrics.counter("serve.admitted");
   c_shed_ = &obs_->metrics.counter("serve.shed");
   c_completed_ = &obs_->metrics.counter("serve.completed");
+  c_deadline_ = &obs_->metrics.counter("serve.deadline_expired");
   h_latency_ = &obs_->metrics.histogram("serve.latency_ns");
   h_queue_ = &obs_->metrics.histogram("serve.queue_ns");
   h_solve_ = &obs_->metrics.histogram("solve.latency_ns");
+  w_latency_ = &obs_->metrics.sliding("serve.latency_ns",
+                                      opts_.slo_window_seconds);
+  w_queue_ = &obs_->metrics.sliding("serve.queue_ns", opts_.slo_window_seconds);
+  for (size_t a = 0; a < kAlgorithms; ++a) {
+    w_solve_[a] = &obs_->metrics.sliding(
+        "solve." + std::string(AlgorithmName(static_cast<Algorithm>(a))) +
+            ".latency_ns",
+        opts_.slo_window_seconds);
+  }
+
+  if (opts_.telemetry_port >= 0) {
+    telemetry_ = std::make_unique<obs::TelemetryServer>();
+    telemetry_->Handle("/statusz", "application/json",
+                       [this] { return StatuszJson(); });
+    telemetry_->Handle("/metricsz", "text/plain; version=0.0.4",
+                       [this] { return obs::PrometheusText(obs_->metrics); });
+    telemetry_->Handle("/requestz", "application/json",
+                       [this] { return flight_.ToJson(); });
+    // SIGUSR1 latches a dump request (async-signal-safe store); the listener
+    // thread's idle hook performs the actual dump outside signal context.
+    obs::InstallFlightDumpHandler();
+    telemetry_->set_idle_hook([this] {
+      if (obs::ConsumeFlightDumpRequest()) {
+        const std::string dump = flight_.ToJson();
+        std::fprintf(stderr, "wqe_serve flight recorder dump:\n%s\n",
+                     dump.c_str());
+        std::fflush(stderr);
+      }
+    });
+    obs::TelemetryOptions topts;
+    topts.port = static_cast<uint16_t>(opts_.telemetry_port);
+    telemetry_status_ = telemetry_->Start(topts);
+    if (!telemetry_status_.ok()) telemetry_.reset();
+  }
 }
 
 Server::~Server() {
+  // Stop exposition before draining: handlers read flight_/obs_/stats, and
+  // nothing should be scraping while members wind down.
+  if (telemetry_ != nullptr) telemetry_->Stop();
   Drain();
   if (store_ != nullptr && cache_.size() > 0) {
     store_->SaveStarViews(cache_, cache_.options().max_entries);
   }
+}
+
+uint16_t Server::telemetry_port() const {
+  return telemetry_ != nullptr ? telemetry_->port() : 0;
 }
 
 std::future<Response> Server::Submit(Request req) {
@@ -144,6 +200,10 @@ void Server::RunOne(Pending& p) {
   const double queue_seconds = p.queued.ElapsedSeconds();
   Timer execute_timer;
   Response resp;
+  obs::RequestDigest digest;
+  digest.id = p.req.id;
+  digest.set_algorithm(AlgorithmName(p.req.algorithm));
+  digest.question_fp = ChaseReport::QuestionFingerprint(p.req.question);
   try {
     if (opts_.on_execute) opts_.on_execute(p.req);
 
@@ -177,7 +237,18 @@ void Server::RunOne(Pending& p) {
       std::lock_guard<std::mutex> lock(phases_mu_);
       obs::MergePhases(merged_phases_, resp.result.stats.phases);
     }
-    h_solve_->Observe(ToNs(resp.result.stats.elapsed_seconds));
+    const uint64_t solve_ns = ToNs(resp.result.stats.elapsed_seconds);
+    h_solve_->Observe(solve_ns);
+    const size_t algo = static_cast<size_t>(p.req.algorithm);
+    if (algo < kAlgorithms) w_solve_[algo]->Observe(solve_ns);
+
+    digest.solve_ns = solve_ns;
+    ChaseReport::DigestPhases(resp.result.stats.phases, digest);
+    // "Bytes of answer" without rendering anything on the hot path: each
+    // answer's cached canonical form plus its match list.
+    for (const WhyAnswer& a : resp.result.answers) {
+      digest.answer_bytes += a.fingerprint.size() + 8 * a.matches.size();
+    }
   } catch (const std::exception& e) {
     // A drainer runs on the shared pool; nothing may escape. Engine-level
     // deadline handling never throws this far — anything that does is a
@@ -190,13 +261,28 @@ void Server::RunOne(Pending& p) {
     resp.result.status = s;
     resp.status = std::move(s);
   }
-  h_queue_->Observe(ToNs(queue_seconds));
-  h_latency_->Observe(ToNs(queue_seconds + execute_timer.ElapsedSeconds()));
+  const uint64_t queue_ns = ToNs(queue_seconds);
+  const uint64_t total_ns = ToNs(queue_seconds + execute_timer.ElapsedSeconds());
+  h_queue_->Observe(queue_ns);
+  h_latency_->Observe(total_ns);
+  w_queue_->Observe(queue_ns);
+  w_latency_->Observe(total_ns);
+
+  digest.queue_ns = queue_ns;
+  digest.total_ns = total_ns;
+  digest.status_code = static_cast<uint32_t>(resp.status.code());
+  digest.termination = static_cast<uint32_t>(resp.result.stats.termination);
+  flight_.Record(digest);
+
+  const bool hit_deadline =
+      resp.result.stats.termination == TerminationReason::kDeadline;
+  if (hit_deadline) c_deadline_->Inc();
   // Counted before the promise resolves so stats() never lags a caller that
   // has already observed the future.
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++completed_;
+    if (hit_deadline) ++deadline_expired_;
   }
   c_completed_->Inc();
   p.promise.set_value(std::move(resp));
@@ -208,14 +294,84 @@ void Server::Drain() {
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.admitted = admitted_;
-  s.shed = shed_;
-  s.completed = completed_;
-  s.queued = queue_.size();
-  s.executing = executing_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.admitted = admitted_;
+    s.shed = shed_;
+    s.completed = completed_;
+    s.deadline_expired = deadline_expired_;
+    s.queued = queue_.size();
+    s.executing = executing_;
+  }
+  // Snap outside mu_ — the sliding window is lock-free and the quantile walk
+  // should never extend the admission lock's hold time.
+  const obs::Histogram::Snapshot lat = w_latency_->Snap();
+  if (lat.count > 0) {
+    s.latency_p50_ms = static_cast<double>(lat.Quantile(0.5)) / 1e6;
+    s.latency_p99_ms = static_cast<double>(lat.Quantile(0.99)) / 1e6;
+  }
   return s;
+}
+
+std::string Server::StatuszJson() const {
+  const Stats s = stats();
+  const obs::Histogram::Snapshot lat = w_latency_->Snap();
+  const obs::Histogram::Snapshot que = w_queue_->Snap();
+  const obs::MetricsRegistry& m = obs_->metrics;
+  const auto counter = [&m](const char* name) {
+    return const_cast<obs::MetricsRegistry&>(m).counter(name).Value();
+  };
+
+  std::ostringstream out;
+  out << "{\"uptime_seconds\":" << obs::JsonNumber(uptime_.ElapsedSeconds())
+      << ",\"build\":" << obs::JsonString(__DATE__ " " __TIME__);
+  char fp[24];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(graph_fp_));
+  out << ",\"graph_fp\":" << obs::JsonString(fp)
+      << ",\"graph_nodes\":" << g_.num_nodes()
+      << ",\"concurrency\":" << concurrency_
+      << ",\"max_queue\":" << opts_.max_queue;
+
+  out << ",\"requests\":{\"admitted\":" << s.admitted << ",\"shed\":" << s.shed
+      << ",\"completed\":" << s.completed
+      << ",\"deadline_expired\":" << s.deadline_expired
+      << ",\"queued\":" << s.queued << ",\"executing\":" << s.executing << '}';
+
+  const auto window = [&out](const char* key,
+                             const obs::Histogram::Snapshot& snap,
+                             double window_seconds) {
+    out << ",\"" << key << "\":{\"window_s\":"
+        << obs::JsonNumber(window_seconds) << ",\"count\":" << snap.count
+        << ",\"p50_ms\":"
+        << obs::JsonNumber(static_cast<double>(snap.Quantile(0.5)) / 1e6)
+        << ",\"p95_ms\":"
+        << obs::JsonNumber(static_cast<double>(snap.Quantile(0.95)) / 1e6)
+        << ",\"p99_ms\":"
+        << obs::JsonNumber(static_cast<double>(snap.Quantile(0.99)) / 1e6)
+        << '}';
+  };
+  window("latency", lat, w_latency_->window_seconds());
+  window("queue_wait", que, w_queue_->window_seconds());
+
+  out << ",\"cache\":{\"hits\":" << counter("cache.hits")
+      << ",\"misses\":" << counter("cache.misses")
+      << ",\"evictions\":" << counter("cache.evictions")
+      << ",\"entries\":" << cache_.size() << '}';
+  out << ",\"delta_eval\":{\"hits\":" << counter("delta_eval.hits")
+      << ",\"reuse_hits\":" << counter("delta_eval.reuse_hits")
+      << ",\"full_fallbacks\":" << counter("delta_eval.full_fallbacks")
+      << ",\"reverified\":" << counter("delta_eval.reverified")
+      << ",\"skipped\":" << counter("delta_eval.skipped") << '}';
+  out << ",\"flight\":{\"recorded\":" << flight_.recorded()
+      << ",\"slow_recorded\":" << flight_.slow_recorded() << '}';
+  if (telemetry_ != nullptr) {
+    out << ",\"telemetry\":{\"port\":" << telemetry_->port()
+        << ",\"requests_served\":" << telemetry_->requests_served() << '}';
+  }
+  out << '}';
+  return out.str();
 }
 
 std::vector<obs::PhaseStat> Server::MergedPhases() const {

@@ -13,7 +13,9 @@
 
 #include "chase/solve.h"
 #include "common/timer.h"
+#include "obs/flight_recorder.h"
 #include "obs/query_log.h"
+#include "obs/telemetry.h"
 
 namespace wqe {
 namespace store {
@@ -67,6 +69,25 @@ struct ServerOptions {
   /// and outlive the server. When set, construction skips the expensive
   /// load-or-build entirely (cache_dir still warms/persists star views).
   GraphIndexes* prebuilt_indexes = nullptr;
+
+  /// HTTP telemetry exposition (/statusz, /metricsz, /requestz) on its own
+  /// listener thread. -1 (default) = no listener; 0 = bind an ephemeral
+  /// port, read back via telemetry_port(); >0 = that port. Exposition reads
+  /// take only the same short internal locks as stats(), so scraping never
+  /// stalls Submit.
+  int telemetry_port = -1;
+
+  /// Flight recorder geometry. The recorder itself is always on — its cost
+  /// is one atomic ring-slot write per completed request.
+  size_t flight_capacity = 256;
+  size_t flight_slow_capacity = 64;
+  /// Requests slower than this (admission to completion) also land in the
+  /// always-retained slow tier. 0 disables the tier.
+  double flight_slow_threshold_seconds = 0.25;
+
+  /// Width of the rolling SLO window behind the sliding latency / queue-wait
+  /// / per-algorithm solve-time histograms (and Stats::latency_p50_ms).
+  double slo_window_seconds = 60.0;
 };
 
 /// Concurrent query-serving layer: multiplexes many in-flight `Execute`
@@ -117,10 +138,30 @@ class Server {
     uint64_t admitted = 0;
     uint64_t shed = 0;
     uint64_t completed = 0;
-    size_t queued = 0;     // waiting right now
-    size_t executing = 0;  // running right now
+    uint64_t deadline_expired = 0;  // completions that hit their deadline
+    size_t queued = 0;              // waiting right now
+    size_t executing = 0;           // running right now
+    /// Rolling end-to-end latency quantiles over the configured SLO window
+    /// (0 while the window is empty).
+    double latency_p50_ms = 0;
+    double latency_p99_ms = 0;
   };
   Stats stats() const;
+
+  /// The /statusz document: uptime, build/graph identity, live Stats,
+  /// rolling SLO quantiles, cache and delta-eval counters, flight-recorder
+  /// occupancy. Strict obs JSON — round-trips through obs::ParseJson.
+  std::string StatuszJson() const;
+
+  /// The bound telemetry port; 0 when no listener was requested or the bind
+  /// failed (see telemetry_status()).
+  uint16_t telemetry_port() const;
+
+  /// OK unless ServerOptions::telemetry_port was set and the bind failed —
+  /// the server still serves in that case, just without exposition.
+  const Status& telemetry_status() const { return telemetry_status_; }
+
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
 
   /// Cross-request phase totals (each request's per-solve breakdown folded
   /// via obs::MergePhases after completion).
@@ -165,6 +206,7 @@ class Server {
   uint64_t admitted_ = 0;
   uint64_t shed_ = 0;
   uint64_t completed_ = 0;
+  uint64_t deadline_expired_ = 0;
 
   mutable std::mutex phases_mu_;
   std::vector<obs::PhaseStat> merged_phases_;
@@ -173,9 +215,23 @@ class Server {
   obs::Counter* c_admitted_ = nullptr;
   obs::Counter* c_shed_ = nullptr;
   obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_deadline_ = nullptr;
   obs::Histogram* h_latency_ = nullptr;   // admission -> completion
   obs::Histogram* h_queue_ = nullptr;     // admission -> execution start
   obs::Histogram* h_solve_ = nullptr;     // the solver run itself
+
+  // Rolling SLO windows, resolved once at construction (the per-algorithm
+  // solve windows are indexed by static_cast<size_t>(Algorithm)).
+  static constexpr size_t kAlgorithms = 5;
+  obs::SlidingHistogram* w_latency_ = nullptr;
+  obs::SlidingHistogram* w_queue_ = nullptr;
+  obs::SlidingHistogram* w_solve_[kAlgorithms] = {};
+
+  Timer uptime_;
+  uint64_t graph_fp_ = 0;
+  obs::FlightRecorder flight_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+  Status telemetry_status_;
 };
 
 }  // namespace wqe::serve

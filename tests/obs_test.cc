@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -60,12 +63,63 @@ TEST(HistogramTest, QuantileWithinBucketBounds) {
   obs::Histogram h;
   for (int i = 0; i < 1000; ++i) h.Observe(1000);
   const obs::Histogram::Snapshot snap = h.Snap();
-  // Power-of-two buckets: the answer is the upper bound of the bucket that
-  // holds 1000, so it is within 2x of the true value.
+  // All mass sits in bucket [512, 1023]. The interpolating default answers
+  // somewhere inside that bucket; the legacy mode answers its upper bound.
   const uint64_t q50 = snap.Quantile(0.5);
-  EXPECT_GE(q50, 1000u);
-  EXPECT_LE(q50, 2048u);
-  EXPECT_EQ(snap.Quantile(0.0), snap.Quantile(1.0));
+  EXPECT_GE(q50, 512u);
+  EXPECT_LE(q50, 1023u);
+  EXPECT_EQ(snap.Quantile(0.5, obs::QuantileMode::kBucketUpperBound), 1023u);
+  // Every quantile of a single-bucket distribution lands in that bucket.
+  EXPECT_GE(snap.Quantile(0.0), 512u);
+  EXPECT_LE(snap.Quantile(1.0), 1023u);
+}
+
+TEST(HistogramTest, BucketUpperBoundModeMatchesLegacyBehavior) {
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(16);
+  for (int i = 0; i < 10; ++i) h.Observe(1u << 20);
+  const obs::Histogram::Snapshot snap = h.Snap();
+  // Upper-bound mode always weakly dominates interpolation, and is exactly
+  // the containing bucket's last representable value.
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_GE(snap.Quantile(q, obs::QuantileMode::kBucketUpperBound),
+              snap.Quantile(q));
+  }
+  EXPECT_EQ(snap.Quantile(0.5, obs::QuantileMode::kBucketUpperBound), 31u);
+  EXPECT_EQ(snap.Quantile(0.99, obs::QuantileMode::kBucketUpperBound),
+            (1u << 21) - 1);
+}
+
+TEST(HistogramTest, InterpolatedQuantilesPinRelativeError) {
+  // Uniform ramp over [1000, 100000): wide enough to cross several
+  // power-of-two buckets, dense enough that every bucket it touches is well
+  // populated — the regime the interpolation is built for.
+  obs::Histogram h;
+  std::vector<uint64_t> values;
+  for (uint64_t v = 1000; v < 100000; v += 9) {
+    h.Observe(v);
+    values.push_back(v);
+  }
+  const obs::Histogram::Snapshot snap = h.Snap();
+  for (double q : {0.05, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const uint64_t exact =
+        values[static_cast<size_t>(q * static_cast<double>(values.size() - 1))];
+    const double interp = static_cast<double>(snap.Quantile(q));
+    const double upper = static_cast<double>(
+        snap.Quantile(q, obs::QuantileMode::kBucketUpperBound));
+    const double interp_err =
+        std::abs(interp - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    const double upper_err =
+        std::abs(upper - static_cast<double>(exact)) /
+        static_cast<double>(exact);
+    // Within-bucket interpolation keeps the relative error under ~35% on a
+    // uniform ramp; the legacy upper bound can be off by ~100% (a full
+    // power-of-two bucket width).
+    EXPECT_LE(interp_err, 0.35) << "q=" << q << " exact=" << exact
+                                << " interp=" << interp;
+    EXPECT_LE(interp_err, upper_err + 1e-9) << "q=" << q;
+  }
 }
 
 TEST(HistogramTest, QuantileSeparatesModes) {
@@ -199,6 +253,98 @@ TEST(TracerTest, DiffPhasesCarvesOutDeltas) {
   EXPECT_EQ(delta[0].count, 1u);  // 2 total - 1 before
   EXPECT_EQ(delta[1].name, "q");
   EXPECT_EQ(delta[1].count, 1u);
+}
+
+// The serving layer's cross-request aggregation pattern under concurrency:
+// each worker solves into a private scope, then folds its counters into a
+// shared registry (ForEachCounter + Inc) and its phase breakdown into a
+// shared rollup (MergePhases under a mutex). Totals must come out exact —
+// this is the test the TSan stage runs to prove the fold itself races with
+// nothing.
+TEST(ObsFoldTest, ConcurrentPerRequestScopeFoldingIsExact) {
+  constexpr int kWorkers = 8;
+  constexpr int kRoundsPerWorker = 50;
+  obs::MetricsRegistry shared;
+  std::mutex phases_mu;
+  std::vector<obs::PhaseStat> merged;
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&shared, &phases_mu, &merged, t] {
+      for (int r = 0; r < kRoundsPerWorker; ++r) {
+        // Private per-request scope, as built in serve::Server::RunOne.
+        obs::MetricsRegistry private_scope;
+        private_scope.counter("chase.steps").Inc(3);
+        private_scope.counter("chase.evaluations").Inc(2);
+        if (t % 2 == 0) private_scope.counter("cache.hits").Inc();
+
+        std::vector<obs::PhaseStat> phases;
+        obs::PhaseStat p;
+        p.name = "evaluate";
+        p.count = 1;
+        p.self_seconds = 0.001;
+        p.wall_seconds = 0.001;
+        phases.push_back(p);
+        p.name = t % 2 == 0 ? "refine" : "verify";
+        phases.push_back(p);
+
+        private_scope.ForEachCounter(
+            [&shared](const std::string& name, uint64_t value) {
+              if (value != 0) shared.counter(name).Inc(value);
+            });
+        {
+          std::lock_guard<std::mutex> lock(phases_mu);
+          obs::MergePhases(merged, phases);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  constexpr uint64_t kRounds = kWorkers * kRoundsPerWorker;
+  EXPECT_EQ(shared.counter("chase.steps").Value(), 3 * kRounds);
+  EXPECT_EQ(shared.counter("chase.evaluations").Value(), 2 * kRounds);
+  EXPECT_EQ(shared.counter("cache.hits").Value(), kRounds / 2);
+
+  uint64_t evaluate_count = 0, refine_count = 0, verify_count = 0;
+  for (const obs::PhaseStat& ph : merged) {
+    if (ph.name == "evaluate") evaluate_count = ph.count;
+    if (ph.name == "refine") refine_count = ph.count;
+    if (ph.name == "verify") verify_count = ph.count;
+  }
+  EXPECT_EQ(evaluate_count, kRounds);
+  EXPECT_EQ(refine_count, kRounds / 2);
+  EXPECT_EQ(verify_count, kRounds / 2);
+}
+
+// Readers may walk the shared registry while writers fold into it — the
+// exposition path (/metricsz renders mid-traffic). Values observed mid-fold
+// are torn-free per counter and monotonically growing.
+TEST(ObsFoldTest, RegistryWalkDuringConcurrentFoldsIsConsistent) {
+  obs::MetricsRegistry shared;
+  shared.counter("serve.completed");  // pre-register so walkers always see it
+  std::atomic<bool> done{false};
+
+  std::thread writer([&shared, &done] {
+    for (int i = 0; i < 20000; ++i) shared.counter("serve.completed").Inc();
+    done.store(true, std::memory_order_release);
+  });
+
+  uint64_t last = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    shared.ForEachCounter([&last](const std::string& name, uint64_t value) {
+      if (name == "serve.completed") {
+        EXPECT_GE(value, last);
+        last = value;
+      }
+    });
+  }
+  writer.join();
+  shared.ForEachCounter([](const std::string& name, uint64_t value) {
+    if (name == "serve.completed") {
+      EXPECT_EQ(value, 20000u);
+    }
+  });
 }
 
 // End-to-end: a solve against a shared Observability populates counters that

@@ -8,14 +8,19 @@
 #   4. a record->replay serving smoke: a short trace fed back through
 #      wqe_serve --strict, proving concurrent answers stay byte-identical
 #      and the open-loop pacer never offers above the requested rate;
-#   5. a store v2 mmap serving stage: the same trace replayed --strict from
+#   5. a telemetry smoke: the same trace replayed with the HTTP exposition
+#      listener up, /statusz + /metricsz + /requestz scraped over real HTTP,
+#      their counts cross-checked against the replay client's own totals,
+#      and wqe_top --once rendered against the lingering server;
+#   6. a store v2 mmap serving stage: the same trace replayed --strict from
 #      the v1 heap path and from the mmap bundle (byte-identity across
 #      storage generations), then two concurrent wqe_serve processes
 #      sharing one bundle file;
-#   6. an Address+UndefinedBehaviorSanitizer build running the whole suite
+#   7. an Address+UndefinedBehaviorSanitizer build running the whole suite
 #      (including the mmap fault-injection tests in mmap_store_test);
-#   7. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
-#      exercise the parallel evaluation layer and the serving layer.
+#   8. a ThreadSanitizer build (WQE_SANITIZE=thread) running the tests that
+#      exercise the parallel evaluation layer, the serving layer, and the
+#      telemetry structures (sliding windows, flight recorder, scope folds).
 # Usage: tools/check.sh [jobs]   (jobs defaults to nproc)
 set -euo pipefail
 
@@ -104,6 +109,54 @@ awk -v o="$OFFERED" 'BEGIN { exit !(o > 0 && o <= 101.0) }' || {
   echo "replay smoke: offered rate $OFFERED q/s outside (0, 101]"; exit 1; }
 echo "replay smoke: strict concurrent replay reproduced the trace (offered $OFFERED q/s <= requested 100)"
 
+echo "== telemetry smoke =="
+# The same trace with the exposition listener up: wqe_serve self-scrapes
+# /statusz, /metricsz, and /requestz over real HTTP after the replay, and
+# the exposed counts must agree with the totals the process itself reports.
+TEL_OUT="$(./build/tools/wqe_serve "$SERVE_TMP/g.graph" \
+  "$SERVE_TMP/trace.jsonl" --concurrency 4 --repeat 3 --strict \
+  --telemetry-port 0 --port-file "$SERVE_TMP/port" \
+  --scrape-dir "$SERVE_TMP")"
+for f in port statusz.json metricsz.txt requestz.json; do
+  [ -s "$SERVE_TMP/$f" ] || { echo "telemetry smoke: missing $f"; exit 1; }
+done
+SRV_COMPLETED="$(printf '%s\n' "$TEL_OUT" | \
+  sed -n 's/.*completed \([0-9]*\),.*/\1/p')"
+SRV_SHED="$(printf '%s\n' "$TEL_OUT" | sed -n 's/.*shed \([0-9]*\),.*/\1/p')"
+[ -n "$SRV_COMPLETED" ] && [ -n "$SRV_SHED" ] || {
+  echo "telemetry smoke: no server totals in wqe_serve output"; exit 1; }
+Z_COMPLETED="$(sed -n 's/.*"completed":\([0-9]*\).*/\1/p' "$SERVE_TMP/statusz.json")"
+Z_SHED="$(sed -n 's/.*"shed":\([0-9]*\).*/\1/p' "$SERVE_TMP/statusz.json")"
+[ "$Z_COMPLETED" = "$SRV_COMPLETED" ] || {
+  echo "telemetry smoke: /statusz completed=$Z_COMPLETED but server counted $SRV_COMPLETED"; exit 1; }
+[ "$Z_SHED" = "$SRV_SHED" ] || {
+  echo "telemetry smoke: /statusz shed=$Z_SHED but server counted $SRV_SHED"; exit 1; }
+grep -q "^wqe_serve_completed $SRV_COMPLETED\$" "$SERVE_TMP/metricsz.txt" || {
+  echo "telemetry smoke: /metricsz wqe_serve_completed disagrees with $SRV_COMPLETED"; exit 1; }
+grep -q '"recorded":'"$SRV_COMPLETED" "$SERVE_TMP/requestz.json" || {
+  echo "telemetry smoke: /requestz recorded count disagrees with $SRV_COMPLETED"; exit 1; }
+# Live-process path: a lingering server scraped by wqe_top --once, plus the
+# SIGUSR1 flight dump consumed by the listener's idle hook.
+rm -f "$SERVE_TMP/port"
+./build/tools/wqe_serve "$SERVE_TMP/g.graph" "$SERVE_TMP/trace.jsonl" \
+  --concurrency 4 --strict --telemetry-port 0 \
+  --port-file "$SERVE_TMP/port" --linger 15 \
+  >"$SERVE_TMP/linger.out" 2>"$SERVE_TMP/linger.err" &
+PID_SERVE=$!
+for _ in $(seq 100); do [ -s "$SERVE_TMP/port" ] && break; sleep 0.1; done
+[ -s "$SERVE_TMP/port" ] || { echo "telemetry smoke: no port file"; exit 1; }
+TEL_PORT="$(cat "$SERVE_TMP/port")"
+TOP_OUT="$(./build/tools/wqe_top --port "$TEL_PORT" --once)"
+printf '%s\n' "$TOP_OUT" | grep -q "completed" || {
+  echo "telemetry smoke: wqe_top --once rendered nothing useful"; exit 1; }
+kill -USR1 "$PID_SERVE"
+sleep 1
+kill "$PID_SERVE" 2>/dev/null || true
+wait "$PID_SERVE" 2>/dev/null || true
+grep -q "flight recorder dump" "$SERVE_TMP/linger.err" || {
+  echo "telemetry smoke: SIGUSR1 produced no flight dump"; exit 1; }
+echo "telemetry smoke: /statusz+/metricsz+/requestz agree (completed $SRV_COMPLETED, shed $SRV_SHED); wqe_top and SIGUSR1 dump OK"
+
 echo "== store v2 mmap serving =="
 # Byte-identity across storage generations: the SAME recorded trace must
 # replay --strict both from the v1 heap path and from the v2 mmap bundle
@@ -161,8 +214,8 @@ cmake -B build-tsan -S . -DWQE_SANITIZE=thread \
 cmake --build build-tsan -j "$JOBS" --target \
   thread_pool_test parallel_determinism_test matcher_test \
   star_matcher_test distance_index_test answ_test delta_eval_test \
-  serve_test
+  serve_test obs_test telemetry_test
 (cd build-tsan && ctest --output-on-failure -R \
-  'ThreadPool|ParallelFor|PerThread|ParallelDeterminism|Matcher|StarMatcher|DistanceIndex|AnsW|DeltaEval|Serve')
+  'ThreadPool|ParallelFor|PerThread|ParallelDeterminism|Matcher|StarMatcher|DistanceIndex|AnsW|DeltaEval|Serve|ObsFold|SlidingHistogram|FlightRecorder|TelemetryServer')
 
 echo "== all checks passed =="

@@ -7,6 +7,17 @@
 //             [--max-queue Q] [--budget B] [--deadline S] [--threads N|auto]
 //             [--limit N] [--repeat K] [--cache-dir DIR] [--mmap]
 //             [--metrics-out FILE] [--no-check-fp] [--strict]
+//             [--telemetry-port P] [--port-file FILE] [--scrape-dir DIR]
+//             [--linger S]
+//
+// --telemetry-port P starts the HTTP exposition listener (/statusz,
+// /metricsz, /requestz; P=0 binds an ephemeral port, written to --port-file
+// when given, so scripts can find it). --scrape-dir DIR self-scrapes all
+// three endpoints over real HTTP after the replay and writes
+// statusz.json / metricsz.txt / requestz.json there — the check.sh smoke
+// stage diffs those against the replay client's own totals. --linger S keeps
+// the server (and its telemetry port) up S seconds after the replay so an
+// operator can point curl or wqe_top at a live process.
 //
 // --mmap (requires --cache-dir) serves from the store v2 zero-copy bundle:
 // the graph columns and PLL index are mmap'ed read-only straight from
@@ -20,9 +31,11 @@
 // differs from the trace or any request fails (deadline-free runs are
 // byte-identical to the sequential recording by construction).
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <memory>
 
@@ -32,6 +45,7 @@
 #include "graph/graph_io.h"
 #include "obs/observability.h"
 #include "obs/query_log.h"
+#include "obs/telemetry.h"
 #include "serve/replay.h"
 #include "serve/server.h"
 #include "store/artifact_store.h"
@@ -47,7 +61,9 @@ int Usage() {
                "       [--concurrency N] [--max-queue Q] [--budget B]\n"
                "       [--deadline S] [--threads N|auto] [--limit N]\n"
                "       [--repeat K] [--cache-dir DIR] [--mmap]\n"
-               "       [--metrics-out FILE] [--no-check-fp] [--strict]\n");
+               "       [--metrics-out FILE] [--no-check-fp] [--strict]\n"
+               "       [--telemetry-port P] [--port-file FILE]\n"
+               "       [--scrape-dir DIR] [--linger S]\n");
   return 2;
 }
 
@@ -84,6 +100,9 @@ int main(int argc, char** argv) {
   serve::ServerOptions server_opts;
   serve::ReplayOptions replay_opts;
   std::string metrics_out;
+  std::string port_file;
+  std::string scrape_dir;
+  double linger_seconds = 0;
   bool strict = false;
   bool use_mmap = false;
   for (int i = 3; i < argc; ++i) {
@@ -123,6 +142,14 @@ int main(int argc, char** argv) {
       use_mmap = true;
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (arg == "--telemetry-port") {
+      server_opts.telemetry_port = std::atoi(next());
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else if (arg == "--scrape-dir") {
+      scrape_dir = next();
+    } else if (arg == "--linger") {
+      linger_seconds = std::atof(next());
     } else if (arg == "--no-check-fp") {
       replay_opts.check_fingerprint = false;
     } else if (arg == "--strict") {
@@ -167,6 +194,21 @@ int main(int argc, char** argv) {
               server_opts.cache_dir.empty() ? "" : " (warm store)",
               mapped != nullptr ? " (mmap bundle)" : "");
 
+  if (server_opts.telemetry_port >= 0) {
+    if (!server.telemetry_status().ok()) {
+      std::fprintf(stderr, "error: telemetry: %s\n",
+                   server.telemetry_status().ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry on http://127.0.0.1:%u "
+                "(/statusz /metricsz /requestz; SIGUSR1 dumps flights)\n",
+                server.telemetry_port());
+    if (!port_file.empty() &&
+        !WriteFile(port_file, std::to_string(server.telemetry_port()) + "\n")) {
+      return 1;
+    }
+  }
+
   // Replay parses the trace against the heap graph's schema (parsing may
   // intern; the mapped graph is read-only) — same fingerprint, same schema.
   const serve::ReplayStats stats =
@@ -174,10 +216,16 @@ int main(int argc, char** argv) {
   std::fputs(stats.ToString().c_str(), stdout);
 
   const serve::Server::Stats srv = server.stats();
-  std::printf("server: admitted %llu, shed %llu, completed %llu\n",
+  std::printf("server: admitted %llu, shed %llu, completed %llu, "
+              "deadline-expired %llu\n",
               static_cast<unsigned long long>(srv.admitted),
               static_cast<unsigned long long>(srv.shed),
-              static_cast<unsigned long long>(srv.completed));
+              static_cast<unsigned long long>(srv.completed),
+              static_cast<unsigned long long>(srv.deadline_expired));
+  std::printf("server: rolling latency p50 %.2fms p99 %.2fms "
+              "(last %.0fs window)\n",
+              srv.latency_p50_ms, srv.latency_p99_ms,
+              server.options().slo_window_seconds);
   std::printf("shared artifacts: %zu cached views, %zu shared plans "
               "(%llu plan hits)\n",
               server.view_cache().size(), server.shared_plans().size(),
@@ -192,6 +240,42 @@ int main(int argc, char** argv) {
       !WriteFile(metrics_out,
                  obs::ExportMetricsJson(obs, stats.wall_seconds))) {
     return 1;
+  }
+
+  // Self-scrape over real HTTP (not an in-process shortcut): the smoke stage
+  // wants proof the listener serves what the server counted.
+  if (!scrape_dir.empty()) {
+    if (server.telemetry_port() == 0) {
+      std::fprintf(stderr, "error: --scrape-dir needs --telemetry-port\n");
+      return 1;
+    }
+    const struct {
+      const char* path;
+      const char* file;
+    } kScrapes[] = {{"/statusz", "/statusz.json"},
+                    {"/metricsz", "/metricsz.txt"},
+                    {"/requestz", "/requestz.json"}};
+    for (const auto& s : kScrapes) {
+      const Result<std::string> body =
+          obs::HttpGet("127.0.0.1", server.telemetry_port(), s.path);
+      if (!body.ok()) {
+        std::fprintf(stderr, "error: scrape %s: %s\n", s.path,
+                     body.status().ToString().c_str());
+        return 1;
+      }
+      if (!WriteFile(scrape_dir + s.file, body.value())) return 1;
+    }
+    std::printf("scraped /statusz /metricsz /requestz into %s\n",
+                scrape_dir.c_str());
+  }
+
+  if (linger_seconds > 0) {
+    std::printf("lingering %.1fs for live scrapes...\n", linger_seconds);
+    std::fflush(stdout);
+    Timer linger;
+    while (linger.ElapsedSeconds() < linger_seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
   }
 
   if (stats.submitted == 0) {
