@@ -1,0 +1,221 @@
+// Ablation: the compiled match pipeline (DESIGN.md "Match pipeline"). Runs
+// AnsW with ChaseOptions::use_match_pipeline off (interpreted per-literal
+// candidate probes) and on (FilterPlans compiled once per node signature,
+// merged-walk probes, selection-vector stages), asserting that the suggested
+// rewrites are *identical* — same answer sets, same closeness — and reporting
+// the wall-clock speedup plus the pipeline's stage funnel
+// (match.stage.seeded -> .filtered -> .verified) and plan-memo traffic.
+//
+// The two workloads target the regimes the pipeline exists for:
+//   imdb_sparse  — few labels, so label buckets are huge and the predicate
+//                  stage does nearly all the filtering work;
+//   dbpedia_lits — literal-heavy queries (max_literals above the §7 default),
+//                  where one merged tuple walk replaces k per-literal probes.
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "match/candidates.h"
+#include "match/filter_plan.h"
+
+using namespace wqe;
+using namespace wqe::bench;
+
+namespace {
+
+struct ConfigResult {
+  double seconds = 0;
+  uint64_t evaluations = 0;
+  uint64_t seeded = 0;
+  uint64_t filtered = 0;
+  uint64_t verified = 0;
+  uint64_t plan_compiles = 0;
+  uint64_t plan_hits = 0;
+  std::vector<std::vector<NodeId>> matches;
+  std::vector<double> closeness;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchEnv env(argc, argv);
+  Header("abl_match_pipeline",
+         "compiled filter plans + selection-vector stages: equivalence and "
+         "speedup");
+
+  struct PipelineConfig {
+    const char* name;
+    GraphSpec spec;
+    size_t max_literals;
+  };
+  const PipelineConfig configs[] = {
+      {"imdb_sparse", ImdbLike(env.scale), 3},
+      {"dbpedia_lits", DbpediaLike(env.scale), 5},
+  };
+
+  bool identical = true;
+  int wins = 0;
+  for (const PipelineConfig& pc : configs) {
+    Graph g = GenerateGraph(pc.spec);
+    WhyFactoryOptions factory = DefaultFactory(env.seed);
+    factory.query.max_literals = pc.max_literals;
+    auto cases = MakeBenchCases(g, env.queries, factory);
+    GraphIndexes indexes(g, env.threads);
+
+    // Each arm is timed over several repeats and scored by its fastest one;
+    // the arms are interleaved within each repeat so they sample the same
+    // scheduler/frequency conditions (the arms differ by percents — far
+    // inside the single-shot jitter of a busy box, and block-per-arm timing
+    // would let a drift between blocks masquerade as a speedup). Answers and
+    // funnel counters come from the first repeat — repeats are
+    // deterministic, so any repeat would do.
+    constexpr int kRepeats = 5;
+    auto run_once = [&](bool use_pipeline, bool record, ConfigResult& r) {
+      ChaseOptions opts = DefaultChase();
+      // Both arms must explore the same tree to the same depth: a timeout
+      // truncating one arm early would void the equivalence comparison.
+      opts.time_limit_seconds = 120.0;
+      opts.use_match_pipeline = use_pipeline;
+      obs::MetricsRegistry& m = BenchObs().metrics;
+      const uint64_t seeded0 = m.counter("match.stage.seeded").Value();
+      const uint64_t filtered0 = m.counter("match.stage.filtered").Value();
+      const uint64_t verified0 = m.counter("match.stage.verified").Value();
+      const uint64_t compiles0 = m.counter("match.plan.compiles").Value();
+      const uint64_t hits0 = m.counter("match.plan.hits").Value();
+      std::vector<std::vector<NodeId>> matches;
+      std::vector<double> closeness;
+      uint64_t evaluations = 0;
+      Timer timer;
+      for (const BenchCase& c : cases) {
+        ChaseContext ctx(g, &indexes, c.question, opts);
+        const ChaseResult res =
+            ExecuteWithContext(ctx, Algorithm::kAnsW).result;
+        evaluations += res.stats.evaluations;
+        matches.push_back(res.best().matches);
+        closeness.push_back(res.best().closeness);
+      }
+      const double seconds = timer.ElapsedSeconds();
+      if (record) {
+        r.seconds = seconds;
+        r.evaluations = evaluations;
+        r.matches = std::move(matches);
+        r.closeness = std::move(closeness);
+        r.seeded = m.counter("match.stage.seeded").Value() - seeded0;
+        r.filtered = m.counter("match.stage.filtered").Value() - filtered0;
+        r.verified = m.counter("match.stage.verified").Value() - verified0;
+        r.plan_compiles = m.counter("match.plan.compiles").Value() - compiles0;
+        r.plan_hits = m.counter("match.plan.hits").Value() - hits0;
+      } else {
+        r.seconds = std::min(r.seconds, seconds);
+      }
+    };
+
+    ConfigResult interp, piped;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      run_once(false, rep == 0, interp);
+      run_once(true, rep == 0, piped);
+    }
+    identical = identical && interp.matches == piped.matches &&
+                interp.closeness == piped.closeness;
+    const double speedup =
+        piped.seconds > 0 ? interp.seconds / piped.seconds : 0;
+    if (speedup >= 1.05) ++wins;
+    std::printf(
+        "abl_match_pipeline,%s,pipeline=off,seconds=%.4f,evaluations=%llu\n",
+        pc.name, interp.seconds,
+        static_cast<unsigned long long>(interp.evaluations));
+    std::printf(
+        "abl_match_pipeline,%s,pipeline=on,seconds=%.4f,evaluations=%llu,"
+        "seeded=%llu,filtered=%llu,verified=%llu,plan_compiles=%llu,"
+        "plan_hits=%llu,speedup=%.2f\n",
+        pc.name, piped.seconds,
+        static_cast<unsigned long long>(piped.evaluations),
+        static_cast<unsigned long long>(piped.seeded),
+        static_cast<unsigned long long>(piped.filtered),
+        static_cast<unsigned long long>(piped.verified),
+        static_cast<unsigned long long>(piped.plan_compiles),
+        static_cast<unsigned long long>(piped.plan_hits), speedup);
+    // Only the first two stages are monotone cumulatively: seeding and
+    // filtering run per table *build*, while verification runs per
+    // *evaluation* — a view-cache hit re-verifies candidates without
+    // re-seeding them, so `verified` may exceed `filtered` on cache-friendly
+    // workloads.
+    Shape(piped.seeded >= piped.filtered,
+          std::string(pc.name) +
+              ": predicate stage only shrinks the seed (seeded >= filtered)");
+  }
+
+  Shape(identical,
+        "answers and closeness are identical with the match pipeline on/off");
+  if (wins == 0) {
+    // Informational, not a gate: end-to-end AnsW time is dominated by BFS
+    // walks and chase bookkeeping shared by both arms, so the whole-solve
+    // speedup can sink below jitter on a busy box. The kernel stage below is
+    // the pipeline's own differential and carries the speedup assertion.
+    std::printf("abl_match_pipeline,note,end-to-end speedup below 1.05 on "
+                "both workloads this run\n");
+  }
+
+  // --- Probe-kernel differential: the candidate stage in isolation. For
+  // every query node of a literal-heavy workload, produce the candidate set
+  // the interpreted way (per-node IsCandidate: one attribute lookup per
+  // literal) and the compiled way (label-bucket seed + one merged tuple walk
+  // per node). This is exactly the code the pipeline replaced, so the
+  // speedup here is its differential with no chase machinery diluting it.
+  {
+    Graph g = GenerateGraph(DbpediaLike(env.scale));
+    WhyFactoryOptions factory = DefaultFactory(env.seed + 1);
+    factory.query.max_literals = 5;
+    auto cases = MakeBenchCases(g, env.queries, factory);
+    double interp_s = 0, piped_s = 0;
+    size_t interp_out = 0, piped_out = 0;
+    bool kernel_identical = true;
+    constexpr int kKernelRepeats = 7;
+    for (int rep = 0; rep < kKernelRepeats; ++rep) {
+      size_t survivors = 0;
+      std::vector<std::vector<NodeId>> interp_sets;
+      Timer ti;
+      for (const BenchCase& c : cases) {
+        const PatternQuery& q = c.question.query;
+        for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+          auto cands = ComputeCandidates(g, q, u);
+          survivors += cands.size();
+          if (rep == 0) interp_sets.push_back(std::move(cands));
+        }
+      }
+      const double ts = ti.ElapsedSeconds();
+      interp_s = rep == 0 ? ts : std::min(interp_s, ts);
+      interp_out = survivors;
+
+      survivors = 0;
+      std::vector<std::vector<NodeId>> piped_sets;
+      Timer tp;
+      for (const BenchCase& c : cases) {
+        const PatternQuery& q = c.question.query;
+        const auto plans = match::QueryFilterPlans::Compile(q);
+        for (QNodeId u = 0; u < q.num_nodes(); ++u) {
+          auto cands = match::ComputeCandidatesCompiled(g, plans.at(u));
+          survivors += cands.size();
+          if (rep == 0) piped_sets.push_back(std::move(cands));
+        }
+      }
+      const double tps = tp.ElapsedSeconds();
+      piped_s = rep == 0 ? tps : std::min(piped_s, tps);
+      piped_out = survivors;
+      kernel_identical = kernel_identical && interp_out == piped_out &&
+                         (rep != 0 || interp_sets == piped_sets);
+    }
+    const double kernel_speedup = piped_s > 0 ? interp_s / piped_s : 0;
+    std::printf(
+        "abl_match_pipeline,kernel,candidate_stage,interp_seconds=%.4f,"
+        "piped_seconds=%.4f,survivors=%llu,speedup=%.2f\n",
+        interp_s, piped_s, static_cast<unsigned long long>(piped_out),
+        kernel_speedup);
+    identical = identical && kernel_identical;
+    Shape(kernel_identical,
+          "compiled and interpreted candidate stages agree on every node");
+    Shape(kernel_speedup >= 1.05,
+          "the compiled candidate stage is >=1.05x faster than interpreted");
+  }
+
+  return identical ? env.Finish() : 1;
+}

@@ -133,6 +133,18 @@ inline std::vector<QuickBench> BuildQuickSuite(const GateBenchConfig& cfg) {
         });
   }
 
+  // match_pipeline family: literal-heavy queries on the label-sparse IMDB
+  // shape — the regime the compiled match pipeline (DESIGN.md "Match
+  // pipeline") targets. Gates plan compilation, merged-walk candidate
+  // probes, and the selection-vector stages on top of the solve; the
+  // abl_match_pipeline bench separately pins the on/off equivalence.
+  {
+    WhyFactoryOptions factory = GateFactory(cfg.seed);
+    factory.query.max_literals = 5;
+    add("match_pipeline_quick", ImdbLike(cfg.scale), &MakeBenchCases,
+        cfg.queries, factory, &MakeAnsW);
+  }
+
   // fig12a family: Why-many — mostly-relaxing disturbances yield unexpected
   // answers for ApxWhyM to diagnose.
   {

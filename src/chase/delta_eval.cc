@@ -5,7 +5,7 @@
 #include <string>
 #include <utility>
 
-#include "match/candidates.h"
+#include "match/candidate_set.h"
 
 namespace wqe {
 
@@ -69,11 +69,12 @@ std::vector<NodeId> DeltaEvaluator::RelaxDelta(
   if (allowed[q.focus()].has_value()) {
     candidates = *allowed[q.focus()];
   } else {
-    candidates = ComputeCandidates(ctx_.g_, q, q.focus());
+    candidates = sm.FocusCandidates(q).Take();
   }
   // Q(G) ⊆ Q'(G): the parent's matches are child matches already — only
   // candidates outside them can change verdict.
-  std::vector<NodeId> to_verify = SortedDifference(candidates, parent.matches);
+  std::vector<NodeId> to_verify =
+      match::CandidateSet::Difference(candidates, parent.matches);
   c_skipped_->Inc(parent.matches.size());
   c_reverified_->Inc(to_verify.size());
 
@@ -86,7 +87,7 @@ std::vector<NodeId> DeltaEvaluator::RelaxDelta(
   h_reverify_ns_->Observe(NowNs() - t0);
 
   *state = std::move(st);
-  return SortedUnion(parent.matches, verified);
+  return match::CandidateSet::Union(parent.matches, verified);
 }
 
 std::vector<NodeId> DeltaEvaluator::RefineDelta(

@@ -1,5 +1,7 @@
 #include "chase/diagnosis.h"
 
+#include "match/filter_plan.h"
+
 namespace wqe::diagnosis {
 
 PatternTree BuildTree(const PatternQuery& q) {
@@ -36,7 +38,7 @@ std::vector<Failure> DiagnoseRemovals(const Graph& g, BoundedBfs& bfs,
 
   // Fragment type (1): literals at the focus.
   for (const Literal& lit : q.node(focus).literals) {
-    if (lit.Matches(g, entity)) continue;
+    if (match::LiteralHolds(g, entity, lit)) continue;
     Failure f;
     f.kind = Failure::Kind::kFocusLiteral;
     f.node = focus;
@@ -87,7 +89,7 @@ std::vector<Failure> DiagnoseRemovals(const Graph& g, BoundedBfs& bfs,
     for (const Literal& lit : q.node(u).literals) {
       bool satisfied = false;
       for (NodeId w : reachable_labeled) {
-        if (lit.Matches(g, w)) {
+        if (match::LiteralHolds(g, w, lit)) {
           satisfied = true;
           break;
         }

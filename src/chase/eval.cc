@@ -181,6 +181,7 @@ ChaseContext::ChaseContext(const Graph& g, GraphIndexes* indexes,
   star_matcher_.set_num_threads(opts_.num_threads);
   star_matcher_.set_observability(obs_);
   star_matcher_.set_shared_plans(shared_plans);
+  star_matcher_.set_use_pipeline(opts_.use_match_pipeline);
   // Only the private cache reports into this context's scope. A shared cache
   // is cross-request state: its owner (session, runner, server) wires it to
   // one long-lived scope — rewiring it per context would race concurrent

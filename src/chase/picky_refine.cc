@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "match/filter_plan.h"
 
 namespace wqe {
 
@@ -177,7 +178,8 @@ std::vector<ScoredOp> GenerateRefineOps(ChaseContext& ctx, const EvalResult& cur
       pending.push_back(
           {std::move(op), /*require_removal=*/true,
            [&g, u, lit](const std::vector<NodeId>& assign, BoundedBfs&) {
-             return assign[u] != kInvalidNode && lit.Matches(g, assign[u]);
+             return assign[u] != kInvalidNode &&
+                    match::LiteralHolds(g, assign[u], lit);
            }});
     }
   }
@@ -228,7 +230,7 @@ std::vector<ScoredOp> GenerateRefineOps(ChaseContext& ctx, const EvalResult& cur
             {std::move(op), /*require_removal=*/true,
              [&g, u, refined](const std::vector<NodeId>& assign, BoundedBfs&) {
                return assign[u] != kInvalidNode &&
-                      refined.Matches(g, assign[u]);
+                      match::LiteralHolds(g, assign[u], refined);
              }});
       }
     }

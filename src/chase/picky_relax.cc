@@ -6,7 +6,7 @@
 #include <sstream>
 
 #include "common/thread_pool.h"
-#include "match/candidates.h"
+#include "match/filter_plan.h"
 
 namespace wqe {
 
@@ -133,6 +133,11 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
 
   const auto active_edges = q.ActiveEdges();
 
+  // One compiled filter per query node, shared by every RC's diagnosis:
+  // candidate probes below are merged-walk plan probes, not per-literal
+  // re-interpretation. Same conjunction as the match layer's verification.
+  const match::QueryFilterPlans plans = match::QueryFilterPlans::Compile(q);
+
   // Per-RC diagnosis is independent: each RC explores the frozen graph with
   // its own BFS scratch and emits an ordered op list. The lists are folded
   // into the accumulator in RC order below, so the merged support sets (and
@@ -140,7 +145,7 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
   auto diagnose = [&](NodeId v0, BoundedBfs& bfs, std::vector<Op>& out) {
     // (1) Literals at the focus that v0 fails.
     for (const Literal& lit : q.node(focus).literals) {
-      if (lit.Matches(g, v0)) continue;
+      if (match::LiteralHolds(g, v0, lit)) continue;
       // adom(A, E_P): values of this attribute across the diagnosed RCs.
       std::vector<double> values;
       for (NodeId rc : rcs) {
@@ -177,7 +182,7 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
         if (w == v0) return;
         const QueryNode& qn = q.node(other);
         if (qn.label != kWildcardSymbol && g.label(w) != qn.label) return;
-        if (IsCandidate(g, q, other, w)) {
+        if (plans.at(other).Admits(g.view(), w)) {
           best_full = std::min(best_full, d);
           if (d <= e.bound) full_in_bound.push_back(w);
         } else if (d <= e.bound) {
@@ -216,7 +221,7 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
             if (++inspected > 8) break;  // sampled deep diagnosis
             auto deep = [&](NodeId x, uint32_t d) {
               if (x == w) return;
-              if (!IsCandidate(g, q, third, x)) return;
+              if (!plans.at(third).Admits(g.view(), x)) return;
               best_deep = std::min(best_deep, d);
               if (d <= e2.bound) some_w_ok = true;
             };
@@ -264,7 +269,7 @@ std::vector<ScoredOp> GenerateRelaxOps(ChaseContext& ctx, const EvalResult& cur)
           bool blocks = false;
           std::vector<double> values;
           for (NodeId w : label_fails) {
-            if (!lit.Matches(g, w)) {
+            if (!match::LiteralHolds(g, w, lit)) {
               blocks = true;
               const Value* val = g.attr(w, lit.attr);
               if (val != nullptr && val->is_num()) values.push_back(val->num());

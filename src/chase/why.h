@@ -68,6 +68,14 @@ struct ChaseOptions {
   /// the abl_delta_eval control arm.
   bool use_delta_eval = true;
 
+  /// Compiled, staged match pipeline (DESIGN.md "Match pipeline"): per-node
+  /// filters compile once per query-node signature into FilterPlans (label
+  /// seed + attribute predicates grouped by AttrId) and candidate probes run
+  /// a single merged walk of each node's sorted attribute tuple instead of
+  /// re-interpreting literals. Answers are byte-identical either way; off =
+  /// the abl_match_pipeline control arm.
+  bool use_match_pipeline = true;
+
   /// Recognize rewrites already reached by another operator order. The
   /// naive AnsWb baseline turns this off and enumerates the raw Q-Chase
   /// tree, where equal rewrites reached by different sequences are distinct

@@ -1,10 +1,16 @@
 #include "match/candidates.h"
 
 #include <algorithm>
-#include <iterator>
+
+#include "match/candidate_set.h"
 
 namespace wqe {
 
+// The interpreted reference probe: one attribute lookup per literal. This is
+// deliberately NOT the merged-walk kernel — FilterPlan::AdmitsAttrs owns that
+// (k literals = one tuple pass); keeping this path naive makes it an honest
+// control arm for abl_match_pipeline and an independent oracle for the
+// FilterPlan equivalence tests.
 bool IsCandidate(const Graph& g, const PatternQuery& q, QNodeId u, NodeId v) {
   const QueryNode& qn = q.node(u);
   if (qn.label != kWildcardSymbol && g.label(v) != qn.label) return false;
@@ -42,18 +48,12 @@ std::vector<std::vector<NodeId>> AllCandidates(const Graph& g,
 
 std::vector<NodeId> SortedDifference(const std::vector<NodeId>& a,
                                      const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                      std::back_inserter(out));
-  return out;
+  return match::CandidateSet::Difference(a, b);
 }
 
 std::vector<NodeId> SortedUnion(const std::vector<NodeId>& a,
                                 const std::vector<NodeId>& b) {
-  std::vector<NodeId> out;
-  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
-                 std::back_inserter(out));
-  return out;
+  return match::CandidateSet::Union(a, b);
 }
 
 }  // namespace wqe

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/thread_pool.h"
+#include "match/candidate_set.h"
 #include "obs/trace.h"
 
 namespace wqe {
@@ -62,7 +63,7 @@ std::vector<Matcher::PlanStep> Matcher::BuildPlan(const PatternQuery& q) const {
   return plan;
 }
 
-const std::vector<Matcher::PlanStep>& Matcher::PlanFor(const PatternQuery& q) {
+const Matcher::MatchPlan& Matcher::PlanFor(const PatternQuery& q) {
   std::string fp = q.Fingerprint();
   if (has_plan_ && fp == plan_fp_) {
     ++stats_.plan_cache_hits;
@@ -77,7 +78,9 @@ const std::vector<Matcher::PlanStep>& Matcher::PlanFor(const PatternQuery& q) {
       return *plan_cache_;
     }
   }
-  auto built = std::make_shared<std::vector<PlanStep>>(BuildPlan(q));
+  auto built = std::make_shared<MatchPlan>();
+  built->steps = BuildPlan(q);
+  built->filters = match::QueryFilterPlans::Compile(q);
   if (shared_plans_ != nullptr) shared_plans_->Publish(fp, built);
   plan_cache_ = std::move(built);
   plan_fp_ = std::move(fp);
@@ -86,17 +89,17 @@ const std::vector<Matcher::PlanStep>& Matcher::PlanFor(const PatternQuery& q) {
   return *plan_cache_;
 }
 
-bool Matcher::Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,
-                     size_t depth, std::vector<NodeId>& assign,
+bool Matcher::Extend(const PatternQuery& q, const MatchPlan& plan, size_t depth,
+                     std::vector<NodeId>& assign,
                      std::vector<bool>& /*used*/, size_t limit, size_t& emitted,
                      const std::vector<const std::vector<NodeId>*>* allowed,
                      const std::function<bool(const std::vector<NodeId>&)>& cb) {
-  if (depth == plan.size()) {
+  if (depth == plan.steps.size()) {
     ++emitted;
     const bool keep_going = cb(assign);
     return keep_going && emitted < limit;
   }
-  const PlanStep& step = plan[depth];
+  const PlanStep& step = plan.steps[depth];
   const NodeId anchor_match = assign[step.anchor];
 
   // Candidates of step.node inside the bounded ball around the anchor match.
@@ -112,7 +115,7 @@ bool Matcher::Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,
 
   for (NodeId v : ball) {
     ++stats_.node_expansions;
-    if (!IsCandidate(g_, q, step.node, v)) continue;
+    if (!Admits(q, plan, step.node, v)) continue;
     if (allowed != nullptr && (*allowed)[step.node] != nullptr) {
       const auto& ok = *(*allowed)[step.node];
       if (!std::binary_search(ok.begin(), ok.end(), v)) continue;
@@ -157,13 +160,19 @@ void Matcher::Valuations(
     const PatternQuery& q, NodeId focus_match, size_t limit,
     const std::function<bool(const std::vector<NodeId>&)>& cb) {
   ++stats_.focus_verifications;
-  if (!IsCandidate(g_, q, q.focus(), focus_match)) return;
-  const auto& plan = PlanFor(q);
+  const MatchPlan* plan = nullptr;
+  if (use_pipeline_) {
+    plan = &PlanFor(q);
+    if (!plan->filters.at(q.focus()).Admits(g_.view(), focus_match)) return;
+  } else {
+    if (!IsCandidate(g_, q, q.focus(), focus_match)) return;
+    plan = &PlanFor(q);
+  }
   std::vector<NodeId> assign(q.num_nodes(), kInvalidNode);
   assign[q.focus()] = focus_match;
   std::vector<bool> unused;
   size_t emitted = 0;
-  Extend(q, plan, 0, assign, unused, limit, emitted, nullptr, cb);
+  Extend(q, *plan, 0, assign, unused, limit, emitted, nullptr, cb);
 }
 
 bool Matcher::IsMatch(const PatternQuery& q, NodeId v) {
@@ -178,13 +187,22 @@ bool Matcher::IsMatch(const PatternQuery& q, NodeId v) {
 bool Matcher::IsMatchRestricted(
     const PatternQuery& q, NodeId v,
     const std::vector<const std::vector<NodeId>*>& allowed) {
+  return IsMatchRestricted(q, PlanFor(q), v, allowed);
+}
+
+bool Matcher::IsMatchRestricted(
+    const PatternQuery& q, const MatchPlan& plan, NodeId v,
+    const std::vector<const std::vector<NodeId>*>& allowed) {
   ++stats_.focus_verifications;
-  if (!IsCandidate(g_, q, q.focus(), v)) return false;
+  if (use_pipeline_) {
+    if (!plan.filters.at(q.focus()).Admits(g_.view(), v)) return false;
+  } else {
+    if (!IsCandidate(g_, q, q.focus(), v)) return false;
+  }
   if (allowed[q.focus()] != nullptr) {
     const auto& ok = *allowed[q.focus()];
     if (!std::binary_search(ok.begin(), ok.end(), v)) return false;
   }
-  const auto& plan = PlanFor(q);
   std::vector<NodeId> assign(q.num_nodes(), kInvalidNode);
   assign[q.focus()] = v;
   std::vector<bool> unused;
@@ -198,9 +216,28 @@ bool Matcher::IsMatchRestricted(
   return found;
 }
 
+std::vector<NodeId> Matcher::FocusCandidates(const PatternQuery& q) {
+  if (!use_pipeline_) {
+    // Legacy interpreted scan; fed through the same funnel counters so the
+    // ablation compares time, not accounting.
+    const QueryNode& qn = q.node(q.focus());
+    stats_.candidates_seeded += qn.label == kWildcardSymbol
+                                    ? g_.num_nodes()
+                                    : g_.NodesWithLabel(qn.label).size();
+    std::vector<NodeId> out = ComputeCandidates(g_, q, q.focus());
+    stats_.candidates_filtered += out.size();
+    return out;
+  }
+  const MatchPlan& plan = PlanFor(q);
+  std::vector<NodeId> out = match::ComputeCandidatesCompiled(
+      g_, plan.filters.at(q.focus()), &stats_.candidates_seeded);
+  stats_.candidates_filtered += out.size();
+  return out;
+}
+
 std::vector<NodeId> Matcher::Answer(const PatternQuery& q, size_t num_threads) {
   WQE_SPAN("match.answer");
-  const std::vector<NodeId> candidates = ComputeCandidates(g_, q, q.focus());
+  const std::vector<NodeId> candidates = FocusCandidates(q);
   std::vector<NodeId> out;
   const size_t threads = ResolveThreads(num_threads);
   if (threads <= 1 || candidates.size() <= 1) {
@@ -215,7 +252,9 @@ std::vector<NodeId> Matcher::Answer(const PatternQuery& q, size_t num_threads) {
   // distance index. Verdicts land in index-addressed slots and are folded in
   // candidate order, so the answer is byte-identical to the serial loop.
   PerThread<Matcher> workers(threads, [this] {
-    return std::unique_ptr<Matcher>(new Matcher(g_, dist_));
+    auto m = std::unique_ptr<Matcher>(new Matcher(g_, dist_));
+    m->set_use_pipeline(use_pipeline_);
+    return m;
   });
   std::vector<uint8_t> is_match(candidates.size(), 0);
   ParallelFor(threads, 0, candidates.size(), /*grain=*/8,

@@ -12,6 +12,7 @@
 #include "graph/distance_index.h"
 #include "graph/graph.h"
 #include "match/candidates.h"
+#include "match/filter_plan.h"
 #include "query/query.h"
 
 namespace wqe {
@@ -20,8 +21,10 @@ namespace wqe {
 struct MatchStats {
   uint64_t focus_verifications = 0;  // focus candidates tested
   uint64_t node_expansions = 0;      // backtracking states visited
-  uint64_t plan_builds = 0;          // BFS assignment plans constructed
+  uint64_t plan_builds = 0;          // match plans compiled
   uint64_t plan_cache_hits = 0;      // plans reused via the fingerprint memo
+  uint64_t candidates_seeded = 0;    // label-bucket seeds into the pipeline
+  uint64_t candidates_filtered = 0;  // survivors of the predicate stage
 
   /// Folds another thread's counters into this one (ordered reductions after
   /// parallel verification; all counters are commutative sums).
@@ -30,6 +33,8 @@ struct MatchStats {
     node_expansions += other.node_expansions;
     plan_builds += other.plan_builds;
     plan_cache_hits += other.plan_cache_hits;
+    candidates_seeded += other.candidates_seeded;
+    candidates_filtered += other.candidates_filtered;
   }
 };
 
@@ -42,6 +47,14 @@ struct MatchStats {
 /// new node draws its candidates from the bounded ball around an
 /// already-assigned pattern neighbor, then checks every other assigned
 /// neighbor through the distance index.
+///
+/// Candidate filtering runs one of two ways, byte-identical in output:
+///  - pipeline on (the default): every per-node probe goes through the
+///    query's compiled FilterPlans (label stage + one merged tuple walk),
+///    and focus candidates are produced stage-by-stage (label-bucket seed →
+///    batch predicate filter) over a selection vector;
+///  - pipeline off: the legacy interpreted IsCandidate / ComputeCandidates
+///    path (the abl_match_pipeline control arm).
 class Matcher {
  public:
   class SharedPlans;
@@ -54,6 +67,11 @@ class Matcher {
   /// re-planned by another. The pointee must outlive this matcher.
   void set_shared_plans(SharedPlans* plans) { shared_plans_ = plans; }
 
+  /// Toggles the compiled staged pipeline (on by default; off = the legacy
+  /// per-node interpreted path). Answers are identical either way.
+  void set_use_pipeline(bool on) { use_pipeline_ = on; }
+  bool use_pipeline() const { return use_pipeline_; }
+
   /// The answer Q(G): all matches of the focus u_o. With num_threads > 1
   /// (0 = hardware concurrency) the focus candidates are sharded over worker
   /// matchers — each with its own BFS scratch over the shared frozen graph
@@ -61,26 +79,14 @@ class Matcher {
   /// byte-identical to the serial path.
   std::vector<NodeId> Answer(const PatternQuery& q, size_t num_threads = 1);
 
+  /// The focus candidate set V_{u_o}, sorted ascending: label-bucket seed +
+  /// compiled predicate stage when the pipeline is on, the interpreted
+  /// ComputeCandidates scan otherwise. Bumps candidates_seeded/_filtered.
+  std::vector<NodeId> FocusCandidates(const PatternQuery& q);
+
   /// Whether some valuation maps the focus to `v`.
   bool IsMatch(const PatternQuery& q, NodeId v);
 
-  /// Like IsMatch, but restricts every query node u to `allowed[u]` when
-  /// that set is non-null — the hook star-view pruning uses.
-  bool IsMatchRestricted(
-      const PatternQuery& q, NodeId v,
-      const std::vector<const std::vector<NodeId>*>& allowed);
-
-  /// Enumerates complete valuations with h(focus) = focus_match, invoking
-  /// `cb` with the assignment (indexed by QNodeId; kInvalidNode on inactive
-  /// nodes). Stops when cb returns false or `limit` valuations were emitted.
-  void Valuations(const PatternQuery& q, NodeId focus_match, size_t limit,
-                  const std::function<bool(const std::vector<NodeId>&)>& cb);
-
-  MatchStats& stats() { return stats_; }
-  const Graph& graph() const { return g_; }
-  DistanceIndex& dist() { return *dist_; }
-
- private:
   struct PlanStep {
     QNodeId node = kNoQNode;    // query node to assign
     QNodeId anchor = kNoQNode;  // already-assigned neighbor to expand from
@@ -95,18 +101,62 @@ class Matcher {
     std::vector<Check> checks;
   };
 
-  /// Builds the BFS assignment plan for the active pattern. Returns false if
-  /// the focus is inactive (cannot happen: focus defines activity).
-  std::vector<PlanStep> BuildPlan(const PatternQuery& q) const;
+  /// One compiled match plan: the BFS assignment order plus the per-node
+  /// filter plans, built together once per query fingerprint and shared
+  /// immutably through SharedPlans.
+  struct MatchPlan {
+    std::vector<PlanStep> steps;
+    match::QueryFilterPlans filters;
+  };
 
   /// The plan for `q`, memoized by query fingerprint: Answer / star-view
   /// verification run one IsMatch per focus candidate against the *same*
   /// rewrite, so consecutive calls reuse one plan instead of rebuilding it.
-  const std::vector<PlanStep>& PlanFor(const PatternQuery& q);
+  /// Batch verifiers should hoist this call out of their candidate loop and
+  /// use the plan-taking IsMatchRestricted overload: the memo probe hashes
+  /// the query fingerprint, which is noise when repeated per candidate. The
+  /// reference stays valid until the next PlanFor call on this matcher.
+  const MatchPlan& PlanFor(const PatternQuery& q);
 
-  bool Extend(const PatternQuery& q, const std::vector<PlanStep>& plan,
-              size_t depth, std::vector<NodeId>& assign,
-              std::vector<bool>& used_query_nodes, size_t limit, size_t& emitted,
+  /// Like IsMatch, but restricts every query node u to `allowed[u]` when
+  /// that set is non-null — the hook star-view pruning uses.
+  bool IsMatchRestricted(
+      const PatternQuery& q, NodeId v,
+      const std::vector<const std::vector<NodeId>*>& allowed);
+
+  /// Same, against a plan the caller already holds (hoisted via PlanFor):
+  /// the per-candidate cost is the probe itself, no memo traffic. `plan`
+  /// must have been compiled for `q`.
+  bool IsMatchRestricted(
+      const PatternQuery& q, const MatchPlan& plan, NodeId v,
+      const std::vector<const std::vector<NodeId>*>& allowed);
+
+  /// Enumerates complete valuations with h(focus) = focus_match, invoking
+  /// `cb` with the assignment (indexed by QNodeId; kInvalidNode on inactive
+  /// nodes). Stops when cb returns false or `limit` valuations were emitted.
+  void Valuations(const PatternQuery& q, NodeId focus_match, size_t limit,
+                  const std::function<bool(const std::vector<NodeId>&)>& cb);
+
+  MatchStats& stats() { return stats_; }
+  const Graph& graph() const { return g_; }
+  DistanceIndex& dist() { return *dist_; }
+
+ private:
+  /// Builds the BFS assignment plan for the active pattern. Returns false if
+  /// the focus is inactive (cannot happen: focus defines activity).
+  std::vector<PlanStep> BuildPlan(const PatternQuery& q) const;
+
+  /// Per-node candidate probe during the backtracking search: the compiled
+  /// filter when the pipeline is on, interpreted IsCandidate otherwise.
+  bool Admits(const PatternQuery& q, const MatchPlan& plan, QNodeId u,
+              NodeId v) const {
+    return use_pipeline_ ? plan.filters.at(u).Admits(g_.view(), v)
+                         : IsCandidate(g_, q, u, v);
+  }
+
+  bool Extend(const PatternQuery& q, const MatchPlan& plan, size_t depth,
+              std::vector<NodeId>& assign, std::vector<bool>& used_query_nodes,
+              size_t limit, size_t& emitted,
               const std::vector<const std::vector<NodeId>*>* allowed,
               const std::function<bool(const std::vector<NodeId>&)>& cb);
 
@@ -115,21 +165,23 @@ class Matcher {
   BoundedBfs bfs_;
   MatchStats stats_;
   SharedPlans* shared_plans_ = nullptr;
+  bool use_pipeline_ = true;
 
   // Single-entry plan memo keyed by query fingerprint. Holds a shared_ptr so
   // a plan pulled from (or published to) the cross-matcher memo stays alive
   // here even if the memo later drops it.
   bool has_plan_ = false;
   std::string plan_fp_;
-  std::shared_ptr<const std::vector<PlanStep>> plan_cache_;
+  std::shared_ptr<const MatchPlan> plan_cache_;
 };
 
-/// Cross-matcher assignment-plan memo keyed by query fingerprint. Plans are
-/// pure functions of the (rewritten) pattern, so every matcher touching the
-/// same shape — across requests, threads, and worker shards — can reuse one
-/// immutable plan instead of rebuilding it. All methods are thread-safe;
-/// published plans are immutable and handed out by shared_ptr, so readers
-/// never observe a partially built plan.
+/// Cross-matcher match-plan memo keyed by query fingerprint. Plans — the
+/// assignment order plus the compiled per-node filters — are pure functions
+/// of the (rewritten) pattern, so every matcher touching the same shape —
+/// across requests, threads, and worker shards — can reuse one immutable
+/// plan instead of recompiling it. All methods are thread-safe; published
+/// plans are immutable and handed out by shared_ptr, so readers never
+/// observe a partially built plan.
 class Matcher::SharedPlans {
  public:
   /// `max_plans` bounds memory: once full, new shapes are still planned and
@@ -156,7 +208,7 @@ class Matcher::SharedPlans {
  private:
   friend class Matcher;
 
-  std::shared_ptr<const std::vector<PlanStep>> Lookup(const std::string& fp) {
+  std::shared_ptr<const MatchPlan> Lookup(const std::string& fp) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = plans_.find(fp);
     if (it == plans_.end()) return nullptr;
@@ -164,8 +216,7 @@ class Matcher::SharedPlans {
     return it->second;
   }
 
-  void Publish(const std::string& fp,
-               std::shared_ptr<const std::vector<PlanStep>> plan) {
+  void Publish(const std::string& fp, std::shared_ptr<const MatchPlan> plan) {
     std::lock_guard<std::mutex> lock(mu_);
     if (plans_.size() >= max_plans_ && plans_.find(fp) == plans_.end()) return;
     auto [it, inserted] = plans_.emplace(fp, std::move(plan));
@@ -177,9 +228,7 @@ class Matcher::SharedPlans {
   size_t max_plans_;
   uint64_t hits_ = 0;
   uint64_t publishes_ = 0;
-  std::unordered_map<std::string,
-                     std::shared_ptr<const std::vector<PlanStep>>>
-      plans_;
+  std::unordered_map<std::string, std::shared_ptr<const MatchPlan>> plans_;
 };
 
 }  // namespace wqe

@@ -3,29 +3,18 @@
 #include <algorithm>
 #include <sstream>
 
+#include "match/filter_plan.h"
+
 namespace wqe {
 
 namespace {
 
+// Node signatures ARE the match layer's plan fingerprints: one canonical
+// per-node-filter identity shared by star signatures (hence ViewCache keys
+// and persisted star-view snapshots) and the compiled FilterPlan memo, so a
+// view-cache hit and a plan-memo hit answer the same "same filter?" question.
 void AppendNodeSignature(const PatternQuery& q, QNodeId u, std::ostringstream& out) {
-  const QueryNode& n = q.node(u);
-  out << 'L' << n.label << '(';
-  std::vector<std::string> lits;
-  for (const Literal& l : n.literals) {
-    std::string key = std::to_string(l.attr) + "#" +
-                      std::to_string(static_cast<int>(l.op)) + "#";
-    if (l.constant.is_null()) {
-      key += "_";
-    } else if (l.constant.is_num()) {
-      key += std::to_string(l.constant.num());
-    } else {
-      key += "s" + std::to_string(l.constant.str());
-    }
-    lits.push_back(std::move(key));
-  }
-  std::sort(lits.begin(), lits.end());
-  for (const auto& l : lits) out << l << ',';
-  out << ')';
+  out << match::FilterPlan::NodeFingerprint(q.node(u));
 }
 
 }  // namespace

@@ -17,16 +17,17 @@ void IntersectInto(std::optional<std::vector<NodeId>>& into,
     into = other;
     return;
   }
-  std::vector<NodeId> merged;
-  std::set_intersection(into->begin(), into->end(), other.begin(), other.end(),
-                        std::back_inserter(merged));
-  *into = std::move(merged);
+  *into = match::CandidateSet::Intersection(*into, other);
 }
 
 }  // namespace
 
 StarMatcher::StarMatcher(const Graph& g, DistanceIndex* dist, ViewCache* cache)
-    : g_(g), matcher_(g, dist), materializer_(g), cache_(cache) {}
+    : g_(g), matcher_(g, dist), materializer_(g), cache_(cache) {
+  // Table builds seed and filter center candidates; fold their funnel
+  // accounting into the matcher's stats so one snapshot covers both paths.
+  materializer_.set_stats(&matcher_.stats());
+}
 
 void StarMatcher::set_num_threads(size_t n) {
   num_threads_ = n;
@@ -39,6 +40,13 @@ void StarMatcher::set_shared_plans(Matcher::SharedPlans* plans) {
   for (auto& worker : workers_) worker->set_shared_plans(plans);
 }
 
+void StarMatcher::set_use_pipeline(bool on) {
+  use_pipeline_ = on;
+  matcher_.set_use_pipeline(on);
+  materializer_.set_use_pipeline(on);
+  for (auto& worker : workers_) worker->set_use_pipeline(on);
+}
+
 void StarMatcher::set_deadline(const Deadline* d) {
   deadline_ = d;
   materializer_.set_deadline(d);
@@ -47,11 +55,44 @@ void StarMatcher::set_deadline(const Deadline* d) {
 void StarMatcher::set_observability(obs::Observability* o) {
   if (o == nullptr) {
     c_tables_built_ = c_candidates_ = c_verified_ = nullptr;
+    c_plan_compiles_ = c_plan_hits_ = nullptr;
+    c_stage_seeded_ = c_stage_filtered_ = c_stage_verified_ = nullptr;
     return;
   }
   c_tables_built_ = &o->metrics.counter("match.tables_built");
   c_candidates_ = &o->metrics.counter("match.focus_candidates");
   c_verified_ = &o->metrics.counter("match.focus_verified");
+  c_plan_compiles_ = &o->metrics.counter("match.plan.compiles");
+  c_plan_hits_ = &o->metrics.counter("match.plan.hits");
+  c_stage_seeded_ = &o->metrics.counter("match.stage.seeded");
+  c_stage_filtered_ = &o->metrics.counter("match.stage.filtered");
+  c_stage_verified_ = &o->metrics.counter("match.stage.verified");
+  // Registry deltas start from the matcher's current totals so re-attaching
+  // a scope never replays activity observed by a previous one.
+  plan_builds_seen_ = matcher_.stats().plan_builds;
+  plan_hits_seen_ = matcher_.stats().plan_cache_hits;
+  stage_seeded_seen_ = matcher_.stats().candidates_seeded;
+  stage_filtered_seen_ = matcher_.stats().candidates_filtered;
+}
+
+void StarMatcher::FlushPlanCounters() {
+  if (c_plan_compiles_ == nullptr) return;
+  const MatchStats& s = matcher_.stats();
+  c_plan_compiles_->Inc(s.plan_builds - plan_builds_seen_);
+  c_plan_hits_->Inc(s.plan_cache_hits - plan_hits_seen_);
+  c_stage_seeded_->Inc(s.candidates_seeded - stage_seeded_seen_);
+  c_stage_filtered_->Inc(s.candidates_filtered - stage_filtered_seen_);
+  plan_builds_seen_ = s.plan_builds;
+  plan_hits_seen_ = s.plan_cache_hits;
+  stage_seeded_seen_ = s.candidates_seeded;
+  stage_filtered_seen_ = s.candidates_filtered;
+}
+
+match::CandidateSet StarMatcher::FocusCandidates(const PatternQuery& q) {
+  match::CandidateSet set =
+      match::CandidateSet::FromSorted(matcher_.FocusCandidates(q));
+  FlushPlanCounters();
+  return set;
 }
 
 std::shared_ptr<const StarEvalState> StarMatcher::ResolveTables(
@@ -62,6 +103,11 @@ std::shared_ptr<const StarEvalState> StarMatcher::ResolveTables(
   state->stars = DecomposeStars(q);
   state->signatures.reserve(state->stars.size());
   state->tables.reserve(state->stars.size());
+  // Resolved lazily on the first table build: the rewrite's compiled filters
+  // from the plan memo, shared by every star materialized this evaluation.
+  // The reference stays valid for the whole loop — q is fixed here, so later
+  // PlanFor(q) calls are hits against the same memo entry.
+  const match::QueryFilterPlans* plans = nullptr;
   for (const StarQuery& star : state->stars) {
     // Between stars; the materializer checks inside its row loop too.
     if (deadline_ != nullptr) deadline_->ThrowIfExpired();
@@ -90,7 +136,10 @@ std::shared_ptr<const StarEvalState> StarMatcher::ResolveTables(
       }
     }
     if (table == nullptr && materialize_missing) {
-      table = materializer_.Materialize(q, star);
+      if (use_pipeline_ && plans == nullptr) {
+        plans = &matcher_.PlanFor(q).filters;
+      }
+      table = materializer_.Materialize(q, star, plans);
       ++stats_.tables_built;
       if (c_tables_built_ != nullptr) c_tables_built_->Inc();
       if (cache_ != nullptr) cache_->Put(signature, table);
@@ -140,6 +189,10 @@ std::vector<NodeId> StarMatcher::VerifyCandidates(
   }
 
   std::vector<NodeId> matches;
+  // One plan resolution for the whole batch: every candidate below probes
+  // the same rewrite, so the per-candidate cost is the match check itself,
+  // not a repeated fingerprint hash into the plan memo.
+  const Matcher::MatchPlan& plan = matcher_.PlanFor(q);
   // Each verification is a full (bounded) match check, so an armed deadline
   // is consulted every kDeadlineCheckStride candidates — the overshoot is a
   // stride of match checks, not the whole candidate list. Matches found
@@ -150,7 +203,7 @@ std::vector<NodeId> StarMatcher::VerifyCandidates(
     for (size_t i = 0; i < candidates.size(); ++i) {
       MaybeThrowIfExpired(deadline_, i);
       ++stats_.focus_verified;
-      if (matcher_.IsMatchRestricted(q, candidates[i], allowed)) {
+      if (matcher_.IsMatchRestricted(q, plan, candidates[i], allowed)) {
         matches.push_back(candidates[i]);
       }
     }
@@ -163,15 +216,17 @@ std::vector<NodeId> StarMatcher::VerifyCandidates(
     while (workers_.size() + 1 < threads) {
       workers_.push_back(std::make_unique<Matcher>(g_, &matcher_.dist()));
       workers_.back()->set_shared_plans(shared_plans_);
+      workers_.back()->set_use_pipeline(use_pipeline_);
     }
     std::vector<uint8_t> is_match(candidates.size(), 0);
     ParallelFor(threads, 0, candidates.size(), /*grain=*/4,
                 [&](size_t i, size_t slot) {
                   MaybeThrowIfExpired(deadline_, i);
                   Matcher& m = slot == 0 ? matcher_ : *workers_[slot - 1];
-                  is_match[i] = m.IsMatchRestricted(q, candidates[i], allowed)
-                                    ? 1
-                                    : 0;
+                  is_match[i] =
+                      m.IsMatchRestricted(q, plan, candidates[i], allowed)
+                          ? 1
+                          : 0;
                 });
     stats_.focus_verified += candidates.size();
     for (auto& worker : workers_) {
@@ -184,6 +239,8 @@ std::vector<NodeId> StarMatcher::VerifyCandidates(
   }
   if (c_verified_ != nullptr) c_verified_->Inc(candidates.size());
   std::sort(matches.begin(), matches.end());
+  if (c_stage_verified_ != nullptr) c_stage_verified_->Inc(matches.size());
+  FlushPlanCounters();
   return matches;
 }
 
@@ -197,9 +254,10 @@ StarMatcher::Evaluation StarMatcher::Evaluate(
 
   std::vector<NodeId> candidates;
   if (allowed_sets[q.focus()].has_value()) {
+    // Star pruning already produced the selection vector; no bucket seed.
     candidates = *allowed_sets[q.focus()];
   } else {
-    candidates = ComputeCandidates(g_, q, q.focus());
+    candidates = FocusCandidates(q).Take();
   }
   stats_.focus_candidates += candidates.size();
   if (c_candidates_ != nullptr) c_candidates_->Inc(candidates.size());

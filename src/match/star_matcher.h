@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "match/candidate_set.h"
 #include "match/matcher.h"
 #include "match/star.h"
 #include "match/star_table.h"
@@ -63,13 +64,19 @@ class StarMatcher {
   /// in candidate order, so Evaluate is byte-identical for every setting.
   void set_num_threads(size_t n);
 
-  /// Mirrors table-build / verification counters into `o`'s registry
-  /// (resolved once here, bumped lock-free per Evaluate). Null detaches.
+  /// Mirrors table-build / verification / pipeline-stage counters into `o`'s
+  /// registry (resolved once here, bumped lock-free per Evaluate). Null
+  /// detaches.
   void set_observability(obs::Observability* o);
 
   /// Attaches the cross-request plan memo to the primary matcher and every
   /// worker, current and future (workers are created lazily). Null detaches.
   void set_shared_plans(Matcher::SharedPlans* plans);
+
+  /// Toggles the compiled staged match pipeline on the primary matcher, the
+  /// verification workers, and the star materializer (on by default; off =
+  /// the interpreted control arm). Answers are byte-identical either way.
+  void set_use_pipeline(bool on);
 
   /// Arms a wall-clock deadline for Evaluate: table materialization and
   /// candidate verification check it every kDeadlineCheckStride items and
@@ -88,6 +95,13 @@ class StarMatcher {
   /// descending — pass cl(v, ℰ) to verify exemplar-close candidates first.
   Evaluation Evaluate(const PatternQuery& q,
                       const std::function<double(NodeId)>* priority = nullptr);
+
+  /// The focus candidate set V_{u_o} as a pipeline selection vector:
+  /// label-bucket seed + compiled predicate stage (or the interpreted scan
+  /// when the pipeline is off). Bumps the match.stage.seeded/filtered
+  /// funnel; the delta evaluation path's relax step consumes this instead of
+  /// reaching into the candidate scan itself.
+  match::CandidateSet FocusCandidates(const PatternQuery& q);
 
   /// Decomposes `q` and resolves one table per star. Resolution order per
   /// star: (1) a table in `reuse` under the same signature — free, counted as
@@ -121,12 +135,19 @@ class StarMatcher {
   Matcher& matcher() { return matcher_; }
 
  private:
+  /// Mirrors the primary matcher's pipeline deltas since the last flush into
+  /// the registry: plan-memo traffic (match.plan.*) and the candidate-funnel
+  /// stage counts (match.stage.seeded/.filtered — table builds and focus
+  /// scans both accumulate into the matcher's stats).
+  void FlushPlanCounters();
+
   const Graph& g_;
   Matcher matcher_;
   StarMaterializer materializer_;
   ViewCache* cache_;
   StarEvalStats stats_;
   size_t num_threads_ = 1;
+  bool use_pipeline_ = true;
   const Deadline* deadline_ = nullptr;
   Matcher::SharedPlans* shared_plans_ = nullptr;
   /// Worker matchers for parallel verification, one per slot >= 1 (slot 0
@@ -136,6 +157,16 @@ class StarMatcher {
   obs::Counter* c_tables_built_ = nullptr;
   obs::Counter* c_candidates_ = nullptr;
   obs::Counter* c_verified_ = nullptr;
+  obs::Counter* c_plan_compiles_ = nullptr;
+  obs::Counter* c_plan_hits_ = nullptr;
+  obs::Counter* c_stage_seeded_ = nullptr;
+  obs::Counter* c_stage_filtered_ = nullptr;
+  obs::Counter* c_stage_verified_ = nullptr;
+  // Stats snapshots behind the registry deltas (counters are monotone).
+  uint64_t plan_builds_seen_ = 0;
+  uint64_t plan_hits_seen_ = 0;
+  uint64_t stage_seeded_seen_ = 0;
+  uint64_t stage_filtered_seen_ = 0;
 };
 
 }  // namespace wqe

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "match/candidates.h"
+#include "match/matcher.h"
 
 namespace wqe {
 
@@ -14,17 +15,27 @@ const StarRow* StarTable::RowOfCenter(NodeId v) const {
 }
 
 bool StarMaterializer::BuildRow(const PatternQuery& q, const StarQuery& star,
-                                NodeId c, BoundedBfs& bfs, StarRow& row) const {
+                                NodeId c, BoundedBfs& bfs,
+                                const match::QueryFilterPlans* plans,
+                                StarRow& row) const {
   row.center = c;
   row.spoke_matches.resize(star.spokes.size());
   bool viable = true;
+
+  // Per-node candidate probe: the compiled filter when the pipeline is on
+  // (one merged tuple walk per visited node, no literal re-interpretation),
+  // the interpreted path otherwise. Same conjunction, same rows.
+  auto admits = [&](QNodeId u, NodeId w) {
+    return plans != nullptr ? plans->at(u).Admits(g_.view(), w)
+                            : IsCandidate(g_, q, u, w);
+  };
 
   for (size_t s = 0; s < star.spokes.size() && viable; ++s) {
     const StarSpoke& spoke = star.spokes[s];
     auto& cell = row.spoke_matches[s];
     auto collect = [&](NodeId w, uint32_t d) {
       if (w == c) return;
-      if (IsCandidate(g_, q, spoke.other, w)) cell.push_back({w, d});
+      if (admits(spoke.other, w)) cell.push_back({w, d});
     };
     if (spoke.outgoing) {
       bfs.Forward(c, spoke.bound, collect);
@@ -37,7 +48,7 @@ bool StarMaterializer::BuildRow(const PatternQuery& q, const StarQuery& star,
 
   if (!star.contains_focus && star.aug_bound > 0) {
     auto collect = [&](NodeId w, uint32_t d) {
-      if (IsCandidate(g_, q, q.focus(), w)) row.focus_matches.push_back({w, d});
+      if (admits(q.focus(), w)) row.focus_matches.push_back({w, d});
     };
     bfs.Undirected(c, star.aug_bound, collect);
     if (row.focus_matches.empty()) return false;
@@ -46,10 +57,36 @@ bool StarMaterializer::BuildRow(const PatternQuery& q, const StarQuery& star,
 }
 
 std::shared_ptr<const StarTable> StarMaterializer::Materialize(
-    const PatternQuery& q, const StarQuery& star) {
+    const PatternQuery& q, const StarQuery& star,
+    const match::QueryFilterPlans* plans) {
   auto table = std::make_shared<StarTable>(star, q.focus());
 
-  std::vector<NodeId> centers = ComputeCandidates(g_, q, star.center);
+  // Every row probe below shares one compiled filter set: the caller's
+  // memoized plans when provided, a local compilation otherwise (one per
+  // table build, amortized across all rows).
+  match::QueryFilterPlans local_plans;
+  const match::QueryFilterPlans* plans_ptr = nullptr;
+  std::vector<NodeId> centers;
+  uint64_t seeded = 0;
+  if (use_pipeline_) {
+    if (plans == nullptr) {
+      local_plans = match::QueryFilterPlans::Compile(q);
+      plans = &local_plans;
+    }
+    plans_ptr = plans;
+    centers =
+        match::ComputeCandidatesCompiled(g_, plans->at(star.center), &seeded);
+  } else {
+    const QueryNode& center = q.node(star.center);
+    seeded = center.label == kWildcardSymbol
+                 ? g_.num_nodes()
+                 : g_.NodesWithLabel(center.label).size();
+    centers = ComputeCandidates(g_, q, star.center);
+  }
+  if (stats_ != nullptr) {
+    stats_->candidates_seeded += seeded;
+    stats_->candidates_filtered += centers.size();
+  }
 
   // Rows are built per center candidate — the embarrassingly parallel part —
   // into index-addressed slots, then assembled serially in center order so
@@ -66,7 +103,8 @@ std::shared_ptr<const StarTable> StarMaterializer::Materialize(
   if (threads <= 1 || centers.size() <= 1) {
     for (size_t i = 0; i < centers.size(); ++i) {
       MaybeThrowIfExpired(deadline_, i);
-      viable[i] = BuildRow(q, star, centers[i], bfs_, built[i]) ? 1 : 0;
+      viable[i] =
+          BuildRow(q, star, centers[i], bfs_, plans_ptr, built[i]) ? 1 : 0;
     }
   } else {
     PerThread<BoundedBfs> scratch(threads, [this] {
@@ -76,7 +114,10 @@ std::shared_ptr<const StarTable> StarMaterializer::Materialize(
                 [&](size_t i, size_t slot) {
                   MaybeThrowIfExpired(deadline_, i);
                   BoundedBfs& bfs = slot == 0 ? bfs_ : scratch.at(slot);
-                  viable[i] = BuildRow(q, star, centers[i], bfs, built[i]) ? 1 : 0;
+                  viable[i] =
+                      BuildRow(q, star, centers[i], bfs, plans_ptr, built[i])
+                          ? 1
+                          : 0;
                 });
   }
 
@@ -130,6 +171,7 @@ std::shared_ptr<const StarTable> StarMaterializer::Materialize(
   focus_seen.erase(std::unique(focus_seen.begin(), focus_seen.end()),
                    focus_seen.end());
   table->focus_occ_ = std::move(focus_seen);
+  table->RebuildFocusBits();
 
   return table;
 }

@@ -8,9 +8,13 @@
 
 #include "common/timer.h"
 #include "graph/bfs.h"
+#include "match/candidate_set.h"
+#include "match/filter_plan.h"
 #include "match/star.h"
 
 namespace wqe {
+
+struct MatchStats;
 
 namespace store {
 class Serde;
@@ -51,9 +55,12 @@ class StarTable {
 
   /// Whether `v` occurs in the focus position of any row — the delta
   /// evaluation path's per-candidate probe (chase/delta_eval): a refine-only
-  /// re-verification filters the (small) parent match set against each
-  /// surviving star without building full occurrence intersections.
+  /// re-verification intersects the (small) parent match set with each
+  /// surviving star's focus bitset, O(1) per probe, without building full
+  /// occurrence intersections. Falls back to binary search when the bitset
+  /// stayed disengaged (sparse occurrences over a huge id range).
   bool ContainsFocusOccurrence(NodeId v) const {
+    if (focus_bits_.engaged()) return focus_bits_.Test(v);
     return std::binary_search(focus_occ_.begin(), focus_occ_.end(), v);
   }
 
@@ -78,6 +85,15 @@ class StarTable {
   friend class StarMaterializer;
   friend class store::Serde;  // binary snapshot encode/decode
 
+  /// (Re)derives the focus bitset from focus_occ_. Called after the
+  /// occurrence sets settle — by the materializer and by snapshot decode, so
+  /// heap-built and store-loaded tables probe identically. The memory cap
+  /// keeps the bitset within a small factor of the occurrence vector.
+  void RebuildFocusBits() {
+    focus_bits_.Assign(focus_occ_,
+                       std::max<size_t>(256, focus_occ_.size()));
+  }
+
   StarQuery star_;
   QNodeId focus_;
   std::vector<StarRow> rows_;
@@ -85,6 +101,7 @@ class StarTable {
   std::vector<NodeId> focus_occ_;
   std::vector<NodeId> center_occ_;
   std::vector<std::vector<NodeId>> spoke_occ_;  // parallel to star_.spokes
+  match::RangeBitset focus_bits_;  // derived from focus_occ_, not serialized
   size_t entry_count_ = 0;
 };
 
@@ -100,6 +117,17 @@ class StarMaterializer {
   /// assembled in center order, so tables are identical for every setting.
   void set_num_threads(size_t n) { num_threads_ = n; }
 
+  /// Toggles the compiled match pipeline for row construction: per-star
+  /// FilterPlans compiled once per Materialize replace the per-node
+  /// interpreted candidate probes. Tables are identical either way.
+  void set_use_pipeline(bool on) { use_pipeline_ = on; }
+
+  /// Sink for the candidate-funnel counters (candidates_seeded/_filtered):
+  /// table builds are where center candidates are actually seeded from label
+  /// buckets and filtered by predicates, so the stage accounting lives here.
+  /// Null (the default) disables it. The pointee must outlive this builder.
+  void set_stats(MatchStats* stats) { stats_ = stats; }
+
   /// Arms a wall-clock deadline checked every kDeadlineCheckStride rows:
   /// Materialize throws DeadlineExceeded instead of finishing the table, so
   /// a huge star cannot blow past time_limit_seconds by a whole build pass.
@@ -109,18 +137,26 @@ class StarMaterializer {
 
   /// Materializes T_i(G) for `star` of query `q`: one row per center match
   /// (center candidates whose every spoke has at least one match and, for
-  /// focus-augmented stars, at least one focus candidate in range).
-  std::shared_ptr<const StarTable> Materialize(const PatternQuery& q,
-                                               const StarQuery& star);
+  /// focus-augmented stars, at least one focus candidate in range). `plans`,
+  /// when non-null, supplies `q`'s already-compiled filters (the matcher's
+  /// plan memo holds them per rewrite); null compiles a local set — only
+  /// relevant with the pipeline on.
+  std::shared_ptr<const StarTable> Materialize(
+      const PatternQuery& q, const StarQuery& star,
+      const match::QueryFilterPlans* plans = nullptr);
 
  private:
-  /// The row for center candidate `c`, or false if not viable.
+  /// The row for center candidate `c`, or false if not viable. `plans` holds
+  /// the query's compiled filters when the pipeline is on, null otherwise.
   bool BuildRow(const PatternQuery& q, const StarQuery& star, NodeId c,
-                BoundedBfs& bfs, StarRow& row) const;
+                BoundedBfs& bfs, const match::QueryFilterPlans* plans,
+                StarRow& row) const;
 
   const Graph& g_;
   BoundedBfs bfs_;
   size_t num_threads_ = 1;
+  bool use_pipeline_ = true;
+  MatchStats* stats_ = nullptr;
   const Deadline* deadline_ = nullptr;
 };
 

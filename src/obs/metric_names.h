@@ -32,6 +32,11 @@ inline constexpr std::string_view kKnownMetricNames[] = {
     "delta_eval.skipped",
     "match.focus_candidates",
     "match.focus_verified",
+    "match.plan.compiles",
+    "match.plan.hits",
+    "match.stage.filtered",
+    "match.stage.seeded",
+    "match.stage.verified",
     "match.tables_built",
     "query_log.drops",
     "serve.admitted",

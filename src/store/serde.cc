@@ -435,6 +435,10 @@ Status Serde::DecodeStarTable(Reader& r, size_t num_nodes,
     }
   }
   if (Status s = r.U64(&table->entry_count_); !s.ok()) return s;
+  // The focus bitset is derived, never serialized: rebuild it so snapshot-
+  // loaded tables answer ContainsFocusOccurrence exactly like heap-built
+  // ones (same wire format as before the bitset existed).
+  table->RebuildFocusBits();
   *out = std::move(table);
   return Status::OK();
 }

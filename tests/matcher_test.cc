@@ -2,7 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <sstream>
+
+#include "chase/eval.h"
+#include "chase/multi_focus.h"
+#include "chase/solve.h"
+#include "chase/why_not.h"
+#include "gen/datasets.h"
 #include "gen/product_demo.h"
+#include "gen/synthetic.h"
+#include "store/artifact_store.h"
+#include "store/serde.h"
+#include "workload/suite.h"
 
 namespace wqe {
 namespace {
@@ -143,6 +155,172 @@ TEST_F(MatcherFixture, StatsAccumulate) {
   matcher_.Answer(demo_.Query());
   EXPECT_GT(matcher_.stats().focus_verifications, 0u);
   EXPECT_GT(matcher_.stats().node_expansions, 0u);
+}
+
+// --- Match pipeline parity (DESIGN.md "Match pipeline"): the compiled
+// --- filter-plan pipeline must be an invisible substitution — byte-identical
+// --- answers with the pipeline on or off, at any thread count, and whether
+// --- the graph is heap-built or mmap-attached from a store v2 bundle.
+
+TEST_F(MatcherFixture, PipelineTogglePreservesAnswers) {
+  const Graph& g = demo_.graph();
+  PatternQuery wildcard;
+  QNodeId any = wildcard.AddNode(kWildcardSymbol);
+  wildcard.SetFocus(any);
+  wildcard.AddLiteral(
+      any, {g.schema().LookupAttr("discount"), CmpOp::kGe, Value::Num(20)});
+  for (const PatternQuery& q : {demo_.Query(), wildcard}) {
+    matcher_.set_use_pipeline(false);
+    const auto interpreted = matcher_.Answer(q);
+    matcher_.set_use_pipeline(true);
+    const auto compiled = matcher_.Answer(q);
+    EXPECT_EQ(interpreted, compiled);
+  }
+}
+
+ChaseOptions ParityOptions(bool use_pipeline, size_t num_threads) {
+  ChaseOptions o;
+  o.budget = 3;
+  o.max_steps = 2000;
+  o.top_k = 2;
+  o.num_threads = num_threads;
+  o.use_match_pipeline = use_pipeline;
+  return o;
+}
+
+/// Deterministic fingerprint of everything a ChaseResult reports except
+/// wall-clock fields and resource telemetry (mirrors
+/// parallel_determinism_test.cc — byte-identity, not tolerance).
+std::string ResultFingerprint(const ChaseResult& r) {
+  std::ostringstream out;
+  out << static_cast<int>(r.termination()) << '|' << r.stats.steps << '|'
+      << r.stats.evaluations << '|' << r.stats.ops_generated << '|'
+      << r.stats.pruned << '|' << r.cl_star << '\n';
+  for (const WhyAnswer& a : r.answers) {
+    out << a.fingerprint << '|' << a.cost << '|' << a.closeness << '|'
+        << a.satisfies_exemplar << '|';
+    for (NodeId v : a.matches) out << v << ',';
+    out << '\n';
+  }
+  return out.str();
+}
+
+// Every solver bundle, pipeline on/off, serial and parallel: one contract.
+TEST(MatchPipelineParityTest, EveryAlgorithmIdenticalPipelineOnOff) {
+  Graph g = GenerateGraph(ImdbLike(0.04));
+  WhyFactoryOptions fopts;
+  fopts.query.num_edges = 2;
+  fopts.query.max_literals = 5;  // literal-heavy: exercise the merged walk
+  fopts.disturb.num_ops = 2;
+  fopts.seed = 21;
+  auto cases = MakeBenchCases(g, 2, fopts);
+  ASSERT_FALSE(cases.empty());
+
+  for (const Algorithm algo :
+       {Algorithm::kAnsW, Algorithm::kAnsWE, Algorithm::kAnsHeu,
+        Algorithm::kFMAnsW, Algorithm::kApxWhyM}) {
+    for (const BenchCase& c : cases) {
+      const ChaseResult interp =
+          Solve(g, c.question, ParityOptions(false, 1), algo);
+      ASSERT_TRUE(interp.ok()) << AlgorithmName(algo);
+      const std::string want = ResultFingerprint(interp);
+      for (const size_t threads : {size_t{1}, size_t{4}}) {
+        const ChaseResult piped =
+            Solve(g, c.question, ParityOptions(true, threads), algo);
+        ASSERT_TRUE(piped.ok()) << AlgorithmName(algo);
+        EXPECT_EQ(want, ResultFingerprint(piped))
+            << AlgorithmName(algo) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(MatchPipelineParityTest, MultiFocusIdenticalPipelineOnOff) {
+  ProductDemo demo;
+  MultiFocusQuestion w;
+  w.query = demo.Query();
+  w.foci = {0, 2};
+  w.exemplars.push_back(demo.MakeExemplar());
+  std::vector<NodeId> sprint = {demo.sprint()};
+  w.exemplars.push_back(Exemplar::FromEntities(demo.graph(), sprint));
+
+  auto run = [&](bool use_pipeline) {
+    ChaseOptions o;
+    o.budget = 4;
+    o.use_match_pipeline = use_pipeline;
+    return AnsWMultiFocus(demo.graph(), w, o);
+  };
+  const MultiFocusResult interp = run(false);
+  const MultiFocusResult piped = run(true);
+  ASSERT_EQ(interp.answers.size(), piped.answers.size());
+  for (size_t i = 0; i < interp.answers.size(); ++i) {
+    EXPECT_EQ(interp.answers[i].fingerprint, piped.answers[i].fingerprint);
+    EXPECT_EQ(interp.answers[i].total_closeness,
+              piped.answers[i].total_closeness);
+    EXPECT_EQ(interp.answers[i].matches_per_focus,
+              piped.answers[i].matches_per_focus);
+  }
+  EXPECT_EQ(interp.stats.steps, piped.stats.steps);
+  EXPECT_EQ(interp.stats.evaluations, piped.stats.evaluations);
+}
+
+TEST(MatchPipelineParityTest, WhyNotIdenticalPipelineOnOff) {
+  ProductDemo demo;
+  auto explain = [&](bool use_pipeline) {
+    ChaseOptions o;
+    o.budget = 4;
+    o.use_match_pipeline = use_pipeline;
+    ChaseContext ctx(demo.graph(), demo.Question(), o);
+    return ExplainWhyNot(ctx, demo.p(3)).ToString(demo.graph());
+  };
+  EXPECT_EQ(explain(false), explain(true));
+}
+
+// Heap-built vs mmap-attached (Graph::Attach via the store v2 bundle): the
+// pipeline's plans compile from the graph *view*, so the storage substrate
+// must not leak into answers either.
+class PipelineMmapFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/wqe_pipeline_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+  ProductDemo demo_;
+};
+
+TEST_F(PipelineMmapFixture, HeapAndMappedAnswersIdentical) {
+  const Graph& g = demo_.graph();
+  store::ArtifactStore store(dir_, store::Serde::GraphFingerprint(g));
+  GraphIndexes heap(g, /*num_threads=*/1);
+  ASSERT_TRUE(store
+                  .SaveBundle(g, heap.adom, heap.diameter, heap.dist,
+                              DistanceIndex::Options())
+                  .ok());
+  std::unique_ptr<MappedServingState> mapped;
+  ASSERT_TRUE(OpenServingState(store, DistanceIndex::Options(),
+                               store::BundleOpenOptions(), &mapped)
+                  .ok());
+  ASSERT_TRUE(mapped->graph().attached());
+
+  for (const Algorithm algo :
+       {Algorithm::kAnsW, Algorithm::kAnsWE, Algorithm::kAnsHeu,
+        Algorithm::kFMAnsW, Algorithm::kApxWhyM}) {
+    Request req;
+    req.question = demo_.Question();
+    req.options = ParityOptions(true, 1);
+    req.algorithm = algo;
+    const Response heap_resp = Execute(g, &heap, nullptr, nullptr, req);
+    const Response mapped_resp =
+        Execute(mapped->graph(), &mapped->indexes, nullptr, nullptr, req);
+    ASSERT_TRUE(heap_resp.ok() && mapped_resp.ok()) << AlgorithmName(algo);
+    EXPECT_EQ(ResultFingerprint(heap_resp.result),
+              ResultFingerprint(mapped_resp.result))
+        << AlgorithmName(algo);
+  }
 }
 
 }  // namespace

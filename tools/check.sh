@@ -61,6 +61,23 @@ for pattern in '\.Answer\(' 'star_matcher[_()]*\.Evaluate\('; do
     LINT_FAIL=1
   fi
 done
+# The compiled match pipeline (src/match/filter_plan.{h,cc}) owns ALL
+# per-node candidate probing outside src/match: chase-layer code must go
+# through compiled FilterPlans (plan.Admits / match::LiteralHolds) or the
+# StarMatcher candidate stages — a raw IsCandidate / per-literal
+# Literal::Matches probe re-interprets the filter per node and silently
+# bypasses the plan memo, the stage counters, and the merged-walk kernels.
+for pattern in 'IsCandidate\(' 'ComputeCandidates\(' 'AllCandidates\(' \
+               'SortedDifference\(' 'SortedUnion\(' '\.Matches\('; do
+  if hits=$(grep -rnE "$pattern" src/chase \
+      --include='*.cc' --include='*.h'); then
+    echo "lint: forbidden pattern '$pattern' in src/chase (use the compiled"
+    echo "      match pipeline: FilterPlan::Admits / match::LiteralHolds /"
+    echo "      StarMatcher::FocusCandidates / match::CandidateSet kernels):"
+    echo "$hits"
+    LINT_FAIL=1
+  fi
+done
 [ "$LINT_FAIL" -eq 0 ] || { echo "engine lint failed"; exit 1; }
 echo "engine lint clean"
 
